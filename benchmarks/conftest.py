@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one paper figure/table via its
+``repro.bench`` runner, prints the text table (visible with ``-s``) and
+saves it under ``benchmarks/results/``.  ``REPRO_SHOTS_SCALE`` scales
+every experiment toward paper-size statistics.
+"""
+
+import pytest
+
+
+def run_experiment(benchmark, runner):
+    """Run one experiment under pytest-benchmark and report its table."""
+    table = benchmark.pedantic(runner, rounds=1, iterations=1)
+    print()
+    print(table.render())
+    assert table.rows, f"{table.experiment_id} produced no rows"
+    return table
+
+
+@pytest.fixture
+def experiment(benchmark):
+    """Fixture form of :func:`run_experiment`."""
+    def _run(runner):
+        return run_experiment(benchmark, runner)
+    return _run

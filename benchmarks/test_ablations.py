@@ -1,0 +1,44 @@
+"""Ablation benches for the design choices listed in DESIGN.md.
+
+These isolate BP-SF's individual design decisions: the adaptive damping
+schedule, oscillation-based candidate selection, syndrome-domain
+flipping, and the first-success return policy.
+"""
+
+from repro.bench import (
+    run_ablation_candidates,
+    run_ablation_damping,
+    run_ablation_first_success,
+    run_ablation_flip_domain,
+)
+
+
+def test_ablation_damping(experiment):
+    table = experiment(run_ablation_damping)
+    by = {row[0]: row for row in table.rows}
+    # Undamped min-sum needs more iterations than the adaptive schedule.
+    assert by["adaptive 1-2^-i"][3] <= by["none (1.0)"][3]
+
+
+def test_ablation_candidates(experiment):
+    table = experiment(run_ablation_candidates)
+    by = {row[0]: row for row in table.rows}
+    # Oscillation-guided candidates rescue at least as many failures as
+    # random candidates (Sec. III-B's precision argument).
+    assert by["oscillation (paper)"][3] >= by["random"][3]
+
+
+def test_ablation_flip_domain(experiment):
+    table = experiment(run_ablation_flip_domain)
+    by = {row[0]: row for row in table.rows}
+    sf = by["syndrome flip (BP-SF)"]
+    assert sf[1] <= sf[2]  # rescued <= failures
+
+
+def test_ablation_first_success(experiment):
+    table = experiment(run_ablation_first_success)
+    by = {row[0]: row for row in table.rows}
+    first = by["first success (paper)"]
+    best = by["best of all (min weight)"]
+    # The paper's claim: first-success costs (almost) nothing.
+    assert first[1] <= best[1] + max(2, 0.1 * max(first[2], 1))

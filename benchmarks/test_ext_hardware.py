@@ -1,0 +1,15 @@
+"""Extension: the Discussion's real-time hardware budget, measured.
+
+See DESIGN.md's experiment index and EXPERIMENTS.md for the discussion.
+"""
+
+from repro.bench import run_ext_hardware
+
+
+def test_ext_hardware(experiment):
+    table = experiment(run_ext_hardware)
+    for row in table.rows:
+        # Paper Sec. VI: BP-SF decodes in real time on every evaluated
+        # code under the 20 ns / 1 us model.
+        assert row[5] is True, f"{row[0]} missed its real-time budget"
+        assert row[3] <= row[2], "worst latency must fit the budget"

@@ -1,0 +1,18 @@
+"""Extension: BP vs BP-SF on the unevaluated Bravyi-et-al. BB codes.
+
+See DESIGN.md's experiment index and EXPERIMENTS.md for the discussion.
+"""
+
+from repro.bench import run_ext_new_codes
+
+
+def test_ext_new_codes(experiment):
+    table = experiment(run_ext_new_codes)
+    rows = {(r[0], r[1], r[2]): r for r in table.rows}
+    for code in ("bb_90_8_10", "bb_108_8_10"):
+        for p in (0.04, 0.08):
+            bp = rows[(code, p, "BP100")]
+            sf = rows[(code, p, "BP-SF")]
+            # Fig. 17 pattern: BP-SF never does worse than plain BP
+            # (generous slack for Monte-Carlo noise at bench scale).
+            assert sf[3] <= bp[3] * 1.5 + 5e-3

@@ -1,0 +1,18 @@
+"""Extension: streaming-backlog queue simulation (intro's [25] argument).
+
+See DESIGN.md's experiment index and EXPERIMENTS.md for the discussion.
+"""
+
+from repro.bench import run_ext_streaming
+
+
+def test_ext_streaming(experiment):
+    table = experiment(run_ext_streaming)
+    by = {row[0]: row for row in table.rows}
+    bpsf = by["BP-SF (parallel trials)"]
+    # BP-SF must keep pace with the syndrome stream: stable queue and
+    # bounded backlog.
+    assert bpsf[3] is True
+    assert bpsf[2] < 1.0
+    # The OSD surcharge shows up as strictly worse tail response.
+    assert by["BP100-OSD10"][6] >= bpsf[6]

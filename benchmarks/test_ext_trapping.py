@@ -1,0 +1,16 @@
+"""Extension: Tanner-graph / trapping-set census (Sec. III structure).
+
+See DESIGN.md's experiment index and EXPERIMENTS.md for the discussion.
+"""
+
+from repro.bench import run_ext_trapping
+
+
+def test_ext_trapping(experiment):
+    table = experiment(run_ext_trapping)
+    for row in table.rows:
+        # BB-family Tanner graphs are 4-cycle-free with girth 6.
+        assert row[1] == 6
+        assert row[2] == 0
+        # Merged DEMs must carry no degenerate (identical) columns.
+        assert row[3] == 0

@@ -1,0 +1,18 @@
+"""Fig. 2: BP iteration-count distribution on [[144,12,12]] circuit noise.
+
+Regenerates the paper artifact via ``repro.bench.run_fig2``; see
+DESIGN.md's experiment index and EXPERIMENTS.md for the paper-vs-
+measured comparison.
+"""
+
+from repro.bench import run_fig2
+
+
+def test_fig2(experiment):
+    table = experiment(run_fig2)
+    # Long-tail shape: some shots remain unconverged at every budget at
+    # the higher error rate, and the tail rate decreases with budget.
+    row = table.rows[-1]
+    tail = [v for v in row[3:] if isinstance(v, float)]
+    assert all(0.0 <= v <= 1.0 for v in tail)
+    assert tail == sorted(tail, reverse=True)

@@ -1,0 +1,21 @@
+"""Fig. 3: oscillating bits localise true errors (precision/recall).
+
+Regenerates the paper artifact via ``repro.bench.run_fig3``; see
+DESIGN.md's experiment index and EXPERIMENTS.md for the paper-vs-
+measured comparison.
+"""
+
+from repro.bench import run_fig3
+
+
+def test_fig3(experiment):
+    table = experiment(run_fig3)
+    for row in table.rows:
+        p, _fails, precision, recall, _w = row
+        # Precision must beat random guessing (the physical error rate)
+        # by a wide margin -- the paper's central observation.
+        assert precision > 2 * p
+        assert 0.0 <= recall <= 1.0
+    # Recall decreases as p grows (candidate set size is fixed).
+    recalls = [row[3] for row in table.rows]
+    assert recalls[0] >= recalls[-1]

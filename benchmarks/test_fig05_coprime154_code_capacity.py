@@ -1,0 +1,20 @@
+"""Fig. 5: LER on the [[154,6,16]] coprime-BB code, code capacity.
+
+Regenerates the paper artifact via ``repro.bench.run_fig5``; see
+DESIGN.md's experiment index and EXPERIMENTS.md for the paper-vs-
+measured comparison.
+"""
+
+from repro.bench import run_fig5
+
+
+def test_fig5(experiment):
+    table = experiment(run_fig5)
+    by_decoder = {}
+    for code, p, dec, shots, fails, ler, *_ in table.rows:
+        by_decoder.setdefault(dec, {})[p] = ler
+    # At the highest p, plain BP must be the worst decoder (Fig. 5).
+    top_p = max(p for _c, p, *_ in table.rows)
+    bp = by_decoder["BP300"][top_p]
+    assert by_decoder["BP-SF(BP50,w1,phi8)"][top_p] <= bp
+    assert by_decoder["BP300-OSD10"][top_p] <= bp

@@ -1,0 +1,17 @@
+"""Fig. 6: LER on the [[288,12,18]] BB code, code capacity.
+
+Regenerates the paper artifact via ``repro.bench.run_fig6``; see
+DESIGN.md's experiment index and EXPERIMENTS.md for the paper-vs-
+measured comparison.
+"""
+
+from repro.bench import run_fig6
+
+
+def test_fig6(experiment):
+    table = experiment(run_fig6)
+    by_decoder = {}
+    for code, p, dec, shots, fails, ler, *_ in table.rows:
+        by_decoder.setdefault(dec, {})[p] = ler
+    top_p = max(p for _c, p, *_ in table.rows)
+    assert by_decoder["BP-SF(BP50,w1,phi20)"][top_p] <= by_decoder["BP300"][top_p]

@@ -1,0 +1,22 @@
+"""Fig. 7: LER/round on [[144,12,12]], circuit-level noise.
+
+Regenerates the paper artifact via ``repro.bench.run_fig7``; see
+DESIGN.md's experiment index and EXPERIMENTS.md for the paper-vs-
+measured comparison.
+"""
+
+from repro.bench import run_fig7
+
+
+def test_fig7(experiment):
+    table = experiment(run_fig7)
+    for code, p, dec, shots, fails, ler, ler_round, avg_it, post in table.rows:
+        assert 0.0 <= ler <= 1.0
+    # BP-SF and BP-OSD both at or below plain BP for each p.
+    by = {}
+    for code, p, dec, shots, fails, ler, *_ in table.rows:
+        by.setdefault(p, {})[dec] = ler
+    for p, decs in by.items():
+        bp = decs["BP300"]
+        assert decs["BP-SF(BP100,w6,phi50,ns5)"] <= bp + 1e-9
+        assert decs["BP300-OSD10"] <= bp + 1e-9

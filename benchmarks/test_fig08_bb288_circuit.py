@@ -1,0 +1,15 @@
+"""Fig. 8: LER/round on [[288,12,18]] circuit noise with layered BP.
+
+Regenerates the paper artifact via ``repro.bench.run_fig8``; see
+DESIGN.md's experiment index and EXPERIMENTS.md for the paper-vs-
+measured comparison.
+"""
+
+from repro.bench import run_fig8
+
+
+def test_fig8(experiment):
+    table = experiment(run_fig8)
+    decoders = {row[2] for row in table.rows}
+    assert "BP-SF layered(BP100,w10,ns10)" in decoders
+    assert "BP-SF flooding(BP100,w10,ns10)" in decoders

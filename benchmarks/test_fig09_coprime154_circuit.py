@@ -1,0 +1,14 @@
+"""Fig. 9: LER/round on [[154,6,16]], circuit-level noise.
+
+Regenerates the paper artifact via ``repro.bench.run_fig9``; see
+DESIGN.md's experiment index and EXPERIMENTS.md for the paper-vs-
+measured comparison.
+"""
+
+from repro.bench import run_fig9
+
+
+def test_fig9(experiment):
+    table = experiment(run_fig9)
+    for row in table.rows:
+        assert 0.0 <= row[5] <= 1.0

@@ -1,0 +1,14 @@
+"""Fig. 10: LER/round on [[126,12,10]], circuit-level noise.
+
+Regenerates the paper artifact via ``repro.bench.run_fig10``; see
+DESIGN.md's experiment index and EXPERIMENTS.md for the paper-vs-
+measured comparison.
+"""
+
+from repro.bench import run_fig10
+
+
+def test_fig10(experiment):
+    table = experiment(run_fig10)
+    decoders = {row[2] for row in table.rows}
+    assert len(decoders) == 4  # two BP-SF configs + BP-OSD + BP

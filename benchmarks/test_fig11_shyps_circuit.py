@@ -1,0 +1,14 @@
+"""Fig. 11: LER/round on the SHYPS [[225,16,8]] subsystem code.
+
+Regenerates the paper artifact via ``repro.bench.run_fig11``; see
+DESIGN.md's experiment index and EXPERIMENTS.md for the paper-vs-
+measured comparison.
+"""
+
+from repro.bench import run_fig11
+
+
+def test_fig11(experiment):
+    table = experiment(run_fig11)
+    for row in table.rows:
+        assert row[3] > 0  # shots ran on the subsystem-code DEM

@@ -1,0 +1,23 @@
+"""Fig. 12: serial-iteration complexity vs achieved LER/round.
+
+Regenerates the paper artifact via ``repro.bench.run_fig12``; see
+DESIGN.md's experiment index and EXPERIMENTS.md for the paper-vs-
+measured comparison.
+"""
+
+from repro.bench import run_fig12
+
+
+def test_fig12(experiment):
+    table = experiment(run_fig12)
+    by = {row[0]: row for row in table.rows}
+    # More BP iterations => avg iterations grow (10% slack: at small
+    # shot counts the average saturates once almost every shot
+    # converges, so neighbouring budgets can tie within noise).
+    averages = [by[k][2] for k in ("BP25", "BP50", "BP100", "BP200")]
+    for lower, higher in zip(averages, averages[1:]):
+        assert higher >= 0.9 * lower
+    assert averages[0] <= averages[-1] * 1.1
+    # BP-SF postpones the cliff: LER no worse than plain BP100 while its
+    # parallel latency stays near the BP100 budget.
+    assert by["BP-SF w10 ns10"][1] <= by["BP100"][1] + 1e-9

@@ -1,0 +1,16 @@
+"""Fig. 14: average decode time per syndrome vs physical error rate.
+
+Regenerates the paper artifact via ``repro.bench.run_fig14``; see
+DESIGN.md's experiment index and EXPERIMENTS.md for the paper-vs-
+measured comparison.
+"""
+
+from repro.bench import run_fig14
+
+
+def test_fig14(experiment):
+    table = experiment(run_fig14)
+    labels = {row[1] for row in table.rows}
+    assert len(labels) == 6
+    for row in table.rows:
+        assert row[2] >= 0.0

@@ -1,0 +1,17 @@
+"""Fig. 15: decode-time distributions for serial and parallel BP-SF.
+
+Regenerates the paper artifact via ``repro.bench.run_fig15``; see
+DESIGN.md's experiment index and EXPERIMENTS.md for the paper-vs-
+measured comparison.
+"""
+
+from repro.bench import run_fig15
+
+
+def test_fig15(experiment):
+    table = experiment(run_fig15)
+    labels = [row[0] for row in table.rows]
+    assert labels[0] == "BP300-OSD10"
+    assert any(l.startswith("BP-SF P=") for l in labels)
+    for row in table.rows:
+        assert row[1] <= row[2] <= row[5]  # min <= median <= max

@@ -1,0 +1,17 @@
+"""Fig. 16: GPU-estimate decode-time distributions.
+
+Regenerates the paper artifact via ``repro.bench.run_fig16``; see
+DESIGN.md's experiment index and EXPERIMENTS.md for the paper-vs-
+measured comparison.
+"""
+
+from repro.bench import run_fig16
+
+
+def test_fig16(experiment):
+    table = experiment(run_fig16)
+    by = {row[0]: row for row in table.rows}
+    est = by["BP-SF (GPU_Est)"]
+    batched = by["BP-SF batched (GPU, discussion)"]
+    # Batching removes the serial-trial long tail (paper discussion).
+    assert batched[2] <= est[2] + 1e-9

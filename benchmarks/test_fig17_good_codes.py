@@ -1,0 +1,36 @@
+"""Fig. 17 (appendix): codes where plain BP already matches BP-OSD.
+
+Three panels: (a) BB 72/144 code capacity, (b) coprime-126 and GB-254
+code capacity, (c) BB [[72,12,6]] under circuit-level noise.
+"""
+
+from repro.bench import run_fig17a, run_fig17b, run_fig17c
+
+
+def _decoder_lers(table):
+    by = {}
+    for code, p, dec, shots, fails, ler, *_ in table.rows:
+        by.setdefault((code, p), {})[dec] = ler
+    return by
+
+
+def test_fig17a(experiment):
+    table = experiment(run_fig17a)
+    for (code, p), decs in _decoder_lers(table).items():
+        # All three decoders overlap on 'good' codes: BP-SF and BP-OSD
+        # never much worse than plain BP (MC noise allowed for).
+        bp = decs["BP300"]
+        assert decs["BP300-OSD10"] <= bp + 0.05
+        assert decs["BP-SF(BP50,w1)"] <= bp + 0.05
+
+
+def test_fig17b(experiment):
+    table = experiment(run_fig17b)
+    codes = {row[0] for row in table.rows}
+    assert codes == {"[[126,12,10]]", "[[254,28]]"}
+
+
+def test_fig17c(experiment):
+    table = experiment(run_fig17c)
+    for row in table.rows:
+        assert 0.0 <= row[5] <= 1.0

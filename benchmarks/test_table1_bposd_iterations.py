@@ -1,0 +1,17 @@
+"""Table I: BP-OSD latency/LER trade-off vs BP iteration budget.
+
+Regenerates the paper artifact via ``repro.bench.run_tab1``; see
+DESIGN.md's experiment index and EXPERIMENTS.md for the paper-vs-
+measured comparison.
+"""
+
+from repro.bench import run_tab1
+
+
+def test_tab1(experiment):
+    table = experiment(run_tab1)
+    budgets = [row[0] for row in table.rows]
+    assert budgets == ["BP25-OSD10", "BP100-OSD10", "BP300-OSD10"]
+    # Fewer BP iterations => more OSD invocations (the paper's tension).
+    invocations = [row[3] for row in table.rows]
+    assert invocations[0] >= invocations[-1]

@@ -1,0 +1,58 @@
+"""Circuit-level memory experiment, end to end.
+
+Reproduces the paper's evaluation pipeline on a small scale: build the
+d-round syndrome-extraction circuit for the [[72,12,6]] BB code, attach
+uniform depolarizing noise, compile the detector error model, and
+compare BP, BP-OSD and BP-SF on sampled syndromes.
+
+Run:  python examples/circuit_level_memory.py
+"""
+
+import numpy as np
+
+from repro.circuits import (
+    NoiseModel,
+    build_memory_experiment,
+    circuit_level_problem,
+    dem_from_circuit,
+)
+from repro.codes import get_code
+from repro.decoders import BPOSDDecoder, BPSFDecoder, MinSumBP
+from repro.sim import run_ler
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    code = get_code("bb_72_12_6")
+    p = 3e-3
+
+    # The intermediate artifacts are all inspectable:
+    experiment = build_memory_experiment(code, rounds=code.distance)
+    print(f"syndrome extraction circuit: {experiment.circuit!r}")
+    noisy = NoiseModel.uniform_depolarizing(p).noisy(experiment.circuit)
+    dem = dem_from_circuit(noisy)
+    print(f"detector error model:        {dem!r}")
+
+    # ... or let the pipeline assemble the decoding problem directly.
+    problem = circuit_level_problem(code, p)
+    shots = 150
+
+    decoders = {
+        "BP100": MinSumBP(problem, max_iter=100),
+        "BP100-OSD10": BPOSDDecoder(problem, max_iter=100, osd_order=10),
+        "BP-SF(BP50,w4,phi20,ns5)": BPSFDecoder(
+            problem, max_iter=50, phi=20, w_max=4, n_s=5, strategy="sampled"
+        ),
+    }
+    print(f"\n{shots} shots at p={p} ({problem.rounds} rounds):")
+    for name, decoder in decoders.items():
+        result = run_ler(problem, decoder, shots, rng)
+        print(
+            f"  {name:26s} LER/round={result.ler_round:.2e} "
+            f"avg_iters={result.avg_iterations:6.1f} "
+            f"post-processed={result.post_processed}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Build your own bivariate bicycle code and decode it with BP-SF.
+
+The paper's Appendix A defines BB codes by two polynomials over the
+commuting monomials ``x = S_l (x) I_m`` and ``y = I_l (x) S_m``.  This
+example constructs a code from scratch — without the registry — then
+inspects its Tanner-graph structure and runs the full pipeline:
+code -> noise problem -> BP-SF decode -> logical-failure check.
+
+Use it as a template for experimenting with new polynomial choices:
+change ``L``, ``M``, ``A_TERMS`` or ``B_TERMS`` below and everything
+downstream (CSS validation, logical operators, decoding) adapts.
+
+Run:  python examples/custom_code.py
+"""
+
+import numpy as np
+
+from repro.analysis.trapping_sets import count_four_cycles, girth
+from repro.codes.bb import bicycle_css_from_blocks
+from repro.codes.polynomials import bivariate_poly
+from repro.decoders import BPSFDecoder, MinSumBP
+from repro.noise import code_capacity_problem
+from repro.sim import run_ler
+
+# The [[90,8,10]] member of the Bravyi-et-al. family; swap in your own
+# exponent pairs (ex, ey) for monomials x^ex y^ey.
+L, M = 15, 3
+A_TERMS = ((9, 0), (0, 1), (0, 2))   # x^9 + y + y^2
+B_TERMS = ((0, 0), (2, 0), (7, 0))   # 1 + x^2 + x^7
+
+
+def main() -> None:
+    # 1. Polynomials -> circulant blocks -> CSS code.  The constructor
+    #    validates H_X H_Z^T = 0 and computes k from GF(2) ranks.
+    a = bivariate_poly(L, M, A_TERMS)
+    b = bivariate_poly(L, M, B_TERMS)
+    code = bicycle_css_from_blocks(a, b, name="my_bb_code", distance=None)
+    print(f"constructed [[{code.n}, {code.k}]] CSS code")
+    print(f"  X/Z checks: {code.hx.shape[0]} / {code.hz.shape[0]}")
+    print(f"  check weight: {int(code.hx.sum(axis=1).max())}")
+    print(f"  Tanner girth: {girth(code.hx):.0f}, "
+          f"4-cycles: {count_four_cycles(code.hx)}")
+
+    # 2. Logical operators come out of the construction for free.
+    print(f"  logical X ops: {code.logical_x.shape[0]} "
+          f"(min weight {int(code.logical_x.sum(axis=1).min())})")
+
+    # 3. Decode under code-capacity noise: plain BP vs BP-SF.
+    rng = np.random.default_rng(5)
+    problem = code_capacity_problem(code, p=0.05)
+    shots = 400
+    for label, decoder in (
+        ("BP100", MinSumBP(problem, max_iter=100)),
+        ("BP-SF", BPSFDecoder(
+            problem, max_iter=50, phi=8, w_max=1, strategy="exhaustive",
+        )),
+    ):
+        mc = run_ler(problem, decoder, shots, rng)
+        print(
+            f"  {label:6s}: LER={mc.ler:.4f} "
+            f"avg_iters={mc.avg_iterations:.1f} "
+            f"({mc.post_processed} shots rescued by post-processing)"
+        )
+
+    print(
+        "\nTry: raise p to 0.08-0.12 to watch BP-SF's rescue margin\n"
+        "grow, or edit A_TERMS/B_TERMS to explore new BB codes (the\n"
+        "CSS constructor rejects non-commuting choices)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Decoder comparison on the paper's showcase code (mini Fig. 5).
+
+The [[154,6,16]] coprime-BB code is where plain min-sum BP struggles
+(weight-3 trapping sets create an error floor) and BP-SF shines.  This
+example sweeps the physical error rate and prints the LER of BP,
+BP-OSD-10 and BP-SF side by side.
+
+Run:  python examples/decoder_comparison.py
+"""
+
+import numpy as np
+
+from repro.codes import get_code
+from repro.decoders import BPOSDDecoder, BPSFDecoder, MinSumBP
+from repro.noise import code_capacity_problem
+from repro.sim import run_ler
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    code = get_code("coprime_154_6_16")
+    shots = 400
+
+    print(f"{'p':>6} | {'BP200':>10} | {'BP200-OSD10':>11} | {'BP-SF':>10}")
+    print("-" * 49)
+    for p in (0.08, 0.06, 0.04):
+        problem = code_capacity_problem(code, p)
+        decoders = [
+            MinSumBP(problem, max_iter=200),
+            BPOSDDecoder(problem, max_iter=200, osd_order=10),
+            BPSFDecoder(problem, max_iter=50, phi=8, w_max=1,
+                        strategy="exhaustive"),
+        ]
+        lers = [
+            run_ler(problem, decoder, shots, rng).ler
+            for decoder in decoders
+        ]
+        print(
+            f"{p:>6} | {lers[0]:>10.2e} | {lers[1]:>11.2e} | "
+            f"{lers[2]:>10.2e}"
+        )
+    print(
+        "\npaper (Fig. 5): BP-SF matches or beats BP-OSD here while "
+        "plain BP floors out."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Decoder zoo: BP-SF against every related-work family it cites.
+
+The paper's introduction positions BP-SF against Relay-BP (chained
+memory-BP legs), GDG (guided decimation guessing) and the
+posterior-modification family.  This example runs them all — plus
+plain BP, BP-OSD and a perturbed-prior ensemble — on the same
+oscillation-heavy workload and prints the accuracy/latency trade the
+paper argues in prose: independent speculative attempts (BP-SF)
+parallelise to roughly one extra BP budget, while chained or tree
+structured ensembles pay sequential latency.
+
+Run:  python examples/decoder_zoo.py
+"""
+
+import numpy as np
+
+from repro.codes import get_code
+from repro.decoders import (
+    BPOSDDecoder,
+    BPSFDecoder,
+    GDGDecoder,
+    MinSumBP,
+    PerturbedEnsembleBP,
+    PosteriorFlipDecoder,
+    RelayBP,
+)
+from repro.noise import code_capacity_problem
+from repro.sim import run_ler
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    # The [[154,6,16]] coprime-BB code at p=0.08: plain BP fails on
+    # roughly one shot in ten, so post-processing does real work.
+    problem = code_capacity_problem(get_code("coprime_154_6_16"), p=0.08)
+    shots = 300
+
+    decoders = [
+        ("BP100 (no post-processing)", MinSumBP(problem, max_iter=100)),
+        ("BP-SF (paper)", BPSFDecoder(
+            problem, max_iter=100, phi=8, w_max=2, strategy="exhaustive",
+        )),
+        ("BP100-OSD10 (baseline)", BPOSDDecoder(
+            problem, max_iter=100, osd_order=10,
+        )),
+        ("Relay-BP (chained Mem-BP)", RelayBP(
+            problem, leg_iters=100, num_legs=5, seed=1,
+        )),
+        ("GDG (decimation tree)", GDGDecoder(
+            problem, max_iter=100, max_depth=4, beam_width=8,
+        )),
+        ("Posterior flip (erase)", PosteriorFlipDecoder(
+            problem, max_iter=100, phi=8, w_max=2, mode="erase",
+        )),
+        ("Perturbed ensemble", PerturbedEnsembleBP(
+            problem, max_iter=100, n_attempts=17, spread=0.5, seed=1,
+        )),
+    ]
+
+    header = (
+        f"{'decoder':28s} {'LER':>9s} {'converged':>9s} "
+        f"{'serial_it':>9s} {'parallel_it':>11s} {'worst_par':>9s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for label, decoder in decoders:
+        mc = run_ler(problem, decoder, shots, rng)
+        print(
+            f"{label:28s} {mc.ler:9.4f} "
+            f"{1 - mc.unconverged / mc.shots:9.3f} "
+            f"{mc.avg_iterations:9.1f} "
+            f"{mc.avg_parallel_iterations:11.1f} "
+            f"{int(mc.parallel_iterations.max()):9d}"
+        )
+
+    print(
+        "\nReading guide: 'parallel_it' is the latency when every\n"
+        "speculative attempt runs concurrently. BP-SF and the other\n"
+        "independent-attempt ensembles stay near the plain-BP budget;\n"
+        "Relay-BP's legs and GDG's tree levels cannot be parallelised\n"
+        "away, which is the core of the paper's latency argument."
+    )
+
+
+if __name__ == "__main__":
+    main()

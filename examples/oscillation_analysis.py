@@ -1,0 +1,51 @@
+"""Why BP-SF works: iteration tails and oscillating bits (Figs. 2-3).
+
+Two measurements on the [[144,12,12]] circuit-level problem:
+
+1. the BP iteration distribution — most syndromes converge in a
+   handful of iterations, a stubborn few never do;
+2. for those failures, the most-oscillating bits localise the true
+   error far better than chance, which is exactly what BP-SF exploits
+   to build its trial vectors.
+
+Run:  python examples/oscillation_analysis.py
+"""
+
+import numpy as np
+
+from repro.analysis import iteration_profile, oscillation_precision_recall
+from repro.circuits import circuit_level_problem
+
+
+def main() -> None:
+    rng = np.random.default_rng(9)
+    p = 3e-3
+    problem = circuit_level_problem("bb_144_12_12", p)
+
+    profile = iteration_profile(problem, rng, shots=300, max_iter=200)
+    budgets = [5, 10, 25, 50, 100, 200]
+    print(f"BP iteration distribution at p={p} "
+          f"(avg over converged: {profile.average_iterations:.1f}):")
+    for budget, rate in zip(budgets, profile.non_convergence_rate(budgets)):
+        bar = "#" * int(rate * 60)
+        print(f"  >{budget:4d} iterations: {rate:6.1%} {bar}")
+
+    stats = oscillation_precision_recall(
+        problem, rng, phi=50, max_iter=50, target_failures=30,
+        max_shots=4000,
+    )
+    print(
+        f"\ntop-50 oscillating bits over {stats.failures_analyzed} BP "
+        f"failures (mean error weight {stats.mean_error_weight:.1f}):"
+    )
+    print(f"  precision = {stats.precision:.2f} "
+          f"(chance level ~ {problem.priors.mean():.4f})")
+    print(f"  recall    = {stats.recall:.2f}")
+    print(
+        "\npaper (Fig. 3): precision far above the physical error rate "
+        "makes oscillating bits good flip candidates."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Parallel BP-SF: the multi-process executor of paper Sec. VI.
+
+Decodes a stream of circuit-level syndromes with the serial BP-SF
+decoder and with the persistent worker-pool version, then prints the
+latency distributions (the paper's Fig. 15 at example scale).
+
+Run:  python examples/parallel_decoding.py
+"""
+
+import numpy as np
+
+from repro.circuits import circuit_level_problem
+from repro.decoders import BPSFDecoder, ParallelBPSFDecoder
+from repro.sim import measure_latency
+
+
+def main() -> None:
+    problem = circuit_level_problem("bb_144_12_12", 3e-3)
+    shots = 12
+    config = dict(max_iter=100, phi=50, w_max=10, n_s=10)
+
+    # Fresh RNG per decoder: every executor sees the *same* syndromes.
+    serial = BPSFDecoder(problem, **config)
+    result = measure_latency(problem, serial, shots, np.random.default_rng(5))
+    s = result.summary
+    print(
+        f"serial  : avg={s.mean * 1e3:7.1f} ms  "
+        f"median={s.median * 1e3:7.1f} ms  max={s.maximum * 1e3:7.1f} ms"
+    )
+
+    for processes in (2, 4):
+        with ParallelBPSFDecoder(
+            problem, processes=processes, **config
+        ) as parallel:
+            result = measure_latency(
+                problem, parallel, shots, np.random.default_rng(5)
+            )
+            s = result.summary
+            print(
+                f"P={processes}     : avg={s.mean * 1e3:7.1f} ms  "
+                f"median={s.median * 1e3:7.1f} ms  "
+                f"max={s.maximum * 1e3:7.1f} ms"
+            )
+    print(
+        "\npaper (Fig. 15): the post-processing tail compresses as the "
+        "worker count grows; averages drop 38.6 -> 15.7 ms at P=8."
+    )
+
+
+if __name__ == "__main__":
+    main()

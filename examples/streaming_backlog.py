@@ -1,0 +1,90 @@
+"""Streaming decode and the data-backlog argument (paper intro, [25]).
+
+A quantum device emits one decoding task every ``d`` rounds of
+syndrome extraction (~1 us per round).  A decoder whose latency
+exceeds that budget queues tasks faster than it drains them and the
+backlog diverges — Terhal's classic argument, and the reason the paper
+cares about worst-case (not just average) latency.
+
+This example decodes a [[144,12,12]] circuit-level syndrome stream,
+converts each decode's iteration count into on-chip latency with the
+Discussion's hardware model (20 ns per BP iteration), and pushes those
+service times through a FIFO queue:
+
+* BP-SF with fully-parallel trials  -> worst case ~2 BP budgets,
+  queue never builds;
+* the same decoder executed serially -> trial iterations pile up and
+  the tail response explodes;
+* a modelled BP-OSD with a Gaussian-elimination surcharge on every
+  post-processed shot -> transient backlog spikes.
+
+Run:  python examples/streaming_backlog.py
+"""
+
+import numpy as np
+
+from repro.analysis.hardware import HardwareLatencyModel
+from repro.circuits import circuit_level_problem
+from repro.decoders import BPOSDDecoder, BPSFDecoder
+from repro.sim import simulate_stream
+
+
+def main() -> None:
+    rng = np.random.default_rng(23)
+    problem = circuit_level_problem("bb_144_12_12", 3e-3, rounds=6)
+    shots = 120
+    errors = problem.sample_errors(shots, rng)
+    syndromes = problem.syndromes(errors)
+
+    hardware = HardwareLatencyModel()  # 20 ns/iter, 1 us rounds
+    period = hardware.syndrome_budget_us(problem.rounds)
+    print(f"workload: {problem.name}")
+    print(f"arrival period: {period:.1f} us ({problem.rounds} rounds)\n")
+
+    bpsf = BPSFDecoder(
+        problem, max_iter=100, phi=50, w_max=6, n_s=5,
+        strategy="sampled", seed=3,
+    )
+    results = bpsf.decode_batch(syndromes)
+
+    bposd = BPOSDDecoder(problem, max_iter=100, osd_order=10)
+    osd_results = bposd.decode_batch(syndromes)
+    osd_post = np.asarray([r.stage != "initial" for r in osd_results])
+    # Packed GF(2) elimination of the ~1k x 9k detector matrix costs
+    # ~10^7 word-XORs; ~100 us is a generous hardware estimate.
+    osd_surcharge_us = 100.0
+
+    scenarios = [
+        ("BP-SF, parallel trials",
+         hardware.latencies_us(results, parallel=True)),
+        ("BP-SF, serial trials",
+         hardware.latencies_us(results, parallel=False)),
+        ("BP-OSD (+GE surcharge)",
+         hardware.latencies_us(osd_results, parallel=True)
+         + osd_surcharge_us * osd_post),
+    ]
+
+    header = (
+        f"{'scenario':24s} {'rho':>6s} {'stable':>7s} {'backlog':>8s} "
+        f"{'mean_wait_us':>12s} {'worst_resp_us':>13s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for label, service in scenarios:
+        report = simulate_stream(service, period)
+        print(
+            f"{label:24s} {report.utilisation:6.3f} "
+            f"{str(report.stable):>7s} {report.max_backlog:8d} "
+            f"{report.mean_wait:12.3f} {report.worst_response:13.2f}"
+        )
+
+    print(
+        "\nReading guide: 'rho' is mean service time over the arrival\n"
+        "period — above 1.0 the queue diverges no matter how large the\n"
+        "buffer. Parallel BP-SF keeps even the *worst* response inside\n"
+        "a few microseconds, which is the Discussion's real-time claim."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""BP-SF: fully parallelized BP decoding for quantum LDPC codes.
+
+Reproduction of Wang, Li & Mueller, "Fully Parallelized BP Decoding for
+Quantum LDPC Codes Can Outperform BP-OSD" (HPCA 2026).
+
+Typical usage::
+
+    from repro import get_code, code_capacity_problem, BPSFDecoder
+
+    problem = code_capacity_problem(get_code("bb_144_12_12"), p=0.01)
+    decoder = BPSFDecoder(problem, max_iter=50, phi=7, w_max=1,
+                          strategy="exhaustive")
+    result = decoder.decode(problem.syndromes(error))
+
+Subpackages
+-----------
+``repro.codes``     code constructions (BB, coprime-BB, GB, HGP, SHYPS)
+``repro.circuits``  circuit-level noise substrate (mini-stim)
+``repro.noise``     code-capacity channel
+``repro.decoders``  BP, layered BP, OSD, BP-OSD, BP-SF and executors
+``repro.sim``       Monte-Carlo LER and latency harnesses
+``repro.analysis``  oscillation / iteration / complexity studies
+``repro.bench``     one experiment runner per paper figure and table
+"""
+
+from repro.circuits import circuit_level_problem
+from repro.codes import get_code, list_codes
+from repro.decoders import (
+    BPOSDDecoder,
+    BPSFDecoder,
+    DecodeResult,
+    GDGDecoder,
+    LayeredMinSumBP,
+    MemoryMinSumBP,
+    MinSumBP,
+    ParallelBPSFDecoder,
+    PerturbedEnsembleBP,
+    PosteriorFlipDecoder,
+    RelayBP,
+)
+from repro.noise import code_capacity_problem
+from repro.problem import DecodingProblem
+from repro.sim import measure_latency, run_ler
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "circuit_level_problem",
+    "get_code",
+    "list_codes",
+    "BPOSDDecoder",
+    "BPSFDecoder",
+    "DecodeResult",
+    "GDGDecoder",
+    "LayeredMinSumBP",
+    "MemoryMinSumBP",
+    "MinSumBP",
+    "ParallelBPSFDecoder",
+    "PerturbedEnsembleBP",
+    "PosteriorFlipDecoder",
+    "RelayBP",
+    "code_capacity_problem",
+    "DecodingProblem",
+    "measure_latency",
+    "run_ler",
+]

@@ -1,0 +1,233 @@
+"""Command-line entry point: ``python -m repro``.
+
+Subcommands:
+
+* ``codes`` — list the registered codes with their parameters;
+* ``run <experiment-id> [...]`` — regenerate paper figures/tables
+  (``python -m repro run fig5 fig12``; ``run all`` for everything);
+* ``decode <code> [--p P] [--shots N]`` — quick decode demo printing
+  per-shot BP-SF outcomes;
+* ``analyze <code>`` — Tanner-graph / trapping-set census and an
+  oscillation-cluster report from live BP failures (Sec. III);
+* ``stream <code> [--rounds R]`` — streaming-queue simulation under
+  the hardware latency model (the intro's backlog argument);
+* ``hardware`` — the Discussion's real-time latency budget table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_codes(_args) -> int:
+    from repro.codes import get_code, list_codes
+
+    for name in list_codes():
+        code = get_code(name)
+        d = code.distance if code.distance is not None else "?"
+        print(f"{name:22s} [[{code.n}, {code.k}, {d}]]")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.bench import ALL_EXPERIMENTS
+
+    requested = args.experiments
+    if requested == ["all"]:
+        requested = list(ALL_EXPERIMENTS)
+    unknown = [e for e in requested if e not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for experiment_id in requested:
+        table = ALL_EXPERIMENTS[experiment_id]()
+        print(table.render())
+        print()
+    return 0
+
+
+def _cmd_decode(args) -> int:
+    from repro import BPSFDecoder, code_capacity_problem, get_code
+
+    code = get_code(args.code)
+    problem = code_capacity_problem(code, args.p)
+    decoder = BPSFDecoder(
+        problem, max_iter=50, phi=max(4, code.k // 2), w_max=1,
+        strategy="exhaustive",
+    )
+    rng = np.random.default_rng(args.seed)
+    errors = problem.sample_errors(args.shots, rng)
+    syndromes = problem.syndromes(errors)
+    failures = 0
+    for i in range(args.shots):
+        result = decoder.decode(syndromes[i])
+        failed = bool(problem.is_failure(errors[i], result.error)[0])
+        failures += failed
+        print(
+            f"shot {i:3d}: stage={result.stage:8s} "
+            f"iterations={result.iterations:4d} "
+            f"{'FAIL' if failed else 'ok'}"
+        )
+    print(f"\nlogical error rate: {failures}/{args.shots}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analysis.failures import failure_census
+    from repro.analysis.trapping_sets import (
+        count_four_cycles,
+        degenerate_mechanisms,
+        girth,
+        oscillation_clusters,
+    )
+    from repro.codes import get_code
+    from repro.decoders import MinSumBP
+    from repro.noise import code_capacity_problem
+
+    code = get_code(args.code)
+    problem = code_capacity_problem(code, args.p)
+    print(f"{code.name}: girth={girth(code.hx)}, "
+          f"4-cycles={count_four_cycles(code.hx)}, "
+          f"degenerate column groups="
+          f"{len(degenerate_mechanisms(problem.check_matrix))}")
+
+    bp = MinSumBP(problem, max_iter=args.max_iter, track_oscillations=True)
+    rng = np.random.default_rng(args.seed)
+    errors = problem.sample_errors(args.shots, rng)
+    batch = bp.decode_many(problem.syndromes(errors))
+    failures = np.nonzero(~batch.converged)[0]
+    print(f"BP{args.max_iter} failures: {failures.size}/{args.shots} "
+          f"shots at p={args.p}")
+    for i in failures[: args.max_reports]:
+        clusters = oscillation_clusters(
+            problem.check_matrix, batch.flip_counts[i], phi=args.phi
+        )
+        labels = " ".join(f"({c.a},{c.b})" for c in clusters) or "-"
+        print(f"  shot {int(i):4d}: oscillation clusters {labels}")
+
+    census = failure_census(
+        problem, MinSumBP(problem, max_iter=args.max_iter),
+        args.shots, np.random.default_rng(args.seed),
+    )
+    print(census)
+    histogram = census.weight_histogram("failed")
+    if histogram:
+        spread = " ".join(f"w{w}:{c}" for w, c in histogram.items())
+        print(f"defeating-error weights: {spread}")
+    return 0
+
+
+def _cmd_stream(args) -> int:
+    from repro import BPSFDecoder, circuit_level_problem
+    from repro.analysis.hardware import HardwareLatencyModel
+    from repro.sim import run_streaming
+
+    problem = circuit_level_problem(args.code, args.p, rounds=args.rounds)
+    decoder = BPSFDecoder(
+        problem, max_iter=100, phi=50, w_max=6, n_s=5,
+        strategy="sampled", seed=args.seed,
+    )
+    hardware = HardwareLatencyModel()
+    rng = np.random.default_rng(args.seed)
+    report = run_streaming(
+        problem, decoder, args.shots, rng, hardware=hardware
+    )
+    print(f"{problem.name}: arrival period "
+          f"{hardware.syndrome_budget_us(problem.rounds):.1f} us")
+    print(report)
+    print(f"worst response {report.worst_response:.2f} us, "
+          f"mean wait {report.mean_wait:.3f} us")
+    return 0
+
+
+def _cmd_hardware(args) -> int:
+    from repro.analysis.hardware import HardwareLatencyModel
+
+    model = HardwareLatencyModel(
+        iteration_ns=args.iteration_ns, round_time_us=args.round_time_us
+    )
+    worst = model.worst_case_us(args.initial_iters, args.trial_iters)
+    print(f"BP iteration latency : {model.iteration_ns:.0f} ns")
+    print(f"round time           : {model.round_time_us:.1f} us")
+    print(f"worst-case decode    : {worst:.2f} us "
+          f"({args.initial_iters}+{args.trial_iters} iterations)")
+    for rounds in (6, 12, 18):
+        budget = model.syndrome_budget_us(rounds)
+        verdict = "real-time" if worst <= budget else "TOO SLOW"
+        print(f"d={rounds:2d} budget {budget:5.1f} us -> {verdict}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="BP-SF reproduction command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("codes", help="list registered codes")
+
+    run = sub.add_parser("run", help="run experiments by id")
+    run.add_argument("experiments", nargs="+",
+                     help="experiment ids (e.g. fig5 tab1) or 'all'")
+
+    decode = sub.add_parser("decode", help="decode demo on one code")
+    decode.add_argument("code", help="registry name, e.g. bb_144_12_12")
+    decode.add_argument("--p", type=float, default=0.05,
+                        help="physical error rate (default 0.05)")
+    decode.add_argument("--shots", type=int, default=20)
+    decode.add_argument("--seed", type=int, default=0)
+
+    analyze = sub.add_parser(
+        "analyze", help="Tanner-graph and oscillation-cluster census"
+    )
+    analyze.add_argument("code", help="registry name")
+    analyze.add_argument("--p", type=float, default=0.08)
+    analyze.add_argument("--shots", type=int, default=300)
+    analyze.add_argument("--max-iter", type=int, default=50)
+    analyze.add_argument("--phi", type=int, default=16)
+    analyze.add_argument("--max-reports", type=int, default=5)
+    analyze.add_argument("--seed", type=int, default=0)
+
+    stream = sub.add_parser(
+        "stream", help="streaming-queue simulation (hardware model)"
+    )
+    stream.add_argument("code", help="registry name")
+    stream.add_argument("--p", type=float, default=2e-3)
+    stream.add_argument("--rounds", type=int, default=6)
+    stream.add_argument("--shots", type=int, default=100)
+    stream.add_argument("--seed", type=int, default=0)
+
+    hardware = sub.add_parser(
+        "hardware", help="real-time latency budget (Sec. VI discussion)"
+    )
+    hardware.add_argument("--iteration-ns", type=float, default=20.0)
+    hardware.add_argument("--round-time-us", type=float, default=1.0)
+    hardware.add_argument("--initial-iters", type=int, default=100)
+    hardware.add_argument("--trial-iters", type=int, default=100)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "codes": _cmd_codes,
+        "run": _cmd_run,
+        "decode": _cmd_decode,
+        "analyze": _cmd_analyze,
+        "stream": _cmd_stream,
+        "hardware": _cmd_hardware,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

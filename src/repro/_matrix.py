@@ -1,0 +1,38 @@
+"""Shared sparse-matrix helpers for GF(2) syndrome arithmetic."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["to_csr", "mod2_right_mul"]
+
+
+def to_csr(mat) -> sp.csr_matrix:
+    """Coerce a dense or sparse binary matrix to int32 CSR.
+
+    int32 storage makes products accumulate without overflow before the
+    mod-2 reduction.
+    """
+    if sp.issparse(mat):
+        out = mat.tocsr().astype(np.int32)
+    else:
+        out = sp.csr_matrix(np.asarray(mat, dtype=np.int32))
+    out.data %= 2
+    out.eliminate_zeros()
+    return out
+
+
+def mod2_right_mul(vectors, mat: sp.csr_matrix) -> np.ndarray:
+    """Compute ``vectors @ mat.T (mod 2)`` for batched row vectors.
+
+    ``vectors`` has shape ``(batch, n)`` (or ``(n,)``); ``mat`` is
+    ``(m, n)``.  Returns uint8 of shape ``(batch, m)`` (or ``(m,)``).
+    """
+    arr = np.asarray(vectors)
+    squeeze = arr.ndim == 1
+    if squeeze:
+        arr = arr[None, :]
+    product = mat.dot(arr.T.astype(np.int32))
+    result = (np.asarray(product.T) % 2).astype(np.uint8)
+    return result[0] if squeeze else result

@@ -1,0 +1,44 @@
+"""Behavioural analyses reproducing the paper's measurement studies."""
+
+from repro.analysis.complexity import ComplexityPoint, complexity_sweep
+from repro.analysis.failures import FailureCensus, failure_census
+from repro.analysis.hardware import HardwareLatencyModel, RealTimeReport
+from repro.analysis.iterations import IterationProfile, iteration_profile
+from repro.analysis.latency import ScalingPoint, latency_scaling
+from repro.analysis.oscillation import (
+    OscillationStats,
+    oscillation_precision_recall,
+)
+from repro.analysis.trapping_sets import (
+    TrappingSetCandidate,
+    count_four_cycles,
+    degenerate_mechanisms,
+    girth,
+    oscillation_clusters,
+    redundant_checks,
+    tanner_graph,
+    trapping_set_signature,
+)
+
+__all__ = [
+    "ComplexityPoint",
+    "complexity_sweep",
+    "FailureCensus",
+    "failure_census",
+    "HardwareLatencyModel",
+    "RealTimeReport",
+    "IterationProfile",
+    "iteration_profile",
+    "ScalingPoint",
+    "latency_scaling",
+    "OscillationStats",
+    "oscillation_precision_recall",
+    "TrappingSetCandidate",
+    "count_four_cycles",
+    "degenerate_mechanisms",
+    "girth",
+    "oscillation_clusters",
+    "redundant_checks",
+    "tanner_graph",
+    "trapping_set_signature",
+]

@@ -1,0 +1,59 @@
+"""Complexity-growth study (paper Fig. 12).
+
+For each decoder configuration, measure the achieved logical error rate
+per round together with the average and worst-case *serial-equivalent*
+iteration counts.  Sweeping the iteration budget (plain BP) or the
+trial-sampling intensity ``n_s`` (BP-SF) traces the paper's
+linear-then-cliff curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.decoders.base import Decoder
+from repro.problem import DecodingProblem
+from repro.sim.monte_carlo import run_ler
+
+__all__ = ["ComplexityPoint", "complexity_sweep"]
+
+
+@dataclass(frozen=True)
+class ComplexityPoint:
+    """One point on a complexity-growth curve."""
+
+    label: str
+    ler_round: float
+    avg_iterations: float
+    worst_iterations: int
+    avg_parallel_iterations: float
+    shots: int
+
+
+def complexity_sweep(
+    problem: DecodingProblem,
+    decoders: dict[str, Decoder],
+    shots: int,
+    rng: np.random.Generator,
+    *,
+    batch_size: int = 128,
+) -> list[ComplexityPoint]:
+    """Run each decoder and collect (LER/round, iteration) points."""
+    points = []
+    for label, decoder in decoders.items():
+        result = run_ler(
+            problem, decoder, shots, rng, batch_size=batch_size
+        )
+        points.append(
+            ComplexityPoint(
+                label=label,
+                ler_round=result.ler_round,
+                avg_iterations=result.avg_iterations,
+                worst_iterations=result.worst_iterations,
+                avg_parallel_iterations=result.avg_parallel_iterations,
+                shots=result.shots,
+            )
+        )
+    return points

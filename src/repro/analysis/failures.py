@@ -1,0 +1,130 @@
+"""Decoding-failure census: what kind of errors defeat a decoder?
+
+The paper's Fig. 5 discussion attributes the BP/BP-OSD error floor on
+the [[154,6,16]] code to "low-weight (e.g., weight-3) errors that fall
+into trapping sets", and BP-SF's win to rescuing exactly those shots.
+This module measures that claim: decode a sample, split the shots into
+outcome classes, and report the *injected error weight* distribution
+per class.
+
+Outcome classes per shot:
+
+* ``ok`` — converged, no logical flip;
+* ``logical`` — converged to a wrong coset (silent logical error);
+* ``unconverged`` — no syndrome-satisfying output inside the budget.
+
+A decoder with an error floor shows ``unconverged``/``logical`` mass
+at *small* injected weights — errors the code could easily correct,
+lost to decoder dynamics rather than to information-theoretic limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.decoders.base import Decoder
+from repro.problem import DecodingProblem
+
+__all__ = ["FailureCensus", "failure_census"]
+
+
+@dataclass
+class FailureCensus:
+    """Outcome classes and their injected-error-weight statistics."""
+
+    shots: int
+    weights_ok: np.ndarray = field(repr=False)
+    weights_logical: np.ndarray = field(repr=False)
+    weights_unconverged: np.ndarray = field(repr=False)
+
+    @property
+    def n_ok(self) -> int:
+        """Shots decoded to the correct coset."""
+        return self.weights_ok.size
+
+    @property
+    def n_logical(self) -> int:
+        """Shots converged to a wrong coset (silent failures)."""
+        return self.weights_logical.size
+
+    @property
+    def n_unconverged(self) -> int:
+        """Shots with no syndrome-satisfying output."""
+        return self.weights_unconverged.size
+
+    @property
+    def failure_rate(self) -> float:
+        """Total logical failure rate (silent + unconverged)."""
+        return (self.n_logical + self.n_unconverged) / self.shots
+
+    def min_failure_weight(self) -> int | None:
+        """Smallest injected error weight that defeated the decoder.
+
+        Low values relative to the code distance diagnose an error
+        floor caused by decoder dynamics (trapping sets), not by the
+        code itself.
+        """
+        failed = np.concatenate(
+            [self.weights_logical, self.weights_unconverged]
+        )
+        if failed.size == 0:
+            return None
+        return int(failed.min())
+
+    def weight_histogram(self, which: str = "failed") -> dict[int, int]:
+        """Histogram of injected weights for one outcome class."""
+        arrays = {
+            "ok": self.weights_ok,
+            "logical": self.weights_logical,
+            "unconverged": self.weights_unconverged,
+            "failed": np.concatenate(
+                [self.weights_logical, self.weights_unconverged]
+            ),
+        }
+        try:
+            values = arrays[which]
+        except KeyError:
+            raise ValueError(
+                f"unknown class {which!r}; one of {sorted(arrays)}"
+            ) from None
+        unique, counts = np.unique(values, return_counts=True)
+        return {int(w): int(c) for w, c in zip(unique, counts)}
+
+    def __str__(self) -> str:
+        floor = self.min_failure_weight()
+        return (
+            f"census over {self.shots} shots: {self.n_ok} ok, "
+            f"{self.n_logical} logical, {self.n_unconverged} unconverged"
+            + (f"; lightest defeating error weight {floor}"
+               if floor is not None else "")
+        )
+
+
+def failure_census(
+    problem: DecodingProblem,
+    decoder: Decoder,
+    shots: int,
+    rng: np.random.Generator,
+) -> FailureCensus:
+    """Decode sampled shots and bin them by outcome and error weight."""
+    if shots < 1:
+        raise ValueError("shots must be positive")
+    errors = problem.sample_errors(shots, rng)
+    syndromes = problem.syndromes(errors)
+    results = decoder.decode_batch(syndromes)
+    estimates = np.stack([r.error for r in results])
+    failed = problem.is_failure(errors, estimates)
+    converged = np.asarray([r.converged for r in results])
+    weights = errors.sum(axis=1).astype(np.int64)
+
+    ok = converged & ~failed
+    logical = converged & failed
+    unconverged = ~converged
+    return FailureCensus(
+        shots=shots,
+        weights_ok=weights[ok],
+        weights_logical=weights[logical],
+        weights_unconverged=weights[unconverged],
+    )

@@ -1,0 +1,132 @@
+"""Hardware (FPGA/ASIC) latency budget model — paper Sec. VI Discussion.
+
+The paper argues BP-SF suits dedicated hardware: with a BP iteration
+latency of ~20 ns (Valls et al. [28]) and full parallelisation of the
+trial stage, the worst case is 100 initial + 100 trial iterations =
+**200 iterations ≈ 4 µs**, comfortably inside the syndrome budget of a
+superconducting device that extracts one syndrome per ~1 µs round and
+runs ``d`` rounds per decoding cycle.
+
+:class:`HardwareLatencyModel` makes that arithmetic a first-class
+object: it converts the iteration accounting carried by every
+:class:`~repro.decoders.base.DecodeResult` into modelled on-chip
+latency, and checks the real-time condition for a memory experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.decoders.base import DecodeResult
+
+__all__ = ["HardwareLatencyModel", "RealTimeReport"]
+
+
+@dataclass(frozen=True)
+class RealTimeReport:
+    """Outcome of a real-time feasibility check (one decoder/problem).
+
+    Attributes
+    ----------
+    budget_us:
+        Time between successive decoding tasks (``rounds x
+        round_time_us``) — the paper's syndrome-extraction budget.
+    worst_latency_us / mean_latency_us:
+        Modelled on-chip decode latency over the measured shots.
+    real_time:
+        Whether the *worst* observed latency fits the budget, i.e. no
+        backlog can build up (Terhal's data-backlog criterion [25]).
+    headroom:
+        ``budget / worst_latency`` — how many times faster than
+        required the decoder runs (>= 1 means real-time capable).
+    """
+
+    budget_us: float
+    worst_latency_us: float
+    mean_latency_us: float
+    real_time: bool
+    headroom: float
+
+    def __str__(self) -> str:
+        verdict = "real-time" if self.real_time else "TOO SLOW"
+        return (
+            f"worst {self.worst_latency_us:.2f} us / budget "
+            f"{self.budget_us:.2f} us -> {verdict} "
+            f"(headroom {self.headroom:.1f}x)"
+        )
+
+
+@dataclass(frozen=True)
+class HardwareLatencyModel:
+    """Latency parameters of a dedicated BP decoding engine.
+
+    Defaults follow the paper's Discussion: 20 ns per BP iteration
+    (FPGA min-sum, [28]), 1 µs per syndrome-extraction round.
+    ``selection_ns`` charges the candidate-selection + trial-generation
+    stage once per post-processed shot (partial sort + SpMSpV, both
+    shallow hardware pipelines).
+    """
+
+    iteration_ns: float = 20.0
+    round_time_us: float = 1.0
+    selection_ns: float = 100.0
+
+    def decode_latency_us(
+        self, result: DecodeResult, *, parallel: bool = True
+    ) -> float:
+        """Modelled on-chip latency of one decoded shot.
+
+        With ``parallel=True`` (the paper's fully-parallelized design)
+        the trial stage costs one BP budget — ``parallel_iterations``
+        already accounts for that; serially it costs every attempted
+        iteration.
+        """
+        iterations = (
+            result.parallel_iterations if parallel else result.iterations
+        )
+        latency_ns = iterations * self.iteration_ns
+        if result.stage != "initial":
+            latency_ns += self.selection_ns
+        return latency_ns * 1e-3
+
+    def latencies_us(self, results, *, parallel: bool = True) -> np.ndarray:
+        """Vector of modelled latencies for a sequence of results."""
+        return np.asarray(
+            [self.decode_latency_us(r, parallel=parallel) for r in results]
+        )
+
+    def worst_case_us(
+        self, initial_iterations: int, trial_iterations: int
+    ) -> float:
+        """The Discussion's closed-form bound (fully parallel trials).
+
+        >>> HardwareLatencyModel().worst_case_us(100, 100)
+        4.1
+        """
+        total = initial_iterations + trial_iterations
+        return (total * self.iteration_ns + self.selection_ns) * 1e-3
+
+    def syndrome_budget_us(self, rounds: int) -> float:
+        """Time between decoding tasks: ``d`` rounds of extraction."""
+        if rounds < 1:
+            raise ValueError("rounds must be positive")
+        return rounds * self.round_time_us
+
+    def real_time_report(
+        self, results, rounds: int, *, parallel: bool = True
+    ) -> RealTimeReport:
+        """Check the real-time condition over measured decode results."""
+        latencies = self.latencies_us(results, parallel=parallel)
+        if latencies.size == 0:
+            raise ValueError("no decode results supplied")
+        budget = self.syndrome_budget_us(rounds)
+        worst = float(latencies.max())
+        return RealTimeReport(
+            budget_us=budget,
+            worst_latency_us=worst,
+            mean_latency_us=float(latencies.mean()),
+            real_time=worst <= budget,
+            headroom=budget / worst if worst > 0 else float("inf"),
+        )

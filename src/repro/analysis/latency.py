@@ -1,0 +1,60 @@
+"""Latency scaling across code sizes (paper Fig. 13).
+
+Measures the average per-syndrome decode time of BP-SF and BP-OSD as
+the number of error mechanisms grows, along with the post-processing
+stage latency conditioned on initial-BP failure (the dashed lines in
+the paper's figure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.decoders.base import Decoder
+from repro.problem import DecodingProblem
+from repro.sim.timing import measure_latency
+
+__all__ = ["ScalingPoint", "latency_scaling"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """Latency of one decoder on one code size."""
+
+    code_name: str
+    n_mechanisms: int
+    decoder_name: str
+    avg_seconds: float
+    max_seconds: float
+    post_avg_seconds: float | None
+
+
+def latency_scaling(
+    problems: list[DecodingProblem],
+    decoder_factory,
+    shots: int,
+    rng: np.random.Generator,
+) -> list[ScalingPoint]:
+    """Measure decode latency for one decoder family across problems.
+
+    ``decoder_factory(problem) -> Decoder`` builds the decoder for each
+    problem (sizes differ, so decoders cannot be shared).
+    """
+    points = []
+    for problem in problems:
+        decoder: Decoder = decoder_factory(problem)
+        result = measure_latency(problem, decoder, shots, rng)
+        post = result.post_summary
+        points.append(
+            ScalingPoint(
+                code_name=problem.name,
+                n_mechanisms=problem.n_mechanisms,
+                decoder_name=result.decoder_name,
+                avg_seconds=result.summary.mean,
+                max_seconds=result.summary.maximum,
+                post_avg_seconds=None if post is None else post.mean,
+            )
+        )
+    return points

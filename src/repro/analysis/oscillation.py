@@ -1,0 +1,85 @@
+"""Oscillation precision/recall analysis (paper Fig. 3, Eqs. 9-10).
+
+For BP decoding *failures*, how well does the set ``Φ`` of the most
+frequently oscillating bits localise the true error?
+
+* precision = |supp(e) ∩ Φ| / |Φ|
+* recall    = |supp(e) ∩ Φ| / |supp(e)|
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.decoders.bp import MinSumBP
+from repro.decoders.trial_vectors import top_oscillating_bits
+from repro.problem import DecodingProblem
+
+__all__ = ["OscillationStats", "oscillation_precision_recall"]
+
+
+@dataclass(frozen=True)
+class OscillationStats:
+    """Average hit precision/recall over collected BP failures."""
+
+    precision: float
+    recall: float
+    failures_analyzed: int
+    phi: int
+    mean_error_weight: float
+
+
+def oscillation_precision_recall(
+    problem: DecodingProblem,
+    rng: np.random.Generator,
+    *,
+    phi: int = 50,
+    max_iter: int = 50,
+    target_failures: int = 100,
+    max_shots: int = 20000,
+    batch_size: int = 256,
+) -> OscillationStats:
+    """Collect BP failures and score oscillation-based candidate sets.
+
+    Mirrors the paper's Fig. 3 methodology: min-sum BP capped at
+    ``max_iter`` iterations, top-``phi`` most flipped bits, statistics
+    over decoding failures only.
+    """
+    bp = MinSumBP(problem, max_iter=max_iter, track_oscillations=True)
+    precisions: list[float] = []
+    recalls: list[float] = []
+    weights: list[int] = []
+    sampled = 0
+    while len(precisions) < target_failures and sampled < max_shots:
+        errors = problem.sample_errors(batch_size, rng)
+        syndromes = problem.syndromes(errors)
+        batch = bp.decode_many(syndromes)
+        sampled += batch_size
+        for i in np.nonzero(~batch.converged)[0]:
+            support = set(np.nonzero(errors[i])[0].tolist())
+            if not support:
+                continue
+            candidates = set(
+                top_oscillating_bits(
+                    batch.flip_counts[i], phi, batch.marginals[i]
+                ).tolist()
+            )
+            hits = len(support & candidates)
+            precisions.append(hits / len(candidates))
+            recalls.append(hits / len(support))
+            weights.append(len(support))
+            if len(precisions) >= target_failures:
+                break
+    if not precisions:
+        raise RuntimeError(
+            "no BP failures collected; raise max_shots or the error rate"
+        )
+    return OscillationStats(
+        precision=float(np.mean(precisions)),
+        recall=float(np.mean(recalls)),
+        failures_analyzed=len(precisions),
+        phi=phi,
+        mean_error_weight=float(np.mean(weights)),
+    )

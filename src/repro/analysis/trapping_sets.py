@@ -1,0 +1,223 @@
+"""Tanner-graph structure and trapping-set analysis.
+
+The paper attributes BP's failures on qLDPC codes to degeneracy and
+trapping sets (Sec. I, III-B; Raveendran & Vasić [20]), and explains
+the [[288,12,18]] flooding-vs-layered gap by *symmetric* trapping sets
+(Sec. V-B).  This module provides the graph-theoretic tools used to
+talk about those phenomena concretely:
+
+* Tanner graph construction, girth and 4-cycle census — short cycles
+  are the combinatorial fuel of trapping sets;
+* degenerate-mechanism detection — identical columns of ``H`` are
+  indistinguishable to any syndrome decoder, the code-level source of
+  the paper's degeneracy discussion;
+* ``(a, b)`` trapping-set signatures of oscillating-bit clusters — the
+  standard label of Raveendran & Vasić: ``a`` variables inducing ``b``
+  odd-degree checks.  Clustering the most-oscillating bits of a failed
+  BP run localises the structures BP-SF's candidate set targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+import scipy.sparse as sp
+
+from repro._matrix import to_csr
+
+__all__ = [
+    "TrappingSetCandidate",
+    "tanner_graph",
+    "girth",
+    "count_four_cycles",
+    "degenerate_mechanisms",
+    "redundant_checks",
+    "trapping_set_signature",
+    "oscillation_clusters",
+]
+
+
+def tanner_graph(check_matrix) -> nx.Graph:
+    """Bipartite Tanner graph: checks ``c0..`` vs variables ``v0..``.
+
+    Node attribute ``bipartite`` is 0 for checks and 1 for variables,
+    following networkx's bipartite convention.
+    """
+    h = to_csr(check_matrix).tocoo()
+    graph = nx.Graph()
+    graph.add_nodes_from(
+        (f"c{i}" for i in range(h.shape[0])), bipartite=0
+    )
+    graph.add_nodes_from(
+        (f"v{j}" for j in range(h.shape[1])), bipartite=1
+    )
+    graph.add_edges_from(
+        (f"c{i}", f"v{j}") for i, j in zip(h.row, h.col)
+    )
+    return graph
+
+
+def girth(check_matrix) -> float:
+    """Length of the shortest cycle of the Tanner graph.
+
+    Bipartite graphs only have even cycles, so the result is 4, 6,
+    8, ... or ``inf`` for a forest.
+    """
+    graph = tanner_graph(check_matrix)
+    try:
+        return float(nx.girth(graph))
+    except AttributeError:  # networkx < 3.3 fallback
+        shortest = float("inf")
+        for edge in graph.edges:
+            graph.remove_edge(*edge)
+            try:
+                alt = nx.shortest_path_length(graph, *edge)
+                shortest = min(shortest, alt + 1)
+            except nx.NetworkXNoPath:
+                pass
+            graph.add_edge(*edge)
+        return shortest
+
+
+def count_four_cycles(check_matrix) -> int:
+    """Number of 4-cycles (two checks sharing two variables).
+
+    Uses the overlap formula ``sum_{i<j} C(|N(c_i) ∩ N(c_j)|, 2)``
+    over the check Gram matrix — exact and fast even for circuit-level
+    matrices with tens of thousands of columns.
+    """
+    h = to_csr(check_matrix).astype(np.int64)
+    gram = (h @ h.T).toarray()
+    np.fill_diagonal(gram, 0)
+    upper = np.triu(gram)
+    return int((upper * (upper - 1) // 2).sum())
+
+
+def degenerate_mechanisms(check_matrix) -> list[np.ndarray]:
+    """Groups of identical columns of ``H`` (size >= 2).
+
+    Mechanisms in one group produce identical syndromes and are
+    therefore indistinguishable to *any* syndrome decoder — the
+    matrix-level face of quantum degeneracy.  Sorted by first member.
+    """
+    h = to_csr(check_matrix).tocsc()
+    signatures: dict[bytes, list[int]] = {}
+    for j in range(h.shape[1]):
+        key = h.indices[h.indptr[j]: h.indptr[j + 1]].tobytes()
+        signatures.setdefault(key, []).append(j)
+    groups = [
+        np.asarray(cols, dtype=np.intp)
+        for cols in signatures.values()
+        if len(cols) >= 2
+    ]
+    return sorted(groups, key=lambda g: int(g[0]))
+
+
+def redundant_checks(check_matrix) -> list[np.ndarray]:
+    """Groups of identical rows of ``H`` (size >= 2)."""
+    h = to_csr(check_matrix)
+    signatures: dict[bytes, list[int]] = {}
+    for i in range(h.shape[0]):
+        key = h.indices[h.indptr[i]: h.indptr[i + 1]].tobytes()
+        signatures.setdefault(key, []).append(i)
+    groups = [
+        np.asarray(rows, dtype=np.intp)
+        for rows in signatures.values()
+        if len(rows) >= 2
+    ]
+    return sorted(groups, key=lambda g: int(g[0]))
+
+
+@dataclass(frozen=True)
+class TrappingSetCandidate:
+    """An ``(a, b)`` trapping-set candidate found in a failed BP run.
+
+    ``a`` variables induce a subgraph in which ``b`` checks have odd
+    degree; classic notation of Raveendran & Vasić [20].  Candidates
+    with small ``b`` relative to ``a`` are the stalls BP cannot resolve
+    (``b = 0`` would be a stabilizer/codeword support).
+    """
+
+    variables: tuple[int, ...]
+    odd_checks: tuple[int, ...]
+    even_checks: tuple[int, ...]
+
+    @property
+    def a(self) -> int:
+        """Number of variables in the candidate set."""
+        return len(self.variables)
+
+    @property
+    def b(self) -> int:
+        """Number of odd-degree induced checks."""
+        return len(self.odd_checks)
+
+    @property
+    def signature(self) -> tuple[int, int]:
+        """The ``(a, b)`` label."""
+        return (self.a, self.b)
+
+    def __str__(self) -> str:
+        return f"({self.a},{self.b}) candidate on vars {self.variables}"
+
+
+def trapping_set_signature(check_matrix, variables) -> TrappingSetCandidate:
+    """Compute the ``(a, b)`` signature of a variable set."""
+    h = to_csr(check_matrix)
+    variables = sorted(int(v) for v in np.asarray(variables).reshape(-1))
+    if not variables:
+        raise ValueError("variable set must be non-empty")
+    indicator = np.zeros(h.shape[1], dtype=np.int64)
+    indicator[variables] = 1
+    degrees = np.asarray(h @ indicator).reshape(-1)
+    touched = np.nonzero(degrees)[0]
+    odd = tuple(int(c) for c in touched[degrees[touched] % 2 == 1])
+    even = tuple(int(c) for c in touched[degrees[touched] % 2 == 0])
+    return TrappingSetCandidate(
+        variables=tuple(variables), odd_checks=odd, even_checks=even
+    )
+
+
+def oscillation_clusters(
+    check_matrix,
+    flip_counts,
+    *,
+    phi: int = 20,
+    min_flips: int = 1,
+) -> list[TrappingSetCandidate]:
+    """Cluster the most-oscillating bits into trapping-set candidates.
+
+    The top-``phi`` bits by flip count (with at least ``min_flips``
+    flips) are grouped into connected components of the Tanner
+    subgraph they induce (two bits are connected when they share a
+    check); each component is returned with its ``(a, b)`` signature,
+    sorted by decreasing size.  On BP failures these components
+    localise the oscillation structures that drive BP-SF's candidate
+    selection (paper Sec. III-B).
+    """
+    flips = np.asarray(flip_counts).reshape(-1)
+    h = to_csr(check_matrix)
+    if flips.shape[0] != h.shape[1]:
+        raise ValueError("flip_counts length does not match columns of H")
+    order = np.argsort(-flips, kind="stable")[: int(phi)]
+    chosen = [int(v) for v in order if flips[v] >= min_flips]
+    if not chosen:
+        return []
+
+    # Two chosen variables are adjacent when some check touches both.
+    chosen_set = set(chosen)
+    adjacency = nx.Graph()
+    adjacency.add_nodes_from(chosen)
+    for check in np.unique(sp.find(h[:, chosen])[0]):
+        row = h.indices[h.indptr[check]: h.indptr[check + 1]]
+        members = [int(v) for v in row if int(v) in chosen_set]
+        for a, b in zip(members, members[1:]):
+            adjacency.add_edge(a, b)
+
+    clusters = [
+        trapping_set_signature(h, sorted(component))
+        for component in nx.connected_components(adjacency)
+    ]
+    return sorted(clusters, key=lambda c: (-c.a, c.variables))

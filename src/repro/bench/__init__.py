@@ -1,0 +1,88 @@
+"""Experiment registry: one runner per paper figure/table plus ablations.
+
+See DESIGN.md for the experiment index.  Every runner returns an
+:class:`~repro.bench.tables.ExperimentTable` and saves its rendering
+under ``benchmarks/results/``.
+"""
+
+from repro.bench.ablations import (
+    run_ablation_candidates,
+    run_ablation_damping,
+    run_ablation_first_success,
+    run_ablation_flip_domain,
+)
+from repro.bench.config import bench_rng, full_rounds, scaled_shots
+from repro.bench.extensions import (
+    run_ext_decoder_zoo,
+    run_ext_hardware,
+    run_ext_new_codes,
+    run_ext_streaming,
+    run_ext_trapping,
+)
+from repro.bench.ler_experiments import (
+    ler_experiment,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_fig17a,
+    run_fig17b,
+    run_fig17c,
+)
+from repro.bench.paper_reference import PAPER_REFERENCE
+from repro.bench.perf_experiments import (
+    run_fig2,
+    run_fig3,
+    run_fig12,
+    run_fig13,
+    run_fig14,
+    run_fig15,
+    run_fig16,
+    run_tab1,
+)
+from repro.bench.tables import ExperimentTable, results_dir
+
+ALL_EXPERIMENTS = {
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+    "fig13": run_fig13,
+    "fig14": run_fig14,
+    "fig15": run_fig15,
+    "fig16": run_fig16,
+    "fig17a": run_fig17a,
+    "fig17b": run_fig17b,
+    "fig17c": run_fig17c,
+    "tab1": run_tab1,
+    "ablation_damping": run_ablation_damping,
+    "ablation_candidates": run_ablation_candidates,
+    "ablation_flip_domain": run_ablation_flip_domain,
+    "ablation_first_success": run_ablation_first_success,
+    "ext_decoder_zoo": run_ext_decoder_zoo,
+    "ext_streaming": run_ext_streaming,
+    "ext_hardware": run_ext_hardware,
+    "ext_trapping": run_ext_trapping,
+    "ext_new_codes": run_ext_new_codes,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentTable",
+    "PAPER_REFERENCE",
+    "bench_rng",
+    "full_rounds",
+    "ler_experiment",
+    "results_dir",
+    "scaled_shots",
+    *[f"run_{k}" for k in ALL_EXPERIMENTS],
+]

@@ -1,0 +1,200 @@
+"""Ablation studies for the design choices called out in DESIGN.md.
+
+These go beyond the paper's figures: each isolates one BP-SF design
+decision and measures its contribution on the ``[[154,6,16]]``
+code-capacity workload where post-processing is exercised heavily.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.config import bench_rng, scaled_shots
+from repro.bench.paper_reference import PAPER_REFERENCE
+from repro.bench.tables import ExperimentTable
+from repro.codes import get_code
+from repro.decoders import BPSFDecoder, MinSumBP, PosteriorFlipDecoder
+from repro.noise import code_capacity_problem
+from repro.sim import run_ler
+
+__all__ = [
+    "run_ablation_damping",
+    "run_ablation_candidates",
+    "run_ablation_flip_domain",
+    "run_ablation_first_success",
+]
+
+# Operating point: high enough that plain BP fails on ~10% of shots,
+# so the failure-driven ablations see plenty of post-processing work.
+_P = 0.08
+
+
+def _problem():
+    return code_capacity_problem(get_code("coprime_154_6_16"), _P)
+
+
+def _finish(table: ExperimentTable) -> ExperimentTable:
+    reference = PAPER_REFERENCE.get(table.experiment_id, {})
+    if "claim" in reference:
+        table.notes.append("paper: " + reference["claim"])
+    table.save()
+    return table
+
+
+def run_ablation_damping() -> ExperimentTable:
+    """Adaptive damping (paper) vs fixed vs none, plain BP."""
+    rng = bench_rng("ablation_damping")
+    problem = _problem()
+    shots = scaled_shots(600)
+    table = ExperimentTable(
+        experiment_id="ablation_damping",
+        title=f"Damping schedule ablation, [[154,6,16]] capacity p={_P}",
+        columns=["damping", "conv_rate", "LER", "avg_iters"],
+    )
+    for label, damping in (
+        ("adaptive 1-2^-i", "adaptive"),
+        ("fixed 0.8", 0.8),
+        ("none (1.0)", 1.0),
+    ):
+        decoder = MinSumBP(problem, max_iter=60, damping=damping)
+        errors = problem.sample_errors(shots, rng)
+        syndromes = problem.syndromes(errors)
+        batch = decoder.decode_many(syndromes)
+        ler = problem.is_failure(errors, batch.errors).mean()
+        table.add_row(
+            label, round(float(batch.converged.mean()), 3), float(ler),
+            round(float(batch.iterations.mean()), 1),
+        )
+    return _finish(table)
+
+
+def _random_selector(flip_counts, phi, marginals, rng):
+    n = flip_counts.shape[0]
+    return rng.choice(n, size=min(phi, n), replace=False)
+
+
+def _least_reliable_selector(flip_counts, phi, marginals, rng):
+    order = np.argsort(np.abs(marginals), kind="stable")
+    return order[:phi]
+
+
+def run_ablation_candidates() -> ExperimentTable:
+    """Oscillation-based candidates vs random vs least-|LLR|."""
+    rng = bench_rng("ablation_candidates")
+    problem = _problem()
+    shots = scaled_shots(400)
+    table = ExperimentTable(
+        experiment_id="ablation_candidates",
+        title=f"Candidate selection ablation, [[154,6,16]] p={_P}",
+        columns=["selector", "LER", "conv_rate", "rescued%"],
+    )
+    selectors = {
+        "oscillation (paper)": None,
+        "least |LLR|": _least_reliable_selector,
+        "random": _random_selector,
+    }
+    for label, selector in selectors.items():
+        decoder = BPSFDecoder(
+            problem, max_iter=50, phi=8, w_max=1, strategy="exhaustive",
+            candidate_selector=selector,
+        )
+        mc = run_ler(problem, decoder, shots, rng)
+        attempted = mc.shots - mc.initial_successes
+        rescued = (
+            100.0 * mc.post_processed / attempted if attempted else 100.0
+        )
+        table.add_row(
+            label, mc.ler,
+            round(1.0 - mc.unconverged / mc.shots, 3),
+            round(rescued, 1),
+        )
+    return _finish(table)
+
+
+def run_ablation_flip_domain() -> ExperimentTable:
+    """Syndrome-domain flipping (BP-SF) vs posterior modification.
+
+    The alternatives modify the decoder's soft information on the
+    *original* syndrome — the posterior-modification family ([5], [15])
+    the paper distinguishes itself from — with the same candidate set,
+    trial subsets and first-success rule, so the only difference is the
+    domain in which candidate bits are flipped.
+    """
+    rng = bench_rng("ablation_flip_domain")
+    problem = _problem()
+    shots = scaled_shots(400)
+    bp = MinSumBP(problem, max_iter=50, track_oscillations=True)
+
+    errors = problem.sample_errors(shots, rng)
+    syndromes = problem.syndromes(errors)
+    batch = bp.decode_many(syndromes)
+    failures = np.nonzero(~batch.converged)[0]
+
+    contenders = [
+        ("syndrome flip (BP-SF)", BPSFDecoder(
+            problem, max_iter=50, phi=8, w_max=1, strategy="exhaustive",
+        )),
+        ("posterior erase", PosteriorFlipDecoder(
+            problem, max_iter=50, phi=8, w_max=1, mode="erase",
+        )),
+        ("posterior assert", PosteriorFlipDecoder(
+            problem, max_iter=50, phi=8, w_max=1, mode="assert",
+        )),
+    ]
+    table = ExperimentTable(
+        experiment_id="ablation_flip_domain",
+        title=f"Flip domain ablation on {len(failures)} BP failures, p={_P}",
+        columns=["post-processor", "rescued", "of_failures"],
+    )
+    for label, decoder in contenders:
+        rescued = sum(
+            decoder.decode(syndromes[i]).stage == "post" for i in failures
+        )
+        table.add_row(label, rescued, len(failures))
+    return _finish(table)
+
+
+def run_ablation_first_success() -> ExperimentTable:
+    """First-success return vs best-of-all (min soft weight) selection."""
+    rng = bench_rng("ablation_first_success")
+    problem = _problem()
+    shots = scaled_shots(400)
+    weights = problem.llr_priors()
+    bp = MinSumBP(problem, max_iter=50, track_oscillations=True)
+    sf = BPSFDecoder(problem, max_iter=50, phi=8, w_max=1,
+                     strategy="exhaustive")
+
+    errors = problem.sample_errors(shots, rng)
+    syndromes = problem.syndromes(errors)
+    batch = bp.decode_many(syndromes)
+    failures = np.nonzero(~batch.converged)[0]
+
+    first_fail = 0
+    best_fail = 0
+    compared = 0
+    for i in failures:
+        trials = sf.generate_trials(batch.flip_counts[i], batch.marginals[i])
+        trial_synd = sf.trial_syndromes(syndromes[i], trials)
+        trial_batch = sf.bp_trial.decode_many(trial_synd)
+        winners = np.nonzero(trial_batch.converged)[0]
+        if winners.size == 0:
+            continue
+        compared += 1
+        candidates = []
+        for w in winners:
+            est = trial_batch.errors[w].copy()
+            est[list(trials[w])] ^= 1
+            candidates.append(est)
+        first = candidates[0]
+        best = min(candidates, key=lambda e: float(weights[e == 1].sum()))
+        first_fail += int(problem.is_failure(errors[i], first)[0])
+        best_fail += int(problem.is_failure(errors[i], best)[0])
+
+    table = ExperimentTable(
+        experiment_id="ablation_first_success",
+        title=f"Return-policy ablation on rescued failures, p={_P}",
+        columns=["policy", "logical_failures", "rescued_shots"],
+    )
+    table.add_row("first success (paper)", first_fail, compared)
+    table.add_row("best of all (min weight)", best_fail, compared)
+    return _finish(table)

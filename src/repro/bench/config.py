@@ -1,0 +1,36 @@
+"""Benchmark scaling knobs.
+
+Benchmarks run at laptop scale by default; set ``REPRO_SHOTS_SCALE``
+(e.g. ``REPRO_SHOTS_SCALE=50``) to approach paper-scale statistics with
+the exact same harness.  ``REPRO_FULL_ROUNDS=1`` switches the largest
+circuit-level experiments from their shortened round counts to the
+paper's full ``d`` rounds.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+
+import numpy as np
+
+__all__ = ["scaled_shots", "full_rounds", "bench_rng"]
+
+
+def scaled_shots(base: int, minimum: int = 8) -> int:
+    """Scale a baseline shot count by ``REPRO_SHOTS_SCALE``."""
+    scale = float(os.environ.get("REPRO_SHOTS_SCALE", "1"))
+    return max(minimum, int(base * scale))
+
+
+def full_rounds(code_distance: int, short: int) -> int:
+    """Paper-scale rounds if ``REPRO_FULL_ROUNDS`` is set, else ``short``."""
+    if os.environ.get("REPRO_FULL_ROUNDS", "0") == "1":
+        return code_distance
+    return min(short, code_distance)
+
+
+def bench_rng(experiment_id: str) -> np.random.Generator:
+    """Deterministic per-experiment RNG (stable across processes)."""
+    seed = zlib.crc32(f"repro-bench-{experiment_id}".encode())
+    return np.random.default_rng(seed)

@@ -1,0 +1,320 @@
+"""Extension experiments beyond the paper's figures.
+
+These exercise the repository's related-work decoders and systems
+analyses head-to-head with BP-SF, quantifying claims the paper makes
+only in prose:
+
+* ``ext_decoder_zoo`` — Sec. I positions BP-SF against Mem-BP/Relay-BP,
+  GDG and posterior-modification post-processing; this experiment runs
+  them all on one oscillation-heavy workload.
+* ``ext_streaming`` — the introduction's data-backlog argument [25]:
+  feed a syndrome stream at the device rate into each decoder's
+  hardware-modelled latency and watch the queue.
+* ``ext_hardware`` — the Discussion's real-time budget (20 ns/iteration,
+  1 µs rounds, worst case ≈ 4 µs) applied to measured decode traces.
+* ``ext_trapping`` — the structural story of Sec. III: girth, 4-cycle
+  and degeneracy census per code, plus ``(a, b)`` signatures of the
+  oscillating clusters BP-SF's candidate selection targets.
+* ``ext_new_codes`` — BP vs BP-SF on the Bravyi-et-al. BB codes the
+  paper did not evaluate ([[90,8,10]], [[108,8,10]]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.hardware import HardwareLatencyModel
+from repro.analysis.trapping_sets import (
+    count_four_cycles,
+    degenerate_mechanisms,
+    girth,
+    oscillation_clusters,
+)
+from repro.bench.config import bench_rng, scaled_shots
+from repro.bench.tables import ExperimentTable
+from repro.circuits import circuit_level_problem
+from repro.codes import get_code
+from repro.decoders import (
+    BPOSDDecoder,
+    BPSFDecoder,
+    GDGDecoder,
+    MinSumBP,
+    PerturbedEnsembleBP,
+    PosteriorFlipDecoder,
+    RelayBP,
+)
+from repro.noise import code_capacity_problem
+from repro.sim import run_ler, simulate_stream
+
+__all__ = [
+    "run_ext_decoder_zoo",
+    "run_ext_streaming",
+    "run_ext_hardware",
+    "run_ext_trapping",
+    "run_ext_new_codes",
+]
+
+# Oscillation-heavy operating point shared by the decoder comparisons:
+# the coprime-BB code where the paper's Fig. 5 shows BP struggling.
+_ZOO_CODE = "coprime_154_6_16"
+_ZOO_P = 0.08
+
+
+def _zoo_problem():
+    return code_capacity_problem(get_code(_ZOO_CODE), _ZOO_P)
+
+
+def _zoo_decoders(problem):
+    """The contenders of the Sec. I related-work discussion.
+
+    Every post-processor gets the same 100-iteration initial BP stage
+    as the plain-BP baseline, so the comparison isolates the rescue
+    strategy (Relay-BP's first leg carries its uniform memory term, as
+    in its source paper, and is therefore *near* — not identical to —
+    plain BP).
+    """
+    return [
+        ("BP100", MinSumBP(problem, max_iter=100)),
+        ("BP-SF", BPSFDecoder(
+            problem, max_iter=100, phi=8, w_max=2, strategy="exhaustive",
+        )),
+        ("BP100-OSD10", BPOSDDecoder(problem, max_iter=100, osd_order=10)),
+        ("Relay-BP", RelayBP(
+            problem, leg_iters=100, num_legs=5, seed=7,
+        )),
+        ("GDG", GDGDecoder(
+            problem, max_iter=100, max_depth=4, beam_width=8,
+        )),
+        ("PosteriorFlip", PosteriorFlipDecoder(
+            problem, max_iter=100, phi=8, w_max=2, mode="erase",
+        )),
+        ("PerturbedBP", PerturbedEnsembleBP(
+            problem, max_iter=100, n_attempts=17, spread=0.5, seed=7,
+        )),
+    ]
+
+
+def run_ext_decoder_zoo() -> ExperimentTable:
+    """Decoder-family comparison on one oscillation-heavy workload.
+
+    All post-processors see the same failed-BP regime; the table shows
+    the accuracy/latency trade Sec. I argues in prose: ensembles whose
+    attempts are *independent* (BP-SF, posterior flip, perturbation)
+    have parallel latency near one BP budget, while chained designs
+    (Relay-BP) and tree designs (GDG) pay sequential latency.
+    """
+    rng = bench_rng("ext_decoder_zoo")
+    problem = _zoo_problem()
+    shots = scaled_shots(400)
+    table = ExperimentTable(
+        experiment_id="ext_decoder_zoo",
+        title=(
+            f"Decoder families on {_ZOO_CODE} code capacity, p={_ZOO_P}"
+        ),
+        columns=[
+            "decoder", "LER", "converged", "avg_iters",
+            "avg_parallel_iters", "worst_parallel_iters", "shots",
+        ],
+    )
+    for label, decoder in _zoo_decoders(problem):
+        mc = run_ler(problem, decoder, shots, rng)
+        table.add_row(
+            label,
+            mc.ler,
+            round(1.0 - mc.unconverged / mc.shots, 4),
+            round(mc.avg_iterations, 1),
+            round(mc.avg_parallel_iterations, 1),
+            int(mc.parallel_iterations.max()),
+            mc.shots,
+        )
+    table.notes.append(
+        "paper (Sec. I, prose): independent-attempt post-processing "
+        "(BP-SF) parallelises fully; Relay-BP chains legs sequentially "
+        "and GDG's tree levels serialise - visible in "
+        "avg_parallel_iters/worst_parallel_iters."
+    )
+    table.save()
+    return table
+
+
+def run_ext_streaming() -> ExperimentTable:
+    """Streaming backlog under the hardware latency model.
+
+    Decoders consume a [[144,12,12]]-circuit-noise syndrome stream
+    arriving every ``rounds x 1 us``.  Service times come from the
+    Discussion's hardware model; the BP-OSD row charges the OSD stage
+    a Gaussian-elimination surcharge (packed GF(2) elimination of the
+    ~2k x 9k detector matrix needs ~10^7 word-XORs; at one 64-bit
+    row-operation per 10 ns that is ~100 us) whenever post-processing
+    triggers.  BP-SF's parallel trial stage keeps its worst case near
+    2 BP budgets, so the queue never builds.
+    """
+    rng = bench_rng("ext_streaming")
+    problem = circuit_level_problem("bb_144_12_12", 3e-3, rounds=6)
+    shots = scaled_shots(200)
+    errors = problem.sample_errors(shots, rng)
+    syndromes = problem.syndromes(errors)
+
+    bpsf = BPSFDecoder(
+        problem, max_iter=100, phi=50, w_max=10, n_s=10,
+        strategy="sampled", seed=3,
+    )
+    bposd = BPOSDDecoder(problem, max_iter=100, osd_order=10)
+    hardware = HardwareLatencyModel()
+    osd_surcharge_us = 100.0
+
+    table = ExperimentTable(
+        experiment_id="ext_streaming",
+        title="Streaming queue on bb_144_12_12 circuit noise, p=3e-3",
+        columns=[
+            "decoder", "period_us", "utilisation", "stable",
+            "max_backlog", "mean_wait_us", "worst_response_us",
+        ],
+    )
+    period = hardware.syndrome_budget_us(problem.rounds)
+    for label, decoder, surcharge in (
+        ("BP-SF (parallel trials)", bpsf, 0.0),
+        ("BP100-OSD10", bposd, osd_surcharge_us),
+    ):
+        results = decoder.decode_batch(syndromes)
+        service = hardware.latencies_us(results, parallel=True)
+        post = np.asarray([r.stage != "initial" for r in results])
+        service = service + surcharge * post
+        report = simulate_stream(service, period)
+        table.add_row(
+            label,
+            round(period, 2),
+            round(report.utilisation, 3),
+            report.stable,
+            report.max_backlog,
+            round(report.mean_wait, 3),
+            round(report.worst_response, 2),
+        )
+    table.notes.append(
+        "paper (Sec. I + VI): decoders must keep pace with syndrome "
+        "extraction to avoid data backlog [25]; BP-SF's fully-parallel "
+        "post-processing keeps worst-case latency ~2 BP budgets."
+    )
+    table.save()
+    return table
+
+
+def run_ext_hardware() -> ExperimentTable:
+    """The Discussion's real-time budget check on measured traces.
+
+    Reproduces the claim: with ~20 ns BP iterations and parallel
+    trials, worst-case BP-SF latency is ~4 us (200 iterations), inside
+    the ``d x 1 us`` syndrome budget of every evaluated code.
+    """
+    rng = bench_rng("ext_hardware")
+    hardware = HardwareLatencyModel()
+    shots = scaled_shots(150)
+    table = ExperimentTable(
+        experiment_id="ext_hardware",
+        title="Real-time feasibility (20 ns/iter, 1 us rounds)",
+        columns=[
+            "code", "rounds", "budget_us", "worst_us", "mean_us",
+            "real_time", "headroom",
+        ],
+    )
+    for name, rounds in (("bb_72_12_6", 6), ("bb_144_12_12", 6)):
+        problem = circuit_level_problem(name, 2e-3, rounds=rounds)
+        decoder = BPSFDecoder(
+            problem, max_iter=100, phi=50, w_max=6, n_s=5,
+            strategy="sampled", seed=5,
+        )
+        errors = problem.sample_errors(shots, rng)
+        results = decoder.decode_batch(problem.syndromes(errors))
+        report = hardware.real_time_report(results, rounds=problem.rounds)
+        table.add_row(
+            name,
+            problem.rounds,
+            round(report.budget_us, 1),
+            round(report.worst_latency_us, 2),
+            round(report.mean_latency_us, 2),
+            report.real_time,
+            round(report.headroom, 1),
+        )
+    table.notes.append(
+        "paper (Sec. VI discussion): worst case ~4 us at 200 iterations "
+        "x 20 ns; real-time for d-round budgets."
+    )
+    table.save()
+    return table
+
+
+def run_ext_trapping() -> ExperimentTable:
+    """Tanner-graph structure census behind the oscillation story."""
+    rng = bench_rng("ext_trapping")
+    table = ExperimentTable(
+        experiment_id="ext_trapping",
+        title="Tanner-graph structure census (X-basis code capacity)",
+        columns=[
+            "code", "girth", "four_cycles", "degenerate_cols",
+            "top_cluster_signatures",
+        ],
+    )
+    for name in ("bb_72_12_6", "bb_144_12_12", "coprime_154_6_16"):
+        code = get_code(name)
+        problem = code_capacity_problem(code, 0.08)
+        bp = MinSumBP(problem, max_iter=50, track_oscillations=True)
+        errors = problem.sample_errors(scaled_shots(200), rng)
+        syndromes = problem.syndromes(errors)
+        batch = bp.decode_many(syndromes)
+        failures = np.nonzero(~batch.converged)[0]
+        signatures = "-"
+        if failures.size:
+            clusters = oscillation_clusters(
+                problem.check_matrix, batch.flip_counts[failures[0]],
+                phi=16,
+            )
+            signatures = " ".join(
+                f"({c.a},{c.b})" for c in clusters[:4]
+            ) or "-"
+        table.add_row(
+            name,
+            girth(code.hx),
+            count_four_cycles(code.hx),
+            len(degenerate_mechanisms(problem.check_matrix)),
+            signatures,
+        )
+    table.notes.append(
+        "paper (Sec. III-B): oscillating bits cluster on trapping-set "
+        "structures; (a,b) labels follow Raveendran & Vasic [20]."
+    )
+    table.save()
+    return table
+
+
+def run_ext_new_codes() -> ExperimentTable:
+    """BP vs BP-SF on the BB family members the paper skipped."""
+    rng = bench_rng("ext_new_codes")
+    shots = scaled_shots(600)
+    table = ExperimentTable(
+        experiment_id="ext_new_codes",
+        title="Code capacity on the remaining Bravyi-et-al. BB codes",
+        columns=["code", "p", "decoder", "LER", "avg_iters", "shots"],
+    )
+    for name in ("bb_90_8_10", "bb_108_8_10"):
+        for p in (0.04, 0.08):
+            problem = code_capacity_problem(get_code(name), p)
+            decoders = [
+                ("BP100", MinSumBP(problem, max_iter=100)),
+                ("BP-SF", BPSFDecoder(
+                    problem, max_iter=50, phi=8, w_max=1,
+                    strategy="exhaustive",
+                )),
+            ]
+            for label, decoder in decoders:
+                mc = run_ler(problem, decoder, shots, rng)
+                table.add_row(
+                    name, p, label, mc.ler,
+                    round(mc.avg_iterations, 1), mc.shots,
+                )
+    table.notes.append(
+        "extension: the paper's Fig. 17 pattern (BP-SF matches or beats "
+        "plain BP wherever BP struggles) on the unevaluated family "
+        "members."
+    )
+    table.save()
+    return table

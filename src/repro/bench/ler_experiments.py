@@ -1,0 +1,335 @@
+"""Logical-error-rate experiments (paper Figs. 5-11 and 17).
+
+Each ``run_*`` function regenerates one figure as a text table of
+(p, decoder, LER, LER/round) rows at benchmark scale.  Budgets are
+shortened relative to the paper (BP1000 -> BP300 etc.) to keep the
+default run in CI time; ``REPRO_SHOTS_SCALE`` and ``REPRO_FULL_ROUNDS``
+restore paper scale with the same harness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.bench.config import bench_rng, full_rounds, scaled_shots
+from repro.bench.paper_reference import PAPER_REFERENCE
+from repro.bench.tables import ExperimentTable
+from repro.circuits import circuit_level_problem
+from repro.codes import get_code
+from repro.decoders import (
+    BPOSDDecoder,
+    BPSFDecoder,
+    LayeredMinSumBP,
+    MinSumBP,
+)
+from repro.noise import code_capacity_problem
+from repro.problem import DecodingProblem
+from repro.sim import run_ler
+
+__all__ = [
+    "ler_experiment",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+    "run_fig11",
+    "run_fig17a",
+    "run_fig17b",
+    "run_fig17c",
+]
+
+DecoderFactory = Callable[[DecodingProblem], object]
+
+
+def ler_experiment(
+    experiment_id: str,
+    title: str,
+    problems: list[tuple[str, float, DecodingProblem]],
+    decoders: dict[str, DecoderFactory],
+    shots: int,
+) -> ExperimentTable:
+    """Generic LER sweep: every decoder on every problem."""
+    rng = bench_rng(experiment_id)
+    table = ExperimentTable(
+        experiment_id=experiment_id,
+        title=title,
+        columns=["code", "p", "decoder", "shots", "fails", "LER",
+                 "LER/round", "avg_it", "post%"],
+    )
+    for code_label, p, problem in problems:
+        for decoder_label, factory in decoders.items():
+            decoder = factory(problem)
+            result = run_ler(problem, decoder, shots, rng)
+            post_pct = 100.0 * result.post_processed / result.shots
+            table.add_row(
+                code_label, p, decoder_label, result.shots, result.failures,
+                result.ler, result.ler_round, result.avg_iterations,
+                round(post_pct, 1),
+            )
+    reference = PAPER_REFERENCE.get(experiment_id, {})
+    if "claim" in reference:
+        table.notes.append("paper: " + reference["claim"])
+    for key, value in reference.get("anchors", {}).items():
+        table.notes.append(f"paper anchor: {key} = {value}")
+    return table
+
+
+def _bp(max_iter: int, **kwargs) -> DecoderFactory:
+    return lambda problem: MinSumBP(problem, max_iter=max_iter, **kwargs)
+
+
+def _bposd(max_iter: int, order: int, **kwargs) -> DecoderFactory:
+    return lambda problem: BPOSDDecoder(
+        problem, max_iter=max_iter, osd_order=order, **kwargs
+    )
+
+
+def _bpsf(**kwargs) -> DecoderFactory:
+    return lambda problem: BPSFDecoder(problem, **kwargs)
+
+
+def run_fig5() -> ExperimentTable:
+    """Fig. 5: coprime-BB [[154,6,16]], code capacity."""
+    code = get_code("coprime_154_6_16")
+    problems = [
+        ("[[154,6,16]]", p, code_capacity_problem(code, p))
+        for p in (0.08, 0.05, 0.03, 0.02)
+    ]
+    decoders = {
+        "BP-SF(BP50,w1,phi8)": _bpsf(max_iter=50, phi=8, w_max=1,
+                                     strategy="exhaustive"),
+        "BP300-OSD10": _bposd(300, 10),
+        "BP300-OSD0": _bposd(300, 0, osd_method="0"),
+        "BP300": _bp(300),
+    }
+    table = ler_experiment(
+        "fig5", "coprime-BB [[154,6,16]] code capacity LER",
+        problems, decoders, scaled_shots(800),
+    )
+    table.notes.append("paper budgets: BP1000; shortened to BP300 here")
+    table.save()
+    return table
+
+
+def run_fig6() -> ExperimentTable:
+    """Fig. 6: BB [[288,12,18]], code capacity."""
+    code = get_code("bb_288_12_18")
+    problems = [
+        ("[[288,12,18]]", p, code_capacity_problem(code, p))
+        for p in (0.1, 0.07, 0.05)
+    ]
+    decoders = {
+        "BP-SF(BP50,w1,phi20)": _bpsf(max_iter=50, phi=20, w_max=1,
+                                      strategy="exhaustive"),
+        "BP300-OSD10": _bposd(300, 10),
+        "BP300": _bp(300),
+    }
+    table = ler_experiment(
+        "fig6", "BB [[288,12,18]] code capacity LER",
+        problems, decoders, scaled_shots(400),
+    )
+    table.save()
+    return table
+
+
+def run_fig7() -> ExperimentTable:
+    """Fig. 7: BB [[144,12,12]], circuit-level noise."""
+    problems = [
+        ("[[144,12,12]]", p, circuit_level_problem("bb_144_12_12", p))
+        for p in (3e-3, 5e-3)
+    ]
+    decoders = {
+        "BP-SF(BP100,w6,phi50,ns5)": _bpsf(
+            max_iter=100, phi=50, w_max=6, n_s=5, strategy="sampled"
+        ),
+        "BP300-OSD10": _bposd(300, 10),
+        "BP300": _bp(300),
+    }
+    table = ler_experiment(
+        "fig7", "BB [[144,12,12]] circuit-level LER per round",
+        problems, decoders, scaled_shots(120),
+    )
+    table.notes.append(
+        "paper: BP1000-OSD10 and BP-SF(ns=10,w=10) variants; shortened "
+        "budgets here, full 12 rounds"
+    )
+    table.save()
+    return table
+
+
+def run_fig8() -> ExperimentTable:
+    """Fig. 8: BB [[288,12,18]], circuit-level noise, layered BP."""
+    rounds = full_rounds(18, 6)
+    problems = [
+        ("[[288,12,18]]", p,
+         circuit_level_problem("bb_288_12_18", p, rounds=rounds))
+        for p in (3e-3,)
+    ]
+    decoders = {
+        "BP-SF layered(BP100,w10,ns10)": _bpsf(
+            max_iter=100, phi=50, w_max=10, n_s=10, strategy="sampled",
+            layered=True,
+        ),
+        "BP-SF flooding(BP100,w10,ns10)": _bpsf(
+            max_iter=100, phi=50, w_max=10, n_s=10, strategy="sampled",
+        ),
+        "BP200-OSD10 layered": _bposd(200, 10, layered=True),
+        "BP200 layered": lambda problem: LayeredMinSumBP(
+            problem, max_iter=200
+        ),
+    }
+    table = ler_experiment(
+        "fig8", "BB [[288,12,18]] circuit-level LER per round (layered)",
+        problems, decoders, scaled_shots(60),
+    )
+    table.notes.append(
+        f"rounds={rounds} (paper: 18; set REPRO_FULL_ROUNDS=1)"
+    )
+    table.save()
+    return table
+
+
+def run_fig9() -> ExperimentTable:
+    """Fig. 9: coprime-BB [[154,6,16]], circuit-level noise."""
+    rounds = full_rounds(16, 8)
+    problems = [
+        ("[[154,6,16]]", p,
+         circuit_level_problem("coprime_154_6_16", p, rounds=rounds))
+        for p in (2e-3, 3e-3)
+    ]
+    decoders = {
+        "BP-SF(BP100,w6,phi50,ns10)": _bpsf(
+            max_iter=100, phi=50, w_max=6, n_s=10, strategy="sampled"
+        ),
+        "BP300-OSD10": _bposd(300, 10),
+        "BP300": _bp(300),
+    }
+    table = ler_experiment(
+        "fig9", "coprime-BB [[154,6,16]] circuit-level LER per round",
+        problems, decoders, scaled_shots(100),
+    )
+    table.notes.append(f"rounds={rounds} (paper: 16)")
+    table.save()
+    return table
+
+
+def run_fig10() -> ExperimentTable:
+    """Fig. 10: coprime-BB [[126,12,10]], circuit-level noise."""
+    problems = [
+        ("[[126,12,10]]", p,
+         circuit_level_problem("coprime_126_12_10", p))
+        for p in (3e-3, 5e-3)
+    ]
+    decoders = {
+        "BP-SF(BP100,w6,phi50,ns5)": _bpsf(
+            max_iter=100, phi=50, w_max=6, n_s=5, strategy="sampled"
+        ),
+        "BP-SF(BP100,w10,phi50,ns10)": _bpsf(
+            max_iter=100, phi=50, w_max=10, n_s=10, strategy="sampled"
+        ),
+        "BP300-OSD10": _bposd(300, 10),
+        "BP300": _bp(300),
+    }
+    table = ler_experiment(
+        "fig10", "coprime-BB [[126,12,10]] circuit-level LER per round",
+        problems, decoders, scaled_shots(120),
+    )
+    table.save()
+    return table
+
+
+def run_fig11() -> ExperimentTable:
+    """Fig. 11: SHYPS [[225,16,8]], circuit-level noise."""
+    problems = [
+        ("[[225,16,8]]", p,
+         circuit_level_problem("shyps_225_16_8", p, rounds=8))
+        for p in (1e-3, 2e-3)
+    ]
+    decoders = {
+        "BP-SF(BP100,w5,phi50,ns5)": _bpsf(
+            max_iter=100, phi=50, w_max=5, n_s=5, strategy="sampled"
+        ),
+        "BP300-OSD10": _bposd(300, 10),
+        "BP300": _bp(300),
+    }
+    table = ler_experiment(
+        "fig11", "SHYPS [[225,16,8]] circuit-level LER per round",
+        problems, decoders, scaled_shots(100),
+    )
+    table.save()
+    return table
+
+
+def run_fig17a() -> ExperimentTable:
+    """Fig. 17a: 'good' BB codes under code capacity."""
+    problems = []
+    for name, label, _phi in (
+        ("bb_72_12_6", "[[72,12,6]]", 4),
+        ("bb_144_12_12", "[[144,12,12]]", 7),
+    ):
+        code = get_code(name)
+        problems.extend(
+            (label, p, code_capacity_problem(code, p))
+            for p in (0.08, 0.05, 0.03)
+        )
+    decoders = {
+        "BP-SF(BP50,w1)": _bpsf(max_iter=50, phi=7, w_max=1,
+                                strategy="exhaustive"),
+        "BP300-OSD10": _bposd(300, 10),
+        "BP300": _bp(300),
+    }
+    table = ler_experiment(
+        "fig17a", "good codes (code capacity): BB 72 & 144",
+        problems, decoders, scaled_shots(500),
+    )
+    table.save()
+    return table
+
+
+def run_fig17b() -> ExperimentTable:
+    """Fig. 17b: 'good' codes under code capacity: coprime-126 & GB-254."""
+    problems = []
+    for name, label in (
+        ("coprime_126_12_10", "[[126,12,10]]"),
+        ("gb_254_28", "[[254,28]]"),
+    ):
+        code = get_code(name)
+        problems.extend(
+            (label, p, code_capacity_problem(code, p))
+            for p in (0.05, 0.03)
+        )
+    decoders = {
+        "BP-SF(BP50,w1,phi13)": _bpsf(max_iter=50, phi=13, w_max=1,
+                                      strategy="exhaustive"),
+        "BP300-OSD10": _bposd(300, 10),
+        "BP300": _bp(300),
+    }
+    table = ler_experiment(
+        "fig17b", "good codes (code capacity): coprime-126 & GB-254",
+        problems, decoders, scaled_shots(350),
+    )
+    table.save()
+    return table
+
+
+def run_fig17c() -> ExperimentTable:
+    """Fig. 17c: BB [[72,12,6]] circuit-level noise."""
+    problems = [
+        ("[[72,12,6]]", p, circuit_level_problem("bb_72_12_6", p))
+        for p in (1e-3, 3e-3)
+    ]
+    decoders = {
+        "BP-SF(BP50,w4,phi20,ns5)": _bpsf(
+            max_iter=50, phi=20, w_max=4, n_s=5, strategy="sampled"
+        ),
+        "BP300-OSD10": _bposd(300, 10),
+        "BP300": _bp(300),
+    }
+    table = ler_experiment(
+        "fig17c", "BB [[72,12,6]] circuit-level LER per round",
+        problems, decoders, scaled_shots(150),
+    )
+    table.save()
+    return table

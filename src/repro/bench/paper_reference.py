@@ -1,0 +1,215 @@
+"""Reference values and claims from the paper, per experiment.
+
+Numeric anchors are read off the published figures (approximate by
+nature); claims are the qualitative statements a reproduction must
+match in *shape*: orderings, crossovers, floors and scaling factors.
+Each benchmark prints the relevant entry next to its measured rows so
+EXPERIMENTS.md can compare side by side.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PAPER_REFERENCE"]
+
+PAPER_REFERENCE: dict[str, dict] = {
+    "fig2": {
+        "claim": (
+            "BP iteration counts are long-tailed: average 8.9 iterations at "
+            "p=0.001 and 28.0 at p=0.002 (max 1000), yet a stubborn fraction "
+            "never converges regardless of budget."
+        ),
+        "anchors": {"avg_iters@p=0.001": 8.9, "avg_iters@p=0.002": 28.0},
+    },
+    "fig3": {
+        "claim": (
+            "Top-50 oscillating bits localise true errors: precision far "
+            "above the physical error rate at every p; recall near 0.8+ at "
+            "low p and falling as p grows (error weight outgrows |Φ|)."
+        ),
+        "anchors": {
+            "precision@p=0.001": 0.28, "recall@p=0.001": 0.84,
+            "precision@p=0.01": 0.45, "recall@p=0.01": 0.35,
+        },
+    },
+    "fig5": {
+        "claim": (
+            "[[154,6,16]] code capacity: BP and BP-OSD hit an error floor "
+            "(weight-3 trapping sets); BP-SF (BP50, wmax=1, |Φ|=8) beats "
+            "both, with no floor down to 1e-6."
+        ),
+        "anchors": {"BP1000 LER@p=0.05": 2e-2, "BP-SF LER@p=0.05": 2e-3},
+    },
+    "fig6": {
+        "claim": (
+            "[[288,12,18]] code capacity: BP-SF (BP50, wmax=1, |Φ|=20) "
+            "matches BP-OSD-10; both far below plain BP."
+        ),
+    },
+    "fig7": {
+        "claim": (
+            "[[144,12,12]] circuit noise: BP-SF (BP100, wmax=6..10, |Φ|=50, "
+            "ns=5..10) slightly above but comparable to BP1000-OSD10; both "
+            "clearly below BP1000/BP10000."
+        ),
+        "anchors": {"BP1000-OSD10 LER/rd@p=3e-3": 2.1e-4},
+    },
+    "fig8": {
+        "claim": (
+            "[[288,12,18]] circuit noise with layered BP: BP-SF slightly "
+            "above BP1000-OSD10; flooding BP-SF markedly worse (symmetric "
+            "trapping sets)."
+        ),
+    },
+    "fig9": {
+        "claim": (
+            "[[154,6,16]] circuit noise: BP-SF comparable to BP-OSD at low "
+            "p, between BP and BP-OSD at high p."
+        ),
+    },
+    "fig10": {
+        "claim": (
+            "[[126,12,10]] circuit noise: BP-SF(ns=5) ~ BP-OSD; raising to "
+            "wmax=10, ns=10 nudges below BP-OSD at ~10k iterations."
+        ),
+    },
+    "fig11": {
+        "claim": (
+            "SHYPS [[225,16,8]] circuit noise: BP-SF(wmax=5, ns=5) nearly "
+            "identical LER to BP1000-OSD10 with fewer trials than other "
+            "codes."
+        ),
+    },
+    "fig12": {
+        "claim": (
+            "Iterations vs LER/round at p=3e-3: every decoder has a linear "
+            "region then a cliff; BP-SF postpones the cliff vs plain BP and "
+            "larger wmax extends the linear region at higher cost."
+        ),
+    },
+    "fig13": {
+        "claim": (
+            "Average latency grows with error-mechanism count; BP-SF is "
+            "~0.63x BP-OSD overall on [[288,12,18]] and ~0.1x on the "
+            "post-processing stage alone."
+        ),
+        "anchors": {"mechanisms": [6426, 8784, 12474, 26208]},
+    },
+    "tab1": {
+        "claim": (
+            "BP-OSD latency is non-monotone in BP iterations: too few BP "
+            "iterations invoke costly OSD more often (BP100-OSD10 slower "
+            "than BP400/1000-OSD10 at p=3e-3)."
+        ),
+        "anchors": {
+            "BP100-OSD10 ms": 56.13, "BP1000-OSD10 ms": 36.44,
+            "BP10000-OSD10 ms": 94.94,
+        },
+    },
+    "fig14": {
+        "claim": (
+            "Average decode time vs p: BP-SF tracks BP1000-OSD10 at p=0.001 "
+            "and beats it as p grows; CPU P=8 gives ~1.8x over serial BP-SF "
+            "and approaches the BP100 lower bound; GPU variants flattest."
+        ),
+    },
+    "fig15": {
+        "claim": (
+            "Latency distributions at p=3e-3: BP-OSD bimodal (OSD gap); "
+            "BP-SF long-tailed but compact; tail compresses with P "
+            "(avg 21.0 ms at P=2, 17.8 at P=4, 15.73 at P=8; worst-case "
+            "5.6x better at P=8 vs serial)."
+        ),
+        "anchors": {"BP1000-OSD10 avg ms": 38.61},
+    },
+    "fig16": {
+        "claim": (
+            "GPU estimate: BP-SF lower average than BP-OSD (5.47 vs 7.37 "
+            "ms) but higher max (73.7 vs 39.8 ms) due to serial trial "
+            "decoding."
+        ),
+    },
+    "fig17a": {
+        "claim": (
+            "Code capacity on [[72,12,6]] and [[144,12,12]]: BP alone "
+            "already matches BP-OSD; BP-SF matches both (post-processing "
+            "rarely invoked)."
+        ),
+    },
+    "fig17b": {
+        "claim": (
+            "Code capacity on [[126,12,10]] and [[254,28]]: all three "
+            "decoders overlap."
+        ),
+    },
+    "fig17c": {
+        "claim": (
+            "[[72,12,6]] circuit noise: BP-SF (BP50, wmax=4, |Φ|=20, ns=5) "
+            "overlaps BP1000-OSD10."
+        ),
+    },
+    "ablation_damping": {
+        "claim": (
+            "The adaptive schedule α=1-2^{-i} is the paper's default; "
+            "fixed α or no damping degrades min-sum convergence."
+        ),
+    },
+    "ablation_candidates": {
+        "claim": (
+            "Candidate choice matters: oscillation-based selection should "
+            "rescue more BP failures than random candidates (Sec. III-B's "
+            "precision argument)."
+        ),
+    },
+    "ablation_flip_domain": {
+        "claim": (
+            "Flipping the syndrome (BP-SF) is contrasted against modifying "
+            "posterior information (the [15]-style alternative the paper "
+            "distinguishes itself from in Sec. IV)."
+        ),
+    },
+    "ablation_first_success": {
+        "claim": (
+            "Returning the first valid solution loses nothing vs "
+            "best-of-all selection because degenerate codes make any "
+            "syndrome-satisfying solution almost surely coset-correct "
+            "(Sec. IV)."
+        ),
+    },
+    "ext_decoder_zoo": {
+        "claim": (
+            "Sec. I in prose: BP-SF's speculative attempts are independent "
+            "and fully parallel, unlike Relay-BP's sequential legs and "
+            "GDG's level-by-level decision tree; accuracy is comparable "
+            "while parallel latency stays near one BP budget."
+        ),
+    },
+    "ext_streaming": {
+        "claim": (
+            "Intro ([25]) and Sec. VI: the decoder must keep pace with "
+            "syndrome extraction or the backlog diverges; BP-SF's "
+            "worst-case ~2-BP-budget latency keeps the queue stable."
+        ),
+    },
+    "ext_hardware": {
+        "claim": (
+            "Sec. VI discussion: at ~20 ns per BP iteration and 1 us "
+            "rounds, fully-parallel BP-SF decodes in ~4 us worst case — "
+            "real time for d-round syndrome budgets."
+        ),
+        "anchors": {"worst_case_us": 4.0},
+    },
+    "ext_trapping": {
+        "claim": (
+            "Sec. III-B: BP failures stem from trapping sets / degeneracy; "
+            "oscillating bits cluster on those structures (girth-6, "
+            "4-cycle-free Tanner graphs for the BB family)."
+        ),
+    },
+    "ext_new_codes": {
+        "claim": (
+            "Fig. 17 pattern extended: on codes where plain BP already "
+            "does well BP-SF matches it, and wherever BP struggles BP-SF "
+            "improves on it."
+        ),
+    },
+}

@@ -1,0 +1,327 @@
+"""Performance and behaviour experiments (Figs. 2, 3, 12-16, Table I)."""
+
+from __future__ import annotations
+
+
+from repro.analysis import (
+    complexity_sweep,
+    iteration_profile,
+    latency_scaling,
+    oscillation_precision_recall,
+)
+from repro.bench.config import bench_rng, full_rounds, scaled_shots
+from repro.bench.paper_reference import PAPER_REFERENCE
+from repro.bench.tables import ExperimentTable
+from repro.circuits import circuit_level_problem
+from repro.decoders import (
+    BPOSDDecoder,
+    BPSFDecoder,
+    GPUEstimatedBPOSD,
+    GPUEstimatedBPSF,
+    MinSumBP,
+    ParallelBPSFDecoder,
+)
+from repro.sim import measure_latency, run_ler
+
+__all__ = [
+    "run_fig2",
+    "run_fig3",
+    "run_fig12",
+    "run_fig13",
+    "run_fig14",
+    "run_fig15",
+    "run_fig16",
+    "run_tab1",
+]
+
+
+def _with_reference(table: ExperimentTable) -> ExperimentTable:
+    reference = PAPER_REFERENCE.get(table.experiment_id, {})
+    if "claim" in reference:
+        table.notes.append("paper: " + reference["claim"])
+    for key, value in reference.get("anchors", {}).items():
+        table.notes.append(f"paper anchor: {key} = {value}")
+    table.save()
+    return table
+
+
+def run_fig2() -> ExperimentTable:
+    """Fig. 2: BP non-convergence CDF on [[144,12,12]] circuit noise."""
+    rng = bench_rng("fig2")
+    budgets = [5, 10, 25, 50, 100, 200, 300]
+    table = ExperimentTable(
+        experiment_id="fig2",
+        title="BP iteration distribution, BB [[144,12,12]] circuit noise",
+        columns=["p", "shots", "avg_iters(conv)", *[f">{b}it" for b in budgets]],
+    )
+    for p in (1e-3, 2e-3):
+        problem = circuit_level_problem("bb_144_12_12", p)
+        profile = iteration_profile(
+            problem, rng, shots=scaled_shots(300), max_iter=300
+        )
+        rates = profile.non_convergence_rate(budgets)
+        table.add_row(
+            p, profile.shots, round(profile.average_iterations, 1),
+            *[float(r) for r in rates],
+        )
+    return _with_reference(table)
+
+
+def run_fig3() -> ExperimentTable:
+    """Fig. 3: oscillation precision/recall on [[144,12,12]]."""
+    rng = bench_rng("fig3")
+    table = ExperimentTable(
+        experiment_id="fig3",
+        title="Oscillating-bit precision/recall on BP failures",
+        columns=["p", "failures", "precision", "recall", "mean_err_weight"],
+    )
+    for p in (2e-3, 5e-3, 1e-2):
+        problem = circuit_level_problem("bb_144_12_12", p)
+        stats = oscillation_precision_recall(
+            problem, rng,
+            phi=50, max_iter=50,
+            target_failures=scaled_shots(40, minimum=15),
+            max_shots=scaled_shots(4000),
+        )
+        table.add_row(
+            p, stats.failures_analyzed, round(stats.precision, 3),
+            round(stats.recall, 3), round(stats.mean_error_weight, 1),
+        )
+    return _with_reference(table)
+
+
+def run_fig12() -> ExperimentTable:
+    """Fig. 12: complexity growth (iterations vs LER/round), p=3e-3."""
+    rng = bench_rng("fig12")
+    problem = circuit_level_problem("bb_144_12_12", 3e-3)
+    decoders = {
+        "BP25": MinSumBP(problem, max_iter=25),
+        "BP50": MinSumBP(problem, max_iter=50),
+        "BP100": MinSumBP(problem, max_iter=100),
+        "BP200": MinSumBP(problem, max_iter=200),
+        "BP-SF w1 ns10": BPSFDecoder(problem, max_iter=100, phi=50,
+                                     w_max=1, n_s=10),
+        "BP-SF w5 ns5": BPSFDecoder(problem, max_iter=100, phi=50,
+                                    w_max=5, n_s=5),
+        "BP-SF w10 ns10": BPSFDecoder(problem, max_iter=100, phi=50,
+                                      w_max=10, n_s=10),
+    }
+    points = complexity_sweep(
+        problem, decoders, scaled_shots(120), rng
+    )
+    table = ExperimentTable(
+        experiment_id="fig12",
+        title="Complexity growth on BB [[144,12,12]], p=3e-3",
+        columns=["decoder", "LER/round", "avg_iters", "worst_iters",
+                 "avg_parallel_iters", "shots"],
+    )
+    for point in points:
+        table.add_row(
+            point.label, point.ler_round, round(point.avg_iterations, 1),
+            point.worst_iterations,
+            round(point.avg_parallel_iterations, 1), point.shots,
+        )
+    return _with_reference(table)
+
+
+def _scaling_problems():
+    return [
+        circuit_level_problem("coprime_126_12_10", 3e-3,
+                              rounds=full_rounds(10, 10)),
+        circuit_level_problem("bb_144_12_12", 3e-3,
+                              rounds=full_rounds(12, 12)),
+        circuit_level_problem("coprime_154_6_16", 3e-3,
+                              rounds=full_rounds(16, 8)),
+        circuit_level_problem("bb_288_12_18", 3e-3,
+                              rounds=full_rounds(18, 6)),
+    ]
+
+
+def run_fig13() -> ExperimentTable:
+    """Fig. 13: latency scaling with error-mechanism count.
+
+    Two latency views per decoder:
+
+    * ``wall_*`` — measured wall clock of this numpy implementation
+      (where a BP iteration is comparatively expensive and the
+      packed-GF(2) OSD comparatively cheap);
+    * ``model_*`` — the paper's hardware latency model (GPU-estimate
+      methodology: per-iteration cost + launch overhead, OSD charged
+      its elimination surcharge), the basis of the paper's 0.63x /
+      0.1x claims.
+    """
+    problems = _scaling_problems()
+    shots = scaled_shots(20, minimum=6)
+    table = ExperimentTable(
+        experiment_id="fig13",
+        title="Latency scaling vs number of error mechanisms, p=3e-3",
+        columns=["code", "mechanisms", "decoder", "wall_avg_ms",
+                 "wall_post_ms", "model_avg_ms", "model_post_ms"],
+    )
+
+    def measure(label, factory):
+        # Fresh RNG per decoder family: all see identical shot streams.
+        rng = bench_rng("fig13")
+        for problem in problems:
+            result = measure_latency(problem, factory(problem), shots, rng)
+            wall = result.wall_summary
+            post_wall = result.post_wall_summary
+            model = result.summary
+            post_model = result.post_summary
+            table.add_row(
+                problem.name.split("_circuit")[0],
+                problem.n_mechanisms,
+                label,
+                round(wall.mean * 1e3, 2),
+                "-" if post_wall is None else round(post_wall.mean * 1e3, 2),
+                round(model.mean * 1e3, 3),
+                "-" if post_model is None
+                else round(post_model.mean * 1e3, 3),
+            )
+
+    measure(
+        "BP-SF(BP100,w10,ns10)",
+        lambda pr: GPUEstimatedBPSF(
+            BPSFDecoder(pr, max_iter=100, phi=50, w_max=10, n_s=10)
+        ),
+    )
+    measure(
+        "BP300-OSD10",
+        lambda pr: GPUEstimatedBPOSD(
+            BPOSDDecoder(pr, max_iter=300, osd_order=10)
+        ),
+    )
+    table.notes.append(
+        "wall_* columns reflect the numpy BP core (expensive iterations, "
+        "fast packed-GF2 OSD); model_* columns apply the paper's "
+        "hardware latency model to the same decode traces"
+    )
+    return _with_reference(table)
+
+
+def run_tab1() -> ExperimentTable:
+    """Table I: BP-OSD latency/LER vs BP iteration budget, p=3e-3."""
+    problem = circuit_level_problem("bb_144_12_12", 3e-3)
+    shots = scaled_shots(60, minimum=20)
+    table = ExperimentTable(
+        experiment_id="tab1",
+        title="BP-OSD iterations trade-off on BB [[144,12,12]], p=3e-3",
+        columns=["decoder", "LER/round", "avg_ms", "OSD_invocations"],
+    )
+    for budget in (25, 100, 300):
+        decoder = BPOSDDecoder(problem, max_iter=budget, osd_order=10)
+        mc = run_ler(problem, decoder, shots, bench_rng("tab1"))
+        latency = measure_latency(problem, decoder, shots, bench_rng("tab1t"))
+        table.add_row(
+            f"BP{budget}-OSD10",
+            mc.ler_round,
+            round(latency.summary.mean * 1e3, 2),
+            mc.post_processed,
+        )
+    table.notes.append("paper budgets 100..10000; shortened grid, same shape")
+    return _with_reference(table)
+
+
+def run_fig14() -> ExperimentTable:
+    """Fig. 14: average decode time per syndrome vs physical error rate."""
+    shots = scaled_shots(16, minimum=6)
+    table = ExperimentTable(
+        experiment_id="fig14",
+        title="Average decode time per syndrome, BB [[144,12,12]]",
+        columns=["p", "decoder", "avg_ms", "max_ms"],
+    )
+    for p in (1e-3, 2e-3, 3e-3):
+        problem = circuit_level_problem("bb_144_12_12", p)
+        bpsf = BPSFDecoder(problem, max_iter=100, phi=50, w_max=10, n_s=10)
+        with ParallelBPSFDecoder(
+            problem, processes=4, max_iter=100, phi=50, w_max=10, n_s=10
+        ) as parallel:
+            decoders = {
+                "BP300-OSD10 (CPU)": BPOSDDecoder(problem, max_iter=300,
+                                                  osd_order=10),
+                "BP-SF (CPU)": bpsf,
+                "BP-SF (CPU, P=4)": parallel,
+                "BP100 (CPU)": MinSumBP(problem, max_iter=100),
+                "BP300-OSD10 (GPU est)": GPUEstimatedBPOSD(
+                    BPOSDDecoder(problem, max_iter=300, osd_order=10)
+                ),
+                "BP-SF (GPU est)": GPUEstimatedBPSF(
+                    BPSFDecoder(problem, max_iter=100, phi=50, w_max=10,
+                                n_s=10)
+                ),
+            }
+            for label, decoder in decoders.items():
+                latency = measure_latency(
+                    problem, decoder, shots, bench_rng("fig14")
+                )
+                table.add_row(
+                    p, label,
+                    round(latency.summary.mean * 1e3, 2),
+                    round(latency.summary.maximum * 1e3, 2),
+                )
+    return _with_reference(table)
+
+
+def run_fig15() -> ExperimentTable:
+    """Fig. 15: CPU decode-time distributions at p=3e-3."""
+    problem = circuit_level_problem("bb_144_12_12", 3e-3)
+    shots = scaled_shots(24, minimum=8)
+    table = ExperimentTable(
+        experiment_id="fig15",
+        title="Decode-time distribution, BB [[144,12,12]], p=3e-3",
+        columns=["decoder", "min_ms", "median_ms", "avg_ms", "p90_ms",
+                 "max_ms"],
+    )
+
+    def add(label, decoder):
+        latency = measure_latency(problem, decoder, shots, bench_rng("fig15"))
+        s = latency.summary
+        table.add_row(
+            label, round(s.minimum * 1e3, 2), round(s.median * 1e3, 2),
+            round(s.mean * 1e3, 2), round(s.p90 * 1e3, 2),
+            round(s.maximum * 1e3, 2),
+        )
+
+    add("BP300-OSD10", BPOSDDecoder(problem, max_iter=300, osd_order=10))
+    add("BP-SF serial",
+        BPSFDecoder(problem, max_iter=100, phi=50, w_max=10, n_s=10))
+    for processes in (2, 4, 8):
+        with ParallelBPSFDecoder(
+            problem, processes=processes, max_iter=100, phi=50, w_max=10,
+            n_s=10,
+        ) as parallel:
+            add(f"BP-SF P={processes}", parallel)
+    return _with_reference(table)
+
+
+def run_fig16() -> ExperimentTable:
+    """Fig. 16: GPU-estimate decode-time distributions at p=3e-3."""
+    problem = circuit_level_problem("bb_144_12_12", 3e-3)
+    shots = scaled_shots(40, minimum=12)
+    table = ExperimentTable(
+        experiment_id="fig16",
+        title="GPU-estimate decode-time distribution, p=3e-3",
+        columns=["decoder", "avg_ms", "max_ms", "min_ms"],
+    )
+    decoders = {
+        "BP-SF (GPU_Est)": GPUEstimatedBPSF(
+            BPSFDecoder(problem, max_iter=100, phi=50, w_max=10, n_s=10)
+        ),
+        "BP300-OSD10 (GPU)": GPUEstimatedBPOSD(
+            BPOSDDecoder(problem, max_iter=300, osd_order=10)
+        ),
+        "BP-SF batched (GPU, discussion)": GPUEstimatedBPSF(
+            BPSFDecoder(problem, max_iter=100, phi=50, w_max=10, n_s=10),
+            batched=True,
+        ),
+    }
+    for label, decoder in decoders.items():
+        latency = measure_latency(
+            problem, decoder, shots, bench_rng("fig16")
+        )
+        s = latency.summary
+        table.add_row(
+            label, round(s.mean * 1e3, 3), round(s.maximum * 1e3, 3),
+            round(s.minimum * 1e3, 3),
+        )
+    return _with_reference(table)

@@ -1,0 +1,74 @@
+"""Text tables for experiment results.
+
+Every benchmark renders an :class:`ExperimentTable` — the textual
+equivalent of one paper figure/table — and saves it under
+``benchmarks/results/`` so EXPERIMENTS.md can cite the measured rows.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentTable", "results_dir"]
+
+
+def results_dir() -> str:
+    """Directory where benchmark tables are saved."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    repo_root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    path = os.path.join(repo_root, "benchmarks", "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) < 1e-2 or abs(value) >= 1e4:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class ExperimentTable:
+    """One rendered experiment: columns, rows and free-form notes."""
+
+    experiment_id: str
+    title: str
+    columns: list[str]
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(tuple(values))
+
+    def render(self) -> str:
+        cells = [[_format_cell(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(col), *(len(r[i]) for r in cells)) if cells else len(col)
+            for i, col in enumerate(self.columns)
+        ]
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def save(self) -> str:
+        """Write the rendered table to ``benchmarks/results/<id>.txt``."""
+        path = os.path.join(results_dir(), f"{self.experiment_id}.txt")
+        with open(path, "w") as handle:
+            handle.write(self.render() + "\n")
+        return path

@@ -1,0 +1,38 @@
+"""Circuit-level noise substrate (a self-contained mini-stim).
+
+Pipeline: :func:`build_memory_experiment` produces the noiseless
+syndrome-extraction circuit with detectors and observables;
+:class:`NoiseModel` annotates it with error channels;
+:func:`dem_from_circuit` compiles the result into a
+:class:`DetectorErrorModel` via backward Pauli-sensitivity propagation.
+The CHP tableau simulator cross-validates the propagation in tests.
+"""
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.dem import DetectorErrorModel, dem_from_circuit
+from repro.circuits.gates import Instruction
+from repro.circuits.memory import MemoryExperiment, build_memory_experiment
+from repro.circuits.noise import NoiseModel
+from repro.circuits.pipeline import circuit_level_dem, circuit_level_problem
+from repro.circuits.propagation import Fault, analyze_faults
+from repro.circuits.scheduling import cnot_layers, tanner_graph
+from repro.circuits.tableau import TableauSimulator, run_circuit, sample_circuit
+
+__all__ = [
+    "Circuit",
+    "Instruction",
+    "DetectorErrorModel",
+    "dem_from_circuit",
+    "MemoryExperiment",
+    "build_memory_experiment",
+    "NoiseModel",
+    "circuit_level_dem",
+    "circuit_level_problem",
+    "Fault",
+    "analyze_faults",
+    "cnot_layers",
+    "tanner_graph",
+    "TableauSimulator",
+    "run_circuit",
+    "sample_circuit",
+]

@@ -1,0 +1,154 @@
+"""Circuit container with measurement/detector bookkeeping."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.gates import Instruction, NOISE_CHANNELS
+
+__all__ = ["Circuit"]
+
+
+class Circuit:
+    """An ordered list of :class:`Instruction` with validation helpers.
+
+    The container tracks measurement counts so that ``DETECTOR`` and
+    ``OBSERVABLE_INCLUDE`` instructions can be checked to reference only
+    measurements that already happened.
+    """
+
+    def __init__(self, instructions=()):
+        self._instructions: list[Instruction] = []
+        self._num_measurements = 0
+        self._num_detectors = 0
+        self._observables: set[int] = set()
+        for inst in instructions:
+            self._append_checked(inst)
+
+    # -- construction -------------------------------------------------
+
+    def append(self, name: str, targets=(), arg: float | None = None) -> None:
+        """Append an instruction (validates on the fly)."""
+        self._append_checked(Instruction(name, tuple(targets), arg))
+
+    def _append_checked(self, inst: Instruction) -> None:
+        if inst.name == "DETECTOR":
+            self._check_measurement_refs(inst)
+            self._num_detectors += 1
+        elif inst.name == "OBSERVABLE_INCLUDE":
+            self._check_measurement_refs(inst)
+            self._observables.add(int(inst.arg))
+        elif inst.name == "M":
+            self._num_measurements += len(inst.targets)
+        self._instructions.append(inst)
+
+    def _check_measurement_refs(self, inst: Instruction) -> None:
+        for m in inst.targets:
+            if not 0 <= m < self._num_measurements:
+                raise ValueError(
+                    f"{inst.name} references measurement {m} but only "
+                    f"{self._num_measurements} exist so far"
+                )
+
+    # -- inspection ---------------------------------------------------
+
+    @property
+    def instructions(self) -> tuple[Instruction, ...]:
+        """The instruction sequence (read-only view)."""
+        return tuple(self._instructions)
+
+    @property
+    def num_qubits(self) -> int:
+        """One past the highest qubit index touched by a gate/channel."""
+        highest = -1
+        for inst in self._instructions:
+            if inst.name in ("DETECTOR", "OBSERVABLE_INCLUDE", "TICK"):
+                continue
+            if inst.targets:
+                highest = max(highest, max(inst.targets))
+        return highest + 1
+
+    @property
+    def num_measurements(self) -> int:
+        """Total number of measurement results the circuit produces."""
+        return self._num_measurements
+
+    @property
+    def num_detectors(self) -> int:
+        """Number of ``DETECTOR`` instructions."""
+        return self._num_detectors
+
+    @property
+    def num_observables(self) -> int:
+        """Number of distinct logical observables."""
+        return max(self._observables) + 1 if self._observables else 0
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __iter__(self):
+        return iter(self._instructions)
+
+    def __getitem__(self, idx: int) -> Instruction:
+        return self._instructions[idx]
+
+    def __str__(self) -> str:
+        return "\n".join(str(inst) for inst in self._instructions)
+
+    # -- transforms ---------------------------------------------------
+
+    def without_noise(self) -> "Circuit":
+        """Copy of the circuit with every noise channel removed."""
+        return Circuit(
+            inst for inst in self._instructions
+            if inst.name not in NOISE_CHANNELS
+        )
+
+    # -- semantics helpers ---------------------------------------------
+
+    def detector_matrix(self) -> tuple[np.ndarray, np.ndarray]:
+        """Boolean matrices mapping measurements to detectors/observables.
+
+        Returns ``(det, obs)`` with shapes ``(num_detectors,
+        num_measurements)`` and ``(num_observables, num_measurements)``;
+        a detector/observable value is the parity of its selected
+        measurement bits.
+        """
+        det = np.zeros((self.num_detectors, self.num_measurements), dtype=np.uint8)
+        obs = np.zeros((self.num_observables, self.num_measurements), dtype=np.uint8)
+        d = 0
+        for inst in self._instructions:
+            if inst.name == "DETECTOR":
+                for m in inst.targets:
+                    det[d, m] ^= 1
+                d += 1
+            elif inst.name == "OBSERVABLE_INCLUDE":
+                for m in inst.targets:
+                    obs[int(inst.arg), m] ^= 1
+        return det, obs
+
+    def evaluate_records(self, measurements) -> tuple[np.ndarray, np.ndarray]:
+        """Detector and observable bits for a vector of measurements."""
+        bits = np.asarray(measurements, dtype=np.uint8).reshape(-1)
+        if bits.shape[0] != self.num_measurements:
+            raise ValueError(
+                f"expected {self.num_measurements} measurement bits, got "
+                f"{bits.shape[0]}"
+            )
+        det, obs = self.detector_matrix()
+        return (det @ bits % 2).astype(np.uint8), (obs @ bits % 2).astype(np.uint8)
+
+    def counts(self) -> dict[str, int]:
+        """Histogram of instruction names (handy in tests and repr)."""
+        out: dict[str, int] = {}
+        for inst in self._instructions:
+            out[inst.name] = out.get(inst.name, 0) + 1
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"<Circuit {len(self)} instructions, {self.num_qubits} qubits, "
+            f"{self.num_measurements} measurements, "
+            f"{self.num_detectors} detectors, "
+            f"{self.num_observables} observables>"
+        )

@@ -1,0 +1,138 @@
+"""Detector error models (DEMs).
+
+A DEM is the decoder-facing view of a noisy circuit: a sparse matrix
+mapping *merged* error mechanisms to detectors, a matrix mapping them
+to logical observables, and a prior per mechanism.  Mechanisms with the
+same (detectors, observables) signature are indistinguishable, so their
+probabilities are combined with the odd-parity rule
+
+.. math:: p \\leftarrow p_1 (1 - p_2) + p_2 (1 - p_1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro._matrix import mod2_right_mul, to_csr
+from repro.circuits.circuit import Circuit
+from repro.circuits.propagation import Fault, analyze_faults
+from repro.problem import DecodingProblem
+
+__all__ = ["DetectorErrorModel", "dem_from_circuit"]
+
+
+@dataclass
+class DetectorErrorModel:
+    """Merged fault mechanisms of a noisy circuit."""
+
+    check_matrix: sp.csr_matrix
+    logical_matrix: sp.csr_matrix
+    priors: np.ndarray
+    #: per-mechanism (det_mask, obs_mask) signatures, post-merge
+    signatures: list[tuple[int, int]] = field(repr=False, default_factory=list)
+
+    @property
+    def n_detectors(self) -> int:
+        """Number of detector bits."""
+        return self.check_matrix.shape[0]
+
+    @property
+    def n_mechanisms(self) -> int:
+        """Number of merged error mechanisms."""
+        return self.check_matrix.shape[1]
+
+    @property
+    def n_observables(self) -> int:
+        """Number of logical observables."""
+        return self.logical_matrix.shape[0]
+
+    def sample(
+        self, shots: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sample shots; returns ``(errors, syndromes, observable_flips)``."""
+        errors = (rng.random((shots, self.n_mechanisms)) < self.priors).astype(
+            np.uint8
+        )
+        syndromes = mod2_right_mul(errors, self.check_matrix)
+        observables = mod2_right_mul(errors, self.logical_matrix)
+        return errors, syndromes, observables
+
+    def to_problem(self, name: str = "", rounds: int = 1) -> DecodingProblem:
+        """Package the DEM as a :class:`~repro.problem.DecodingProblem`."""
+        return DecodingProblem(
+            check_matrix=self.check_matrix,
+            priors=self.priors,
+            logical_matrix=self.logical_matrix,
+            name=name or "dem",
+            rounds=rounds,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<DetectorErrorModel {self.n_detectors} detectors x "
+            f"{self.n_mechanisms} mechanisms, "
+            f"{self.n_observables} observables>"
+        )
+
+
+def dem_from_circuit(circuit: Circuit) -> DetectorErrorModel:
+    """Compile a noisy circuit into its detector error model.
+
+    Runs the backward-propagation fault analysis, merges mechanisms by
+    signature and assembles the sparse matrices.  Mechanism order is
+    deterministic: sorted by (first detector, signature).
+    """
+    faults = analyze_faults(circuit)
+    merged = _merge_faults(faults)
+    keys = sorted(
+        merged, key=lambda sig: (_lowest_bit(sig[0]), sig[0], sig[1])
+    )
+
+    n_det = circuit.num_detectors
+    n_obs = circuit.num_observables
+    n_mech = len(keys)
+    priors = np.array([merged[k] for k in keys], dtype=np.float64)
+
+    h = _masks_to_csr([k[0] for k in keys], n_det, n_mech)
+    logical = _masks_to_csr([k[1] for k in keys], n_obs, n_mech)
+    return DetectorErrorModel(
+        check_matrix=h,
+        logical_matrix=logical,
+        priors=priors,
+        signatures=keys,
+    )
+
+
+def _merge_faults(faults: list[Fault]) -> dict[tuple[int, int], float]:
+    merged: dict[tuple[int, int], float] = {}
+    for fault in faults:
+        key = (fault.det_mask, fault.obs_mask)
+        p_old = merged.get(key, 0.0)
+        p_new = fault.probability
+        merged[key] = p_old * (1.0 - p_new) + p_new * (1.0 - p_old)
+    return merged
+
+
+def _lowest_bit(mask: int) -> int:
+    if mask == 0:
+        return 1 << 30
+    return (mask & -mask).bit_length() - 1
+
+
+def _masks_to_csr(masks: list[int], n_rows: int, n_cols: int) -> sp.csr_matrix:
+    rows: list[int] = []
+    cols: list[int] = []
+    for col, mask in enumerate(masks):
+        while mask:
+            low = mask & -mask
+            rows.append(low.bit_length() - 1)
+            cols.append(col)
+            mask ^= low
+    data = np.ones(len(rows), dtype=np.int32)
+    coo = sp.coo_matrix(
+        (data, (rows, cols)), shape=(n_rows, n_cols), dtype=np.int32
+    )
+    return to_csr(coo)

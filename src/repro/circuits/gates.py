@@ -1,0 +1,98 @@
+"""Instruction set of the Clifford circuit IR.
+
+The IR is deliberately small: exactly what a CSS syndrome-extraction
+experiment needs.  Unitary gates are ``H`` and ``CX``; state
+preparation/readout are ``R`` (reset to ``|0>``) and ``M`` (Z-basis
+measurement); noise channels are ``X_ERROR``, ``Z_ERROR``,
+``DEPOLARIZE1`` and ``DEPOLARIZE2``; bookkeeping instructions are
+``TICK``, ``DETECTOR`` and ``OBSERVABLE_INCLUDE``.
+
+Targets of ``DETECTOR`` / ``OBSERVABLE_INCLUDE`` are *absolute
+measurement indices* (0-based, in circuit order), not the relative
+look-back offsets stim uses; absolute indexing keeps the builders and
+the analysis code straightforward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Instruction",
+    "GATE_NAMES",
+    "NOISE_CHANNELS",
+    "TWO_QUBIT_GATES",
+    "UNITARY_GATES",
+]
+
+#: Single-qubit unitaries (targets are independent qubits).
+UNITARY_GATES = frozenset({"H"})
+
+#: Two-qubit gates (targets are flattened (control, target) pairs).
+TWO_QUBIT_GATES = frozenset({"CX"})
+
+#: Probabilistic error channels (``arg`` is the probability).
+NOISE_CHANNELS = frozenset({"X_ERROR", "Z_ERROR", "DEPOLARIZE1", "DEPOLARIZE2"})
+
+#: Every recognised instruction name.
+GATE_NAMES = (
+    UNITARY_GATES
+    | TWO_QUBIT_GATES
+    | NOISE_CHANNELS
+    | {"R", "M", "TICK", "DETECTOR", "OBSERVABLE_INCLUDE"}
+)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One circuit instruction.
+
+    Attributes
+    ----------
+    name:
+        Instruction mnemonic; must be in :data:`GATE_NAMES`.
+    targets:
+        Qubit indices (gates/channels) or absolute measurement indices
+        (``DETECTOR`` / ``OBSERVABLE_INCLUDE``).
+    arg:
+        Channel probability, or the observable index for
+        ``OBSERVABLE_INCLUDE``.
+    """
+
+    name: str
+    targets: tuple[int, ...] = ()
+    arg: float | None = None
+
+    def __post_init__(self):
+        if self.name not in GATE_NAMES:
+            raise ValueError(f"unknown instruction {self.name!r}")
+        object.__setattr__(self, "targets", tuple(int(t) for t in self.targets))
+        if self.name in TWO_QUBIT_GATES or self.name == "DEPOLARIZE2":
+            if len(self.targets) % 2:
+                raise ValueError(
+                    f"{self.name} needs an even number of targets, got "
+                    f"{len(self.targets)}"
+                )
+        if self.name in NOISE_CHANNELS:
+            if self.arg is None or not 0.0 <= self.arg <= 1.0:
+                raise ValueError(
+                    f"{self.name} needs a probability arg in [0, 1], got "
+                    f"{self.arg}"
+                )
+        if self.name == "OBSERVABLE_INCLUDE" and self.arg is None:
+            raise ValueError("OBSERVABLE_INCLUDE needs an observable index arg")
+
+    @property
+    def is_noise(self) -> bool:
+        """Whether this instruction is a probabilistic error channel."""
+        return self.name in NOISE_CHANNELS
+
+    def target_pairs(self) -> list[tuple[int, int]]:
+        """Targets viewed as (control, target) pairs (two-qubit ops)."""
+        ts = self.targets
+        return [(ts[i], ts[i + 1]) for i in range(0, len(ts), 2)]
+
+    def __str__(self) -> str:
+        arg = f"({self.arg})" if self.arg is not None else ""
+        targets = " ".join(str(t) for t in self.targets)
+        return f"{self.name}{arg} {targets}".rstrip()

@@ -1,0 +1,177 @@
+"""Builder for d-round CSS memory experiments.
+
+The builder produces the noiseless circuit with detectors and logical
+observables; :class:`repro.circuits.noise.NoiseModel` then annotates it
+with error channels, and :mod:`repro.circuits.propagation` compiles the
+noisy circuit into a detector error model.
+
+Layout and schedule
+-------------------
+Qubits ``0..n-1`` hold data; X-type ancillas come next, then Z-type.
+Each round resets all ancillas, rotates X ancillas into ``|+>``, runs
+the X-check CNOT layers, then the Z-check layers (layers come from
+Tanner-graph edge coloring), rotates X ancillas back and measures all
+ancillas.  After the last round the data qubits are measured in the
+memory basis.
+
+Detectors
+---------
+For stabilizer codes each tracked-basis check yields one detector per
+round (first round absolute, later rounds comparing consecutive
+outcomes) plus a final detector comparing the last round against the
+check value reconstructed from data measurements.
+
+For *subsystem* codes individual gauge outcomes are not repeatable —
+measuring the opposite-basis gauge operators randomises them.  Only
+products of gauge outcomes lying in the stabilizer group are
+deterministic, so detectors are formed from *combos*: a basis of
+``ker(g_opposite @ g_tracked^T)``.  For stabilizer codes that kernel is
+everything and the combo basis reduces to one combo per check, so a
+single code path serves both cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import gf2
+from repro.circuits.circuit import Circuit
+from repro.circuits.scheduling import cnot_layers
+from repro.codes.css import CSSCode
+
+__all__ = ["MemoryExperiment", "build_memory_experiment"]
+
+
+@dataclass
+class MemoryExperiment:
+    """A built memory experiment plus its measurement bookkeeping."""
+
+    circuit: Circuit
+    code: CSSCode
+    basis: str
+    rounds: int
+    #: (rounds, n_tracked_checks) absolute measurement indices
+    tracked_measurements: np.ndarray = field(repr=False)
+    #: (n,) absolute measurement indices of the final data readout
+    data_measurements: np.ndarray = field(repr=False)
+    #: (n_detect_combos, n_tracked_checks) combo matrix used for detectors
+    detector_combos: np.ndarray = field(repr=False)
+
+    @property
+    def detectors_per_round(self) -> int:
+        """Number of detector bits appended per round."""
+        return self.detector_combos.shape[0]
+
+
+def build_memory_experiment(
+    code: CSSCode,
+    rounds: int,
+    basis: str = "z",
+) -> MemoryExperiment:
+    """Build a ``rounds``-round memory experiment for ``code``.
+
+    ``basis='z'`` prepares ``|0>^n``, tracks Z-type checks and logical
+    Z observables (the decoding problem for X-type errors); ``basis='x'``
+    is the mirror image.
+    """
+    basis = basis.lower()
+    if basis not in ("x", "z"):
+        raise ValueError(f"basis must be 'x' or 'z', got {basis!r}")
+    if rounds < 1:
+        raise ValueError("memory experiment needs at least one round")
+
+    n = code.n
+    h_x, h_z = code.hx, code.hz
+    if basis == "z":
+        tracked, opposite = h_z, h_x
+        observables = code.logical_z
+    else:
+        tracked, opposite = h_x, h_z
+        observables = code.logical_x
+    m_x = h_x.shape[0]
+    m_z = h_z.shape[0]
+    x_anc = np.arange(n, n + m_x)
+    z_anc = np.arange(n + m_x, n + m_x + m_z)
+    tracked_anc = z_anc if basis == "z" else x_anc
+
+    # Detector combos: products of tracked checks that commute with the
+    # opposite-basis generators (identity-per-check for stabilizer codes).
+    interaction = gf2.mat_mul(opposite, tracked.T)
+    combos = gf2.nullspace(interaction)
+
+    x_layers = cnot_layers(h_x)
+    z_layers = cnot_layers(h_z)
+
+    circuit = Circuit()
+    meas_counter = 0
+    tracked_meas = np.zeros((rounds, tracked.shape[0]), dtype=np.int64)
+
+    circuit.append("R", range(n))
+    if basis == "x":
+        circuit.append("H", range(n))
+
+    for r in range(rounds):
+        circuit.append("TICK")
+        circuit.append("R", np.concatenate([x_anc, z_anc]))
+        circuit.append("H", x_anc)
+        for layer in x_layers:
+            circuit.append(
+                "CX",
+                [t for check, qubit in layer for t in (x_anc[check], qubit)],
+            )
+            circuit.append("TICK")
+        for layer in z_layers:
+            circuit.append(
+                "CX",
+                [t for check, qubit in layer for t in (qubit, z_anc[check])],
+            )
+            circuit.append("TICK")
+        circuit.append("H", x_anc)
+        circuit.append("M", np.concatenate([x_anc, z_anc]))
+        x_meas = meas_counter + np.arange(m_x)
+        z_meas = meas_counter + m_x + np.arange(m_z)
+        meas_counter += m_x + m_z
+        tracked_meas[r] = z_meas if basis == "z" else x_meas
+
+        for combo in combos:
+            support = np.nonzero(combo)[0]
+            current = tracked_meas[r][support]
+            if r == 0:
+                circuit.append("DETECTOR", current)
+            else:
+                previous = tracked_meas[r - 1][support]
+                circuit.append(
+                    "DETECTOR", np.concatenate([current, previous])
+                )
+
+    if basis == "x":
+        circuit.append("H", range(n))
+    circuit.append("M", range(n))
+    data_meas = meas_counter + np.arange(n)
+
+    # Final detectors: reconstruct each combo's stabilizer from the data
+    # readout and compare with the last measurement round.
+    for combo in combos:
+        support = np.nonzero(combo)[0]
+        stabilizer = (combo @ tracked % 2).astype(np.uint8)
+        qubits = np.nonzero(stabilizer)[0]
+        circuit.append(
+            "DETECTOR",
+            np.concatenate([data_meas[qubits], tracked_meas[-1][support]]),
+        )
+
+    for index, logical in enumerate(observables):
+        qubits = np.nonzero(logical)[0]
+        circuit.append("OBSERVABLE_INCLUDE", data_meas[qubits], arg=index)
+
+    return MemoryExperiment(
+        circuit=circuit,
+        code=code,
+        basis=basis,
+        rounds=rounds,
+        tracked_measurements=tracked_meas,
+        data_measurements=data_meas,
+        detector_combos=combos,
+    )

@@ -1,0 +1,71 @@
+"""End-to-end convenience: code + noise -> decoding problem.
+
+Building a detector error model costs seconds for the larger codes, so
+results are cached per ``(code name, rounds, basis, noise)``.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.dem import DetectorErrorModel, dem_from_circuit
+from repro.circuits.memory import build_memory_experiment
+from repro.circuits.noise import NoiseModel
+from repro.codes.css import CSSCode
+from repro.codes.registry import get_code
+from repro.problem import DecodingProblem
+
+__all__ = ["circuit_level_dem", "circuit_level_problem"]
+
+_DEM_CACHE: dict[tuple, DetectorErrorModel] = {}
+
+
+def circuit_level_dem(
+    code: CSSCode | str,
+    p: float,
+    *,
+    rounds: int | None = None,
+    basis: str = "z",
+    noise: NoiseModel | None = None,
+) -> DetectorErrorModel:
+    """Detector error model of a ``rounds``-round memory experiment.
+
+    ``rounds`` defaults to the code distance (the paper's convention).
+    ``noise`` defaults to uniform depolarizing noise at strength ``p``.
+    """
+    if isinstance(code, str):
+        code = get_code(code)
+    if rounds is None:
+        if code.distance is None:
+            raise ValueError(
+                f"code {code.name} has no recorded distance; pass rounds="
+            )
+        rounds = code.distance
+    model = noise or NoiseModel.uniform_depolarizing(p)
+    key = (code.name, rounds, basis, model)
+    if key not in _DEM_CACHE:
+        experiment = build_memory_experiment(code, rounds, basis)
+        noisy = model.noisy(experiment.circuit)
+        _DEM_CACHE[key] = dem_from_circuit(noisy)
+    return _DEM_CACHE[key]
+
+
+def circuit_level_problem(
+    code: CSSCode | str,
+    p: float,
+    *,
+    rounds: int | None = None,
+    basis: str = "z",
+    noise: NoiseModel | None = None,
+) -> DecodingProblem:
+    """Decoding problem for a circuit-level memory experiment."""
+    if isinstance(code, str):
+        code = get_code(code)
+    if rounds is None:
+        if code.distance is None:
+            raise ValueError(
+                f"code {code.name} has no recorded distance; pass rounds="
+            )
+        rounds = code.distance
+    dem = circuit_level_dem(code, p, rounds=rounds, basis=basis, noise=noise)
+    return dem.to_problem(
+        name=f"{code.name}_circuit_{basis}_p{p:g}_r{rounds}", rounds=rounds
+    )

@@ -1,0 +1,199 @@
+"""Compile a noisy circuit into fault mechanisms.
+
+For every component of every noise channel we need to know which
+detectors and logical observables it flips.  Rather than simulating
+each fault forward (quadratic in circuit size), a single *backward*
+sweep computes, for every qubit and time point, the set of detectors
+and observables an X or Z error inserted there would flip:
+
+* measurement ``M q`` (record ``m``): an X (or Y) error *before* it
+  flips every detector/observable containing ``m``;
+* reset ``R q``: errors before a reset are erased;
+* ``H q``: swaps X and Z sensitivity;
+* ``CX c t``: ``X_c -> X_c X_t`` and ``Z_t -> Z_c Z_t``, so walking
+  backward the control inherits the target's X sensitivity and the
+  target inherits the control's Z sensitivity.
+
+Detector/observable sets are stored as Python integer bitmasks, which
+keeps the sweep O(instructions + fault components).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.circuit import Circuit
+
+__all__ = ["Fault", "analyze_faults"]
+
+_DEPOLARIZE1_PAULIS = ("X", "Y", "Z")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One elementary fault mechanism: a Pauli at a circuit location.
+
+    ``det_mask`` / ``obs_mask`` are bitmasks over detector / observable
+    indices flipped by this fault.
+    """
+
+    instruction_index: int
+    pauli: tuple[tuple[int, str], ...]
+    probability: float
+    det_mask: int
+    obs_mask: int
+
+    @property
+    def detectors(self) -> tuple[int, ...]:
+        """Indices of detectors flipped by this fault."""
+        return _mask_bits(self.det_mask)
+
+    @property
+    def observables(self) -> tuple[int, ...]:
+        """Indices of logical observables flipped by this fault."""
+        return _mask_bits(self.obs_mask)
+
+    def __str__(self) -> str:
+        label = ",".join(f"{p}@{q}" for q, p in self.pauli)
+        return (
+            f"Fault({label} at #{self.instruction_index}, "
+            f"p={self.probability}, D={list(self.detectors)}, "
+            f"L={list(self.observables)})"
+        )
+
+
+def _mask_bits(mask: int) -> tuple[int, ...]:
+    bits = []
+    while mask:
+        low = mask & -mask
+        bits.append(low.bit_length() - 1)
+        mask ^= low
+    return tuple(bits)
+
+
+def analyze_faults(circuit: Circuit) -> list[Fault]:
+    """Enumerate every noise-channel component with its signature.
+
+    Components whose signature is empty (they flip neither a detector
+    nor an observable) are omitted: they are invisible to any decoder
+    and carry no logical action.
+    """
+    det_of_meas, obs_of_meas = _measurement_masks(circuit)
+    meas_indices = _measurement_index_map(circuit)
+
+    n = circuit.num_qubits
+    sx_det = [0] * n
+    sx_obs = [0] * n
+    sz_det = [0] * n
+    sz_obs = [0] * n
+
+    faults: list[Fault] = []
+
+    for index in range(len(circuit) - 1, -1, -1):
+        inst = circuit[index]
+        name = inst.name
+        if name == "M":
+            base = meas_indices[index]
+            for pos, q in enumerate(inst.targets):
+                m = base + pos
+                sx_det[q] ^= det_of_meas[m]
+                sx_obs[q] ^= obs_of_meas[m]
+        elif name == "R":
+            for q in inst.targets:
+                sx_det[q] = sx_obs[q] = 0
+                sz_det[q] = sz_obs[q] = 0
+        elif name == "H":
+            for q in inst.targets:
+                sx_det[q], sz_det[q] = sz_det[q], sx_det[q]
+                sx_obs[q], sz_obs[q] = sz_obs[q], sx_obs[q]
+        elif name == "CX":
+            for c, t in inst.target_pairs():
+                sx_det[c] ^= sx_det[t]
+                sx_obs[c] ^= sx_obs[t]
+                sz_det[t] ^= sz_det[c]
+                sz_obs[t] ^= sz_obs[c]
+        elif name == "X_ERROR":
+            for q in inst.targets:
+                _emit(faults, index, ((q, "X"),), inst.arg,
+                      sx_det[q], sx_obs[q])
+        elif name == "Z_ERROR":
+            for q in inst.targets:
+                _emit(faults, index, ((q, "Z"),), inst.arg,
+                      sz_det[q], sz_obs[q])
+        elif name == "DEPOLARIZE1":
+            share = inst.arg / 3.0
+            for q in inst.targets:
+                masks = _pauli_masks(q, sx_det, sx_obs, sz_det, sz_obs)
+                for pauli in _DEPOLARIZE1_PAULIS:
+                    det, obs = masks[pauli]
+                    _emit(faults, index, ((q, pauli),), share, det, obs)
+        elif name == "DEPOLARIZE2":
+            share = inst.arg / 15.0
+            for a, b in inst.target_pairs():
+                masks_a = _pauli_masks(a, sx_det, sx_obs, sz_det, sz_obs)
+                masks_b = _pauli_masks(b, sx_det, sx_obs, sz_det, sz_obs)
+                for pa in ("I", "X", "Y", "Z"):
+                    for pb in ("I", "X", "Y", "Z"):
+                        if pa == "I" and pb == "I":
+                            continue
+                        det = masks_a[pa][0] ^ masks_b[pb][0]
+                        obs = masks_a[pa][1] ^ masks_b[pb][1]
+                        pauli = tuple(
+                            (q, p)
+                            for q, p in ((a, pa), (b, pb))
+                            if p != "I"
+                        )
+                        _emit(faults, index, pauli, share, det, obs)
+    faults.reverse()
+    return faults
+
+
+def _emit(faults, index, pauli, probability, det_mask, obs_mask) -> None:
+    if det_mask == 0 and obs_mask == 0:
+        return
+    faults.append(
+        Fault(
+            instruction_index=index,
+            pauli=pauli,
+            probability=float(probability),
+            det_mask=det_mask,
+            obs_mask=obs_mask,
+        )
+    )
+
+
+def _pauli_masks(q, sx_det, sx_obs, sz_det, sz_obs):
+    """Signature of each Pauli on qubit ``q`` at the current sweep point."""
+    return {
+        "I": (0, 0),
+        "X": (sx_det[q], sx_obs[q]),
+        "Z": (sz_det[q], sz_obs[q]),
+        "Y": (sx_det[q] ^ sz_det[q], sx_obs[q] ^ sz_obs[q]),
+    }
+
+
+def _measurement_masks(circuit: Circuit) -> tuple[list[int], list[int]]:
+    """Per-measurement bitmasks of referencing detectors/observables."""
+    det_of_meas = [0] * circuit.num_measurements
+    obs_of_meas = [0] * circuit.num_measurements
+    detector_index = 0
+    for inst in circuit:
+        if inst.name == "DETECTOR":
+            for m in inst.targets:
+                det_of_meas[m] ^= 1 << detector_index
+            detector_index += 1
+        elif inst.name == "OBSERVABLE_INCLUDE":
+            for m in inst.targets:
+                obs_of_meas[m] ^= 1 << int(inst.arg)
+    return det_of_meas, obs_of_meas
+
+
+def _measurement_index_map(circuit: Circuit) -> dict[int, int]:
+    """First measurement-record index produced by each M instruction."""
+    mapping: dict[int, int] = {}
+    counter = 0
+    for index, inst in enumerate(circuit):
+        if inst.name == "M":
+            mapping[index] = counter
+            counter += len(inst.targets)
+    return mapping

@@ -1,0 +1,60 @@
+"""CNOT scheduling for syndrome extraction.
+
+Every (check, qubit) incidence of the Tanner graph needs one CNOT per
+round, and CNOTs sharing a qubit cannot run in the same layer.  A
+proper edge coloring of the bipartite Tanner graph gives a conflict
+free layering; by König's theorem the optimum uses exactly
+``max_degree`` colors.  We use repeated maximum matchings on the
+conflict-free remainder (via :mod:`networkx`), which achieves the
+optimum on the regular graphs of the paper's codes and is never worse
+than a couple of extra layers otherwise.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+__all__ = ["cnot_layers", "tanner_graph"]
+
+
+def tanner_graph(check_matrix) -> nx.Graph:
+    """Bipartite Tanner graph with nodes ``('c', i)`` and ``('v', j)``."""
+    h = np.asarray(check_matrix)
+    graph = nx.Graph()
+    rows, cols = np.nonzero(h)
+    graph.add_nodes_from(("c", int(i)) for i in range(h.shape[0]))
+    graph.add_nodes_from(("v", int(j)) for j in range(h.shape[1]))
+    graph.add_edges_from((("c", int(i)), ("v", int(j))) for i, j in zip(rows, cols))
+    return graph
+
+
+def cnot_layers(check_matrix) -> list[list[tuple[int, int]]]:
+    """Partition Tanner-graph edges into conflict-free CNOT layers.
+
+    Returns a list of layers; each layer is a list of ``(check, qubit)``
+    pairs such that no check and no qubit appears twice within a layer.
+    Layers are deterministic for a given matrix.
+    """
+    h = np.asarray(check_matrix)
+    graph = tanner_graph(h)
+    check_nodes = {node for node in graph if node[0] == "c"}
+    layers: list[list[tuple[int, int]]] = []
+    remaining = nx.Graph(graph.edges)
+    while remaining.number_of_edges():
+        matching = nx.bipartite.hopcroft_karp_matching(
+            remaining, top_nodes={n for n in remaining if n in check_nodes}
+        )
+        layer = sorted(
+            (node[1], mate[1])
+            for node, mate in matching.items()
+            if node[0] == "c"
+        )
+        if not layer:
+            raise RuntimeError("matching failed to make progress")
+        layers.append(layer)
+        remaining.remove_edges_from(
+            (("c", c), ("v", v)) for c, v in layer
+        )
+        remaining.remove_nodes_from(list(nx.isolates(remaining)))
+    return layers

@@ -1,0 +1,244 @@
+"""CHP-style stabilizer simulator (Aaronson & Gottesman 2004).
+
+This is an *independent* implementation of circuit semantics used to
+cross-validate the backward-propagation fault analysis: injecting a
+single Pauli fault into a tableau simulation must flip exactly the
+detectors and observables that :func:`repro.circuits.propagation.
+analyze_faults` predicts.
+
+The tableau keeps ``2n`` rows (destabilizers then stabilizers) over
+``n`` qubits with the usual phase bookkeeping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+
+__all__ = ["TableauSimulator", "run_circuit", "sample_circuit"]
+
+
+class TableauSimulator:
+    """Stabilizer states under H/CX/reset/measurement and Pauli errors."""
+
+    def __init__(self, num_qubits: int, rng: np.random.Generator):
+        n = int(num_qubits)
+        self.n = n
+        self.rng = rng
+        self.x = np.zeros((2 * n, n), dtype=np.uint8)
+        self.z = np.zeros((2 * n, n), dtype=np.uint8)
+        self.r = np.zeros(2 * n, dtype=np.uint8)
+        self.x[np.arange(n), np.arange(n)] = 1          # destabilizers X_i
+        self.z[n + np.arange(n), np.arange(n)] = 1      # stabilizers Z_i
+
+    # -- gates ----------------------------------------------------------
+
+    def h(self, q: int) -> None:
+        """Hadamard on qubit ``q``."""
+        xq = self.x[:, q]
+        zq = self.z[:, q]
+        self.r ^= xq & zq
+        self.x[:, q], self.z[:, q] = zq.copy(), xq.copy()
+
+    def cx(self, control: int, target: int) -> None:
+        """CNOT with the given control and target."""
+        xc = self.x[:, control]
+        zc = self.z[:, control]
+        xt = self.x[:, target]
+        zt = self.z[:, target]
+        self.r ^= xc & zt & (xt ^ zc ^ 1)
+        self.x[:, target] = xt ^ xc
+        self.z[:, control] = zc ^ zt
+
+    def apply_pauli(self, q: int, pauli: str) -> None:
+        """Apply a Pauli error (sign update only)."""
+        if pauli == "X":
+            self.r ^= self.z[:, q]
+        elif pauli == "Z":
+            self.r ^= self.x[:, q]
+        elif pauli == "Y":
+            self.r ^= self.x[:, q] ^ self.z[:, q]
+        else:
+            raise ValueError(f"unknown Pauli {pauli!r}")
+
+    # -- measurement -----------------------------------------------------
+
+    def measure(self, q: int) -> int:
+        """Measure qubit ``q`` in the Z basis; returns the outcome bit."""
+        n = self.n
+        stab_rows = np.nonzero(self.x[n:, q])[0]
+        if stab_rows.size:
+            return self._measure_random(q, n + int(stab_rows[0]))
+        return self._measure_deterministic(q)
+
+    def reset(self, q: int) -> None:
+        """Reset qubit ``q`` to ``|0>``."""
+        if self.measure(q):
+            self.apply_pauli(q, "X")
+
+    def _measure_random(self, q: int, p: int) -> int:
+        n = self.n
+        targets = np.nonzero(self.x[:, q])[0]
+        targets = targets[targets != p]
+        if targets.size:
+            self._rowsum_many(targets, p)
+        # Destabilizer for the new stabilizer is the old row p.
+        self.x[p - n] = self.x[p]
+        self.z[p - n] = self.z[p]
+        self.r[p - n] = self.r[p]
+        self.x[p] = 0
+        self.z[p] = 0
+        self.z[p, q] = 1
+        outcome = int(self.rng.integers(0, 2))
+        self.r[p] = outcome
+        return outcome
+
+    def _measure_deterministic(self, q: int) -> int:
+        n = self.n
+        acc_x = np.zeros(n, dtype=np.uint8)
+        acc_z = np.zeros(n, dtype=np.uint8)
+        acc_r = 0
+        for i in np.nonzero(self.x[:n, q])[0]:
+            acc_x, acc_z, acc_r = self._rowsum_into(
+                acc_x, acc_z, acc_r, n + int(i)
+            )
+        return int(acc_r)
+
+    # -- phase-tracking row sums ------------------------------------------
+
+    def _g_sum(self, x1, z1, x2, z2) -> np.ndarray:
+        """Sum over qubits of the AG04 phase function g (vectorised).
+
+        ``x1, z1`` describe the source row (1-d); ``x2, z2`` the target
+        rows (2-d).  Returns the per-target integer sum.
+        """
+        x1i = x1.astype(np.int32)
+        z1i = z1.astype(np.int32)
+        x2i = x2.astype(np.int32)
+        z2i = z2.astype(np.int32)
+        m_y = x1i & z1i
+        m_x = x1i & (1 - z1i)
+        m_z = (1 - x1i) & z1i
+        terms = (
+            m_y * (z2i - x2i)
+            + m_x * (z2i * (2 * x2i - 1))
+            + m_z * (x2i * (1 - 2 * z2i))
+        )
+        return terms.sum(axis=-1)
+
+    def _rowsum_many(self, targets: np.ndarray, source: int) -> None:
+        """Multiply rows ``targets`` by row ``source`` (left action)."""
+        g = self._g_sum(
+            self.x[source], self.z[source], self.x[targets], self.z[targets]
+        )
+        phase = (
+            2 * self.r[targets].astype(np.int32)
+            + 2 * self.r[source].astype(np.int32)
+            + g
+        ) % 4
+        self.r[targets] = (phase // 2).astype(np.uint8)
+        self.x[targets] ^= self.x[source]
+        self.z[targets] ^= self.z[source]
+
+    def _rowsum_into(self, acc_x, acc_z, acc_r, source: int):
+        g = self._g_sum(
+            self.x[source], self.z[source], acc_x[None, :], acc_z[None, :]
+        )[0]
+        phase = (2 * int(acc_r) + 2 * int(self.r[source]) + int(g)) % 4
+        return acc_x ^ self.x[source], acc_z ^ self.z[source], phase // 2
+
+
+def run_circuit(
+    circuit: Circuit,
+    rng: np.random.Generator,
+    *,
+    forced_faults: dict[int, list[tuple[int, str]]] | None = None,
+    sample_noise: bool = False,
+) -> np.ndarray:
+    """Execute a circuit on the tableau simulator.
+
+    Parameters
+    ----------
+    forced_faults:
+        Mapping from instruction index to Pauli errors
+        ``[(qubit, 'X'|'Y'|'Z'), ...]`` injected deterministically at
+        that location (noise channels themselves are then skipped
+        unless ``sample_noise`` is set).
+    sample_noise:
+        When True, sample every noise channel with ``rng``.
+
+    Returns the vector of measurement outcomes.
+    """
+    sim = TableauSimulator(circuit.num_qubits, rng)
+    forced = forced_faults or {}
+    measurements: list[int] = []
+    for index, inst in enumerate(circuit):
+        for q, pauli in forced.get(index, ()):
+            sim.apply_pauli(q, pauli)
+        name = inst.name
+        if name == "H":
+            for q in inst.targets:
+                sim.h(q)
+        elif name == "CX":
+            for c, t in inst.target_pairs():
+                sim.cx(c, t)
+        elif name == "R":
+            for q in inst.targets:
+                sim.reset(q)
+        elif name == "M":
+            for q in inst.targets:
+                measurements.append(sim.measure(q))
+        elif inst.is_noise and sample_noise:
+            _sample_channel(sim, inst, rng)
+    return np.asarray(measurements, dtype=np.uint8)
+
+
+def sample_circuit(
+    circuit: Circuit, shots: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample detector and observable bits from full noisy simulation.
+
+    Slow (tableau is O(n^2) per measurement); intended for small codes
+    in validation tests, not production sampling — use the detector
+    error model sampler for that.
+    """
+    detectors = np.zeros((shots, circuit.num_detectors), dtype=np.uint8)
+    observables = np.zeros((shots, circuit.num_observables), dtype=np.uint8)
+    for s in range(shots):
+        measurements = run_circuit(circuit, rng, sample_noise=True)
+        det, obs = circuit.evaluate_records(measurements)
+        detectors[s] = det
+        observables[s] = obs
+    return detectors, observables
+
+
+_TWO_QUBIT_PAULIS = [
+    (pa, pb)
+    for pa in ("I", "X", "Y", "Z")
+    for pb in ("I", "X", "Y", "Z")
+    if not (pa == "I" and pb == "I")
+]
+
+
+def _sample_channel(sim, inst, rng) -> None:
+    if inst.name == "X_ERROR":
+        for q in inst.targets:
+            if rng.random() < inst.arg:
+                sim.apply_pauli(q, "X")
+    elif inst.name == "Z_ERROR":
+        for q in inst.targets:
+            if rng.random() < inst.arg:
+                sim.apply_pauli(q, "Z")
+    elif inst.name == "DEPOLARIZE1":
+        for q in inst.targets:
+            if rng.random() < inst.arg:
+                sim.apply_pauli(q, str(rng.choice(("X", "Y", "Z"))))
+    elif inst.name == "DEPOLARIZE2":
+        for a, b in inst.target_pairs():
+            if rng.random() < inst.arg:
+                pa, pb = _TWO_QUBIT_PAULIS[int(rng.integers(0, 15))]
+                if pa != "I":
+                    sim.apply_pauli(a, pa)
+                if pb != "I":
+                    sim.apply_pauli(b, pb)

@@ -1,0 +1,48 @@
+"""Quantum and classical error-correcting code constructions.
+
+Implements every code family evaluated in the paper: bivariate bicycle
+(BB), coprime-BB, generalized bicycle (GB), hypergraph product /
+surface, and the SHYPS subsystem code, plus the classical codes they
+are built from.
+"""
+
+from repro.codes.bb import BB_CODES, BBSpec, bb_code
+from repro.codes.classical import (
+    ClassicalCode,
+    hamming_code,
+    random_ldpc_code,
+    repetition_code,
+    simplex_code,
+)
+from repro.codes.coprime import COPRIME_CODES, CoprimeSpec, coprime_code
+from repro.codes.css import CSSCode, SubsystemCSSCode
+from repro.codes.gb import GB_CODES, GBSpec, gb_code
+from repro.codes.hypergraph_product import hypergraph_product, surface_code
+from repro.codes.registry import CODE_BUILDERS, get_code, list_codes
+from repro.codes.shyps import shyps_code, subsystem_hypergraph_product
+
+__all__ = [
+    "BB_CODES",
+    "BBSpec",
+    "bb_code",
+    "ClassicalCode",
+    "hamming_code",
+    "random_ldpc_code",
+    "repetition_code",
+    "simplex_code",
+    "COPRIME_CODES",
+    "CoprimeSpec",
+    "coprime_code",
+    "CSSCode",
+    "SubsystemCSSCode",
+    "GB_CODES",
+    "GBSpec",
+    "gb_code",
+    "hypergraph_product",
+    "surface_code",
+    "CODE_BUILDERS",
+    "get_code",
+    "list_codes",
+    "shyps_code",
+    "subsystem_hypergraph_product",
+]

@@ -1,0 +1,150 @@
+"""Classical binary linear codes.
+
+These serve two roles in the reproduction: as ingredients of quantum
+constructions (the hypergraph product consumes classical parity-check
+matrices; SHYPS is built from the simplex code) and as small,
+well-understood fixtures for decoder unit tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import gf2
+
+__all__ = [
+    "ClassicalCode",
+    "hamming_code",
+    "random_ldpc_code",
+    "repetition_code",
+    "simplex_code",
+]
+
+
+@dataclass
+class ClassicalCode:
+    """A binary linear code defined by a parity-check matrix.
+
+    Attributes
+    ----------
+    parity_check:
+        ``(m, n)`` binary matrix; codewords are its right kernel.
+    name:
+        Human-readable identifier.
+    """
+
+    parity_check: np.ndarray
+    name: str = ""
+    _generator: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self):
+        self.parity_check = gf2.as_gf2(self.parity_check)
+        if self.parity_check.ndim != 2:
+            raise ValueError("parity_check must be a 2-d matrix")
+
+    @property
+    def n(self) -> int:
+        """Block length."""
+        return self.parity_check.shape[1]
+
+    @property
+    def k(self) -> int:
+        """Number of information bits."""
+        return self.n - gf2.rank(self.parity_check)
+
+    @property
+    def generator(self) -> np.ndarray:
+        """A ``(k, n)`` generator matrix (rows span the code)."""
+        if self._generator is None:
+            self._generator = gf2.nullspace(self.parity_check)
+        return self._generator
+
+    def syndrome(self, word) -> np.ndarray:
+        """Syndrome ``H w`` of a received word."""
+        return gf2.mat_vec(self.parity_check, word)
+
+    def is_codeword(self, word) -> bool:
+        """Whether ``word`` has zero syndrome."""
+        return not self.syndrome(word).any()
+
+    def codewords(self):
+        """Iterate over all ``2^k`` codewords (small codes only)."""
+        gen = self.generator
+        if gen.shape[0] > 20:
+            raise ValueError(f"too many codewords to enumerate: k={gen.shape[0]}")
+        for bits in itertools.product((0, 1), repeat=gen.shape[0]):
+            coeff = np.asarray(bits, dtype=np.uint8)
+            yield (coeff @ gen % 2).astype(np.uint8)
+
+    def distance(self) -> int:
+        """Exact minimum distance by codeword enumeration (small codes)."""
+        best = None
+        for word in self.codewords():
+            weight = int(word.sum())
+            if weight and (best is None or weight < best):
+                best = weight
+        if best is None:
+            raise ValueError("code has no nonzero codewords")
+        return best
+
+
+def repetition_code(n: int) -> ClassicalCode:
+    """The ``[n, 1, n]`` repetition code with adjacent-pair checks."""
+    if n < 2:
+        raise ValueError("repetition code needs n >= 2")
+    h = np.zeros((n - 1, n), dtype=np.uint8)
+    for i in range(n - 1):
+        h[i, i] = 1
+        h[i, i + 1] = 1
+    return ClassicalCode(h, name=f"repetition_{n}")
+
+
+def hamming_code(r: int) -> ClassicalCode:
+    """The ``[2^r - 1, 2^r - 1 - r, 3]`` Hamming code.
+
+    The parity check has all nonzero length-``r`` binary vectors as
+    columns.
+    """
+    if r < 2:
+        raise ValueError("Hamming code needs r >= 2")
+    n = 2**r - 1
+    h = np.zeros((r, n), dtype=np.uint8)
+    for j in range(1, n + 1):
+        for bit in range(r):
+            h[bit, j - 1] = (j >> bit) & 1
+    return ClassicalCode(h, name=f"hamming_{n}")
+
+
+def simplex_code(r: int) -> ClassicalCode:
+    """The ``[2^r - 1, r, 2^(r-1)]`` simplex code (dual of Hamming).
+
+    Its generator matrix is the Hamming parity check, so its own parity
+    check is a generator matrix of the Hamming code.  The ``r = 4``
+    instance ``[15, 4, 8]`` underlies the SHYPS ``[[225, 16, 8]]`` code.
+    """
+    generator = hamming_code(r).parity_check
+    h = gf2.nullspace(generator)
+    return ClassicalCode(h, name=f"simplex_{2**r - 1}")
+
+
+def random_ldpc_code(
+    n: int,
+    m: int,
+    row_weight: int,
+    rng: np.random.Generator,
+) -> ClassicalCode:
+    """A random row-regular LDPC code, for stress tests.
+
+    Each check touches exactly ``row_weight`` distinct bits chosen
+    uniformly; column weights are whatever falls out.
+    """
+    if row_weight > n:
+        raise ValueError("row weight cannot exceed block length")
+    h = np.zeros((m, n), dtype=np.uint8)
+    for i in range(m):
+        support = rng.choice(n, size=row_weight, replace=False)
+        h[i, support] = 1
+    return ClassicalCode(h, name=f"random_ldpc_{n}_{m}")

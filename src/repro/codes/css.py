@@ -1,0 +1,163 @@
+"""CSS stabilizer codes and CSS-type subsystem codes.
+
+A CSS code is specified by two parity-check matrices ``hx`` and ``hz``
+with ``hx @ hz.T = 0 (mod 2)``.  X-type errors are decoded against
+``hz`` and tested against the Z-type logical operators, and vice versa
+— exactly the per-basis treatment the paper (and stim-based practice)
+uses.
+
+:class:`SubsystemCSSCode` relaxes the commutation requirement to gauge
+generators; bare logical operators are computed by the same quotient
+construction (kernel of one matrix modulo the row space of the other).
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from repro import gf2
+
+__all__ = ["CSSCode", "SubsystemCSSCode"]
+
+
+def _quotient_basis(kernel_of: np.ndarray, modulo: np.ndarray) -> np.ndarray:
+    """Basis of ``ker(kernel_of)`` modulo ``rowspace(modulo)``.
+
+    Each returned row lies in the kernel and is independent of the row
+    space and of previously chosen rows.
+    """
+    n = kernel_of.shape[1]
+    space = gf2.IncrementalRowSpace(n)
+    for row in modulo:
+        space.add(row)
+    chosen: list[np.ndarray] = []
+    for candidate in gf2.nullspace(kernel_of):
+        if space.add(candidate):
+            chosen.append(candidate)
+    if not chosen:
+        return np.zeros((0, n), dtype=np.uint8)
+    return np.asarray(chosen, dtype=np.uint8)
+
+
+class CSSCode:
+    """An ``[[n, k, d]]`` CSS stabilizer code.
+
+    Parameters
+    ----------
+    hx, hz:
+        X- and Z-type parity-check matrices (rows are stabilizer
+        generators, columns are physical qubits).
+    name:
+        Identifier used in registries and reports.
+    distance:
+        The claimed (not verified) code distance, when known.
+    validate:
+        When True (default) assert ``hx @ hz.T = 0``.
+    """
+
+    def __init__(self, hx, hz, *, name: str = "", distance: int | None = None,
+                 validate: bool = True):
+        self.hx = gf2.as_gf2(hx)
+        self.hz = gf2.as_gf2(hz)
+        if self.hx.shape[1] != self.hz.shape[1]:
+            raise ValueError(
+                f"hx has {self.hx.shape[1]} columns but hz has "
+                f"{self.hz.shape[1]}"
+            )
+        if validate and gf2.mat_mul(self.hx, self.hz.T).any():
+            raise ValueError("hx and hz do not commute: hx @ hz.T != 0")
+        self.name = name or "css"
+        self.distance = distance
+
+    @property
+    def n(self) -> int:
+        """Number of physical qubits."""
+        return self.hx.shape[1]
+
+    @cached_property
+    def k(self) -> int:
+        """Number of logical qubits, ``n - rank(hx) - rank(hz)``."""
+        return self.n - gf2.rank(self.hx) - gf2.rank(self.hz)
+
+    @cached_property
+    def logical_x(self) -> np.ndarray:
+        """A ``(k, n)`` basis of X-type logical operators.
+
+        Representatives of ``ker(hz) / rowspace(hx)``.
+        """
+        return _quotient_basis(self.hz, self.hx)
+
+    @cached_property
+    def logical_z(self) -> np.ndarray:
+        """A ``(k, n)`` basis of Z-type logical operators.
+
+        Representatives of ``ker(hx) / rowspace(hz)``.
+        """
+        return _quotient_basis(self.hx, self.hz)
+
+    def check_matrix(self, basis: str) -> np.ndarray:
+        """Parity checks that detect errors of Pauli type ``basis``.
+
+        X errors flip Z-type stabilizers and vice versa, so
+        ``check_matrix('x')`` is ``hz``.
+        """
+        return {"x": self.hz, "z": self.hx}[_normalize_basis(basis)]
+
+    def logical_test_matrix(self, basis: str) -> np.ndarray:
+        """Logical operators anticommuting with residual ``basis`` errors.
+
+        An X-type residual error (in ``ker(hz)``) is a logical fault
+        iff it overlaps some Z-type logical operator on an odd number
+        of qubits, so ``logical_test_matrix('x')`` is ``logical_z``.
+        """
+        return {
+            "x": self.logical_z,
+            "z": self.logical_x,
+        }[_normalize_basis(basis)]
+
+    def __repr__(self) -> str:
+        d = self.distance if self.distance is not None else "?"
+        return f"<CSSCode {self.name} [[{self.n}, {self.k}, {d}]]>"
+
+
+class SubsystemCSSCode(CSSCode):
+    """A CSS-type subsystem code specified by gauge generator matrices.
+
+    ``hx`` / ``hz`` here hold the *gauge* generators, which need not
+    commute.  Bare logical operators commute with the whole gauge group
+    and are counted modulo gauge operators of their own type, which is
+    the same quotient as in the stabilizer case.
+    """
+
+    def __init__(self, gauge_x, gauge_z, *, name: str = "",
+                 distance: int | None = None):
+        super().__init__(gauge_x, gauge_z, name=name, distance=distance,
+                         validate=False)
+
+    @cached_property
+    def k(self) -> int:  # type: ignore[override]
+        """Number of (bare) logical qubits."""
+        return self.logical_x.shape[0]
+
+    @cached_property
+    def logical_x(self) -> np.ndarray:  # type: ignore[override]
+        """Bare X logicals: ``ker(gauge_z) / rowspace(gauge_x)``."""
+        return _quotient_basis(self.hz, self.hx)
+
+    @cached_property
+    def logical_z(self) -> np.ndarray:  # type: ignore[override]
+        """Bare Z logicals: ``ker(gauge_x) / rowspace(gauge_z)``."""
+        return _quotient_basis(self.hx, self.hz)
+
+    def __repr__(self) -> str:
+        d = self.distance if self.distance is not None else "?"
+        return f"<SubsystemCSSCode {self.name} [[{self.n}, {self.k}, {d}]]>"
+
+
+def _normalize_basis(basis: str) -> str:
+    basis = basis.lower()
+    if basis not in ("x", "z"):
+        raise ValueError(f"basis must be 'x' or 'z', got {basis!r}")
+    return basis

@@ -1,0 +1,56 @@
+"""Generalized bicycle (GB) codes (Panteleev & Kalachev; paper Appendix A.1).
+
+A GB code is defined by two univariate polynomials ``a(x)`` and
+``b(x)`` in the cyclic shift ``x = S_l``; circulants commute, so the
+bicycle construction applies directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codes.bb import bicycle_css_from_blocks
+from repro.codes.css import CSSCode
+from repro.codes.polynomials import circulant
+
+__all__ = ["GBSpec", "GB_CODES", "gb_code"]
+
+
+@dataclass(frozen=True)
+class GBSpec:
+    """Construction parameters of one generalized bicycle code."""
+
+    name: str
+    l: int
+    a_exponents: tuple[int, ...]
+    b_exponents: tuple[int, ...]
+    n: int
+    k: int
+    d: int | None
+
+
+#: The GB code used in the paper's appendix (Fig. 17b).
+GB_CODES: dict[str, GBSpec] = {
+    "gb_254_28": GBSpec(
+        name="gb_254_28",
+        l=127,
+        a_exponents=(0, 15, 20, 28, 66),       # 1 + x^15 + x^20 + x^28 + x^66
+        b_exponents=(0, 58, 59, 100, 121),     # 1 + x^58 + x^59 + x^100 + x^121
+        n=254,
+        k=28,
+        d=None,  # distance not reported in the paper
+    )
+}
+
+
+def gb_code(name: str) -> CSSCode:
+    """Build one of the registered GB codes by name."""
+    try:
+        spec = GB_CODES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown GB code {name!r}; available: {sorted(GB_CODES)}"
+        ) from None
+    a = circulant(spec.l, spec.a_exponents)
+    b = circulant(spec.l, spec.b_exponents)
+    return bicycle_css_from_blocks(a, b, name=spec.name, distance=spec.d)

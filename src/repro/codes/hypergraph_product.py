@@ -1,0 +1,59 @@
+"""Hypergraph product codes (Tillich & Zémor).
+
+Given classical parity checks ``h1 (m1 x n1)`` and ``h2 (m2 x n2)``,
+
+.. math::
+
+    H_X = [\\, h_1 \\otimes I_{n_2} \\;|\\; I_{m_1} \\otimes h_2^T \\,],
+    \\qquad
+    H_Z = [\\, I_{n_1} \\otimes h_2 \\;|\\; h_1^T \\otimes I_{m_2} \\,].
+
+The product of two repetition codes yields the (rotated-boundary)
+surface code, which the test suite uses as a known-good fixture with
+``k = 1`` and distance ``d``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codes.classical import ClassicalCode, repetition_code
+from repro.codes.css import CSSCode
+
+__all__ = ["hypergraph_product", "surface_code"]
+
+
+def hypergraph_product(
+    code1: ClassicalCode,
+    code2: ClassicalCode,
+    *,
+    name: str = "",
+    distance: int | None = None,
+) -> CSSCode:
+    """Hypergraph product of two classical codes."""
+    h1 = code1.parity_check
+    h2 = code2.parity_check
+    m1, n1 = h1.shape
+    m2, n2 = h2.shape
+    hx = np.concatenate(
+        [np.kron(h1, np.eye(n2, dtype=np.uint8)),
+         np.kron(np.eye(m1, dtype=np.uint8), h2.T)],
+        axis=1,
+    )
+    hz = np.concatenate(
+        [np.kron(np.eye(n1, dtype=np.uint8), h2),
+         np.kron(h1.T, np.eye(m2, dtype=np.uint8))],
+        axis=1,
+    )
+    label = name or f"hgp_{code1.name}_{code2.name}"
+    return CSSCode(hx, hz, name=label, distance=distance)
+
+
+def surface_code(d: int) -> CSSCode:
+    """The ``[[d^2 + (d-1)^2, 1, d]]`` (unrotated) surface code.
+
+    Built as the hypergraph product of two length-``d`` repetition
+    codes; used as a decoder test fixture.
+    """
+    rep = repetition_code(d)
+    return hypergraph_product(rep, rep, name=f"surface_{d}", distance=d)

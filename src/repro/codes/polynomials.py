@@ -1,0 +1,80 @@
+"""Circulant and bivariate monomial algebra over GF(2).
+
+Generalized bicycle (GB) and bivariate bicycle (BB) codes are defined
+by polynomials in cyclic shift matrices (paper, Appendix A).  This
+module provides those matrices:
+
+* ``shift_matrix(l)`` is :math:`S_l`, the right cyclic shift
+  (``S_l = I_l >> 1`` in the paper's notation),
+* ``x = S_l ⊗ I_m`` and ``y = I_l ⊗ S_m`` for bivariate polynomials,
+* ``π = x·y = S_l ⊗ S_m`` for coprime-BB codes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "bivariate_poly",
+    "circulant",
+    "coprime_poly",
+    "kron_monomial",
+    "shift_matrix",
+]
+
+
+def shift_matrix(size: int, power: int = 1) -> np.ndarray:
+    """The ``size x size`` right cyclic shift matrix raised to ``power``.
+
+    Row ``i`` has its single 1 in column ``(i + power) mod size``,
+    matching the paper's example ``S_3 = [[0,1,0],[0,0,1],[1,0,0]]``.
+    """
+    if size < 1:
+        raise ValueError("shift matrix size must be positive")
+    mat = np.zeros((size, size), dtype=np.uint8)
+    cols = (np.arange(size) + power) % size
+    mat[np.arange(size), cols] = 1
+    return mat
+
+
+def circulant(size: int, exponents) -> np.ndarray:
+    """Sum (mod 2) of shift-matrix powers: ``sum_e S_size^e``.
+
+    This is the matrix of the univariate polynomial
+    ``a(x) = sum_e x^e`` evaluated at ``x = S_size``.
+    """
+    mat = np.zeros((size, size), dtype=np.uint8)
+    for e in exponents:
+        mat ^= shift_matrix(size, int(e))
+    return mat
+
+
+def kron_monomial(l: int, m: int, ex: int, ey: int) -> np.ndarray:
+    """The monomial ``x^ex * y^ey`` with ``x = S_l ⊗ I_m``, ``y = I_l ⊗ S_m``.
+
+    Equals ``S_l^ex ⊗ S_m^ey`` — an ``lm x lm`` permutation matrix.
+    """
+    return np.kron(shift_matrix(l, ex), shift_matrix(m, ey))
+
+
+def bivariate_poly(l: int, m: int, terms) -> np.ndarray:
+    """Matrix of a bivariate polynomial ``sum (x^ex * y^ey)``.
+
+    ``terms`` is an iterable of ``(ex, ey)`` exponent pairs.
+    """
+    mat = np.zeros((l * m, l * m), dtype=np.uint8)
+    for ex, ey in terms:
+        mat ^= kron_monomial(l, m, int(ex), int(ey))
+    return mat
+
+
+def coprime_poly(l: int, m: int, exponents) -> np.ndarray:
+    """Matrix of ``a(π)`` with ``π = x·y = S_l ⊗ S_m`` (coprime-BB codes).
+
+    With ``gcd(l, m) = 1`` the monomial ``π`` generates a cyclic group
+    of order ``l·m``, so these codes are univariate in disguise.
+    """
+    mat = np.zeros((l * m, l * m), dtype=np.uint8)
+    for e in exponents:
+        mat ^= kron_monomial(l, m, int(e) % l, int(e) % m)
+    return mat

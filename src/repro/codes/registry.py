@@ -1,0 +1,53 @@
+"""Named registry of every code used in the paper's evaluation.
+
+``get_code("bb_144_12_12")`` returns a cached construction; use
+:func:`list_codes` to discover what's available.  Benchmarks and
+examples go through this registry so that experiment configs can refer
+to codes by string.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable
+
+from repro.codes.bb import BB_CODES, bb_code
+from repro.codes.coprime import COPRIME_CODES, coprime_code
+from repro.codes.css import CSSCode
+from repro.codes.gb import GB_CODES, gb_code
+from repro.codes.hypergraph_product import surface_code
+from repro.codes.shyps import shyps_code
+
+__all__ = ["get_code", "list_codes", "CODE_BUILDERS"]
+
+
+def _surface(d: int) -> Callable[[], CSSCode]:
+    return lambda: surface_code(d)
+
+
+#: Maps registry name to a zero-argument builder.
+CODE_BUILDERS: dict[str, Callable[[], CSSCode]] = {
+    **{name: (lambda n=name: bb_code(n)) for name in BB_CODES},
+    **{name: (lambda n=name: coprime_code(n)) for name in COPRIME_CODES},
+    **{name: (lambda n=name: gb_code(n)) for name in GB_CODES},
+    "shyps_225_16_8": lambda: shyps_code(4),
+    "surface_3": _surface(3),
+    "surface_5": _surface(5),
+}
+
+
+@lru_cache(maxsize=None)
+def get_code(name: str) -> CSSCode:
+    """Build (and cache) a code by registry name."""
+    try:
+        builder = CODE_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown code {name!r}; available: {sorted(CODE_BUILDERS)}"
+        ) from None
+    return builder()
+
+
+def list_codes() -> list[str]:
+    """All registered code names, sorted."""
+    return sorted(CODE_BUILDERS)

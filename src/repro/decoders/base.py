@@ -1,0 +1,73 @@
+"""Decoder interface and result record."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["DecodeResult", "Decoder"]
+
+
+@dataclass
+class DecodeResult:
+    """Outcome of decoding one syndrome.
+
+    Attributes
+    ----------
+    error:
+        Estimated error vector (one bit per mechanism).
+    converged:
+        Whether the estimate satisfies the syndrome.
+    iterations:
+        *Serial-equivalent* BP iterations spent (the paper's Fig. 12
+        accounting: cumulative over the initial attempt and every trial
+        attempted before the first success).
+    parallel_iterations:
+        Latency in iterations when all trials run concurrently (initial
+        iterations plus the fastest successful trial).
+    initial_iterations:
+        Iterations of the initial BP stage alone (equals ``iterations``
+        when no post-processing ran).
+    stage:
+        ``"initial"`` (plain BP sufficed), ``"post"`` (post-processing
+        produced the result) or ``"failed"``.
+    trials_attempted / winning_trial:
+        Speculative-decoding bookkeeping (BP-SF only).
+    marginals / flip_counts:
+        Posterior LLRs and bit-flip oscillation counters of the
+        (initial) BP run, when tracked.
+    time_seconds:
+        Wall-clock or modelled decode time, when measured.
+    """
+
+    error: np.ndarray
+    converged: bool
+    iterations: int = 0
+    parallel_iterations: int | None = None
+    initial_iterations: int | None = None
+    stage: str = "initial"
+    trials_attempted: int = 0
+    winning_trial: int | None = None
+    marginals: np.ndarray | None = field(default=None, repr=False)
+    flip_counts: np.ndarray | None = field(default=None, repr=False)
+    time_seconds: float = 0.0
+
+    def __post_init__(self):
+        if self.parallel_iterations is None:
+            self.parallel_iterations = self.iterations
+        if self.initial_iterations is None:
+            self.initial_iterations = self.iterations
+
+
+class Decoder(ABC):
+    """Base class: decoders are bound to a problem at construction."""
+
+    @abstractmethod
+    def decode(self, syndrome) -> DecodeResult:
+        """Decode a single syndrome vector."""
+
+    def decode_batch(self, syndromes) -> list[DecodeResult]:
+        """Decode a batch of syndromes (default: loop over rows)."""
+        return [self.decode(s) for s in np.atleast_2d(syndromes)]

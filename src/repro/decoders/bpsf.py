@@ -1,0 +1,273 @@
+"""BP-SF: belief propagation with syndrome-flip post-processing.
+
+The paper's contribution (Algorithm 1).  The flow is:
+
+1. run BP with oscillation tracking;
+2. on failure, take the ``|Φ|`` most oscillating bits as candidates and
+   generate trial vectors ``t`` (subsets of ``Φ``);
+3. for each trial, flip the syndrome — ``s' = s ⊕ t·Hᵀ`` — and decode
+   ``s'`` with a short, independent BP instance;
+4. return ``ê ⊕ t`` for the first trial whose BP converges (flipping
+   ``t`` back restores consistency with the original syndrome).
+
+Because any syndrome-satisfying solution is very likely in the correct
+coset for degenerate high-distance qLDPC codes, no maximum-likelihood
+selection is performed — first success wins (paper Sec. IV).
+
+All trials decode in one *batched* BP call, which is the software
+analogue of the fully parallel hardware execution the paper targets.
+Latency accounting distinguishes
+
+* ``iterations`` — serial-equivalent cost (initial + every trial up to
+  and including the first success, failed trials charged ``max_iter``),
+* ``parallel_iterations`` — initial + the fastest successful trial.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro._matrix import mod2_right_mul
+from repro.decoders.base import DecodeResult, Decoder
+from repro.decoders.bp import MinSumBP
+from repro.decoders.layered import LayeredMinSumBP
+from repro.decoders.trial_vectors import (
+    exhaustive_trials,
+    sampled_trials,
+    top_oscillating_bits,
+    weighted_trials,
+)
+from repro.problem import DecodingProblem
+
+__all__ = ["BPSFDecoder"]
+
+
+class BPSFDecoder(Decoder):
+    """The paper's speculative syndrome-flip decoder.
+
+    Parameters
+    ----------
+    problem:
+        Decoding problem (check matrix, priors, logicals).
+    max_iter:
+        Iteration budget of the initial BP attempt (``BP100`` in the
+        paper's labels).
+    phi:
+        Candidate set size ``|Φ|``.
+    w_max:
+        Maximum trial-vector weight.
+    n_s:
+        Samples per weight (sampled strategy only).
+    strategy:
+        ``"exhaustive"`` (code capacity, all subsets up to ``w_max``),
+        ``"sampled"`` (circuit level, ``n_s`` uniform subsets per
+        weight) or ``"weighted"`` (subsets sampled proportionally to
+        oscillation counts — the paper's future-work variant).
+    trial_max_iter:
+        Iteration budget per trial BP (defaults to ``max_iter``).
+    layered:
+        Use the layered schedule for both the initial and trial BP.
+    seed:
+        Seed for the trial-sampling RNG (sampled strategy).
+    candidate_selector:
+        Optional override ``f(flip_counts, phi, marginals, rng) ->
+        indices`` replacing oscillation-based selection (used by the
+        ablation studies in ``benchmarks/``).
+    """
+
+    def __init__(
+        self,
+        problem: DecodingProblem,
+        *,
+        max_iter: int = 100,
+        phi: int = 50,
+        w_max: int = 10,
+        n_s: int = 10,
+        strategy: str = "sampled",
+        trial_max_iter: int | None = None,
+        damping: str | float = "adaptive",
+        layered: bool = False,
+        seed: int = 0,
+        bp_kwargs: dict | None = None,
+        candidate_selector=None,
+        bp_cls=None,
+    ):
+        if strategy not in ("sampled", "exhaustive", "weighted"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        if bp_cls is not None and layered:
+            raise ValueError("pass either bp_cls or layered, not both")
+        self.candidate_selector = candidate_selector
+        self.problem = problem
+        self.phi = int(phi)
+        self.w_max = int(w_max)
+        self.n_s = int(n_s)
+        self.strategy = strategy
+        self._rng = np.random.default_rng(seed)
+        kwargs = dict(bp_kwargs or {})
+        # Sec. VII: BP-SF composes with any inner BP whose failures
+        # oscillate — pass e.g. SumProductBP or MemoryMinSumBP here.
+        if bp_cls is None:
+            bp_cls = LayeredMinSumBP if layered else MinSumBP
+        self.bp_initial = bp_cls(
+            problem,
+            max_iter=max_iter,
+            damping=damping,
+            track_oscillations=True,
+            **kwargs,
+        )
+        self.bp_trial = bp_cls(
+            problem,
+            max_iter=trial_max_iter or max_iter,
+            damping=damping,
+            **kwargs,
+        )
+        self.name = (
+            f"BP-SF(BP{max_iter}, wmax={w_max}, phi={phi}, ns={n_s})"
+        )
+
+    # -- trial generation -------------------------------------------------
+
+    def generate_trials(self, flip_counts, marginals) -> list[tuple[int, ...]]:
+        """Trial vectors for one failed decode (Algorithm 1's inner set)."""
+        if self.candidate_selector is not None:
+            candidates = self.candidate_selector(
+                flip_counts, self.phi, marginals, self._rng
+            )
+        else:
+            candidates = top_oscillating_bits(flip_counts, self.phi, marginals)
+        if self.strategy == "exhaustive":
+            return exhaustive_trials(candidates, self.w_max)
+        if self.strategy == "weighted":
+            flips = np.asarray(flip_counts)
+            return weighted_trials(
+                candidates, flips[candidates], self.w_max, self.n_s,
+                self._rng,
+            )
+        return sampled_trials(candidates, self.w_max, self.n_s, self._rng)
+
+    def trial_syndromes(self, syndrome, trials) -> np.ndarray:
+        """Flipped syndromes ``s ⊕ t·Hᵀ`` for each trial vector."""
+        n = self.problem.n_mechanisms
+        flips = np.zeros((len(trials), n), dtype=np.uint8)
+        for row, trial in enumerate(trials):
+            flips[row, list(trial)] = 1
+        deltas = mod2_right_mul(flips, self.problem.check_matrix)
+        return np.asarray(syndrome, dtype=np.uint8)[None, :] ^ deltas
+
+    # -- decoding ----------------------------------------------------------
+
+    def decode(self, syndrome) -> DecodeResult:
+        start = time.perf_counter()
+        syndrome = np.asarray(syndrome, dtype=np.uint8).reshape(-1)
+        initial = self.bp_initial.decode(syndrome)
+        if initial.converged:
+            initial.time_seconds = time.perf_counter() - start
+            return initial
+
+        trials = self.generate_trials(initial.flip_counts, initial.marginals)
+        if not trials:
+            initial.stage = "failed"
+            initial.time_seconds = time.perf_counter() - start
+            return initial
+
+        trial_synd = self.trial_syndromes(syndrome, trials)
+        batch = self.bp_trial.decode_many(trial_synd)
+
+        init_iters = int(initial.iterations)
+        result = self._pick_winner(syndrome, trials, batch, initial, init_iters)
+        result.time_seconds = time.perf_counter() - start
+        return result
+
+    def _pick_winner(
+        self, syndrome, trials, batch, initial, init_iters
+    ) -> DecodeResult:
+        trial_budget = self.bp_trial.max_iter
+        if not batch.converged.any():
+            return DecodeResult(
+                error=initial.error,
+                converged=False,
+                iterations=init_iters + trial_budget * len(trials),
+                parallel_iterations=init_iters + trial_budget,
+                initial_iterations=init_iters,
+                stage="failed",
+                trials_attempted=len(trials),
+                marginals=initial.marginals,
+                flip_counts=initial.flip_counts,
+            )
+        # First success in generation order (the serial-return rule);
+        # the fastest success sets the fully-parallel latency.
+        winner = int(np.argmax(batch.converged))
+        error = batch.errors[winner].copy()
+        error[list(trials[winner])] ^= 1
+        serial_iters = init_iters + int(
+            np.where(batch.converged[:winner], batch.iterations[:winner],
+                     trial_budget).sum()
+        ) + int(batch.iterations[winner])
+        fastest = int(batch.iterations[batch.converged].min())
+        return DecodeResult(
+            error=error,
+            converged=True,
+            iterations=serial_iters,
+            parallel_iterations=init_iters + fastest,
+            initial_iterations=init_iters,
+            stage="post",
+            trials_attempted=len(trials),
+            winning_trial=winner,
+            marginals=initial.marginals,
+            flip_counts=initial.flip_counts,
+        )
+
+    def decode_batch(self, syndromes) -> list[DecodeResult]:
+        """Batch decode: initial BP vectorised, SF per failing shot."""
+        syndromes = np.atleast_2d(np.asarray(syndromes, dtype=np.uint8))
+        initial = self.bp_initial.decode_many(syndromes)
+        out: list[DecodeResult] = []
+        for i in range(len(initial)):
+            if initial.converged[i]:
+                out.append(
+                    DecodeResult(
+                        error=initial.errors[i],
+                        converged=True,
+                        iterations=int(initial.iterations[i]),
+                        stage="initial",
+                        marginals=initial.marginals[i],
+                        flip_counts=initial.flip_counts[i],
+                    )
+                )
+                continue
+            trials = self.generate_trials(
+                initial.flip_counts[i], initial.marginals[i]
+            )
+            if not trials:
+                out.append(
+                    DecodeResult(
+                        error=initial.errors[i],
+                        converged=False,
+                        iterations=int(initial.iterations[i]),
+                        stage="failed",
+                    )
+                )
+                continue
+            trial_synd = self.trial_syndromes(syndromes[i], trials)
+            batch = self.bp_trial.decode_many(trial_synd)
+            out.append(
+                self._pick_winner(
+                    syndromes[i], trials, batch,
+                    _row_result(initial, i), int(initial.iterations[i]),
+                )
+            )
+        return out
+
+
+def _row_result(batch, i) -> DecodeResult:
+    return DecodeResult(
+        error=batch.errors[i],
+        converged=bool(batch.converged[i]),
+        iterations=int(batch.iterations[i]),
+        marginals=batch.marginals[i],
+        flip_counts=(
+            None if batch.flip_counts is None else batch.flip_counts[i]
+        ),
+    )

@@ -1,0 +1,112 @@
+"""Analytic GPU latency models ("GPU Est", paper Sec. VI).
+
+The paper's GPU numbers are themselves an *estimate*: CUDA-Q decodes
+the initial syndrome; on failure, trial syndromes are decoded
+**one-by-one** because ``decode_batch`` blocks on the slowest member.
+We reproduce that estimator as an explicit latency model instead of a
+GPU (none is available offline — see DESIGN.md).  Decode *results* come
+from the exact same BP/BP-SF implementations; only ``time_seconds`` is
+modelled.
+
+Model: a BP call of ``k`` iterations costs
+``launch_overhead_us + k * per_iteration_us``; a triggered OSD stage
+costs ``osd_us``.  Defaults are calibrated so the BP1000-OSD10 baseline
+lands near the paper's measured 7.4 ms average / 40 ms max on a V100
+(Fig. 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.decoders.base import DecodeResult, Decoder
+from repro.decoders.bposd import BPOSDDecoder
+from repro.decoders.bpsf import BPSFDecoder
+
+__all__ = ["GPULatencyModel", "GPUEstimatedBPSF", "GPUEstimatedBPOSD"]
+
+
+@dataclass(frozen=True)
+class GPULatencyModel:
+    """Latency parameters of the modelled GPU decoder."""
+
+    per_iteration_us: float = 25.0
+    launch_overhead_us: float = 150.0
+    osd_us: float = 30000.0
+
+    def bp_seconds(self, iterations: int) -> float:
+        """Modelled wall time of one BP invocation."""
+        return (self.launch_overhead_us
+                + iterations * self.per_iteration_us) * 1e-6
+
+    def batch_bp_seconds(self, iteration_counts) -> float:
+        """``decode_batch`` semantics: one launch, blocks on the slowest."""
+        counts = np.asarray(iteration_counts)
+        if counts.size == 0:
+            return 0.0
+        return self.bp_seconds(int(counts.max()))
+
+
+class GPUEstimatedBPSF(Decoder):
+    """BP-SF with modelled GPU timing (the paper's pessimistic estimate).
+
+    Trial syndromes are charged as sequential launches up to the first
+    success, exactly like the paper's CUDA-Q workflow; with
+    ``batched=True`` the optimistic all-at-once submission described in
+    the paper's discussion is modelled instead.
+    """
+
+    def __init__(self, decoder: BPSFDecoder, *,
+                 model: GPULatencyModel | None = None,
+                 batched: bool = False):
+        self.decoder = decoder
+        self.model = model or GPULatencyModel()
+        self.batched = batched
+        self.name = "BP-SF (GPU_Est)"
+
+    def decode(self, syndrome) -> DecodeResult:
+        result = self.decoder.decode(syndrome)
+        model = self.model
+        elapsed = model.bp_seconds(result.initial_iterations)
+        if result.stage != "initial" and result.trials_attempted:
+            trial_budget = self.decoder.bp_trial.max_iter
+            winner = result.winning_trial
+            if self.batched:
+                # One batch launch; blocks on the slowest trial.
+                elapsed += model.bp_seconds(trial_budget)
+            elif winner is None:
+                elapsed += result.trials_attempted * model.bp_seconds(
+                    trial_budget
+                )
+            else:
+                # Trials before the winner all failed (full budget),
+                # then the winner's own iterations.
+                winner_iters = (
+                    result.iterations
+                    - result.initial_iterations
+                    - winner * trial_budget
+                )
+                elapsed += winner * model.bp_seconds(trial_budget)
+                elapsed += model.bp_seconds(max(winner_iters, 1))
+        result.time_seconds = elapsed
+        return result
+
+
+class GPUEstimatedBPOSD(Decoder):
+    """BP-OSD with modelled GPU timing."""
+
+    def __init__(self, decoder: BPOSDDecoder, *,
+                 model: GPULatencyModel | None = None):
+        self.decoder = decoder
+        self.model = model or GPULatencyModel()
+        self.name = "BP1000-OSD10 (GPU)"
+
+    def decode(self, syndrome) -> DecodeResult:
+        result = self.decoder.decode(syndrome)
+        elapsed = self.model.bp_seconds(result.iterations)
+        if result.stage == "post":
+            elapsed += self.model.osd_us * 1e-6
+        result.time_seconds = elapsed
+        return result

@@ -1,0 +1,110 @@
+"""Memory-augmented min-sum BP (Mem-BP / DMem-BP).
+
+The paper's related work (Sec. I) discusses Relay-BP [Müller et al.,
+arXiv:2506.01779], which chains *memory* BP decoders [Chen et al., IEEE
+TQE 2025].  Mem-BP replaces the channel prior in the variable-node
+update with a blend of the channel LLR and the previous iteration's
+posterior:
+
+.. math::
+
+    \\Gamma_j^{(t)} = \\gamma_j\\,\\Gamma_j^{(t-1)}
+        + (1-\\gamma_j)\\,\\lambda_j
+        + \\sum_{i \\in N(j)} \\mu_{i \\to j}^{(t)}
+
+A uniform memory strength ``γ`` damps oscillations; *disordered*
+per-bit strengths (DMem-BP) additionally break the symmetry of
+degenerate trapping sets, which is why Relay-BP chains several
+differently-disordered legs.
+
+This module provides the single-leg decoder; the chained ensemble lives
+in :mod:`repro.decoders.relay`.  Both reuse the vectorised message
+kernels of :class:`~repro.decoders.bp.MinSumBP` via the
+``_iteration_prior`` hook, so every schedule/batching feature (and the
+oscillation tracking BP-SF needs) is inherited.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.decoders.bp import MinSumBP
+from repro.problem import DecodingProblem
+
+__all__ = ["MemoryMinSumBP", "disordered_gammas"]
+
+
+def disordered_gammas(
+    n: int,
+    low: float,
+    high: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Per-bit memory strengths drawn uniformly from ``[low, high)``.
+
+    Negative strengths are allowed (they *anti*-damp a bit, which is
+    exactly the symmetry-breaking ingredient of DMem-BP); values must
+    stay below 1 or the memory term would diverge.
+    """
+    if not low < high:
+        raise ValueError("low must be smaller than high")
+    if high >= 1.0:
+        raise ValueError("memory strengths must be < 1")
+    return rng.uniform(low, high, size=n)
+
+
+class MemoryMinSumBP(MinSumBP):
+    """Min-sum BP with a per-bit memory term (Mem-BP / DMem-BP).
+
+    Parameters
+    ----------
+    problem:
+        The decoding problem.
+    gamma:
+        Memory strength: a scalar (uniform Mem-BP) or an ``(n,)`` array
+        of per-bit strengths (disordered DMem-BP).  ``gamma = 0``
+        recovers plain min-sum BP.  Strengths must be ``< 1``; negative
+        values are permitted.
+    kwargs:
+        Forwarded to :class:`~repro.decoders.bp.MinSumBP` (``max_iter``,
+        ``damping``, ``clamp``, ``track_oscillations``, ...).
+    """
+
+    def __init__(self, problem: DecodingProblem, *, gamma=0.9, **kwargs):
+        super().__init__(problem, **kwargs)
+        gamma = np.asarray(gamma, dtype=self.dtype)
+        if gamma.ndim == 0:
+            gamma = np.full(self.edges.n_vars, float(gamma), dtype=self.dtype)
+        if gamma.shape != (self.edges.n_vars,):
+            raise ValueError(
+                f"gamma shape {gamma.shape} does not match "
+                f"{self.edges.n_vars} variables"
+            )
+        if np.any(gamma >= 1.0):
+            raise ValueError("memory strengths must be < 1")
+        self.gamma = gamma
+
+    @classmethod
+    def disordered(
+        cls,
+        problem: DecodingProblem,
+        *,
+        low: float = -0.24,
+        high: float = 0.66,
+        rng: np.random.Generator | None = None,
+        **kwargs,
+    ) -> "MemoryMinSumBP":
+        """A DMem-BP leg with per-bit strengths from ``[low, high)``."""
+        rng = np.random.default_rng() if rng is None else rng
+        gamma = disordered_gammas(problem.n_mechanisms, low, high, rng)
+        return cls(problem, gamma=gamma, **kwargs)
+
+    def _iteration_prior(self, prior, marg_prev, iteration: int) -> np.ndarray:
+        # First iteration has no posterior yet (marg_prev == prior).
+        if iteration == 1:
+            return prior
+        blended = (1.0 - self.gamma) * prior + self.gamma * marg_prev
+        # The memory term can otherwise run away on high-|gamma| bits.
+        return np.clip(blended, -self.clamp, self.clamp).astype(
+            self.dtype, copy=False
+        )

@@ -1,0 +1,199 @@
+"""Multi-process BP-SF executor (paper Sec. VI, "Parallel CPU version").
+
+Mirrors the paper's architecture: a persistent pool of worker processes
+with input/output queues.  The manager (this process) runs the initial
+BP, generates trial vectors, splits trial syndromes into small batches
+and feeds the input queue; workers decode batches and push results; the
+manager returns as soon as a valid solution arrives.  Each syndrome
+carries a serial number so stale results from an abandoned decode are
+discarded rather than mistaken for current ones.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue
+import time
+
+import numpy as np
+
+from repro.decoders.base import DecodeResult, Decoder
+from repro.decoders.bp import MinSumBP
+from repro.decoders.bpsf import BPSFDecoder
+from repro.problem import DecodingProblem
+
+__all__ = ["ParallelBPSFDecoder"]
+
+
+def _worker_loop(in_queue, out_queue, problem, bp_params):
+    """Worker process: decode trial-syndrome batches until poisoned."""
+    bp = MinSumBP(problem, **bp_params)
+    while True:
+        item = in_queue.get()
+        if item is None:
+            return
+        serial_no, trial_ids, syndromes = item
+        batch = bp.decode_many(syndromes)
+        out_queue.put(
+            (
+                serial_no,
+                trial_ids,
+                batch.converged.copy(),
+                batch.iterations.copy(),
+                batch.errors[batch.converged].copy(),
+            )
+        )
+
+
+class ParallelBPSFDecoder(Decoder):
+    """BP-SF with trial decoding distributed over worker processes.
+
+    Logical behaviour matches :class:`BPSFDecoder` (same candidate
+    selection and trial generation); only the execution of trials
+    differs.  Use as a context manager, or call :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        problem: DecodingProblem,
+        *,
+        processes: int = 4,
+        batch_trials: int = 8,
+        max_iter: int = 100,
+        phi: int = 50,
+        w_max: int = 10,
+        n_s: int = 10,
+        strategy: str = "sampled",
+        trial_max_iter: int | None = None,
+        damping: str | float = "adaptive",
+        seed: int = 0,
+    ):
+        self.problem = problem
+        self.processes = int(processes)
+        self.batch_trials = int(batch_trials)
+        # Reuse the serial implementation for the initial stage and for
+        # trial generation so the two versions cannot drift apart.
+        self._serial = BPSFDecoder(
+            problem,
+            max_iter=max_iter,
+            phi=phi,
+            w_max=w_max,
+            n_s=n_s,
+            strategy=strategy,
+            trial_max_iter=trial_max_iter,
+            damping=damping,
+            seed=seed,
+        )
+        self._trial_budget = self._serial.bp_trial.max_iter
+        ctx = mp.get_context("fork")
+        self._in_queue = ctx.Queue()
+        self._out_queue = ctx.Queue()
+        bp_params = {
+            "max_iter": trial_max_iter or max_iter,
+            "damping": damping,
+        }
+        self._workers = [
+            ctx.Process(
+                target=_worker_loop,
+                args=(self._in_queue, self._out_queue, problem, bp_params),
+                daemon=True,
+            )
+            for _ in range(self.processes)
+        ]
+        for w in self._workers:
+            w.start()
+        self._serial_no = 0
+        self.name = f"BP-SF(P={processes})"
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Terminate the worker pool."""
+        for _ in self._workers:
+            self._in_queue.put(None)
+        for w in self._workers:
+            w.join(timeout=5)
+            if w.is_alive():
+                w.terminate()
+        self._workers = []
+
+    def __enter__(self) -> "ParallelBPSFDecoder":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- decoding ------------------------------------------------------------
+
+    def decode(self, syndrome) -> DecodeResult:
+        start = time.perf_counter()
+        syndrome = np.asarray(syndrome, dtype=np.uint8).reshape(-1)
+        initial = self._serial.bp_initial.decode(syndrome)
+        if initial.converged:
+            initial.time_seconds = time.perf_counter() - start
+            return initial
+
+        trials = self._serial.generate_trials(
+            initial.flip_counts, initial.marginals
+        )
+        if not trials:
+            initial.stage = "failed"
+            initial.time_seconds = time.perf_counter() - start
+            return initial
+        trial_synd = self._serial.trial_syndromes(syndrome, trials)
+
+        self._serial_no += 1
+        serial_no = self._serial_no
+        n_batches = 0
+        for lo in range(0, len(trials), self.batch_trials):
+            ids = np.arange(lo, min(lo + self.batch_trials, len(trials)))
+            self._in_queue.put((serial_no, ids, trial_synd[ids]))
+            n_batches += 1
+
+        result = self._collect(
+            serial_no, n_batches, trials, initial, start
+        )
+        return result
+
+    def _collect(self, serial_no, n_batches, trials, initial, start):
+        init_iters = int(initial.iterations)
+        received = 0
+        best: tuple[int, np.ndarray, int] | None = None  # (trial, error, iters)
+        while received < n_batches:
+            sn, trial_ids, converged, iterations, errors = self._out_queue.get()
+            if sn != serial_no:
+                continue  # stale result from an abandoned decode
+            received += 1
+            if not converged.any() or best is not None:
+                continue
+            local = int(np.argmax(converged))
+            trial_index = int(trial_ids[local])
+            error = errors[int(converged[:local].sum())].copy()
+            error[list(trials[trial_index])] ^= 1
+            best = (trial_index, error, int(iterations[local]))
+            # Paper: signal workers to stop; here the remaining batches
+            # are small and drain quickly, keeping results exact.
+        elapsed = time.perf_counter() - start
+        if best is None:
+            return DecodeResult(
+                error=initial.error,
+                converged=False,
+                iterations=init_iters + self._trial_budget * len(trials),
+                parallel_iterations=init_iters + self._trial_budget,
+                initial_iterations=init_iters,
+                stage="failed",
+                trials_attempted=len(trials),
+                time_seconds=elapsed,
+            )
+        trial_index, error, iters = best
+        return DecodeResult(
+            error=error,
+            converged=True,
+            iterations=init_iters + iters,
+            parallel_iterations=init_iters + iters,
+            initial_iterations=init_iters,
+            stage="post",
+            trials_attempted=len(trials),
+            winning_trial=trial_index,
+            time_seconds=elapsed,
+        )

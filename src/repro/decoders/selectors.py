@@ -1,0 +1,80 @@
+"""Candidate-selection strategies for BP-SF.
+
+The paper selects the top-``|Φ|`` most *oscillating* bits; its future
+work calls for "more effective candidate selection" (Sec. VII).  This
+module collects the paper's selector plus alternatives, all sharing the
+signature expected by :class:`~repro.decoders.bpsf.BPSFDecoder`'s
+``candidate_selector`` parameter::
+
+    selector(flip_counts, phi, marginals, rng) -> candidate indices
+
+``combined`` is the extension: it ranks bits by a convex combination of
+the oscillation rank and the posterior-unreliability rank, catching
+bits that are unreliable without oscillating (stuck wrong) as well as
+oscillating ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.stats import rankdata
+
+from repro.decoders.trial_vectors import top_oscillating_bits
+
+__all__ = ["get_selector", "SELECTORS"]
+
+
+def oscillation_selector(flip_counts, phi, marginals, rng):
+    """The paper's selector: most frequently flipped bits."""
+    return top_oscillating_bits(flip_counts, phi, marginals)
+
+
+def least_reliable_selector(flip_counts, phi, marginals, rng):
+    """Bits with the smallest posterior |LLR| (classical Chase order)."""
+    order = np.argsort(np.abs(np.asarray(marginals)), kind="stable")
+    return order[: min(int(phi), order.shape[0])]
+
+
+def random_selector(flip_counts, phi, marginals, rng):
+    """Uniformly random candidates (the ablation control)."""
+    n = np.asarray(flip_counts).shape[0]
+    return rng.choice(n, size=min(int(phi), n), replace=False)
+
+
+def combined_selector(flip_counts, phi, marginals, rng, *,
+                      oscillation_weight: float = 0.7):
+    """Blend of oscillation rank and posterior-unreliability rank.
+
+    Ranks are normalised to [0, 1] (1 = most suspicious) and mixed with
+    weight ``oscillation_weight`` on the oscillation side.
+    """
+    flips = np.asarray(flip_counts, dtype=np.float64)
+    reliability = np.abs(np.asarray(marginals, dtype=np.float64))
+    n = flips.shape[0]
+    if n == 1:
+        return np.zeros(1, dtype=np.intp)
+    # Tie-aware ranks in [0, 1]: equal inputs get equal ranks, so bits
+    # that never flipped are not spuriously promoted.
+    flip_rank = (rankdata(flips, method="average") - 1) / (n - 1)
+    unrel_rank = (rankdata(-reliability, method="average") - 1) / (n - 1)
+    score = oscillation_weight * flip_rank + (1 - oscillation_weight) * unrel_rank
+    order = np.argsort(-score, kind="stable")
+    return order[: min(int(phi), n)].astype(np.intp)
+
+
+SELECTORS = {
+    "oscillation": oscillation_selector,
+    "least_reliable": least_reliable_selector,
+    "random": random_selector,
+    "combined": combined_selector,
+}
+
+
+def get_selector(name: str):
+    """Look up a named candidate selector."""
+    try:
+        return SELECTORS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown selector {name!r}; available: {sorted(SELECTORS)}"
+        ) from None

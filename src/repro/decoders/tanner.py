@@ -1,0 +1,63 @@
+"""Edge-list representation of a Tanner graph for vectorised BP.
+
+Message passing works on flat edge arrays rather than per-node Python
+loops.  Edges are stored twice conceptually — sorted by check (for the
+check-to-variable reduction) and sorted by variable (for the
+variable-side sums) — with a permutation translating between the two
+orders.  All segment reductions use ``numpy.ufunc.reduceat`` over the
+non-empty segments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["TannerEdges"]
+
+
+class TannerEdges:
+    """Precomputed edge indexing for a binary check matrix."""
+
+    def __init__(self, check_matrix):
+        h = check_matrix.tocoo() if sp.issparse(check_matrix) else sp.coo_matrix(
+            np.asarray(check_matrix)
+        )
+        self.n_checks, self.n_vars = h.shape
+        order = np.lexsort((h.col, h.row))
+        #: check id of each edge (check-sorted order)
+        self.edge_check = h.row[order].astype(np.intp)
+        #: variable id of each edge (check-sorted order)
+        self.edge_var = h.col[order].astype(np.intp)
+        self.n_edges = self.edge_check.shape[0]
+
+        # Check-side segments (non-empty checks only).
+        self.check_ids, check_deg = np.unique(self.edge_check, return_counts=True)
+        self.check_starts = np.concatenate([[0], np.cumsum(check_deg[:-1])])
+        #: per-edge index into the non-empty-check segment arrays
+        self.edge_segment = np.repeat(
+            np.arange(self.check_ids.shape[0]), check_deg
+        )
+
+        # Variable-side order: permutation from check-sorted to var-sorted.
+        self.to_var_order = np.lexsort((self.edge_check, self.edge_var))
+        var_sorted = self.edge_var[self.to_var_order]
+        self.var_ids, var_deg = np.unique(var_sorted, return_counts=True)
+        self.var_starts = np.concatenate([[0], np.cumsum(var_deg[:-1])])
+        #: per-edge (var order) index into the non-empty-var segments
+        self.edge_var_segment = np.repeat(
+            np.arange(self.var_ids.shape[0]), var_deg
+        )
+        #: variable id of each edge in var-sorted order
+        self.edge_var_sorted = var_sorted
+
+    def scatter_var_sums(self, per_var_values: np.ndarray) -> np.ndarray:
+        """Expand per-(non-empty)-variable values to the full width.
+
+        ``per_var_values`` has shape ``(..., len(var_ids))``; returns
+        ``(..., n_vars)`` with zeros at isolated variables.
+        """
+        shape = per_var_values.shape[:-1] + (self.n_vars,)
+        out = np.zeros(shape, dtype=per_var_values.dtype)
+        out[..., self.var_ids] = per_var_values
+        return out

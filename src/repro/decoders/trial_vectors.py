@@ -1,0 +1,155 @@
+"""Candidate-bit selection and trial-vector generation for BP-SF.
+
+Candidate bits are the most frequently *oscillating* bits of the failed
+BP run (paper Sec. III-B: oscillating bits correlate strongly with true
+error locations).  Trial vectors are subsets of the candidate set; each
+trial flips its bits in the syndrome domain.
+
+Two generation strategies are used in the paper:
+
+* exhaustive enumeration of all subsets up to weight ``w_max``
+  (code-capacity model, where ``w_max = 1`` suffices), and
+* sampling ``n_s`` random subsets per weight in ``{1..w_max}``
+  (circuit-level model, where the candidate set is larger).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+__all__ = [
+    "exhaustive_trials",
+    "sampled_trials",
+    "top_oscillating_bits",
+    "weighted_trials",
+]
+
+
+def top_oscillating_bits(
+    flip_counts,
+    phi: int,
+    marginals=None,
+) -> np.ndarray:
+    """The ``|Φ|`` most frequently flipped bits of a BP run.
+
+    Ties in flip count are broken toward bits with the least reliable
+    posterior (smallest ``|marginal|``) when marginals are supplied,
+    then by index for determinism.  Bits that never flipped are only
+    used to pad when fewer than ``phi`` bits oscillated.
+    """
+    flip_counts = np.asarray(flip_counts)
+    n = flip_counts.shape[0]
+    phi = min(int(phi), n)
+    if marginals is None:
+        reliability = np.zeros(n)
+    else:
+        reliability = np.abs(np.asarray(marginals, dtype=np.float64))
+    # Sort by (-flips, |marginal|, index): most oscillating first.
+    order = np.lexsort((np.arange(n), reliability, -flip_counts))
+    return order[:phi].astype(np.intp)
+
+
+def exhaustive_trials(candidates, w_max: int) -> list[tuple[int, ...]]:
+    """All subsets of the candidate set with weight ``1..w_max``.
+
+    Ordered by increasing weight, then lexicographically by candidate
+    rank, so the most promising (lowest weight, most oscillating)
+    trials run first.
+    """
+    candidates = [int(c) for c in candidates]
+    if w_max < 1:
+        raise ValueError("w_max must be at least 1")
+    trials: list[tuple[int, ...]] = []
+    for w in range(1, min(w_max, len(candidates)) + 1):
+        trials.extend(itertools.combinations(candidates, w))
+    return trials
+
+
+def sampled_trials(
+    candidates,
+    w_max: int,
+    n_s: int,
+    rng: np.random.Generator,
+) -> list[tuple[int, ...]]:
+    """``n_s`` random subsets per weight in ``{1..w_max}`` (deduplicated).
+
+    Mirrors the paper's circuit-level strategy: exhaustive enumeration
+    is infeasible for ``|Φ| = 50``, so ``n_s x w_max`` trials are drawn
+    instead.  Weight-1 trials are drawn without replacement when
+    possible.
+    """
+    candidates = np.asarray([int(c) for c in candidates], dtype=np.intp)
+    if w_max < 1:
+        raise ValueError("w_max must be at least 1")
+    if n_s < 1:
+        raise ValueError("n_s must be at least 1")
+    trials: list[tuple[int, ...]] = []
+    seen: set[tuple[int, ...]] = set()
+    for w in range(1, w_max + 1):
+        if w > candidates.size:
+            break
+        if w == 1:
+            picks = rng.choice(
+                candidates, size=min(n_s, candidates.size), replace=False
+            )
+            for c in picks:
+                trial = (int(c),)
+                if trial not in seen:
+                    seen.add(trial)
+                    trials.append(trial)
+            continue
+        for _ in range(n_s):
+            subset = rng.choice(candidates, size=w, replace=False)
+            trial = tuple(sorted(int(c) for c in subset))
+            if trial not in seen:
+                seen.add(trial)
+                trials.append(trial)
+    return trials
+
+
+def weighted_trials(
+    candidates,
+    weights,
+    w_max: int,
+    n_s: int,
+    rng: np.random.Generator,
+) -> list[tuple[int, ...]]:
+    """Sample trials with probability proportional to candidate weights.
+
+    The paper's future-work item "improved trial vector sampling
+    strategies" (Sec. VII): instead of uniform subsets of ``Φ``, bits
+    that oscillated more often are proportionally more likely to be
+    flipped, concentrating trials on the strongest suspects.
+
+    ``weights`` are non-negative relevance scores (typically the flip
+    counts of the candidate bits); zero-weight candidates are smoothed
+    so they remain reachable.
+    """
+    candidates = np.asarray([int(c) for c in candidates], dtype=np.intp)
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != candidates.shape:
+        raise ValueError("weights must align with candidates")
+    if np.any(weights < 0):
+        raise ValueError("weights must be non-negative")
+    if w_max < 1:
+        raise ValueError("w_max must be at least 1")
+    if n_s < 1:
+        raise ValueError("n_s must be at least 1")
+    smoothed = weights + max(weights.max(), 1.0) * 0.01
+    probabilities = smoothed / smoothed.sum()
+    trials: list[tuple[int, ...]] = []
+    seen: set[tuple[int, ...]] = set()
+    for w in range(1, w_max + 1):
+        if w > candidates.size:
+            break
+        for _ in range(n_s):
+            subset = rng.choice(
+                candidates, size=w, replace=False, p=probabilities
+            )
+            trial = tuple(sorted(int(c) for c in subset))
+            if trial not in seen:
+                seen.add(trial)
+                trials.append(trial)
+    return trials

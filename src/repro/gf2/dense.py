@@ -1,0 +1,262 @@
+"""Dense GF(2) linear algebra on ``numpy.uint8`` matrices.
+
+All functions treat matrices as elements of :math:`\\mathbb{F}_2^{m
+\\times n}`; inputs may be any integer array and are reduced modulo 2 on
+entry.  Row reduction is the workhorse: rank, solving, nullspaces,
+row-space membership and inversion are all thin layers over
+:func:`row_reduce`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "as_gf2",
+    "identity",
+    "in_row_space",
+    "IncrementalRowSpace",
+    "inverse",
+    "mat_mul",
+    "mat_vec",
+    "nullspace",
+    "rank",
+    "row_basis",
+    "row_reduce",
+    "RowSpace",
+    "solve",
+]
+
+
+def as_gf2(a) -> np.ndarray:
+    """Return ``a`` as a ``uint8`` array reduced modulo 2.
+
+    Accepts any integer-like array (lists, bools, wider dtypes).  The
+    result always owns fresh memory when a reduction or cast is needed,
+    but an already-conforming array is returned as-is.
+    """
+    arr = np.asarray(a)
+    if arr.dtype == np.uint8 and arr.size and arr.max(initial=0) <= 1:
+        return arr
+    return (arr % 2).astype(np.uint8)
+
+
+def identity(n: int) -> np.ndarray:
+    """Return the ``n x n`` identity matrix over GF(2)."""
+    return np.eye(n, dtype=np.uint8)
+
+
+def mat_mul(a, b) -> np.ndarray:
+    """Matrix product ``a @ b`` over GF(2)."""
+    a = as_gf2(a)
+    b = as_gf2(b)
+    return (a.astype(np.int64) @ b.astype(np.int64) % 2).astype(np.uint8)
+
+
+def mat_vec(a, v) -> np.ndarray:
+    """Matrix-vector product ``a @ v`` over GF(2)."""
+    a = as_gf2(a)
+    v = as_gf2(v)
+    return (a.astype(np.int64) @ v.astype(np.int64) % 2).astype(np.uint8)
+
+
+def row_reduce(mat, *, full: bool = True) -> tuple[np.ndarray, np.ndarray]:
+    """Row-reduce ``mat`` over GF(2).
+
+    Parameters
+    ----------
+    mat:
+        Matrix to reduce; not modified.
+    full:
+        When True (default) produce the reduced row-echelon form
+        (entries above pivots cleared as well); when False, plain row
+        echelon form.
+
+    Returns
+    -------
+    (reduced, pivot_cols):
+        ``reduced`` is the (R)REF and ``pivot_cols`` the array of pivot
+        column indices in increasing order.  ``len(pivot_cols)`` is the
+        rank.
+    """
+    m = as_gf2(mat).copy()
+    if m.ndim != 2:
+        raise ValueError(f"expected a 2-d matrix, got shape {m.shape}")
+    n_rows, n_cols = m.shape
+    pivot_cols: list[int] = []
+    r = 0
+    for c in range(n_cols):
+        if r == n_rows:
+            break
+        ones_below = np.nonzero(m[r:, c])[0]
+        if ones_below.size == 0:
+            continue
+        pivot = r + ones_below[0]
+        if pivot != r:
+            m[[r, pivot]] = m[[pivot, r]]
+        if full:
+            targets = np.nonzero(m[:, c])[0]
+            targets = targets[targets != r]
+        else:
+            targets = r + 1 + np.nonzero(m[r + 1:, c])[0]
+        if targets.size:
+            m[targets] ^= m[r]
+        pivot_cols.append(c)
+        r += 1
+    return m, np.asarray(pivot_cols, dtype=np.intp)
+
+
+def rank(mat) -> int:
+    """Rank of ``mat`` over GF(2)."""
+    _, pivots = row_reduce(mat, full=False)
+    return len(pivots)
+
+
+def row_basis(mat) -> np.ndarray:
+    """A basis (as matrix rows, in RREF) of the row space of ``mat``."""
+    reduced, pivots = row_reduce(mat)
+    return reduced[: len(pivots)]
+
+
+def nullspace(mat) -> np.ndarray:
+    """A basis of the right null space ``{x : mat @ x = 0 (mod 2)}``.
+
+    Returns a ``(n - rank, n)`` matrix whose rows span the kernel.
+    """
+    m = as_gf2(mat)
+    _, n_cols = m.shape
+    reduced, pivots = row_reduce(m)
+    pivot_set = set(int(p) for p in pivots)
+    free_cols = [c for c in range(n_cols) if c not in pivot_set]
+    basis = np.zeros((len(free_cols), n_cols), dtype=np.uint8)
+    for i, f in enumerate(free_cols):
+        basis[i, f] = 1
+        basis[i, pivots] = reduced[: len(pivots), f]
+    return basis
+
+
+def solve(mat, rhs) -> np.ndarray | None:
+    """Solve ``mat @ x = rhs`` over GF(2); return ``None`` if infeasible.
+
+    The returned solution has support only on pivot columns of ``mat``
+    (the canonical particular solution).
+    """
+    m = as_gf2(mat)
+    s = as_gf2(rhs).reshape(-1)
+    if s.shape[0] != m.shape[0]:
+        raise ValueError(
+            f"rhs length {s.shape[0]} does not match {m.shape[0]} rows"
+        )
+    augmented = np.concatenate([m, s[:, None]], axis=1)
+    reduced, pivots = row_reduce(augmented)
+    if len(pivots) and pivots[-1] == m.shape[1]:
+        return None
+    x = np.zeros(m.shape[1], dtype=np.uint8)
+    x[pivots] = reduced[: len(pivots), -1]
+    return x
+
+
+def inverse(mat) -> np.ndarray:
+    """Inverse of a square, full-rank matrix over GF(2).
+
+    Raises ``ValueError`` when the matrix is singular or not square.
+    """
+    m = as_gf2(mat)
+    n_rows, n_cols = m.shape
+    if n_rows != n_cols:
+        raise ValueError(f"matrix is not square: {m.shape}")
+    augmented = np.concatenate([m, identity(n_rows)], axis=1)
+    reduced, pivots = row_reduce(augmented)
+    if len(pivots) != n_rows or int(pivots[-1]) >= n_rows:
+        raise ValueError("matrix is singular over GF(2)")
+    return reduced[:, n_rows:]
+
+
+class RowSpace:
+    """Row space of a matrix supporting fast repeated membership tests.
+
+    The constructor row-reduces the matrix once; :meth:`contains` and
+    :meth:`reduce` then run in ``O(rank * n)``.
+    """
+
+    def __init__(self, mat):
+        reduced, pivots = row_reduce(mat)
+        self._basis = reduced[: len(pivots)]
+        self._pivots = pivots
+
+    @property
+    def dimension(self) -> int:
+        """Dimension of the row space."""
+        return self._basis.shape[0]
+
+    @property
+    def basis(self) -> np.ndarray:
+        """RREF basis of the space (one row per basis vector)."""
+        return self._basis
+
+    def reduce(self, v) -> np.ndarray:
+        """Canonical coset representative of ``v`` modulo the space."""
+        w = as_gf2(v).reshape(-1).copy()
+        for row, pivot in zip(self._basis, self._pivots):
+            if w[pivot]:
+                w ^= row
+        return w
+
+    def contains(self, v) -> bool:
+        """Whether ``v`` lies in the row space."""
+        return not self.reduce(v).any()
+
+
+def in_row_space(mat, v) -> bool:
+    """Whether vector ``v`` lies in the row space of ``mat``.
+
+    For repeated queries against the same matrix build a
+    :class:`RowSpace` once instead.
+    """
+    return RowSpace(mat).contains(v)
+
+
+class IncrementalRowSpace:
+    """Row space grown one vector at a time.
+
+    Maintains an internal RREF so that :meth:`add` costs
+    ``O(rank * n)``.  Used by logical-operator extraction, where
+    candidate kernel vectors are admitted only if they enlarge the span
+    of the stabilizer rows collected so far.
+    """
+
+    def __init__(self, n_cols: int):
+        self._n_cols = n_cols
+        self._rows: list[np.ndarray] = []
+        self._pivots: list[int] = []
+
+    @property
+    def dimension(self) -> int:
+        """Current dimension of the space."""
+        return len(self._rows)
+
+    def reduce(self, v) -> np.ndarray:
+        """Reduce ``v`` against the current basis."""
+        w = as_gf2(v).reshape(-1).copy()
+        if w.shape[0] != self._n_cols:
+            raise ValueError(
+                f"vector length {w.shape[0]} does not match {self._n_cols}"
+            )
+        for row, pivot in zip(self._rows, self._pivots):
+            if w[pivot]:
+                w ^= row
+        return w
+
+    def contains(self, v) -> bool:
+        """Whether ``v`` already lies in the space."""
+        return not self.reduce(v).any()
+
+    def add(self, v) -> bool:
+        """Add ``v`` to the space; return True if the dimension grew."""
+        w = self.reduce(v)
+        ones = np.nonzero(w)[0]
+        if ones.size == 0:
+            return False
+        self._rows.append(w)
+        self._pivots.append(int(ones[0]))
+        return True

@@ -1,0 +1,60 @@
+"""Bit-packed GF(2) row storage.
+
+Rows are packed 64 columns per ``numpy.uint64`` word so that a row XOR
+touches ``n / 64`` words instead of ``n`` bytes.  This is the storage
+format used by the ordered Gaussian elimination behind OSD, where
+matrices routinely have several thousand columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pack_rows", "unpack_rows", "column_of", "popcount_rows", "words_needed"]
+
+
+def words_needed(n_cols: int) -> int:
+    """Number of 64-bit words needed to store ``n_cols`` bits."""
+    return (n_cols + 63) // 64
+
+
+def pack_rows(mat) -> np.ndarray:
+    """Pack the rows of a binary matrix into ``uint64`` words.
+
+    Column ``j`` of the input is stored in bit ``j % 64`` of word
+    ``j // 64`` (little-endian bit order).
+
+    Returns an array of shape ``(n_rows, words_needed(n_cols))``.
+    """
+    m = np.asarray(mat, dtype=np.uint8) % 2
+    if m.ndim != 2:
+        raise ValueError(f"expected a 2-d matrix, got shape {m.shape}")
+    n_rows, n_cols = m.shape
+    n_words = words_needed(n_cols)
+    padded_cols = n_words * 64
+    if padded_cols != n_cols:
+        pad = np.zeros((n_rows, padded_cols - n_cols), dtype=np.uint8)
+        m = np.concatenate([m, pad], axis=1)
+    packed_bytes = np.packbits(m, axis=1, bitorder="little")
+    return packed_bytes.view(np.uint64).reshape(n_rows, n_words)
+
+
+def unpack_rows(packed, n_cols: int) -> np.ndarray:
+    """Inverse of :func:`pack_rows`; returns a ``(n_rows, n_cols)`` uint8 matrix."""
+    packed = np.ascontiguousarray(packed, dtype=np.uint64)
+    n_rows = packed.shape[0]
+    as_bytes = packed.view(np.uint8).reshape(n_rows, -1)
+    bits = np.unpackbits(as_bytes, axis=1, bitorder="little")
+    return bits[:, :n_cols]
+
+
+def column_of(packed, j: int) -> np.ndarray:
+    """Extract column ``j`` across all packed rows as a uint8 vector."""
+    word = j >> 6
+    bit = j & 63
+    return ((packed[:, word] >> np.uint64(bit)) & np.uint64(1)).astype(np.uint8)
+
+
+def popcount_rows(packed) -> np.ndarray:
+    """Number of set bits in each packed row."""
+    return np.bitwise_count(packed).sum(axis=1, dtype=np.int64)

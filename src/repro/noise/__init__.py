@@ -1,0 +1,8 @@
+"""Noise models producing decoding problems."""
+
+from repro.noise.code_capacity import (
+    code_capacity_problem,
+    sample_pauli_errors,
+)
+
+__all__ = ["code_capacity_problem", "sample_pauli_errors"]

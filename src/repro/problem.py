@@ -1,0 +1,114 @@
+"""The decoding-problem abstraction shared by every noise model.
+
+Whatever their origin (code-capacity channel or circuit-level detector
+error model), decoding tasks reduce to the same triple:
+
+* ``check_matrix`` ``H`` — maps error mechanisms to syndrome bits,
+* ``priors`` — independent prior probability of each mechanism,
+* ``logical_matrix`` ``L`` — maps mechanisms to logical observables.
+
+A decoder consumes ``(H, priors)`` and a syndrome; a shot counts as a
+logical failure iff the residual ``e ⊕ ê`` flips any observable, or the
+decoder fails to satisfy the syndrome at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro._matrix import mod2_right_mul, to_csr
+
+__all__ = ["DecodingProblem"]
+
+
+@dataclass
+class DecodingProblem:
+    """A syndrome decoding task over independent binary error mechanisms."""
+
+    check_matrix: sp.csr_matrix
+    priors: np.ndarray
+    logical_matrix: sp.csr_matrix
+    name: str = ""
+    rounds: int = 1
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.check_matrix = to_csr(self.check_matrix)
+        self.logical_matrix = to_csr(self.logical_matrix)
+        self.priors = np.asarray(self.priors, dtype=np.float64)
+        if self.priors.ndim == 0:
+            self.priors = np.full(self.n_mechanisms, float(self.priors))
+        if self.priors.shape != (self.n_mechanisms,):
+            raise ValueError(
+                f"priors shape {self.priors.shape} does not match "
+                f"{self.n_mechanisms} mechanisms"
+            )
+        if self.logical_matrix.shape[1] != self.n_mechanisms:
+            raise ValueError(
+                "logical matrix columns do not match mechanism count"
+            )
+        if np.any(self.priors <= 0) or np.any(self.priors >= 0.5):
+            # Priors of exactly 0/0.5+ break LLR initialisation.
+            raise ValueError("priors must lie in (0, 0.5)")
+
+    # -- dimensions ----------------------------------------------------
+
+    @property
+    def n_checks(self) -> int:
+        """Number of syndrome bits."""
+        return self.check_matrix.shape[0]
+
+    @property
+    def n_mechanisms(self) -> int:
+        """Number of error mechanisms (columns of H)."""
+        return self.check_matrix.shape[1]
+
+    @property
+    def n_logicals(self) -> int:
+        """Number of logical observables."""
+        return self.logical_matrix.shape[0]
+
+    # -- arithmetic -----------------------------------------------------
+
+    def llr_priors(self) -> np.ndarray:
+        """Channel log-likelihood ratios ``log((1-p)/p)`` per mechanism."""
+        return np.log((1.0 - self.priors) / self.priors)
+
+    def syndromes(self, errors) -> np.ndarray:
+        """Syndromes ``H e`` for one error vector or a batch."""
+        return mod2_right_mul(errors, self.check_matrix)
+
+    def logical_flips(self, errors) -> np.ndarray:
+        """Observable flips ``L e`` for one error vector or a batch."""
+        return mod2_right_mul(errors, self.logical_matrix)
+
+    def sample_errors(self, shots: int, rng: np.random.Generator) -> np.ndarray:
+        """Sample ``shots`` iid error vectors from the priors."""
+        return (
+            rng.random((shots, self.n_mechanisms)) < self.priors
+        ).astype(np.uint8)
+
+    def is_failure(self, true_errors, estimates) -> np.ndarray:
+        """Per-shot logical failure flags.
+
+        A shot fails when the estimate does not reproduce the syndrome
+        or when the residual error flips an observable.
+        """
+        true_errors = np.atleast_2d(np.asarray(true_errors, dtype=np.uint8))
+        estimates = np.atleast_2d(np.asarray(estimates, dtype=np.uint8))
+        syndrome_ok = ~(
+            (self.syndromes(true_errors) ^ self.syndromes(estimates)).any(axis=1)
+        )
+        residual = true_errors ^ estimates
+        flipped = self.logical_flips(residual).any(axis=1)
+        return ~syndrome_ok | flipped
+
+    def __repr__(self) -> str:
+        return (
+            f"<DecodingProblem {self.name or 'anonymous'}: "
+            f"{self.n_checks} checks x {self.n_mechanisms} mechanisms, "
+            f"{self.n_logicals} logicals, rounds={self.rounds}>"
+        )

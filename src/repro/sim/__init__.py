@@ -1,0 +1,27 @@
+"""Monte-Carlo, latency and streaming-queue measurement harnesses."""
+
+from repro.sim.monte_carlo import MonteCarloResult, run_ler
+from repro.sim.stats import (
+    TimingSummary,
+    ler_per_round,
+    rounds_from_per_round,
+    summarize_times,
+    wilson_interval,
+)
+from repro.sim.streaming import StreamingReport, run_streaming, simulate_stream
+from repro.sim.timing import LatencyResult, measure_latency
+
+__all__ = [
+    "MonteCarloResult",
+    "run_ler",
+    "TimingSummary",
+    "ler_per_round",
+    "rounds_from_per_round",
+    "summarize_times",
+    "wilson_interval",
+    "LatencyResult",
+    "measure_latency",
+    "StreamingReport",
+    "run_streaming",
+    "simulate_stream",
+]

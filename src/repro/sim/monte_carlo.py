@@ -1,0 +1,128 @@
+"""Monte-Carlo logical-error-rate estimation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.decoders.base import Decoder
+from repro.problem import DecodingProblem
+from repro.sim.stats import ler_per_round, wilson_interval
+
+__all__ = ["MonteCarloResult", "run_ler"]
+
+
+@dataclass
+class MonteCarloResult:
+    """Aggregated outcome of a logical-error-rate run."""
+
+    problem_name: str
+    decoder_name: str
+    shots: int
+    failures: int
+    rounds: int
+    initial_successes: int
+    post_processed: int
+    unconverged: int
+    iterations: np.ndarray = field(repr=False)
+    parallel_iterations: np.ndarray = field(repr=False)
+
+    @property
+    def ler(self) -> float:
+        """Logical error rate over the whole experiment."""
+        return self.failures / self.shots
+
+    @property
+    def ler_round(self) -> float:
+        """Logical error rate per syndrome-extraction round (Eq. 11)."""
+        return ler_per_round(self.ler, self.rounds)
+
+    @property
+    def confidence_interval(self) -> tuple[float, float]:
+        """95% Wilson interval on the total LER."""
+        return wilson_interval(self.failures, self.shots)
+
+    @property
+    def avg_iterations(self) -> float:
+        """Average serial-equivalent BP iterations per shot."""
+        return float(self.iterations.mean())
+
+    @property
+    def worst_iterations(self) -> int:
+        """Maximum serial-equivalent BP iterations over all shots."""
+        return int(self.iterations.max())
+
+    @property
+    def avg_parallel_iterations(self) -> float:
+        """Average fully-parallel iteration latency per shot."""
+        return float(self.parallel_iterations.mean())
+
+    def __str__(self) -> str:
+        lo, hi = self.confidence_interval
+        return (
+            f"{self.problem_name} / {self.decoder_name}: "
+            f"LER={self.ler:.3e} [{lo:.3e}, {hi:.3e}] "
+            f"(LER/round={self.ler_round:.3e}, shots={self.shots}, "
+            f"avg_it={self.avg_iterations:.1f})"
+        )
+
+
+def run_ler(
+    problem: DecodingProblem,
+    decoder: Decoder,
+    shots: int,
+    rng: np.random.Generator,
+    *,
+    batch_size: int = 128,
+    max_failures: int | None = None,
+) -> MonteCarloResult:
+    """Estimate the logical error rate of ``decoder`` on ``problem``.
+
+    Shots are sampled and decoded in batches.  When ``max_failures`` is
+    given the run stops early once that many logical failures have been
+    collected (the paper gathers >= 100 failures per point).
+    """
+    if shots < 1:
+        raise ValueError("shots must be positive")
+    failures = 0
+    done = 0
+    initial = 0
+    post = 0
+    unconverged = 0
+    iteration_counts: list[int] = []
+    parallel_counts: list[int] = []
+
+    while done < shots:
+        batch = min(batch_size, shots - done)
+        errors = problem.sample_errors(batch, rng)
+        syndromes = problem.syndromes(errors)
+        results = decoder.decode_batch(syndromes)
+        estimates = np.stack([r.error for r in results])
+        failed = problem.is_failure(errors, estimates)
+        failures += int(failed.sum())
+        done += batch
+        for r in results:
+            iteration_counts.append(r.iterations)
+            parallel_counts.append(r.parallel_iterations)
+            if r.stage == "initial":
+                initial += 1
+            elif r.stage == "post":
+                post += 1
+            if not r.converged:
+                unconverged += 1
+        if max_failures is not None and failures >= max_failures:
+            break
+
+    return MonteCarloResult(
+        problem_name=problem.name,
+        decoder_name=getattr(decoder, "name", type(decoder).__name__),
+        shots=done,
+        failures=failures,
+        rounds=problem.rounds,
+        initial_successes=initial,
+        post_processed=post,
+        unconverged=unconverged,
+        iterations=np.asarray(iteration_counts),
+        parallel_iterations=np.asarray(parallel_counts),
+    )

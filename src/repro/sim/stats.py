@@ -1,0 +1,98 @@
+"""Statistics helpers: logical-error-rate algebra and summaries."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "TimingSummary",
+    "ler_per_round",
+    "rounds_from_per_round",
+    "summarize_times",
+    "wilson_interval",
+]
+
+
+def ler_per_round(ler: float, rounds: int) -> float:
+    """Logical error rate per round (paper Eq. 11).
+
+    ``LER/round = 1 - (1 - LER)^(1/d)`` for ``d`` rounds of syndrome
+    extraction.
+    """
+    if rounds < 1:
+        raise ValueError("rounds must be positive")
+    if not 0.0 <= ler <= 1.0:
+        raise ValueError(f"ler {ler} outside [0, 1]")
+    if ler == 1.0:
+        return 1.0
+    if rounds == 1:
+        return ler
+    return 1.0 - (1.0 - ler) ** (1.0 / rounds)
+
+
+def rounds_from_per_round(per_round: float, rounds: int) -> float:
+    """Inverse of :func:`ler_per_round` (total LER after ``rounds``)."""
+    if not 0.0 <= per_round <= 1.0:
+        raise ValueError(f"per-round rate {per_round} outside [0, 1]")
+    return 1.0 - (1.0 - per_round) ** rounds
+
+
+def wilson_interval(
+    failures: int, shots: int, z: float = 1.96
+) -> tuple[float, float]:
+    """Wilson score confidence interval for a binomial proportion."""
+    if shots <= 0:
+        raise ValueError("shots must be positive")
+    if not 0 <= failures <= shots:
+        raise ValueError("failures must lie in [0, shots]")
+    p = failures / shots
+    denom = 1.0 + z * z / shots
+    center = (p + z * z / (2 * shots)) / denom
+    margin = (
+        z * math.sqrt(p * (1 - p) / shots + z * z / (4 * shots * shots))
+        / denom
+    )
+    return max(0.0, center - margin), min(1.0, center + margin)
+
+
+@dataclass(frozen=True)
+class TimingSummary:
+    """Percentile summary of a latency distribution (Figs. 15-16 style)."""
+
+    count: int
+    mean: float
+    minimum: float
+    median: float
+    p90: float
+    p99: float
+    maximum: float
+
+    def row(self) -> tuple:
+        return (
+            self.count,
+            self.mean,
+            self.minimum,
+            self.median,
+            self.p90,
+            self.p99,
+            self.maximum,
+        )
+
+
+def summarize_times(times) -> TimingSummary:
+    """Summarise a collection of per-shot decode times."""
+    arr = np.asarray(list(times), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("no timing samples")
+    return TimingSummary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        minimum=float(arr.min()),
+        median=float(np.median(arr)),
+        p90=float(np.percentile(arr, 90)),
+        p99=float(np.percentile(arr, 99)),
+        maximum=float(arr.max()),
+    )

@@ -1,0 +1,172 @@
+"""Streaming-decode queue simulation (the data-backlog argument).
+
+The paper's introduction motivates low-latency decoding with the
+classic backlog argument [25]: syndromes are produced at a fixed rate
+by the quantum device, and a decoder that cannot keep pace accumulates
+an ever-growing queue, eventually stalling fault-tolerant execution.
+Sec. VI reiterates the setting: "syndrome extraction is performed
+sequentially and syndromes arrive in a streaming fashion".
+
+This module simulates exactly that pipeline as a deterministic-arrival
+FIFO queue (D/G/1): decoding task ``i`` arrives at ``i x period``; a
+single decoder serves tasks in order.  It reports the waiting-time and
+backlog trajectories, and — when the decoder is too slow on average —
+the linear backlog growth rate.
+
+Latencies can come from three sources, matching the repository's other
+latency tooling:
+
+* measured wall-clock seconds (CPU experiments, Figs. 14-15),
+* a modelled :class:`~repro.analysis.hardware.HardwareLatencyModel`
+  (the FPGA/ASIC discussion), via :func:`run_streaming`,
+* any user-supplied latency array, via :func:`simulate_stream`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.hardware import HardwareLatencyModel
+from repro.decoders.base import Decoder
+from repro.problem import DecodingProblem
+
+__all__ = ["StreamingReport", "simulate_stream", "run_streaming"]
+
+
+@dataclass
+class StreamingReport:
+    """Queueing outcome of one streaming-decode simulation.
+
+    All times share the unit of the supplied latencies (``us`` when
+    driven by :class:`HardwareLatencyModel`, seconds for wall clock).
+    """
+
+    period: float
+    service: np.ndarray = field(repr=False)
+    waits: np.ndarray = field(repr=False)
+    backlog: np.ndarray = field(repr=False)
+
+    @property
+    def n_tasks(self) -> int:
+        """Number of decoding tasks pushed through the queue."""
+        return self.service.shape[0]
+
+    @property
+    def utilisation(self) -> float:
+        """Mean service time over arrival period (rho; < 1 is stable)."""
+        return float(self.service.mean() / self.period)
+
+    @property
+    def stable(self) -> bool:
+        """Whether the queue drains (Terhal's backlog criterion)."""
+        return self.utilisation < 1.0
+
+    @property
+    def drift_per_task(self) -> float:
+        """Mean queue-time growth per task; positive means divergence."""
+        return float(self.service.mean() - self.period)
+
+    @property
+    def max_backlog(self) -> int:
+        """Largest number of undecoded syndromes ever queued."""
+        return int(self.backlog.max())
+
+    @property
+    def mean_wait(self) -> float:
+        """Average time a task spends queued before decoding starts."""
+        return float(self.waits.mean())
+
+    @property
+    def worst_response(self) -> float:
+        """Largest arrival-to-completion time over all tasks."""
+        return float((self.waits + self.service).max())
+
+    def __str__(self) -> str:
+        state = "stable" if self.stable else "diverging"
+        return (
+            f"streaming queue: rho={self.utilisation:.2f} ({state}), "
+            f"max backlog {self.max_backlog}, "
+            f"mean wait {self.mean_wait:.3g}"
+        )
+
+
+def simulate_stream(service_times, period: float) -> StreamingReport:
+    """Push ``service_times`` through a deterministic-arrival queue.
+
+    Task ``i`` arrives at ``i * period``; a single FIFO server decodes.
+    Returns per-task waiting times and the backlog (number of arrived
+    but unfinished tasks) sampled at each arrival instant.
+    """
+    service = np.asarray(service_times, dtype=np.float64).reshape(-1)
+    if service.size == 0:
+        raise ValueError("at least one service time is required")
+    if np.any(service < 0):
+        raise ValueError("service times must be non-negative")
+    if period <= 0:
+        raise ValueError("period must be positive")
+
+    n = service.size
+    arrivals = np.arange(n) * period
+    finish = np.empty(n)
+    waits = np.empty(n)
+    prev_finish = 0.0
+    for i in range(n):
+        start = max(arrivals[i], prev_finish)
+        waits[i] = start - arrivals[i]
+        prev_finish = start + service[i]
+        finish[i] = prev_finish
+
+    # Backlog at arrival i: tasks arrived up to and including i whose
+    # decode has not finished by that instant.
+    backlog = np.array(
+        [int(np.sum(finish[: i + 1] > arrivals[i])) for i in range(n)]
+    )
+    return StreamingReport(
+        period=float(period), service=service, waits=waits, backlog=backlog
+    )
+
+
+def run_streaming(
+    problem: DecodingProblem,
+    decoder: Decoder,
+    shots: int,
+    rng: np.random.Generator,
+    *,
+    hardware: HardwareLatencyModel | None = None,
+    parallel: bool = True,
+) -> StreamingReport:
+    """Simulate a decoder consuming a live syndrome stream.
+
+    Shots are sampled from ``problem`` and decoded; each decode's
+    modelled hardware latency (or measured ``time_seconds`` when no
+    ``hardware`` model is given) becomes a service time.  The arrival
+    period is the problem's syndrome-extraction budget:
+    ``rounds x round_time`` under the hardware model, or the mean
+    service time at utilisation 0.9 as a neutral default for wall
+    clock.
+    """
+    if shots < 1:
+        raise ValueError("shots must be positive")
+    errors = problem.sample_errors(shots, rng)
+    syndromes = problem.syndromes(errors)
+
+    if hardware is not None:
+        results = decoder.decode_batch(syndromes)
+        service = hardware.latencies_us(results, parallel=parallel)
+        period = hardware.syndrome_budget_us(problem.rounds)
+    else:
+        # No hardware model: time each decode on the wall clock, one
+        # shot at a time (the streaming arrival order of Sec. VI).
+        service = np.empty(shots)
+        for i in range(shots):
+            start = time.perf_counter()
+            result = decoder.decode(syndromes[i])
+            wall = time.perf_counter() - start
+            service[i] = (
+                result.time_seconds if result.time_seconds > 0 else wall
+            )
+        period = float(service.mean()) / 0.9
+    return simulate_stream(service, period)

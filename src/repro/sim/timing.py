@@ -1,0 +1,118 @@
+"""Per-syndrome decode-latency measurement (Figs. 13-16).
+
+Shots are decoded one at a time — mirroring the paper's streaming
+setting where syndromes arrive sequentially — and each shot contributes
+one latency sample.  Decoders that model their own time (the GPU
+estimators) report ``time_seconds``; otherwise wall-clock time around
+``decode`` is used.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.decoders.base import Decoder
+from repro.problem import DecodingProblem
+from repro.sim.stats import TimingSummary, summarize_times
+
+__all__ = ["LatencyResult", "measure_latency"]
+
+
+@dataclass
+class LatencyResult:
+    """Latency samples for one decoder on one problem.
+
+    ``times`` holds the decoder-reported latency (the hardware model
+    for GPU estimators, wall clock otherwise); ``wall_times`` always
+    holds the measured wall clock, so modelled and measured latency can
+    be compared from a single pass.
+    """
+
+    problem_name: str
+    decoder_name: str
+    times: np.ndarray = field(repr=False)
+    post_times: np.ndarray = field(repr=False)
+    wall_times: np.ndarray = field(repr=False, default=None)
+    post_wall_times: np.ndarray = field(repr=False, default=None)
+
+    def __post_init__(self):
+        if self.wall_times is None:
+            self.wall_times = self.times
+        if self.post_wall_times is None:
+            self.post_wall_times = self.post_times
+
+    @property
+    def summary(self) -> TimingSummary:
+        """Percentile summary over all shots."""
+        return summarize_times(self.times)
+
+    @property
+    def post_summary(self) -> TimingSummary | None:
+        """Summary over shots where post-processing ran (dashed lines
+        in the paper's Fig. 13), or ``None`` if it never triggered."""
+        if self.post_times.size == 0:
+            return None
+        return summarize_times(self.post_times)
+
+    @property
+    def wall_summary(self) -> TimingSummary:
+        """Summary of measured wall-clock times."""
+        return summarize_times(self.wall_times)
+
+    @property
+    def post_wall_summary(self) -> TimingSummary | None:
+        """Wall-clock summary over post-processed shots."""
+        if self.post_wall_times.size == 0:
+            return None
+        return summarize_times(self.post_wall_times)
+
+    def __str__(self) -> str:
+        s = self.summary
+        return (
+            f"{self.decoder_name} on {self.problem_name}: "
+            f"avg={s.mean * 1e3:.2f} ms, max={s.maximum * 1e3:.2f} ms "
+            f"({s.count} shots)"
+        )
+
+
+def measure_latency(
+    problem: DecodingProblem,
+    decoder: Decoder,
+    shots: int,
+    rng: np.random.Generator,
+    *,
+    warmup: int = 2,
+) -> LatencyResult:
+    """Measure per-syndrome decoding latency over sampled shots."""
+    if shots < 1:
+        raise ValueError("shots must be positive")
+    errors = problem.sample_errors(shots + warmup, rng)
+    syndromes = problem.syndromes(errors)
+    for i in range(warmup):
+        decoder.decode(syndromes[i])
+
+    times: list[float] = []
+    post_times: list[float] = []
+    wall_times: list[float] = []
+    post_wall_times: list[float] = []
+    for i in range(warmup, warmup + shots):
+        start = time.perf_counter()
+        result = decoder.decode(syndromes[i])
+        wall = time.perf_counter() - start
+        elapsed = result.time_seconds if result.time_seconds > 0 else wall
+        times.append(elapsed)
+        wall_times.append(wall)
+        if result.stage != "initial":
+            post_times.append(elapsed)
+            post_wall_times.append(wall)
+    return LatencyResult(
+        problem_name=problem.name,
+        decoder_name=getattr(decoder, "name", type(decoder).__name__),
+        times=np.asarray(times),
+        post_times=np.asarray(post_times),
+        wall_times=np.asarray(wall_times),
+        post_wall_times=np.asarray(post_wall_times),
+    )

@@ -1,0 +1,104 @@
+"""Tests for the behavioural analysis modules (Figs. 2, 3, 12, 13)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    complexity_sweep,
+    iteration_profile,
+    latency_scaling,
+    oscillation_precision_recall,
+)
+from repro.codes import get_code, surface_code
+from repro.decoders import BPSFDecoder, MinSumBP
+from repro.noise import code_capacity_problem
+
+
+@pytest.fixture(scope="module")
+def hard_problem():
+    # A rate where BP fails often enough to study failures quickly.
+    return code_capacity_problem(get_code("coprime_154_6_16"), 0.08)
+
+
+class TestIterationProfile:
+    def test_profile_shapes(self, rng):
+        problem = code_capacity_problem(surface_code(3), 0.1)
+        profile = iteration_profile(problem, rng, shots=60, max_iter=30)
+        assert profile.iterations.shape == (60,)
+        assert profile.shots == 60
+
+    def test_non_convergence_monotone_in_budget(self, hard_problem, rng):
+        profile = iteration_profile(hard_problem, rng, shots=150, max_iter=40)
+        rates = profile.non_convergence_rate([1, 5, 10, 20, 40])
+        assert (np.diff(rates) <= 1e-12).all()
+
+    def test_average_iterations_reasonable(self, hard_problem, rng):
+        profile = iteration_profile(hard_problem, rng, shots=100, max_iter=40)
+        assert 1.0 <= profile.average_iterations <= 40.0
+
+    def test_unconverged_counted_as_beyond_budget(self, hard_problem, rng):
+        profile = iteration_profile(hard_problem, rng, shots=150, max_iter=40)
+        tail = profile.non_convergence_rate([40])[0]
+        assert tail == pytest.approx((~profile.converged).mean())
+
+
+class TestOscillationAnalysis:
+    def test_statistics_collected(self, hard_problem, rng):
+        stats = oscillation_precision_recall(
+            hard_problem, rng, phi=8, max_iter=15,
+            target_failures=15, max_shots=4000,
+        )
+        assert stats.failures_analyzed >= 15
+        assert 0.0 <= stats.precision <= 1.0
+        assert 0.0 <= stats.recall <= 1.0
+        assert stats.mean_error_weight > 0
+
+    def test_precision_beats_chance(self, hard_problem, rng):
+        """The paper's key Fig. 3 observation at test scale."""
+        stats = oscillation_precision_recall(
+            hard_problem, rng, phi=8, max_iter=15,
+            target_failures=20, max_shots=4000,
+        )
+        chance = hard_problem.priors.mean()
+        assert stats.precision > 2 * chance
+
+    def test_raises_when_no_failures(self, rng):
+        easy = code_capacity_problem(surface_code(3), 0.001)
+        with pytest.raises(RuntimeError):
+            oscillation_precision_recall(
+                easy, rng, phi=4, max_iter=30,
+                target_failures=5, max_shots=64,
+            )
+
+
+class TestComplexitySweep:
+    def test_points_structure(self, hard_problem, rng):
+        decoders = {
+            "BP5": MinSumBP(hard_problem, max_iter=5),
+            "BP20": MinSumBP(hard_problem, max_iter=20),
+        }
+        points = complexity_sweep(hard_problem, decoders, 60, rng)
+        assert [p.label for p in points] == ["BP5", "BP20"]
+        assert points[0].avg_iterations <= points[1].avg_iterations
+        for p in points:
+            assert p.worst_iterations >= p.avg_iterations
+
+
+class TestLatencyScaling:
+    def test_scaling_points(self, rng):
+        problems = [
+            code_capacity_problem(surface_code(3), 0.08),
+            code_capacity_problem(get_code("bb_72_12_6"), 0.08),
+        ]
+        points = latency_scaling(
+            problems,
+            lambda pr: BPSFDecoder(pr, max_iter=10, phi=6, w_max=1,
+                                   strategy="exhaustive"),
+            6, rng,
+        )
+        assert len(points) == 2
+        assert points[0].n_mechanisms == 13
+        assert points[1].n_mechanisms == 72
+        for p in points:
+            assert p.avg_seconds > 0
+            assert p.max_seconds >= p.avg_seconds

@@ -1,0 +1,95 @@
+"""Tests for the decoding-failure census."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.failures import FailureCensus, failure_census
+from repro.codes import get_code
+from repro.decoders import BPSFDecoder, MinSumBP
+from repro.noise import code_capacity_problem
+
+
+@pytest.fixture(scope="module")
+def hard_problem():
+    return code_capacity_problem(get_code("coprime_154_6_16"), 0.08)
+
+
+class TestFailureCensus:
+    def test_classes_partition_shots(self, hard_problem):
+        rng = np.random.default_rng(51)
+        census = failure_census(
+            hard_problem, MinSumBP(hard_problem, max_iter=50), 300, rng
+        )
+        assert census.n_ok + census.n_logical + census.n_unconverged == 300
+        assert 0.0 <= census.failure_rate <= 1.0
+
+    def test_plain_bp_floor_is_low_weight(self):
+        """The paper's Fig. 5 claim: BP's defeats on this code include
+        errors far lighter than the distance-16 budget allows.  In the
+        floor regime (lower p) the lightest defeats sit at or below
+        the weight the code could still correct."""
+        problem = code_capacity_problem(get_code("coprime_154_6_16"), 0.05)
+        rng = np.random.default_rng(52)
+        census = failure_census(
+            problem, MinSumBP(problem, max_iter=50), 800, rng
+        )
+        floor = census.min_failure_weight()
+        assert floor is not None
+        # d=16 corrects weight <= 7 information-theoretically; BP's
+        # trapping-set failures appear inside that budget.
+        assert floor <= 7
+
+    def test_bpsf_raises_failure_floor(self, hard_problem):
+        """BP-SF must clean up (most of) the low-weight defeats."""
+        rng = np.random.default_rng(53)
+        bp = failure_census(
+            hard_problem, MinSumBP(hard_problem, max_iter=50), 400,
+            np.random.default_rng(53),
+        )
+        sf = failure_census(
+            hard_problem,
+            BPSFDecoder(hard_problem, max_iter=50, phi=8, w_max=2,
+                        strategy="exhaustive"),
+            400,
+            np.random.default_rng(53),
+        )
+        assert sf.failure_rate < bp.failure_rate
+        assert sf.n_unconverged < bp.n_unconverged
+
+    def test_weight_histogram_modes(self, hard_problem):
+        rng = np.random.default_rng(54)
+        census = failure_census(
+            hard_problem, MinSumBP(hard_problem, max_iter=30), 100, rng
+        )
+        for which in ("ok", "logical", "unconverged", "failed"):
+            histogram = census.weight_histogram(which)
+            assert all(
+                weight >= 0 and count > 0
+                for weight, count in histogram.items()
+            )
+        with pytest.raises(ValueError):
+            census.weight_histogram("mystery")
+
+    def test_no_failures_yields_none_floor(self):
+        problem = code_capacity_problem(get_code("bb_72_12_6"), 0.01)
+        rng = np.random.default_rng(55)
+        census = failure_census(
+            problem, MinSumBP(problem, max_iter=100), 50, rng
+        )
+        if census.failure_rate == 0.0:
+            assert census.min_failure_weight() is None
+
+    def test_shots_validated(self, hard_problem):
+        with pytest.raises(ValueError):
+            failure_census(
+                hard_problem, MinSumBP(hard_problem, max_iter=10), 0,
+                np.random.default_rng(56),
+            )
+
+    def test_str_summarises(self, hard_problem):
+        rng = np.random.default_rng(57)
+        census = failure_census(
+            hard_problem, MinSumBP(hard_problem, max_iter=30), 60, rng
+        )
+        text = str(census)
+        assert "census over 60 shots" in text

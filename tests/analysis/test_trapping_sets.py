@@ -1,0 +1,190 @@
+"""Tests for Tanner-graph structure and trapping-set analysis."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.trapping_sets import (
+    count_four_cycles,
+    degenerate_mechanisms,
+    girth,
+    oscillation_clusters,
+    redundant_checks,
+    tanner_graph,
+    trapping_set_signature,
+)
+from repro.codes import get_code
+from repro.decoders import MinSumBP
+from repro.noise import code_capacity_problem
+
+
+# A 3-variable cycle code: three checks pairing variables in a ring —
+# girth 6, no 4-cycles, and {0,1,2} is a (3,0) set (a codeword).
+RING = np.array(
+    [
+        [1, 1, 0],
+        [0, 1, 1],
+        [1, 0, 1],
+    ],
+    dtype=np.uint8,
+)
+
+# Two checks sharing two variables: the minimal 4-cycle.
+FOUR_CYCLE = np.array(
+    [
+        [1, 1, 0],
+        [1, 1, 1],
+    ],
+    dtype=np.uint8,
+)
+
+
+class TestTannerGraph:
+    def test_bipartite_structure(self):
+        graph = tanner_graph(RING)
+        checks = {n for n, d in graph.nodes(data=True) if d["bipartite"] == 0}
+        variables = {
+            n for n, d in graph.nodes(data=True) if d["bipartite"] == 1
+        }
+        assert checks == {"c0", "c1", "c2"}
+        assert variables == {"v0", "v1", "v2"}
+        assert nx.is_bipartite(graph)
+
+    def test_edge_count_matches_nnz(self):
+        graph = tanner_graph(RING)
+        assert graph.number_of_edges() == int(RING.sum())
+
+
+class TestGirth:
+    def test_ring_has_girth_six(self):
+        assert girth(RING) == 6
+
+    def test_four_cycle_detected(self):
+        assert girth(FOUR_CYCLE) == 4
+
+    def test_tree_has_no_cycle(self):
+        tree = np.array([[1, 1, 0], [0, 0, 1]], dtype=np.uint8)
+        assert girth(tree) == float("inf")
+
+    def test_bb_code_girth_is_even_and_small(self):
+        code = get_code("bb_72_12_6")
+        g = girth(code.hx)
+        assert g in (4, 6, 8)
+
+
+class TestFourCycles:
+    def test_minimal_case(self):
+        assert count_four_cycles(FOUR_CYCLE) == 1
+
+    def test_ring_has_none(self):
+        assert count_four_cycles(RING) == 0
+
+    def test_consistency_with_girth(self):
+        code = get_code("bb_72_12_6")
+        has_four_cyciles = count_four_cycles(code.hx) > 0
+        assert has_four_cyciles == (girth(code.hx) == 4)
+
+    @settings(deadline=None, max_examples=20)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_matches_networkx_on_random_graphs(self, seed):
+        rng = np.random.default_rng(seed)
+        h = (rng.random((5, 8)) < 0.3).astype(np.uint8)
+        expected = sum(
+            1 for cycle in nx.simple_cycles(tanner_graph(h), length_bound=4)
+            if len(cycle) == 4
+        )
+        assert count_four_cycles(h) == expected
+
+
+class TestDegeneracy:
+    def test_identical_columns_grouped(self):
+        h = np.array(
+            [[1, 1, 0, 1], [0, 0, 1, 0], [1, 1, 0, 1]], dtype=np.uint8
+        )
+        groups = degenerate_mechanisms(h)
+        assert len(groups) == 1
+        assert list(groups[0]) == [0, 1, 3]
+
+    def test_distinct_columns_no_groups(self):
+        assert degenerate_mechanisms(np.eye(3, dtype=np.uint8)) == []
+
+    def test_redundant_checks_grouped(self):
+        h = np.array([[1, 0, 1], [1, 0, 1], [0, 1, 0]], dtype=np.uint8)
+        groups = redundant_checks(h)
+        assert len(groups) == 1
+        assert list(groups[0]) == [0, 1]
+
+    def test_circuit_level_problem_has_degeneracy(self):
+        """Circuit noise produces many equivalent mechanisms before
+        merging; the *merged* DEM must have none left."""
+        from repro.circuits import circuit_level_problem
+
+        problem = circuit_level_problem(
+            get_code("bb_72_12_6"), rounds=2, p=1e-3
+        )
+        assert degenerate_mechanisms(problem.check_matrix) == []
+
+
+class TestTrappingSetSignature:
+    def test_codeword_support_is_a_b0(self):
+        candidate = trapping_set_signature(RING, [0, 1, 2])
+        assert candidate.signature == (3, 0)
+        assert candidate.even_checks == (0, 1, 2)
+
+    def test_single_variable(self):
+        candidate = trapping_set_signature(RING, [0])
+        assert candidate.signature == (1, 2)
+
+    def test_stabilizer_row_of_css_code_is_b0(self):
+        """A Z-stabilizer's support induces only even-degree X-checks."""
+        code = get_code("bb_72_12_6")
+        support = np.nonzero(code.hz[0])[0]
+        candidate = trapping_set_signature(code.hx, support)
+        assert candidate.b == 0
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            trapping_set_signature(RING, [])
+
+
+class TestOscillationClusters:
+    def test_clusters_from_failed_bp_run(self):
+        problem = code_capacity_problem(get_code("coprime_154_6_16"), 0.08)
+        rng = np.random.default_rng(21)
+        errors = problem.sample_errors(300, rng)
+        syndromes = problem.syndromes(errors)
+        bp = MinSumBP(problem, max_iter=50, track_oscillations=True)
+        batch = bp.decode_many(syndromes)
+        failures = np.nonzero(~batch.converged)[0]
+        assert failures.size > 0
+        clusters = oscillation_clusters(
+            problem.check_matrix, batch.flip_counts[failures[0]], phi=16
+        )
+        assert clusters, "a failed run should yield oscillating clusters"
+        total = sum(c.a for c in clusters)
+        assert total <= 16
+        for cluster in clusters:
+            assert cluster.a >= 1
+            assert cluster.b >= 0
+
+    def test_no_oscillation_no_clusters(self):
+        flips = np.zeros(RING.shape[1], dtype=int)
+        assert oscillation_clusters(RING, flips) == []
+
+    def test_flip_length_validated(self):
+        with pytest.raises(ValueError):
+            oscillation_clusters(RING, np.zeros(7))
+
+    def test_two_separate_clusters(self):
+        # Two disjoint 4-cycles in one matrix.
+        h = np.zeros((4, 6), dtype=np.uint8)
+        h[0, [0, 1]] = 1
+        h[1, [0, 1]] = 1
+        h[2, [3, 4]] = 1
+        h[3, [3, 4]] = 1
+        flips = np.array([5, 5, 0, 7, 7, 0])
+        clusters = oscillation_clusters(h, flips, phi=4)
+        assert len(clusters) == 2
+        assert {c.variables for c in clusters} == {(0, 1), (3, 4)}

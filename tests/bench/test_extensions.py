@@ -1,0 +1,62 @@
+"""Unit tests for the extension-experiment runners (tiny scale).
+
+The benchmark suite runs these at full scale; here we only verify each
+runner produces a well-formed table with the expected rows, using the
+``REPRO_SHOTS_SCALE`` floor (8 shots) to stay fast.
+"""
+
+import pytest
+
+import repro.bench.tables
+from repro.bench.extensions import (
+    run_ext_decoder_zoo,
+    run_ext_new_codes,
+    run_ext_trapping,
+)
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_SHOTS_SCALE", "0.01")
+    # Keep unit-test tables out of benchmarks/results/ — those files
+    # hold the benchmark suite's full-scale outputs.
+    monkeypatch.setattr(
+        repro.bench.tables, "results_dir", lambda: str(tmp_path)
+    )
+
+
+class TestDecoderZooRunner:
+    def test_table_shape(self):
+        table = run_ext_decoder_zoo()
+        assert table.experiment_id == "ext_decoder_zoo"
+        labels = [row[0] for row in table.rows]
+        assert labels == [
+            "BP100", "BP-SF", "BP100-OSD10", "Relay-BP", "GDG",
+            "PosteriorFlip", "PerturbedBP",
+        ]
+        for row in table.rows:
+            assert 0.0 <= row[1] <= 1.0          # LER
+            assert 0.0 <= row[2] <= 1.0          # convergence
+            assert row[6] >= 8                   # shots floor
+
+
+class TestTrappingRunner:
+    def test_census_rows(self):
+        table = run_ext_trapping()
+        codes = [row[0] for row in table.rows]
+        assert codes == [
+            "bb_72_12_6", "bb_144_12_12", "coprime_154_6_16",
+        ]
+        for row in table.rows:
+            assert row[1] == 6       # girth
+            assert row[2] == 0       # four cycles
+            assert row[3] == 0       # degenerate DEM columns
+
+
+class TestNewCodesRunner:
+    def test_grid_complete(self):
+        table = run_ext_new_codes()
+        keys = {(row[0], row[1], row[2]) for row in table.rows}
+        assert len(keys) == 8  # 2 codes x 2 p x 2 decoders
+        for row in table.rows:
+            assert 0.0 <= row[3] <= 1.0

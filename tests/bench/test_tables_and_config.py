@@ -1,0 +1,104 @@
+"""Tests for the benchmark infrastructure (tables, config, registry)."""
+
+import os
+
+import pytest
+
+from repro.bench import ALL_EXPERIMENTS, PAPER_REFERENCE, bench_rng, scaled_shots
+from repro.bench.config import full_rounds
+from repro.bench.tables import ExperimentTable
+
+
+class TestExperimentTable:
+    def test_row_width_validated(self):
+        table = ExperimentTable("t", "title", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_render_contains_cells(self):
+        table = ExperimentTable("t", "demo", ["p", "LER"])
+        table.add_row(0.01, 3.2e-4)
+        text = table.render()
+        assert "demo" in text
+        assert "0.01" in text
+        assert "3.200e-04" in text
+
+    def test_notes_rendered(self):
+        table = ExperimentTable("t", "demo", ["x"])
+        table.add_row(1)
+        table.notes.append("hello")
+        assert "note: hello" in table.render()
+
+    def test_save_writes_file(self, tmp_path, monkeypatch):
+        import repro.bench.tables as tables
+
+        monkeypatch.setattr(tables, "results_dir", lambda: str(tmp_path))
+        table = ExperimentTable("unit_test_table", "demo", ["x"])
+        table.add_row(42)
+        path = table.save()
+        assert os.path.exists(path)
+        with open(path) as fh:
+            assert "42" in fh.read()
+
+    def test_float_formatting(self):
+        table = ExperimentTable("t", "demo", ["x"])
+        table.add_row(0.0)
+        table.add_row(123456.0)
+        text = table.render()
+        assert "1.235e+05" in text
+
+
+class TestConfig:
+    def test_scaled_shots_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHOTS_SCALE", raising=False)
+        assert scaled_shots(100) == 100
+
+    def test_scaled_shots_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHOTS_SCALE", "2.5")
+        assert scaled_shots(100) == 250
+
+    def test_scaled_shots_minimum(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHOTS_SCALE", "0.0001")
+        assert scaled_shots(100, minimum=8) == 8
+
+    def test_full_rounds_toggle(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL_ROUNDS", raising=False)
+        assert full_rounds(18, 6) == 6
+        monkeypatch.setenv("REPRO_FULL_ROUNDS", "1")
+        assert full_rounds(18, 6) == 18
+
+    def test_bench_rng_deterministic(self):
+        a = bench_rng("x").integers(0, 2**31)
+        b = bench_rng("x").integers(0, 2**31)
+        assert a == b
+
+    def test_bench_rng_distinct_per_experiment(self):
+        assert bench_rng("x").integers(0, 2**31) != bench_rng("y").integers(
+            0, 2**31
+        )
+
+
+class TestRegistry:
+    def test_every_paper_artifact_has_runner(self):
+        # DESIGN.md's experiment index: figures 2-17 and Table I.
+        expected = {
+            "fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+            "fig16", "fig17a", "fig17b", "fig17c", "tab1",
+        }
+        assert expected <= set(ALL_EXPERIMENTS)
+
+    def test_ablations_registered(self):
+        assert {
+            "ablation_damping", "ablation_candidates",
+            "ablation_flip_domain", "ablation_first_success",
+        } <= set(ALL_EXPERIMENTS)
+
+    def test_runners_are_callable(self):
+        for runner in ALL_EXPERIMENTS.values():
+            assert callable(runner)
+
+    def test_paper_reference_covers_experiments(self):
+        for experiment_id in ALL_EXPERIMENTS:
+            assert experiment_id in PAPER_REFERENCE, experiment_id
+            assert "claim" in PAPER_REFERENCE[experiment_id]

@@ -1,0 +1,116 @@
+"""Tests for the circuit IR: instructions and container bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, Instruction
+
+
+class TestInstruction:
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction("CZ", (0, 1))
+
+    def test_odd_pair_targets_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction("CX", (0, 1, 2))
+
+    def test_noise_needs_probability(self):
+        with pytest.raises(ValueError):
+            Instruction("X_ERROR", (0,))
+        with pytest.raises(ValueError):
+            Instruction("DEPOLARIZE1", (0,), 1.5)
+
+    def test_observable_needs_index(self):
+        with pytest.raises(ValueError):
+            Instruction("OBSERVABLE_INCLUDE", (0,))
+
+    def test_target_pairs(self):
+        inst = Instruction("CX", (0, 1, 2, 3))
+        assert inst.target_pairs() == [(0, 1), (2, 3)]
+
+    def test_is_noise(self):
+        assert Instruction("DEPOLARIZE2", (0, 1), 0.1).is_noise
+        assert not Instruction("H", (0,)).is_noise
+
+    def test_str_rendering(self):
+        assert str(Instruction("X_ERROR", (3,), 0.25)) == "X_ERROR(0.25) 3"
+
+
+class TestCircuit:
+    def test_measurement_counting(self):
+        c = Circuit()
+        c.append("M", (0, 1))
+        c.append("M", (2,))
+        assert c.num_measurements == 3
+
+    def test_detector_forward_reference_rejected(self):
+        c = Circuit()
+        c.append("M", (0,))
+        with pytest.raises(ValueError):
+            c.append("DETECTOR", (1,))
+
+    def test_detector_valid_reference(self):
+        c = Circuit()
+        c.append("M", (0, 1))
+        c.append("DETECTOR", (0, 1))
+        assert c.num_detectors == 1
+
+    def test_num_qubits_ignores_record_targets(self):
+        c = Circuit()
+        c.append("M", (2,))
+        c.append("DETECTOR", (0,))
+        assert c.num_qubits == 3
+
+    def test_observable_indexing(self):
+        c = Circuit()
+        c.append("M", (0,))
+        c.append("OBSERVABLE_INCLUDE", (0,), arg=2)
+        assert c.num_observables == 3
+
+    def test_without_noise(self):
+        c = Circuit()
+        c.append("H", (0,))
+        c.append("DEPOLARIZE1", (0,), 0.01)
+        c.append("M", (0,))
+        clean = c.without_noise()
+        assert [i.name for i in clean] == ["H", "M"]
+
+    def test_counts(self):
+        c = Circuit()
+        c.append("H", (0,))
+        c.append("H", (1,))
+        c.append("M", (0,))
+        assert c.counts() == {"H": 2, "M": 1}
+
+    def test_evaluate_records_parity(self):
+        c = Circuit()
+        c.append("M", (0, 1, 2))
+        c.append("DETECTOR", (0, 1))
+        c.append("DETECTOR", (2,))
+        c.append("OBSERVABLE_INCLUDE", (0, 2), arg=0)
+        det, obs = c.evaluate_records([1, 1, 1])
+        assert det.tolist() == [0, 1]
+        assert obs.tolist() == [0]
+
+    def test_evaluate_records_length_check(self):
+        c = Circuit()
+        c.append("M", (0,))
+        with pytest.raises(ValueError):
+            c.evaluate_records([0, 1])
+
+    def test_detector_matrix_shapes(self):
+        c = Circuit()
+        c.append("M", (0, 1))
+        c.append("DETECTOR", (0,))
+        c.append("OBSERVABLE_INCLUDE", (1,), arg=0)
+        det, obs = c.detector_matrix()
+        assert det.shape == (1, 2)
+        assert obs.shape == (1, 2)
+        assert det[0].tolist() == [1, 0]
+
+    def test_iteration_and_indexing(self):
+        c = Circuit([Instruction("H", (0,)), Instruction("M", (0,))])
+        assert len(c) == 2
+        assert c[0].name == "H"
+        assert [i.name for i in c] == ["H", "M"]

@@ -1,0 +1,112 @@
+"""Tests for the memory-experiment builder."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import build_memory_experiment, run_circuit
+from repro.codes import get_code, repetition_code, surface_code
+from repro.codes.css import SubsystemCSSCode
+
+
+def bacon_shor_code() -> SubsystemCSSCode:
+    rep = repetition_code(3)
+    n = rep.n
+    gauge_x = np.kron(rep.parity_check, np.eye(n, dtype=np.uint8))
+    gauge_z = np.kron(np.eye(n, dtype=np.uint8), rep.parity_check)
+    return SubsystemCSSCode(gauge_x, gauge_z, name="bacon_shor_9", distance=3)
+
+
+class TestStructure:
+    def test_detector_count_stabilizer_code(self):
+        code = surface_code(3)
+        exp = build_memory_experiment(code, rounds=4, basis="z")
+        # One detector per Z check per round, plus final reconstruction.
+        m_z = code.hz.shape[0]
+        assert exp.circuit.num_detectors == m_z * (4 + 1)
+
+    def test_observable_count(self):
+        exp = build_memory_experiment(surface_code(3), rounds=2)
+        assert exp.circuit.num_observables == 1
+
+    def test_measurement_bookkeeping(self):
+        code = surface_code(3)
+        exp = build_memory_experiment(code, rounds=3)
+        m_total = (code.hx.shape[0] + code.hz.shape[0]) * 3 + code.n
+        assert exp.circuit.num_measurements == m_total
+        assert exp.tracked_measurements.shape == (3, code.hz.shape[0])
+        assert exp.data_measurements.shape == (code.n,)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            build_memory_experiment(surface_code(3), rounds=0)
+        with pytest.raises(ValueError):
+            build_memory_experiment(surface_code(3), rounds=1, basis="y")
+
+
+class TestNoiselessDeterminism:
+    """All detectors and observables must be zero without noise."""
+
+    @pytest.mark.parametrize("basis", ["z", "x"])
+    def test_surface_code(self, basis):
+        exp = build_memory_experiment(surface_code(3), rounds=3, basis=basis)
+        for seed in (0, 1, 2):
+            meas = run_circuit(exp.circuit, np.random.default_rng(seed))
+            det, obs = exp.circuit.evaluate_records(meas)
+            assert not det.any()
+            assert not obs.any()
+
+    @pytest.mark.parametrize("basis", ["z", "x"])
+    def test_bb72(self, basis):
+        exp = build_memory_experiment(
+            get_code("bb_72_12_6"), rounds=2, basis=basis
+        )
+        meas = run_circuit(exp.circuit, np.random.default_rng(3))
+        det, obs = exp.circuit.evaluate_records(meas)
+        assert not det.any()
+        assert not obs.any()
+
+    @pytest.mark.parametrize("basis", ["z", "x"])
+    def test_subsystem_bacon_shor(self, basis):
+        """Gauge-combo detectors must be deterministic for subsystem codes."""
+        exp = build_memory_experiment(bacon_shor_code(), rounds=3, basis=basis)
+        assert exp.detectors_per_round >= 1
+        for seed in range(4):
+            meas = run_circuit(exp.circuit, np.random.default_rng(seed))
+            det, obs = exp.circuit.evaluate_records(meas)
+            assert not det.any()
+            assert not obs.any()
+
+
+class TestSubsystemCombos:
+    def test_combos_commute_with_opposite_gauge(self):
+        code = bacon_shor_code()
+        exp = build_memory_experiment(code, rounds=1, basis="z")
+        combos = exp.detector_combos
+        from repro import gf2
+
+        stabs = gf2.mat_mul(combos, code.hz)
+        assert not gf2.mat_mul(code.hx, stabs.T).any()
+
+    def test_stabilizer_code_gets_identity_combos(self):
+        exp = build_memory_experiment(surface_code(3), rounds=1)
+        combos = exp.detector_combos
+        assert combos.shape[0] == combos.shape[1]
+        assert np.array_equal(combos, np.eye(combos.shape[0], dtype=np.uint8))
+
+
+class TestLogicalAction:
+    def test_injected_logical_error_flips_observable(self):
+        """An X error along a logical-X support flips logical Z readout."""
+        code = surface_code(3)
+        exp = build_memory_experiment(code, rounds=2, basis="z")
+        circuit = exp.circuit
+        # Inject a full logical-X string right after data initialisation
+        # (instruction 0 is the data reset; index 1 injects after it).
+        logical_support = np.nonzero(code.logical_x[0])[0]
+        faults = {1: [(int(q), "X") for q in logical_support]}
+        clean = run_circuit(circuit, np.random.default_rng(9))
+        noisy = run_circuit(circuit, np.random.default_rng(9), forced_faults=faults)
+        det_c, obs_c = circuit.evaluate_records(clean)
+        det_n, obs_n = circuit.evaluate_records(noisy)
+        assert not (det_c ^ det_n).any()   # logical operator: invisible
+        assert (obs_c ^ obs_n).any()       # ...but flips the observable

@@ -1,0 +1,60 @@
+"""Tests for the circuit-level noise annotator."""
+
+import pytest
+
+from repro.circuits import Circuit, NoiseModel
+
+
+def _simple_round() -> Circuit:
+    c = Circuit()
+    c.append("R", (0, 1, 2))
+    c.append("H", (2,))
+    c.append("TICK")
+    c.append("CX", (2, 0))
+    c.append("TICK")
+    c.append("M", (2,))
+    return c
+
+
+class TestNoiseModel:
+    def test_uniform_model_touches_every_location(self):
+        noisy = NoiseModel.uniform_depolarizing(0.01).noisy(_simple_round())
+        counts = noisy.counts()
+        assert counts["X_ERROR"] == 2      # reset flip + measurement flip
+        assert counts["DEPOLARIZE1"] == 1  # after H
+        assert counts["DEPOLARIZE2"] == 1  # after CX
+
+    def test_noise_ordering_measurement_flip_before_m(self):
+        noisy = NoiseModel(p_meas=0.01).noisy(_simple_round())
+        names = [i.name for i in noisy]
+        m_at = names.index("M")
+        assert names[m_at - 1] == "X_ERROR"
+
+    def test_depolarize2_follows_cx(self):
+        noisy = NoiseModel(p2=0.01).noisy(_simple_round())
+        names = [i.name for i in noisy]
+        cx_at = names.index("CX")
+        assert names[cx_at + 1] == "DEPOLARIZE2"
+        assert noisy[cx_at + 1].targets == noisy[cx_at].targets
+
+    def test_zero_rates_add_nothing(self):
+        base = _simple_round()
+        noisy = NoiseModel().noisy(base)
+        assert [i.name for i in noisy] == [i.name for i in base]
+
+    def test_idle_noise_on_untouched_qubits(self):
+        noisy = NoiseModel(p_idle=0.001).noisy(_simple_round())
+        # During the CX(2,0) window, qubit 1 idles.
+        idle_targets = [
+            i.targets for i in noisy if i.name == "DEPOLARIZE1"
+        ]
+        assert (1,) in idle_targets
+
+    def test_model_is_hashable(self):
+        # Required for DEM caching keys.
+        assert hash(NoiseModel.uniform_depolarizing(0.001)) is not None
+
+    def test_probability_recorded(self):
+        noisy = NoiseModel(p2=0.007).noisy(_simple_round())
+        dep2 = [i for i in noisy if i.name == "DEPOLARIZE2"]
+        assert dep2[0].arg == pytest.approx(0.007)

@@ -1,0 +1,84 @@
+"""Edge-case tests for the noise annotator's bookkeeping."""
+
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.noise import NoiseModel
+
+
+def _count(circuit, name):
+    return sum(1 for inst in circuit if inst.name == name)
+
+
+class TestNoiseInsertion:
+    def test_zero_model_is_identity(self):
+        circuit = Circuit()
+        circuit.append("H", (0,))
+        circuit.append("CX", (0, 1))
+        circuit.append("M", (1,))
+        noisy = NoiseModel().noisy(circuit)
+        assert [i.name for i in noisy] == [i.name for i in circuit]
+
+    def test_each_location_gets_one_channel(self):
+        circuit = Circuit()
+        circuit.append("R", (0, 1))
+        circuit.append("H", (0,))
+        circuit.append("CX", (0, 1))
+        circuit.append("M", (0, 1))
+        noisy = NoiseModel.uniform_depolarizing(1e-3).noisy(circuit)
+        assert _count(noisy, "DEPOLARIZE1") == 1        # after H
+        assert _count(noisy, "DEPOLARIZE2") == 1        # after CX
+        # X_ERROR: one after reset, one before measurement.
+        assert _count(noisy, "X_ERROR") == 2
+
+    def test_measurement_flip_precedes_measurement(self):
+        circuit = Circuit()
+        circuit.append("M", (0,))
+        noisy = list(NoiseModel(p_meas=0.1).noisy(circuit))
+        assert noisy[0].name == "X_ERROR"
+        assert noisy[1].name == "M"
+
+    def test_idle_noise_only_on_untouched_qubits(self):
+        circuit = Circuit()
+        circuit.append("H", (0,))
+        circuit.append("H", (1,))
+        circuit.append("TICK", ())
+        circuit.append("H", (0,))
+        circuit.append("TICK", ())
+        # Ensure qubit 2 exists from the circuit's perspective.
+        circuit.append("H", (2,))
+        model = NoiseModel(p_idle=0.01)
+        noisy = model.noisy(circuit)
+        idle_targets = [
+            inst.targets for inst in noisy if inst.name == "DEPOLARIZE1"
+        ]
+        # First window touches 0 and 1 -> idle = {2}; second window
+        # touches 0 -> idle = {1, 2}.
+        flattened = sorted(t for targets in idle_targets for t in targets)
+        assert flattened == [1, 2, 2]
+
+    def test_idle_noise_skips_leading_empty_window(self):
+        circuit = Circuit()
+        circuit.append("TICK", ())
+        circuit.append("H", (0,))
+        noisy = NoiseModel(p_idle=0.01).noisy(circuit)
+        assert _count(noisy, "DEPOLARIZE1") == 0
+
+    def test_si1000_inserts_idle_noise(self):
+        circuit = Circuit()
+        circuit.append("H", (0,))
+        circuit.append("H", (1,))
+        circuit.append("TICK", ())
+        circuit.append("CX", (0, 1))
+        noisy = NoiseModel.si1000(1e-3).noisy(circuit)
+        # 2 H-gate channels; idle window covers no extra qubits (both
+        # touched), so exactly two 1q channels appear.
+        assert _count(noisy, "DEPOLARIZE1") == 2
+        assert _count(noisy, "DEPOLARIZE2") == 1
+
+
+class TestNoiseModelValidation:
+    def test_frozen(self):
+        model = NoiseModel.uniform_depolarizing(1e-3)
+        with pytest.raises(AttributeError):
+            model.p2 = 0.5

@@ -1,0 +1,61 @@
+"""Tests for the circuit-level problem pipeline and its caching."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import NoiseModel, circuit_level_dem, circuit_level_problem
+from repro.codes import get_code, surface_code
+
+
+class TestCircuitLevelProblem:
+    def test_default_rounds_is_distance(self):
+        problem = circuit_level_problem("bb_72_12_6", 1e-3)
+        assert problem.rounds == 6
+
+    def test_rounds_override(self):
+        problem = circuit_level_problem("bb_72_12_6", 1e-3, rounds=3)
+        assert problem.rounds == 3
+
+    def test_string_and_object_inputs_agree(self):
+        by_name = circuit_level_problem("bb_72_12_6", 1e-3, rounds=2)
+        by_code = circuit_level_problem(get_code("bb_72_12_6"), 1e-3,
+                                        rounds=2)
+        assert by_name.n_mechanisms == by_code.n_mechanisms
+        assert by_name.n_checks == by_code.n_checks
+
+    def test_missing_distance_requires_rounds(self):
+        code = get_code("gb_254_28")  # no published distance
+        with pytest.raises(ValueError):
+            circuit_level_problem(code, 1e-3)
+        problem = circuit_level_problem(code, 1e-3, rounds=2)
+        assert problem.rounds == 2
+
+    def test_priors_scale_with_p(self):
+        low = circuit_level_dem(surface_code(3), 1e-3, rounds=2)
+        high = circuit_level_dem(surface_code(3), 2e-3, rounds=2)
+        assert high.priors.sum() > 1.5 * low.priors.sum()
+
+    def test_custom_noise_model(self):
+        measurement_only = NoiseModel(p_meas=1e-3)
+        dem = circuit_level_dem(
+            surface_code(3), 1e-3, rounds=2, noise=measurement_only
+        )
+        full = circuit_level_dem(surface_code(3), 1e-3, rounds=2)
+        assert dem.n_mechanisms < full.n_mechanisms
+
+    def test_problem_name_encodes_settings(self):
+        problem = circuit_level_problem("bb_72_12_6", 2e-3, rounds=3)
+        assert "bb_72_12_6" in problem.name
+        assert "r3" in problem.name
+
+    def test_observables_match_logical_count(self):
+        problem = circuit_level_problem("bb_72_12_6", 1e-3, rounds=2)
+        assert problem.n_logicals == 12
+
+    def test_sampled_logical_flip_rate_is_small(self, rng):
+        problem = circuit_level_problem(surface_code(3), 1e-3, rounds=3)
+        errors = problem.sample_errors(2000, rng)
+        flips = problem.logical_flips(errors)
+        # Raw (undecoded) logical flip rate should be small but nonzero
+        # territory at this p; mostly a sanity bound.
+        assert flips.mean() < 0.2

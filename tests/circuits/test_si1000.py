@@ -1,0 +1,59 @@
+"""Tests for the SI1000 superconducting-inspired noise profile."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import circuit_level_problem
+from repro.circuits.noise import NoiseModel
+from repro.decoders import BPSFDecoder
+from repro.sim import run_ler
+
+
+class TestSI1000Parameters:
+    def test_relative_strengths(self):
+        model = NoiseModel.si1000(1e-3)
+        assert model.p2 == pytest.approx(1e-3)
+        assert model.p1 == pytest.approx(1e-4)
+        assert model.p_meas == pytest.approx(5e-3)
+        assert model.p_reset == pytest.approx(2e-3)
+        assert model.p_idle == pytest.approx(1e-4)
+
+    def test_differs_from_uniform(self):
+        assert NoiseModel.si1000(1e-3) != NoiseModel.uniform_depolarizing(
+            1e-3
+        )
+
+
+class TestSI1000Pipeline:
+    @pytest.fixture(scope="class")
+    def problems(self):
+        uniform = circuit_level_problem("bb_72_12_6", 1e-3, rounds=3)
+        si = circuit_level_problem(
+            "bb_72_12_6", 1e-3, rounds=3,
+            noise=NoiseModel.si1000(1e-3),
+        )
+        return uniform, si
+
+    def test_prior_profile_differs(self, problems):
+        """Idle faults merge into existing mechanism signatures, so the
+        column count is unchanged — but the prior mass must shift
+        toward SI1000's expensive measurements."""
+        uniform, si = problems
+        assert si.n_mechanisms == uniform.n_mechanisms
+        assert not np.allclose(si.priors, uniform.priors)
+        assert si.priors.sum() > uniform.priors.sum() * 1.2
+
+    def test_measurement_heavy_priors(self, problems):
+        """SI1000's 5p measurement flips show up as a high-prior mode."""
+        uniform, si = problems
+        assert si.priors.max() > uniform.priors.max()
+
+    def test_decodable_end_to_end(self, problems):
+        _, si = problems
+        decoder = BPSFDecoder(
+            si, max_iter=60, phi=20, w_max=3, n_s=5,
+            strategy="sampled", seed=4,
+        )
+        mc = run_ler(si, decoder, shots=48, rng=np.random.default_rng(61))
+        assert mc.shots == 48
+        assert mc.unconverged <= 4

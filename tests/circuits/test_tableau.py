@@ -1,0 +1,131 @@
+"""Tests for the CHP stabilizer simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, TableauSimulator, run_circuit
+from repro.circuits.tableau import sample_circuit
+
+
+def _sim(n=2, seed=0):
+    return TableauSimulator(n, np.random.default_rng(seed))
+
+
+class TestSingleQubit:
+    def test_fresh_qubit_measures_zero(self):
+        assert _sim().measure(0) == 0
+
+    def test_x_flips_measurement(self):
+        sim = _sim()
+        sim.apply_pauli(0, "X")
+        assert sim.measure(0) == 1
+
+    def test_y_flips_measurement(self):
+        sim = _sim()
+        sim.apply_pauli(0, "Y")
+        assert sim.measure(0) == 1
+
+    def test_z_does_not_flip_measurement(self):
+        sim = _sim()
+        sim.apply_pauli(0, "Z")
+        assert sim.measure(0) == 0
+
+    def test_hh_is_identity(self):
+        sim = _sim()
+        sim.apply_pauli(0, "X")
+        sim.h(0)
+        sim.h(0)
+        assert sim.measure(0) == 1
+
+    def test_hzh_equals_x(self):
+        sim = _sim()
+        sim.h(0)
+        sim.apply_pauli(0, "Z")
+        sim.h(0)
+        assert sim.measure(0) == 1
+
+    def test_measurement_collapse_repeatable(self):
+        sim = _sim()
+        sim.h(0)
+        first = sim.measure(0)
+        assert sim.measure(0) == first
+
+    def test_plus_state_measurement_is_random(self):
+        outcomes = set()
+        for seed in range(20):
+            sim = _sim(seed=seed)
+            sim.h(0)
+            outcomes.add(sim.measure(0))
+        assert outcomes == {0, 1}
+
+    def test_reset_clears_state(self):
+        sim = _sim()
+        sim.apply_pauli(0, "X")
+        sim.reset(0)
+        assert sim.measure(0) == 0
+
+
+class TestTwoQubit:
+    def test_cx_copies_x(self):
+        sim = _sim()
+        sim.apply_pauli(0, "X")
+        sim.cx(0, 1)
+        assert sim.measure(1) == 1
+
+    def test_bell_pair_correlated(self):
+        for seed in range(10):
+            sim = _sim(seed=seed)
+            sim.h(0)
+            sim.cx(0, 1)
+            assert sim.measure(0) == sim.measure(1)
+
+    def test_ghz_parity(self):
+        for seed in range(10):
+            sim = TableauSimulator(3, np.random.default_rng(seed))
+            sim.h(0)
+            sim.cx(0, 1)
+            sim.cx(0, 2)
+            bits = [sim.measure(q) for q in range(3)]
+            assert len(set(bits)) == 1
+
+
+class TestRunCircuit:
+    def test_records_in_order(self):
+        c = Circuit()
+        c.append("H", (0,))
+        c.append("CX", (0, 1))
+        c.append("M", (0, 1))
+        meas = run_circuit(c, np.random.default_rng(5))
+        assert meas.shape == (2,)
+        assert meas[0] == meas[1]
+
+    def test_forced_fault_injection(self):
+        c = Circuit()
+        c.append("R", (0,))
+        c.append("X_ERROR", (0,), 0.0)
+        c.append("M", (0,))
+        meas = run_circuit(
+            c, np.random.default_rng(0), forced_faults={1: [(0, "X")]}
+        )
+        assert meas.tolist() == [1]
+
+    def test_noise_sampling_statistics(self):
+        c = Circuit()
+        c.append("R", (0,))
+        c.append("X_ERROR", (0,), 0.5)
+        c.append("M", (0,))
+        rng = np.random.default_rng(11)
+        flips = sum(run_circuit(c, rng, sample_noise=True)[0] for _ in range(400))
+        assert 140 < flips < 260
+
+    def test_sample_circuit_shapes(self):
+        c = Circuit()
+        c.append("R", (0,))
+        c.append("DEPOLARIZE1", (0,), 0.3)
+        c.append("M", (0,))
+        c.append("DETECTOR", (0,))
+        det, obs = sample_circuit(c, 16, np.random.default_rng(2))
+        assert det.shape == (16, 1)
+        assert obs.shape == (16, 0)
+        # DEPOLARIZE1: X or Y flips the measurement (2/3 of errors).
+        assert 0 < det.mean() < 0.5

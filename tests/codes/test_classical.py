@@ -1,0 +1,93 @@
+"""Tests for classical code constructions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import gf2
+from repro.codes import hamming_code, repetition_code, simplex_code
+from repro.codes.classical import ClassicalCode, random_ldpc_code
+
+
+class TestRepetition:
+    @given(st.integers(2, 12))
+    @settings(max_examples=20, deadline=None)
+    def test_parameters(self, n):
+        code = repetition_code(n)
+        assert code.n == n
+        assert code.k == 1
+        assert code.distance() == n
+
+    def test_codewords(self):
+        code = repetition_code(4)
+        words = sorted(w.tolist() for w in code.codewords())
+        assert words == [[0, 0, 0, 0], [1, 1, 1, 1]]
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            repetition_code(1)
+
+
+class TestHamming:
+    @pytest.mark.parametrize("r,n,k", [(2, 3, 1), (3, 7, 4), (4, 15, 11)])
+    def test_parameters(self, r, n, k):
+        code = hamming_code(r)
+        assert code.n == n
+        assert code.k == k
+
+    def test_distance_three(self):
+        assert hamming_code(3).distance() == 3
+
+    def test_columns_distinct_nonzero(self):
+        h = hamming_code(4).parity_check
+        columns = {tuple(col) for col in h.T}
+        assert len(columns) == 15
+        assert tuple([0] * 4) not in columns
+
+
+class TestSimplex:
+    @pytest.mark.parametrize("r,n,k,d", [(3, 7, 3, 4), (4, 15, 4, 8)])
+    def test_parameters(self, r, n, k, d):
+        code = simplex_code(r)
+        assert code.n == n
+        assert code.k == k
+        assert code.distance() == d
+
+    def test_all_nonzero_codewords_same_weight(self):
+        # The simplex code is a constant-weight code.
+        code = simplex_code(4)
+        weights = {int(w.sum()) for w in code.codewords() if w.any()}
+        assert weights == {8}
+
+    def test_duality_with_hamming(self):
+        simplex = simplex_code(3)
+        hamming = hamming_code(3)
+        prod = gf2.mat_mul(simplex.generator, hamming.generator.T)
+        assert not prod.any()
+
+
+class TestClassicalCode:
+    def test_syndrome_and_membership(self):
+        code = repetition_code(3)
+        assert code.is_codeword([1, 1, 1])
+        assert not code.is_codeword([1, 0, 1])
+        assert code.syndrome([1, 0, 0]).tolist() == [1, 0]
+
+    def test_generator_orthogonal_to_checks(self, rng):
+        code = random_ldpc_code(20, 10, 4, rng)
+        prod = gf2.mat_mul(code.parity_check, code.generator.T)
+        assert not prod.any()
+
+    def test_k_matches_generator_rows(self, rng):
+        code = random_ldpc_code(24, 12, 5, rng)
+        assert code.generator.shape[0] == code.k
+
+    def test_codeword_enumeration_guard(self):
+        big = ClassicalCode(np.zeros((1, 30), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            list(big.codewords())
+
+    def test_row_weight_validated(self, rng):
+        with pytest.raises(ValueError):
+            random_ldpc_code(4, 2, 10, rng)

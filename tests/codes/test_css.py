@@ -1,0 +1,120 @@
+"""Tests for CSS and subsystem-CSS code machinery."""
+
+import numpy as np
+import pytest
+
+from repro import gf2
+from repro.codes import (
+    CSSCode,
+    hypergraph_product,
+    repetition_code,
+    surface_code,
+)
+from repro.codes.css import SubsystemCSSCode
+
+
+class TestValidation:
+    def test_non_commuting_rejected(self):
+        hx = np.array([[1, 1, 0]], dtype=np.uint8)
+        hz = np.array([[1, 0, 0]], dtype=np.uint8)
+        with pytest.raises(ValueError):
+            CSSCode(hx, hz)
+
+    def test_column_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CSSCode(np.zeros((1, 3)), np.zeros((1, 4)))
+
+    def test_validate_flag_skips_check(self):
+        hx = np.array([[1, 1, 0]], dtype=np.uint8)
+        hz = np.array([[1, 0, 0]], dtype=np.uint8)
+        code = CSSCode(hx, hz, validate=False)
+        assert code.n == 3
+
+
+class TestSurfaceCode:
+    def test_parameters(self):
+        code = surface_code(3)
+        assert code.n == 13
+        assert code.k == 1
+
+    def test_logicals_commute_with_stabilizers(self):
+        code = surface_code(3)
+        assert not gf2.mat_mul(code.hz, code.logical_x.T).any()
+        assert not gf2.mat_mul(code.hx, code.logical_z.T).any()
+
+    def test_logicals_anticommute_pairwise(self):
+        code = surface_code(3)
+        pairing = gf2.mat_mul(code.logical_x, code.logical_z.T)
+        assert gf2.rank(pairing) == code.k
+
+    def test_logicals_not_stabilizers(self):
+        code = surface_code(3)
+        x_stab_space = gf2.RowSpace(code.hx)
+        for logical in code.logical_x:
+            assert not x_stab_space.contains(logical)
+
+    def test_logical_weight_at_least_distance(self):
+        code = surface_code(3)
+        assert int(code.logical_x.sum(axis=1).min()) >= 3
+        assert int(code.logical_z.sum(axis=1).min()) >= 3
+
+
+class TestBasisSelectors:
+    def test_check_matrix_convention(self):
+        code = surface_code(3)
+        assert code.check_matrix("x") is code.hz
+        assert code.check_matrix("z") is code.hx
+
+    def test_logical_test_matrix_convention(self):
+        code = surface_code(3)
+        assert np.array_equal(code.logical_test_matrix("x"), code.logical_z)
+        assert np.array_equal(code.logical_test_matrix("z"), code.logical_x)
+
+    def test_invalid_basis_raises(self):
+        with pytest.raises(ValueError):
+            surface_code(3).check_matrix("y")
+
+
+class TestHypergraphProduct:
+    def test_commutation_for_asymmetric_product(self):
+        code = hypergraph_product(repetition_code(3), repetition_code(4))
+        assert not gf2.mat_mul(code.hx, code.hz.T).any()
+
+    def test_k_formula(self):
+        # HGP of [n,k] codes with full-rank checks: k_q = k1*k2 + k1T*k2T.
+        code = hypergraph_product(repetition_code(3), repetition_code(5))
+        assert code.k == 1
+
+    def test_repr_mentions_parameters(self):
+        assert "[[13, 1, 3]]" in repr(surface_code(3))
+
+
+class TestSubsystemCSS:
+    def test_bacon_shor_like_construction(self):
+        # SHP of the [3,1,3] repetition code: the Bacon-Shor [[9,1,3]] code.
+        rep = repetition_code(3)
+        n = rep.n
+        gauge_x = np.kron(rep.parity_check, np.eye(n, dtype=np.uint8))
+        gauge_z = np.kron(np.eye(n, dtype=np.uint8), rep.parity_check)
+        code = SubsystemCSSCode(gauge_x, gauge_z, name="bacon_shor_9")
+        assert code.n == 9
+        assert code.k == 1
+
+    def test_bare_logicals_commute_with_gauge(self):
+        rep = repetition_code(3)
+        n = rep.n
+        gauge_x = np.kron(rep.parity_check, np.eye(n, dtype=np.uint8))
+        gauge_z = np.kron(np.eye(n, dtype=np.uint8), rep.parity_check)
+        code = SubsystemCSSCode(gauge_x, gauge_z)
+        # Bare X logicals commute with Z gauge generators and vice versa.
+        assert not gf2.mat_mul(code.hz, code.logical_x.T).any()
+        assert not gf2.mat_mul(code.hx, code.logical_z.T).any()
+
+    def test_bare_logical_pairing(self):
+        rep = repetition_code(3)
+        n = rep.n
+        gauge_x = np.kron(rep.parity_check, np.eye(n, dtype=np.uint8))
+        gauge_z = np.kron(np.eye(n, dtype=np.uint8), rep.parity_check)
+        code = SubsystemCSSCode(gauge_x, gauge_z)
+        pairing = gf2.mat_mul(code.logical_x, code.logical_z.T)
+        assert gf2.rank(pairing) == code.k

@@ -1,0 +1,100 @@
+"""Tests for circulant / bivariate monomial algebra."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import gf2
+from repro.codes.polynomials import (
+    bivariate_poly,
+    circulant,
+    coprime_poly,
+    kron_monomial,
+    shift_matrix,
+)
+
+
+class TestShiftMatrix:
+    def test_paper_example_s3(self):
+        expected = [[0, 1, 0], [0, 0, 1], [1, 0, 0]]
+        assert shift_matrix(3).tolist() == expected
+
+    def test_power_wraps(self):
+        assert np.array_equal(shift_matrix(5, 5), np.eye(5, dtype=np.uint8))
+
+    @given(st.integers(1, 12), st.integers(0, 30), st.integers(0, 30))
+    @settings(max_examples=40, deadline=None)
+    def test_powers_multiply(self, size, a, b):
+        lhs = gf2.mat_mul(shift_matrix(size, a), shift_matrix(size, b))
+        assert np.array_equal(lhs, shift_matrix(size, a + b))
+
+    def test_is_permutation(self):
+        s = shift_matrix(7, 3)
+        assert (s.sum(axis=0) == 1).all()
+        assert (s.sum(axis=1) == 1).all()
+
+
+class TestCirculant:
+    def test_identity_from_zero_exponent(self):
+        assert np.array_equal(circulant(4, [0]), np.eye(4, dtype=np.uint8))
+
+    def test_row_weight_equals_term_count(self):
+        c = circulant(11, [0, 2, 5])
+        assert (c.sum(axis=1) == 3).all()
+
+    def test_repeated_exponent_cancels(self):
+        assert not circulant(5, [2, 2]).any()
+
+    @given(st.integers(2, 9), st.sets(st.integers(0, 8), max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_circulants_commute(self, size, exps):
+        a = circulant(size, exps)
+        b = circulant(size, [1, 3])
+        assert np.array_equal(gf2.mat_mul(a, b), gf2.mat_mul(b, a))
+
+
+class TestBivariate:
+    def test_monomial_is_kron_of_shifts(self):
+        m = kron_monomial(3, 4, 1, 2)
+        expected = np.kron(shift_matrix(3, 1), shift_matrix(4, 2))
+        assert np.array_equal(m, expected)
+
+    def test_x_and_y_commute(self):
+        x = kron_monomial(3, 5, 1, 0)
+        y = kron_monomial(3, 5, 0, 1)
+        assert np.array_equal(gf2.mat_mul(x, y), gf2.mat_mul(y, x))
+
+    def test_poly_row_weight(self):
+        p = bivariate_poly(4, 5, [(0, 0), (1, 2), (3, 4)])
+        assert (p.sum(axis=1) == 3).all()
+
+    @given(
+        st.integers(2, 5),
+        st.integers(2, 5),
+        st.sets(st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=3),
+        st.sets(st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_bivariate_polys_commute(self, l, m, terms_a, terms_b):
+        a = bivariate_poly(l, m, terms_a)
+        b = bivariate_poly(l, m, terms_b)
+        assert np.array_equal(gf2.mat_mul(a, b), gf2.mat_mul(b, a))
+
+
+class TestCoprime:
+    def test_pi_power_consistency(self):
+        # π^e = S_l^e ⊗ S_m^e
+        p = coprime_poly(3, 5, [7])
+        expected = np.kron(shift_matrix(3, 7), shift_matrix(5, 7))
+        assert np.array_equal(p, expected)
+
+    def test_pi_order_is_lm_for_coprime(self):
+        l, m = 3, 5
+        pi = coprime_poly(l, m, [1])
+        power = np.eye(l * m, dtype=np.uint8)
+        orders = []
+        for e in range(1, l * m + 1):
+            power = gf2.mat_mul(power, pi)
+            if np.array_equal(power, np.eye(l * m, dtype=np.uint8)):
+                orders.append(e)
+        assert orders == [l * m]

@@ -1,0 +1,77 @@
+"""BP-SF composed with alternative inner BP decoders (Sec. VII).
+
+The paper notes BP-SF "could potentially benefit from incorporating
+more advanced BP-based techniques as long as their convergence is also
+affected by oscillating bits"; the ``bp_cls`` hook makes that a
+one-liner.  These tests check the composition works end-to-end.
+"""
+
+import functools
+
+import numpy as np
+import pytest
+
+from repro.codes import get_code
+from repro.decoders import (
+    BPSFDecoder,
+    MemoryMinSumBP,
+    MinSumBP,
+    SumProductBP,
+)
+from repro.noise import code_capacity_problem
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return code_capacity_problem(get_code("coprime_154_6_16"), 0.08)
+
+
+MEM_BP = functools.partial(MemoryMinSumBP, gamma=0.2)
+
+
+@pytest.mark.parametrize(
+    "inner", [SumProductBP, MEM_BP], ids=["sum_product", "membp"]
+)
+class TestInnerDecoderComposition:
+    def test_outputs_satisfy_syndrome(self, problem, inner):
+        rng = np.random.default_rng(41)
+        errors = problem.sample_errors(40, rng)
+        syndromes = problem.syndromes(errors)
+        decoder = BPSFDecoder(
+            problem, max_iter=40, phi=8, w_max=1,
+            strategy="exhaustive", bp_cls=inner,
+        )
+        for syndrome in syndromes:
+            result = decoder.decode(syndrome)
+            if result.converged:
+                got = problem.syndromes(result.error[None, :])[0]
+                np.testing.assert_array_equal(got, syndrome)
+
+    def test_post_processing_engages(self, problem, inner):
+        """On a hard workload the trial stage must actually fire."""
+        rng = np.random.default_rng(42)
+        errors = problem.sample_errors(200, rng)
+        syndromes = problem.syndromes(errors)
+        decoder = BPSFDecoder(
+            problem, max_iter=40, phi=8, w_max=1,
+            strategy="exhaustive", bp_cls=inner,
+        )
+        stages = [decoder.decode(s).stage for s in syndromes]
+        assert "post" in stages
+
+
+class TestHookValidation:
+    def test_bp_cls_and_layered_conflict(self, problem):
+        with pytest.raises(ValueError):
+            BPSFDecoder(problem, bp_cls=SumProductBP, layered=True)
+
+    def test_default_is_min_sum(self, problem):
+        decoder = BPSFDecoder(problem, max_iter=10)
+        assert type(decoder.bp_initial) is MinSumBP
+
+    def test_custom_cls_used_for_both_stages(self, problem):
+        decoder = BPSFDecoder(
+            problem, max_iter=10, bp_cls=SumProductBP
+        )
+        assert isinstance(decoder.bp_initial, SumProductBP)
+        assert isinstance(decoder.bp_trial, SumProductBP)

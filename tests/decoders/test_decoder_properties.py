@@ -1,0 +1,113 @@
+"""Property-based postcondition tests for the decoder families.
+
+Decoders only require a ``DecodingProblem`` — any GF(2) check matrix
+with priors — so hypothesis can drive them over random sparse codes
+far from the curated constructions, checking universal contracts:
+
+* a converged result satisfies the (original) syndrome;
+* iteration accounting obeys ``initial <= parallel <= serial``;
+* results are deterministic given the decoder's seed.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.decoders import (
+    GDGDecoder,
+    MemoryMinSumBP,
+    PerturbedEnsembleBP,
+    PosteriorFlipDecoder,
+    RelayBP,
+)
+from repro.problem import DecodingProblem
+
+
+def _random_problem(seed: int, n_checks=12, n_vars=24) -> DecodingProblem:
+    """A random sparse decoding problem (column weight ~3)."""
+    rng = np.random.default_rng(seed)
+    h = np.zeros((n_checks, n_vars), dtype=np.uint8)
+    for j in range(n_vars):
+        rows = rng.choice(n_checks, size=3, replace=False)
+        h[rows, j] = 1
+    # Guard against empty rows (they would make degree-0 checks).
+    for i in range(n_checks):
+        if not h[i].any():
+            h[i, rng.integers(n_vars)] = 1
+    return DecodingProblem(
+        check_matrix=h,
+        priors=np.full(n_vars, 0.05),
+        logical_matrix=np.zeros((1, n_vars), dtype=np.uint8),
+        name=f"random_{seed}",
+    )
+
+
+def _random_syndromes(problem, seed, shots=6):
+    rng = np.random.default_rng(seed + 1)
+    errors = problem.sample_errors(shots, rng)
+    return problem.syndromes(errors)
+
+
+DECODER_FACTORIES = [
+    ("membp", lambda p, s: MemoryMinSumBP(p, gamma=0.4, max_iter=30)),
+    ("relay", lambda p, s: RelayBP(p, leg_iters=20, num_legs=2, seed=s)),
+    ("gdg", lambda p, s: GDGDecoder(
+        p, max_iter=25, max_depth=2, beam_width=4)),
+    ("postflip", lambda p, s: PosteriorFlipDecoder(
+        p, max_iter=25, phi=6, w_max=1, seed=s)),
+    ("perturbed", lambda p, s: PerturbedEnsembleBP(
+        p, max_iter=25, n_attempts=4, seed=s)),
+]
+
+
+@pytest.mark.parametrize("name,factory", DECODER_FACTORIES)
+class TestUniversalContracts:
+    @settings(deadline=None, max_examples=12)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_converged_satisfies_original_syndrome(self, name, factory, seed):
+        problem = _random_problem(seed)
+        decoder = factory(problem, seed)
+        for syndrome in _random_syndromes(problem, seed):
+            result = decoder.decode(syndrome)
+            if result.converged:
+                got = problem.syndromes(result.error[None, :])[0]
+                np.testing.assert_array_equal(got, syndrome)
+
+    @settings(deadline=None, max_examples=12)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_iteration_accounting_ordered(self, name, factory, seed):
+        problem = _random_problem(seed)
+        decoder = factory(problem, seed)
+        for syndrome in _random_syndromes(problem, seed):
+            result = decoder.decode(syndrome)
+            assert result.initial_iterations <= result.parallel_iterations
+            assert result.parallel_iterations <= result.iterations
+
+    @settings(deadline=None, max_examples=8)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_deterministic_given_seed(self, name, factory, seed):
+        problem = _random_problem(seed)
+        syndromes = _random_syndromes(problem, seed, shots=3)
+        first = [factory(problem, seed).decode(s) for s in syndromes]
+        second = [factory(problem, seed).decode(s) for s in syndromes]
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a.error, b.error)
+            assert a.converged == b.converged
+            assert a.iterations == b.iterations
+
+
+class TestZeroSyndromeUniversal:
+    """The all-zero syndrome must decode to the all-zero error without
+    post-processing, whatever the decoder."""
+
+    @pytest.mark.parametrize("name,factory", DECODER_FACTORIES)
+    def test_trivial(self, name, factory):
+        problem = _random_problem(99)
+        decoder = factory(problem, 99)
+        result = decoder.decode(
+            np.zeros(problem.n_checks, dtype=np.uint8)
+        )
+        assert result.converged
+        assert result.stage == "initial"
+        assert result.error.sum() == 0

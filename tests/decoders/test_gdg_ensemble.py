@@ -1,0 +1,175 @@
+"""Tests for GDG, PosteriorFlipDecoder and PerturbedEnsembleBP."""
+
+import numpy as np
+import pytest
+
+from repro.codes import get_code
+from repro.decoders import (
+    GDGDecoder,
+    MinSumBP,
+    PerturbedEnsembleBP,
+    PosteriorFlipDecoder,
+)
+from repro.noise import code_capacity_problem
+from repro.sim import run_ler
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return code_capacity_problem(get_code("bb_72_12_6"), 0.05)
+
+
+@pytest.fixture(scope="module")
+def hard_problem():
+    return code_capacity_problem(get_code("coprime_154_6_16"), 0.05)
+
+
+def _bp_failures(problem, shots, seed, max_iter=50):
+    """Sampled (error, syndrome) pairs on which plain BP fails."""
+    rng = np.random.default_rng(seed)
+    errors = problem.sample_errors(shots, rng)
+    syndromes = problem.syndromes(errors)
+    batch = MinSumBP(problem, max_iter=max_iter).decode_many(syndromes)
+    idx = np.nonzero(~batch.converged)[0]
+    return errors[idx], syndromes[idx]
+
+
+class TestGDGDecoder:
+    def test_trivial_syndrome(self, problem):
+        dec = GDGDecoder(problem, max_iter=20)
+        result = dec.decode(np.zeros(problem.n_checks, dtype=np.uint8))
+        assert result.converged
+        assert result.stage == "initial"
+
+    def test_solutions_satisfy_syndrome(self, hard_problem):
+        _, syndromes = _bp_failures(hard_problem, 120, seed=10)
+        dec = GDGDecoder(hard_problem, max_iter=50, max_depth=3, beam_width=4)
+        for syndrome in syndromes[:10]:
+            res = dec.decode(syndrome)
+            if res.converged:
+                assert np.array_equal(
+                    hard_problem.syndromes(res.error[None, :])[0], syndrome
+                )
+                assert res.stage == "post"
+
+    def test_rescues_bp_failures(self, hard_problem):
+        _, syndromes = _bp_failures(hard_problem, 200, seed=11)
+        assert syndromes.shape[0] > 0, "expected some BP failures"
+        dec = GDGDecoder(hard_problem, max_iter=50, max_depth=4, beam_width=8)
+        rescued = sum(dec.decode(s).converged for s in syndromes)
+        assert rescued > 0
+
+    def test_level_parallel_latency(self, hard_problem):
+        """Parallel latency charges at most one budget per tree level
+        and never exceeds the serial-equivalent count."""
+        _, syndromes = _bp_failures(hard_problem, 150, seed=12)
+        dec = GDGDecoder(hard_problem, max_iter=40, max_depth=3, beam_width=4)
+        for syndrome in syndromes[:8]:
+            res = dec.decode(syndrome)
+            if res.stage == "post":
+                levels = res.parallel_iterations - res.initial_iterations
+                assert 0 < levels <= dec.max_depth * dec.bp.max_iter
+                assert res.iterations >= res.parallel_iterations
+
+    def test_beam_width_bounds_branches(self, hard_problem):
+        _, syndromes = _bp_failures(hard_problem, 150, seed=13)
+        dec = GDGDecoder(hard_problem, max_iter=30, max_depth=5, beam_width=2)
+        for syndrome in syndromes[:5]:
+            res = dec.decode(syndrome)
+            # Each level forks at most 2 children per beam slot.
+            assert res.trials_attempted <= 2 * 2 * dec.max_depth
+
+    def test_parameter_validation(self, problem):
+        with pytest.raises(ValueError):
+            GDGDecoder(problem, max_depth=0)
+        with pytest.raises(ValueError):
+            GDGDecoder(problem, beam_width=1)
+
+    def test_run_ler_integration(self, problem):
+        rng = np.random.default_rng(14)
+        dec = GDGDecoder(problem, max_iter=25, max_depth=2, beam_width=4)
+        mc = run_ler(problem, dec, shots=48, rng=rng)
+        assert mc.shots == 48
+
+
+class TestPosteriorFlipDecoder:
+    def test_trivial_syndrome(self, problem):
+        dec = PosteriorFlipDecoder(problem, max_iter=20)
+        result = dec.decode(np.zeros(problem.n_checks, dtype=np.uint8))
+        assert result.converged
+
+    @pytest.mark.parametrize("mode", ["erase", "assert"])
+    def test_solutions_satisfy_original_syndrome(self, hard_problem, mode):
+        """No flip-back: outputs must satisfy the *unmodified* syndrome."""
+        _, syndromes = _bp_failures(hard_problem, 150, seed=15)
+        dec = PosteriorFlipDecoder(
+            hard_problem, max_iter=50, phi=8, w_max=1, mode=mode
+        )
+        for syndrome in syndromes[:10]:
+            res = dec.decode(syndrome)
+            if res.stage == "post":
+                assert np.array_equal(
+                    hard_problem.syndromes(res.error[None, :])[0], syndrome
+                )
+
+    def test_rescues_some_failures(self, hard_problem):
+        _, syndromes = _bp_failures(hard_problem, 200, seed=16)
+        dec = PosteriorFlipDecoder(
+            hard_problem, max_iter=50, phi=8, w_max=2, mode="erase"
+        )
+        rescued = sum(dec.decode(s).stage == "post" for s in syndromes)
+        assert rescued > 0
+
+    def test_mode_validation(self, problem):
+        with pytest.raises(ValueError):
+            PosteriorFlipDecoder(problem, mode="negate")
+        with pytest.raises(ValueError):
+            PosteriorFlipDecoder(problem, strategy="walk")
+
+    def test_sampled_strategy(self, hard_problem):
+        _, syndromes = _bp_failures(hard_problem, 100, seed=17)
+        dec = PosteriorFlipDecoder(
+            hard_problem, max_iter=40, phi=12, w_max=3, n_s=4,
+            strategy="sampled", seed=0,
+        )
+        res = dec.decode(syndromes[0])
+        assert res.trials_attempted <= 3 * 4
+
+
+class TestPerturbedEnsembleBP:
+    def test_trivial_syndrome(self, problem):
+        dec = PerturbedEnsembleBP(problem, max_iter=20, seed=0)
+        assert dec.decode(np.zeros(problem.n_checks, dtype=np.uint8)).converged
+
+    def test_perturbation_rescues_failures(self, hard_problem):
+        _, syndromes = _bp_failures(hard_problem, 200, seed=18)
+        dec = PerturbedEnsembleBP(
+            hard_problem, max_iter=50, n_attempts=12, spread=0.6, seed=1
+        )
+        rescued = sum(dec.decode(s).stage == "post" for s in syndromes)
+        assert rescued > 0
+
+    def test_attempt_count_bounds_trials(self, hard_problem):
+        _, syndromes = _bp_failures(hard_problem, 100, seed=19)
+        dec = PerturbedEnsembleBP(
+            hard_problem, max_iter=30, n_attempts=5, seed=2
+        )
+        res = dec.decode(syndromes[0])
+        if res.stage in ("post", "failed"):
+            assert res.trials_attempted == 5
+
+    def test_parameter_validation(self, problem):
+        with pytest.raises(ValueError):
+            PerturbedEnsembleBP(problem, n_attempts=0)
+        with pytest.raises(ValueError):
+            PerturbedEnsembleBP(problem, spread=1.5)
+
+    def test_iteration_accounting(self, hard_problem):
+        _, syndromes = _bp_failures(hard_problem, 100, seed=20)
+        dec = PerturbedEnsembleBP(
+            hard_problem, max_iter=30, n_attempts=8, seed=3
+        )
+        for syndrome in syndromes[:6]:
+            res = dec.decode(syndrome)
+            assert res.parallel_iterations <= res.iterations
+            assert res.initial_iterations <= res.parallel_iterations

@@ -1,0 +1,101 @@
+"""Tests for the analytic GPU latency models."""
+
+import numpy as np
+import pytest
+
+from repro.codes import get_code, surface_code
+from repro.decoders import (
+    BPOSDDecoder,
+    BPSFDecoder,
+    GPUEstimatedBPOSD,
+    GPUEstimatedBPSF,
+    GPULatencyModel,
+)
+from repro.noise import code_capacity_problem
+
+
+class TestLatencyModel:
+    def test_bp_seconds_formula(self):
+        model = GPULatencyModel(per_iteration_us=10, launch_overhead_us=100)
+        assert model.bp_seconds(5) == pytest.approx(150e-6)
+
+    def test_batch_blocks_on_slowest(self):
+        model = GPULatencyModel(per_iteration_us=10, launch_overhead_us=0)
+        assert model.batch_bp_seconds([3, 50, 7]) == pytest.approx(500e-6)
+
+    def test_empty_batch_costs_nothing(self):
+        assert GPULatencyModel().batch_bp_seconds([]) == 0.0
+
+
+class TestGPUEstimatedBPSF:
+    def test_initial_only_time(self):
+        problem = code_capacity_problem(surface_code(3), 0.05)
+        model = GPULatencyModel(per_iteration_us=10, launch_overhead_us=100)
+        dec = GPUEstimatedBPSF(
+            BPSFDecoder(problem, max_iter=20, phi=4, w_max=1,
+                        strategy="exhaustive"),
+            model=model,
+        )
+        error = np.zeros(problem.n_mechanisms, dtype=np.uint8)
+        error[0] = 1
+        result = dec.decode(problem.syndromes(error))
+        assert result.stage == "initial"
+        expected = model.bp_seconds(result.iterations)
+        assert result.time_seconds == pytest.approx(expected)
+
+    def test_trial_stage_charged_sequentially(self, rng):
+        problem = code_capacity_problem(get_code("coprime_154_6_16"), 0.06)
+        model = GPULatencyModel(per_iteration_us=10, launch_overhead_us=100)
+        inner = BPSFDecoder(problem, max_iter=10, phi=8, w_max=1,
+                            strategy="exhaustive")
+        dec = GPUEstimatedBPSF(inner, model=model)
+        syndromes = problem.syndromes(problem.sample_errors(40, rng))
+        saw_post = False
+        for s in syndromes:
+            result = dec.decode(s)
+            if result.stage != "post":
+                continue
+            saw_post = True
+            winner = result.winning_trial
+            floor = (
+                model.bp_seconds(result.initial_iterations)
+                + winner * model.bp_seconds(10)
+            )
+            assert result.time_seconds >= floor - 1e-12
+        assert saw_post
+
+    def test_batched_mode_single_launch(self, rng):
+        problem = code_capacity_problem(get_code("coprime_154_6_16"), 0.06)
+        model = GPULatencyModel(per_iteration_us=10, launch_overhead_us=100)
+        inner = BPSFDecoder(problem, max_iter=10, phi=8, w_max=1,
+                            strategy="exhaustive")
+        dec = GPUEstimatedBPSF(inner, model=model, batched=True)
+        syndromes = problem.syndromes(problem.sample_errors(40, rng))
+        for s in syndromes:
+            result = dec.decode(s)
+            if result.stage == "post":
+                expected = (
+                    model.bp_seconds(result.initial_iterations)
+                    + model.bp_seconds(10)
+                )
+                assert result.time_seconds == pytest.approx(expected)
+
+
+class TestGPUEstimatedBPOSD:
+    def test_osd_surcharge_applied(self, rng):
+        problem = code_capacity_problem(get_code("coprime_154_6_16"), 0.06)
+        model = GPULatencyModel(per_iteration_us=10, launch_overhead_us=100,
+                                osd_us=5000)
+        dec = GPUEstimatedBPOSD(
+            BPOSDDecoder(problem, max_iter=6, osd_order=4), model=model
+        )
+        syndromes = problem.syndromes(problem.sample_errors(30, rng))
+        saw_post = False
+        for s in syndromes:
+            result = dec.decode(s)
+            expected = model.bp_seconds(result.iterations)
+            if result.stage == "post":
+                saw_post = True
+                expected += 5000e-6
+            assert result.time_seconds == pytest.approx(expected)
+        assert saw_post

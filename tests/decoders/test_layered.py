@@ -1,0 +1,92 @@
+"""Tests for the layered-schedule min-sum decoder."""
+
+import numpy as np
+import pytest
+
+from repro.codes import get_code, repetition_code, surface_code
+from repro.decoders import LayeredMinSumBP, MinSumBP, check_conflict_layers
+from repro.noise import code_capacity_problem
+from repro.problem import DecodingProblem
+
+
+class TestConflictLayers:
+    def test_layers_are_conflict_free(self):
+        h = surface_code(3).hz
+        layers = check_conflict_layers(h)
+        h = np.asarray(h)
+        for layer in layers:
+            union = np.zeros(h.shape[1], dtype=np.int64)
+            for check in layer:
+                union += h[check]
+            assert union.max() <= 1, "two checks in a layer share a variable"
+
+    def test_layers_partition_checks(self):
+        h = get_code("bb_72_12_6").hz
+        layers = check_conflict_layers(h)
+        all_checks = sorted(int(c) for layer in layers for c in layer)
+        assert all_checks == list(range(h.shape[0]))
+
+    def test_dense_matrix_accepted(self):
+        layers = check_conflict_layers(np.eye(4, dtype=np.uint8))
+        # Identity checks never conflict: single layer.
+        assert len(layers) == 1
+
+
+class TestLayeredDecoding:
+    def test_single_errors_on_repetition_code(self):
+        code = repetition_code(7)
+        problem = DecodingProblem(
+            check_matrix=code.parity_check,
+            priors=np.full(7, 0.05),
+            logical_matrix=code.generator,
+        )
+        dec = LayeredMinSumBP(problem, max_iter=20)
+        for position in range(7):
+            error = np.zeros(7, dtype=np.uint8)
+            error[position] = 1
+            result = dec.decode(problem.syndromes(error))
+            assert result.converged
+            assert np.array_equal(result.error, error)
+
+    def test_converged_results_satisfy_syndrome(self, rng):
+        problem = code_capacity_problem(surface_code(3), 0.08)
+        dec = LayeredMinSumBP(problem, max_iter=25)
+        errors = problem.sample_errors(16, rng)
+        syndromes = problem.syndromes(errors)
+        batch = dec.decode_many(syndromes)
+        got = problem.syndromes(batch.errors[batch.converged])
+        assert np.array_equal(got, syndromes[batch.converged])
+
+    def test_zero_syndrome(self):
+        problem = code_capacity_problem(surface_code(3), 0.05)
+        dec = LayeredMinSumBP(problem, max_iter=10)
+        result = dec.decode(np.zeros(problem.n_checks, dtype=np.uint8))
+        assert result.converged
+        assert not result.error.any()
+
+    def test_convergence_rate_no_worse_than_flooding(self, rng):
+        """Layered BP propagates information faster within an iteration."""
+        problem = code_capacity_problem(get_code("bb_72_12_6"), 0.03)
+        syndromes = problem.syndromes(problem.sample_errors(40, rng))
+        flood = MinSumBP(problem, max_iter=15).decode_many(syndromes)
+        layered = LayeredMinSumBP(problem, max_iter=15).decode_many(syndromes)
+        assert layered.converged.sum() >= flood.converged.sum() - 2
+
+    def test_oscillation_tracking(self, rng):
+        problem = code_capacity_problem(surface_code(3), 0.1)
+        dec = LayeredMinSumBP(problem, max_iter=10, track_oscillations=True)
+        batch = dec.decode_many(
+            problem.syndromes(problem.sample_errors(5, rng))
+        )
+        assert batch.flip_counts is not None
+        assert batch.flip_counts.shape == batch.errors.shape
+
+    def test_n_layers_exposed(self):
+        problem = code_capacity_problem(surface_code(3), 0.05)
+        dec = LayeredMinSumBP(problem, max_iter=5)
+        assert dec.n_layers >= 1
+
+    def test_max_iter_validated(self):
+        problem = code_capacity_problem(surface_code(3), 0.05)
+        with pytest.raises(ValueError):
+            LayeredMinSumBP(problem, max_iter=0)

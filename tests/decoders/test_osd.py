@@ -1,0 +1,148 @@
+"""Tests for ordered statistics decoding."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.codes import hamming_code, repetition_code, surface_code
+from repro.decoders import MinSumBP, OrderedStatisticsDecoder
+from repro.noise import code_capacity_problem
+from repro.problem import DecodingProblem
+
+
+def small_problem(code, p=0.05):
+    return DecodingProblem(
+        check_matrix=code.parity_check,
+        priors=np.full(code.n, p),
+        logical_matrix=code.generator,
+    )
+
+
+def brute_force_min_weight(h, s, weights):
+    """Minimum soft-weight solution by exhaustive search (tiny n only)."""
+    h = np.asarray(h) % 2
+    n = h.shape[1]
+    best, best_cost = None, None
+    for bits in itertools.product((0, 1), repeat=n):
+        e = np.asarray(bits, dtype=np.uint8)
+        if np.array_equal(h @ e % 2, np.asarray(s)):
+            cost = float(weights[e == 1].sum())
+            if best_cost is None or cost < best_cost:
+                best, best_cost = e, cost
+    return best, best_cost
+
+
+class TestValidation:
+    def test_bad_method(self):
+        with pytest.raises(ValueError):
+            OrderedStatisticsDecoder(small_problem(repetition_code(3)),
+                                     method="x")
+
+    def test_exhaustive_order_capped(self):
+        with pytest.raises(ValueError):
+            OrderedStatisticsDecoder(small_problem(repetition_code(3)),
+                                     method="e", order=20)
+
+    def test_negative_order(self):
+        with pytest.raises(ValueError):
+            OrderedStatisticsDecoder(small_problem(repetition_code(3)),
+                                     order=-1)
+
+    def test_bad_weighting(self):
+        with pytest.raises(ValueError):
+            OrderedStatisticsDecoder(small_problem(repetition_code(3)),
+                                     weighting="l2")
+
+
+class TestOSD0:
+    def test_solution_satisfies_syndrome(self, rng):
+        problem = small_problem(hamming_code(3))
+        osd = OrderedStatisticsDecoder(problem, order=0, method="0")
+        for _ in range(20):
+            error = (rng.random(7) < 0.3).astype(np.uint8)
+            s = problem.syndromes(error)
+            marginals = rng.normal(size=7)
+            out = osd.decode_from_marginals(s, marginals)
+            assert out is not None
+            assert np.array_equal(problem.syndromes(out), s)
+
+    def test_infeasible_syndrome_returns_none(self):
+        h = np.array([[1, 1], [1, 1]], dtype=np.uint8)
+        problem = DecodingProblem(
+            check_matrix=h, priors=np.full(2, 0.05),
+            logical_matrix=np.zeros((0, 2), dtype=np.uint8),
+        )
+        osd = OrderedStatisticsDecoder(problem, order=0, method="0")
+        assert osd.decode_from_marginals([1, 0], [0.0, 0.0]) is None
+
+    def test_reliability_order_drives_solution(self):
+        # With a strongly negative marginal on bit 2, OSD should place
+        # the error there rather than on bit 0.
+        code = repetition_code(3)
+        problem = small_problem(code)
+        osd = OrderedStatisticsDecoder(problem, order=0, method="0")
+        error = np.array([0, 0, 1], dtype=np.uint8)
+        s = problem.syndromes(error)
+        marginals = np.array([5.0, 4.0, -3.0])
+        out = osd.decode_from_marginals(s, marginals)
+        assert np.array_equal(out, error)
+
+
+class TestCombinationSweep:
+    def test_cs_no_worse_than_osd0(self, rng):
+        problem = small_problem(hamming_code(3), p=0.1)
+        osd0 = OrderedStatisticsDecoder(problem, order=0, method="0")
+        cs = OrderedStatisticsDecoder(problem, order=6, method="cs")
+        weights = problem.llr_priors()
+        for _ in range(30):
+            error = (rng.random(7) < 0.25).astype(np.uint8)
+            s = problem.syndromes(error)
+            marginals = rng.normal(size=7)
+            w0 = weights[osd0.decode_from_marginals(s, marginals) == 1].sum()
+            wc = weights[cs.decode_from_marginals(s, marginals) == 1].sum()
+            assert wc <= w0 + 1e-9
+
+    def test_cs_solution_satisfies_syndrome(self, rng):
+        problem = code_capacity_problem(surface_code(3), 0.08)
+        cs = OrderedStatisticsDecoder(problem, order=8, method="cs")
+        errors = problem.sample_errors(15, rng)
+        for error in errors:
+            s = problem.syndromes(error)
+            out = cs.decode_from_marginals(s, rng.normal(size=problem.n_mechanisms))
+            assert out is not None
+            assert np.array_equal(problem.syndromes(out), s)
+
+
+class TestExhaustive:
+    def test_exhaustive_finds_brute_force_optimum(self, rng):
+        """OSD-E with full order equals global minimum soft weight."""
+        code = hamming_code(3)  # n=7: brute force is 128 patterns
+        problem = small_problem(code, p=0.1)
+        weights = problem.llr_priors()
+        osd = OrderedStatisticsDecoder(problem, order=7, method="e")
+        for trial in range(10):
+            error = (rng.random(7) < 0.3).astype(np.uint8)
+            s = problem.syndromes(error)
+            marginals = rng.normal(size=7)
+            out = osd.decode_from_marginals(s, marginals)
+            _, best_cost = brute_force_min_weight(
+                problem.check_matrix.toarray(), s, weights
+            )
+            got_cost = float(weights[out == 1].sum())
+            assert got_cost == pytest.approx(best_cost), trial
+
+
+class TestWithBP:
+    def test_bposd_pipeline_order(self, rng):
+        """OSD driven by real BP marginals fixes BP failures."""
+        problem = code_capacity_problem(surface_code(3), 0.12)
+        bp = MinSumBP(problem, max_iter=8)
+        osd = OrderedStatisticsDecoder(problem, order=4)
+        errors = problem.sample_errors(40, rng)
+        syndromes = problem.syndromes(errors)
+        batch = bp.decode_many(syndromes)
+        for i in np.nonzero(~batch.converged)[0]:
+            out = osd.decode_from_marginals(syndromes[i], batch.marginals[i])
+            assert out is not None
+            assert np.array_equal(problem.syndromes(out), syndromes[i])

@@ -1,0 +1,86 @@
+"""Tests for the multi-process BP-SF executor."""
+
+import numpy as np
+import pytest
+
+from repro.codes import get_code
+from repro.decoders import BPSFDecoder, ParallelBPSFDecoder
+from repro.noise import code_capacity_problem
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return code_capacity_problem(get_code("coprime_154_6_16"), 0.06)
+
+
+@pytest.fixture(scope="module")
+def pool(problem):
+    dec = ParallelBPSFDecoder(
+        problem, processes=2, batch_trials=3,
+        max_iter=6, phi=8, w_max=1, strategy="exhaustive",
+    )
+    yield dec
+    dec.close()
+
+
+class TestParallelExecution:
+    def test_results_satisfy_syndrome(self, problem, pool, rng):
+        errors = problem.sample_errors(30, rng)
+        syndromes = problem.syndromes(errors)
+        for i, s in enumerate(syndromes):
+            result = pool.decode(s)
+            if result.converged:
+                assert np.array_equal(problem.syndromes(result.error), s)
+
+    def test_convergence_matches_serial(self, problem, pool, rng):
+        serial = BPSFDecoder(
+            problem, max_iter=6, phi=8, w_max=1, strategy="exhaustive"
+        )
+        errors = problem.sample_errors(60, rng)
+        syndromes = problem.syndromes(errors)
+        exercised_post = False
+        for s in syndromes:
+            rs = serial.decode(s)
+            rp = pool.decode(s)
+            assert rs.converged == rp.converged
+            exercised_post = exercised_post or rs.stage == "post"
+            if rs.stage == "post":
+                assert rp.stage == "post"
+                # Both outputs must satisfy the syndrome (they may be
+                # different valid representatives).
+                assert np.array_equal(problem.syndromes(rp.error), s)
+        assert exercised_post, "test did not exercise the SF stage"
+
+    def test_fast_path_avoids_workers(self, problem, pool):
+        s = np.zeros(problem.n_checks, dtype=np.uint8)
+        result = pool.decode(s)
+        assert result.converged
+        assert result.stage == "initial"
+
+    def test_stale_results_discarded_across_decodes(self, problem, pool, rng):
+        """Back-to-back decodes must not leak results between serials."""
+        errors = problem.sample_errors(10, rng)
+        syndromes = problem.syndromes(errors)
+        for s in syndromes:
+            result = pool.decode(s)
+            if result.converged:
+                assert np.array_equal(problem.syndromes(result.error), s)
+
+
+class TestLifecycle:
+    def test_context_manager_closes(self, problem):
+        with ParallelBPSFDecoder(
+            problem, processes=1, max_iter=5, phi=4, w_max=1,
+            strategy="exhaustive",
+        ) as dec:
+            s = np.zeros(problem.n_checks, dtype=np.uint8)
+            assert dec.decode(s).converged
+        assert dec._workers == []
+
+    def test_close_idempotent(self, problem):
+        dec = ParallelBPSFDecoder(
+            problem, processes=1, max_iter=5, phi=4, w_max=1,
+            strategy="exhaustive",
+        )
+        dec.close()
+        dec.close()

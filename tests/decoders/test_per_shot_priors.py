@@ -1,0 +1,109 @@
+"""Tests for the per-shot-prior interface of MinSumBP."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import get_code
+from repro.decoders import MinSumBP
+from repro.noise import code_capacity_problem
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return code_capacity_problem(get_code("bb_72_12_6"), 0.05)
+
+
+def _sampled(problem, shots, seed):
+    rng = np.random.default_rng(seed)
+    errors = problem.sample_errors(shots, rng)
+    return errors, problem.syndromes(errors)
+
+
+class TestPriorOverride:
+    def test_none_matches_default(self, problem):
+        _, syndromes = _sampled(problem, 24, seed=0)
+        dec = MinSumBP(problem, max_iter=30)
+        base = dec.decode_many(syndromes)
+        override = dec.decode_many(
+            syndromes, prior_llr=problem.llr_priors()
+        )
+        np.testing.assert_array_equal(base.errors, override.errors)
+        np.testing.assert_array_equal(base.iterations, override.iterations)
+
+    def test_shared_vector_broadcasts(self, problem):
+        _, syndromes = _sampled(problem, 16, seed=1)
+        dec = MinSumBP(problem, max_iter=30)
+        prior = problem.llr_priors() * 0.8
+        shared = dec.decode_many(syndromes, prior_llr=prior)
+        tiled = dec.decode_many(
+            syndromes, prior_llr=np.tile(prior, (16, 1))
+        )
+        np.testing.assert_array_equal(shared.errors, tiled.errors)
+        np.testing.assert_array_equal(shared.iterations, tiled.iterations)
+
+    def test_per_shot_rows_are_independent(self, problem):
+        """Each row's prior must only affect that row's decode."""
+        _, syndromes = _sampled(problem, 8, seed=2)
+        dec = MinSumBP(problem, max_iter=30)
+        base_prior = problem.llr_priors()
+        priors = np.tile(base_prior, (8, 1))
+        priors[3] *= 0.5  # weaken confidence only on row 3
+        mixed = dec.decode_many(syndromes, prior_llr=priors)
+        base = dec.decode_many(syndromes)
+        for i in range(8):
+            if i == 3:
+                continue
+            np.testing.assert_array_equal(base.errors[i], mixed.errors[i])
+
+    def test_per_shot_priors_compact_with_batch(self, problem):
+        """Early-converging shots must not desync per-shot priors."""
+        errors, syndromes = _sampled(problem, 32, seed=3)
+        dec = MinSumBP(problem, max_iter=60)
+        priors = np.tile(problem.llr_priors(), (32, 1))
+        batch = dec.decode_many(syndromes, prior_llr=priors)
+        got = problem.syndromes(batch.errors)
+        assert np.array_equal(
+            got[batch.converged], syndromes[batch.converged]
+        )
+
+    def test_saturated_prior_freezes_bit(self, problem):
+        """A hugely negative prior LLR must force the bit to 1."""
+        dec = MinSumBP(problem, max_iter=1)
+        prior = problem.llr_priors()
+        prior[7] = -1000.0
+        syndrome = np.zeros(problem.n_checks, dtype=np.uint8)
+        res = dec.decode(syndrome, prior_llr=prior)
+        assert res.error[7] == 1
+
+    def test_wrong_width_rejected(self, problem):
+        dec = MinSumBP(problem, max_iter=5)
+        syndrome = np.zeros(problem.n_checks, dtype=np.uint8)
+        with pytest.raises(ValueError):
+            dec.decode(syndrome, prior_llr=np.zeros(3))
+
+    def test_wrong_batch_rejected(self, problem):
+        dec = MinSumBP(problem, max_iter=5)
+        syndromes = np.zeros((4, problem.n_checks), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            dec.decode_many(
+                syndromes,
+                prior_llr=np.zeros((3, problem.n_mechanisms)),
+            )
+
+    @settings(deadline=None, max_examples=15)
+    @given(scale=st.floats(min_value=0.1, max_value=3.0))
+    def test_scaling_priors_preserves_validity(self, scale):
+        problem = code_capacity_problem(get_code("bb_72_12_6"), 0.04)
+        rng = np.random.default_rng(4)
+        errors = problem.sample_errors(8, rng)
+        syndromes = problem.syndromes(errors)
+        dec = MinSumBP(problem, max_iter=25)
+        batch = dec.decode_many(
+            syndromes, prior_llr=problem.llr_priors() * scale
+        )
+        got = problem.syndromes(batch.errors)
+        assert np.array_equal(
+            got[batch.converged], syndromes[batch.converged]
+        )

@@ -1,0 +1,63 @@
+"""Tests for the edge-list Tanner graph representation."""
+
+import numpy as np
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.decoders import TannerEdges
+
+
+def binary_matrices(max_rows=8, max_cols=10):
+    shapes = st.tuples(st.integers(1, max_rows), st.integers(1, max_cols))
+    return shapes.flatmap(
+        lambda s: arrays(np.uint8, s, elements=st.integers(0, 1))
+    )
+
+
+class TestTannerEdges:
+    @given(binary_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_edges_reconstruct_matrix(self, h):
+        edges = TannerEdges(sp.csr_matrix(h))
+        rebuilt = np.zeros_like(h)
+        rebuilt[edges.edge_check, edges.edge_var] = 1
+        assert np.array_equal(rebuilt, h)
+
+    @given(binary_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_check_sorted_order(self, h):
+        edges = TannerEdges(sp.csr_matrix(h))
+        if edges.n_edges > 1:
+            keys = edges.edge_check * h.shape[1] + edges.edge_var
+            assert (np.diff(keys) > 0).all()
+
+    @given(binary_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_var_order_is_permutation(self, h):
+        edges = TannerEdges(sp.csr_matrix(h))
+        perm = edges.to_var_order
+        assert sorted(perm.tolist()) == list(range(edges.n_edges))
+        var_sorted = edges.edge_var[perm]
+        assert (np.diff(var_sorted) >= 0).all()
+        assert np.array_equal(var_sorted, edges.edge_var_sorted)
+
+    @given(binary_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_segment_sums_match_row_sums(self, h):
+        edges = TannerEdges(sp.csr_matrix(h))
+        if edges.n_edges == 0:
+            return
+        ones = np.ones((1, edges.n_edges))
+        sums = np.add.reduceat(ones, edges.check_starts, axis=1)[0]
+        expected = h.sum(axis=1)[edges.check_ids]
+        assert np.array_equal(sums, expected)
+
+    def test_scatter_var_sums_places_values(self):
+        h = np.array([[1, 0, 1], [0, 0, 1]], dtype=np.uint8)
+        edges = TannerEdges(sp.csr_matrix(h))
+        # Variables 0 and 2 have edges; variable 1 is isolated.
+        per_var = np.array([[5.0, 7.0]])
+        out = edges.scatter_var_sums(per_var)
+        assert out.tolist() == [[5.0, 0.0, 7.0]]

@@ -1,0 +1,101 @@
+"""Tests for candidate selection and trial-vector generation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.decoders import exhaustive_trials, sampled_trials, top_oscillating_bits
+
+
+class TestTopOscillatingBits:
+    def test_picks_most_flipped(self):
+        flips = np.array([0, 5, 2, 9, 1])
+        assert top_oscillating_bits(flips, 2).tolist() == [3, 1]
+
+    def test_tie_break_by_low_reliability(self):
+        flips = np.array([3, 3, 0])
+        marginals = np.array([10.0, 0.5, 2.0])
+        # Bits 0 and 1 tie on flips; bit 1 is less reliable.
+        assert top_oscillating_bits(flips, 1, marginals).tolist() == [1]
+
+    def test_phi_larger_than_n(self):
+        flips = np.array([1, 2])
+        assert len(top_oscillating_bits(flips, 10)) == 2
+
+    @given(st.integers(0, 2**16), st.integers(1, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_returns_phi_distinct_indices(self, seed, phi):
+        rng = np.random.default_rng(seed)
+        flips = rng.integers(0, 10, size=30)
+        out = top_oscillating_bits(flips, phi)
+        assert len(out) == min(phi, 30)
+        assert len(set(out.tolist())) == len(out)
+
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_selected_bits_dominate_flip_counts(self, seed):
+        rng = np.random.default_rng(seed)
+        flips = rng.integers(0, 10, size=30)
+        out = top_oscillating_bits(flips, 5)
+        worst_selected = flips[out].min()
+        rest = np.delete(flips, out)
+        if rest.size:
+            assert worst_selected >= rest.max()
+
+
+class TestExhaustiveTrials:
+    def test_counts(self):
+        trials = exhaustive_trials(range(5), 2)
+        assert len(trials) == 5 + math.comb(5, 2)
+
+    def test_weight_one_first(self):
+        trials = exhaustive_trials([3, 1, 4], 2)
+        assert trials[:3] == [(3,), (1,), (4,)]
+        assert all(len(t) == 2 for t in trials[3:])
+
+    def test_wmax_validated(self):
+        with pytest.raises(ValueError):
+            exhaustive_trials([1, 2], 0)
+
+    def test_wmax_capped_at_candidate_count(self):
+        trials = exhaustive_trials([0, 1], 5)
+        assert max(len(t) for t in trials) == 2
+
+
+class TestSampledTrials:
+    def test_no_duplicates(self):
+        rng = np.random.default_rng(0)
+        trials = sampled_trials(range(20), w_max=3, n_s=15, rng=rng)
+        assert len(trials) == len(set(trials))
+
+    def test_weights_in_range(self):
+        rng = np.random.default_rng(1)
+        trials = sampled_trials(range(10), w_max=4, n_s=5, rng=rng)
+        assert {len(t) for t in trials} <= {1, 2, 3, 4}
+
+    def test_subsets_of_candidates(self):
+        rng = np.random.default_rng(2)
+        candidates = [7, 11, 13, 17]
+        trials = sampled_trials(candidates, w_max=2, n_s=8, rng=rng)
+        for t in trials:
+            assert set(t) <= set(candidates)
+
+    def test_count_bounded_by_ns_times_wmax(self):
+        rng = np.random.default_rng(3)
+        trials = sampled_trials(range(50), w_max=6, n_s=5, rng=rng)
+        assert len(trials) <= 30
+
+    def test_weight_exceeding_candidates_skipped(self):
+        rng = np.random.default_rng(4)
+        trials = sampled_trials([0, 1], w_max=5, n_s=3, rng=rng)
+        assert max(len(t) for t in trials) <= 2
+
+    def test_validation(self):
+        rng = np.random.default_rng(5)
+        with pytest.raises(ValueError):
+            sampled_trials([0], w_max=0, n_s=1, rng=rng)
+        with pytest.raises(ValueError):
+            sampled_trials([0], w_max=1, n_s=0, rng=rng)

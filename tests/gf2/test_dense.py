@@ -1,0 +1,165 @@
+"""Unit and property tests for dense GF(2) linear algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro import gf2
+
+
+def binary_matrices(max_rows=8, max_cols=8):
+    shapes = st.tuples(
+        st.integers(1, max_rows), st.integers(1, max_cols)
+    )
+    return shapes.flatmap(
+        lambda s: arrays(np.uint8, s, elements=st.integers(0, 1))
+    )
+
+
+class TestAsGf2:
+    def test_reduces_mod_two(self):
+        out = gf2.as_gf2([[2, 3], [4, 5]])
+        assert out.tolist() == [[0, 1], [0, 1]]
+
+    def test_accepts_bools(self):
+        out = gf2.as_gf2(np.array([True, False]))
+        assert out.dtype == np.uint8
+        assert out.tolist() == [1, 0]
+
+
+class TestRowReduce:
+    def test_known_rref(self):
+        mat = [[1, 1, 0], [1, 0, 1], [0, 1, 1]]
+        reduced, pivots = gf2.row_reduce(mat)
+        assert pivots.tolist() == [0, 1]
+        assert reduced[:2].tolist() == [[1, 0, 1], [0, 1, 1]]
+        assert not reduced[2].any()
+
+    def test_does_not_mutate_input(self):
+        mat = np.array([[1, 1], [1, 1]], dtype=np.uint8)
+        gf2.row_reduce(mat)
+        assert mat.tolist() == [[1, 1], [1, 1]]
+
+    @given(binary_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_rref_pivot_columns_are_unit_vectors(self, mat):
+        reduced, pivots = gf2.row_reduce(mat)
+        for i, p in enumerate(pivots):
+            column = reduced[:, p]
+            assert column[i] == 1
+            assert column.sum() == 1
+
+    @given(binary_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_row_space_preserved(self, mat):
+        reduced, pivots = gf2.row_reduce(mat)
+        stacked = np.concatenate([mat, reduced], axis=0)
+        assert gf2.rank(stacked) == len(pivots)
+
+
+class TestRank:
+    def test_identity(self):
+        assert gf2.rank(gf2.identity(5)) == 5
+
+    def test_rank_deficient(self):
+        mat = [[1, 0, 1], [0, 1, 1], [1, 1, 0]]  # row3 = row1 + row2
+        assert gf2.rank(mat) == 2
+
+    @given(binary_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_rank_of_transpose(self, mat):
+        assert gf2.rank(mat) == gf2.rank(mat.T)
+
+
+class TestNullspace:
+    @given(binary_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_kernel_vectors_annihilate(self, mat):
+        basis = gf2.nullspace(mat)
+        assert basis.shape[0] == mat.shape[1] - gf2.rank(mat)
+        if basis.size:
+            prod = gf2.mat_mul(mat, basis.T)
+            assert not prod.any()
+
+    @given(binary_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_kernel_basis_independent(self, mat):
+        basis = gf2.nullspace(mat)
+        if basis.shape[0]:
+            assert gf2.rank(basis) == basis.shape[0]
+
+
+class TestSolve:
+    def test_simple_system(self):
+        h = [[1, 1, 0], [0, 1, 1]]
+        s = [1, 0]
+        x = gf2.solve(h, s)
+        assert x is not None
+        assert gf2.mat_vec(h, x).tolist() == [1, 0]
+
+    def test_infeasible_returns_none(self):
+        h = [[1, 1], [1, 1]]
+        assert gf2.solve(h, [0, 1]) is None
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            gf2.solve([[1, 0]], [1, 0, 1])
+
+    @given(binary_matrices(), st.integers(0, 2**16))
+    @settings(max_examples=80, deadline=None)
+    def test_solution_in_image_always_found(self, mat, seed):
+        rng = np.random.default_rng(seed)
+        x_true = rng.integers(0, 2, size=mat.shape[1], dtype=np.uint8)
+        s = gf2.mat_vec(mat, x_true)
+        x = gf2.solve(mat, s)
+        assert x is not None
+        assert np.array_equal(gf2.mat_vec(mat, x), s)
+
+
+class TestInverse:
+    def test_round_trip(self, rng):
+        # Build a random invertible matrix from row operations.
+        n = 6
+        mat = gf2.identity(n)
+        for _ in range(40):
+            i, j = rng.integers(0, n, size=2)
+            if i != j:
+                mat[i] ^= mat[j]
+        inv = gf2.inverse(mat)
+        assert np.array_equal(gf2.mat_mul(mat, inv), gf2.identity(n))
+
+    def test_singular_raises(self):
+        with pytest.raises(ValueError):
+            gf2.inverse([[1, 1], [1, 1]])
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            gf2.inverse([[1, 0, 1]])
+
+
+class TestRowSpace:
+    def test_contains_rows_and_combinations(self):
+        mat = np.array([[1, 0, 1, 0], [0, 1, 1, 1]], dtype=np.uint8)
+        space = gf2.RowSpace(mat)
+        assert space.dimension == 2
+        assert space.contains(mat[0])
+        assert space.contains(mat[0] ^ mat[1])
+        assert not space.contains([1, 1, 1, 1])
+
+    def test_reduce_is_canonical(self):
+        mat = np.array([[1, 0, 1], [0, 1, 1]], dtype=np.uint8)
+        space = gf2.RowSpace(mat)
+        v = np.array([1, 1, 0], dtype=np.uint8)
+        assert not space.reduce(v).any()
+
+    @given(binary_matrices(), st.integers(0, 2**16))
+    @settings(max_examples=60, deadline=None)
+    def test_membership_matches_rank_test(self, mat, seed):
+        rng = np.random.default_rng(seed)
+        v = rng.integers(0, 2, size=mat.shape[1], dtype=np.uint8)
+        space = gf2.RowSpace(mat)
+        stacked = np.concatenate([mat, v[None, :]], axis=0)
+        expected = gf2.rank(stacked) == gf2.rank(mat)
+        assert space.contains(v) == expected

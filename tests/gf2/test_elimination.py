@@ -1,0 +1,87 @@
+"""Tests for column-ordered Gaussian elimination (the OSD engine)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro import gf2
+from repro.gf2 import ColumnOrderedRREF
+
+
+def binary_matrices(max_rows=8, max_cols=16):
+    shapes = st.tuples(st.integers(1, max_rows), st.integers(1, max_cols))
+    return shapes.flatmap(
+        lambda s: arrays(np.uint8, s, elements=st.integers(0, 1))
+    )
+
+
+class TestRankAndPivots:
+    @given(binary_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_rank_matches_dense(self, mat):
+        assert ColumnOrderedRREF(mat).rank == gf2.rank(mat)
+
+    @given(binary_matrices(), st.integers(0, 2**16))
+    @settings(max_examples=60, deadline=None)
+    def test_rank_invariant_under_column_order(self, mat, seed):
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(mat.shape[1])
+        assert ColumnOrderedRREF(mat, order).rank == gf2.rank(mat)
+
+    def test_pivots_respect_column_order(self):
+        mat = np.array([[1, 1, 0], [1, 0, 1]], dtype=np.uint8)
+        rref = ColumnOrderedRREF(mat, column_order=[2, 1, 0])
+        # Greedy in order 2,1,0: column 2 and column 1 are independent.
+        assert rref.pivot_cols.tolist() == [2, 1]
+
+    def test_pivot_columns_are_independent(self, rng):
+        mat = rng.integers(0, 2, size=(10, 25), dtype=np.uint8)
+        rref = ColumnOrderedRREF(mat)
+        sub = mat[:, rref.pivot_cols]
+        assert gf2.rank(sub) == rref.rank
+
+
+class TestReduceVector:
+    @given(binary_matrices(), st.integers(0, 2**16))
+    @settings(max_examples=80, deadline=None)
+    def test_consistent_rhs_solved_by_pivot_assignment(self, mat, seed):
+        rng = np.random.default_rng(seed)
+        x_true = rng.integers(0, 2, size=mat.shape[1], dtype=np.uint8)
+        s = gf2.mat_vec(mat, x_true)
+        rref = ColumnOrderedRREF(mat)
+        pivot_part, consistent = rref.reduce_vector(s)
+        assert consistent
+        e = rref.solve_with_flips(pivot_part)
+        assert np.array_equal(gf2.mat_vec(mat, e), s)
+
+    def test_inconsistent_rhs_detected(self):
+        mat = np.array([[1, 1], [1, 1]], dtype=np.uint8)
+        rref = ColumnOrderedRREF(mat)
+        _, consistent = rref.reduce_vector([1, 0])
+        assert not consistent
+
+
+class TestSolveWithFlips:
+    @given(binary_matrices(), st.integers(0, 2**16))
+    @settings(max_examples=80, deadline=None)
+    def test_flipped_solution_still_satisfies_system(self, mat, seed):
+        rng = np.random.default_rng(seed)
+        x_true = rng.integers(0, 2, size=mat.shape[1], dtype=np.uint8)
+        s = gf2.mat_vec(mat, x_true)
+        rref = ColumnOrderedRREF(mat)
+        pivot_part, _ = rref.reduce_vector(s)
+        non_pivot = np.setdiff1d(np.arange(mat.shape[1]), rref.pivot_cols)
+        flips = non_pivot[:2]
+        e = rref.solve_with_flips(pivot_part, flips)
+        for j in flips:
+            assert e[j] == 1
+        assert np.array_equal(gf2.mat_vec(mat, e), s)
+
+    def test_reduced_columns_match_single_queries(self, rng):
+        mat = rng.integers(0, 2, size=(8, 20), dtype=np.uint8)
+        rref = ColumnOrderedRREF(mat)
+        cols = [0, 5, 13]
+        block = rref.reduced_columns(cols)
+        for k, j in enumerate(cols):
+            assert np.array_equal(block[:, k], rref.reduced_column(j))

@@ -1,0 +1,120 @@
+"""Tests for the decoding-problem abstraction and code-capacity noise."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import get_code, surface_code
+from repro.noise import code_capacity_problem, sample_pauli_errors
+from repro.problem import DecodingProblem
+
+
+class TestDecodingProblem:
+    def test_shapes_and_validation(self):
+        problem = code_capacity_problem(surface_code(3), 0.05)
+        assert problem.n_mechanisms == 13
+        assert problem.n_checks == problem.check_matrix.shape[0]
+        assert problem.n_logicals == 1
+
+    def test_prior_range_enforced(self):
+        with pytest.raises(ValueError):
+            DecodingProblem(
+                check_matrix=np.eye(2, dtype=np.uint8),
+                priors=np.array([0.0, 0.1]),
+                logical_matrix=np.zeros((0, 2)),
+            )
+        with pytest.raises(ValueError):
+            DecodingProblem(
+                check_matrix=np.eye(2, dtype=np.uint8),
+                priors=np.array([0.6, 0.1]),
+                logical_matrix=np.zeros((0, 2)),
+            )
+
+    def test_scalar_prior_broadcast(self):
+        problem = DecodingProblem(
+            check_matrix=np.eye(3, dtype=np.uint8),
+            priors=0.01,
+            logical_matrix=np.zeros((0, 3)),
+        )
+        assert problem.priors.shape == (3,)
+
+    def test_logical_width_validated(self):
+        with pytest.raises(ValueError):
+            DecodingProblem(
+                check_matrix=np.eye(3, dtype=np.uint8),
+                priors=0.01,
+                logical_matrix=np.zeros((1, 4)),
+            )
+
+    def test_llr_priors(self):
+        problem = DecodingProblem(
+            check_matrix=np.eye(1, dtype=np.uint8),
+            priors=np.array([0.25]),
+            logical_matrix=np.zeros((0, 1)),
+        )
+        assert problem.llr_priors()[0] == pytest.approx(np.log(3.0))
+
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_syndromes_match_direct_computation(self, seed):
+        rng = np.random.default_rng(seed)
+        problem = code_capacity_problem(surface_code(3), 0.1)
+        errors = problem.sample_errors(5, rng)
+        h = problem.check_matrix.toarray()
+        expected = (errors @ h.T % 2).astype(np.uint8)
+        assert np.array_equal(problem.syndromes(errors), expected)
+
+    def test_is_failure_detects_logical_flip(self):
+        code = surface_code(3)
+        problem = code_capacity_problem(code, 0.05)
+        zero = np.zeros(code.n, dtype=np.uint8)
+        logical = code.logical_x[0]
+        # Residual = logical operator: syndrome matches, observable flips.
+        assert problem.is_failure(zero, logical)[0]
+        assert not problem.is_failure(zero, zero)[0]
+
+    def test_is_failure_detects_syndrome_mismatch(self):
+        problem = code_capacity_problem(surface_code(3), 0.05)
+        bad = np.zeros(problem.n_mechanisms, dtype=np.uint8)
+        truth = bad.copy()
+        truth[0] = 1
+        assert problem.is_failure(truth, bad)[0]
+
+    def test_stabilizer_residual_is_not_failure(self):
+        code = surface_code(3)
+        problem = code_capacity_problem(code, 0.05)
+        zero = np.zeros(code.n, dtype=np.uint8)
+        stabilizer = code.hx[0]
+        # X-stabilizer residual: in ker(Hz), trivial logical action...
+        assert not problem.is_failure(stabilizer, zero)[0]
+
+    def test_sampling_rate(self, rng):
+        problem = code_capacity_problem(surface_code(5), 0.09)
+        errors = problem.sample_errors(4000, rng)
+        assert errors.mean() == pytest.approx(0.06, rel=0.1)
+
+
+class TestCodeCapacityChannel:
+    def test_basis_selection(self):
+        code = get_code("bb_72_12_6")
+        px = code_capacity_problem(code, 0.01, basis="x")
+        pz = code_capacity_problem(code, 0.01, basis="z")
+        assert np.array_equal(px.check_matrix.toarray() % 2, code.hz % 2)
+        assert np.array_equal(pz.check_matrix.toarray() % 2, code.hx % 2)
+
+    def test_prior_is_two_thirds_p(self):
+        problem = code_capacity_problem(surface_code(3), 0.03)
+        assert problem.priors[0] == pytest.approx(0.02)
+
+    def test_p_range_validated(self):
+        with pytest.raises(ValueError):
+            code_capacity_problem(surface_code(3), 0.9)
+
+    def test_joint_sampling_marginals(self, rng):
+        x_part, z_part = sample_pauli_errors(1000, 0.3, 50, rng)
+        # X or Y: 2p/3 = 0.2; Y or Z: 0.2; Y (both): p/3 = 0.1.
+        assert x_part.mean() == pytest.approx(0.2, rel=0.1)
+        assert z_part.mean() == pytest.approx(0.2, rel=0.1)
+        both = (x_part & z_part).mean()
+        assert both == pytest.approx(0.1, rel=0.15)

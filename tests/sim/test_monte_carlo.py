@@ -1,0 +1,95 @@
+"""Tests for the Monte-Carlo LER harness and latency measurement."""
+
+import numpy as np
+import pytest
+
+from repro.codes import get_code, surface_code
+from repro.decoders import BPSFDecoder, MinSumBP
+from repro.noise import code_capacity_problem
+from repro.sim import measure_latency, run_ler
+
+
+class TestRunLer:
+    def test_counts_consistent(self, rng):
+        problem = code_capacity_problem(surface_code(3), 0.08)
+        decoder = MinSumBP(problem, max_iter=20)
+        result = run_ler(problem, decoder, 200, rng)
+        assert result.shots == 200
+        assert 0 <= result.failures <= result.shots
+        assert result.initial_successes + result.unconverged == result.shots
+        assert result.iterations.shape == (200,)
+
+    def test_ler_properties(self, rng):
+        problem = code_capacity_problem(surface_code(3), 0.08)
+        decoder = MinSumBP(problem, max_iter=20)
+        result = run_ler(problem, decoder, 150, rng)
+        low, high = result.confidence_interval
+        assert low <= result.ler <= high
+        assert result.ler_round == result.ler  # rounds == 1
+
+    def test_max_failures_early_stop(self, rng):
+        problem = code_capacity_problem(surface_code(3), 0.25)
+        decoder = MinSumBP(problem, max_iter=5)
+        result = run_ler(
+            problem, decoder, 100000, rng, batch_size=50, max_failures=10
+        )
+        assert result.failures >= 10
+        assert result.shots < 100000
+
+    def test_bpsf_stage_accounting(self, rng):
+        problem = code_capacity_problem(get_code("coprime_154_6_16"), 0.06)
+        decoder = BPSFDecoder(problem, max_iter=10, phi=8, w_max=1,
+                              strategy="exhaustive")
+        result = run_ler(problem, decoder, 120, rng)
+        assert result.post_processed > 0
+        assert (
+            result.initial_successes + result.post_processed
+            + result.unconverged >= result.shots
+        )
+
+    def test_shots_validated(self, rng):
+        problem = code_capacity_problem(surface_code(3), 0.05)
+        with pytest.raises(ValueError):
+            run_ler(problem, MinSumBP(problem, max_iter=5), 0, rng)
+
+    def test_zero_error_rate_limit(self, rng):
+        problem = code_capacity_problem(surface_code(3), 0.0005)
+        decoder = MinSumBP(problem, max_iter=20)
+        result = run_ler(problem, decoder, 100, rng)
+        assert result.failures <= 2
+
+    def test_str_is_informative(self, rng):
+        problem = code_capacity_problem(surface_code(3), 0.08)
+        result = run_ler(problem, MinSumBP(problem, max_iter=10), 50, rng)
+        text = str(result)
+        assert "LER=" in text
+        assert "shots=50" in text
+
+
+class TestMeasureLatency:
+    def test_sample_count(self, rng):
+        problem = code_capacity_problem(surface_code(3), 0.08)
+        decoder = MinSumBP(problem, max_iter=20)
+        result = measure_latency(problem, decoder, 12, rng)
+        assert result.times.shape == (12,)
+        assert (result.times > 0).all()
+
+    def test_post_times_subset(self, rng):
+        problem = code_capacity_problem(get_code("coprime_154_6_16"), 0.07)
+        decoder = BPSFDecoder(problem, max_iter=8, phi=8, w_max=1,
+                              strategy="exhaustive")
+        result = measure_latency(problem, decoder, 30, rng)
+        assert result.post_times.size <= result.times.size
+
+    def test_summary_consistency(self, rng):
+        problem = code_capacity_problem(surface_code(3), 0.08)
+        decoder = MinSumBP(problem, max_iter=20)
+        result = measure_latency(problem, decoder, 10, rng)
+        s = result.summary
+        assert s.minimum <= s.median <= s.maximum
+        assert s.count == 10
+
+    def test_shots_validated(self, rng):
+        problem = code_capacity_problem(surface_code(3), 0.05)
+        with pytest.raises(ValueError):
+            measure_latency(problem, MinSumBP(problem, max_iter=5), 0, rng)

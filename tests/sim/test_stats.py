@@ -1,0 +1,89 @@
+"""Tests for LER statistics and timing summaries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (
+    ler_per_round,
+    rounds_from_per_round,
+    summarize_times,
+    wilson_interval,
+)
+
+
+class TestLerPerRound:
+    def test_single_round_identity(self):
+        assert ler_per_round(0.3, 1) == pytest.approx(0.3)
+
+    def test_paper_equation(self):
+        # LER/round = 1 - (1-LER)^(1/d): 1 - sqrt(0.81) = 0.1
+        assert ler_per_round(0.19, 2) == pytest.approx(0.1)
+
+    def test_known_value(self):
+        assert ler_per_round(0.0975, 2) == pytest.approx(0.05, rel=1e-6)
+
+    @given(st.floats(0.0, 0.999), st.integers(1, 30))
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip(self, ler, rounds):
+        per = ler_per_round(ler, rounds)
+        assert rounds_from_per_round(per, rounds) == pytest.approx(
+            ler, abs=1e-9
+        )
+
+    @given(st.floats(0.001, 0.999), st.integers(2, 30))
+    @settings(max_examples=60, deadline=None)
+    def test_per_round_below_total(self, ler, rounds):
+        assert ler_per_round(ler, rounds) < ler
+
+    def test_edge_cases(self):
+        assert ler_per_round(0.0, 5) == 0.0
+        assert ler_per_round(1.0, 5) == 1.0
+        with pytest.raises(ValueError):
+            ler_per_round(1.5, 3)
+        with pytest.raises(ValueError):
+            ler_per_round(0.1, 0)
+
+
+class TestWilson:
+    def test_zero_failures_lower_bound_zero(self):
+        low, high = wilson_interval(0, 100)
+        assert low == 0.0
+        assert 0.0 < high < 0.1
+
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(13, 100)
+        assert low < 0.13 < high
+
+    @given(st.integers(1, 500), st.integers(0, 500))
+    @settings(max_examples=60, deadline=None)
+    def test_ordered_and_bounded(self, shots, failures):
+        failures = min(failures, shots)
+        low, high = wilson_interval(failures, shots)
+        assert 0.0 <= low <= high <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(10, 5)
+
+
+class TestTimingSummary:
+    def test_percentiles(self):
+        times = np.arange(1, 101, dtype=float)
+        s = summarize_times(times)
+        assert s.count == 100
+        assert s.minimum == 1.0
+        assert s.maximum == 100.0
+        assert s.median == pytest.approx(50.5)
+        assert s.p90 == pytest.approx(90.1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_times([])
+
+    def test_row_tuple(self):
+        s = summarize_times([1.0, 2.0, 3.0])
+        assert len(s.row()) == 7

@@ -1,0 +1,166 @@
+"""Tests for the streaming-queue simulator and hardware latency model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.hardware import HardwareLatencyModel
+from repro.codes import get_code
+from repro.decoders import BPSFDecoder
+from repro.decoders.base import DecodeResult
+from repro.noise import code_capacity_problem
+from repro.sim import run_streaming, simulate_stream
+
+
+def _result(parallel_iters, stage="initial"):
+    return DecodeResult(
+        error=np.zeros(4, dtype=np.uint8),
+        converged=True,
+        iterations=parallel_iters,
+        parallel_iterations=parallel_iters,
+        stage=stage,
+    )
+
+
+class TestHardwareLatencyModel:
+    def test_paper_discussion_worst_case(self):
+        """Sec. VI: 100 + 100 iterations at 20 ns ≈ 4 us."""
+        model = HardwareLatencyModel()
+        worst = model.worst_case_us(100, 100)
+        assert worst == pytest.approx(4.0, abs=0.2)
+
+    def test_initial_stage_skips_selection_overhead(self):
+        model = HardwareLatencyModel(iteration_ns=20.0, selection_ns=100.0)
+        initial = model.decode_latency_us(_result(50, "initial"))
+        post = model.decode_latency_us(_result(50, "post"))
+        assert post - initial == pytest.approx(0.1)
+
+    def test_parallel_vs_serial_accounting(self):
+        model = HardwareLatencyModel()
+        res = DecodeResult(
+            error=np.zeros(4, dtype=np.uint8),
+            converged=True,
+            iterations=500,
+            parallel_iterations=120,
+            stage="post",
+        )
+        assert model.decode_latency_us(res, parallel=True) < \
+            model.decode_latency_us(res, parallel=False)
+
+    def test_real_time_report_paper_regime(self):
+        """200-iteration worst case fits a d=12 x 1 us budget."""
+        model = HardwareLatencyModel()
+        results = [_result(it, "post") for it in (120, 150, 200)]
+        report = model.real_time_report(results, rounds=12)
+        assert report.real_time
+        assert report.budget_us == pytest.approx(12.0)
+        assert report.worst_latency_us == pytest.approx(4.1)
+        assert report.headroom > 1.0
+
+    def test_too_slow_detected(self):
+        model = HardwareLatencyModel()
+        results = [_result(1000, "post")]
+        report = model.real_time_report(results, rounds=6)
+        assert not report.real_time
+        assert "TOO SLOW" in str(report)
+
+    def test_rounds_validated(self):
+        with pytest.raises(ValueError):
+            HardwareLatencyModel().syndrome_budget_us(0)
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(ValueError):
+            HardwareLatencyModel().real_time_report([], rounds=3)
+
+
+class TestSimulateStream:
+    def test_fast_decoder_never_queues(self):
+        report = simulate_stream([1.0] * 20, period=2.0)
+        assert report.stable
+        assert report.max_backlog == 1  # only the task being served
+        assert report.mean_wait == 0.0
+
+    def test_slow_decoder_diverges(self):
+        """Service > period: backlog must grow linearly (Terhal)."""
+        report = simulate_stream([3.0] * 30, period=1.0)
+        assert not report.stable
+        assert report.drift_per_task == pytest.approx(2.0)
+        # Backlog at the last arrival ~ n * (1 - period/service).
+        assert report.backlog[-1] >= 15
+        assert np.all(np.diff(report.backlog) >= 0)
+
+    def test_bursty_latency_creates_transient_backlog(self):
+        """One long decode delays followers, then the queue drains."""
+        service = [0.5] * 5 + [10.0] + [0.5] * 20
+        report = simulate_stream(service, period=1.0)
+        assert report.stable  # mean service < period
+        assert report.max_backlog > 1
+        assert report.backlog[-1] == 1  # drained by the end
+        assert report.worst_response >= 10.0
+
+    def test_waits_are_fifo_consistent(self):
+        rng = np.random.default_rng(0)
+        service = rng.exponential(0.8, size=200)
+        report = simulate_stream(service, period=1.0)
+        # Lindley recursion invariant: w_{i+1} = max(0, w_i + s_i - T).
+        w = 0.0
+        for i in range(len(service) - 1):
+            w = max(0.0, w + service[i] - 1.0)
+            assert report.waits[i + 1] == pytest.approx(w)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_stream([], period=1.0)
+        with pytest.raises(ValueError):
+            simulate_stream([1.0], period=0.0)
+        with pytest.raises(ValueError):
+            simulate_stream([-1.0], period=1.0)
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        period=st.floats(min_value=0.1, max_value=10.0),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_backlog_bounded_by_arrivals(self, period, seed):
+        rng = np.random.default_rng(seed)
+        service = rng.uniform(0.01, 5.0, size=50)
+        report = simulate_stream(service, period)
+        assert 1 <= report.max_backlog <= 50
+        assert np.all(report.waits >= 0)
+
+
+class TestRunStreaming:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        return code_capacity_problem(get_code("bb_72_12_6"), 0.05)
+
+    def test_hardware_driven_stream(self, problem):
+        decoder = BPSFDecoder(
+            problem, max_iter=50, phi=4, w_max=1, strategy="exhaustive"
+        )
+        rng = np.random.default_rng(1)
+        report = run_streaming(
+            problem, decoder, shots=64, rng=rng,
+            hardware=HardwareLatencyModel(),
+        )
+        assert report.n_tasks == 64
+        # Code-capacity problems have rounds=1 -> 1 us budget; BP at
+        # 20 ns/iteration with <= 50 iterations always fits.
+        assert report.period == pytest.approx(1.0)
+        assert report.stable
+
+    def test_wall_clock_requires_time_seconds(self, problem):
+        decoder = BPSFDecoder(
+            problem, max_iter=20, phi=4, w_max=1, strategy="exhaustive"
+        )
+        rng = np.random.default_rng(2)
+        report = run_streaming(problem, decoder, shots=16, rng=rng)
+        assert report.n_tasks == 16
+
+    def test_shots_validated(self, problem):
+        decoder = BPSFDecoder(problem, max_iter=10, phi=2, w_max=1)
+        with pytest.raises(ValueError):
+            run_streaming(
+                problem, decoder, shots=0, rng=np.random.default_rng(3)
+            )

@@ -1,0 +1,73 @@
+"""Detailed tests for LatencyResult bookkeeping (Figs. 13-16 plumbing)."""
+
+import numpy as np
+import pytest
+
+from repro.codes import get_code
+from repro.decoders import BPSFDecoder, GPUEstimatedBPSF, MinSumBP
+from repro.noise import code_capacity_problem
+from repro.sim import measure_latency
+from repro.sim.timing import LatencyResult
+
+
+@pytest.fixture(scope="module")
+def hard_problem():
+    return code_capacity_problem(get_code("coprime_154_6_16"), 0.08)
+
+
+class TestLatencyResultFields:
+    def test_wall_defaults_to_times(self):
+        result = LatencyResult(
+            problem_name="p",
+            decoder_name="d",
+            times=np.array([1.0, 2.0]),
+            post_times=np.array([2.0]),
+        )
+        np.testing.assert_array_equal(result.wall_times, result.times)
+        np.testing.assert_array_equal(
+            result.post_wall_times, result.post_times
+        )
+
+    def test_post_summary_none_without_post_shots(self):
+        result = LatencyResult(
+            problem_name="p",
+            decoder_name="d",
+            times=np.array([1.0]),
+            post_times=np.array([]),
+        )
+        assert result.post_summary is None
+        assert result.post_wall_summary is None
+
+    def test_summary_percentiles_ordered(self, hard_problem):
+        rng = np.random.default_rng(71)
+        decoder = MinSumBP(hard_problem, max_iter=30)
+        result = measure_latency(hard_problem, decoder, 20, rng)
+        summary = result.summary
+        assert summary.minimum <= summary.median <= summary.maximum
+        assert summary.count == 20
+
+
+class TestPostStageSeparation:
+    def test_post_times_subset_of_times(self, hard_problem):
+        """Post-processing shots are a strict subset on this workload."""
+        rng = np.random.default_rng(72)
+        decoder = BPSFDecoder(
+            hard_problem, max_iter=40, phi=8, w_max=1,
+            strategy="exhaustive",
+        )
+        result = measure_latency(hard_problem, decoder, 60, rng)
+        assert 0 < result.post_times.size < result.times.size
+
+    def test_modelled_time_differs_from_wall(self, hard_problem):
+        """GPU estimators report modelled latency; wall clock is kept
+        alongside for the like-for-like comparison of Fig. 16."""
+        rng = np.random.default_rng(73)
+        decoder = GPUEstimatedBPSF(
+            BPSFDecoder(
+                hard_problem, max_iter=40, phi=8, w_max=1,
+                strategy="exhaustive",
+            )
+        )
+        result = measure_latency(hard_problem, decoder, 15, rng)
+        # Modelled microsecond-scale latencies vs real wall clock.
+        assert result.summary.mean != result.wall_summary.mean

@@ -1,0 +1,86 @@
+"""Tests for the ``python -m repro`` command line."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_parses_multiple_ids(self):
+        args = build_parser().parse_args(["run", "fig5", "tab1"])
+        assert args.experiments == ["fig5", "tab1"]
+
+    def test_decode_defaults(self):
+        args = build_parser().parse_args(["decode", "bb_72_12_6"])
+        assert args.p == 0.05
+        assert args.shots == 20
+
+
+class TestCommands:
+    def test_codes_lists_registry(self, capsys):
+        assert main(["codes"]) == 0
+        out = capsys.readouterr().out
+        assert "bb_144_12_12" in out
+        assert "[[144, 12, 12]]" in out
+        assert "shyps_225_16_8" in out
+        assert "bb_90_8_10" in out
+
+    def test_run_rejects_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_decode_small_demo(self, capsys):
+        assert main(["decode", "surface_3", "--p", "0.02",
+                     "--shots", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "logical error rate" in out
+        assert "shot   0" in out
+
+    def test_analyze_reports_structure(self, capsys):
+        assert main(["analyze", "bb_72_12_6", "--shots", "40",
+                     "--p", "0.1", "--max-reports", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "girth=6" in out
+        assert "4-cycles=0" in out
+        assert "failures:" in out
+
+    def test_stream_reports_queue(self, capsys):
+        assert main(["stream", "bb_72_12_6", "--shots", "12",
+                     "--rounds", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "arrival period 4.0 us" in out
+        assert "streaming queue" in out
+
+    def test_hardware_reproduces_discussion(self, capsys):
+        assert main(["hardware"]) == 0
+        out = capsys.readouterr().out
+        assert "worst-case decode    : 4.10 us" in out
+        assert "d=12 budget" in out
+        assert "TOO SLOW" not in out
+
+    def test_hardware_detects_slow_configuration(self, capsys):
+        assert main(["hardware", "--iteration-ns", "500"]) == 0
+        assert "TOO SLOW" in capsys.readouterr().out
+
+
+class TestNewParsers:
+    def test_analyze_defaults(self):
+        args = build_parser().parse_args(["analyze", "bb_72_12_6"])
+        assert args.p == 0.08
+        assert args.phi == 16
+
+    def test_stream_defaults(self):
+        args = build_parser().parse_args(["stream", "bb_144_12_12"])
+        assert args.rounds == 6
+        assert args.p == 2e-3
+
+    def test_hardware_overrides(self):
+        args = build_parser().parse_args(
+            ["hardware", "--iteration-ns", "10", "--trial-iters", "50"]
+        )
+        assert args.iteration_ns == 10.0
+        assert args.trial_iters == 50

@@ -1,0 +1,60 @@
+"""Smoke tests for the example scripts.
+
+Examples are documentation that must not rot: every script has to
+compile, follow the ``main()`` convention, and import only public
+``repro`` API.  (Full runs take minutes; the benchmark suite covers
+the underlying code paths.)
+"""
+
+import ast
+import pathlib
+import py_compile
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_expected_example_set():
+    names = {path.name for path in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "circuit_level_memory.py",
+        "decoder_comparison.py",
+        "parallel_decoding.py",
+        "oscillation_analysis.py",
+        "decoder_zoo.py",
+        "streaming_backlog.py",
+        "custom_code.py",
+    } <= names
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLES, ids=[p.stem for p in EXAMPLES]
+)
+class TestEveryExample:
+    def test_compiles(self, path, tmp_path):
+        py_compile.compile(
+            str(path), cfile=str(tmp_path / "out.pyc"), doraise=True
+        )
+
+    def test_has_docstring_and_main(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path.name} lacks a docstring"
+        functions = {
+            node.name for node in tree.body
+            if isinstance(node, ast.FunctionDef)
+        }
+        assert "main" in functions, f"{path.name} lacks main()"
+
+    def test_imports_only_public_repro_api(self, path):
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                root = node.module.split(".")[0]
+                assert root in ("repro", "numpy", "multiprocessing"), (
+                    f"{path.name} imports from {node.module}"
+                )
+                # No private-module reach-ins.
+                assert "._" not in node.module, node.module

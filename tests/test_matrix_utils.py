@@ -1,0 +1,60 @@
+"""Tests for the shared sparse GF(2) helpers."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro._matrix import mod2_right_mul, to_csr
+
+
+def binary_matrices(max_rows=6, max_cols=8):
+    shapes = st.tuples(st.integers(1, max_rows), st.integers(1, max_cols))
+    return shapes.flatmap(
+        lambda s: arrays(np.uint8, s, elements=st.integers(0, 1))
+    )
+
+
+class TestToCsr:
+    def test_dense_input(self):
+        out = to_csr([[1, 0], [1, 1]])
+        assert sp.issparse(out)
+        assert out.dtype == np.int32
+        assert out.toarray().tolist() == [[1, 0], [1, 1]]
+
+    def test_sparse_input_mod2(self):
+        raw = sp.csr_matrix(np.array([[2, 3], [0, 1]]))
+        out = to_csr(raw)
+        assert out.toarray().tolist() == [[0, 1], [0, 1]]
+
+    def test_eliminates_explicit_zeros(self):
+        raw = sp.csr_matrix(np.array([[2, 0], [0, 0]]))
+        assert to_csr(raw).nnz == 0
+
+
+class TestMod2RightMul:
+    @given(binary_matrices(), st.integers(0, 2**16))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_dense_arithmetic(self, mat, seed):
+        rng = np.random.default_rng(seed)
+        vectors = rng.integers(0, 2, size=(4, mat.shape[1]), dtype=np.uint8)
+        out = mod2_right_mul(vectors, to_csr(mat))
+        expected = (vectors @ mat.T % 2).astype(np.uint8)
+        assert np.array_equal(out, expected)
+
+    def test_single_vector_squeeze(self):
+        mat = to_csr(np.eye(3, dtype=np.uint8))
+        v = np.array([1, 0, 1], dtype=np.uint8)
+        out = mod2_right_mul(v, mat)
+        assert out.shape == (3,)
+        assert out.tolist() == [1, 0, 1]
+
+    def test_linearity(self, rng):
+        mat = to_csr(rng.integers(0, 2, size=(5, 9), dtype=np.uint8))
+        a = rng.integers(0, 2, size=9, dtype=np.uint8)
+        b = rng.integers(0, 2, size=9, dtype=np.uint8)
+        lhs = mod2_right_mul(a ^ b, mat)
+        rhs = mod2_right_mul(a, mat) ^ mod2_right_mul(b, mat)
+        assert np.array_equal(lhs, rhs)
