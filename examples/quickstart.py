@@ -52,6 +52,17 @@ def main() -> None:
         f"(BP-SF post-processing rescued {rescued} shots)"
     )
 
+    # 5. The batch-native path: the same shots through one decode_many
+    #    call.  All failed shots' speculative trials pool into a single
+    #    vectorised BP run, and results come back as array columns.
+    batch = decoder.decode_many(syndromes)
+    batch_failures = int(problem.is_failure(errors, batch.errors).sum())
+    print(
+        f"batch decode_many: {batch_failures}/{shots} failures, "
+        f"stages: {batch.n_initial} initial / {batch.n_post} post / "
+        f"{batch.n_unconverged} unconverged"
+    )
+
 
 if __name__ == "__main__":
     main()

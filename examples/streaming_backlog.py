@@ -45,11 +45,12 @@ def main() -> None:
         problem, max_iter=100, phi=50, w_max=6, n_s=5,
         strategy="sampled", seed=3,
     )
-    results = bpsf.decode_batch(syndromes)
+    # Array-first decoding: one pooled batch, columns all the way down.
+    results = bpsf.decode_many(syndromes)
 
     bposd = BPOSDDecoder(problem, max_iter=100, osd_order=10)
-    osd_results = bposd.decode_batch(syndromes)
-    osd_post = np.asarray([r.stage != "initial" for r in osd_results])
+    osd_results = bposd.decode_many(syndromes)
+    osd_post = osd_results.stage != "initial"
     # Packed GF(2) elimination of the ~1k x 9k detector matrix costs
     # ~10^7 word-XORs; ~100 us is a generous hardware estimate.
     osd_surcharge_us = 100.0

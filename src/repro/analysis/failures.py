@@ -113,10 +113,9 @@ def failure_census(
         raise ValueError("shots must be positive")
     errors = problem.sample_errors(shots, rng)
     syndromes = problem.syndromes(errors)
-    results = decoder.decode_batch(syndromes)
-    estimates = np.stack([r.error for r in results])
-    failed = problem.is_failure(errors, estimates)
-    converged = np.asarray([r.converged for r in results])
+    results = decoder.decode_many(syndromes)
+    failed = problem.is_failure(errors, results.errors)
+    converged = results.converged
     weights = errors.sum(axis=1).astype(np.int64)
 
     ok = converged & ~failed

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.decoders.base import DecodeResult
+from repro.decoders.base import BatchDecodeResult, DecodeResult
 
 __all__ = ["HardwareLatencyModel", "RealTimeReport"]
 
@@ -92,7 +92,21 @@ class HardwareLatencyModel:
         return latency_ns * 1e-3
 
     def latencies_us(self, results, *, parallel: bool = True) -> np.ndarray:
-        """Vector of modelled latencies for a sequence of results."""
+        """Vector of modelled latencies for a batch of results.
+
+        Accepts either a :class:`~repro.decoders.base.BatchDecodeResult`
+        (computed column-wise, no per-shot objects) or any sequence of
+        :class:`DecodeResult` records (compatibility path).
+        """
+        if isinstance(results, BatchDecodeResult):
+            iterations = (
+                results.parallel_iterations if parallel else results.iterations
+            )
+            latency_ns = (
+                iterations * self.iteration_ns
+                + self.selection_ns * (results.stage != "initial")
+            )
+            return latency_ns * 1e-3
         return np.asarray(
             [self.decode_latency_us(r, parallel=parallel) for r in results]
         )

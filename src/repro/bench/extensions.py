@@ -176,10 +176,9 @@ def run_ext_streaming() -> ExperimentTable:
         ("BP-SF (parallel trials)", bpsf, 0.0),
         ("BP100-OSD10", bposd, osd_surcharge_us),
     ):
-        results = decoder.decode_batch(syndromes)
+        results = decoder.decode_many(syndromes)
         service = hardware.latencies_us(results, parallel=True)
-        post = np.asarray([r.stage != "initial" for r in results])
-        service = service + surcharge * post
+        service = service + surcharge * (results.stage != "initial")
         report = simulate_stream(service, period)
         table.add_row(
             label,
@@ -224,7 +223,7 @@ def run_ext_hardware() -> ExperimentTable:
             strategy="sampled", seed=5,
         )
         errors = problem.sample_errors(shots, rng)
-        results = decoder.decode_batch(problem.syndromes(errors))
+        results = decoder.decode_many(problem.syndromes(errors))
         report = hardware.real_time_report(results, rounds=problem.rounds)
         table.add_row(
             name,

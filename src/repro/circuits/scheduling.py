@@ -36,25 +36,31 @@ def cnot_layers(check_matrix) -> list[list[tuple[int, int]]]:
     pairs such that no check and no qubit appears twice within a layer.
     Layers are deterministic for a given matrix.
     """
+    # Integer node labels only: sets of small ints iterate in a
+    # hash-seed-independent order, so the matchings — and therefore the
+    # compiled circuit and its DEM — are identical across processes.
+    # (Tuple labels like ("c", i) hash by string and made the schedule
+    # depend on PYTHONHASHSEED.)
     h = np.asarray(check_matrix)
-    graph = tanner_graph(h)
-    check_nodes = {node for node in graph if node[0] == "c"}
+    n_checks = h.shape[0]
+    rows, cols = np.nonzero(h)
+    remaining = nx.Graph()
+    remaining.add_edges_from(
+        (int(i), n_checks + int(j)) for i, j in zip(rows, cols)
+    )
     layers: list[list[tuple[int, int]]] = []
-    remaining = nx.Graph(graph.edges)
     while remaining.number_of_edges():
         matching = nx.bipartite.hopcroft_karp_matching(
-            remaining, top_nodes={n for n in remaining if n in check_nodes}
+            remaining, top_nodes={n for n in remaining if n < n_checks}
         )
         layer = sorted(
-            (node[1], mate[1])
+            (node, mate - n_checks)
             for node, mate in matching.items()
-            if node[0] == "c"
+            if node < n_checks
         )
         if not layer:
             raise RuntimeError("matching failed to make progress")
         layers.append(layer)
-        remaining.remove_edges_from(
-            (("c", c), ("v", v)) for c, v in layer
-        )
+        remaining.remove_edges_from((c, n_checks + v) for c, v in layer)
         remaining.remove_nodes_from(list(nx.isolates(remaining)))
     return layers

@@ -12,7 +12,7 @@ prior/posterior-modification family (``PosteriorFlipDecoder``,
 ``PerturbedEnsembleBP``).
 """
 
-from repro.decoders.base import DecodeResult, Decoder
+from repro.decoders.base import BatchDecodeResult, DecodeResult, Decoder
 from repro.decoders.bp import BPBatchResult, DampingSchedule, MinSumBP
 from repro.decoders.bposd import BPOSDDecoder
 from repro.decoders.bpsf import BPSFDecoder
@@ -27,6 +27,7 @@ from repro.decoders.layered import LayeredMinSumBP, check_conflict_layers
 from repro.decoders.membp import MemoryMinSumBP, disordered_gammas
 from repro.decoders.osd import OrderedStatisticsDecoder
 from repro.decoders.parallel import ParallelBPSFDecoder
+from repro.decoders.registry import DECODER_REGISTRY, get_decoder
 from repro.decoders.relay import RelayBP
 from repro.decoders.selectors import SELECTORS, get_selector
 from repro.decoders.sum_product import SumProductBP
@@ -41,8 +42,11 @@ from repro.decoders.trial_vectors import (
 __all__ = [
     "DecodeResult",
     "Decoder",
+    "BatchDecodeResult",
     "BPBatchResult",
     "DampingSchedule",
+    "DECODER_REGISTRY",
+    "get_decoder",
     "MinSumBP",
     "BPOSDDecoder",
     "BPSFDecoder",

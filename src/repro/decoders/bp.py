@@ -18,16 +18,27 @@ Features reproduced from the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
 from repro._matrix import mod2_right_mul
-from repro.decoders.base import DecodeResult, Decoder
+from repro.decoders.base import BatchDecodeResult, DecodeResult, Decoder
 from repro.decoders.tanner import TannerEdges
 from repro.problem import DecodingProblem
 
 __all__ = ["BPBatchResult", "DampingSchedule", "MinSumBP"]
+
+# Historical name for the vectorised result record; the generalised
+# array-first class now lives in :mod:`repro.decoders.base`.
+BPBatchResult = BatchDecodeResult
+
+# Iteration cap of the first decoding pass on large batches.  Most
+# shots converge within a few iterations; capping the first pass and
+# re-batching every straggler into one dense second pass stops each
+# chunk from paying full per-iteration dispatch overhead for its last
+# one or two unconverged rows.  BP is deterministic, so re-running a
+# straggler from scratch reproduces the exact trajectory (and
+# iteration count) of an uncapped run — results are bit-identical.
+_STRAGGLER_CAP = 16
 
 
 class DampingSchedule:
@@ -59,38 +70,6 @@ class DampingSchedule:
         if self._constant is not None:
             return self._constant
         return 1.0 - 2.0 ** (-iteration)
-
-
-@dataclass
-class BPBatchResult:
-    """Vectorised result of decoding a batch of syndromes."""
-
-    errors: np.ndarray                    # (batch, n) uint8
-    converged: np.ndarray                 # (batch,) bool
-    iterations: np.ndarray                # (batch,) int
-    marginals: np.ndarray                 # (batch, n) float
-    flip_counts: np.ndarray | None = field(default=None)
-
-    def __len__(self) -> int:
-        return self.errors.shape[0]
-
-    def to_results(self) -> list[DecodeResult]:
-        """Convert to per-shot :class:`DecodeResult` records."""
-        out = []
-        for i in range(len(self)):
-            out.append(
-                DecodeResult(
-                    error=self.errors[i],
-                    converged=bool(self.converged[i]),
-                    iterations=int(self.iterations[i]),
-                    stage="initial" if self.converged[i] else "failed",
-                    marginals=self.marginals[i],
-                    flip_counts=(
-                        None if self.flip_counts is None else self.flip_counts[i]
-                    ),
-                )
-            )
-        return out
 
 
 class MinSumBP(Decoder):
@@ -145,10 +124,9 @@ class MinSumBP(Decoder):
             np.atleast_2d(syndrome), prior_llr=prior_llr
         ).to_results()[0]
 
-    def decode_batch(self, syndromes) -> list[DecodeResult]:
-        return self.decode_many(syndromes).to_results()
-
-    def decode_many(self, syndromes, *, prior_llr=None) -> BPBatchResult:
+    def decode_many(
+        self, syndromes, *, prior_llr=None, stop_groups=None
+    ) -> BatchDecodeResult:
         """Decode a ``(batch, n_checks)`` array of syndromes.
 
         ``prior_llr`` optionally overrides the channel LLRs: a ``(n,)``
@@ -156,6 +134,18 @@ class MinSumBP(Decoder):
         shot its own priors.  Per-shot priors are what decimation-style
         post-processors (GDG, posterior modification, perturbed-prior
         ensembles) build on.
+
+        ``stop_groups`` optionally assigns each row a group id (an
+        integer array of length ``batch``; rows of one group must be
+        contiguous): the moment one row of a group converges, the
+        group's other rows stop decoding (reported unconverged, with
+        ``iterations`` frozen at the stop point).  This is the
+        first-success-wins semantics of the paper's fully parallel
+        trial execution — speculative trials of one shot form a group,
+        and the first convergence retires the rest of the group's work.
+        Groups are never split across internal chunks, so every group
+        runs in lockstep and its outcome is independent of what else
+        shares the batch.
         """
         syndromes = np.atleast_2d(np.asarray(syndromes, dtype=np.uint8))
         if syndromes.shape[1] != self.edges.n_checks:
@@ -163,16 +153,121 @@ class MinSumBP(Decoder):
                 f"syndrome width {syndromes.shape[1]} does not match "
                 f"{self.edges.n_checks} checks"
             )
-        prior = self._normalise_prior(prior_llr, syndromes.shape[0])
+        batch = syndromes.shape[0]
+        prior = self._normalise_prior(prior_llr, batch)
+        if stop_groups is None:
+            return self._decode_phased(syndromes, prior)
+
+        stop_groups = np.asarray(stop_groups).reshape(-1)
+        if stop_groups.shape[0] != batch:
+            raise ValueError(
+                f"stop_groups length {stop_groups.shape[0]} does not "
+                f"match {batch} shots"
+            )
+        starts = np.concatenate(
+            ([0], np.nonzero(np.diff(stop_groups) != 0)[0] + 1)
+        )
+        if np.unique(stop_groups[starts]).size != starts.size:
+            raise ValueError("rows of one stop_group must be contiguous")
+        return self._decode_grouped(syndromes, prior, stop_groups)
+
+    def _decode_phased(self, syndromes, prior) -> BatchDecodeResult:
+        """Two-pass chunked decoding with straggler re-batching.
+
+        Pass 1 decodes every chunk under a small iteration cap; the few
+        shots still unconverged are then pooled and decoded once more
+        from scratch with the full budget.  Deterministic BP makes the
+        re-run reproduce the uncapped trajectory exactly, so results
+        (including iteration counts) are identical to a single pass —
+        only the straggler-tail dispatch overhead disappears.
+        """
+        batch = syndromes.shape[0]
+        if batch <= self.batch_size or self.max_iter <= _STRAGGLER_CAP:
+            return self._run_chunks(syndromes, prior, self.max_iter)
+        first = self._run_chunks(syndromes, prior, _STRAGGLER_CAP)
+        if first.converged.all():
+            return first
+        idx = np.nonzero(~first.converged)[0]
+        second = self._run_chunks(
+            syndromes[idx],
+            prior if prior.shape[0] == 1 else prior[idx],
+            self.max_iter,
+        )
+        return _merge_rows(first, idx, second)
+
+    def _run_chunks(self, syndromes, prior, max_iter) -> BatchDecodeResult:
         chunks = [
             self._decode_chunk(
                 syndromes[i: i + self.batch_size],
                 prior if prior.shape[0] == 1
                 else prior[i: i + self.batch_size],
+                max_iter=max_iter,
             )
             for i in range(0, syndromes.shape[0], self.batch_size)
         ]
         return _concat_results(chunks)
+
+    def _decode_grouped(
+        self, syndromes, prior, stop_groups
+    ) -> BatchDecodeResult:
+        """Grouped decoding with straggler re-batching per group.
+
+        Pass 1 runs under the straggler cap; every group that saw a
+        convergence is settled (its rows were retired at that very
+        iteration), and the remaining groups — all rows still live —
+        re-decode once from scratch with the full budget.
+        """
+        batch = syndromes.shape[0]
+        if batch <= self.batch_size or self.max_iter <= _STRAGGLER_CAP:
+            return self._run_grouped(syndromes, prior, stop_groups,
+                                     self.max_iter)
+        first = self._run_grouped(syndromes, prior, stop_groups,
+                                  _STRAGGLER_CAP)
+        settled = np.unique(stop_groups[first.converged])
+        redo = ~np.isin(stop_groups, settled)
+        if not redo.any():
+            return first
+        idx = np.nonzero(redo)[0]
+        second = self._run_grouped(
+            syndromes[idx],
+            prior if prior.shape[0] == 1 else prior[idx],
+            stop_groups[idx],
+            self.max_iter,
+        )
+        return _merge_rows(first, idx, second)
+
+    def _run_grouped(
+        self, syndromes, prior, stop_groups, max_iter
+    ) -> BatchDecodeResult:
+        """Chunked grouped decoding that never splits a group.
+
+        Whole groups pack into chunks of roughly ``batch_size`` rows (a
+        group larger than ``batch_size`` gets an oversized chunk), so
+        every group runs in lockstep from iteration 1 and its outcome —
+        which row converges first, where the rest stop — cannot depend
+        on how the surrounding batch was chunked.
+        """
+        batch = syndromes.shape[0]
+        bounds = np.nonzero(np.diff(stop_groups) != 0)[0] + 1
+        segment_ends = np.concatenate([bounds, [batch]])
+        chunks = []
+        lo = 0
+        for hi in segment_ends:
+            if hi - lo >= self.batch_size:
+                chunks.append((lo, int(hi)))
+                lo = int(hi)
+        if lo < batch:
+            chunks.append((lo, batch))
+        parts = [
+            self._decode_chunk(
+                syndromes[lo:hi],
+                prior if prior.shape[0] == 1 else prior[lo:hi],
+                groups=stop_groups[lo:hi],
+                max_iter=max_iter,
+            )
+            for lo, hi in chunks
+        ]
+        return _concat_results(parts)
 
     def _normalise_prior(self, prior_llr, batch: int) -> np.ndarray:
         """Coerce a prior override to a ``(1, n)`` or ``(batch, n)`` array."""
@@ -193,18 +288,24 @@ class MinSumBP(Decoder):
     # -- core -----------------------------------------------------------
 
     def _decode_chunk(
-        self, syndromes: np.ndarray, prior: np.ndarray | None = None
+        self,
+        syndromes: np.ndarray,
+        prior: np.ndarray | None = None,
+        groups: np.ndarray | None = None,
+        max_iter: int | None = None,
     ) -> BPBatchResult:
         edges = self.edges
         batch = syndromes.shape[0]
         n = edges.n_vars
+        if max_iter is None:
+            max_iter = self.max_iter
         if prior is None:
             prior = self._prior_llr[None, :]
         prior = prior.astype(self.dtype, copy=False)
 
         errors = np.zeros((batch, n), dtype=np.uint8)
         marginals = np.broadcast_to(prior, (batch, n)).copy()
-        iterations = np.full(batch, self.max_iter, dtype=np.int64)
+        iterations = np.full(batch, max_iter, dtype=np.int64)
         converged = np.zeros(batch, dtype=bool)
         flips_out = (
             np.zeros((batch, n), dtype=np.int32)
@@ -225,7 +326,7 @@ class MinSumBP(Decoder):
         )
 
         marg = np.broadcast_to(prior, (batch, n))
-        for it in range(1, self.max_iter + 1):
+        for it in range(1, max_iter + 1):
             alpha = self.damping.alpha(it)
             prior_it = self._iteration_prior(prior, marg, it)
             c2v = self._check_update(v2c, sign_syn, alpha)
@@ -246,7 +347,21 @@ class MinSumBP(Decoder):
                 converged[done_idx] = True
                 if flips is not None:
                     flips_out[done_idx] = flips[done]
-                keep = ~done
+                retire = done
+                if groups is not None:
+                    # First-success-wins: a converged row retires every
+                    # other row of its group at this very iteration.
+                    fresh = np.unique(groups[done])
+                    killed = ~done & np.isin(groups, fresh)
+                    if killed.any():
+                        kill_idx = index[killed]
+                        errors[kill_idx] = hard[killed]
+                        marginals[kill_idx] = marg[killed]
+                        iterations[kill_idx] = it
+                        if flips is not None:
+                            flips_out[kill_idx] = flips[killed]
+                        retire = done | killed
+                keep = ~retire
                 if not keep.any():
                     return BPBatchResult(
                         errors, converged, iterations, marginals, flips_out
@@ -260,6 +375,8 @@ class MinSumBP(Decoder):
                     flips = flips[keep]
                 if prior.shape[0] != 1:
                     prior = prior[keep]
+                if groups is not None:
+                    groups = groups[keep]
                 marg = marg[keep]
                 hard = hard[keep]
 
@@ -312,16 +429,26 @@ class MinSumBP(Decoder):
         return marg, v2c
 
 
-def _concat_results(chunks: list[BPBatchResult]) -> BPBatchResult:
-    if len(chunks) == 1:
-        return chunks[0]
-    flip = None
-    if chunks[0].flip_counts is not None:
-        flip = np.concatenate([c.flip_counts for c in chunks])
-    return BPBatchResult(
-        errors=np.concatenate([c.errors for c in chunks]),
-        converged=np.concatenate([c.converged for c in chunks]),
-        iterations=np.concatenate([c.iterations for c in chunks]),
-        marginals=np.concatenate([c.marginals for c in chunks]),
-        flip_counts=flip,
-    )
+def _concat_results(chunks: list[BatchDecodeResult]) -> BatchDecodeResult:
+    return BatchDecodeResult.concat(chunks)
+
+
+def _merge_rows(
+    first: BatchDecodeResult, idx: np.ndarray, second: BatchDecodeResult
+) -> BatchDecodeResult:
+    """Overwrite rows ``idx`` of ``first`` with ``second`` — every
+    column, so no pass-1 value (stage, parallel/initial iterations,
+    ...) survives for a re-decoded row."""
+    first.errors[idx] = second.errors
+    first.converged[idx] = second.converged
+    first.iterations[idx] = second.iterations
+    first.parallel_iterations[idx] = second.parallel_iterations
+    first.initial_iterations[idx] = second.initial_iterations
+    first.stage[idx] = second.stage
+    first.trials_attempted[idx] = second.trials_attempted
+    first.winning_trial[idx] = second.winning_trial
+    first.time_seconds[idx] = second.time_seconds
+    first.marginals[idx] = second.marginals
+    if first.flip_counts is not None:
+        first.flip_counts[idx] = second.flip_counts
+    return first

@@ -12,7 +12,12 @@ import time
 
 import numpy as np
 
-from repro.decoders.base import DecodeResult, Decoder
+from repro.decoders.base import (
+    _STAGE_DTYPE,
+    BatchDecodeResult,
+    DecodeResult,
+    Decoder,
+)
 from repro.decoders.bp import MinSumBP
 from repro.decoders.layered import LayeredMinSumBP
 from repro.decoders.osd import OrderedStatisticsDecoder
@@ -48,70 +53,40 @@ class BPOSDDecoder(Decoder):
 
     def decode(self, syndrome) -> DecodeResult:
         start = time.perf_counter()
-        bp_result = self.bp.decode(syndrome)
-        if bp_result.converged:
-            bp_result.time_seconds = time.perf_counter() - start
-            return bp_result
-        error = self.osd.decode_from_marginals(syndrome, bp_result.marginals)
-        elapsed = time.perf_counter() - start
-        if error is None:
-            return DecodeResult(
-                error=bp_result.error,
-                converged=False,
-                iterations=int(bp_result.iterations),
-                stage="failed",
-                marginals=bp_result.marginals,
-                time_seconds=elapsed,
-            )
-        return DecodeResult(
-            error=error,
-            converged=True,
-            iterations=int(bp_result.iterations),
-            stage="post",
-            marginals=bp_result.marginals,
-            time_seconds=elapsed,
-        )
+        result = self.decode_many(np.atleast_2d(syndrome)).to_results()[0]
+        result.time_seconds = time.perf_counter() - start
+        return result
 
-    def decode_batch(self, syndromes) -> list[DecodeResult]:
-        """Batch decode: BP vectorised, OSD per failing shot."""
+    def decode_many(self, syndromes) -> BatchDecodeResult:
+        """Batch decode: BP vectorised, OSD per failing shot.
+
+        The OSD stage is an inherently sequential Gaussian-elimination
+        search, so it runs per failing shot; everything else stays in
+        array columns (``stage`` marks which shots it rescued and
+        ``time_seconds`` carries its per-shot cost).
+        """
         syndromes = np.atleast_2d(np.asarray(syndromes, dtype=np.uint8))
-        batch = self.bp.decode_many(syndromes)
-        out: list[DecodeResult] = []
-        for i in range(len(batch)):
-            if batch.converged[i]:
-                out.append(
-                    DecodeResult(
-                        error=batch.errors[i],
-                        converged=True,
-                        iterations=int(batch.iterations[i]),
-                        stage="initial",
-                        marginals=batch.marginals[i],
-                    )
-                )
-                continue
+        bp = self.bp.decode_many(syndromes)
+        errors = bp.errors.copy()
+        converged = bp.converged.copy()
+        stage = np.where(converged, "initial", "failed").astype(_STAGE_DTYPE)
+        time_seconds = np.zeros(len(bp), dtype=np.float64)
+        for i in np.nonzero(~bp.converged)[0]:
             start = time.perf_counter()
             error = self.osd.decode_from_marginals(
-                syndromes[i], batch.marginals[i]
+                syndromes[i], bp.marginals[i]
             )
-            elapsed = time.perf_counter() - start
-            if error is None:
-                out.append(
-                    DecodeResult(
-                        error=batch.errors[i],
-                        converged=False,
-                        iterations=int(batch.iterations[i]),
-                        stage="failed",
-                        time_seconds=elapsed,
-                    )
-                )
-            else:
-                out.append(
-                    DecodeResult(
-                        error=error,
-                        converged=True,
-                        iterations=int(batch.iterations[i]),
-                        stage="post",
-                        time_seconds=elapsed,
-                    )
-                )
-        return out
+            time_seconds[i] = time.perf_counter() - start
+            if error is not None:
+                errors[i] = error
+                converged[i] = True
+                stage[i] = "post"
+        return BatchDecodeResult(
+            errors=errors,
+            converged=converged,
+            iterations=bp.iterations,
+            marginals=bp.marginals,
+            flip_counts=bp.flip_counts,
+            stage=stage,
+            time_seconds=time_seconds,
+        )

@@ -16,6 +16,10 @@ selection is performed — first success wins (paper Sec. IV).
 
 All trials decode in one *batched* BP call, which is the software
 analogue of the fully parallel hardware execution the paper targets.
+``decode_many`` goes further and pools trials **across shots**: the
+trial syndromes of every failed shot in a batch are decoded by a single
+trial-BP call, so a batch with ``F`` failures costs one pooled BP run
+instead of ``F`` sequential ones.
 Latency accounting distinguishes
 
 * ``iterations`` — serial-equivalent cost (initial + every trial up to
@@ -30,7 +34,7 @@ import time
 import numpy as np
 
 from repro._matrix import mod2_right_mul
-from repro.decoders.base import DecodeResult, Decoder
+from repro.decoders.base import BatchDecodeResult, DecodeResult, Decoder
 from repro.decoders.bp import MinSumBP
 from repro.decoders.layered import LayeredMinSumBP
 from repro.decoders.trial_vectors import (
@@ -42,6 +46,53 @@ from repro.decoders.trial_vectors import (
 from repro.problem import DecodingProblem
 
 __all__ = ["BPSFDecoder"]
+
+
+def attribute_pooled_trials(
+    pooled, shot_counts, budget, selection, out, error_for
+) -> None:
+    """Write per-shot winner accounting for a pooled trial decode.
+
+    ``pooled`` is the trial BP's :class:`BatchDecodeResult` over the
+    concatenated trial rows of every failed shot; ``shot_counts`` is
+    the shot-index map ``[(shot, n_trials), ...]`` in pool order.  The
+    winner columns of ``out`` (an under-construction batch result) are
+    updated in place; ``error_for(shot, winner, pool_row)`` returns the
+    corrected error vector for a rescued shot.  Shared by BP-SF and the
+    prior-modification ensembles so their accounting cannot drift.
+
+    Selection rules: ``"serial"`` returns the first success in
+    generation order and charges every earlier trial its own cost
+    (failed trials cost the full budget); ``"parallel"`` returns the
+    first success in time (fewest iterations, ties to the lowest
+    index) and charges the full budget for every trial ahead of the
+    winner, an upper bound since retired trials never report.
+    """
+    offset = 0
+    for i, k in shot_counts:
+        conv = pooled.converged[offset:offset + k]
+        iters = pooled.iterations[offset:offset + k]
+        out.trials_attempted[i] = k
+        if conv.any():
+            if selection == "parallel":
+                conv_idx = np.nonzero(conv)[0]
+                winner = int(conv_idx[np.argmin(iters[conv_idx])])
+                out.iterations[i] += winner * budget + int(iters[winner])
+                out.parallel_iterations[i] += int(iters[winner])
+            else:
+                winner = int(np.argmax(conv))
+                out.iterations[i] += int(
+                    np.where(conv[:winner], iters[:winner], budget).sum()
+                ) + int(iters[winner])
+                out.parallel_iterations[i] += int(iters[conv].min())
+            out.errors[i] = error_for(i, winner, offset + winner)
+            out.converged[i] = True
+            out.stage[i] = "post"
+            out.winning_trial[i] = winner
+        else:
+            out.iterations[i] += budget * k
+            out.parallel_iterations[i] += budget
+        offset += k
 
 
 class BPSFDecoder(Decoder):
@@ -67,6 +118,24 @@ class BPSFDecoder(Decoder):
         oscillation counts — the paper's future-work variant).
     trial_max_iter:
         Iteration budget per trial BP (defaults to ``max_iter``).
+    selection:
+        Winner-selection rule among converged trials.  ``"serial"``
+        (default) returns the first success in *generation* order —
+        the serial-execution return rule the repository's accounting
+        has always used.  ``"parallel"`` returns the first success in
+        *time* (fewest iterations; ties break to the lowest generation
+        index) — the paper's fully-parallel hardware semantics, where
+        all trials run in lockstep and the first to converge wins.  In
+        the parallel mode the pooled batch path retires a shot's
+        remaining trials the moment one converges (group early-stop),
+        so rescued shots stop paying for trials that can no longer win.
+        The early-stop execution needs a flooding-schedule trial BP
+        (:class:`MinSumBP` or a subclass); with a layered or custom
+        ``bp_cls`` the pooled trials simply run to their full budget —
+        identical results and accounting, none of the savings.  Either
+        way, ``iterations`` charges the full trial budget for every
+        trial ahead of the winner in generation order (an upper bound,
+        since retired trials never report their own counts).
     layered:
         Use the layered schedule for both the initial and trial BP.
     seed:
@@ -87,6 +156,7 @@ class BPSFDecoder(Decoder):
         n_s: int = 10,
         strategy: str = "sampled",
         trial_max_iter: int | None = None,
+        selection: str = "serial",
         damping: str | float = "adaptive",
         layered: bool = False,
         seed: int = 0,
@@ -96,9 +166,12 @@ class BPSFDecoder(Decoder):
     ):
         if strategy not in ("sampled", "exhaustive", "weighted"):
             raise ValueError(f"unknown strategy {strategy!r}")
+        if selection not in ("serial", "parallel"):
+            raise ValueError(f"unknown selection {selection!r}")
         if bp_cls is not None and layered:
             raise ValueError("pass either bp_cls or layered, not both")
         self.candidate_selector = candidate_selector
+        self.selection = selection
         self.problem = problem
         self.phi = int(phi)
         self.w_max = int(w_max)
@@ -123,8 +196,9 @@ class BPSFDecoder(Decoder):
             damping=damping,
             **kwargs,
         )
+        tag = ", par" if selection == "parallel" else ""
         self.name = (
-            f"BP-SF(BP{max_iter}, wmax={w_max}, phi={phi}, ns={n_s})"
+            f"BP-SF(BP{max_iter}, wmax={w_max}, phi={phi}, ns={n_s}{tag})"
         )
 
     # -- trial generation -------------------------------------------------
@@ -160,114 +234,87 @@ class BPSFDecoder(Decoder):
 
     def decode(self, syndrome) -> DecodeResult:
         start = time.perf_counter()
-        syndrome = np.asarray(syndrome, dtype=np.uint8).reshape(-1)
-        initial = self.bp_initial.decode(syndrome)
-        if initial.converged:
-            initial.time_seconds = time.perf_counter() - start
-            return initial
-
-        trials = self.generate_trials(initial.flip_counts, initial.marginals)
-        if not trials:
-            initial.stage = "failed"
-            initial.time_seconds = time.perf_counter() - start
-            return initial
-
-        trial_synd = self.trial_syndromes(syndrome, trials)
-        batch = self.bp_trial.decode_many(trial_synd)
-
-        init_iters = int(initial.iterations)
-        result = self._pick_winner(syndrome, trials, batch, initial, init_iters)
+        result = self.decode_many(np.atleast_2d(syndrome)).to_results()[0]
         result.time_seconds = time.perf_counter() - start
         return result
 
-    def _pick_winner(
-        self, syndrome, trials, batch, initial, init_iters
-    ) -> DecodeResult:
-        trial_budget = self.bp_trial.max_iter
-        if not batch.converged.any():
-            return DecodeResult(
-                error=initial.error,
-                converged=False,
-                iterations=init_iters + trial_budget * len(trials),
-                parallel_iterations=init_iters + trial_budget,
-                initial_iterations=init_iters,
-                stage="failed",
-                trials_attempted=len(trials),
-                marginals=initial.marginals,
-                flip_counts=initial.flip_counts,
-            )
-        # First success in generation order (the serial-return rule);
-        # the fastest success sets the fully-parallel latency.
-        winner = int(np.argmax(batch.converged))
-        error = batch.errors[winner].copy()
-        error[list(trials[winner])] ^= 1
-        serial_iters = init_iters + int(
-            np.where(batch.converged[:winner], batch.iterations[:winner],
-                     trial_budget).sum()
-        ) + int(batch.iterations[winner])
-        fastest = int(batch.iterations[batch.converged].min())
-        return DecodeResult(
-            error=error,
-            converged=True,
-            iterations=serial_iters,
-            parallel_iterations=init_iters + fastest,
-            initial_iterations=init_iters,
-            stage="post",
-            trials_attempted=len(trials),
-            winning_trial=winner,
+    def decode_many(self, syndromes) -> BatchDecodeResult:
+        """Batch decode with *cross-shot trial pooling*.
+
+        The initial BP runs vectorised over the whole batch; then the
+        trial syndromes of **every** failed shot are collected into one
+        pooled array and decoded by a **single** ``decode_many`` call on
+        the trial BP — the software analogue of the paper's fully
+        parallel hardware execution.  A batch with ``F`` failures costs
+        one pooled BP run instead of ``F`` sequential runs; a shot-index
+        map attributes winners back to their shots.
+
+        All branches (converged, no-trials, post-processed, failed)
+        share the same column bookkeeping, so ``marginals``,
+        ``flip_counts`` and ``parallel_iterations`` are preserved for
+        every shot exactly as the single-shot path reports them.
+        """
+        start = time.perf_counter()
+        syndromes = np.atleast_2d(np.asarray(syndromes, dtype=np.uint8))
+        batch = syndromes.shape[0]
+        initial = self.bp_initial.decode_many(syndromes)
+
+        # Columns start from the initial BP; __post_init__ derives the
+        # stage/parallel/initial defaults the attribution then updates.
+        result = BatchDecodeResult(
+            errors=initial.errors.copy(),
+            converged=initial.converged.copy(),
+            iterations=initial.iterations.astype(np.int64).copy(),
             marginals=initial.marginals,
             flip_counts=initial.flip_counts,
         )
 
-    def decode_batch(self, syndromes) -> list[DecodeResult]:
-        """Batch decode: initial BP vectorised, SF per failing shot."""
-        syndromes = np.atleast_2d(np.asarray(syndromes, dtype=np.uint8))
-        initial = self.bp_initial.decode_many(syndromes)
-        out: list[DecodeResult] = []
-        for i in range(len(initial)):
-            if initial.converged[i]:
-                out.append(
-                    DecodeResult(
-                        error=initial.errors[i],
-                        converged=True,
-                        iterations=int(initial.iterations[i]),
-                        stage="initial",
-                        marginals=initial.marginals[i],
-                        flip_counts=initial.flip_counts[i],
-                    )
-                )
-                continue
+        # Pool the trial syndromes of all failed shots; `shot_trials`
+        # is the shot-index map used to attribute winners afterwards.
+        shot_trials: list[tuple[int, list[tuple[int, ...]]]] = []
+        pooled_synd: list[np.ndarray] = []
+        for i in np.nonzero(~initial.converged)[0]:
             trials = self.generate_trials(
                 initial.flip_counts[i], initial.marginals[i]
             )
             if not trials:
-                out.append(
-                    DecodeResult(
-                        error=initial.errors[i],
-                        converged=False,
-                        iterations=int(initial.iterations[i]),
-                        stage="failed",
-                    )
-                )
                 continue
-            trial_synd = self.trial_syndromes(syndromes[i], trials)
-            batch = self.bp_trial.decode_many(trial_synd)
-            out.append(
-                self._pick_winner(
-                    syndromes[i], trials, batch,
-                    _row_result(initial, i), int(initial.iterations[i]),
+            shot_trials.append((int(i), trials))
+            pooled_synd.append(self.trial_syndromes(syndromes[i], trials))
+
+        if pooled_synd:
+            all_synd = np.concatenate(pooled_synd)
+            if self.selection == "parallel" and isinstance(
+                self.bp_trial, MinSumBP
+            ):
+                # Group early-stop: a shot's first converging trial
+                # retires the rest of that shot's pool rows.
+                groups = np.repeat(
+                    np.arange(len(shot_trials)),
+                    [len(t) for _, t in shot_trials],
                 )
+                pooled = self.bp_trial.decode_many(
+                    all_synd, stop_groups=groups
+                )
+            else:
+                pooled = self.bp_trial.decode_many(all_synd)
+
+            trials_of = dict(shot_trials)
+
+            def error_for(shot, winner, pool_row):
+                error = pooled.errors[pool_row].copy()
+                error[list(trials_of[shot][winner])] ^= 1
+                return error
+
+            attribute_pooled_trials(
+                pooled,
+                [(i, len(t)) for i, t in shot_trials],
+                self.bp_trial.max_iter,
+                self.selection,
+                result,
+                error_for,
             )
-        return out
 
-
-def _row_result(batch, i) -> DecodeResult:
-    return DecodeResult(
-        error=batch.errors[i],
-        converged=bool(batch.converged[i]),
-        iterations=int(batch.iterations[i]),
-        marginals=batch.marginals[i],
-        flip_counts=(
-            None if batch.flip_counts is None else batch.flip_counts[i]
-        ),
-    )
+        elapsed = time.perf_counter() - start
+        result.time_seconds = np.full(batch, elapsed / batch)
+        return result

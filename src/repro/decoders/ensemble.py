@@ -28,8 +28,9 @@ import time
 
 import numpy as np
 
-from repro.decoders.base import DecodeResult, Decoder
+from repro.decoders.base import BatchDecodeResult, DecodeResult, Decoder
 from repro.decoders.bp import MinSumBP
+from repro.decoders.bpsf import attribute_pooled_trials
 from repro.decoders.trial_vectors import (
     exhaustive_trials,
     sampled_trials,
@@ -65,60 +66,65 @@ class _SpeculativePriorDecoder(Decoder):
 
     def decode(self, syndrome) -> DecodeResult:
         start = time.perf_counter()
-        syndrome = np.asarray(syndrome, dtype=np.uint8).reshape(-1)
-        initial = self.bp_initial.decode(syndrome)
-        if initial.converged:
-            initial.time_seconds = time.perf_counter() - start
-            return initial
-        priors = self._trial_priors(initial)
-        if priors.shape[0] == 0:
-            initial.stage = "failed"
-            initial.time_seconds = time.perf_counter() - start
-            return initial
-        synd = np.broadcast_to(
-            syndrome, (priors.shape[0], syndrome.shape[0])
-        )
-        batch = self.bp_trial.decode_many(synd, prior_llr=priors)
-        result = self._pick_winner(batch, initial)
+        result = self.decode_many(np.atleast_2d(syndrome)).to_results()[0]
         result.time_seconds = time.perf_counter() - start
         return result
 
-    def _pick_winner(self, batch, initial: DecodeResult) -> DecodeResult:
-        init_iters = int(initial.iterations)
-        budget = self.bp_trial.max_iter
-        n_trials = len(batch)
-        if not batch.converged.any():
-            return DecodeResult(
-                error=initial.error,
-                converged=False,
-                iterations=init_iters + budget * n_trials,
-                parallel_iterations=init_iters + budget,
-                initial_iterations=init_iters,
-                stage="failed",
-                trials_attempted=n_trials,
-                marginals=initial.marginals,
-                flip_counts=initial.flip_counts,
-            )
-        winner = int(np.argmax(batch.converged))
-        serial = init_iters + int(
-            np.where(
-                batch.converged[:winner], batch.iterations[:winner], budget
-            ).sum()
-        ) + int(batch.iterations[winner])
-        fastest = int(batch.iterations[batch.converged].min())
-        return DecodeResult(
-            # No syndrome was modified, so no flip-back is needed.
-            error=batch.errors[winner].copy(),
-            converged=True,
-            iterations=serial,
-            parallel_iterations=init_iters + fastest,
-            initial_iterations=init_iters,
-            stage="post",
-            trials_attempted=n_trials,
-            winning_trial=winner,
+    def decode_many(self, syndromes) -> BatchDecodeResult:
+        """Batch decode with cross-shot trial pooling.
+
+        The per-shot-prior interface of :class:`MinSumBP` lets the
+        prior-modified retries of **all** failed shots decode as one
+        ``decode_many`` call (each trial row carries its own prior); a
+        shot-index map attributes winners, mirroring
+        :meth:`repro.decoders.bpsf.BPSFDecoder.decode_many`.
+        """
+        start = time.perf_counter()
+        syndromes = np.atleast_2d(np.asarray(syndromes, dtype=np.uint8))
+        batch = syndromes.shape[0]
+        initial = self.bp_initial.decode_many(syndromes)
+
+        result = BatchDecodeResult(
+            errors=initial.errors.copy(),
+            converged=initial.converged.copy(),
+            iterations=initial.iterations.astype(np.int64).copy(),
             marginals=initial.marginals,
             flip_counts=initial.flip_counts,
         )
+
+        shot_counts: list[tuple[int, int]] = []   # (shot, n_trials)
+        pooled_priors: list[np.ndarray] = []
+        pooled_synd: list[np.ndarray] = []
+        for i in np.nonzero(~initial.converged)[0]:
+            priors = self._trial_priors(initial[int(i)])
+            if priors.shape[0] == 0:
+                continue
+            shot_counts.append((int(i), priors.shape[0]))
+            pooled_priors.append(priors)
+            pooled_synd.append(
+                np.broadcast_to(
+                    syndromes[i], (priors.shape[0], syndromes.shape[1])
+                )
+            )
+
+        if pooled_synd:
+            pooled = self.bp_trial.decode_many(
+                np.concatenate(pooled_synd),
+                prior_llr=np.concatenate(pooled_priors),
+            )
+            attribute_pooled_trials(
+                pooled,
+                shot_counts,
+                self.bp_trial.max_iter,
+                "serial",
+                result,
+                # No syndrome was modified, so no flip-back is needed.
+                lambda shot, winner, pool_row: pooled.errors[pool_row].copy(),
+            )
+
+        elapsed = time.perf_counter() - start
+        result.time_seconds = np.full(batch, elapsed / batch)
+        return result
 
     def _trial_priors(self, initial: DecodeResult) -> np.ndarray:
         raise NotImplementedError

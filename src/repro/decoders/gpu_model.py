@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.decoders.base import DecodeResult, Decoder
+from repro.decoders.base import BatchDecodeResult, DecodeResult, Decoder
 from repro.decoders.bposd import BPOSDDecoder
 from repro.decoders.bpsf import BPSFDecoder
 
@@ -36,8 +36,8 @@ class GPULatencyModel:
     launch_overhead_us: float = 150.0
     osd_us: float = 30000.0
 
-    def bp_seconds(self, iterations: int) -> float:
-        """Modelled wall time of one BP invocation."""
+    def bp_seconds(self, iterations) -> float | np.ndarray:
+        """Modelled wall time of one BP invocation (vectorises)."""
         return (self.launch_overhead_us
                 + iterations * self.per_iteration_us) * 1e-6
 
@@ -67,31 +67,47 @@ class GPUEstimatedBPSF(Decoder):
         self.name = "BP-SF (GPU_Est)"
 
     def decode(self, syndrome) -> DecodeResult:
-        result = self.decoder.decode(syndrome)
+        return self.decode_many(np.atleast_2d(syndrome)).to_results()[0]
+
+    def decode_many(self, syndromes) -> BatchDecodeResult:
+        """Batch decode with the GPU time model applied column-wise.
+
+        Trials before the winner are charged a full-budget launch each
+        (they all failed); the winner's own iterations are recovered as
+        ``iterations - initial_iterations - winner * budget``, which is
+        exact under both winner-selection rules because pre-winner
+        trials are always charged the full budget.
+        """
+        batch = self.decoder.decode_many(syndromes)
         model = self.model
-        elapsed = model.bp_seconds(result.initial_iterations)
-        if result.stage != "initial" and result.trials_attempted:
-            trial_budget = self.decoder.bp_trial.max_iter
-            winner = result.winning_trial
-            if self.batched:
-                # One batch launch; blocks on the slowest trial.
-                elapsed += model.bp_seconds(trial_budget)
-            elif winner is None:
-                elapsed += result.trials_attempted * model.bp_seconds(
-                    trial_budget
-                )
-            else:
-                # Trials before the winner all failed (full budget),
-                # then the winner's own iterations.
-                winner_iters = (
-                    result.iterations
-                    - result.initial_iterations
-                    - winner * trial_budget
-                )
-                elapsed += winner * model.bp_seconds(trial_budget)
-                elapsed += model.bp_seconds(max(winner_iters, 1))
-        result.time_seconds = elapsed
-        return result
+        elapsed = model.bp_seconds(batch.initial_iterations.astype(float))
+        post = (batch.stage != "initial") & (batch.trials_attempted > 0)
+        trial_budget = self.decoder.bp_trial.max_iter
+        if self.batched:
+            # One batch launch; blocks on the slowest trial.
+            elapsed = elapsed + post * model.bp_seconds(trial_budget)
+        else:
+            winner = batch.winning_trial
+            no_winner = post & (winner < 0)
+            elapsed = elapsed + np.where(
+                no_winner,
+                batch.trials_attempted * model.bp_seconds(trial_budget),
+                0.0,
+            )
+            won = post & (winner >= 0)
+            winner_iters = np.maximum(
+                batch.iterations - batch.initial_iterations
+                - winner * trial_budget,
+                1,
+            )
+            elapsed = elapsed + np.where(
+                won,
+                winner * model.bp_seconds(trial_budget)
+                + model.bp_seconds(winner_iters.astype(float)),
+                0.0,
+            )
+        batch.time_seconds = np.asarray(elapsed, dtype=np.float64)
+        return batch
 
 
 class GPUEstimatedBPOSD(Decoder):
@@ -104,9 +120,12 @@ class GPUEstimatedBPOSD(Decoder):
         self.name = "BP1000-OSD10 (GPU)"
 
     def decode(self, syndrome) -> DecodeResult:
-        result = self.decoder.decode(syndrome)
-        elapsed = self.model.bp_seconds(result.iterations)
-        if result.stage == "post":
-            elapsed += self.model.osd_us * 1e-6
-        result.time_seconds = elapsed
-        return result
+        return self.decode_many(np.atleast_2d(syndrome)).to_results()[0]
+
+    def decode_many(self, syndromes) -> BatchDecodeResult:
+        """Batch decode with the GPU time model applied column-wise."""
+        batch = self.decoder.decode_many(syndromes)
+        elapsed = self.model.bp_seconds(batch.iterations.astype(float))
+        elapsed = elapsed + (batch.stage == "post") * (self.model.osd_us * 1e-6)
+        batch.time_seconds = np.asarray(elapsed, dtype=np.float64)
+        return batch

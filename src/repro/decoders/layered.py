@@ -142,9 +142,6 @@ class LayeredMinSumBP(Decoder):
     def decode(self, syndrome) -> DecodeResult:
         return self.decode_many(np.atleast_2d(syndrome)).to_results()[0]
 
-    def decode_batch(self, syndromes) -> list[DecodeResult]:
-        return self.decode_many(syndromes).to_results()
-
     def decode_many(self, syndromes) -> BPBatchResult:
         syndromes = np.atleast_2d(np.asarray(syndromes, dtype=np.uint8))
         chunks = [

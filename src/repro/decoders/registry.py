@@ -1,0 +1,76 @@
+"""Decoder registry: canonical factory per decoder family.
+
+One place that knows how to build every decoder in the repository with
+small, deterministic, test-scale parameters.  The batch/serial parity
+suite iterates this registry to assert that ``decode_many`` and a loop
+of ``decode`` calls agree for *every* decoder; experiment drivers can
+use it to sweep families without repeating configuration.
+
+Factories take a :class:`~repro.problem.DecodingProblem` and return a
+fresh decoder.  Every factory is deterministic (seeded where the
+decoder samples), so two instances built from the same problem decode
+identically.  :class:`~repro.decoders.parallel.ParallelBPSFDecoder` is
+excluded: its first-success collection over a process pool depends on
+worker scheduling, so per-shot fields like ``winning_trial`` are not
+reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.decoders.bp import MinSumBP
+from repro.decoders.bposd import BPOSDDecoder
+from repro.decoders.bpsf import BPSFDecoder
+from repro.decoders.ensemble import PerturbedEnsembleBP, PosteriorFlipDecoder
+from repro.decoders.gdg import GDGDecoder
+from repro.decoders.layered import LayeredMinSumBP
+from repro.decoders.membp import MemoryMinSumBP
+from repro.decoders.relay import RelayBP
+from repro.decoders.sum_product import SumProductBP
+from repro.problem import DecodingProblem
+
+__all__ = ["DECODER_REGISTRY", "get_decoder"]
+
+DecoderFactory = Callable[[DecodingProblem], object]
+
+DECODER_REGISTRY: dict[str, DecoderFactory] = {
+    "min_sum_bp": lambda p: MinSumBP(p, max_iter=12),
+    "sum_product_bp": lambda p: SumProductBP(p, max_iter=12),
+    "layered_bp": lambda p: LayeredMinSumBP(p, max_iter=12),
+    "memory_bp": lambda p: MemoryMinSumBP(p, gamma=0.5, max_iter=12),
+    "bpsf": lambda p: BPSFDecoder(
+        p, max_iter=10, phi=8, w_max=1, strategy="exhaustive"
+    ),
+    "bpsf_sampled": lambda p: BPSFDecoder(
+        p, max_iter=10, phi=10, w_max=2, n_s=4, strategy="sampled", seed=11
+    ),
+    "bpsf_parallel": lambda p: BPSFDecoder(
+        p, max_iter=10, phi=8, w_max=1, strategy="exhaustive",
+        selection="parallel",
+    ),
+    "bposd": lambda p: BPOSDDecoder(p, max_iter=10, osd_order=4),
+    "relay_bp": lambda p: RelayBP(
+        p, leg_iters=10, num_legs=2, seed=5
+    ),
+    "gdg": lambda p: GDGDecoder(
+        p, max_iter=10, max_depth=2, beam_width=4
+    ),
+    "posterior_flip": lambda p: PosteriorFlipDecoder(
+        p, max_iter=10, phi=6, w_max=1, strategy="exhaustive"
+    ),
+    "perturbed_bp": lambda p: PerturbedEnsembleBP(
+        p, max_iter=10, n_attempts=4, spread=0.4, seed=13
+    ),
+}
+
+
+def get_decoder(name: str, problem: DecodingProblem):
+    """Build the registry decoder ``name`` for ``problem``."""
+    try:
+        factory = DECODER_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown decoder {name!r}; one of {sorted(DECODER_REGISTRY)}"
+        ) from None
+    return factory(problem)

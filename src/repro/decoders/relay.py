@@ -23,7 +23,12 @@ import time
 
 import numpy as np
 
-from repro.decoders.base import DecodeResult, Decoder
+from repro.decoders.base import (
+    _STAGE_DTYPE,
+    BatchDecodeResult,
+    DecodeResult,
+    Decoder,
+)
 from repro.decoders.membp import MemoryMinSumBP, disordered_gammas
 from repro.problem import DecodingProblem
 
@@ -100,14 +105,13 @@ class RelayBP(Decoder):
     # -- public API -----------------------------------------------------
 
     def decode(self, syndrome) -> DecodeResult:
-        return self.decode_batch(np.atleast_2d(syndrome))[0]
+        return self.decode_many(np.atleast_2d(syndrome)).to_results()[0]
 
-    def decode_batch(self, syndromes) -> list[DecodeResult]:
+    def decode_many(self, syndromes) -> BatchDecodeResult:
         """Decode a batch, relaying posteriors across legs per shot."""
         start = time.perf_counter()
         syndromes = np.atleast_2d(np.asarray(syndromes, dtype=np.uint8))
         batch = syndromes.shape[0]
-        n = self.problem.n_mechanisms
 
         first = self._first_leg.decode_many(syndromes)
         solutions: list[list[np.ndarray]] = [[] for _ in range(batch)]
@@ -139,25 +143,37 @@ class RelayBP(Decoder):
                     if len(solutions[int(i)]) >= self.stop_after:
                         active[i] = False
 
-        elapsed = time.perf_counter() - start
-        out = []
+        # Per-shot winner: the lightest distinct solution found.
+        converged = np.zeros(batch, dtype=bool)
+        stage = np.full(batch, "failed", dtype=_STAGE_DTYPE)
+        trials_attempted = np.zeros(batch, dtype=np.int64)
         for i in range(batch):
-            out.append(
-                self._shot_result(
-                    solutions[i],
-                    first_converged=bool(first.converged[i]),
-                    fallback=errors[i],
-                    iterations=int(iterations[i]),
-                    first_iters=int(first_leg_iters[i]),
-                    marginals=marginals[i],
-                    flip_counts=(
-                        None if first.flip_counts is None
-                        else first.flip_counts[i]
-                    ),
-                    seconds=elapsed / batch,
-                )
+            found = solutions[i]
+            if not found:
+                continue
+            best = min(
+                found, key=lambda e: float(self._weights[e == 1].sum())
             )
-        return out
+            errors[i] = best
+            converged[i] = True
+            stage[i] = "initial" if first.converged[i] else "post"
+            trials_attempted[i] = len(found)
+
+        elapsed = time.perf_counter() - start
+        return BatchDecodeResult(
+            errors=errors,
+            converged=converged,
+            iterations=iterations,
+            marginals=marginals,
+            flip_counts=first.flip_counts,
+            # Relay legs are sequential by construction; parallel and
+            # serial latency coincide (the paper's latency argument).
+            parallel_iterations=iterations.copy(),
+            initial_iterations=first_leg_iters,
+            stage=stage,
+            trials_attempted=trials_attempted,
+            time_seconds=np.full(batch, elapsed / batch),
+        )
 
     # -- internals -------------------------------------------------------
 
@@ -165,42 +181,3 @@ class RelayBP(Decoder):
         """Clip relayed posteriors so no leg starts fully saturated."""
         clamp = self._first_leg.clamp
         return np.clip(posteriors, -0.9 * clamp, 0.9 * clamp)
-
-    def _shot_result(
-        self,
-        found: list[np.ndarray],
-        *,
-        first_converged: bool,
-        fallback: np.ndarray,
-        iterations: int,
-        first_iters: int,
-        marginals,
-        flip_counts,
-        seconds: float,
-    ) -> DecodeResult:
-        if not found:
-            return DecodeResult(
-                error=fallback,
-                converged=False,
-                iterations=iterations,
-                initial_iterations=first_iters,
-                stage="failed",
-                marginals=marginals,
-                flip_counts=flip_counts,
-                time_seconds=seconds,
-            )
-        best = min(found, key=lambda e: float(self._weights[e == 1].sum()))
-        return DecodeResult(
-            error=best,
-            converged=True,
-            iterations=iterations,
-            # Relay legs are sequential by construction; parallel and
-            # serial latency coincide (the paper's latency argument).
-            parallel_iterations=iterations,
-            initial_iterations=first_iters,
-            stage="initial" if first_converged else "post",
-            trials_attempted=len(found),
-            marginals=marginals,
-            flip_counts=flip_counts,
-            time_seconds=seconds,
-        )

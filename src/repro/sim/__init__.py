@@ -9,7 +9,12 @@ from repro.sim.stats import (
     wilson_interval,
 )
 from repro.sim.streaming import StreamingReport, run_streaming, simulate_stream
-from repro.sim.timing import LatencyResult, measure_latency
+from repro.sim.timing import (
+    LatencyResult,
+    ThroughputResult,
+    measure_latency,
+    measure_throughput,
+)
 
 __all__ = [
     "MonteCarloResult",
@@ -20,7 +25,9 @@ __all__ = [
     "summarize_times",
     "wilson_interval",
     "LatencyResult",
+    "ThroughputResult",
     "measure_latency",
+    "measure_throughput",
     "StreamingReport",
     "run_streaming",
     "simulate_stream",

@@ -90,27 +90,22 @@ def run_ler(
     initial = 0
     post = 0
     unconverged = 0
-    iteration_counts: list[int] = []
-    parallel_counts: list[int] = []
+    iteration_chunks: list[np.ndarray] = []
+    parallel_chunks: list[np.ndarray] = []
 
     while done < shots:
         batch = min(batch_size, shots - done)
         errors = problem.sample_errors(batch, rng)
         syndromes = problem.syndromes(errors)
-        results = decoder.decode_batch(syndromes)
-        estimates = np.stack([r.error for r in results])
-        failed = problem.is_failure(errors, estimates)
+        results = decoder.decode_many(syndromes)
+        failed = problem.is_failure(errors, results.errors)
         failures += int(failed.sum())
         done += batch
-        for r in results:
-            iteration_counts.append(r.iterations)
-            parallel_counts.append(r.parallel_iterations)
-            if r.stage == "initial":
-                initial += 1
-            elif r.stage == "post":
-                post += 1
-            if not r.converged:
-                unconverged += 1
+        initial += results.n_initial
+        post += results.n_post
+        unconverged += results.n_unconverged
+        iteration_chunks.append(results.iterations)
+        parallel_chunks.append(results.parallel_iterations)
         if max_failures is not None and failures >= max_failures:
             break
 
@@ -123,6 +118,6 @@ def run_ler(
         initial_successes=initial,
         post_processed=post,
         unconverged=unconverged,
-        iterations=np.asarray(iteration_counts),
-        parallel_iterations=np.asarray(parallel_counts),
+        iterations=np.concatenate(iteration_chunks),
+        parallel_iterations=np.concatenate(parallel_chunks),
     )

@@ -154,7 +154,9 @@ def run_streaming(
     syndromes = problem.syndromes(errors)
 
     if hardware is not None:
-        results = decoder.decode_batch(syndromes)
+        # Array-first: the latency model maps the batch's iteration
+        # columns straight to modelled service times.
+        results = decoder.decode_many(syndromes)
         service = hardware.latencies_us(results, parallel=parallel)
         period = hardware.syndrome_budget_us(problem.rounds)
     else:

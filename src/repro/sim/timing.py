@@ -1,10 +1,14 @@
-"""Per-syndrome decode-latency measurement (Figs. 13-16).
+"""Decode timing: per-syndrome latency and batch throughput.
 
-Shots are decoded one at a time — mirroring the paper's streaming
-setting where syndromes arrive sequentially — and each shot contributes
-one latency sample.  Decoders that model their own time (the GPU
-estimators) report ``time_seconds``; otherwise wall-clock time around
-``decode`` is used.
+:func:`measure_latency` decodes shots one at a time — mirroring the
+paper's streaming setting where syndromes arrive sequentially — and
+each shot contributes one latency sample (Figs. 13-16).  Decoders that
+model their own time (the GPU estimators) report ``time_seconds``;
+otherwise wall-clock time around ``decode`` is used.
+
+:func:`measure_throughput` feeds whole batches through ``decode_many``
+and reports shots/second — the production-traffic view where the
+batch-native array pipeline pays off.
 """
 
 from __future__ import annotations
@@ -14,11 +18,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.decoders.base import Decoder
+from repro.decoders.base import _STAGE_DTYPE, Decoder
 from repro.problem import DecodingProblem
 from repro.sim.stats import TimingSummary, summarize_times
 
-__all__ = ["LatencyResult", "measure_latency"]
+__all__ = ["LatencyResult", "ThroughputResult", "measure_latency",
+           "measure_throughput"]
 
 
 @dataclass
@@ -94,25 +99,90 @@ def measure_latency(
     for i in range(warmup):
         decoder.decode(syndromes[i])
 
-    times: list[float] = []
-    post_times: list[float] = []
-    wall_times: list[float] = []
-    post_wall_times: list[float] = []
-    for i in range(warmup, warmup + shots):
+    times = np.empty(shots)
+    wall_times = np.empty(shots)
+    stages = np.empty(shots, dtype=_STAGE_DTYPE)
+    for k, i in enumerate(range(warmup, warmup + shots)):
         start = time.perf_counter()
         result = decoder.decode(syndromes[i])
         wall = time.perf_counter() - start
-        elapsed = result.time_seconds if result.time_seconds > 0 else wall
-        times.append(elapsed)
-        wall_times.append(wall)
-        if result.stage != "initial":
-            post_times.append(elapsed)
-            post_wall_times.append(wall)
+        times[k] = result.time_seconds if result.time_seconds > 0 else wall
+        wall_times[k] = wall
+        stages[k] = result.stage
+    post = stages != "initial"
     return LatencyResult(
         problem_name=problem.name,
         decoder_name=getattr(decoder, "name", type(decoder).__name__),
-        times=np.asarray(times),
-        post_times=np.asarray(post_times),
-        wall_times=np.asarray(wall_times),
-        post_wall_times=np.asarray(post_wall_times),
+        times=times,
+        post_times=times[post],
+        wall_times=wall_times,
+        post_wall_times=wall_times[post],
+    )
+
+
+@dataclass
+class ThroughputResult:
+    """Batch-decoding throughput of one decoder on one problem."""
+
+    problem_name: str
+    decoder_name: str
+    shots: int
+    batch_size: int
+    seconds: float
+    unconverged: int
+
+    @property
+    def shots_per_second(self) -> float:
+        """Decoded shots per wall-clock second."""
+        return self.shots / self.seconds if self.seconds > 0 else float("inf")
+
+    def __str__(self) -> str:
+        return (
+            f"{self.decoder_name} on {self.problem_name}: "
+            f"{self.shots_per_second:,.0f} shots/s "
+            f"(batch={self.batch_size}, {self.shots} shots)"
+        )
+
+
+def measure_throughput(
+    problem: DecodingProblem,
+    decoder: Decoder,
+    shots: int,
+    rng: np.random.Generator,
+    *,
+    batch_size: int = 128,
+    warmup: int = 1,
+) -> ThroughputResult:
+    """Measure batch-decoding throughput (shots per second).
+
+    Shots are sampled up front and fed through ``decode_many`` in
+    batches of ``batch_size``; only the decode calls are timed.  This
+    is the production-traffic figure of merit the batch-native array
+    pipeline optimises, complementing :func:`measure_latency`'s
+    per-syndrome streaming view.
+    """
+    if shots < 1:
+        raise ValueError("shots must be positive")
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    errors = problem.sample_errors(shots, rng)
+    syndromes = problem.syndromes(errors)
+    for _ in range(warmup):
+        decoder.decode_many(syndromes[:min(batch_size, shots)])
+
+    unconverged = 0
+    seconds = 0.0
+    for lo in range(0, shots, batch_size):
+        chunk = syndromes[lo: lo + batch_size]
+        start = time.perf_counter()
+        batch = decoder.decode_many(chunk)
+        seconds += time.perf_counter() - start
+        unconverged += batch.n_unconverged
+    return ThroughputResult(
+        problem_name=problem.name,
+        decoder_name=getattr(decoder, "name", type(decoder).__name__),
+        shots=shots,
+        batch_size=batch_size,
+        seconds=seconds,
+        unconverged=unconverged,
     )

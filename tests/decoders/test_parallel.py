@@ -51,6 +51,18 @@ class TestParallelExecution:
                 assert np.array_equal(problem.syndromes(rp.error), s)
         assert exercised_post, "test did not exercise the SF stage"
 
+    def test_decode_many_keeps_soft_outputs(self, problem, pool, rng):
+        """Every batch row carries the initial BP's soft information,
+        even when some shots went through the trial stage."""
+        errors = problem.sample_errors(40, rng)
+        batch = pool.decode_many(problem.syndromes(errors))
+        assert (batch.stage != "initial").any(), \
+            "operating point must exercise the trial stage"
+        assert batch.marginals is not None
+        assert batch.marginals.shape == (len(batch), problem.n_mechanisms)
+        assert batch.flip_counts is not None
+        assert (batch.time_seconds > 0).all()
+
     def test_fast_path_avoids_workers(self, problem, pool):
         s = np.zeros(problem.n_checks, dtype=np.uint8)
         result = pool.decode(s)
