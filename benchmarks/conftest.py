@@ -3,10 +3,27 @@
 Each benchmark regenerates one paper figure/table via its
 ``repro.bench`` runner, prints the text table (visible with ``-s``) and
 saves it under ``benchmarks/results/``.  ``REPRO_SHOTS_SCALE`` scales
-every experiment toward paper-size statistics.
+every experiment toward paper-size statistics; ``REPRO_WORKERS`` (or
+``pytest --repro-workers N``) fans the LER experiments out over the
+sharded multi-process engine without changing any table value.
+
+Everything in this directory is experiment-scale, so it is marked
+``slow`` wholesale: the fast CI gate (``-m "not slow"``) skips it and
+the full CI job runs it.
 """
 
+import os
+
 import pytest
+
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def pytest_collection_modifyitems(items):
+    # This hook sees the whole session's items; mark only ours.
+    for item in items:
+        if str(item.fspath).startswith(_BENCH_DIR + os.sep):
+            item.add_marker(pytest.mark.slow)
 
 
 def run_experiment(benchmark, runner):

@@ -1,0 +1,31 @@
+"""Root pytest configuration: engine fan-out and suite tiering.
+
+``--repro-workers N`` routes every LER experiment in the benchmark
+suite through the sharded multi-process engine with ``N`` workers (it
+sets ``REPRO_WORKERS``; results are seed-reproducible for any value,
+so tables are unchanged — only wall clock).
+
+The ``slow`` marker (declared in ``pytest.ini``) tiers the suite:
+``-m "not slow"`` is the fast gate CI runs on every push, the full
+suite runs as a separate job.  Everything under ``benchmarks/`` is
+marked slow automatically by ``benchmarks/conftest.py``.
+"""
+
+import os
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan LER experiments out over N engine worker processes "
+             "(sets REPRO_WORKERS)",
+    )
+
+
+def pytest_configure(config):
+    workers = config.getoption("--repro-workers")
+    if workers is not None:
+        os.environ["REPRO_WORKERS"] = str(workers)

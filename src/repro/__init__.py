@@ -40,7 +40,7 @@ from repro.decoders import (
 )
 from repro.noise import code_capacity_problem
 from repro.problem import DecodingProblem
-from repro.sim import measure_latency, run_ler
+from repro.sim import measure_latency, run_ler, run_ler_parallel, run_sweep
 
 __version__ = "1.0.0"
 
@@ -64,4 +64,6 @@ __all__ = [
     "DecodingProblem",
     "measure_latency",
     "run_ler",
+    "run_ler_parallel",
+    "run_sweep",
 ]

@@ -7,6 +7,9 @@ Subcommands:
   (``python -m repro run fig5 fig12``; ``run all`` for everything);
 * ``decode <code> [--p P] [--shots N]`` — quick decode demo printing
   per-shot BP-SF outcomes;
+* ``ler <code> [--decoder NAME] [--workers K] [--target-rse R]`` —
+  logical-error-rate estimation through the sharded multi-process
+  experiment engine (seed-reproducible for any worker count);
 * ``analyze <code>`` — Tanner-graph / trapping-set census and an
   oscillation-cluster report from live BP failures (Sec. III);
 * ``stream <code> [--rounds R]`` — streaming-queue simulation under
@@ -73,6 +76,68 @@ def _cmd_decode(args) -> int:
             f"{'FAIL' if failed else 'ok'}"
         )
     print(f"\nlogical error rate: {failures}/{args.shots}")
+    return 0
+
+
+def _cmd_ler(args) -> int:
+    from repro.circuits import circuit_level_problem
+    from repro.codes import get_code, list_codes
+    from repro.decoders.registry import DECODER_REGISTRY
+    from repro.noise import code_capacity_problem
+    from repro.sim import run_ler_parallel
+    from repro.sim.engine import DEFAULT_SHARD_TIMEOUT
+
+    if args.decoder not in DECODER_REGISTRY:
+        print(
+            f"unknown decoder {args.decoder!r}; "
+            f"one of {', '.join(sorted(DECODER_REGISTRY))}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.code not in list_codes():
+        print(
+            f"unknown code {args.code!r}; "
+            f"one of {', '.join(list_codes())}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workers < 1 or args.shots < 1:
+        print("--workers and --shots must be positive", file=sys.stderr)
+        return 2
+    if args.shard_timeout is None:
+        shard_timeout = DEFAULT_SHARD_TIMEOUT
+    else:
+        shard_timeout = args.shard_timeout if args.shard_timeout > 0 else None
+    try:
+        if args.circuit:
+            problem = circuit_level_problem(
+                args.code, args.p, rounds=args.rounds
+            )
+        else:
+            problem = code_capacity_problem(get_code(args.code), args.p)
+    except ValueError as exc:
+        # E.g. a distance-less code needs an explicit --rounds.
+        print(f"cannot build problem for {args.code!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    result = run_ler_parallel(
+        problem,
+        args.decoder,
+        args.shots,
+        args.seed,
+        n_workers=args.workers,
+        max_failures=args.max_failures,
+        target_rse=args.target_rse,
+        shard_shots=args.shard_shots,
+        shard_timeout=shard_timeout,
+    )
+    print(result)
+    lo, hi = result.confidence_interval
+    rse = (hi - lo) / (2 * result.ler) if result.failures else float("inf")
+    print(
+        f"workers={args.workers} shots={result.shots} "
+        f"failures={result.failures} CI-rel-halfwidth={rse:.3f}"
+    )
     return 0
 
 
@@ -182,6 +247,35 @@ def build_parser() -> argparse.ArgumentParser:
     decode.add_argument("--shots", type=int, default=20)
     decode.add_argument("--seed", type=int, default=0)
 
+    ler = sub.add_parser(
+        "ler", help="LER estimation via the sharded experiment engine"
+    )
+    ler.add_argument("code", help="registry name, e.g. bb_144_12_12")
+    ler.add_argument("--decoder", default="bpsf",
+                     help="decoder registry name (default bpsf)")
+    ler.add_argument("--p", type=float, default=0.05,
+                     help="physical error rate (default 0.05)")
+    ler.add_argument("--circuit", action="store_true",
+                     help="circuit-level noise instead of code capacity")
+    ler.add_argument("--rounds", type=int, default=None,
+                     help="syndrome-extraction rounds (circuit level)")
+    ler.add_argument("--shots", type=int, default=2000,
+                     help="shot budget cap (default 2000)")
+    ler.add_argument("--workers", type=int, default=1,
+                     help="worker processes (default 1; results are "
+                          "seed-reproducible for any count)")
+    ler.add_argument("--max-failures", type=int, default=None,
+                     help="adaptive stop: failure target")
+    ler.add_argument("--target-rse", type=float, default=None,
+                     help="adaptive stop: Wilson-CI relative half-width")
+    ler.add_argument("--shard-shots", type=int, default=None,
+                     help="shots per shard (default max(batch, 256))")
+    ler.add_argument("--shard-timeout", type=float, default=None,
+                     help="seconds to wait for any shard before "
+                          "declaring the pool hung (default 600; 0 "
+                          "waits forever — does not affect results)")
+    ler.add_argument("--seed", type=int, default=0)
+
     analyze = sub.add_parser(
         "analyze", help="Tanner-graph and oscillation-cluster census"
     )
@@ -218,6 +312,7 @@ def main(argv=None) -> int:
         "codes": _cmd_codes,
         "run": _cmd_run,
         "decode": _cmd_decode,
+        "ler": _cmd_ler,
         "analyze": _cmd_analyze,
         "stream": _cmd_stream,
         "hardware": _cmd_hardware,

@@ -14,7 +14,13 @@ import zlib
 
 import numpy as np
 
-__all__ = ["scaled_shots", "full_rounds", "bench_rng"]
+__all__ = [
+    "scaled_shots",
+    "full_rounds",
+    "bench_rng",
+    "bench_workers",
+    "bench_shard_timeout",
+]
 
 
 def scaled_shots(base: int, minimum: int = 8) -> int:
@@ -34,3 +40,31 @@ def bench_rng(experiment_id: str) -> np.random.Generator:
     """Deterministic per-experiment RNG (stable across processes)."""
     seed = zlib.crc32(f"repro-bench-{experiment_id}".encode())
     return np.random.default_rng(seed)
+
+
+def bench_workers() -> int:
+    """Worker-process count for the sharded experiment engine.
+
+    ``REPRO_WORKERS`` (or ``pytest --repro-workers``, which sets it)
+    fans the LER experiments out over that many processes.  Results
+    are seed-reproducible for any value, so the tables do not change —
+    only the wall clock does.
+    """
+    return max(1, int(os.environ.get("REPRO_WORKERS", "1")))
+
+
+def bench_shard_timeout() -> float | None:
+    """Per-shard hang timeout for pooled runs (seconds).
+
+    Paper-scale shards (``REPRO_SHOTS_SCALE`` ≫ 1 on circuit-level
+    BP-SF) can legitimately exceed the engine's default 600 s budget;
+    ``REPRO_SHARD_TIMEOUT`` raises it, and ``REPRO_SHARD_TIMEOUT=0``
+    waits forever.  The timeout never affects results — only when a
+    hung pool is declared dead."""
+    raw = os.environ.get("REPRO_SHARD_TIMEOUT")
+    if raw is None:
+        from repro.sim.engine import DEFAULT_SHARD_TIMEOUT
+
+        return DEFAULT_SHARD_TIMEOUT
+    value = float(raw)
+    return value if value > 0 else None

@@ -11,7 +11,13 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.bench.config import bench_rng, full_rounds, scaled_shots
+from repro.bench.config import (
+    bench_rng,
+    bench_shard_timeout,
+    bench_workers,
+    full_rounds,
+    scaled_shots,
+)
 from repro.bench.paper_reference import PAPER_REFERENCE
 from repro.bench.tables import ExperimentTable
 from repro.circuits import circuit_level_problem
@@ -24,7 +30,7 @@ from repro.decoders import (
 )
 from repro.noise import code_capacity_problem
 from repro.problem import DecodingProblem
-from repro.sim import run_ler
+from repro.sim import run_sweep
 
 __all__ = [
     "ler_experiment",
@@ -50,24 +56,39 @@ def ler_experiment(
     decoders: dict[str, DecoderFactory],
     shots: int,
 ) -> ExperimentTable:
-    """Generic LER sweep: every decoder on every problem."""
+    """Generic LER sweep: every decoder on every problem.
+
+    All (problem, decoder) cells route through the sharded experiment
+    engine as **one** :func:`run_sweep` call, so a multi-process run
+    (``REPRO_WORKERS``, see :func:`bench_workers`) pays pool startup
+    once and workers cache each cell's decoder.  Results are
+    seed-reproducible for any worker count.
+    """
     rng = bench_rng(experiment_id)
+    workers = bench_workers()
     table = ExperimentTable(
         experiment_id=experiment_id,
         title=title,
         columns=["code", "p", "decoder", "shots", "fails", "LER",
                  "LER/round", "avg_it", "post%"],
     )
-    for code_label, p, problem in problems:
-        for decoder_label, factory in decoders.items():
-            decoder = factory(problem)
-            result = run_ler(problem, decoder, shots, rng)
-            post_pct = 100.0 * result.post_processed / result.shots
-            table.add_row(
-                code_label, p, decoder_label, result.shots, result.failures,
-                result.ler, result.ler_round, result.avg_iterations,
-                round(post_pct, 1),
-            )
+    cells = [
+        ((code_label, p, decoder_label), problem, factory(problem))
+        for code_label, p, problem in problems
+        for decoder_label, factory in decoders.items()
+    ]
+    results = run_sweep(
+        cells, shots, rng, n_workers=workers,
+        shard_timeout=bench_shard_timeout(),
+    )
+    for (code_label, p, decoder_label), _, _ in cells:
+        result = results[(code_label, p, decoder_label)]
+        post_pct = 100.0 * result.post_processed / result.shots
+        table.add_row(
+            code_label, p, decoder_label, result.shots, result.failures,
+            result.ler, result.ler_round, result.avg_iterations,
+            round(post_pct, 1),
+        )
     reference = PAPER_REFERENCE.get(experiment_id, {})
     if "claim" in reference:
         table.notes.append("paper: " + reference["claim"])

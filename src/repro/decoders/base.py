@@ -36,7 +36,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["DecodeResult", "BatchDecodeResult", "Decoder"]
+__all__ = [
+    "DecodeResult",
+    "BatchDecodeResult",
+    "Decoder",
+    "distribute_batch_time",
+]
 
 # Fixed-width stage vocabulary shared by both result types.
 _STAGE_DTYPE = "<U7"  # "initial" | "post" | "failed"
@@ -296,6 +301,31 @@ class BatchDecodeResult:
         )
 
 
+def distribute_batch_time(
+    result: "BatchDecodeResult", elapsed: float
+) -> None:
+    """Attribute a batch's wall time to shots proportionally to cost.
+
+    Batch decoders measure one wall-clock figure for the whole
+    ``decode_many`` call.  Smearing it uniformly (``elapsed / batch``)
+    flattens the latency distribution that ``summarize_times`` and the
+    Fig. 15-style CPU plots report.  Instead, each shot is charged a
+    share of ``elapsed`` proportional to its serial-equivalent
+    ``iterations`` column — the best available per-shot cost proxy —
+    so the column sums to the measured batch wall time while cheap
+    initial-convergence shots stay cheap and trial-heavy shots stay
+    expensive.  A batch whose iteration column is all zeros falls back
+    to the uniform split.
+    """
+    weights = result.iterations.astype(np.float64)
+    total = weights.sum()
+    batch = weights.shape[0]
+    if total > 0:
+        result.time_seconds = elapsed * weights / total
+    else:
+        result.time_seconds = np.full(batch, elapsed / batch)
+
+
 class Decoder(ABC):
     """Base class: decoders are bound to a problem at construction.
 
@@ -316,6 +346,18 @@ class Decoder(ABC):
         return BatchDecodeResult.from_results(
             [self.decode(s) for s in np.atleast_2d(syndromes)]
         )
+
+    def reseed(self, rng: np.random.Generator) -> None:
+        """Reset the decoder's decode-time sampling stream, if any.
+
+        The sharded experiment engine calls this once per shard with a
+        generator spawned from the shard's ``SeedSequence``, so
+        decoders that sample during decoding (BP-SF trial generation,
+        prior-perturbation ensembles) produce identical results for a
+        given master seed regardless of how shards are spread over
+        workers.  Deterministic decoders need not override the default
+        no-op.
+        """
 
     def decode_batch(self, syndromes) -> list[DecodeResult]:
         """Decode a batch of syndromes (compat shim over decode_many).

@@ -34,7 +34,12 @@ import time
 import numpy as np
 
 from repro._matrix import mod2_right_mul
-from repro.decoders.base import BatchDecodeResult, DecodeResult, Decoder
+from repro.decoders.base import (
+    BatchDecodeResult,
+    DecodeResult,
+    Decoder,
+    distribute_batch_time,
+)
 from repro.decoders.bp import MinSumBP
 from repro.decoders.layered import LayeredMinSumBP
 from repro.decoders.trial_vectors import (
@@ -201,6 +206,10 @@ class BPSFDecoder(Decoder):
             f"BP-SF(BP{max_iter}, wmax={w_max}, phi={phi}, ns={n_s}{tag})"
         )
 
+    def reseed(self, rng: np.random.Generator) -> None:
+        """Reset the trial-sampling stream (sharded-engine discipline)."""
+        self._rng = rng
+
     # -- trial generation -------------------------------------------------
 
     def generate_trials(self, flip_counts, marginals) -> list[tuple[int, ...]]:
@@ -222,11 +231,26 @@ class BPSFDecoder(Decoder):
         return sampled_trials(candidates, self.w_max, self.n_s, self._rng)
 
     def trial_syndromes(self, syndrome, trials) -> np.ndarray:
-        """Flipped syndromes ``s ⊕ t·Hᵀ`` for each trial vector."""
+        """Flipped syndromes ``s ⊕ t·Hᵀ`` for each trial vector.
+
+        The flip matrix is built in one fancy-indexed assignment from
+        the flattened trial tuples — with hundreds of trials per failed
+        shot (exhaustive strategy) a per-trial Python loop is
+        measurably slower than the decode itself.
+        """
         n = self.problem.n_mechanisms
         flips = np.zeros((len(trials), n), dtype=np.uint8)
-        for row, trial in enumerate(trials):
-            flips[row, list(trial)] = 1
+        lens = np.fromiter(
+            (len(t) for t in trials), dtype=np.intp, count=len(trials)
+        )
+        if lens.sum() > 0:
+            rows = np.repeat(np.arange(len(trials), dtype=np.intp), lens)
+            cols = np.fromiter(
+                (bit for trial in trials for bit in trial),
+                dtype=np.intp,
+                count=int(lens.sum()),
+            )
+            flips[rows, cols] = 1
         deltas = mod2_right_mul(flips, self.problem.check_matrix)
         return np.asarray(syndrome, dtype=np.uint8)[None, :] ^ deltas
 
@@ -256,7 +280,6 @@ class BPSFDecoder(Decoder):
         """
         start = time.perf_counter()
         syndromes = np.atleast_2d(np.asarray(syndromes, dtype=np.uint8))
-        batch = syndromes.shape[0]
         initial = self.bp_initial.decode_many(syndromes)
 
         # Columns start from the initial BP; __post_init__ derives the
@@ -316,5 +339,5 @@ class BPSFDecoder(Decoder):
             )
 
         elapsed = time.perf_counter() - start
-        result.time_seconds = np.full(batch, elapsed / batch)
+        distribute_batch_time(result, elapsed)
         return result

@@ -28,7 +28,12 @@ import time
 
 import numpy as np
 
-from repro.decoders.base import BatchDecodeResult, DecodeResult, Decoder
+from repro.decoders.base import (
+    BatchDecodeResult,
+    DecodeResult,
+    Decoder,
+    distribute_batch_time,
+)
 from repro.decoders.bp import MinSumBP
 from repro.decoders.bpsf import attribute_pooled_trials
 from repro.decoders.trial_vectors import (
@@ -64,6 +69,10 @@ class _SpeculativePriorDecoder(Decoder):
         )
         self._rng = np.random.default_rng(seed)
 
+    def reseed(self, rng: np.random.Generator) -> None:
+        """Reset the trial-sampling stream (sharded-engine discipline)."""
+        self._rng = rng
+
     def decode(self, syndrome) -> DecodeResult:
         start = time.perf_counter()
         result = self.decode_many(np.atleast_2d(syndrome)).to_results()[0]
@@ -81,7 +90,6 @@ class _SpeculativePriorDecoder(Decoder):
         """
         start = time.perf_counter()
         syndromes = np.atleast_2d(np.asarray(syndromes, dtype=np.uint8))
-        batch = syndromes.shape[0]
         initial = self.bp_initial.decode_many(syndromes)
 
         result = BatchDecodeResult(
@@ -123,7 +131,7 @@ class _SpeculativePriorDecoder(Decoder):
             )
 
         elapsed = time.perf_counter() - start
-        result.time_seconds = np.full(batch, elapsed / batch)
+        distribute_batch_time(result, elapsed)
         return result
 
     def _trial_priors(self, initial: DecodeResult) -> np.ndarray:

@@ -27,7 +27,12 @@ import time
 
 import numpy as np
 
-from repro.decoders.base import BatchDecodeResult, DecodeResult, Decoder
+from repro.decoders.base import (
+    BatchDecodeResult,
+    DecodeResult,
+    Decoder,
+    distribute_batch_time,
+)
 from repro.decoders.bp import MinSumBP
 from repro.problem import DecodingProblem
 
@@ -106,7 +111,7 @@ class GDGDecoder(Decoder):
         elapsed = time.perf_counter() - start
         if not rescued:
             result = initial
-            result.time_seconds = np.full(batch, elapsed / batch)
+            distribute_batch_time(result, elapsed)
             return result
         result = BatchDecodeResult.from_results(
             [
@@ -114,7 +119,7 @@ class GDGDecoder(Decoder):
                 for i in range(batch)
             ]
         )
-        result.time_seconds = np.full(batch, elapsed / batch)
+        distribute_batch_time(result, elapsed)
         return result
 
     # -- internals -------------------------------------------------------

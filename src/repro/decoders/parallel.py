@@ -17,7 +17,12 @@ import time
 
 import numpy as np
 
-from repro.decoders.base import BatchDecodeResult, DecodeResult, Decoder
+from repro.decoders.base import (
+    BatchDecodeResult,
+    DecodeResult,
+    Decoder,
+    distribute_batch_time,
+)
 from repro.decoders.bp import MinSumBP
 from repro.decoders.bpsf import BPSFDecoder
 from repro.problem import DecodingProblem
@@ -125,6 +130,10 @@ class ParallelBPSFDecoder(Decoder):
 
     # -- decoding ------------------------------------------------------------
 
+    def reseed(self, rng: np.random.Generator) -> None:
+        """Forward to the serial implementation's trial sampler."""
+        self._serial.reseed(rng)
+
     def decode(self, syndrome) -> DecodeResult:
         start = time.perf_counter()
         syndrome = np.asarray(syndrome, dtype=np.uint8).reshape(-1)
@@ -158,11 +167,12 @@ class ParallelBPSFDecoder(Decoder):
                     )
                 )
         result = BatchDecodeResult.from_results(out)
-        # Whole-batch wall time spread per shot, matching the other
-        # decoders' batch accounting (the per-shot wall times above
-        # would otherwise omit the shared initial-BP stage).
+        # Whole-batch wall time attributed per shot in proportion to
+        # iteration cost, matching the other decoders' batch accounting
+        # (the per-shot wall times above would otherwise omit the
+        # shared initial-BP stage).
         elapsed = time.perf_counter() - start
-        result.time_seconds = np.full(len(result), elapsed / len(result))
+        distribute_batch_time(result, elapsed)
         return result
 
     def _decode_failed(self, syndrome, initial, start) -> DecodeResult:

@@ -28,6 +28,7 @@ from repro.decoders.base import (
     BatchDecodeResult,
     DecodeResult,
     Decoder,
+    distribute_batch_time,
 )
 from repro.decoders.membp import MemoryMinSumBP, disordered_gammas
 from repro.problem import DecodingProblem
@@ -160,7 +161,7 @@ class RelayBP(Decoder):
             trials_attempted[i] = len(found)
 
         elapsed = time.perf_counter() - start
-        return BatchDecodeResult(
+        result = BatchDecodeResult(
             errors=errors,
             converged=converged,
             iterations=iterations,
@@ -172,8 +173,9 @@ class RelayBP(Decoder):
             initial_iterations=first_leg_iters,
             stage=stage,
             trials_attempted=trials_attempted,
-            time_seconds=np.full(batch, elapsed / batch),
         )
+        distribute_batch_time(result, elapsed)
+        return result
 
     # -- internals -------------------------------------------------------
 

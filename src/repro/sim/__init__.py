@@ -1,6 +1,16 @@
-"""Monte-Carlo, latency and streaming-queue measurement harnesses."""
+"""Monte-Carlo, latency and streaming-queue measurement harnesses.
 
+The Monte-Carlo layer is a sharded multi-process engine
+(:mod:`repro.sim.engine`): :func:`run_ler_parallel` and
+:func:`run_sweep` fan shot shards out to persistent worker processes
+with seed-sequence-per-shard reproducibility (:mod:`repro.sim.seeding`)
+and adaptive shot allocation; :func:`run_ler` is the single-worker
+case.
+"""
+
+from repro.sim.engine import run_ler_parallel, run_sweep
 from repro.sim.monte_carlo import MonteCarloResult, run_ler
+from repro.sim.seeding import run_root, shard_sequence, shard_streams
 from repro.sim.stats import (
     TimingSummary,
     ler_per_round,
@@ -19,6 +29,11 @@ from repro.sim.timing import (
 __all__ = [
     "MonteCarloResult",
     "run_ler",
+    "run_ler_parallel",
+    "run_sweep",
+    "run_root",
+    "shard_sequence",
+    "shard_streams",
     "TimingSummary",
     "ler_per_round",
     "rounds_from_per_round",

@@ -1,0 +1,503 @@
+"""Sharded multi-process Monte-Carlo experiment engine.
+
+The paper's headline evidence is Monte-Carlo: every LER point needs on
+the order of 100 logical failures, and deep points (BB-288 at circuit
+level) need millions of shots.  This engine fans batches of shots out
+to a pool of **persistent worker processes**:
+
+* the shot budget is cut into fixed-size *shards*;
+* shard ``i`` derives its sampling and decoder RNG streams from the
+  run's master seed via :mod:`repro.sim.seeding` — independent of the
+  worker count, so a run is bit-reproducible for any ``n_workers``;
+* each worker materialises its ``(problem, decoder)`` pair once and
+  decodes whole shards, streaming :class:`MonteCarloResult`-shaped
+  column chunks back to the controller;
+* the controller merges chunks through :meth:`MonteCarloResult.merge`
+  in shard order.
+
+Adaptive shot allocation
+------------------------
+With ``max_failures`` or ``target_rse`` set, the controller keeps
+dispatching shards until the *prefix* of completed shards (in shard
+order) meets the target, then cancels outstanding shards.  The stopping
+rule is evaluated on shard prefixes only, so the merged result — and
+therefore every statistic derived from it — is identical for any
+worker count and any completion timing; at most one shard of overshoot
+past the shard where the target is reached.
+
+Decoder specifications
+----------------------
+Workers need to build the decoder, so ``decoder`` may be
+
+* a name from :data:`repro.decoders.registry.DECODER_REGISTRY`
+  (resolved inside each worker),
+* a picklable factory ``f(problem) -> Decoder`` (a module-level
+  function; lambdas and closures do not pickle), or
+* a :class:`~repro.decoders.base.Decoder` instance (pickled into each
+  worker; its :meth:`~repro.decoders.base.Decoder.reseed` hook is
+  invoked per shard, which is what makes sampling decoders
+  reproducible).
+
+:func:`repro.sim.monte_carlo.run_ler` is the ``n_workers = 1`` case of
+this engine and shares every code path but the pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+
+import numpy as np
+
+from repro.decoders.base import Decoder
+from repro.problem import DecodingProblem
+from repro.sim.monte_carlo import MonteCarloResult
+from repro.sim.seeding import run_root, shard_streams
+from repro.sim.stats import wilson_interval
+
+__all__ = [
+    "resolve_decoder",
+    "run_ler_parallel",
+    "run_sweep",
+    "shard_sizes",
+]
+
+# Default wall-clock budget per shard before the controller declares
+# the pool hung (a worker that died without reporting, a deadlocked
+# fork).  Generous enough for paper-scale shards; ``None`` disables.
+DEFAULT_SHARD_TIMEOUT = 600.0
+
+
+def resolve_decoder(spec, problem: DecodingProblem) -> Decoder:
+    """Materialise a decoder from a spec (name / factory / instance)."""
+    if isinstance(spec, str):
+        from repro.decoders.registry import get_decoder
+
+        return get_decoder(spec, problem)
+    if isinstance(spec, Decoder):
+        return spec
+    if callable(spec):
+        return spec(problem)
+    raise TypeError(
+        f"decoder spec {spec!r} is neither a registry name, a factory "
+        "callable, nor a Decoder instance"
+    )
+
+
+def shard_sizes(shots: int, shard_shots: int) -> list[int]:
+    """Cut a shot budget into fixed-size shards (last one may be short).
+
+    The decomposition depends only on ``(shots, shard_shots)`` — never
+    on the worker count — which is the backbone of cross-worker-count
+    reproducibility.
+    """
+    if shots < 1:
+        raise ValueError("shots must be positive")
+    if shard_shots < 1:
+        raise ValueError("shard_shots must be positive")
+    full, rest = divmod(shots, shard_shots)
+    return [shard_shots] * full + ([rest] if rest else [])
+
+
+def _decode_shard(
+    problem: DecodingProblem,
+    decoder: Decoder,
+    shots: int,
+    root: np.random.SeedSequence,
+    shard: int,
+    batch_size: int,
+) -> MonteCarloResult:
+    """Decode one shard; the unit of work shared by all worker counts."""
+    sample_rng, decoder_rng = shard_streams(root, shard)
+    decoder.reseed(decoder_rng)
+    failures = 0
+    initial = 0
+    post = 0
+    unconverged = 0
+    iteration_chunks: list[np.ndarray] = []
+    parallel_chunks: list[np.ndarray] = []
+    for lo in range(0, shots, batch_size):
+        batch = min(batch_size, shots - lo)
+        errors = problem.sample_errors(batch, sample_rng)
+        syndromes = problem.syndromes(errors)
+        results = decoder.decode_many(syndromes)
+        failures += int(problem.is_failure(errors, results.errors).sum())
+        initial += results.n_initial
+        post += results.n_post
+        unconverged += results.n_unconverged
+        iteration_chunks.append(results.iterations)
+        parallel_chunks.append(results.parallel_iterations)
+    return MonteCarloResult(
+        problem_name=problem.name,
+        decoder_name=getattr(decoder, "name", type(decoder).__name__),
+        shots=shots,
+        failures=failures,
+        rounds=problem.rounds,
+        initial_successes=initial,
+        post_processed=post,
+        unconverged=unconverged,
+        iterations=np.concatenate(iteration_chunks),
+        parallel_iterations=np.concatenate(parallel_chunks),
+    )
+
+
+# -- worker-process plumbing ----------------------------------------------
+
+_WORKER_POINTS: dict = {}
+_WORKER_CACHE: dict = {}
+
+
+def _init_worker(points: dict) -> None:
+    """Executor initializer: stash every point's (problem, spec) pair."""
+    global _WORKER_POINTS, _WORKER_CACHE
+    _WORKER_POINTS = points
+    _WORKER_CACHE = {}
+
+
+def _worker_shard(key, shard: int, shots: int, root, batch_size: int):
+    """Task body: decode one shard of one sweep point."""
+    pair = _WORKER_CACHE.get(key)
+    if pair is None:
+        problem, spec = _WORKER_POINTS[key]
+        pair = (problem, resolve_decoder(spec, problem))
+        _WORKER_CACHE[key] = pair
+    problem, decoder = pair
+    return shard, _decode_shard(
+        problem, decoder, shots, root, shard, batch_size
+    )
+
+
+class _PrefixController:
+    """Shard-prefix stopping rule shared by the serial and pooled paths.
+
+    Feed completed shard chunks in any order; :attr:`stop_at` becomes
+    the index of the first shard at which the *contiguous prefix* of
+    results satisfies the failure / CI target.  Only chunks up to that
+    shard enter the merge, so the outcome is independent of completion
+    timing and worker count.
+    """
+
+    def __init__(self, n_shards, max_failures, target_rse):
+        self.n_shards = n_shards
+        self.max_failures = max_failures
+        self.target_rse = target_rse
+        self.chunks: dict[int, MonteCarloResult] = {}
+        self.stop_at: int | None = None
+        self._frontier = 0
+        self._failures = 0
+        self._shots = 0
+
+    def add(self, shard: int, chunk: MonteCarloResult) -> None:
+        self.chunks[shard] = chunk
+        while self.stop_at is None and self._frontier in self.chunks:
+            front = self.chunks[self._frontier]
+            self._failures += front.failures
+            self._shots += front.shots
+            if self._satisfied():
+                self.stop_at = self._frontier
+            self._frontier += 1
+
+    def _satisfied(self) -> bool:
+        if (
+            self.max_failures is not None
+            and self._failures >= self.max_failures
+        ):
+            return True
+        if self.target_rse is not None and self._failures > 0:
+            p = self._failures / self._shots
+            lo, hi = wilson_interval(self._failures, self._shots)
+            if (hi - lo) / (2.0 * p) <= self.target_rse:
+                return True
+        return False
+
+    @property
+    def done(self) -> bool:
+        """Whether no further shards can change the merged result."""
+        if self.stop_at is not None:
+            return True
+        return self._frontier >= self.n_shards
+
+    def next_needed(self, dispatched: int) -> int | None:
+        """Next shard index worth dispatching, or ``None``."""
+        if self.stop_at is not None or dispatched >= self.n_shards:
+            return None
+        return dispatched
+
+    def merged(self) -> MonteCarloResult:
+        last = self.stop_at if self.stop_at is not None else self.n_shards - 1
+        ordered = [self.chunks[i] for i in range(last + 1)]
+        return MonteCarloResult.merge(ordered)
+
+
+def _validate_knobs(shots, n_workers, batch_size, target_rse):
+    if shots < 1:
+        raise ValueError("shots must be positive")
+    if n_workers < 1:
+        raise ValueError("n_workers must be positive")
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    if target_rse is not None and target_rse <= 0:
+        raise ValueError("target_rse must be positive")
+
+
+def _run_point_serial(
+    problem, decoder, sizes, root, batch_size, max_failures, target_rse
+) -> MonteCarloResult:
+    controller = _PrefixController(len(sizes), max_failures, target_rse)
+    for shard, shard_shots in enumerate(sizes):
+        controller.add(
+            shard,
+            _decode_shard(
+                problem, decoder, shard_shots, root, shard, batch_size
+            ),
+        )
+        if controller.done:
+            break
+    return controller.merged()
+
+
+def _run_points_pooled(
+    pool,
+    roots_by_key,
+    sizes,
+    batch_size,
+    max_failures,
+    target_rse,
+    n_workers,
+    shard_timeout,
+) -> dict:
+    """Drive every point's shards through one interleaved dispatch loop.
+
+    Shards of all points share a single in-flight window, so a sweep
+    whose points each have only a few shards (laptop-scale benchmarks)
+    still keeps every worker busy across point boundaries instead of
+    idling at each point's tail.  Each point keeps its own
+    :class:`_PrefixController`, so results are identical to running the
+    points one at a time.
+    """
+    order = list(roots_by_key)
+    controllers = {
+        key: _PrefixController(len(sizes), max_failures, target_rse)
+        for key in order
+    }
+    dispatched = dict.fromkeys(order, 0)
+    in_flight = {}
+    # Keep the queue deep enough that workers never starve while the
+    # controllers digest results, but shallow enough that an adaptive
+    # stop wastes at most ~two rounds of shards.
+    max_in_flight = 2 * n_workers
+
+    def next_task():
+        for key in order:
+            nxt = controllers[key].next_needed(dispatched[key])
+            if nxt is not None:
+                return key, nxt
+        return None
+
+    while any(not c.done for c in controllers.values()):
+        while len(in_flight) < max_in_flight:
+            task = next_task()
+            if task is None:
+                break
+            key, shard = task
+            future = pool.submit(
+                _worker_shard,
+                key,
+                shard,
+                sizes[shard],
+                roots_by_key[key],
+                batch_size,
+            )
+            in_flight[future] = key
+            dispatched[key] += 1
+        if not in_flight:
+            break
+        completed, _ = wait(
+            in_flight, timeout=shard_timeout, return_when=FIRST_COMPLETED
+        )
+        if not completed:
+            for future in in_flight:
+                future.cancel()
+            raise RuntimeError(
+                f"no shard completed within {shard_timeout:.0f}s — "
+                "worker pool looks hung; raise shard_timeout (CLI "
+                "--shard-timeout, bench REPRO_SHARD_TIMEOUT; 0 waits "
+                "forever) if shards are legitimately this slow"
+            )
+        for future in completed:
+            key = in_flight.pop(future)
+            shard, chunk = future.result()
+            controllers[key].add(shard, chunk)
+    for future in in_flight:
+        future.cancel()
+    return {key: controllers[key].merged() for key in order}
+
+
+def _mp_context(name: str | None):
+    """Fork by default (cheap, inherits warm imports); fallback clean."""
+    if name is not None:
+        return mp.get_context(name)
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else None)
+
+
+def _pickled_points(points: dict) -> dict:
+    """Validate that every (problem, spec) pair survives pickling."""
+    try:
+        pickle.dumps(points)
+    except Exception as exc:
+        raise TypeError(
+            "decoder spec or problem is not picklable for worker "
+            "processes — pass a registry name or a module-level "
+            f"factory instead (lambdas do not pickle): {exc}"
+        ) from exc
+    return points
+
+
+def run_ler_parallel(
+    problem: DecodingProblem,
+    decoder,
+    shots: int,
+    seed,
+    *,
+    n_workers: int = 1,
+    batch_size: int = 128,
+    shard_shots: int | None = None,
+    max_failures: int | None = None,
+    target_rse: float | None = None,
+    mp_context: str | None = None,
+    shard_timeout: float | None = DEFAULT_SHARD_TIMEOUT,
+) -> MonteCarloResult:
+    """Estimate a logical error rate with sharded (multi-process) shots.
+
+    Parameters
+    ----------
+    decoder:
+        Registry name, picklable factory, or :class:`Decoder` instance
+        (see the module docstring).
+    shots:
+        Hard cap on the number of sampled shots.
+    seed:
+        Master seed — ``int``, ``SeedSequence`` or ``Generator``; see
+        :func:`repro.sim.seeding.run_root`.
+    n_workers:
+        Worker processes.  ``1`` runs in-process (no pool, no pickling)
+        and returns bit-identical results to any other worker count.
+    shard_shots:
+        Shots per shard (default ``max(batch_size, 256)``).  Part of
+        the reproducibility contract: changing it changes the shard
+        decomposition and therefore the sampled streams.
+    max_failures:
+        Adaptive allocation: stop once the completed shard prefix has
+        this many failures (within one shard of the target).
+    target_rse:
+        Adaptive allocation: stop once the Wilson 95% interval's
+        relative half-width ``(hi - lo) / (2 * LER)`` of the completed
+        prefix drops to this value.
+    shard_timeout:
+        Seconds to wait for *any* shard to complete before declaring
+        the pool hung and raising (``None`` waits forever).
+    """
+    _validate_knobs(shots, n_workers, batch_size, target_rse)
+    shard_shots = shard_shots or max(batch_size, 256)
+    sizes = shard_sizes(shots, shard_shots)
+    root = run_root(seed)
+
+    if n_workers == 1:
+        return _run_point_serial(
+            problem,
+            resolve_decoder(decoder, problem),
+            sizes,
+            root,
+            batch_size,
+            max_failures,
+            target_rse,
+        )
+
+    points = _pickled_points({0: (problem, decoder)})
+    with ProcessPoolExecutor(
+        max_workers=n_workers,
+        mp_context=_mp_context(mp_context),
+        initializer=_init_worker,
+        initargs=(points,),
+    ) as pool:
+        merged = _run_points_pooled(
+            pool, {0: root}, sizes, batch_size, max_failures, target_rse,
+            n_workers, shard_timeout,
+        )
+    return merged[0]
+
+
+def run_sweep(
+    points,
+    shots: int,
+    seed,
+    *,
+    n_workers: int = 1,
+    batch_size: int = 128,
+    shard_shots: int | None = None,
+    max_failures: int | None = None,
+    target_rse: float | None = None,
+    mp_context: str | None = None,
+    shard_timeout: float | None = DEFAULT_SHARD_TIMEOUT,
+) -> dict[str, MonteCarloResult]:
+    """Run many LER points through one persistent worker pool.
+
+    ``points`` is ``{label: (problem, decoder_spec)}`` or an iterable
+    of ``(label, problem, decoder_spec)`` triples.  Every point gets an
+    independent master-seed child (by point order), the same shot
+    budget and the same adaptive-stopping knobs; workers cache each
+    point's materialised decoder, so an ``n``-point sweep pays decoder
+    construction once per point per worker, not once per shard.  All
+    points' shards share one interleaved dispatch window, so few-shard
+    points do not serialise the sweep.
+
+    Returns ``{label: MonteCarloResult}`` in point order.
+    """
+    if isinstance(points, dict):
+        triples = [(k, p, d) for k, (p, d) in points.items()]
+    else:
+        triples = [tuple(t) for t in points]
+    if not triples:
+        raise ValueError("at least one sweep point is required")
+    labels = [t[0] for t in triples]
+    if len(set(labels)) != len(labels):
+        raise ValueError("sweep point labels must be unique")
+    _validate_knobs(shots, n_workers, batch_size, target_rse)
+    shard_shots = shard_shots or max(batch_size, 256)
+    sizes = shard_sizes(shots, shard_shots)
+    root = run_root(seed)
+    roots = root.spawn(len(triples))
+
+    out: dict[str, MonteCarloResult] = {}
+    if n_workers == 1:
+        for (label, problem, spec), point_root in zip(triples, roots):
+            out[label] = _run_point_serial(
+                problem,
+                resolve_decoder(spec, problem),
+                sizes,
+                point_root,
+                batch_size,
+                max_failures,
+                target_rse,
+            )
+        return out
+
+    payload = _pickled_points(
+        {label: (problem, spec) for label, problem, spec in triples}
+    )
+    roots_by_key = {
+        label: point_root
+        for (label, _, _), point_root in zip(triples, roots)
+    }
+    with ProcessPoolExecutor(
+        max_workers=n_workers,
+        mp_context=_mp_context(mp_context),
+        initializer=_init_worker,
+        initargs=(payload,),
+    ) as pool:
+        return _run_points_pooled(
+            pool, roots_by_key, sizes, batch_size, max_failures,
+            target_rse, n_workers, shard_timeout,
+        )

@@ -67,6 +67,48 @@ class MonteCarloResult:
             f"avg_it={self.avg_iterations:.1f})"
         )
 
+    @classmethod
+    def merge(cls, chunks: list["MonteCarloResult"]) -> "MonteCarloResult":
+        """Merge shard chunks into one result (shard order = list order).
+
+        The sharded engine's workers return one ``MonteCarloResult``
+        per shard; merging sums the counters and concatenates the
+        per-shot columns, so a merged result is indistinguishable from
+        a single-process run over the same shot stream.  All chunks
+        must describe the same (problem, decoder, rounds) experiment.
+        """
+        if not chunks:
+            raise ValueError("at least one chunk is required")
+        first = chunks[0]
+        for chunk in chunks[1:]:
+            if (
+                chunk.problem_name != first.problem_name
+                or chunk.decoder_name != first.decoder_name
+                or chunk.rounds != first.rounds
+            ):
+                raise ValueError(
+                    "cannot merge chunks from different experiments: "
+                    f"{(chunk.problem_name, chunk.decoder_name, chunk.rounds)}"
+                    f" != "
+                    f"{(first.problem_name, first.decoder_name, first.rounds)}"
+                )
+        if len(chunks) == 1:
+            return first
+        return cls(
+            problem_name=first.problem_name,
+            decoder_name=first.decoder_name,
+            shots=sum(c.shots for c in chunks),
+            failures=sum(c.failures for c in chunks),
+            rounds=first.rounds,
+            initial_successes=sum(c.initial_successes for c in chunks),
+            post_processed=sum(c.post_processed for c in chunks),
+            unconverged=sum(c.unconverged for c in chunks),
+            iterations=np.concatenate([c.iterations for c in chunks]),
+            parallel_iterations=np.concatenate(
+                [c.parallel_iterations for c in chunks]
+            ),
+        )
+
 
 def run_ler(
     problem: DecodingProblem,
@@ -79,45 +121,27 @@ def run_ler(
 ) -> MonteCarloResult:
     """Estimate the logical error rate of ``decoder`` on ``problem``.
 
-    Shots are sampled and decoded in batches.  When ``max_failures`` is
-    given the run stops early once that many logical failures have been
-    collected (the paper gathers >= 100 failures per point).
+    This is the ``n_workers = 1`` case of the sharded experiment engine
+    (:func:`repro.sim.engine.run_ler_parallel`): the shot budget is cut
+    into fixed-size shards, each shard samples from its own
+    seed-sequence child and decodes in batches, and the per-shard
+    chunks merge through :meth:`MonteCarloResult.merge`.  Because the
+    shard decomposition and seeding never depend on the worker count,
+    re-running the same arguments through ``run_ler_parallel`` with any
+    ``n_workers`` reproduces this result exactly.
+
+    When ``max_failures`` is given the run stops early once the shard
+    prefix has collected that many logical failures (the paper gathers
+    >= 100 failures per point).
     """
-    if shots < 1:
-        raise ValueError("shots must be positive")
-    failures = 0
-    done = 0
-    initial = 0
-    post = 0
-    unconverged = 0
-    iteration_chunks: list[np.ndarray] = []
-    parallel_chunks: list[np.ndarray] = []
+    from repro.sim.engine import run_ler_parallel
 
-    while done < shots:
-        batch = min(batch_size, shots - done)
-        errors = problem.sample_errors(batch, rng)
-        syndromes = problem.syndromes(errors)
-        results = decoder.decode_many(syndromes)
-        failed = problem.is_failure(errors, results.errors)
-        failures += int(failed.sum())
-        done += batch
-        initial += results.n_initial
-        post += results.n_post
-        unconverged += results.n_unconverged
-        iteration_chunks.append(results.iterations)
-        parallel_chunks.append(results.parallel_iterations)
-        if max_failures is not None and failures >= max_failures:
-            break
-
-    return MonteCarloResult(
-        problem_name=problem.name,
-        decoder_name=getattr(decoder, "name", type(decoder).__name__),
-        shots=done,
-        failures=failures,
-        rounds=problem.rounds,
-        initial_successes=initial,
-        post_processed=post,
-        unconverged=unconverged,
-        iterations=np.concatenate(iteration_chunks),
-        parallel_iterations=np.concatenate(parallel_chunks),
+    return run_ler_parallel(
+        problem,
+        decoder,
+        shots,
+        rng,
+        n_workers=1,
+        batch_size=batch_size,
+        max_failures=max_failures,
     )

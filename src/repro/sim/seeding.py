@@ -1,0 +1,78 @@
+"""Deterministic shard seeding for the sharded experiment engine.
+
+Reproducibility discipline: a Monte-Carlo run owns one *root*
+:class:`~numpy.random.SeedSequence`; shard ``i`` derives its streams
+from the root's ``i``-th spawned child, **independent of which worker
+process executes the shard and of the worker count**.  Each shard child
+is split once more into
+
+* a *sampling* stream — drives ``problem.sample_errors`` for the
+  shard's shots, and
+* a *decoder* stream — handed to :meth:`Decoder.reseed` so decoders
+  that sample during decoding (BP-SF trial generation, perturbation
+  ensembles) restart from a shard-determined state.
+
+Because the mapping ``master seed -> shard index -> streams`` is pure,
+``run_ler_parallel(n_workers=k)`` returns identical failure counts and
+iteration columns for every ``k``, and the serial :func:`run_ler` is
+literally the ``k = 1`` case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["run_root", "shard_sequence", "shard_streams"]
+
+
+def run_root(seed) -> np.random.SeedSequence:
+    """The root :class:`~numpy.random.SeedSequence` of one run.
+
+    * ``int`` — ``SeedSequence(seed)``: two runs with the same integer
+      seed are identical.
+    * ``SeedSequence`` — used as-is (the caller controls reuse).
+    * ``Generator`` — one child is spawned from the generator's
+      underlying seed sequence.  Spawning advances the generator's
+      spawn counter (not its random stream), so successive runs fed the
+      same generator get fresh, independent roots in a deterministic
+      order — the sharded analogue of consuming a shared RNG stream.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    if isinstance(seed, np.random.Generator):
+        seed_seq = getattr(seed.bit_generator, "seed_seq", None)
+        if isinstance(seed_seq, np.random.SeedSequence):
+            return seed_seq.spawn(1)[0]
+        # Exotic bit generators without a SeedSequence: fall back to
+        # drawing entropy from the stream (deterministic per state).
+        return np.random.SeedSequence(int(seed.integers(2 ** 63)))
+    return np.random.SeedSequence(int(seed))
+
+
+def shard_sequence(
+    root: np.random.SeedSequence, shard: int
+) -> np.random.SeedSequence:
+    """Child seed sequence of shard ``shard`` — random access.
+
+    Equivalent to ``root.spawn(shard + 1)[shard]`` but without mutating
+    ``root``'s spawn counter, so shards can be (re)derived in any
+    order: a child's identity is entirely its ``spawn_key``.
+    """
+    if shard < 0:
+        raise ValueError("shard index must be non-negative")
+    return np.random.SeedSequence(
+        entropy=root.entropy,
+        spawn_key=root.spawn_key + (int(shard),),
+        pool_size=root.pool_size,
+    )
+
+
+def shard_streams(
+    root: np.random.SeedSequence, shard: int
+) -> tuple[np.random.Generator, np.random.Generator]:
+    """The ``(sampling, decoder)`` generator pair of one shard."""
+    sample_child, decoder_child = shard_sequence(root, shard).spawn(2)
+    return (
+        np.random.default_rng(sample_child),
+        np.random.default_rng(decoder_child),
+    )

@@ -110,20 +110,38 @@ def simulate_stream(service_times, period: float) -> StreamingReport:
 
     n = service.size
     arrivals = np.arange(n) * period
-    finish = np.empty(n)
-    waits = np.empty(n)
-    prev_finish = 0.0
-    for i in range(n):
-        start = max(arrivals[i], prev_finish)
-        waits[i] = start - arrivals[i]
-        prev_finish = start + service[i]
-        finish[i] = prev_finish
+
+    # Lindley recursion, vectorised.  With ``C_i = cumsum(service)``
+    # (so ``C_{i-1}`` is the shifted cumulative sum ``offset``),
+    #
+    #   start_i = max(arrival_i, finish_{i-1})
+    #           = max_{j <= i}(arrival_j + C_{i-1} - C_{j-1})
+    #           = max.accumulate(arrivals - offset)_i + offset_i,
+    #
+    # which replaces the per-task Python loop with three array passes.
+    csum = np.cumsum(service)
+    offset = np.concatenate(([0.0], csum[:-1]))
+    starts = np.maximum.accumulate(arrivals - offset) + offset
+    # Clamp: reassociating the cumulative sums can leave an idle-server
+    # wait a few ulp below the loop's exact 0.0 (never above — the
+    # prefix max includes j = i).  Exact-arithmetic inputs are
+    # unaffected, preserving bit-equality with the sequential loop.
+    waits = np.maximum(starts - arrivals, 0.0)
+    finish = arrivals + waits + service
 
     # Backlog at arrival i: tasks arrived up to and including i whose
-    # decode has not finished by that instant.
-    backlog = np.array(
-        [int(np.sum(finish[: i + 1] > arrivals[i])) for i in range(n)]
-    )
+    # decode has not finished by that instant.  ``finish`` is
+    # non-decreasing (single FIFO server), so counting ``finish_j >
+    # arrival_i`` over ``j <= i`` is a binary search: of the ``i + 1``
+    # arrived tasks, ``searchsorted(finish, arrival_i, "right")`` have
+    # finished (tasks after ``i`` cannot — they arrive strictly later
+    # than ``arrival_i`` and finish no earlier than they arrive).  The
+    # old per-arrival scan was O(n^2) and dominated long streaming
+    # runs.
+    backlog = (
+        np.arange(1, n + 1)
+        - np.searchsorted(finish, arrivals, side="right")
+    ).astype(np.int64)
     return StreamingReport(
         period=float(period), service=service, waits=waits, backlog=backlog
     )

@@ -67,6 +67,21 @@ class TestConfig:
         monkeypatch.setenv("REPRO_FULL_ROUNDS", "1")
         assert full_rounds(18, 6) == 18
 
+    def test_bench_shard_timeout_default(self, monkeypatch):
+        from repro.bench.config import bench_shard_timeout
+        from repro.sim.engine import DEFAULT_SHARD_TIMEOUT
+
+        monkeypatch.delenv("REPRO_SHARD_TIMEOUT", raising=False)
+        assert bench_shard_timeout() == DEFAULT_SHARD_TIMEOUT
+
+    def test_bench_shard_timeout_env(self, monkeypatch):
+        from repro.bench.config import bench_shard_timeout
+
+        monkeypatch.setenv("REPRO_SHARD_TIMEOUT", "1800")
+        assert bench_shard_timeout() == 1800.0
+        monkeypatch.setenv("REPRO_SHARD_TIMEOUT", "0")
+        assert bench_shard_timeout() is None
+
     def test_bench_rng_deterministic(self):
         a = bench_rng("x").integers(0, 2**31)
         b = bench_rng("x").integers(0, 2**31)

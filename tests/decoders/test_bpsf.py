@@ -141,3 +141,64 @@ class TestStrategies:
         expected1 = (h[:, 1] + h[:, 2]) % 2
         assert np.array_equal(flipped[0], expected0.astype(np.uint8))
         assert np.array_equal(flipped[1], expected1.astype(np.uint8))
+
+    def test_trial_syndromes_match_per_trial_loop(self, coprime_problem):
+        """The fancy-indexed flip-matrix build equals the old row loop."""
+        dec = BPSFDecoder(coprime_problem, max_iter=5, phi=8, w_max=3,
+                          strategy="exhaustive")
+        rng = np.random.default_rng(17)
+        syndrome = rng.integers(
+            0, 2, coprime_problem.n_checks, dtype=np.uint8
+        )
+        n = coprime_problem.n_mechanisms
+        trials = [
+            tuple(sorted(rng.choice(n, size=w, replace=False)))
+            for w in (1, 1, 2, 3, 5)
+        ]
+        from repro._matrix import mod2_right_mul
+
+        flips = np.zeros((len(trials), n), dtype=np.uint8)
+        for row, trial in enumerate(trials):
+            flips[row, list(trial)] = 1
+        expected = syndrome[None, :] ^ mod2_right_mul(
+            flips, coprime_problem.check_matrix
+        )
+        assert np.array_equal(
+            dec.trial_syndromes(syndrome, trials), expected
+        )
+
+
+class TestBatchTimeAttribution:
+    """Regression: batch wall time must not be smeared uniformly."""
+
+    def test_time_proportional_to_iterations(self, coprime_problem, rng):
+        import time
+
+        dec = BPSFDecoder(coprime_problem, max_iter=10, phi=8, w_max=2,
+                          strategy="exhaustive")
+        errors = coprime_problem.sample_errors(96, rng)
+        start = time.perf_counter()
+        batch = dec.decode_many(coprime_problem.syndromes(errors))
+        outer = time.perf_counter() - start
+        # Shots that needed post-processing must be charged more than
+        # shots the initial BP solved (the Fig. 15 distribution shape).
+        assert batch.n_post > 0
+        assert batch.time_seconds.std() > 0
+        assert np.allclose(
+            batch.time_seconds / batch.time_seconds.sum(),
+            batch.iterations / batch.iterations.sum(),
+        )
+        # The attribution conserves the measured batch wall time.
+        assert 0 < batch.time_seconds.sum() <= outer
+
+    def test_cheap_shots_charged_less(self, coprime_problem, rng):
+        dec = BPSFDecoder(coprime_problem, max_iter=10, phi=8, w_max=2,
+                          strategy="exhaustive")
+        errors = coprime_problem.sample_errors(96, rng)
+        batch = dec.decode_many(coprime_problem.syndromes(errors))
+        post = batch.stage == "post"
+        assert post.any() and (~post).any()
+        assert (
+            batch.time_seconds[post].mean()
+            > batch.time_seconds[~post].mean()
+        )

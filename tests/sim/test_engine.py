@@ -1,0 +1,272 @@
+"""Parity + accounting suite for the sharded experiment engine.
+
+The contract under test: for a fixed master seed, the merged result of
+``run_ler_parallel`` is *bit-identical* for every worker count —
+failures, shots, stage counters and the per-shot iteration columns —
+because shard seeding and the adaptive stopping rule depend only on
+the shard index, never on scheduling.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codes import get_code, surface_code
+from repro.decoders import BPSFDecoder
+from repro.decoders.registry import get_decoder
+from repro.noise import code_capacity_problem
+from repro.sim import (
+    MonteCarloResult,
+    run_ler,
+    run_ler_parallel,
+    run_root,
+    run_sweep,
+    shard_sequence,
+)
+from repro.sim.engine import shard_sizes
+
+
+@pytest.fixture(scope="module")
+def coprime_problem():
+    return code_capacity_problem(get_code("coprime_154_6_16"), 0.06)
+
+
+@pytest.fixture(scope="module")
+def surface_problem():
+    return code_capacity_problem(surface_code(3), 0.12)
+
+
+def _columns(result: MonteCarloResult):
+    return (
+        result.shots,
+        result.failures,
+        result.initial_successes,
+        result.post_processed,
+        result.unconverged,
+    )
+
+
+class TestSeeding:
+    def test_shard_sequence_matches_spawn(self):
+        root = run_root(42)
+        spawned = np.random.SeedSequence(42).spawn(5)
+        for i in range(5):
+            child = shard_sequence(root, i)
+            assert child.spawn_key == spawned[i].spawn_key
+            assert child.entropy == spawned[i].entropy
+
+    def test_random_access_does_not_mutate_root(self):
+        root = run_root(7)
+        shard_sequence(root, 3)
+        shard_sequence(root, 0)
+        assert root.n_children_spawned == 0
+
+    def test_generator_seed_advances_across_runs(self):
+        rng = np.random.default_rng(11)
+        first = run_root(rng)
+        second = run_root(rng)
+        assert first.spawn_key != second.spawn_key
+
+    def test_int_seed_is_stable(self):
+        assert run_root(5).entropy == run_root(5).entropy
+
+    def test_shard_sizes_partition_budget(self):
+        assert shard_sizes(1000, 256) == [256, 256, 256, 232]
+        assert shard_sizes(256, 256) == [256]
+        assert shard_sizes(10, 256) == [10]
+        with pytest.raises(ValueError):
+            shard_sizes(0, 256)
+        with pytest.raises(ValueError):
+            shard_sizes(10, 0)
+
+
+class TestWorkerCountParity:
+    """Identical results for every worker count at a fixed master seed."""
+
+    @pytest.mark.parametrize("n_workers", [2, 3])
+    def test_sampling_decoder_parity(self, coprime_problem, n_workers):
+        # bpsf_sampled draws trial vectors from the decoder RNG during
+        # decoding — the hardest case for cross-process reproducibility.
+        base = run_ler_parallel(
+            coprime_problem, "bpsf_sampled", 384, 123,
+            n_workers=1, shard_shots=96,
+        )
+        result = run_ler_parallel(
+            coprime_problem, "bpsf_sampled", 384, 123,
+            n_workers=n_workers, shard_shots=96,
+        )
+        assert _columns(result) == _columns(base)
+        assert np.array_equal(result.iterations, base.iterations)
+        assert np.array_equal(
+            result.parallel_iterations, base.parallel_iterations
+        )
+
+    def test_run_ler_is_the_single_worker_case(self, coprime_problem):
+        decoder = get_decoder("bpsf_sampled", coprime_problem)
+        serial = run_ler(
+            coprime_problem, decoder, 384, np.random.default_rng(9)
+        )
+        pooled = run_ler_parallel(
+            coprime_problem, "bpsf_sampled", 384,
+            np.random.default_rng(9), n_workers=2,
+        )
+        assert _columns(serial) == _columns(pooled)
+        assert np.array_equal(serial.iterations, pooled.iterations)
+
+    def test_decoder_instance_spec_parity(self, coprime_problem):
+        def fresh():
+            return BPSFDecoder(
+                coprime_problem, max_iter=10, phi=10, w_max=2, n_s=4,
+                strategy="sampled", seed=0,
+            )
+
+        base = run_ler_parallel(
+            coprime_problem, fresh(), 256, 55, n_workers=1,
+        )
+        result = run_ler_parallel(
+            coprime_problem, fresh(), 256, 55, n_workers=2,
+        )
+        assert _columns(result) == _columns(base)
+        assert np.array_equal(result.iterations, base.iterations)
+
+    def test_unpicklable_spec_raises_clearly(self, surface_problem):
+        with pytest.raises(TypeError, match="pickl"):
+            run_ler_parallel(
+                surface_problem,
+                lambda p: get_decoder("min_sum_bp", p),
+                64, 0, n_workers=2,
+            )
+
+
+class TestAdaptiveAllocation:
+    def test_stops_within_one_shard_of_failure_target(
+        self, surface_problem
+    ):
+        result = run_ler_parallel(
+            surface_problem, "min_sum_bp", 100_000, 31,
+            n_workers=2, shard_shots=100, max_failures=20,
+        )
+        assert result.failures >= 20
+        assert result.shots < 100_000
+        # Prefix stopping: the run ends at the first shard whose prefix
+        # reaches the target, so re-running the merged prefix minus its
+        # last shard must be under the target (unless the very first
+        # shard already met it, which is trivially within one shard).
+        if result.shots > 100:
+            trimmed = run_ler_parallel(
+                surface_problem, "min_sum_bp", result.shots - 100, 31,
+                n_workers=1, shard_shots=100,
+            )
+            assert trimmed.failures < 20
+
+    def test_adaptive_stop_is_worker_count_invariant(
+        self, surface_problem
+    ):
+        results = [
+            run_ler_parallel(
+                surface_problem, "min_sum_bp", 50_000, 77,
+                n_workers=k, shard_shots=100, max_failures=15,
+            )
+            for k in (1, 2, 4)
+        ]
+        for other in results[1:]:
+            assert _columns(other) == _columns(results[0])
+            assert np.array_equal(
+                other.iterations, results[0].iterations
+            )
+
+    def test_target_rse_stops_early(self, surface_problem):
+        loose = run_ler_parallel(
+            surface_problem, "min_sum_bp", 100_000, 13,
+            n_workers=1, shard_shots=200, target_rse=0.5,
+        )
+        assert loose.shots < 100_000
+        lo, hi = loose.confidence_interval
+        assert (hi - lo) / (2 * loose.ler) <= 0.5
+
+    def test_tighter_rse_needs_more_shots(self, surface_problem):
+        loose = run_ler_parallel(
+            surface_problem, "min_sum_bp", 20_000, 13,
+            n_workers=1, shard_shots=200, target_rse=0.5,
+        )
+        tight = run_ler_parallel(
+            surface_problem, "min_sum_bp", 20_000, 13,
+            n_workers=1, shard_shots=200, target_rse=0.25,
+        )
+        assert tight.shots > loose.shots
+
+    def test_shot_cap_respected_without_targets(self, surface_problem):
+        result = run_ler_parallel(
+            surface_problem, "min_sum_bp", 500, 3, n_workers=1,
+        )
+        assert result.shots == 500
+
+    def test_validation(self, surface_problem):
+        with pytest.raises(ValueError):
+            run_ler_parallel(surface_problem, "min_sum_bp", 0, 1)
+        with pytest.raises(ValueError):
+            run_ler_parallel(
+                surface_problem, "min_sum_bp", 10, 1, n_workers=0
+            )
+        with pytest.raises(ValueError):
+            run_ler_parallel(
+                surface_problem, "min_sum_bp", 10, 1, target_rse=-0.1
+            )
+        with pytest.raises(KeyError):
+            run_ler_parallel(surface_problem, "no_such_decoder", 10, 1)
+
+
+class TestMerge:
+    def test_merge_sums_counters_and_concatenates(self, surface_problem):
+        a = run_ler_parallel(surface_problem, "min_sum_bp", 100, 1)
+        b = run_ler_parallel(surface_problem, "min_sum_bp", 100, 2)
+        merged = MonteCarloResult.merge([a, b])
+        assert merged.shots == 200
+        assert merged.failures == a.failures + b.failures
+        assert np.array_equal(
+            merged.iterations,
+            np.concatenate([a.iterations, b.iterations]),
+        )
+
+    def test_merge_rejects_mismatched_experiments(self, surface_problem):
+        a = run_ler_parallel(surface_problem, "min_sum_bp", 50, 1)
+        b = run_ler_parallel(surface_problem, "bpsf", 50, 1)
+        with pytest.raises(ValueError):
+            MonteCarloResult.merge([a, b])
+        with pytest.raises(ValueError):
+            MonteCarloResult.merge([])
+
+    def test_merge_single_chunk_is_identity(self, surface_problem):
+        a = run_ler_parallel(surface_problem, "min_sum_bp", 50, 1)
+        assert MonteCarloResult.merge([a]) is a
+
+
+class TestRunSweep:
+    def test_sweep_matches_individual_points(self, surface_problem):
+        sweep = run_sweep(
+            {
+                "bp": (surface_problem, "min_sum_bp"),
+                "bpsf": (surface_problem, "bpsf"),
+            },
+            200, 21, n_workers=2,
+        )
+        assert set(sweep) == {"bp", "bpsf"}
+        # Each point must match a standalone run at that point's
+        # master-seed child.
+        roots = run_root(21).spawn(2)
+        solo = run_ler_parallel(
+            surface_problem, "min_sum_bp", 200, roots[0], n_workers=1
+        )
+        assert _columns(sweep["bp"]) == _columns(solo)
+        assert np.array_equal(sweep["bp"].iterations, solo.iterations)
+
+    def test_sweep_rejects_duplicate_labels(self, surface_problem):
+        with pytest.raises(ValueError):
+            run_sweep(
+                [
+                    ("x", surface_problem, "min_sum_bp"),
+                    ("x", surface_problem, "bpsf"),
+                ],
+                50, 1,
+            )
+        with pytest.raises(ValueError):
+            run_sweep([], 50, 1)

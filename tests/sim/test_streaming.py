@@ -130,6 +130,75 @@ class TestSimulateStream:
         assert np.all(report.waits >= 0)
 
 
+def _reference_stream(service, period):
+    """The pre-vectorisation per-task loop (O(n^2) backlog scan)."""
+    service = np.asarray(service, dtype=np.float64).reshape(-1)
+    n = service.size
+    arrivals = np.arange(n) * period
+    finish = np.empty(n)
+    waits = np.empty(n)
+    prev_finish = 0.0
+    for i in range(n):
+        start = max(arrivals[i], prev_finish)
+        waits[i] = start - arrivals[i]
+        prev_finish = start + service[i]
+        finish[i] = prev_finish
+    backlog = np.array(
+        [int(np.sum(finish[: i + 1] > arrivals[i])) for i in range(n)]
+    )
+    return waits, backlog
+
+
+class TestVectorisedStreamMatchesReference:
+    """Regression: the maximum.accumulate/searchsorted recursion must
+    reproduce the old per-task loop exactly."""
+
+    @settings(deadline=None, max_examples=30)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_bit_equal_on_dyadic_service_times(self, seed):
+        # Dyadic rationals make every float operation exact, so the
+        # reassociated cumulative-sum arithmetic is bit-identical to
+        # the sequential loop, not merely close.
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 150))
+        service = rng.integers(0, 1 << 20, size=n).astype(np.float64) / 64
+        period = float(rng.integers(1, 1 << 12)) / 16
+        report = simulate_stream(service, period)
+        waits, backlog = _reference_stream(service, period)
+        assert np.array_equal(report.waits, waits)
+        assert np.array_equal(report.backlog, backlog)
+
+    @settings(deadline=None, max_examples=30)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_matches_reference_on_random_floats(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 150))
+        service = rng.exponential(1.3, size=n)
+        period = float(rng.uniform(0.1, 3.0))
+        report = simulate_stream(service, period)
+        waits, backlog = _reference_stream(service, period)
+        assert np.allclose(report.waits, waits, rtol=1e-12, atol=1e-12)
+        assert np.array_equal(report.backlog, backlog)
+
+    def test_zero_service_times(self):
+        report = simulate_stream([0.0, 0.0, 1.0, 0.0], period=1.0)
+        waits, backlog = _reference_stream([0.0, 0.0, 1.0, 0.0], 1.0)
+        assert np.array_equal(report.waits, waits)
+        assert np.array_equal(report.backlog, backlog)
+
+    def test_long_stream_stays_fast(self):
+        # 50k tasks: the old O(n^2) scan took minutes; the vectorised
+        # path must finish essentially instantly.
+        import time
+
+        rng = np.random.default_rng(0)
+        service = rng.exponential(1.0, size=50_000)
+        start = time.perf_counter()
+        report = simulate_stream(service, period=1.0)
+        assert time.perf_counter() - start < 2.0
+        assert report.n_tasks == 50_000
+
+
 class TestRunStreaming:
     @pytest.fixture(scope="class")
     def problem(self):

@@ -40,6 +40,40 @@ class TestCommands:
         assert "logical error rate" in out
         assert "shot   0" in out
 
+    def test_ler_runs_engine(self, capsys):
+        assert main(["ler", "surface_3", "--p", "0.08", "--shots", "200",
+                     "--decoder", "min_sum_bp", "--workers", "2",
+                     "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "LER=" in out
+        assert "workers=2" in out
+
+    def test_ler_is_worker_count_reproducible(self, capsys):
+        argv = ["ler", "surface_3", "--p", "0.08", "--shots", "200",
+                "--decoder", "min_sum_bp", "--seed", "4"]
+        assert main(argv + ["--workers", "1"]) == 0
+        serial = capsys.readouterr().out.splitlines()[0]
+        assert main(argv + ["--workers", "2"]) == 0
+        pooled = capsys.readouterr().out.splitlines()[0]
+        assert serial == pooled
+
+    def test_ler_rejects_unknown_decoder(self, capsys):
+        assert main(["ler", "surface_3", "--decoder", "nope"]) == 2
+        assert "unknown decoder" in capsys.readouterr().err
+
+    def test_ler_rejects_unknown_code(self, capsys):
+        assert main(["ler", "no_such_code"]) == 2
+        assert "unknown code" in capsys.readouterr().err
+
+    def test_ler_rejects_bad_workers(self, capsys):
+        assert main(["ler", "surface_3", "--workers", "0"]) == 2
+        assert "must be positive" in capsys.readouterr().err
+
+    def test_ler_explains_missing_rounds(self, capsys):
+        # gb_254_28 has no recorded distance, so --circuit needs --rounds.
+        assert main(["ler", "gb_254_28", "--circuit"]) == 2
+        assert "cannot build problem" in capsys.readouterr().err
+
     def test_analyze_reports_structure(self, capsys):
         assert main(["analyze", "bb_72_12_6", "--shots", "40",
                      "--p", "0.1", "--max-reports", "2"]) == 0
@@ -68,6 +102,23 @@ class TestCommands:
 
 
 class TestNewParsers:
+    def test_ler_defaults(self):
+        args = build_parser().parse_args(["ler", "bb_144_12_12"])
+        assert args.decoder == "bpsf"
+        assert args.workers == 1
+        assert args.target_rse is None
+        assert args.max_failures is None
+
+    def test_ler_engine_flags(self):
+        args = build_parser().parse_args(
+            ["ler", "bb_144_12_12", "--workers", "8",
+             "--target-rse", "0.1", "--circuit", "--rounds", "4"]
+        )
+        assert args.workers == 8
+        assert args.target_rse == 0.1
+        assert args.circuit
+        assert args.rounds == 4
+
     def test_analyze_defaults(self):
         args = build_parser().parse_args(["analyze", "bb_72_12_6"])
         assert args.p == 0.08

@@ -19,6 +19,8 @@ from repro import (
     run_ler,
 )
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def bb72_circuit():

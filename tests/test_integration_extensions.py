@@ -21,6 +21,8 @@ from repro.decoders import (
 )
 from repro.sim import run_ler, simulate_stream
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def circuit_problem():
