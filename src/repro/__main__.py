@@ -7,9 +7,10 @@ Subcommands:
   (``python -m repro run fig5 fig12``; ``run all`` for everything);
 * ``decode <code> [--p P] [--shots N]`` — quick decode demo printing
   per-shot BP-SF outcomes;
-* ``ler <code> [--decoder NAME] [--workers K] [--target-rse R]`` —
-  logical-error-rate estimation through the sharded multi-process
-  experiment engine (seed-reproducible for any worker count);
+* ``ler <code> [--decoder NAME] [--workers K] [--target-rse R]
+  [--backend B]`` — logical-error-rate estimation through the sharded
+  multi-process experiment engine (seed-reproducible for any worker
+  count and BP kernel backend);
 * ``analyze <code>`` — Tanner-graph / trapping-set census and an
   oscillation-cluster report from live BP failures (Sec. III);
 * ``stream <code> [--rounds R]`` — streaming-queue simulation under
@@ -82,7 +83,8 @@ def _cmd_decode(args) -> int:
 def _cmd_ler(args) -> int:
     from repro.circuits import circuit_level_problem
     from repro.codes import get_code, list_codes
-    from repro.decoders.registry import DECODER_REGISTRY
+    from repro.decoders.kernels import KERNEL_BACKENDS, resolve_backend
+    from repro.decoders.registry import DECODER_REGISTRY, make_decoder_factory
     from repro.noise import code_capacity_problem
     from repro.sim import run_ler_parallel
     from repro.sim.engine import DEFAULT_SHARD_TIMEOUT
@@ -98,6 +100,15 @@ def _cmd_ler(args) -> int:
         print(
             f"unknown code {args.code!r}; "
             f"one of {', '.join(list_codes())}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        backend = resolve_backend(args.backend)
+    except ValueError:
+        print(
+            f"unknown backend {args.backend!r}; "
+            f"one of auto, {', '.join(sorted(KERNEL_BACKENDS))}",
             file=sys.stderr,
         )
         return 2
@@ -120,9 +131,12 @@ def _cmd_ler(args) -> int:
         print(f"cannot build problem for {args.code!r}: {exc}",
               file=sys.stderr)
         return 2
+    # A picklable factory (not a bare name) so worker processes build
+    # the decoder with the *selected* backend — sharded runs stay
+    # bit-identical across backends and worker counts.
     result = run_ler_parallel(
         problem,
-        args.decoder,
+        make_decoder_factory(args.decoder, backend=backend),
         args.shots,
         args.seed,
         n_workers=args.workers,
@@ -253,6 +267,11 @@ def build_parser() -> argparse.ArgumentParser:
     ler.add_argument("code", help="registry name, e.g. bb_144_12_12")
     ler.add_argument("--decoder", default="bpsf",
                      help="decoder registry name (default bpsf)")
+    ler.add_argument("--backend", default="auto",
+                     help="BP kernel backend: auto, reference or fused "
+                          "(default auto; all backends are "
+                          "bit-identical — see README 'Kernel "
+                          "backends')")
     ler.add_argument("--p", type=float, default=0.05,
                      help="physical error rate (default 0.05)")
     ler.add_argument("--circuit", action="store_true",

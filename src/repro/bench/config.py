@@ -18,6 +18,7 @@ __all__ = [
     "scaled_shots",
     "full_rounds",
     "bench_rng",
+    "bench_backend",
     "bench_workers",
     "bench_shard_timeout",
 ]
@@ -51,6 +52,20 @@ def bench_workers() -> int:
     only the wall clock does.
     """
     return max(1, int(os.environ.get("REPRO_WORKERS", "1")))
+
+
+def bench_backend() -> str:
+    """Resolved BP kernel backend for this benchmark run.
+
+    ``REPRO_BP_BACKEND`` (``auto``/``reference``/``fused``) selects the
+    :mod:`repro.decoders.kernels` backend every BP decoder in the run
+    is built with.  Backends are bit-identical, so table values never
+    change — only the wall clock does.  An unknown value fails fast
+    here rather than mid-sweep.
+    """
+    from repro.decoders.kernels import resolve_backend
+
+    return resolve_backend(os.environ.get("REPRO_BP_BACKEND", "auto"))
 
 
 def bench_shard_timeout() -> float | None:

@@ -9,15 +9,18 @@ restore paper scale with the same harness.
 
 from __future__ import annotations
 
+import os
 from typing import Callable
 
 from repro.bench.config import (
+    bench_backend,
     bench_rng,
     bench_shard_timeout,
     bench_workers,
     full_rounds,
     scaled_shots,
 )
+from repro.decoders.kernels import use_backend
 from repro.bench.paper_reference import PAPER_REFERENCE
 from repro.bench.tables import ExperimentTable
 from repro.circuits import circuit_level_problem
@@ -63,20 +66,28 @@ def ler_experiment(
     (``REPRO_WORKERS``, see :func:`bench_workers`) pays pool startup
     once and workers cache each cell's decoder.  Results are
     seed-reproducible for any worker count.
+
+    Every cell's decoder is built under the configured BP kernel
+    backend (``REPRO_BP_BACKEND``, see :func:`bench_backend`) *in this
+    process* and shipped to workers as a pickled instance, so sharded
+    runs use the selected backend on every worker — and stay
+    bit-identical across backends, since backends are.
     """
     rng = bench_rng(experiment_id)
     workers = bench_workers()
+    backend = bench_backend()
     table = ExperimentTable(
         experiment_id=experiment_id,
         title=title,
         columns=["code", "p", "decoder", "shots", "fails", "LER",
                  "LER/round", "avg_it", "post%"],
     )
-    cells = [
-        ((code_label, p, decoder_label), problem, factory(problem))
-        for code_label, p, problem in problems
-        for decoder_label, factory in decoders.items()
-    ]
+    with use_backend(backend):
+        cells = [
+            ((code_label, p, decoder_label), problem, factory(problem))
+            for code_label, p, problem in problems
+            for decoder_label, factory in decoders.items()
+        ]
     results = run_sweep(
         cells, shots, rng, n_workers=workers,
         shard_timeout=bench_shard_timeout(),
@@ -94,6 +105,8 @@ def ler_experiment(
         table.notes.append("paper: " + reference["claim"])
     for key, value in reference.get("anchors", {}).items():
         table.notes.append(f"paper anchor: {key} = {value}")
+    if os.environ.get("REPRO_BP_BACKEND"):
+        table.notes.append(f"BP kernel backend: {backend}")
     return table
 
 

@@ -23,15 +23,25 @@ from repro.decoders.gpu_model import (
     GPUEstimatedBPSF,
     GPULatencyModel,
 )
+from repro.decoders.kernels import (
+    KERNEL_BACKENDS,
+    BPKernel,
+    resolve_backend,
+    use_backend,
+)
 from repro.decoders.layered import LayeredMinSumBP, check_conflict_layers
 from repro.decoders.membp import MemoryMinSumBP, disordered_gammas
 from repro.decoders.osd import OrderedStatisticsDecoder
 from repro.decoders.parallel import ParallelBPSFDecoder
-from repro.decoders.registry import DECODER_REGISTRY, get_decoder
+from repro.decoders.registry import (
+    DECODER_REGISTRY,
+    get_decoder,
+    make_decoder_factory,
+)
 from repro.decoders.relay import RelayBP
 from repro.decoders.selectors import SELECTORS, get_selector
 from repro.decoders.sum_product import SumProductBP
-from repro.decoders.tanner import TannerEdges
+from repro.decoders.tanner import TannerEdges, shared_tanner_edges
 from repro.decoders.trial_vectors import (
     exhaustive_trials,
     sampled_trials,
@@ -47,6 +57,11 @@ __all__ = [
     "DampingSchedule",
     "DECODER_REGISTRY",
     "get_decoder",
+    "make_decoder_factory",
+    "BPKernel",
+    "KERNEL_BACKENDS",
+    "resolve_backend",
+    "use_backend",
     "MinSumBP",
     "BPOSDDecoder",
     "BPSFDecoder",
@@ -67,6 +82,7 @@ __all__ = [
     "get_selector",
     "SumProductBP",
     "TannerEdges",
+    "shared_tanner_edges",
     "exhaustive_trials",
     "sampled_trials",
     "top_oscillating_bits",

@@ -20,9 +20,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro._matrix import mod2_right_mul
 from repro.decoders.base import BatchDecodeResult, DecodeResult, Decoder
-from repro.decoders.tanner import TannerEdges
+from repro.decoders.kernels import make_kernel, resolve_backend
+from repro.decoders.tanner import shared_tanner_edges
 from repro.problem import DecodingProblem
 
 __all__ = ["BPBatchResult", "DampingSchedule", "MinSumBP"]
@@ -89,6 +89,13 @@ class MinSumBP(Decoder):
         Accumulate per-bit flip counters (needed by BP-SF).
     batch_size:
         Internal chunk size for batched decoding (memory knob).
+    backend:
+        Inner-loop kernel backend: ``"reference"``, ``"fused"`` or
+        ``"auto"``/``None`` (defer to an active
+        :func:`repro.decoders.kernels.use_backend` scope, then the
+        ``REPRO_BP_BACKEND`` environment variable, then the default).
+        All backends are bit-identical; see
+        :mod:`repro.decoders.kernels`.
     """
 
     def __init__(
@@ -101,6 +108,7 @@ class MinSumBP(Decoder):
         track_oscillations: bool = False,
         dtype=np.float32,
         batch_size: int = 32,
+        backend: str | None = None,
     ):
         if max_iter < 1:
             raise ValueError("max_iter must be at least 1")
@@ -114,7 +122,12 @@ class MinSumBP(Decoder):
         self.track_oscillations = bool(track_oscillations)
         self.dtype = dtype
         self.batch_size = int(batch_size)
-        self.edges = TannerEdges(problem.check_matrix)
+        self.edges = shared_tanner_edges(problem.check_matrix)
+        self.backend = resolve_backend(backend)
+        self._kernel = make_kernel(
+            self.backend, self.edges, problem.check_matrix,
+            clamp=self.clamp, dtype=dtype,
+        )
         self._prior_llr = problem.llr_priors().astype(dtype)
 
     # -- public API -----------------------------------------------------
@@ -294,9 +307,20 @@ class MinSumBP(Decoder):
         groups: np.ndarray | None = None,
         max_iter: int | None = None,
     ) -> BPBatchResult:
-        edges = self.edges
+        """Decode one chunk through the kernel backend.
+
+        The loop owns scheduling, damping, convergence retirement and
+        the ``stop_groups`` semantics; every array-heavy step (message
+        updates, hard decision, parity check, active-state compaction)
+        is delegated to ``self._kernel`` so backends can trade
+        allocation strategy without touching decode semantics.  The
+        ``_iteration_prior`` / ``_check_update`` / ``_variable_update``
+        hooks stay on the decoder, so Mem-BP and sum-product subclasses
+        work identically on every backend.
+        """
+        kernel = self._kernel
         batch = syndromes.shape[0]
-        n = edges.n_vars
+        n = self.edges.n_vars
         if max_iter is None:
             max_iter = self.max_iter
         if prior is None:
@@ -312,13 +336,11 @@ class MinSumBP(Decoder):
             if self.track_oscillations else None
         )
 
-        # Active-state arrays (compacted as shots converge).
+        # Active-state arrays (compacted as shots converge).  The
+        # kernel owns the syndrome context and message buffers; the
+        # loop keeps the row-index map and the oscillation counters.
         index = np.arange(batch)
-        synd = syndromes
-        sign_syn = (1.0 - 2.0 * synd[:, edges.edge_check]).astype(self.dtype)
-        v2c = np.broadcast_to(
-            prior[:, edges.edge_var], (batch, edges.n_edges)
-        ).copy()
+        v2c = kernel.start(syndromes, prior)
         prev_hard = np.zeros((batch, n), dtype=np.uint8)
         flips = (
             np.zeros((batch, n), dtype=np.int32)
@@ -329,16 +351,15 @@ class MinSumBP(Decoder):
         for it in range(1, max_iter + 1):
             alpha = self.damping.alpha(it)
             prior_it = self._iteration_prior(prior, marg, it)
-            c2v = self._check_update(v2c, sign_syn, alpha)
+            c2v = self._check_update(v2c, kernel.sign_syn, alpha)
             marg, v2c = self._variable_update(c2v, prior_it)
-            hard = (marg <= 0).astype(np.uint8)
+            hard = kernel.hard_decision(marg)
 
             if flips is not None and it > 1:
                 flips += hard ^ prev_hard
             prev_hard = hard
 
-            syn_hat = mod2_right_mul(hard, self.problem.check_matrix)
-            done = ~np.any(syn_hat ^ synd, axis=1)
+            done = kernel.converged(hard)
             if done.any():
                 done_idx = index[done]
                 errors[done_idx] = hard[done]
@@ -367,9 +388,7 @@ class MinSumBP(Decoder):
                         errors, converged, iterations, marginals, flips_out
                     )
                 index = index[keep]
-                synd = synd[keep]
-                sign_syn = sign_syn[keep]
-                v2c = v2c[keep]
+                v2c = kernel.compact(v2c, keep)
                 prev_hard = prev_hard[keep]
                 if flips is not None:
                     flips = flips[keep]
@@ -396,37 +415,16 @@ class MinSumBP(Decoder):
         return prior
 
     def _check_update(self, v2c, sign_syn, alpha) -> np.ndarray:
-        """Normalised min-sum check-node update (Eq. 6)."""
-        edges = self.edges
-        starts = edges.check_starts
-        seg = edges.edge_segment
+        """Normalised min-sum check-node update (Eq. 6).
 
-        neg = v2c < 0
-        magnitude = np.abs(v2c)
-        parity = np.bitwise_xor.reduceat(neg, starts, axis=1)
-        min1 = np.minimum.reduceat(magnitude, starts, axis=1)
-        min1_e = min1[:, seg]
-        is_min = magnitude == min1_e
-        masked = np.where(is_min, np.inf, magnitude)
-        min2 = np.minimum.reduceat(masked, starts, axis=1)
-        n_min = np.add.reduceat(is_min, starts, axis=1)
-        use_second = is_min & (n_min[:, seg] == 1)
-        others_min = np.where(use_second, min2[:, seg], min1_e)
-        others_min = np.minimum(others_min, self.clamp)
-        sign = 1.0 - 2.0 * (parity[:, seg] ^ neg)
-        return (alpha * others_min * sign * sign_syn).astype(self.dtype)
+        Subclass hook: sum-product BP replaces this with the exact
+        tanh rule; the default delegates to the kernel backend.
+        """
+        return self._kernel.check_update(v2c, sign_syn, alpha)
 
     def _variable_update(self, c2v, prior) -> tuple[np.ndarray, np.ndarray]:
         """Marginals (Eq. 7) and next variable-to-check messages (Eq. 5)."""
-        edges = self.edges
-        c2v_v = c2v[:, edges.to_var_order]
-        sums = np.add.reduceat(c2v_v, edges.var_starts, axis=1)
-        marg = prior + edges.scatter_var_sums(sums)
-        v2c_v = marg[:, edges.edge_var_sorted] - c2v_v
-        v2c = np.empty_like(c2v)
-        v2c[:, edges.to_var_order] = v2c_v
-        np.clip(v2c, -self.clamp, self.clamp, out=v2c)
-        return marg, v2c
+        return self._kernel.variable_update(c2v, prior)
 
 
 def _concat_results(chunks: list[BatchDecodeResult]) -> BatchDecodeResult:

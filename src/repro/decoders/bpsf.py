@@ -143,6 +143,12 @@ class BPSFDecoder(Decoder):
         since retired trials never report their own counts).
     layered:
         Use the layered schedule for both the initial and trial BP.
+    backend:
+        Kernel backend for the inner BP (``"reference"``/``"fused"``/
+        ``"auto"``; see :mod:`repro.decoders.kernels`).  Forwarded to
+        both the initial and trial decoders when the inner BP is a
+        :class:`~repro.decoders.bp.MinSumBP` subclass; the layered
+        schedule has its own update structure and ignores the knob.
     seed:
         Seed for the trial-sampling RNG (sampled strategy).
     candidate_selector:
@@ -164,6 +170,7 @@ class BPSFDecoder(Decoder):
         selection: str = "serial",
         damping: str | float = "adaptive",
         layered: bool = False,
+        backend: str | None = None,
         seed: int = 0,
         bp_kwargs: dict | None = None,
         candidate_selector=None,
@@ -188,6 +195,8 @@ class BPSFDecoder(Decoder):
         # oscillate — pass e.g. SumProductBP or MemoryMinSumBP here.
         if bp_cls is None:
             bp_cls = LayeredMinSumBP if layered else MinSumBP
+        if backend is not None and issubclass(bp_cls, MinSumBP):
+            kwargs["backend"] = backend
         self.bp_initial = bp_cls(
             problem,
             max_iter=max_iter,

@@ -1,0 +1,47 @@
+"""Pluggable BP kernel backends (the ROADMAP's GPU-seam, CPU-first).
+
+``MinSumBP`` (and its Mem-BP / sum-product / BP-SF-inner subclasses)
+delegate their inner loop to a :class:`BPKernel`:
+
+* ``"reference"`` — :class:`ReferenceKernel`, the historical allocating
+  reduceat implementation with a sparse-matmul parity check;
+* ``"fused"`` — :class:`FusedKernel`, one preallocated per-chunk
+  workspace reused across iterations plus an edge-domain
+  ``bitwise_xor.reduceat`` parity check;
+* ``"auto"`` (default) — defer to :func:`use_backend` /
+  ``REPRO_BP_BACKEND`` / the built-in default (``fused``).
+
+Backends are bit-identical (enforced by
+``tests/decoders/test_kernel_parity.py``); the knob exists for
+debugging, benchmarking (``benchmarks/test_kernel_backends.py``) and as
+the seam a GPU/SIMD kernel plugs into.
+"""
+
+from __future__ import annotations
+
+from repro.decoders.kernels.base import (
+    BACKEND_ENV_VAR,
+    KERNEL_BACKENDS,
+    BPKernel,
+    default_backend,
+    make_kernel,
+    resolve_backend,
+    use_backend,
+)
+from repro.decoders.kernels.fused import FusedKernel
+from repro.decoders.kernels.reference import ReferenceKernel
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "BPKernel",
+    "FusedKernel",
+    "KERNEL_BACKENDS",
+    "ReferenceKernel",
+    "default_backend",
+    "make_kernel",
+    "resolve_backend",
+    "use_backend",
+]
+
+KERNEL_BACKENDS["reference"] = ReferenceKernel
+KERNEL_BACKENDS["fused"] = FusedKernel

@@ -1,0 +1,185 @@
+"""Kernel-backend seam for the flooding BP inner loop.
+
+:class:`~repro.decoders.bp.MinSumBP` runs one generic decode loop
+(scheduling, damping, convergence retirement, ``stop_groups``
+first-success semantics, straggler re-batching) and delegates every
+array-heavy inner-loop step to a :class:`BPKernel`:
+
+* the min-sum check-node update,
+* the variable-node marginal/message update,
+* the hard decision and the per-iteration syndrome parity check,
+* per-chunk state (syndrome sign context, message buffers) and its
+  compaction as shots retire.
+
+Two CPU backends ship today — :class:`~repro.decoders.kernels.reference
+.ReferenceKernel` (the historical allocating implementation) and
+:class:`~repro.decoders.kernels.fused.FusedKernel` (preallocated
+workspace + edge-domain parity check) — and they are **bit-identical**
+by construction; ``tests/decoders/test_kernel_parity.py`` enforces it.
+A GPU/SIMD kernel (the ROADMAP open item) plugs in by implementing the
+same protocol.
+
+Backend selection
+-----------------
+``resolve_backend(None | "auto")`` consults, in order: an active
+:func:`use_backend` override (how the registry threads an explicit
+choice into decoders it builds), the ``REPRO_BP_BACKEND`` environment
+variable, and finally the default (``fused``).  Explicit names
+(``"reference"``/``"fused"``) always win.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.decoders.tanner import TannerEdges
+
+__all__ = [
+    "BPKernel",
+    "KERNEL_BACKENDS",
+    "default_backend",
+    "make_kernel",
+    "resolve_backend",
+    "use_backend",
+]
+
+#: Environment knob read by ``resolve_backend`` (bench config + CLI).
+BACKEND_ENV_VAR = "REPRO_BP_BACKEND"
+
+_BACKEND_OVERRIDE: list[str] = []
+
+
+class BPKernel(ABC):
+    """Inner-loop engine contract for one decode chunk.
+
+    A kernel is bound to a decoder instance (one per
+    :class:`~repro.decoders.bp.MinSumBP`), is (re)initialised per chunk
+    via :meth:`start`, and owns whatever scratch state its strategy
+    needs.  The decode loop guarantees the call order per iteration::
+
+        check_update -> variable_update -> hard_decision -> converged
+
+    with :meth:`compact` between iterations whenever rows retire.  All
+    methods must be *bit-identical* across backends: same floating
+    point reduction order, same dtypes at every step.
+    """
+
+    #: Registry name of the backend ("reference", "fused", ...).
+    name: str = ""
+
+    def __init__(self, edges: TannerEdges, check_matrix, *, clamp, dtype):
+        self.edges = edges
+        self.check_matrix = check_matrix
+        self.clamp = float(clamp)
+        self.dtype = np.dtype(dtype)
+
+    # -- chunk lifecycle ------------------------------------------------
+
+    @abstractmethod
+    def start(self, syndromes: np.ndarray, prior: np.ndarray) -> np.ndarray:
+        """Begin a chunk: set syndrome context, return the initial v2c.
+
+        ``syndromes`` is ``(batch, n_checks)`` uint8; ``prior`` is the
+        ``(1, n)`` or ``(batch, n)`` LLR array.  Returns the initial
+        variable-to-check messages ``prior[:, edge_var]`` as a
+        ``(batch, n_edges)`` array the kernel may own.
+        """
+
+    @property
+    @abstractmethod
+    def sign_syn(self) -> np.ndarray:
+        """Per-edge syndrome signs ``(-1)^{s_c}`` for the live rows."""
+
+    # -- per-iteration steps --------------------------------------------
+
+    @abstractmethod
+    def check_update(self, v2c, sign_syn, alpha) -> np.ndarray:
+        """Normalised min-sum check-node update (paper Eq. 6)."""
+
+    @abstractmethod
+    def variable_update(self, c2v, prior) -> tuple[np.ndarray, np.ndarray]:
+        """Marginals (Eq. 7) and next v2c messages (Eq. 5)."""
+
+    @abstractmethod
+    def hard_decision(self, marg) -> np.ndarray:
+        """Hard decisions ``marg <= 0`` as uint8 ``(batch, n)``."""
+
+    @abstractmethod
+    def converged(self, hard) -> np.ndarray:
+        """Per-row syndrome match ``H @ hard == s (mod 2)`` as bool."""
+
+    # -- retirement -----------------------------------------------------
+
+    @abstractmethod
+    def compact(self, v2c, keep) -> np.ndarray:
+        """Drop retired rows from kernel state; return compacted v2c."""
+
+
+def default_backend() -> str:
+    """The backend used when nothing selects one explicitly."""
+    return "fused"
+
+
+def resolve_backend(backend: str | None = None) -> str:
+    """Resolve a backend request to a concrete kernel name.
+
+    ``None``/``"auto"`` defers to an active :func:`use_backend`
+    override, then ``REPRO_BP_BACKEND``, then :func:`default_backend`.
+    Raises ``ValueError`` for unknown names (including an unknown env
+    value) so misconfiguration fails at decoder construction, not
+    mid-decode.
+    """
+    if backend is None:
+        backend = "auto"
+    if backend == "auto":
+        if _BACKEND_OVERRIDE:
+            backend = _BACKEND_OVERRIDE[-1]
+        else:
+            backend = os.environ.get(BACKEND_ENV_VAR, "auto")
+        if backend == "auto":
+            backend = default_backend()
+    if backend not in KERNEL_BACKENDS:
+        raise ValueError(
+            f"unknown BP kernel backend {backend!r}; one of "
+            f"{'auto, ' + ', '.join(sorted(KERNEL_BACKENDS))}"
+        )
+    return backend
+
+
+@contextmanager
+def use_backend(backend: str):
+    """Scope a default backend for decoders built inside the block.
+
+    Used by the decoder registry (and ultimately the CLI / sharded
+    engine) to thread an explicit backend choice into factories whose
+    signatures predate the knob.  Explicit ``backend=`` arguments on a
+    constructor still win over the override.
+    """
+    resolved = resolve_backend(backend)
+    _BACKEND_OVERRIDE.append(resolved)
+    try:
+        yield resolved
+    finally:
+        _BACKEND_OVERRIDE.pop()
+
+
+def make_kernel(
+    backend: str | None,
+    edges: TannerEdges,
+    check_matrix,
+    *,
+    clamp: float,
+    dtype,
+) -> BPKernel:
+    """Build the kernel for ``backend`` (resolving ``None``/"auto")."""
+    name = resolve_backend(backend)
+    return KERNEL_BACKENDS[name](edges, check_matrix, clamp=clamp, dtype=dtype)
+
+
+# Populated at the bottom of the package __init__ to avoid circular
+# imports; maps backend name -> kernel class.
+KERNEL_BACKENDS: dict[str, type] = {}

@@ -23,7 +23,7 @@ import scipy.sparse as sp
 from repro._matrix import mod2_right_mul
 from repro.decoders.base import DecodeResult, Decoder
 from repro.decoders.bp import BPBatchResult, DampingSchedule, _concat_results
-from repro.decoders.tanner import TannerEdges
+from repro.decoders.tanner import shared_tanner_edges
 from repro.problem import DecodingProblem
 
 __all__ = ["LayeredMinSumBP", "check_conflict_layers"]
@@ -91,7 +91,7 @@ class LayeredMinSumBP(Decoder):
         self.track_oscillations = bool(track_oscillations)
         self.dtype = dtype
         self.batch_size = int(batch_size)
-        self.edges = TannerEdges(problem.check_matrix)
+        self.edges = shared_tanner_edges(problem.check_matrix)
         self._prior_llr = problem.llr_priors().astype(dtype)
         self._layers = self._build_layers()
 

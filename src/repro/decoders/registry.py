@@ -24,13 +24,14 @@ from repro.decoders.bposd import BPOSDDecoder
 from repro.decoders.bpsf import BPSFDecoder
 from repro.decoders.ensemble import PerturbedEnsembleBP, PosteriorFlipDecoder
 from repro.decoders.gdg import GDGDecoder
+from repro.decoders.kernels import use_backend
 from repro.decoders.layered import LayeredMinSumBP
 from repro.decoders.membp import MemoryMinSumBP
 from repro.decoders.relay import RelayBP
 from repro.decoders.sum_product import SumProductBP
 from repro.problem import DecodingProblem
 
-__all__ = ["DECODER_REGISTRY", "get_decoder"]
+__all__ = ["DECODER_REGISTRY", "get_decoder", "make_decoder_factory"]
 
 DecoderFactory = Callable[[DecodingProblem], object]
 
@@ -65,12 +66,59 @@ DECODER_REGISTRY: dict[str, DecoderFactory] = {
 }
 
 
-def get_decoder(name: str, problem: DecodingProblem):
-    """Build the registry decoder ``name`` for ``problem``."""
+def get_decoder(
+    name: str, problem: DecodingProblem, *, backend: str | None = None
+):
+    """Build the registry decoder ``name`` for ``problem``.
+
+    ``backend`` optionally pins the BP kernel backend
+    (``"reference"``/``"fused"``) for every BP instance the factory
+    builds — including inner decoders of composites like BP-SF — via a
+    scoped :func:`repro.decoders.kernels.use_backend` override, so
+    factories whose signatures predate the knob still honour it.
+    """
     try:
         factory = DECODER_REGISTRY[name]
     except KeyError:
         raise KeyError(
             f"unknown decoder {name!r}; one of {sorted(DECODER_REGISTRY)}"
         ) from None
-    return factory(problem)
+    if backend is None:
+        return factory(problem)
+    with use_backend(backend):
+        return factory(problem)
+
+
+class _RegistryFactory:
+    """Picklable ``f(problem) -> Decoder`` carrying a backend choice.
+
+    The sharded experiment engine resolves registry *names* inside each
+    worker process, where a CLI-selected backend would otherwise be
+    lost; shipping this factory instead pins the backend in the worker
+    too, keeping sharded runs bit-identical to serial ones for every
+    backend.
+    """
+
+    def __init__(self, name: str, backend: str | None = None):
+        self.name = name
+        self.backend = backend
+
+    def __call__(self, problem: DecodingProblem):
+        return get_decoder(self.name, problem, backend=self.backend)
+
+    def __repr__(self):
+        return f"_RegistryFactory({self.name!r}, backend={self.backend!r})"
+
+
+def make_decoder_factory(name: str, backend: str | None = None):
+    """A picklable factory for registry decoder ``name``.
+
+    Validates the name eagerly (same ``KeyError`` as
+    :func:`get_decoder`) so misconfiguration fails before any worker
+    pool spins up.
+    """
+    if name not in DECODER_REGISTRY:
+        raise KeyError(
+            f"unknown decoder {name!r}; one of {sorted(DECODER_REGISTRY)}"
+        )
+    return _RegistryFactory(name, backend)

@@ -6,14 +6,24 @@ check-to-variable reduction) and sorted by variable (for the
 variable-side sums) — with a permutation translating between the two
 orders.  All segment reductions use ``numpy.ufunc.reduceat`` over the
 non-empty segments.
+
+Because the index arrays are pure functions of the check matrix (and
+the lexsorts that build them dominate decoder construction), instances
+are shared: :func:`shared_tanner_edges` caches one
+:class:`TannerEdges` per distinct matrix *content*, so BP-SF's
+initial/trial pair, ensemble legs and registry-built decoders on the
+same problem all reuse a single index set.
 """
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
+
 import numpy as np
 import scipy.sparse as sp
 
-__all__ = ["TannerEdges"]
+__all__ = ["TannerEdges", "shared_tanner_edges"]
 
 
 class TannerEdges:
@@ -38,6 +48,21 @@ class TannerEdges:
         self.edge_segment = np.repeat(
             np.arange(self.check_ids.shape[0]), check_deg
         )
+        #: common degree of all non-empty checks, or ``None`` if mixed.
+        #: With a uniform degree the check-sorted edge axis reshapes to
+        #: ``(checks, degree)`` and segment reductions become plain
+        #: contiguous axis reductions (the fused kernel's fast path).
+        self.uniform_check_degree = (
+            int(check_deg[0])
+            if check_deg.size and (check_deg == check_deg[0]).all()
+            else None
+        )
+        #: checks with no edges (their syndrome bit can never be matched)
+        self.empty_check_ids = np.setdiff1d(
+            np.arange(self.n_checks, dtype=np.intp), self.check_ids
+        )
+        #: whether every check has at least one edge
+        self.all_checks_nonempty = self.empty_check_ids.size == 0
 
         # Variable-side order: permutation from check-sorted to var-sorted.
         self.to_var_order = np.lexsort((self.edge_check, self.edge_var))
@@ -48,16 +73,80 @@ class TannerEdges:
         self.edge_var_segment = np.repeat(
             np.arange(self.var_ids.shape[0]), var_deg
         )
+        #: common degree of all non-isolated variables, or ``None``.
+        self.uniform_var_degree = (
+            int(var_deg[0])
+            if var_deg.size and (var_deg == var_deg[0]).all()
+            else None
+        )
         #: variable id of each edge in var-sorted order
         self.edge_var_sorted = var_sorted
+        #: inverse of ``to_var_order``: gathers var-sorted edge values
+        #: back into check-sorted positions without a scatter assignment
+        self.from_var_order = np.empty(self.n_edges, dtype=np.intp)
+        self.from_var_order[self.to_var_order] = np.arange(
+            self.n_edges, dtype=np.intp
+        )
+        #: whether every variable has at least one edge (no isolated
+        #: columns) — lets the variable-side sums skip the scatter
+        self.all_vars_active = self.var_ids.size == self.n_vars
 
     def scatter_var_sums(self, per_var_values: np.ndarray) -> np.ndarray:
         """Expand per-(non-empty)-variable values to the full width.
 
         ``per_var_values`` has shape ``(..., len(var_ids))``; returns
-        ``(..., n_vars)`` with zeros at isolated variables.
+        ``(..., n_vars)`` with zeros at isolated variables.  When every
+        variable has an edge the values already span the full width and
+        are returned as-is (no zeros array, no fancy assignment).
         """
+        if self.all_vars_active:
+            return per_var_values
         shape = per_var_values.shape[:-1] + (self.n_vars,)
         out = np.zeros(shape, dtype=per_var_values.dtype)
         out[..., self.var_ids] = per_var_values
         return out
+
+
+# -- shared-instance cache -------------------------------------------------
+
+# LRU-bounded: a long-lived process sweeping many distinct matrices
+# (figure sweeps, property tests, a decode service) must not accumulate
+# index arrays forever.  The bound comfortably covers every code the
+# repository sweeps in one run; decoders hold their own reference, so
+# eviction never invalidates a live decoder.
+_EDGES_CACHE_MAX = 64
+_EDGES_CACHE: "OrderedDict[tuple, TannerEdges]" = OrderedDict()
+
+
+def _matrix_fingerprint(check_matrix) -> tuple:
+    """Content key for a binary matrix (shape + CSR structure hash)."""
+    if sp.issparse(check_matrix):
+        h = check_matrix.tocsr()
+    else:
+        h = sp.csr_matrix(np.asarray(check_matrix))
+    digest = hashlib.sha1()
+    digest.update(np.ascontiguousarray(h.indptr).tobytes())
+    digest.update(np.ascontiguousarray(h.indices).tobytes())
+    digest.update(np.ascontiguousarray(h.data).tobytes())
+    return (h.shape, h.nnz, digest.hexdigest())
+
+
+def shared_tanner_edges(check_matrix) -> TannerEdges:
+    """A cached :class:`TannerEdges` for this matrix content.
+
+    Keyed on a content hash, so every decoder built on the same check
+    matrix (BP-SF's initial and trial BP, ensemble/relay legs, registry
+    sweeps) shares one set of lexsorted index arrays instead of
+    rebuilding them per instance.  The returned instance is read-only
+    by convention — kernels keep their mutable workspace elsewhere.
+    """
+    key = _matrix_fingerprint(check_matrix)
+    edges = _EDGES_CACHE.get(key)
+    if edges is None:
+        edges = TannerEdges(check_matrix)
+        _EDGES_CACHE[key] = edges
+        if len(_EDGES_CACHE) > _EDGES_CACHE_MAX:
+            _EDGES_CACHE.popitem(last=False)
+    else:
+        _EDGES_CACHE.move_to_end(key)
+    return edges

@@ -82,6 +82,22 @@ class TestConfig:
         monkeypatch.setenv("REPRO_SHARD_TIMEOUT", "0")
         assert bench_shard_timeout() is None
 
+    def test_bench_backend_default(self, monkeypatch):
+        from repro.bench.config import bench_backend
+        from repro.decoders.kernels import resolve_backend
+
+        monkeypatch.delenv("REPRO_BP_BACKEND", raising=False)
+        assert bench_backend() == resolve_backend(None)
+
+    def test_bench_backend_env(self, monkeypatch):
+        from repro.bench.config import bench_backend
+
+        monkeypatch.setenv("REPRO_BP_BACKEND", "reference")
+        assert bench_backend() == "reference"
+        monkeypatch.setenv("REPRO_BP_BACKEND", "not-a-kernel")
+        with pytest.raises(ValueError, match="unknown BP kernel backend"):
+            bench_backend()
+
     def test_bench_rng_deterministic(self):
         a = bench_rng("x").integers(0, 2**31)
         b = bench_rng("x").integers(0, 2**31)

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
-from repro.decoders import TannerEdges
+from repro.decoders import TannerEdges, shared_tanner_edges
 
 
 def binary_matrices(max_rows=8, max_cols=10):
@@ -61,3 +61,78 @@ class TestTannerEdges:
         per_var = np.array([[5.0, 7.0]])
         out = edges.scatter_var_sums(per_var)
         assert out.tolist() == [[5.0, 0.0, 7.0]]
+
+    def test_scatter_var_sums_fast_path_when_all_vars_active(self):
+        h = np.array([[1, 1, 0], [0, 1, 1]], dtype=np.uint8)
+        edges = TannerEdges(sp.csr_matrix(h))
+        assert edges.all_vars_active
+        per_var = np.array([[5.0, 6.0, 7.0]])
+        out = edges.scatter_var_sums(per_var)
+        # No widening needed: the values are returned as-is.
+        assert out is per_var
+
+    @given(binary_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_from_var_order_inverts_to_var_order(self, h):
+        edges = TannerEdges(sp.csr_matrix(h))
+        if edges.n_edges == 0:
+            return
+        values = np.arange(edges.n_edges)
+        var_sorted = values[edges.to_var_order]
+        assert np.array_equal(var_sorted[edges.from_var_order], values)
+
+    @given(binary_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_degree_metadata(self, h):
+        edges = TannerEdges(sp.csr_matrix(h))
+        check_deg = h.sum(axis=1)[h.sum(axis=1) > 0]
+        var_deg = h.sum(axis=0)[h.sum(axis=0) > 0]
+        expect_chk = (
+            int(check_deg[0])
+            if check_deg.size and (check_deg == check_deg[0]).all()
+            else None
+        )
+        expect_var = (
+            int(var_deg[0])
+            if var_deg.size and (var_deg == var_deg[0]).all()
+            else None
+        )
+        assert edges.uniform_check_degree == expect_chk
+        assert edges.uniform_var_degree == expect_var
+        assert edges.all_checks_nonempty == bool((h.sum(axis=1) > 0).all())
+        assert edges.all_vars_active == bool((h.sum(axis=0) > 0).all())
+        empty = np.nonzero(h.sum(axis=1) == 0)[0]
+        assert np.array_equal(edges.empty_check_ids, empty)
+
+
+class TestSharedEdges:
+    def test_same_matrix_object_shares_instance(self):
+        h = sp.csr_matrix(
+            np.array([[1, 1, 0], [0, 1, 1]], dtype=np.uint8)
+        )
+        assert shared_tanner_edges(h) is shared_tanner_edges(h)
+
+    def test_equal_content_shares_instance(self):
+        a = np.array([[1, 0, 1], [1, 1, 0]], dtype=np.uint8)
+        assert shared_tanner_edges(sp.csr_matrix(a)) is shared_tanner_edges(
+            sp.csr_matrix(a.copy())
+        )
+
+    def test_different_content_does_not_share(self):
+        a = np.array([[1, 0, 1], [1, 1, 0]], dtype=np.uint8)
+        b = np.array([[1, 0, 1], [1, 0, 0]], dtype=np.uint8)
+        assert shared_tanner_edges(sp.csr_matrix(a)) is not (
+            shared_tanner_edges(sp.csr_matrix(b))
+        )
+
+    def test_decoders_on_one_problem_share_edges(self):
+        from repro.codes import get_code
+        from repro.decoders import BPSFDecoder, MinSumBP
+        from repro.noise import code_capacity_problem
+
+        problem = code_capacity_problem(get_code("surface_3"), 0.05)
+        bpsf = BPSFDecoder(problem, max_iter=10, phi=4, w_max=1,
+                           strategy="exhaustive")
+        bp = MinSumBP(problem, max_iter=10)
+        assert bpsf.bp_initial.edges is bpsf.bp_trial.edges
+        assert bpsf.bp_initial.edges is bp.edges

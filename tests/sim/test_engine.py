@@ -100,6 +100,30 @@ class TestWorkerCountParity:
             result.parallel_iterations, base.parallel_iterations
         )
 
+    @pytest.mark.parametrize("backend", ["reference", "fused"])
+    def test_backend_propagates_to_worker_shards(
+        self, coprime_problem, backend
+    ):
+        # The factory from make_decoder_factory pins the BP kernel
+        # backend inside each worker; since backends are bit-identical,
+        # every (backend, worker count) combination must merge to the
+        # same result as the serial reference run.
+        from repro.decoders import make_decoder_factory
+
+        base = run_ler_parallel(
+            coprime_problem, make_decoder_factory("bpsf", "reference"),
+            384, 123, n_workers=1, shard_shots=96,
+        )
+        result = run_ler_parallel(
+            coprime_problem, make_decoder_factory("bpsf", backend),
+            384, 123, n_workers=2, shard_shots=96,
+        )
+        assert _columns(result) == _columns(base)
+        assert np.array_equal(result.iterations, base.iterations)
+        assert np.array_equal(
+            result.parallel_iterations, base.parallel_iterations
+        )
+
     def test_run_ler_is_the_single_worker_case(self, coprime_problem):
         decoder = get_decoder("bpsf_sampled", coprime_problem)
         serial = run_ler(

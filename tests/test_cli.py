@@ -69,6 +69,24 @@ class TestCommands:
         assert main(["ler", "surface_3", "--workers", "0"]) == 2
         assert "must be positive" in capsys.readouterr().err
 
+    def test_ler_rejects_unknown_backend(self, capsys):
+        assert main(["ler", "surface_3", "--backend", "warp"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown backend" in err
+        assert "reference" in err and "fused" in err
+
+    def test_ler_is_backend_reproducible(self, capsys):
+        # Backends are bit-identical, so the reported LER line (and the
+        # failure count) must not depend on the kernel — even with the
+        # sharded pool resolving the decoder inside workers.
+        argv = ["ler", "surface_3", "--p", "0.08", "--shots", "200",
+                "--decoder", "min_sum_bp", "--seed", "4"]
+        assert main(argv + ["--backend", "reference"]) == 0
+        reference = capsys.readouterr().out.splitlines()[0]
+        assert main(argv + ["--backend", "fused", "--workers", "2"]) == 0
+        fused = capsys.readouterr().out.splitlines()[0]
+        assert reference == fused
+
     def test_ler_explains_missing_rounds(self, capsys):
         # gb_254_28 has no recorded distance, so --circuit needs --rounds.
         assert main(["ler", "gb_254_28", "--circuit"]) == 2
@@ -108,6 +126,13 @@ class TestNewParsers:
         assert args.workers == 1
         assert args.target_rse is None
         assert args.max_failures is None
+        assert args.backend == "auto"
+
+    def test_ler_backend_flag(self):
+        args = build_parser().parse_args(
+            ["ler", "bb_144_12_12", "--backend", "reference"]
+        )
+        assert args.backend == "reference"
 
     def test_ler_engine_flags(self):
         args = build_parser().parse_args(
