@@ -1,0 +1,74 @@
+"""Declarative sweeps: spec -> persistent store -> tables, resumably.
+
+Builds a small sweep spec programmatically (the TOML files under
+``sweeps/`` parse to the same structure), runs it into an on-disk
+results store, then demonstrates the two properties the layer exists
+for:
+
+* re-running a resolved sweep computes **zero** new shots;
+* raising a point's budget computes only the *missing* shards and
+  merges them into the stored result.
+
+Run:  python examples/sweep_reproduction.py
+"""
+
+import tempfile
+
+from repro.sweeps import (
+    ResultsStore,
+    run_sweep_spec,
+    spec_from_mapping,
+    sweep_tables,
+)
+
+
+def build_spec(shots: int, max_failures=None):
+    """A 2-point sweep: min-sum BP vs BP-SF on the distance-3 surface
+    code at p=10% — laptop-seconds of compute."""
+    return spec_from_mapping({
+        "sweep": {
+            "name": "example",
+            "seed": 5,
+            "shots": shots,
+            "shard_shots": 64,
+            "batch_size": 64,
+            "max_failures": max_failures,
+        },
+        "grid": [{
+            "figure": "demo",
+            "codes": ["surface_3"],
+            "model": "code_capacity",
+            "p": [0.1],
+            "decoders": ["min_sum_bp", "bpsf"],
+        }],
+    })
+
+
+def main() -> None:
+    store = ResultsStore(tempfile.mkdtemp(prefix="sweep-store-"))
+    print(f"store: {store.root}\n")
+
+    # 1. First run: both points are missing -> all shots are computed.
+    spec = build_spec(shots=192)
+    report = run_sweep_spec(spec, store, progress=print)
+    print(f"first run computed {report.new_shots} new shots\n")
+
+    # 2. Same spec again: everything resolves from the store.
+    report = run_sweep_spec(spec, store, progress=print)
+    print(f"re-run computed {report.new_shots} new shots (cached!)\n")
+
+    # 3. Bigger budget + adaptive target: the stored 192-shot prefix is
+    #    extended shard by shard until each point has 30 failures —
+    #    bit-identical to having run the big budget from scratch.
+    grown = build_spec(shots=1024, max_failures=30)
+    report = run_sweep_spec(grown, store, progress=print)
+    print(f"budget growth computed {report.new_shots} new shots "
+          "(only the missing shards)\n")
+
+    # 4. Export the stored results as a benchmark-style table.
+    for table in sweep_tables(grown, store):
+        print(table.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -19,6 +19,7 @@ Subpackages
 ``repro.noise``     code-capacity channel
 ``repro.decoders``  BP, layered BP, OSD, BP-OSD, BP-SF and executors
 ``repro.sim``       Monte-Carlo LER and latency harnesses
+``repro.sweeps``    declarative sweep specs + persistent results store
 ``repro.analysis``  oscillation / iteration / complexity studies
 ``repro.bench``     one experiment runner per paper figure and table
 """

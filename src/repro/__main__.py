@@ -11,6 +11,12 @@ Subcommands:
   [--backend B]`` — logical-error-rate estimation through the sharded
   multi-process experiment engine (seed-reproducible for any worker
   count and BP kernel backend);
+* ``sweep run|show|export <spec.toml>`` — declarative sweep specs
+  with a persistent, content-addressed results store: ``run`` computes
+  only missing/under-resolved points (a re-run computes 0 new shots),
+  ``show`` prints each point's plan without computing, ``export``
+  renders benchmark-style tables or CSV from the store
+  (see ``docs/reproducing-figures.md`` for the figure-by-figure map);
 * ``analyze <code>`` — Tanner-graph / trapping-set census and an
   oscillation-cluster report from live BP failures (Sec. III);
 * ``stream <code> [--rounds R]`` — streaming-queue simulation under
@@ -24,6 +30,25 @@ import argparse
 import sys
 
 import numpy as np
+
+_EPILOG = """\
+subcommand overview:
+  codes                 list registered code constructions
+  run ID [ID...]        regenerate paper figures/tables by experiment id
+  decode CODE           per-shot BP-SF decode demo
+  ler CODE              one LER point via the sharded engine
+                        (--workers/--target-rse/--max-failures/--backend)
+  sweep run SPEC        compute a declarative sweep; resumable — only
+                        missing or under-resolved points cost shots
+  sweep show SPEC       plan a sweep against the store (no compute)
+  sweep export SPEC     tables/CSV from stored results (no compute)
+  analyze CODE          Tanner-graph + oscillation-cluster census
+  stream CODE           streaming-queue simulation (hardware model)
+  hardware              real-time latency budget table
+
+docs: docs/reproducing-figures.md maps every paper figure to its sweep
+spec and command; docs/architecture.md describes the layer stack.
+"""
 
 
 def _cmd_codes(_args) -> int:
@@ -80,6 +105,23 @@ def _cmd_decode(args) -> int:
     return 0
 
 
+def _shard_timeout_arg(value):
+    """Normalize a ``--shard-timeout`` flag shared by ler and sweep run.
+
+    Returns ``(timeout, error)``: ``None`` timeout waits forever (flag
+    value 0), absent flag means the engine default, and a negative
+    value — almost certainly a typo — is an error rather than a silent
+    disabling of the hang watchdog.
+    """
+    from repro.sim.engine import DEFAULT_SHARD_TIMEOUT
+
+    if value is None:
+        return DEFAULT_SHARD_TIMEOUT, None
+    if value < 0:
+        return None, "--shard-timeout must be >= 0 (0 waits forever)"
+    return (value if value > 0 else None), None
+
+
 def _cmd_ler(args) -> int:
     from repro.circuits import circuit_level_problem
     from repro.codes import get_code, list_codes
@@ -87,7 +129,6 @@ def _cmd_ler(args) -> int:
     from repro.decoders.registry import DECODER_REGISTRY, make_decoder_factory
     from repro.noise import code_capacity_problem
     from repro.sim import run_ler_parallel
-    from repro.sim.engine import DEFAULT_SHARD_TIMEOUT
 
     if args.decoder not in DECODER_REGISTRY:
         print(
@@ -115,10 +156,10 @@ def _cmd_ler(args) -> int:
     if args.workers < 1 or args.shots < 1:
         print("--workers and --shots must be positive", file=sys.stderr)
         return 2
-    if args.shard_timeout is None:
-        shard_timeout = DEFAULT_SHARD_TIMEOUT
-    else:
-        shard_timeout = args.shard_timeout if args.shard_timeout > 0 else None
+    shard_timeout, timeout_error = _shard_timeout_arg(args.shard_timeout)
+    if timeout_error:
+        print(timeout_error, file=sys.stderr)
+        return 2
     try:
         if args.circuit:
             problem = circuit_level_problem(
@@ -153,6 +194,178 @@ def _cmd_ler(args) -> int:
         f"failures={result.failures} CI-rel-halfwidth={rse:.3f}"
     )
     return 0
+
+
+def _load_sweep_spec(args):
+    """Load + budget-override the spec named on the command line.
+
+    Returns ``(spec, None)`` or ``(None, exit_code)`` after printing a
+    friendly error.  The same overrides must be passed to ``run``,
+    ``show`` and ``export``: ``--shots`` below the spec's shard size
+    shrinks the shard size with it, which is part of the point identity
+    (overridden runs live in separate store entries).
+    """
+    from repro.sweeps import load_spec
+
+    try:
+        spec = load_spec(args.spec)
+    except FileNotFoundError:
+        print(f"sweep spec not found: {args.spec}", file=sys.stderr)
+        return None, 2
+    except ValueError as exc:
+        print(f"invalid sweep spec {args.spec}: {exc}", file=sys.stderr)
+        return None, 2
+    if args.shots is not None and args.shots < 1:
+        print("--shots must be positive", file=sys.stderr)
+        return None, 2
+    if args.max_failures is not None and args.max_failures < 1:
+        print("--max-failures must be positive", file=sys.stderr)
+        return None, 2
+    if args.target_rse is not None and args.target_rse <= 0:
+        print("--target-rse must be positive", file=sys.stderr)
+        return None, 2
+    override_targets = args.max_failures is not None or (
+        args.target_rse is not None
+    )
+    try:
+        spec = spec.with_budget(
+            shots=args.shots,
+            max_failures=args.max_failures,
+            target_rse=args.target_rse,
+            override_targets=override_targets,
+        )
+    except ValueError as exc:
+        # E.g. a --shots clamp collapsing two grids' shard sizes into
+        # identical point identities.
+        print(f"invalid budget override for {args.spec}: {exc}",
+              file=sys.stderr)
+        return None, 2
+    return spec, None
+
+
+def _sweep_store(args):
+    from repro.sweeps import ResultsStore
+
+    return ResultsStore(args.store)
+
+
+def _point_status_line(plan) -> str:
+    point = plan.point
+    if plan.entry is None:
+        detail = "no stored shots"
+    else:
+        result = plan.entry.result
+        detail = (
+            f"{result.shots} shots, {result.failures} failures, "
+            f"{plan.shards_done}/{point.n_shards} shards"
+        )
+    return f"  [{plan.status:9s}] {point.label} ({detail})"
+
+
+def _cmd_sweep_run(args) -> int:
+    from repro.sweeps import StoreCorruptionError, run_sweep_spec, \
+        sweep_tables
+
+    spec, code = _load_sweep_spec(args)
+    if spec is None:
+        return code
+    if args.workers < 1:
+        print("--workers must be positive", file=sys.stderr)
+        return 2
+    shard_timeout, timeout_error = _shard_timeout_arg(args.shard_timeout)
+    if timeout_error:
+        print(timeout_error, file=sys.stderr)
+        return 2
+    store = _sweep_store(args)
+    try:
+        report = run_sweep_spec(
+            spec, store,
+            n_workers=args.workers,
+            shard_timeout=shard_timeout,
+            progress=print,
+        )
+    except StoreCorruptionError as exc:
+        print(f"results store is corrupted: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        # E.g. a store entry whose identity payload no longer matches
+        # the spec point that hashes to it (hand-edited store), or a
+        # problem parameter the physics layer rejects.
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 2
+    counts = report.counts()
+    summary = ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
+    print(f"sweep {spec.name}: {summary}")
+    print(f"total new shots: {report.new_shots}")
+    # Render from the results already in memory — no second store read.
+    for table in sweep_tables(spec, store, results=report.results):
+        print()
+        print(table.render())
+    return 0
+
+
+def _cmd_sweep_show(args) -> int:
+    from repro.sweeps import StoreCorruptionError, plan_sweep
+
+    spec, code = _load_sweep_spec(args)
+    if spec is None:
+        return code
+    store = _sweep_store(args)
+    try:
+        plans = plan_sweep(spec, store)
+    except StoreCorruptionError as exc:
+        print(f"results store is corrupted: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 2
+    print(f"sweep {spec.name} vs store {store.root}:")
+    for plan in plans:
+        print(_point_status_line(plan))
+    pending = sum(1 for p in plans if p.status != "resolved")
+    print(
+        f"{len(plans)} points: {len(plans) - pending} resolved, "
+        f"{pending} would run"
+    )
+    return 0
+
+
+def _cmd_sweep_export(args) -> int:
+    from repro.sweeps import StoreCorruptionError, sweep_csv, sweep_tables
+
+    spec, code = _load_sweep_spec(args)
+    if spec is None:
+        return code
+    store = _sweep_store(args)
+    try:
+        if args.format == "csv":
+            text = sweep_csv(spec, store)
+        else:
+            text = "\n\n".join(
+                table.render() for table in sweep_tables(spec, store)
+            ) + "\n"
+    except StoreCorruptionError as exc:
+        print(f"results store is corrupted: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 2
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    handlers = {
+        "run": _cmd_sweep_run,
+        "show": _cmd_sweep_show,
+        "export": _cmd_sweep_export,
+    }
+    return handlers[args.sweep_command](args)
 
 
 def _cmd_analyze(args) -> int:
@@ -245,6 +458,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="BP-SF reproduction command line",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -295,6 +510,64 @@ def build_parser() -> argparse.ArgumentParser:
                           "waits forever — does not affect results)")
     ler.add_argument("--seed", type=int, default=0)
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="declarative sweep specs + persistent results store",
+        description="Declarative sweeps: a TOML/JSON spec expands to "
+                    "content-hashed LER points; 'run' computes only "
+                    "missing or under-resolved points into the store, "
+                    "'show' plans without computing, 'export' renders "
+                    "stored results.  See docs/reproducing-figures.md.",
+    )
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+
+    def _sweep_common(p, budget_help_suffix):
+        p.add_argument("spec", help="sweep spec file (.toml or .json)")
+        p.add_argument("--store", default="sweep-store",
+                       help="results store directory (default "
+                            "./sweep-store)")
+        p.add_argument("--shots", type=int, default=None,
+                       help="override every point's shot cap"
+                            + budget_help_suffix)
+        p.add_argument("--max-failures", type=int, default=None,
+                       help="override adaptive failure target"
+                            + budget_help_suffix)
+        p.add_argument("--target-rse", type=float, default=None,
+                       help="override adaptive Wilson-CI target"
+                            + budget_help_suffix)
+
+    note = (" (pass the same overrides to run/show/export: a --shots "
+            "below the spec's shard size changes point identity)")
+    sweep_run = sweep_sub.add_parser(
+        "run", help="compute missing/under-resolved points (resumable)"
+    )
+    _sweep_common(sweep_run, note)
+    sweep_run.add_argument("--workers", type=int, default=1,
+                           help="engine worker processes (default 1; "
+                                "results identical for any count)")
+    sweep_run.add_argument("--shard-timeout", type=float, default=None,
+                           help="seconds to wait for any shard before "
+                                "declaring the pool hung (default 600; "
+                                "0 waits forever)")
+
+    sweep_show = sweep_sub.add_parser(
+        "show",
+        help="plan a sweep against the store without computing "
+             "(reads and checksums every entry — doubles as an "
+             "integrity check)",
+    )
+    _sweep_common(sweep_show, note)
+
+    sweep_export = sweep_sub.add_parser(
+        "export", help="render stored results as tables or CSV"
+    )
+    _sweep_common(sweep_export, note)
+    sweep_export.add_argument("--format", choices=("table", "csv"),
+                              default="table",
+                              help="output format (default table)")
+    sweep_export.add_argument("--out", default=None,
+                              help="write to a file instead of stdout")
+
     analyze = sub.add_parser(
         "analyze", help="Tanner-graph and oscillation-cluster census"
     )
@@ -332,6 +605,7 @@ def main(argv=None) -> int:
         "run": _cmd_run,
         "decode": _cmd_decode,
         "ler": _cmd_ler,
+        "sweep": _cmd_sweep,
         "analyze": _cmd_analyze,
         "stream": _cmd_stream,
         "hardware": _cmd_hardware,

@@ -36,6 +36,8 @@ from repro.problem import DecodingProblem
 from repro.sim import run_sweep
 
 __all__ = [
+    "LER_COLUMNS",
+    "add_result_row",
     "ler_experiment",
     "run_fig5",
     "run_fig6",
@@ -50,6 +52,28 @@ __all__ = [
 ]
 
 DecoderFactory = Callable[[DecodingProblem], object]
+
+#: The canonical LER table layout — shared by every figure runner here
+#: and by ``python -m repro sweep export``, so sweep-store exports read
+#: exactly like the benchmark tables.
+LER_COLUMNS = ["code", "p", "decoder", "shots", "fails", "LER",
+               "LER/round", "avg_it", "post%"]
+
+
+def add_result_row(
+    table: ExperimentTable,
+    code_label: str,
+    p: float,
+    decoder_label: str,
+    result,
+) -> None:
+    """Append one ``MonteCarloResult`` as a :data:`LER_COLUMNS` row."""
+    post_pct = 100.0 * result.post_processed / result.shots
+    table.add_row(
+        code_label, p, decoder_label, result.shots, result.failures,
+        result.ler, result.ler_round, result.avg_iterations,
+        round(post_pct, 1),
+    )
 
 
 def ler_experiment(
@@ -79,8 +103,7 @@ def ler_experiment(
     table = ExperimentTable(
         experiment_id=experiment_id,
         title=title,
-        columns=["code", "p", "decoder", "shots", "fails", "LER",
-                 "LER/round", "avg_it", "post%"],
+        columns=list(LER_COLUMNS),
     )
     with use_backend(backend):
         cells = [
@@ -94,12 +117,7 @@ def ler_experiment(
     )
     for (code_label, p, decoder_label), _, _ in cells:
         result = results[(code_label, p, decoder_label)]
-        post_pct = 100.0 * result.post_processed / result.shots
-        table.add_row(
-            code_label, p, decoder_label, result.shots, result.failures,
-            result.ler, result.ler_round, result.avg_iterations,
-            round(post_pct, 1),
-        )
+        add_result_row(table, code_label, p, decoder_label, result)
     reference = PAPER_REFERENCE.get(experiment_id, {})
     if "claim" in reference:
         table.notes.append("paper: " + reference["claim"])

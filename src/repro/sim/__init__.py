@@ -5,10 +5,18 @@ The Monte-Carlo layer is a sharded multi-process engine
 :func:`run_sweep` fan shot shards out to persistent worker processes
 with seed-sequence-per-shard reproducibility (:mod:`repro.sim.seeding`)
 and adaptive shot allocation; :func:`run_ler` is the single-worker
-case.
+case.  :func:`run_point_tasks` is the general, resumable entry point
+(per-point budgets + shard cursors) that the declarative sweep layer
+(:mod:`repro.sweeps`) builds on.
 """
 
-from repro.sim.engine import run_ler_parallel, run_sweep
+from repro.sim.engine import (
+    PointTask,
+    budget_satisfied,
+    run_ler_parallel,
+    run_point_tasks,
+    run_sweep,
+)
 from repro.sim.monte_carlo import MonteCarloResult, run_ler
 from repro.sim.seeding import run_root, shard_sequence, shard_streams
 from repro.sim.stats import (
@@ -28,8 +36,11 @@ from repro.sim.timing import (
 
 __all__ = [
     "MonteCarloResult",
+    "PointTask",
+    "budget_satisfied",
     "run_ler",
     "run_ler_parallel",
+    "run_point_tasks",
     "run_sweep",
     "run_root",
     "shard_sequence",

@@ -25,6 +25,19 @@ therefore every statistic derived from it — is identical for any
 worker count and any completion timing; at most one shard of overshoot
 past the shard where the target is reached.
 
+Resumable point tasks
+---------------------
+:func:`run_point_tasks` is the general entry point: each
+:class:`PointTask` carries its own budget (``shots`` /
+``max_failures`` / ``target_rse`` / ``shard_shots`` / ``batch_size``)
+and an optional resume offset (``start_shard`` plus the prior prefix's
+cumulative counters).  Because shard ``i``'s streams depend only on the
+task's seed root and ``i``, a resumed task computes exactly the shards
+a fresh, bigger-budget run would have appended — the property the
+persistent sweep store (:mod:`repro.sweeps`) uses to merge incremental
+shots into stored results bit-identically.  :func:`run_ler_parallel`
+and :func:`run_sweep` are uniform-task wrappers.
+
 Decoder specifications
 ----------------------
 Workers need to build the decoder, so ``decoder`` may be
@@ -47,6 +60,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import pickle
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -57,8 +71,11 @@ from repro.sim.seeding import run_root, shard_streams
 from repro.sim.stats import wilson_interval
 
 __all__ = [
+    "PointTask",
+    "budget_satisfied",
     "resolve_decoder",
     "run_ler_parallel",
+    "run_point_tasks",
     "run_sweep",
     "shard_sizes",
 ]
@@ -168,6 +185,68 @@ def _worker_shard(key, shard: int, shots: int, root, batch_size: int):
     )
 
 
+def budget_satisfied(
+    failures: int,
+    shots: int,
+    max_failures: int | None,
+    target_rse: float | None,
+) -> bool:
+    """Whether accumulated ``(failures, shots)`` meet the adaptive target.
+
+    ``max_failures`` is the paper's ≥-N-failures rule; ``target_rse``
+    bounds the Wilson 95% interval's relative half-width
+    ``(hi - lo) / (2 · LER)``.  This is the *single* stopping predicate
+    of the engine — the sweep store evaluates it on persisted results to
+    decide whether a point is already resolved, so stored and live runs
+    can never disagree about resolution.
+    """
+    if max_failures is not None and failures >= max_failures:
+        return True
+    if target_rse is not None and failures > 0 and shots > 0:
+        p = failures / shots
+        lo, hi = wilson_interval(failures, shots)
+        if (hi - lo) / (2.0 * p) <= target_rse:
+            return True
+    return False
+
+
+@dataclass
+class PointTask:
+    """One resumable unit of sweep work: a (problem, decoder) point.
+
+    The task-level API generalises :func:`run_ler_parallel` in two ways
+    the declarative sweep layer (:mod:`repro.sweeps`) needs:
+
+    * **per-point budgets** — each task carries its own ``shots`` cap,
+      ``max_failures`` / ``target_rse`` targets, ``shard_shots`` and
+      ``batch_size`` (``None`` falls back to the run-level default);
+    * **resume** — ``start_shard`` says how many leading shards a
+      previous run already computed; their cumulative ``prior_failures``
+      / ``prior_shots`` seed the stopping rule, so a resumed run stops
+      at exactly the shard a fresh, bigger-budget run would have
+      stopped at, and the new chunks merge bit-identically onto the
+      stored prefix.
+
+    ``seed`` may be anything :func:`repro.sim.seeding.run_root`
+    accepts; shard ``i`` of this task always derives its streams from
+    that root's ``i``-th child, whether or not shards 0..start-1 are
+    re-run.
+    """
+
+    label: object
+    problem: DecodingProblem
+    decoder: object
+    shots: int
+    seed: object
+    max_failures: int | None = None
+    target_rse: float | None = None
+    start_shard: int = 0
+    prior_failures: int = 0
+    prior_shots: int = 0
+    shard_shots: int | None = None
+    batch_size: int | None = None
+
+
 class _PrefixController:
     """Shard-prefix stopping rule shared by the serial and pooled paths.
 
@@ -176,17 +255,32 @@ class _PrefixController:
     results satisfies the failure / CI target.  Only chunks up to that
     shard enter the merge, so the outcome is independent of completion
     timing and worker count.
+
+    With ``start_shard > 0`` the controller resumes an earlier run:
+    shards below ``start_shard`` are never dispatched, their cumulative
+    ``(prior_failures, prior_shots)`` pre-load the stopping counters,
+    and :meth:`merged` returns only the **new** chunks.
     """
 
-    def __init__(self, n_shards, max_failures, target_rse):
+    def __init__(
+        self,
+        n_shards,
+        max_failures,
+        target_rse,
+        *,
+        start_shard: int = 0,
+        prior_failures: int = 0,
+        prior_shots: int = 0,
+    ):
         self.n_shards = n_shards
         self.max_failures = max_failures
         self.target_rse = target_rse
+        self.start_shard = start_shard
         self.chunks: dict[int, MonteCarloResult] = {}
         self.stop_at: int | None = None
-        self._frontier = 0
-        self._failures = 0
-        self._shots = 0
+        self._frontier = start_shard
+        self._failures = prior_failures
+        self._shots = prior_shots
 
     def add(self, shard: int, chunk: MonteCarloResult) -> None:
         self.chunks[shard] = chunk
@@ -194,22 +288,12 @@ class _PrefixController:
             front = self.chunks[self._frontier]
             self._failures += front.failures
             self._shots += front.shots
-            if self._satisfied():
+            if budget_satisfied(
+                self._failures, self._shots,
+                self.max_failures, self.target_rse,
+            ):
                 self.stop_at = self._frontier
             self._frontier += 1
-
-    def _satisfied(self) -> bool:
-        if (
-            self.max_failures is not None
-            and self._failures >= self.max_failures
-        ):
-            return True
-        if self.target_rse is not None and self._failures > 0:
-            p = self._failures / self._shots
-            lo, hi = wilson_interval(self._failures, self._shots)
-            if (hi - lo) / (2.0 * p) <= self.target_rse:
-                return True
-        return False
 
     @property
     def done(self) -> bool:
@@ -226,7 +310,7 @@ class _PrefixController:
 
     def merged(self) -> MonteCarloResult:
         last = self.stop_at if self.stop_at is not None else self.n_shards - 1
-        ordered = [self.chunks[i] for i in range(last + 1)]
+        ordered = [self.chunks[i] for i in range(self.start_shard, last + 1)]
         return MonteCarloResult.merge(ordered)
 
 
@@ -241,15 +325,28 @@ def _validate_knobs(shots, n_workers, batch_size, target_rse):
         raise ValueError("target_rse must be positive")
 
 
-def _run_point_serial(
-    problem, decoder, sizes, root, batch_size, max_failures, target_rse
+def _controller_for(task: PointTask, n_shards: int) -> _PrefixController:
+    return _PrefixController(
+        n_shards,
+        task.max_failures,
+        task.target_rse,
+        start_shard=task.start_shard,
+        prior_failures=task.prior_failures,
+        prior_shots=task.prior_shots,
+    )
+
+
+def _run_task_serial(
+    task: PointTask, sizes, root, batch_size
 ) -> MonteCarloResult:
-    controller = _PrefixController(len(sizes), max_failures, target_rse)
-    for shard, shard_shots in enumerate(sizes):
+    decoder = resolve_decoder(task.decoder, task.problem)
+    controller = _controller_for(task, len(sizes))
+    for shard in range(task.start_shard, len(sizes)):
         controller.add(
             shard,
             _decode_shard(
-                problem, decoder, shard_shots, root, shard, batch_size
+                task.problem, decoder, sizes[shard], root, shard,
+                batch_size,
             ),
         )
         if controller.done:
@@ -257,17 +354,17 @@ def _run_point_serial(
     return controller.merged()
 
 
-def _run_points_pooled(
+def _run_tasks_pooled(
     pool,
+    tasks: list[PointTask],
     roots_by_key,
-    sizes,
-    batch_size,
-    max_failures,
-    target_rse,
+    sizes_by_key,
+    batch_by_key,
     n_workers,
     shard_timeout,
+    on_result=None,
 ) -> dict:
-    """Drive every point's shards through one interleaved dispatch loop.
+    """Drive every task's shards through one interleaved dispatch loop.
 
     Shards of all points share a single in-flight window, so a sweep
     whose points each have only a few shards (laptop-scale benchmarks)
@@ -276,12 +373,25 @@ def _run_points_pooled(
     :class:`_PrefixController`, so results are identical to running the
     points one at a time.
     """
-    order = list(roots_by_key)
+    order = [task.label for task in tasks]
     controllers = {
-        key: _PrefixController(len(sizes), max_failures, target_rse)
-        for key in order
+        task.label: _controller_for(task, len(sizes_by_key[task.label]))
+        for task in tasks
     }
-    dispatched = dict.fromkeys(order, 0)
+    dispatched = {task.label: task.start_shard for task in tasks}
+    reported: set = set()
+
+    def _maybe_report(key) -> None:
+        # Fire the completion callback the moment a point's merged
+        # result is final, while other points are still decoding — the
+        # hook the sweep layer uses to persist each point as it lands.
+        if on_result is None or key in reported:
+            return
+        controller = controllers[key]
+        if controller.done:
+            reported.add(key)
+            on_result(key, controller.merged())
+
     in_flight = {}
     # Keep the queue deep enough that workers never starve while the
     # controllers digest results, but shallow enough that an adaptive
@@ -297,17 +407,17 @@ def _run_points_pooled(
 
     while any(not c.done for c in controllers.values()):
         while len(in_flight) < max_in_flight:
-            task = next_task()
-            if task is None:
+            item = next_task()
+            if item is None:
                 break
-            key, shard = task
+            key, shard = item
             future = pool.submit(
                 _worker_shard,
                 key,
                 shard,
-                sizes[shard],
+                sizes_by_key[key][shard],
                 roots_by_key[key],
-                batch_size,
+                batch_by_key[key],
             )
             in_flight[future] = key
             dispatched[key] += 1
@@ -329,8 +439,11 @@ def _run_points_pooled(
             key = in_flight.pop(future)
             shard, chunk = future.result()
             controllers[key].add(shard, chunk)
+            _maybe_report(key)
     for future in in_flight:
         future.cancel()
+    for key in order:
+        _maybe_report(key)
     return {key: controllers[key].merged() for key in order}
 
 
@@ -353,6 +466,102 @@ def _pickled_points(points: dict) -> dict:
             f"factory instead (lambdas do not pickle): {exc}"
         ) from exc
     return points
+
+
+def run_point_tasks(
+    tasks: list[PointTask],
+    *,
+    n_workers: int = 1,
+    batch_size: int = 128,
+    shard_shots: int | None = None,
+    mp_context: str | None = None,
+    shard_timeout: float | None = DEFAULT_SHARD_TIMEOUT,
+    on_result=None,
+) -> dict:
+    """Run a list of :class:`PointTask`\\ s through one worker pool.
+
+    The general (per-point budgets, resumable) entry point of the
+    engine; :func:`run_ler_parallel` and :func:`run_sweep` are thin
+    wrappers that build uniform task lists.  ``batch_size`` and
+    ``shard_shots`` act as defaults for tasks that leave their own
+    ``None``.
+
+    Returns ``{label: MonteCarloResult | None}`` in task order, where
+    the result merges only the **newly computed** shard chunks (shards
+    ``start_shard`` onward, up to the adaptive stop).  A task whose
+    prior counters already satisfy its target — or whose ``start_shard``
+    consumes the whole budget — contributes ``None``: zero new shots.
+
+    ``on_result(label, result)`` — when given — is invoked in the
+    calling process the moment each task's merged result becomes final,
+    while the remaining tasks are still decoding.  The sweep layer uses
+    it to persist completed points immediately, so an interrupted
+    multi-point run keeps everything that finished.  An exception from
+    the callback aborts the run.
+    """
+    if not tasks:
+        raise ValueError("at least one point task is required")
+    labels = [task.label for task in tasks]
+    if len(set(labels)) != len(labels):
+        raise ValueError("point task labels must be unique")
+    if n_workers < 1:
+        raise ValueError("n_workers must be positive")
+    sizes_by_key = {}
+    batch_by_key = {}
+    roots_by_key = {}
+    active: list[PointTask] = []
+    out = dict.fromkeys(labels)
+    for task in tasks:
+        _validate_knobs(
+            task.shots, n_workers,
+            task.batch_size or batch_size, task.target_rse,
+        )
+        if task.start_shard < 0:
+            raise ValueError("start_shard must be non-negative")
+        task_batch = task.batch_size or batch_size
+        task_shard = task.shard_shots or shard_shots or max(task_batch, 256)
+        sizes = shard_sizes(task.shots, task_shard)
+        already_satisfied = task.prior_shots > 0 and budget_satisfied(
+            task.prior_failures, task.prior_shots,
+            task.max_failures, task.target_rse,
+        )
+        if task.start_shard >= len(sizes) or already_satisfied:
+            continue  # nothing left to compute for this task
+        sizes_by_key[task.label] = sizes
+        batch_by_key[task.label] = task_batch
+        roots_by_key[task.label] = run_root(task.seed)
+        active.append(task)
+    if not active:
+        return out
+
+    if n_workers == 1:
+        for task in active:
+            result = _run_task_serial(
+                task,
+                sizes_by_key[task.label],
+                roots_by_key[task.label],
+                batch_by_key[task.label],
+            )
+            if on_result is not None:
+                on_result(task.label, result)
+            out[task.label] = result
+        return out
+
+    payload = _pickled_points(
+        {task.label: (task.problem, task.decoder) for task in active}
+    )
+    with ProcessPoolExecutor(
+        max_workers=n_workers,
+        mp_context=_mp_context(mp_context),
+        initializer=_init_worker,
+        initargs=(payload,),
+    ) as pool:
+        merged = _run_tasks_pooled(
+            pool, active, roots_by_key, sizes_by_key, batch_by_key,
+            n_workers, shard_timeout, on_result=on_result,
+        )
+    out.update(merged)
+    return out
 
 
 def run_ler_parallel(
@@ -400,33 +609,23 @@ def run_ler_parallel(
         the pool hung and raising (``None`` waits forever).
     """
     _validate_knobs(shots, n_workers, batch_size, target_rse)
-    shard_shots = shard_shots or max(batch_size, 256)
-    sizes = shard_sizes(shots, shard_shots)
-    root = run_root(seed)
-
-    if n_workers == 1:
-        return _run_point_serial(
-            problem,
-            resolve_decoder(decoder, problem),
-            sizes,
-            root,
-            batch_size,
-            max_failures,
-            target_rse,
-        )
-
-    points = _pickled_points({0: (problem, decoder)})
-    with ProcessPoolExecutor(
-        max_workers=n_workers,
-        mp_context=_mp_context(mp_context),
-        initializer=_init_worker,
-        initargs=(points,),
-    ) as pool:
-        merged = _run_points_pooled(
-            pool, {0: root}, sizes, batch_size, max_failures, target_rse,
-            n_workers, shard_timeout,
-        )
-    return merged[0]
+    task = PointTask(
+        label=0,
+        problem=problem,
+        decoder=decoder,
+        shots=shots,
+        seed=run_root(seed),
+        max_failures=max_failures,
+        target_rse=target_rse,
+    )
+    return run_point_tasks(
+        [task],
+        n_workers=n_workers,
+        batch_size=batch_size,
+        shard_shots=shard_shots,
+        mp_context=mp_context,
+        shard_timeout=shard_timeout,
+    )[0]
 
 
 def run_sweep(
@@ -461,43 +660,26 @@ def run_sweep(
         triples = [tuple(t) for t in points]
     if not triples:
         raise ValueError("at least one sweep point is required")
-    labels = [t[0] for t in triples]
-    if len(set(labels)) != len(labels):
-        raise ValueError("sweep point labels must be unique")
     _validate_knobs(shots, n_workers, batch_size, target_rse)
-    shard_shots = shard_shots or max(batch_size, 256)
-    sizes = shard_sizes(shots, shard_shots)
     root = run_root(seed)
     roots = root.spawn(len(triples))
-
-    out: dict[str, MonteCarloResult] = {}
-    if n_workers == 1:
-        for (label, problem, spec), point_root in zip(triples, roots):
-            out[label] = _run_point_serial(
-                problem,
-                resolve_decoder(spec, problem),
-                sizes,
-                point_root,
-                batch_size,
-                max_failures,
-                target_rse,
-            )
-        return out
-
-    payload = _pickled_points(
-        {label: (problem, spec) for label, problem, spec in triples}
-    )
-    roots_by_key = {
-        label: point_root
-        for (label, _, _), point_root in zip(triples, roots)
-    }
-    with ProcessPoolExecutor(
-        max_workers=n_workers,
-        mp_context=_mp_context(mp_context),
-        initializer=_init_worker,
-        initargs=(payload,),
-    ) as pool:
-        return _run_points_pooled(
-            pool, roots_by_key, sizes, batch_size, max_failures,
-            target_rse, n_workers, shard_timeout,
+    tasks = [
+        PointTask(
+            label=label,
+            problem=problem,
+            decoder=spec,
+            shots=shots,
+            seed=point_root,
+            max_failures=max_failures,
+            target_rse=target_rse,
         )
+        for (label, problem, spec), point_root in zip(triples, roots)
+    ]
+    return run_point_tasks(
+        tasks,
+        n_workers=n_workers,
+        batch_size=batch_size,
+        shard_shots=shard_shots,
+        mp_context=mp_context,
+        shard_timeout=shard_timeout,
+    )

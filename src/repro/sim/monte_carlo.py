@@ -1,7 +1,18 @@
-"""Monte-Carlo logical-error-rate estimation."""
+"""Monte-Carlo logical-error-rate estimation.
+
+Besides the in-memory :class:`MonteCarloResult` aggregate this module
+owns its **stable on-disk serialization** (:meth:`MonteCarloResult.
+to_npz` / :meth:`MonteCarloResult.from_npz`): a dtype-preserving
+``.npz`` layout used by the persistent sweep results store
+(:mod:`repro.sweeps.store`).  The round trip is exact — same counter
+values, same per-shot arrays *and the same dtypes* — so a result loaded
+from disk merges bit-identically with freshly computed chunks through
+:meth:`MonteCarloResult.merge`.
+"""
 
 from __future__ import annotations
 
+import zipfile
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -11,6 +22,18 @@ from repro.problem import DecodingProblem
 from repro.sim.stats import ler_per_round, wilson_interval
 
 __all__ = ["MonteCarloResult", "run_ler"]
+
+#: Serialization layout version written into every ``.npz`` payload.
+_NPZ_FORMAT = 1
+
+_NPZ_COUNTERS = (
+    "shots",
+    "failures",
+    "rounds",
+    "initial_successes",
+    "post_processed",
+    "unconverged",
+)
 
 
 @dataclass
@@ -108,6 +131,98 @@ class MonteCarloResult:
                 [c.parallel_iterations for c in chunks]
             ),
         )
+
+    # -- stable serialization ------------------------------------------
+
+    def to_npz(self, path) -> None:
+        """Write a dtype-exact ``.npz`` snapshot of this result.
+
+        Counters are stored as 0-d ``int64`` arrays and the per-shot
+        columns verbatim (whatever dtype the decoder produced), so
+        :meth:`from_npz` reconstructs an object whose arrays compare
+        bit-equal *and dtype-equal* to the original — the property the
+        sweep store's merge-on-resume path relies on.  No pickling is
+        involved on either side of the round trip.
+        """
+        payload = {
+            "format": np.asarray(_NPZ_FORMAT, dtype=np.int64),
+            "problem_name": np.asarray(self.problem_name),
+            "decoder_name": np.asarray(self.decoder_name),
+            "iterations": np.asarray(self.iterations),
+            "parallel_iterations": np.asarray(self.parallel_iterations),
+        }
+        for name in _NPZ_COUNTERS:
+            payload[name] = np.asarray(getattr(self, name), dtype=np.int64)
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, **payload)
+
+    @classmethod
+    def from_npz(cls, path) -> "MonteCarloResult":
+        """Load a result written by :meth:`to_npz`, failing loudly.
+
+        A truncated, non-npz or internally inconsistent payload raises
+        ``ValueError`` (never returns a partially filled result): the
+        persistent store treats any such error as entry corruption.
+        """
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                missing = [
+                    name
+                    for name in (
+                        "format",
+                        "problem_name",
+                        "decoder_name",
+                        "iterations",
+                        "parallel_iterations",
+                        *_NPZ_COUNTERS,
+                    )
+                    if name not in data.files
+                ]
+                if missing:
+                    raise ValueError(
+                        f"result payload {path} is missing fields "
+                        f"{missing} — corrupted or not a "
+                        "MonteCarloResult snapshot"
+                    )
+                version = int(data["format"])
+                if version != _NPZ_FORMAT:
+                    raise ValueError(
+                        f"result payload {path} has format version "
+                        f"{version}; this build reads {_NPZ_FORMAT}"
+                    )
+                counters = {
+                    name: int(data[name]) for name in _NPZ_COUNTERS
+                }
+                result = cls(
+                    problem_name=str(data["problem_name"]),
+                    decoder_name=str(data["decoder_name"]),
+                    iterations=data["iterations"],
+                    parallel_iterations=data["parallel_iterations"],
+                    **counters,
+                )
+        except zipfile.BadZipFile as exc:
+            raise ValueError(
+                f"result payload {path} is not a readable npz archive: "
+                f"{exc}"
+            ) from exc
+        if result.iterations.shape != (result.shots,):
+            raise ValueError(
+                f"result payload {path} is internally inconsistent: "
+                f"{result.iterations.shape[0]} iteration entries for "
+                f"{result.shots} shots"
+            )
+        if result.parallel_iterations.shape != (result.shots,):
+            raise ValueError(
+                f"result payload {path} is internally inconsistent: "
+                f"{result.parallel_iterations.shape[0]} parallel-"
+                f"iteration entries for {result.shots} shots"
+            )
+        if not 0 <= result.failures <= result.shots:
+            raise ValueError(
+                f"result payload {path} is internally inconsistent: "
+                f"{result.failures} failures for {result.shots} shots"
+            )
+        return result
 
 
 def run_ler(

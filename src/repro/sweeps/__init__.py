@@ -1,0 +1,57 @@
+"""Declarative sweep specs with a persistent, resumable results store.
+
+The layer that turns "regenerate a paper figure" into one command:
+
+* :mod:`repro.sweeps.spec` — TOML/JSON sweep specifications expanding
+  ``family × p × rounds × decoder`` grids into content-hashed
+  :class:`~repro.sweeps.spec.SweepPoint`\\ s;
+* :mod:`repro.sweeps.store` — on-disk content-addressed store of
+  merged :class:`~repro.sim.monte_carlo.MonteCarloResult`\\ s, keyed by
+  point identity, with loud corruption detection;
+* :mod:`repro.sweeps.runner` — plans spec-vs-store deltas and computes
+  only missing/under-resolved points through one pooled engine run,
+  merging incremental shots into stored results bit-identically;
+* :mod:`repro.sweeps.export` — benchmark-style tables and CSV straight
+  from the store.
+
+CLI: ``python -m repro sweep run|show|export <spec>``; the checked-in
+specs live under ``sweeps/`` and ``docs/reproducing-figures.md`` maps
+each paper figure to its spec and command.
+"""
+
+from repro.sweeps.export import sweep_csv, sweep_tables
+from repro.sweeps.runner import (
+    PointPlan,
+    SweepRunReport,
+    plan_sweep,
+    run_sweep_spec,
+)
+from repro.sweeps.spec import (
+    DECODER_TYPES,
+    ConfiguredDecoderFactory,
+    DecoderSpec,
+    SweepPoint,
+    SweepSpec,
+    load_spec,
+    spec_from_mapping,
+)
+from repro.sweeps.store import ResultsStore, StoreCorruptionError, StoreEntry
+
+__all__ = [
+    "DECODER_TYPES",
+    "ConfiguredDecoderFactory",
+    "DecoderSpec",
+    "PointPlan",
+    "ResultsStore",
+    "StoreCorruptionError",
+    "StoreEntry",
+    "SweepPoint",
+    "SweepRunReport",
+    "SweepSpec",
+    "load_spec",
+    "plan_sweep",
+    "run_sweep_spec",
+    "spec_from_mapping",
+    "sweep_csv",
+    "sweep_tables",
+]

@@ -1,0 +1,131 @@
+"""Export stored sweep results as paper-style tables and CSV.
+
+Reads **only** the persistent store — exporting never computes shots —
+and renders one :class:`~repro.bench.tables.ExperimentTable` per
+figure group using the exact :data:`~repro.bench.ler_experiments.
+LER_COLUMNS` layout of the benchmark runners, so a sweep-store export
+is column-compatible with every table under ``benchmarks/results/``.
+Points with no store entry yet are listed in a table note (and get a
+``status=missing`` CSV row) instead of being silently dropped.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from repro.bench.ler_experiments import LER_COLUMNS, add_result_row
+from repro.bench.tables import ExperimentTable
+from repro.sweeps.spec import SweepSpec
+from repro.sweeps.store import ResultsStore
+
+__all__ = ["sweep_csv", "sweep_tables"]
+
+CSV_COLUMNS = [
+    "figure",
+    "code",
+    "model",
+    "basis",
+    "p",
+    "rounds",
+    "decoder",
+    "key",
+    "status",
+    "shots",
+    "failures",
+    "ler",
+    "ler_per_round",
+    "ci_low",
+    "ci_high",
+    "avg_iterations",
+    "avg_parallel_iterations",
+    "post_processed",
+    "unconverged",
+]
+
+
+def sweep_tables(
+    spec: SweepSpec, store: ResultsStore, results: dict | None = None
+) -> list[ExperimentTable]:
+    """One benchmark-style table per figure group of the spec.
+
+    ``results`` (``{key: MonteCarloResult}``) short-circuits store
+    reads for points already loaded — ``sweep run`` passes its report's
+    results so a finished run renders without re-reading every entry.
+    """
+    tables = []
+    for figure in spec.figures():
+        table = ExperimentTable(
+            experiment_id=f"{spec.name}.{figure}",
+            title=f"sweep {spec.name}: {figure}",
+            columns=list(LER_COLUMNS),
+        )
+        missing = []
+        for point in spec.points:
+            if point.figure != figure:
+                continue
+            result = (results or {}).get(point.key)
+            if result is None:
+                entry = store.get(point.key)
+                if entry is None:
+                    missing.append(point.label)
+                    continue
+                result = entry.result
+            # Fold rounds into the code cell for circuit-level points:
+            # a grid may sweep several round counts per code/p/decoder.
+            code_cell = (
+                f"{point.code} r={point.rounds}"
+                if point.model == "circuit" else point.code
+            )
+            add_result_row(
+                table, code_cell, point.p, point.decoder.label, result,
+            )
+        if missing:
+            table.notes.append(
+                f"{len(missing)} point(s) not in store yet: "
+                + ", ".join(missing)
+            )
+        tables.append(table)
+    return tables
+
+
+def sweep_csv(spec: SweepSpec, store: ResultsStore) -> str:
+    """Flat CSV over every spec point (``status=missing`` rows kept)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(CSV_COLUMNS)
+    for point in spec.points:
+        entry = store.get(point.key)
+        base = [
+            point.figure,
+            point.code,
+            point.model,
+            point.basis,
+            repr(point.p),
+            point.rounds if point.rounds is not None else "",
+            point.decoder.label,
+            point.key,
+        ]
+        if entry is None:
+            padding = len(CSV_COLUMNS) - len(base) - 1
+            writer.writerow(base + ["missing"] + [""] * padding)
+            continue
+        result = entry.result
+        lo, hi = result.confidence_interval
+        writer.writerow(
+            base
+            + [
+                "stored",
+                result.shots,
+                result.failures,
+                repr(result.ler),
+                repr(result.ler_round),
+                repr(lo),
+                repr(hi),
+                repr(result.avg_iterations),
+                repr(result.avg_parallel_iterations),
+                result.post_processed,
+                result.unconverged,
+            ]
+        )
+    return buffer.getvalue()

@@ -1,0 +1,231 @@
+"""Resumable sweep execution: spec + store → one pooled engine run.
+
+:func:`plan_sweep` compares every spec point against the persistent
+store and classifies it:
+
+* ``resolved`` — the stored prefix already satisfies the point's
+  adaptive target (``max_failures`` / ``target_rse``, evaluated with
+  the engine's own :func:`~repro.sim.engine.budget_satisfied`) or
+  exhausts its shot budget → **zero new shots**;
+* ``extend``  — a stored prefix exists but is under-resolved and the
+  budget allows more shards → resume from ``shards_done``;
+* ``missing`` — no store entry → compute from scratch.
+
+:func:`run_sweep_spec` turns the non-resolved plans into engine
+:class:`~repro.sim.engine.PointTask`\\ s — one pooled
+:func:`~repro.sim.engine.run_point_tasks` call for the whole sweep, so
+workers stay busy across point boundaries — then merges each point's
+new chunks onto its stored prefix (bit-identical to a fresh run with
+the same final budget, because shard ``i``'s streams depend only on the
+point's seed root and ``i``) and persists the merged results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.engine import (
+    DEFAULT_SHARD_TIMEOUT,
+    PointTask,
+    budget_satisfied,
+    run_point_tasks,
+)
+from repro.sim.monte_carlo import MonteCarloResult
+from repro.sweeps.spec import SweepPoint, SweepSpec
+from repro.sweeps.store import ResultsStore, StoreEntry
+
+__all__ = ["PointPlan", "SweepRunReport", "plan_sweep", "run_sweep_spec"]
+
+
+@dataclass
+class PointPlan:
+    """Planned action for one spec point against the store."""
+
+    point: SweepPoint
+    status: str  # "resolved" | "extend" | "missing"
+    entry: StoreEntry | None = None
+    new_shots: int = 0  # filled in by run_sweep_spec
+    result: MonteCarloResult | None = None  # merged stored+new result
+
+    @property
+    def key(self) -> str:
+        return self.point.key
+
+    @property
+    def shards_done(self) -> int:
+        return self.entry.shards_done if self.entry is not None else 0
+
+
+@dataclass
+class SweepRunReport:
+    """Outcome of one :func:`run_sweep_spec` invocation."""
+
+    spec: SweepSpec
+    plans: list[PointPlan] = field(default_factory=list)
+
+    @property
+    def new_shots(self) -> int:
+        """Total shots computed by this invocation (0 = fully cached)."""
+        return sum(plan.new_shots for plan in self.plans)
+
+    @property
+    def results(self) -> dict:
+        """``{key: MonteCarloResult}`` for every point with data."""
+        return {
+            plan.key: plan.result
+            for plan in self.plans
+            if plan.result is not None
+        }
+
+    def counts(self) -> dict:
+        """Plan-status histogram, e.g. ``{"resolved": 3, "missing": 1}``."""
+        out: dict[str, int] = {}
+        for plan in self.plans:
+            out[plan.status] = out.get(plan.status, 0) + 1
+        return out
+
+
+def _classify(point: SweepPoint, entry: StoreEntry | None) -> str:
+    if entry is None:
+        return "missing"
+    result = entry.result
+    if budget_satisfied(
+        result.failures, result.shots, point.max_failures, point.target_rse
+    ):
+        return "resolved"
+    if entry.shards_done >= point.n_shards:
+        return "resolved"  # budget exhausted; nothing more to ask for
+    return "extend"
+
+
+def plan_sweep(spec: SweepSpec, store: ResultsStore) -> list[PointPlan]:
+    """Classify every spec point against the store (no computation).
+
+    Raises :class:`~repro.sweeps.store.StoreCorruptionError` if an
+    entry exists but cannot be trusted, and ``ValueError`` if a stored
+    identity payload disagrees with the point that hashed to it (which
+    means the store was hand-edited — hashes make accidental collisions
+    astronomically unlikely).
+    """
+    plans = []
+    for point in spec.points:
+        entry = store.get(point.key)
+        if entry is not None and entry.identity != point.identity():
+            raise ValueError(
+                f"store entry {point.key[:12]}… identity does not match "
+                f"spec point {point.label} — was the store hand-edited? "
+                f"stored={entry.identity} expected={point.identity()}"
+            )
+        status = _classify(point, entry)
+        plans.append(
+            PointPlan(
+                point=point,
+                status=status,
+                entry=entry,
+                result=entry.result if entry is not None else None,
+            )
+        )
+    return plans
+
+
+def run_sweep_spec(
+    spec: SweepSpec,
+    store: ResultsStore,
+    *,
+    n_workers: int = 1,
+    mp_context: str | None = None,
+    shard_timeout: float | None = DEFAULT_SHARD_TIMEOUT,
+    progress=None,
+) -> SweepRunReport:
+    """Compute every missing/under-resolved point and persist the merge.
+
+    ``progress`` is an optional ``f(message: str)`` callback (the CLI
+    passes ``print``).  Returns a :class:`SweepRunReport` whose
+    ``new_shots`` is 0 when the store already resolved everything —
+    the acceptance check for "re-running a sweep computes nothing".
+
+    Each point is persisted the moment its result becomes final (the
+    engine's ``on_result`` hook), while other points are still
+    decoding: an interrupted run keeps every completed point, and the
+    next run recomputes only the unfinished ones.
+    """
+    plans = plan_sweep(spec, store)
+    pending = [plan for plan in plans if plan.status != "resolved"]
+    say = progress or (lambda message: None)
+    say(
+        f"sweep {spec.name}: {len(spec.points)} points — "
+        f"{len(plans) - len(pending)} resolved, {len(pending)} to run"
+    )
+    if not pending:
+        return SweepRunReport(spec=spec, plans=plans)
+
+    plan_by_key = {plan.point.key: plan for plan in pending}
+    tasks = []
+    for plan in pending:
+        point = plan.point
+        prior = plan.entry.result if plan.entry is not None else None
+        tasks.append(
+            PointTask(
+                label=point.key,
+                problem=point.problem(),
+                decoder=point.decoder_factory(),
+                shots=point.shots,
+                seed=point.seed_root(),
+                max_failures=point.max_failures,
+                target_rse=point.target_rse,
+                start_shard=plan.shards_done,
+                prior_failures=prior.failures if prior else 0,
+                prior_shots=prior.shots if prior else 0,
+                shard_shots=point.shard_shots,
+                batch_size=point.batch_size,
+            )
+        )
+
+    def _persist(key, new: MonteCarloResult) -> None:
+        plan = plan_by_key[key]
+        point = plan.point
+        prior = plan.entry.result if plan.entry is not None else None
+        merged = (
+            MonteCarloResult.merge([prior, new]) if prior is not None
+            else new
+        )
+        new_shards, remainder = divmod(new.shots, point.shard_shots)
+        if remainder:
+            raise AssertionError(
+                f"engine returned a partial shard for {point.label}: "
+                f"{new.shots} new shots at shard size "
+                f"{point.shard_shots} — whole-shard alignment broken"
+            )
+        shards_done = plan.shards_done + new_shards
+        entry = store.put(
+            point.key,
+            point.identity(),
+            merged,
+            shards_done=shards_done,
+            shard_shots=point.shard_shots,
+            label=point.label,
+            extra={"figure": point.figure},
+        )
+        plan.entry = entry
+        plan.new_shots = new.shots
+        plan.result = merged
+        plan.status = _classify(point, entry)
+        say(
+            f"  {point.label}: +{new.shots} shots "
+            f"(total {merged.shots}, failures {merged.failures}, "
+            f"{plan.status})"
+        )
+
+    run_point_tasks(
+        tasks,
+        n_workers=n_workers,
+        mp_context=mp_context,
+        shard_timeout=shard_timeout,
+        on_result=_persist,
+    )
+    for plan in pending:
+        if plan.result is None and plan.status != "resolved":
+            # The engine found nothing to do (a stored prefix that
+            # satisfies the target the planner also saw).
+            plan.status = "resolved"
+    return SweepRunReport(spec=spec, plans=plans)

@@ -1,0 +1,265 @@
+"""Persistent, content-addressed store of Monte-Carlo sweep results.
+
+One entry per :class:`~repro.sweeps.spec.SweepPoint` identity hash.  An
+entry is a **pair of files** under the store directory::
+
+    <store>/<key>.json   # provenance: identity payload, labels, counters
+    <store>/<key>.npz    # the merged MonteCarloResult (dtype-exact)
+
+The JSON side carries the point's full identity dict (so a human — or a
+hash-layout migration — can tell what an entry is without the spec),
+the number of leading shards the result covers (``shards_done``; the
+resume cursor) and a sha256 checksum of the ``.npz`` payload.
+
+Failure discipline: the store never silently drops or repairs data.  A
+half-written pair (one file missing), an unparsable JSON, a checksum
+mismatch, an unreadable npz, or counters that disagree between the two
+files all raise :class:`StoreCorruptionError` naming the offending
+entry and how to discard it.  Writes are atomic (process-unique temp
+file + ``os.replace``, npz first) so a crashed run leaves either the
+old entry or a complete new one — plus, at worst, an orphaned ``.npz``
+that is reported as corruption rather than mistaken for a result.
+
+Concurrent access: reads and writes take a shared/exclusive advisory
+lock on ``<store>/.lock`` (POSIX ``flock``), so two simultaneous
+``sweep run`` processes sharing one store serialise per entry —
+last-writer-wins on the whole ``.json``/``.npz`` pair, never a mixed
+pair.  On platforms without ``fcntl`` the store is single-writer.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.sim.monte_carlo import MonteCarloResult
+
+try:  # POSIX advisory locking; absent → single-writer stores only.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+__all__ = ["ResultsStore", "StoreCorruptionError", "StoreEntry"]
+
+_META_VERSION = 1
+
+
+class StoreCorruptionError(RuntimeError):
+    """A store entry exists but cannot be trusted.  Always fatal."""
+
+
+@dataclass
+class StoreEntry:
+    """One persisted sweep point: provenance + merged result."""
+
+    key: str
+    meta: dict
+    result: MonteCarloResult
+
+    @property
+    def shards_done(self) -> int:
+        """Leading shards the stored result covers (resume cursor)."""
+        return int(self.meta["shards_done"])
+
+    @property
+    def identity(self) -> dict:
+        """The spec-point identity payload this entry was keyed from."""
+        return self.meta["identity"]
+
+
+class ResultsStore:
+    """Directory-backed map from spec-point key to :class:`StoreEntry`."""
+
+    def __init__(self, root):
+        self.root = Path(root)
+
+    # -- paths ---------------------------------------------------------
+
+    def _meta_path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def _result_path(self, key: str) -> Path:
+        return self.root / f"{key}.npz"
+
+    @contextlib.contextmanager
+    def _locked(self, exclusive: bool):
+        """Shared (read) / exclusive (write) advisory store lock.
+
+        Guarantees a reader never observes one half of an in-progress
+        two-file replace, and two writers never interleave their
+        renames.  No-op where ``fcntl`` is unavailable.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        if not exclusive and not self.root.is_dir():
+            yield  # nothing to read; don't create a store on a read
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        with open(self.root / ".lock", "a+") as handle:
+            fcntl.flock(
+                handle,
+                fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH,
+            )
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
+    # -- reads ---------------------------------------------------------
+
+    def keys(self) -> list[str]:
+        """Keys of complete *and* half-present entries (sorted)."""
+        if not self.root.is_dir():
+            return []
+        found = set()
+        for path in self.root.iterdir():
+            if path.suffix in (".json", ".npz") and len(path.stem) == 64:
+                found.add(path.stem)
+        return sorted(found)
+
+    def __contains__(self, key: str) -> bool:
+        return (
+            self._meta_path(key).exists()
+            or self._result_path(key).exists()
+        )
+
+    def get(self, key: str) -> StoreEntry | None:
+        """Load an entry; ``None`` if absent, loud if corrupted."""
+        with self._locked(exclusive=False):
+            return self._get_unlocked(key)
+
+    def _get_unlocked(self, key: str) -> StoreEntry | None:
+        meta_path = self._meta_path(key)
+        result_path = self._result_path(key)
+        if not meta_path.exists() and not result_path.exists():
+            return None
+        if not meta_path.exists() or not result_path.exists():
+            present = meta_path if meta_path.exists() else result_path
+            raise StoreCorruptionError(
+                f"store entry {key} is half-written: only {present.name} "
+                f"exists — delete it (rm {present}) to recompute the "
+                "point from scratch"
+            )
+        try:
+            with open(meta_path, "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StoreCorruptionError(
+                f"store entry {key} has unreadable metadata "
+                f"({meta_path}): {exc} — delete the entry's .json/.npz "
+                "pair to recompute it"
+            ) from exc
+        for field in ("key", "identity", "shards_done", "shots",
+                      "failures", "npz_sha256"):
+            if field not in meta:
+                raise StoreCorruptionError(
+                    f"store entry {key} metadata is missing {field!r} "
+                    f"({meta_path}) — delete the entry's .json/.npz "
+                    "pair to recompute it"
+                )
+        if meta["key"] != key:
+            raise StoreCorruptionError(
+                f"store entry {key} metadata claims key {meta['key']} "
+                f"({meta_path}) — the file was renamed or tampered with"
+            )
+        digest = _sha256_file(result_path)
+        if digest != meta["npz_sha256"]:
+            raise StoreCorruptionError(
+                f"store entry {key} result payload fails its checksum "
+                f"({result_path}): expected {meta['npz_sha256'][:12]}…, "
+                f"got {digest[:12]}… — delete the entry's .json/.npz "
+                "pair to recompute it"
+            )
+        try:
+            result = MonteCarloResult.from_npz(result_path)
+        except ValueError as exc:
+            raise StoreCorruptionError(
+                f"store entry {key} result payload is corrupt "
+                f"({result_path}): {exc}"
+            ) from exc
+        if result.shots != int(meta["shots"]) or result.failures != int(
+            meta["failures"]
+        ):
+            raise StoreCorruptionError(
+                f"store entry {key}: metadata says "
+                f"{meta['shots']} shots / {meta['failures']} failures "
+                f"but the payload holds {result.shots} / "
+                f"{result.failures} — delete the entry's .json/.npz "
+                "pair to recompute it"
+            )
+        return StoreEntry(key=key, meta=meta, result=result)
+
+    # -- writes --------------------------------------------------------
+
+    def put(
+        self,
+        key: str,
+        identity: dict,
+        result: MonteCarloResult,
+        *,
+        shards_done: int,
+        shard_shots: int,
+        label: str = "",
+        extra: dict | None = None,
+    ) -> StoreEntry:
+        """Atomically persist (or replace) the entry for ``key``."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        result_path = self._result_path(key)
+        meta_path = self._meta_path(key)
+        # Process-unique temp names: concurrent writers of the same key
+        # can never read or rename each other's half-written payloads.
+        tmp_result = Path(f"{result_path}.{os.getpid()}.tmp")
+        result.to_npz(tmp_result)
+        meta = {
+            "version": _META_VERSION,
+            "key": key,
+            "identity": identity,
+            "label": label,
+            "shards_done": int(shards_done),
+            "shard_shots": int(shard_shots),
+            "shots": int(result.shots),
+            "failures": int(result.failures),
+            "problem_name": result.problem_name,
+            "decoder_name": result.decoder_name,
+            "npz_sha256": _sha256_file(tmp_result),
+            "updated_at": time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+            ),
+        }
+        if extra:
+            meta.update(extra)
+        tmp_meta = Path(f"{meta_path}.{os.getpid()}.tmp")
+        with open(tmp_meta, "w", encoding="utf-8") as handle:
+            json.dump(meta, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        # Under the exclusive lock, npz lands first: a crash between
+        # the two replaces leaves the old json pointing at a payload
+        # whose checksum no longer matches — reported as corruption,
+        # never silently mixed.
+        with self._locked(exclusive=True):
+            os.replace(tmp_result, result_path)
+            os.replace(tmp_meta, meta_path)
+        return StoreEntry(key=key, meta=meta, result=result)
+
+    def delete(self, key: str) -> None:
+        """Remove an entry (both halves; missing halves are fine)."""
+        with self._locked(exclusive=True):
+            for path in (self._meta_path(key), self._result_path(key)):
+                try:
+                    os.remove(path)
+                except FileNotFoundError:
+                    pass
+
+
+def _sha256_file(path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()

@@ -1,0 +1,1 @@
+"""Tests for the declarative sweep layer (repro.sweeps)."""

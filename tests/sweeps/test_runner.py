@@ -1,0 +1,290 @@
+"""Resumable sweep runs: caching, merge-on-resume parity, workers."""
+
+import numpy as np
+import pytest
+
+from repro.sweeps import (
+    ResultsStore,
+    StoreCorruptionError,
+    plan_sweep,
+    run_sweep_spec,
+    spec_from_mapping,
+    sweep_csv,
+    sweep_tables,
+)
+
+
+def _spec(shots=192, max_failures=None, target_rse=None, decoders=None):
+    sweep = {
+        "name": "t",
+        "seed": 13,
+        "shots": shots,
+        "shard_shots": 64,
+        "batch_size": 64,
+    }
+    if max_failures is not None:
+        sweep["max_failures"] = max_failures
+    if target_rse is not None:
+        sweep["target_rse"] = target_rse
+    return spec_from_mapping({
+        "sweep": sweep,
+        "grid": [{
+            "figure": "g",
+            "codes": ["surface_3"],
+            "model": "code_capacity",
+            "p": [0.1],
+            "decoders": decoders or ["min_sum_bp", "bpsf"],
+        }],
+    })
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultsStore(tmp_path / "store")
+
+
+class TestCaching:
+    def test_second_run_computes_zero_shots(self, store):
+        spec = _spec()
+        first = run_sweep_spec(spec, store)
+        assert first.new_shots == 2 * 192
+        assert first.counts() == {"resolved": 2}
+        second = run_sweep_spec(spec, store)
+        assert second.new_shots == 0
+        assert second.counts() == {"resolved": 2}
+        # The cached results are the stored ones, byte for byte.
+        for key, result in second.results.items():
+            assert np.array_equal(
+                result.iterations, first.results[key].iterations
+            )
+
+    def test_plan_statuses(self, store):
+        spec = _spec()
+        assert [p.status for p in plan_sweep(spec, store)] == \
+            ["missing", "missing"]
+        run_sweep_spec(spec, store)
+        assert [p.status for p in plan_sweep(spec, store)] == \
+            ["resolved", "resolved"]
+        bigger = spec.with_budget(shots=448)
+        assert [p.status for p in plan_sweep(bigger, store)] == \
+            ["extend", "extend"]
+
+    def test_lowered_budget_is_still_resolved(self, store):
+        spec = _spec()
+        run_sweep_spec(spec, store)
+        smaller = spec.with_budget(shots=64)
+        # 64-shot override shrinks nothing here (shard size already 64,
+        # same identity) — the stored 192 shots over-satisfy it.
+        report = run_sweep_spec(smaller, store)
+        assert report.new_shots == 0
+
+
+class TestResumeParity:
+    def test_budget_growth_matches_fresh_full_run(self, store, tmp_path):
+        # Stage 1: small fixed budget.  Stage 2: bigger budget with an
+        # adaptive target.  The merged store entry must be bit-identical
+        # to a single fresh run at the stage-2 budget.
+        small = _spec(shots=128)
+        run_sweep_spec(small, store)
+        grown = _spec(shots=704, max_failures=25)
+        resumed = run_sweep_spec(grown, store)
+        fresh_store = ResultsStore(tmp_path / "fresh")
+        fresh = run_sweep_spec(grown, fresh_store)
+        assert resumed.new_shots > 0
+        for point in grown.points:
+            a = resumed.results[point.key]
+            b = fresh.results[point.key]
+            assert a.shots == b.shots
+            assert a.failures == b.failures
+            assert (a.initial_successes, a.post_processed,
+                    a.unconverged) == (b.initial_successes,
+                                       b.post_processed, b.unconverged)
+            assert np.array_equal(a.iterations, b.iterations)
+            assert a.iterations.dtype == b.iterations.dtype
+            assert np.array_equal(
+                a.parallel_iterations, b.parallel_iterations
+            )
+
+    def test_adaptive_target_resolves_and_caches(self, store):
+        spec = _spec(shots=6400, max_failures=10)
+        first = run_sweep_spec(spec, store)
+        assert all(p.result.failures >= 10 for p in first.plans)
+        assert all(p.result.shots < 6400 for p in first.plans)
+        second = run_sweep_spec(spec, store)
+        assert second.new_shots == 0
+
+    def test_tightening_target_extends_stored_entry(self, store):
+        loose = _spec(shots=6400, max_failures=5)
+        first = run_sweep_spec(loose, store)
+        tight = _spec(shots=6400, max_failures=20)
+        second = run_sweep_spec(tight, store)
+        assert second.new_shots > 0
+        for point in tight.points:
+            assert second.results[point.key].failures >= 20
+            assert (second.results[point.key].shots
+                    > first.results[point.key].shots)
+
+
+class TestWorkers:
+    def test_pooled_run_matches_serial(self, store, tmp_path):
+        spec = _spec(shots=256)
+        serial = run_sweep_spec(spec, store)
+        pooled = run_sweep_spec(
+            spec, ResultsStore(tmp_path / "pooled"), n_workers=2
+        )
+        for point in spec.points:
+            a = serial.results[point.key]
+            b = pooled.results[point.key]
+            assert a.failures == b.failures
+            assert np.array_equal(a.iterations, b.iterations)
+
+    def test_pooled_resume_matches_serial_resume(self, store, tmp_path):
+        small = _spec(shots=128)
+        grown = _spec(shots=448, max_failures=30)
+        run_sweep_spec(small, store)
+        serial = run_sweep_spec(grown, store)
+        pooled_store = ResultsStore(tmp_path / "pooled")
+        run_sweep_spec(small, pooled_store, n_workers=2)
+        pooled = run_sweep_spec(grown, pooled_store, n_workers=2)
+        for point in grown.points:
+            assert np.array_equal(
+                serial.results[point.key].iterations,
+                pooled.results[point.key].iterations,
+            )
+
+
+class TestIncrementalPersistence:
+    def test_completed_points_survive_a_mid_sweep_crash(self, store):
+        # Point 1 is fine; point 2's inline decoder config blows up at
+        # construction time (inside the engine, after point 1 already
+        # finished).  The crash must not lose point 1's shots.
+        def mapping(second_decoder):
+            return {
+                "sweep": {"name": "t", "seed": 13, "shots": 128,
+                          "shard_shots": 64, "batch_size": 64},
+                "grid": [
+                    {"figure": "ok", "codes": ["surface_3"],
+                     "p": [0.1], "decoders": ["min_sum_bp"]},
+                    {"figure": "boom", "codes": ["surface_3"],
+                     "p": [0.1], "decoder": [second_decoder]},
+                ],
+            }
+
+        broken = spec_from_mapping(mapping(
+            {"type": "min_sum_bp", "no_such_kwarg": 1}
+        ))
+        with pytest.raises(TypeError):
+            run_sweep_spec(broken, store)
+        fixed = spec_from_mapping(mapping(
+            {"type": "min_sum_bp", "max_iter": 9}
+        ))
+        plans = plan_sweep(fixed, store)
+        assert [p.status for p in plans] == ["resolved", "missing"]
+        report = run_sweep_spec(fixed, store)
+        assert report.new_shots == 128  # only the crashed point
+
+    def test_engine_on_result_fires_per_task(self):
+        from repro.codes import surface_code
+        from repro.noise import code_capacity_problem
+        from repro.sim import PointTask, run_point_tasks
+
+        problem = code_capacity_problem(surface_code(3), 0.1)
+        tasks = [
+            PointTask(label=name, problem=problem, decoder="min_sum_bp",
+                      shots=128, seed=i, shard_shots=64)
+            for i, name in enumerate(["a", "b"])
+        ]
+        seen = {}
+        out = run_point_tasks(tasks, on_result=seen.__setitem__)
+        assert set(seen) == {"a", "b"}
+        for name in seen:
+            assert seen[name].shots == out[name].shots
+            assert np.array_equal(
+                seen[name].iterations, out[name].iterations
+            )
+
+
+class TestFailureModes:
+    def test_corrupt_entry_fails_the_plan(self, store):
+        spec = _spec()
+        run_sweep_spec(spec, store)
+        key = spec.points[0].key
+        (store.root / f"{key}.npz").write_bytes(b"garbage")
+        with pytest.raises(StoreCorruptionError):
+            plan_sweep(spec, store)
+
+    def test_hand_edited_identity_rejected(self, store):
+        import json
+
+        spec = _spec()
+        run_sweep_spec(spec, store)
+        key = spec.points[0].key
+        path = store.root / f"{key}.json"
+        meta = json.loads(path.read_text())
+        meta["identity"]["p"] = 0.5
+        path.write_text(json.dumps(meta))
+        with pytest.raises(ValueError, match="does not match"):
+            plan_sweep(spec, store)
+
+
+class TestExport:
+    def test_tables_and_csv_cover_all_points(self, store):
+        spec = _spec()
+        run_sweep_spec(spec, store)
+        tables = sweep_tables(spec, store)
+        assert len(tables) == 1
+        assert len(tables[0].rows) == 2
+        assert tables[0].columns[:3] == ["code", "p", "decoder"]
+        csv_text = sweep_csv(spec, store)
+        lines = csv_text.strip().splitlines()
+        assert len(lines) == 3  # header + 2 points
+        assert "stored" in lines[1]
+
+    def test_missing_points_are_flagged_not_dropped(self, store):
+        spec = _spec()
+        table = sweep_tables(spec, store)[0]
+        assert table.rows == []
+        assert "not in store" in table.notes[0]
+        csv_text = sweep_csv(spec, store)
+        assert csv_text.count("missing") == 2
+
+    def test_circuit_tables_show_rounds(self, store):
+        spec = spec_from_mapping({
+            "sweep": {"name": "t", "seed": 1, "shots": 64,
+                      "shard_shots": 64, "batch_size": 64},
+            "grid": [{
+                "figure": "c", "codes": ["surface_3"],
+                "model": "circuit", "p": [2e-3], "rounds": [2, 3],
+                "decoders": ["min_sum_bp"],
+            }],
+        })
+        run_sweep_spec(spec, store)
+        table = sweep_tables(spec, store)[0]
+        codes = [row[0] for row in table.rows]
+        assert codes == ["surface_3 r=2", "surface_3 r=3"]
+
+    def test_tables_can_render_from_in_memory_results(self, store):
+        spec = _spec()
+        report = run_sweep_spec(spec, store)
+        # An empty store + the report's results must still render every
+        # row (the `sweep run` no-second-read path).
+        empty = ResultsStore(store.root.parent / "empty")
+        table = sweep_tables(spec, empty, results=report.results)[0]
+        assert len(table.rows) == 2
+        assert table.notes == []
+
+    def test_csv_rows_are_rectangular(self, store):
+        # Missing and stored rows must both match the header width.
+        import csv as csv_module
+        import io
+
+        spec = _spec()
+        run_sweep_spec(
+            spec.with_budget(shots=64), store
+        )  # one point stored...
+        partial = _spec(decoders=["min_sum_bp", "bpsf", "bposd"])
+        rows = list(csv_module.reader(
+            io.StringIO(sweep_csv(partial, store))
+        ))
+        widths = {len(row) for row in rows}
+        assert widths == {len(rows[0])}

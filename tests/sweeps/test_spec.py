@@ -1,0 +1,275 @@
+"""Sweep-spec loading, expansion and identity-hash stability."""
+
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro.sweeps import (
+    ConfiguredDecoderFactory,
+    DecoderSpec,
+    load_spec,
+    spec_from_mapping,
+)
+from repro.sweeps.spec import DECODER_TYPES, _decoder_types
+
+
+def _mapping(**overrides):
+    data = {
+        "sweep": {
+            "name": "t",
+            "seed": 3,
+            "shots": 256,
+            "shard_shots": 64,
+            "batch_size": 64,
+        },
+        "grid": [
+            {
+                "figure": "g0",
+                "codes": ["surface_3"],
+                "model": "code_capacity",
+                "p": [0.1, 0.05],
+                "decoders": ["min_sum_bp", "bpsf"],
+            }
+        ],
+    }
+    data["sweep"].update(overrides.pop("sweep", {}))
+    if "grid" in overrides:
+        data["grid"] = overrides["grid"]
+    return data
+
+
+class TestExpansion:
+    def test_cartesian_product(self):
+        spec = spec_from_mapping(_mapping())
+        assert len(spec.points) == 4  # 2 p × 2 decoders
+        assert spec.figures() == ["g0"]
+        assert {p.p for p in spec.points} == {0.1, 0.05}
+
+    def test_checked_in_smoke_spec(self):
+        spec = load_spec("sweeps/smoke.toml")
+        assert spec.name == "smoke"
+        assert len(spec.points) == 2
+        for point in spec.points:
+            assert point.shots % point.shard_shots == 0
+
+    def test_checked_in_paper_spec_expands(self):
+        spec = load_spec("sweeps/paper_figures.toml")
+        assert spec.figures() == ["fig5", "fig7", "fig9"]
+        # fig5: 3p × 3 decoders; fig7: 2 × 3; fig9: 2 × 2.
+        assert len(spec.points) == 9 + 6 + 4
+        fig7 = [p for p in spec.points if p.figure == "fig7"]
+        assert all(p.model == "circuit" and p.rounds == 12 for p in fig7)
+
+    def test_circuit_rounds_default_to_distance(self):
+        spec = spec_from_mapping(_mapping(grid=[{
+            "figure": "c",
+            "codes": ["surface_3"],
+            "model": "circuit",
+            "p": [1e-3],
+            "decoders": ["min_sum_bp"],
+        }]))
+        assert spec.points[0].rounds == 3
+
+    def test_budget_rounds_up_to_whole_shards(self):
+        spec = spec_from_mapping(_mapping(sweep={"shots": 100}))
+        assert spec.points[0].shots == 128  # ceil(100/64)*64
+        assert spec.points[0].n_shards == 2
+
+    def test_small_budget_shrinks_shard(self):
+        spec = spec_from_mapping(_mapping(sweep={"shots": 40}))
+        assert spec.points[0].shard_shots == 40
+        assert spec.points[0].shots == 40
+
+    def test_with_budget_override(self):
+        spec = spec_from_mapping(_mapping())
+        tiny = spec.with_budget(shots=16)
+        assert all(p.shots == 16 and p.shard_shots == 16
+                   for p in tiny.points)
+        cleared = spec.with_budget(override_targets=True)
+        assert all(p.max_failures is None and p.target_rse is None
+                   for p in cleared.points)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("grid, message", [
+        ({"codes": ["nope"], "p": [0.1], "decoders": ["bpsf"]},
+         "unknown code"),
+        ({"codes": ["surface_3"], "p": [0.1], "decoders": ["nope"]},
+         "unknown decoder registry name"),
+        ({"codes": ["surface_3"], "p": [0.1],
+          "decoder": [{"type": "warp"}]}, "unknown decoder type"),
+        ({"codes": ["surface_3"], "p": [0.1], "decoders": ["bpsf"],
+          "model": "thermal"}, "unknown model"),
+        ({"codes": ["surface_3"], "decoders": ["bpsf"]}, "'p' list"),
+        ({"p": [0.1], "decoders": ["bpsf"]}, "'codes' list"),
+        ({"codes": ["surface_3"], "p": [0.1]}, "decoders"),
+        ({"codes": ["surface_3"], "p": [0.1], "decoders": ["bpsf"],
+          "target_rse": -1}, "target_rse"),
+        ({"codes": ["surface_3"], "p": [0.1], "decoders": ["bpsf"],
+          "backend": "warp"}, "unknown backend"),
+    ])
+    def test_bad_grids_fail_loudly(self, grid, message):
+        with pytest.raises(ValueError, match=message):
+            spec_from_mapping(_mapping(grid=[grid]))
+
+    def test_typoed_keys_rejected(self):
+        # A typo like max_failure (no 's') must not silently drop the
+        # budget knob and burn the full shot budget.
+        with pytest.raises(ValueError, match="max_failure"):
+            spec_from_mapping(_mapping(sweep={"max_failure": 100}))
+        with pytest.raises(ValueError, match="target_rce"):
+            spec_from_mapping(_mapping(grid=[{
+                "codes": ["surface_3"], "p": [0.1],
+                "decoders": ["bpsf"], "target_rce": 0.1,
+            }]))
+        with pytest.raises(ValueError, match="grids"):
+            spec_from_mapping({"sweep": {"name": "x"},
+                               "grids": [{}]})
+
+    def test_no_grids(self):
+        with pytest.raises(ValueError, match="no \\[\\[grid\\]\\]"):
+            spec_from_mapping({"sweep": {"name": "x"}})
+
+    def test_duplicate_points_rejected(self):
+        grid = {
+            "figure": "g",
+            "codes": ["surface_3"],
+            "p": [0.1],
+            "decoders": ["bpsf"],
+        }
+        with pytest.raises(ValueError, match="duplicate sweep point"):
+            spec_from_mapping(_mapping(grid=[grid, dict(grid)]))
+
+    def test_distanceless_code_needs_rounds(self):
+        with pytest.raises(ValueError, match="rounds"):
+            spec_from_mapping(_mapping(grid=[{
+                "codes": ["gb_254_28"],
+                "model": "circuit",
+                "p": [1e-3],
+                "decoders": ["min_sum_bp"],
+            }]))
+
+    def test_decoder_types_list_matches_class_map(self):
+        assert DECODER_TYPES == tuple(sorted(_decoder_types()))
+
+    def test_scalar_axes_accepted(self):
+        # A single string where a list is expected is an easy TOML slip
+        # on every axis; all of them must behave like one-element lists.
+        spec = spec_from_mapping(_mapping(grid=[{
+            "codes": "surface_3",
+            "p": 0.1,
+            "decoders": "bpsf",
+        }]))
+        assert len(spec.points) == 1
+        assert spec.points[0].decoder.label == "bpsf"
+
+
+class TestIdentity:
+    def test_budgets_and_backend_do_not_change_key(self):
+        base = spec_from_mapping(_mapping()).points[0]
+        refined = base.with_budget(shots=1024, max_failures=500,
+                                   target_rse=0.01)
+        assert refined.key == base.key
+        rebackend = spec_from_mapping(
+            _mapping(sweep={"backend": "reference"})
+        ).points[0]
+        assert rebackend.key == base.key
+
+    @pytest.mark.parametrize("sweep_override", [
+        {"seed": 4}, {"shard_shots": 32}, {"batch_size": 32},
+    ])
+    def test_stream_knobs_change_key(self, sweep_override):
+        base = spec_from_mapping(_mapping()).points[0]
+        other = spec_from_mapping(
+            _mapping(sweep=sweep_override)
+        ).points[0]
+        assert other.key != base.key
+
+    def test_decoder_params_change_key(self):
+        def point(max_iter):
+            return spec_from_mapping(_mapping(grid=[{
+                "codes": ["surface_3"], "p": [0.1],
+                "decoder": [{"type": "min_sum_bp",
+                             "max_iter": max_iter}],
+            }])).points[0]
+
+        assert point(10).key != point(20).key
+
+    def test_key_is_order_independent(self):
+        # Reordering grids must not move any point's identity (and
+        # therefore its seed root): entries stay valid under spec edits.
+        data = _mapping(grid=[
+            {"figure": "a", "codes": ["surface_3"], "p": [0.1],
+             "decoders": ["bpsf"]},
+            {"figure": "b", "codes": ["surface_3"], "p": [0.05],
+             "decoders": ["min_sum_bp"]},
+        ])
+        forward = spec_from_mapping(data)
+        data["grid"].reverse()
+        backward = spec_from_mapping(data)
+        assert {p.key for p in forward.points} == \
+            {p.key for p in backward.points}
+        roots = {p.key: p.seed_root().entropy for p in forward.points}
+        for point in backward.points:
+            assert point.seed_root().entropy == roots[point.key]
+
+    def test_key_is_stable_across_processes(self):
+        # Content hashes must not depend on PYTHONHASHSEED or any other
+        # per-process state: a store written yesterday must resolve
+        # today's identical spec.
+        parent = [p.key for p in spec_from_mapping(_mapping()).points]
+        script = (
+            "import sys; sys.path.insert(0, 'src')\n"
+            "from tests.sweeps.test_spec import _mapping\n"
+            "from repro.sweeps import spec_from_mapping\n"
+            "print(' '.join(p.key for p in "
+            "spec_from_mapping(_mapping()).points))\n"
+        )
+        for hashseed in ("0", "424242"):
+            child = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, check=True,
+                env={"PYTHONHASHSEED": hashseed, "PATH": "/usr/bin:/bin"},
+                cwd=".",
+            )
+            assert child.stdout.split() == parent
+
+
+class TestDecoderSpecs:
+    def test_registry_entry(self):
+        spec = DecoderSpec.from_entry("bpsf")
+        assert spec.label == "bpsf" and spec.registry == "bpsf"
+
+    def test_inline_entry_builds_and_pickles(self):
+        from repro.codes import surface_code
+        from repro.decoders import MinSumBP
+        from repro.noise import code_capacity_problem
+
+        spec = DecoderSpec.from_entry(
+            {"type": "min_sum_bp", "max_iter": 17}
+        )
+        assert spec.label == "min_sum_bp(max_iter=17)"
+        factory = spec.factory(None)
+        clone = pickle.loads(pickle.dumps(factory))
+        problem = code_capacity_problem(surface_code(3), 0.1)
+        decoder = clone(problem)
+        assert isinstance(decoder, MinSumBP)
+        assert decoder.max_iter == 17
+
+    def test_inline_entry_backend_scoped(self):
+        factory = ConfiguredDecoderFactory(
+            "min_sum_bp", {"max_iter": 5}, backend="reference"
+        )
+        from repro.codes import surface_code
+        from repro.noise import code_capacity_problem
+
+        decoder = factory(code_capacity_problem(surface_code(3), 0.1))
+        assert decoder.backend == "reference"
+
+    def test_bad_entries(self):
+        with pytest.raises(ValueError, match="'type'"):
+            DecoderSpec.from_entry({"max_iter": 5})
+        with pytest.raises(ValueError, match="registry-name string"):
+            DecoderSpec.from_entry(3.14)

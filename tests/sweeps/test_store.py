@@ -1,0 +1,160 @@
+"""Persistent results store: exact round trips, loud corruption."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.codes import surface_code
+from repro.noise import code_capacity_problem
+from repro.sim import MonteCarloResult, run_ler_parallel
+from repro.sweeps import ResultsStore, StoreCorruptionError
+
+
+@pytest.fixture(scope="module")
+def result():
+    problem = code_capacity_problem(surface_code(3), 0.1)
+    return run_ler_parallel(problem, "min_sum_bp", 128, 5)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultsStore(tmp_path / "store")
+
+
+KEY = "ab" * 32
+IDENTITY = {"code": "surface_3", "p": 0.1}
+
+
+def _put(store, result, key=KEY):
+    return store.put(
+        key, IDENTITY, result, shards_done=1, shard_shots=128,
+        label="test-point",
+    )
+
+
+class TestRoundTrip:
+    def test_missing_is_none(self, store):
+        assert store.get(KEY) is None
+        assert KEY not in store
+        assert store.keys() == []
+
+    def test_put_get_exact(self, store, result):
+        _put(store, result)
+        entry = store.get(KEY)
+        loaded = entry.result
+        assert loaded.shots == result.shots
+        assert loaded.failures == result.failures
+        assert loaded.rounds == result.rounds
+        assert loaded.problem_name == result.problem_name
+        assert loaded.decoder_name == result.decoder_name
+        assert np.array_equal(loaded.iterations, result.iterations)
+        assert loaded.iterations.dtype == result.iterations.dtype
+        assert np.array_equal(
+            loaded.parallel_iterations, result.parallel_iterations
+        )
+        assert (loaded.parallel_iterations.dtype
+                == result.parallel_iterations.dtype)
+        assert entry.shards_done == 1
+        assert entry.identity == IDENTITY
+        assert entry.meta["label"] == "test-point"
+
+    def test_loaded_result_merges_bit_identically(self, store, result):
+        # The store's reason to exist: a reloaded prefix + fresh chunks
+        # must merge exactly like two in-memory chunks.
+        _put(store, result)
+        loaded = store.get(KEY).result
+        in_memory = MonteCarloResult.merge([result, result])
+        from_store = MonteCarloResult.merge([loaded, result])
+        assert from_store.failures == in_memory.failures
+        assert np.array_equal(from_store.iterations, in_memory.iterations)
+        assert from_store.iterations.dtype == in_memory.iterations.dtype
+
+    def test_npz_roundtrip_preserves_float_dtypes(self, tmp_path, result):
+        # Some decoders report float iteration columns; dtypes must
+        # survive (a JSON-style round trip would not preserve them).
+        odd = MonteCarloResult(
+            problem_name="p", decoder_name="d", shots=3, failures=1,
+            rounds=2, initial_successes=2, post_processed=1,
+            unconverged=0,
+            iterations=np.array([1.5, 2.0, 4.25], dtype=np.float32),
+            parallel_iterations=np.array([1, 2, 3], dtype=np.int32),
+        )
+        path = tmp_path / "odd.npz"
+        odd.to_npz(path)
+        loaded = MonteCarloResult.from_npz(path)
+        assert loaded.iterations.dtype == np.float32
+        assert loaded.parallel_iterations.dtype == np.int32
+        assert np.array_equal(loaded.iterations, odd.iterations)
+
+    def test_put_overwrites_atomically(self, store, result):
+        _put(store, result)
+        bigger = MonteCarloResult.merge([result, result])
+        store.put(KEY, IDENTITY, bigger, shards_done=2, shard_shots=128)
+        entry = store.get(KEY)
+        assert entry.result.shots == 2 * result.shots
+        assert entry.shards_done == 2
+        assert not list(store.root.glob("*.tmp"))
+
+    def test_keys_and_delete(self, store, result):
+        _put(store, result)
+        assert store.keys() == [KEY]
+        assert KEY in store
+        store.delete(KEY)
+        assert store.get(KEY) is None
+        assert store.keys() == []
+
+
+class TestCorruption:
+    def test_half_written_entry_fails_loudly(self, store, result):
+        _put(store, result)
+        (store.root / f"{KEY}.npz").unlink()
+        with pytest.raises(StoreCorruptionError, match="half-written"):
+            store.get(KEY)
+
+    def test_orphan_payload_fails_loudly(self, store, result):
+        _put(store, result)
+        (store.root / f"{KEY}.json").unlink()
+        with pytest.raises(StoreCorruptionError, match="half-written"):
+            store.get(KEY)
+
+    def test_truncated_payload_fails_checksum(self, store, result):
+        _put(store, result)
+        path = store.root / f"{KEY}.npz"
+        path.write_bytes(path.read_bytes()[:40])
+        with pytest.raises(StoreCorruptionError, match="checksum"):
+            store.get(KEY)
+
+    def test_unparsable_metadata_fails_loudly(self, store, result):
+        _put(store, result)
+        (store.root / f"{KEY}.json").write_text("{not json")
+        with pytest.raises(StoreCorruptionError, match="unreadable"):
+            store.get(KEY)
+
+    def test_missing_metadata_field_fails_loudly(self, store, result):
+        _put(store, result)
+        path = store.root / f"{KEY}.json"
+        meta = json.loads(path.read_text())
+        del meta["shards_done"]
+        path.write_text(json.dumps(meta))
+        with pytest.raises(StoreCorruptionError, match="shards_done"):
+            store.get(KEY)
+
+    def test_counter_mismatch_fails_loudly(self, store, result):
+        _put(store, result)
+        path = store.root / f"{KEY}.json"
+        meta = json.loads(path.read_text())
+        meta["shots"] = meta["shots"] + 1
+        path.write_text(json.dumps(meta))
+        with pytest.raises(StoreCorruptionError, match="metadata says"):
+            store.get(KEY)
+
+    def test_renamed_entry_fails_loudly(self, store, result):
+        _put(store, result)
+        other = "cd" * 32
+        for suffix in (".json", ".npz"):
+            (store.root / f"{KEY}{suffix}").rename(
+                store.root / f"{other}{suffix}"
+            )
+        with pytest.raises(StoreCorruptionError, match="claims key"):
+            store.get(other)

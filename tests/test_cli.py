@@ -119,6 +119,161 @@ class TestCommands:
         assert "TOO SLOW" in capsys.readouterr().out
 
 
+class TestSweepCommands:
+    SPEC = "sweeps/smoke.toml"
+
+    def test_run_show_export_roundtrip(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["sweep", "run", self.SPEC, "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "total new shots: 384" in out
+        assert "surface_3" in out  # final table rendered
+        assert main(["sweep", "show", self.SPEC, "--store", store]) == 0
+        shown = capsys.readouterr().out
+        assert "2 points: 2 resolved, 0 would run" in shown
+        target = str(tmp_path / "out.csv")
+        assert main(["sweep", "export", self.SPEC, "--store", store,
+                     "--format", "csv", "--out", target]) == 0
+        with open(target, encoding="utf-8") as handle:
+            assert handle.readline().startswith("figure,code,model")
+
+    def test_run_is_worker_count_reproducible(self, tmp_path, capsys):
+        serial = str(tmp_path / "serial")
+        pooled = str(tmp_path / "pooled")
+        assert main(["sweep", "run", self.SPEC, "--store", serial]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "run", self.SPEC, "--store", pooled,
+                     "--workers", "2"]) == 0
+        capsys.readouterr()
+        import json
+        import os
+
+        def failures(store):
+            out = {}
+            for name in os.listdir(store):
+                if name.endswith(".json"):
+                    meta = json.load(open(os.path.join(store, name)))
+                    out[meta["key"]] = (meta["shots"], meta["failures"])
+            return out
+
+        assert failures(serial) == failures(pooled)
+
+    def test_missing_spec_exits_2(self, capsys):
+        assert main(["sweep", "run", "no/such/spec.toml"]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_invalid_spec_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.toml"
+        bad.write_text(
+            "[sweep]\nname='x'\n[[grid]]\ncodes=['nope']\n"
+            "p=[0.1]\ndecoders=['bpsf']\n"
+        )
+        assert main(["sweep", "run", str(bad)]) == 2
+        assert "unknown code" in capsys.readouterr().err
+
+    def test_unparsable_spec_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.toml"
+        bad.write_text("[sweep\n")
+        assert main(["sweep", "show", str(bad)]) == 2
+        assert "invalid sweep spec" in capsys.readouterr().err
+
+    def test_bad_workers_exits_2(self, capsys):
+        assert main(["sweep", "run", self.SPEC, "--workers", "0"]) == 2
+        assert "must be positive" in capsys.readouterr().err
+
+    def test_bad_shots_exits_2(self, capsys):
+        assert main(["sweep", "run", self.SPEC, "--shots", "0"]) == 2
+        assert "must be positive" in capsys.readouterr().err
+
+    def test_override_identity_collision_exits_2(self, tmp_path, capsys):
+        # Two grids identical except shard size are distinct points —
+        # until a tiny --shots clamp collapses both shard sizes to the
+        # override, at which point the identities collide.  That must
+        # be a friendly exit-2, not a traceback.
+        spec = tmp_path / "twin.toml"
+        spec.write_text(
+            "[sweep]\nname='twin'\nshots=192\n"
+            "[[grid]]\ncodes=['surface_3']\np=[0.1]\n"
+            "decoders=['min_sum_bp']\nshard_shots=64\n"
+            "[[grid]]\ncodes=['surface_3']\np=[0.1]\n"
+            "decoders=['min_sum_bp']\nshard_shots=96\n"
+        )
+        assert main(["sweep", "show", str(spec)]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "show", str(spec), "--shots", "8"]) == 2
+        err = capsys.readouterr().err
+        assert "invalid budget override" in err
+        assert "duplicate sweep point" in err
+
+    def test_bad_budget_overrides_exit_2(self, capsys):
+        assert main(["sweep", "run", self.SPEC,
+                     "--target-rse", "-0.5"]) == 2
+        assert "--target-rse must be positive" in \
+            capsys.readouterr().err
+        assert main(["sweep", "show", self.SPEC,
+                     "--max-failures", "0"]) == 2
+        assert "--max-failures must be positive" in \
+            capsys.readouterr().err
+
+    def test_negative_shard_timeout_exits_2(self, capsys):
+        assert main(["sweep", "run", self.SPEC,
+                     "--shard-timeout", "-5"]) == 2
+        assert "--shard-timeout must be >= 0" in \
+            capsys.readouterr().err
+        assert main(["ler", "surface_3", "--shard-timeout", "-5"]) == 2
+        assert "--shard-timeout must be >= 0" in \
+            capsys.readouterr().err
+
+    def test_hand_edited_store_identity_exits_2(self, tmp_path, capsys):
+        import json
+        import os
+
+        store = str(tmp_path / "store")
+        assert main(["sweep", "run", self.SPEC, "--store", store]) == 0
+        capsys.readouterr()
+        name = next(n for n in os.listdir(store)
+                    if n.endswith(".json"))
+        path = os.path.join(store, name)
+        meta = json.load(open(path))
+        meta["identity"]["p"] = 0.31
+        json.dump(meta, open(path, "w"))
+        assert main(["sweep", "show", self.SPEC, "--store", store]) == 2
+        err = capsys.readouterr().err
+        assert "sweep failed" in err and "hand-edited" in err
+
+    def test_corrupt_store_exits_2(self, tmp_path, capsys):
+        import os
+
+        store = str(tmp_path / "store")
+        assert main(["sweep", "run", self.SPEC, "--store", store]) == 0
+        capsys.readouterr()
+        for name in os.listdir(store):
+            if name.endswith(".npz"):
+                os.remove(os.path.join(store, name))
+                break
+        assert main(["sweep", "show", self.SPEC, "--store", store]) == 2
+        assert "corrupted" in capsys.readouterr().err
+
+    def test_sweep_parser_defaults(self):
+        args = build_parser().parse_args(["sweep", "run", "x.toml"])
+        assert args.store == "sweep-store"
+        assert args.workers == 1
+        assert args.shots is None and args.target_rse is None
+        args = build_parser().parse_args(
+            ["sweep", "export", "x.toml", "--format", "csv",
+             "--out", "y.csv"]
+        )
+        assert args.format == "csv" and args.out == "y.csv"
+
+    def test_help_epilog_covers_subcommands(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])
+        out = capsys.readouterr().out
+        for token in ("sweep run", "sweep show", "sweep export",
+                      "ler CODE", "docs/reproducing-figures.md"):
+            assert token in out
+
+
 class TestNewParsers:
     def test_ler_defaults(self):
         args = build_parser().parse_args(["ler", "bb_144_12_12"])
