@@ -20,6 +20,7 @@ Subpackages
 ``repro.decoders``  BP, layered BP, OSD, BP-OSD, BP-SF and executors
 ``repro.sim``       Monte-Carlo LER and latency harnesses
 ``repro.sweeps``    declarative sweep specs + persistent results store
+``repro.service``   asyncio decode server (batching, backpressure)
 ``repro.analysis``  oscillation / iteration / complexity studies
 ``repro.bench``     one experiment runner per paper figure and table
 """

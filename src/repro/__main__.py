@@ -21,6 +21,10 @@ Subcommands:
   oscillation-cluster report from live BP failures (Sec. III);
 * ``stream <code> [--rounds R]`` — streaming-queue simulation under
   the hardware latency model (the intro's backlog argument);
+* ``serve <code> [--clients M] [--workers K] [--max-batch B]`` — live
+  asyncio decode service: concurrent clients stream syndromes through
+  the cross-client batcher + worker pool, with backpressure and
+  queueing telemetry (the backlog argument on a *real* server);
 * ``hardware`` — the Discussion's real-time latency budget table.
 """
 
@@ -44,6 +48,8 @@ subcommand overview:
   sweep export SPEC     tables/CSV from stored results (no compute)
   analyze CODE          Tanner-graph + oscillation-cluster census
   stream CODE           streaming-queue simulation (hardware model)
+  serve CODE            live decode service: concurrent clients,
+                        cross-client batching, backpressure, telemetry
   hardware              real-time latency budget table
 
 docs: docs/reproducing-figures.md maps every paper figure to its sweep
@@ -105,6 +111,43 @@ def _cmd_decode(args) -> int:
     return 0
 
 
+class _ProgressPrinter:
+    """Single-line ``done/total`` progress meter on stderr.
+
+    Matches the engine's ``on_progress(done, total)`` signature — the
+    same instance serves ``ler``/``sweep run`` shard counters and the
+    decode service's per-request telemetry loop.
+    """
+
+    def __init__(self, label: str):
+        self.label = label
+        self._last = None
+
+    def __call__(self, done: int, total: int) -> None:
+        line = f"{self.label}: {done}/{total}"
+        if line == self._last:
+            return
+        # Pad to the previous line's length: an adaptive stop can
+        # *shrink* the total, and a shorter overwrite would otherwise
+        # leave stale digits from the longer one.
+        pad = " " * max(0, len(self._last or "") - len(line))
+        self._last = line
+        print(f"\r{line}{pad}", end="", file=sys.stderr, flush=True)
+
+    def close(self) -> None:
+        """Terminate the progress line before normal output resumes."""
+        if self._last is not None:
+            print(file=sys.stderr, flush=True)
+
+
+def _progress_arg(args, label: str):
+    """``(on_progress, close)`` pair for a ``--progress`` flag."""
+    if not getattr(args, "progress", False):
+        return None, lambda: None
+    printer = _ProgressPrinter(label)
+    return printer, printer.close
+
+
 def _shard_timeout_arg(value):
     """Normalize a ``--shard-timeout`` flag shared by ler and sweep run.
 
@@ -122,13 +165,23 @@ def _shard_timeout_arg(value):
     return (value if value > 0 else None), None
 
 
-def _cmd_ler(args) -> int:
+def _decode_workload(args):
+    """Validate the (code, decoder, backend) triple and build the task.
+
+    The shared front half of ``ler`` and ``serve``: registry checks
+    with friendly errors, then the problem (code capacity or circuit
+    level) and a **picklable** decoder factory carrying the selected
+    kernel backend — so worker processes build the decoder with that
+    backend and sharded/served runs stay bit-identical across backends
+    and worker counts.  Returns ``(problem, factory, None)`` or
+    ``(None, None, 2)`` after printing the error.
+    """
     from repro.circuits import circuit_level_problem
     from repro.codes import get_code, list_codes
     from repro.decoders.kernels import KERNEL_BACKENDS, resolve_backend
-    from repro.decoders.registry import DECODER_REGISTRY, make_decoder_factory
+    from repro.decoders.registry import DECODER_REGISTRY, \
+        make_decoder_factory
     from repro.noise import code_capacity_problem
-    from repro.sim import run_ler_parallel
 
     if args.decoder not in DECODER_REGISTRY:
         print(
@@ -136,14 +189,14 @@ def _cmd_ler(args) -> int:
             f"one of {', '.join(sorted(DECODER_REGISTRY))}",
             file=sys.stderr,
         )
-        return 2
+        return None, None, 2
     if args.code not in list_codes():
         print(
             f"unknown code {args.code!r}; "
             f"one of {', '.join(list_codes())}",
             file=sys.stderr,
         )
-        return 2
+        return None, None, 2
     try:
         backend = resolve_backend(args.backend)
     except ValueError:
@@ -152,14 +205,7 @@ def _cmd_ler(args) -> int:
             f"one of auto, {', '.join(sorted(KERNEL_BACKENDS))}",
             file=sys.stderr,
         )
-        return 2
-    if args.workers < 1 or args.shots < 1:
-        print("--workers and --shots must be positive", file=sys.stderr)
-        return 2
-    shard_timeout, timeout_error = _shard_timeout_arg(args.shard_timeout)
-    if timeout_error:
-        print(timeout_error, file=sys.stderr)
-        return 2
+        return None, None, 2
     try:
         if args.circuit:
             problem = circuit_level_problem(
@@ -171,21 +217,40 @@ def _cmd_ler(args) -> int:
         # E.g. a distance-less code needs an explicit --rounds.
         print(f"cannot build problem for {args.code!r}: {exc}",
               file=sys.stderr)
+        return None, None, 2
+    return problem, make_decoder_factory(args.decoder, backend=backend), \
+        None
+
+
+def _cmd_ler(args) -> int:
+    from repro.sim import run_ler_parallel
+
+    if args.workers < 1 or args.shots < 1:
+        print("--workers and --shots must be positive", file=sys.stderr)
         return 2
-    # A picklable factory (not a bare name) so worker processes build
-    # the decoder with the *selected* backend — sharded runs stay
-    # bit-identical across backends and worker counts.
-    result = run_ler_parallel(
-        problem,
-        make_decoder_factory(args.decoder, backend=backend),
-        args.shots,
-        args.seed,
-        n_workers=args.workers,
-        max_failures=args.max_failures,
-        target_rse=args.target_rse,
-        shard_shots=args.shard_shots,
-        shard_timeout=shard_timeout,
-    )
+    shard_timeout, timeout_error = _shard_timeout_arg(args.shard_timeout)
+    if timeout_error:
+        print(timeout_error, file=sys.stderr)
+        return 2
+    problem, factory, code = _decode_workload(args)
+    if problem is None:
+        return code
+    on_progress, close_progress = _progress_arg(args, "shards")
+    try:
+        result = run_ler_parallel(
+            problem,
+            factory,
+            args.shots,
+            args.seed,
+            n_workers=args.workers,
+            max_failures=args.max_failures,
+            target_rse=args.target_rse,
+            shard_shots=args.shard_shots,
+            shard_timeout=shard_timeout,
+            on_progress=on_progress,
+        )
+    finally:
+        close_progress()
     print(result)
     lo, hi = result.confidence_interval
     rse = (hi - lo) / (2 * result.ler) if result.failures else float("inf")
@@ -277,12 +342,14 @@ def _cmd_sweep_run(args) -> int:
         print(timeout_error, file=sys.stderr)
         return 2
     store = _sweep_store(args)
+    on_progress, close_progress = _progress_arg(args, "shards")
     try:
         report = run_sweep_spec(
             spec, store,
             n_workers=args.workers,
             shard_timeout=shard_timeout,
             progress=print,
+            on_progress=on_progress,
         )
     except StoreCorruptionError as exc:
         print(f"results store is corrupted: {exc}", file=sys.stderr)
@@ -293,6 +360,8 @@ def _cmd_sweep_run(args) -> int:
         # problem parameter the physics layer rejects.
         print(f"sweep failed: {exc}", file=sys.stderr)
         return 2
+    finally:
+        close_progress()
     counts = report.counts()
     summary = ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
     print(f"sweep {spec.name}: {summary}")
@@ -436,6 +505,94 @@ def _cmd_stream(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service import ServiceConfig, run_service_stream
+    from repro.sim.timing import measure_latency
+
+    if args.workers < 0:
+        print("--workers must be >= 0 (0 decodes in-process)",
+              file=sys.stderr)
+        return 2
+    if args.shots < 1 or args.clients < 1:
+        print("--shots and --clients must be positive", file=sys.stderr)
+        return 2
+    if args.max_batch < 1 or args.max_pending < 1:
+        print("--max-batch and --max-pending must be positive",
+              file=sys.stderr)
+        return 2
+    if args.period_us is not None and args.period_us <= 0:
+        print("--period-us must be positive", file=sys.stderr)
+        return 2
+    if args.rho <= 0:
+        print("--rho must be positive (values >= 1 demonstrate an "
+              "overloaded, diverging queue)", file=sys.stderr)
+        return 2
+    if args.flush_ms is not None and args.flush_ms < 0:
+        print("--flush-ms must be non-negative", file=sys.stderr)
+        return 2
+    problem, factory, code = _decode_workload(args)
+    if problem is None:
+        return code
+
+    if args.period_us is not None:
+        period = args.period_us * 1e-6
+        calibration = "fixed by --period-us"
+    else:
+        # Calibrate the arrival period to a target utilisation: time
+        # per-syndrome decodes offline (a throwaway decoder instance,
+        # so the service's own RNG streams are untouched) and set the
+        # period so mean service / period == --rho.  Single-shot
+        # latency is the conservative basis — cross-client batching
+        # only lowers the live per-shot service time below it.
+        warmup = min(32, args.shots)
+        timing = measure_latency(
+            problem, factory(problem), shots=warmup,
+            rng=np.random.default_rng(args.seed),
+        )
+        period = timing.wall_summary.mean / args.rho
+        calibration = (
+            f"calibrated from {warmup} warmup shots at target "
+            f"rho {args.rho:.2f}"
+        )
+
+    config = ServiceConfig(
+        max_batch=args.max_batch,
+        flush_latency=(
+            args.flush_ms * 1e-3 if args.flush_ms is not None else None
+        ),
+        max_pending=args.max_pending,
+        n_workers=args.workers,
+        period=period,
+    )
+    on_progress, close_progress = _progress_arg(args, "responses")
+    print(
+        f"serving {problem.name}: decoder {args.decoder}, "
+        f"workers={args.workers or 'in-process'}, "
+        f"max_batch={config.max_batch}, "
+        f"flush={config.effective_flush_latency * 1e3:.2f} ms, "
+        f"max_pending={config.max_pending}"
+    )
+    print(f"arrival period {period * 1e6:.1f} us ({calibration}); "
+          f"{args.clients} clients x "
+          f"{-(-args.shots // args.clients)} syndromes")
+    try:
+        result = run_service_stream(
+            problem, factory, args.shots, args.seed,
+            period=period, n_clients=args.clients, config=config,
+            on_progress=on_progress,
+        )
+    finally:
+        close_progress()
+    failures = int(
+        problem.is_failure(result.errors, result.batch.errors).sum()
+    )
+    print(f"responses decoded: {result.n_decoded}/{args.shots} "
+          f"({failures} logical failures)")
+    print(result.snapshot)
+    print(f"queue model on recorded service times: {result.model}")
+    return 0
+
+
 def _cmd_hardware(args) -> int:
     from repro.analysis.hardware import HardwareLatencyModel
 
@@ -506,8 +663,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="shots per shard (default max(batch, 256))")
     ler.add_argument("--shard-timeout", type=float, default=None,
                      help="seconds to wait for any shard before "
-                          "declaring the pool hung (default 600; 0 "
-                          "waits forever — does not affect results)")
+                          "presuming its worker hung and retrying the "
+                          "shard elsewhere (default 600; 0 waits "
+                          "forever — does not affect results)")
+    ler.add_argument("--progress", action="store_true",
+                     help="print a live shards-done counter to stderr")
     ler.add_argument("--seed", type=int, default=0)
 
     sweep = sub.add_parser(
@@ -547,8 +707,12 @@ def build_parser() -> argparse.ArgumentParser:
                                 "results identical for any count)")
     sweep_run.add_argument("--shard-timeout", type=float, default=None,
                            help="seconds to wait for any shard before "
-                                "declaring the pool hung (default 600; "
-                                "0 waits forever)")
+                                "presuming its worker hung and "
+                                "retrying elsewhere (default 600; 0 "
+                                "waits forever)")
+    sweep_run.add_argument("--progress", action="store_true",
+                           help="print a live shards-done counter to "
+                                "stderr")
 
     sweep_show = sweep_sub.add_parser(
         "show",
@@ -588,6 +752,57 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--shots", type=int, default=100)
     stream.add_argument("--seed", type=int, default=0)
 
+    serve = sub.add_parser(
+        "serve",
+        help="live asyncio decode service (cross-client batching, "
+             "backpressure, telemetry)",
+        description="Start the asyncio decode service for one "
+                    "(code, decoder) pair and replay a paced syndrome "
+                    "stream through concurrent in-process clients.  "
+                    "Requests coalesce across clients into decode_many "
+                    "batches (flush on --max-batch or a deadline "
+                    "derived from the arrival period); a bounded "
+                    "pending queue applies backpressure; telemetry "
+                    "reports utilisation, backlog and response "
+                    "percentiles, cross-checked against the offline "
+                    "D/G/1 queue model.",
+    )
+    serve.add_argument("code", help="registry name, e.g. bb_144_12_12")
+    serve.add_argument("--decoder", default="bpsf",
+                       help="decoder registry name (default bpsf)")
+    serve.add_argument("--backend", default="auto",
+                       help="BP kernel backend: auto, reference or fused")
+    serve.add_argument("--p", type=float, default=0.05,
+                       help="physical error rate (default 0.05)")
+    serve.add_argument("--circuit", action="store_true",
+                       help="circuit-level noise instead of code capacity")
+    serve.add_argument("--rounds", type=int, default=None,
+                       help="syndrome-extraction rounds (circuit level)")
+    serve.add_argument("--shots", type=int, default=200,
+                       help="stream length in syndromes (default 200)")
+    serve.add_argument("--clients", type=int, default=4,
+                       help="concurrent in-process clients (default 4)")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="decode worker processes (default 0: decode "
+                            "in-process on an executor thread)")
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="largest cross-client batch (default 32)")
+    serve.add_argument("--flush-ms", type=float, default=None,
+                       help="batch flush deadline in ms (default: half "
+                            "the arrival period)")
+    serve.add_argument("--max-pending", type=int, default=1024,
+                       help="backpressure bound on admitted-but-"
+                            "unanswered requests (default 1024)")
+    serve.add_argument("--period-us", type=float, default=None,
+                       help="arrival period in us (default: calibrate "
+                            "from warmup shots to --rho)")
+    serve.add_argument("--rho", type=float, default=0.5,
+                       help="target utilisation for period calibration "
+                            "(default 0.5; >= 1 demonstrates overload)")
+    serve.add_argument("--progress", action="store_true",
+                       help="print a live responses counter to stderr")
+    serve.add_argument("--seed", type=int, default=0)
+
     hardware = sub.add_parser(
         "hardware", help="real-time latency budget (Sec. VI discussion)"
     )
@@ -608,6 +823,7 @@ def main(argv=None) -> int:
         "sweep": _cmd_sweep,
         "analyze": _cmd_analyze,
         "stream": _cmd_stream,
+        "serve": _cmd_serve,
         "hardware": _cmd_hardware,
     }
     try:

@@ -1,0 +1,41 @@
+"""Async decode service: batching front door over the decoder stack.
+
+The service layer turns the repository's decoders into a server shape:
+many concurrent clients stream syndromes in, a batcher coalesces them
+into ``decode_many`` calls across clients, a worker pool executes them
+(in-process threads or engine-style decode processes), bounded-slot
+backpressure keeps memory finite under overload, and live telemetry
+speaks the same queueing vocabulary as the offline Sec. VI backlog
+model (:mod:`repro.sim.streaming`).
+
+Entry points: :class:`DecodeService` (+ :class:`ServiceConfig`) for the
+server object, :class:`ServiceClient`/:func:`run_service_stream` for
+the stream-replay harness, and ``python -m repro serve`` on the command
+line.
+"""
+
+from repro.service.batcher import (
+    RequestBatcher,
+    ServiceClosed,
+    ServiceOverloadedError,
+)
+from repro.service.client import (
+    ServiceClient,
+    ServiceStreamResult,
+    run_service_stream,
+)
+from repro.service.server import DecodeService, ServiceConfig
+from repro.service.telemetry import ServiceSnapshot, ServiceTelemetry
+
+__all__ = [
+    "DecodeService",
+    "RequestBatcher",
+    "ServiceClient",
+    "ServiceClosed",
+    "ServiceConfig",
+    "ServiceOverloadedError",
+    "ServiceSnapshot",
+    "ServiceStreamResult",
+    "ServiceTelemetry",
+    "run_service_stream",
+]

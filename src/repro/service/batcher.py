@@ -1,0 +1,173 @@
+"""Cross-client request coalescing with bounded-queue backpressure.
+
+The server's front door: every client ``submit`` lands in one bounded
+:class:`asyncio.Queue`; a single consumer (the server's serve loop)
+pulls **batches** out of it.  A batch flushes when it reaches
+``max_batch`` requests or when the oldest request has waited
+``flush_latency`` seconds — the deadline the server derives from the
+syndrome budget, so coalescing never costs more than a bounded slice of
+the per-round response budget.
+
+Backpressure is a slot bound on **admitted-but-unanswered** requests
+(queued *and* in flight): a slot is taken at :meth:`put` and only given
+back by :meth:`release` once the server delivered the response, so the
+service can never hold more than ``max_pending`` requests' worth of
+memory.  With ``wait=True`` an over-capacity ``put`` suspends the
+client until a slot frees (the client slows to the server's pace);
+with ``wait=False`` it raises :class:`ServiceOverloadedError`
+immediately (load-shedding).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+__all__ = [
+    "RequestBatcher",
+    "ServiceClosed",
+    "ServiceOverloadedError",
+]
+
+# Queue sentinel: wakes the consumer for shutdown.
+_CLOSE = object()
+
+
+class ServiceClosed(RuntimeError):
+    """The service is stopped and accepts no further requests."""
+
+
+class ServiceOverloadedError(RuntimeError):
+    """Backpressure: the bounded request queue is full (``wait=False``)."""
+
+
+class RequestBatcher:
+    """Bounded FIFO of requests with deadline/size batch extraction.
+
+    Single-consumer: exactly one task may loop on :meth:`next_batch`
+    (the decode service's serve loop).  Any number of producers may
+    :meth:`put` concurrently.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_batch: int,
+        flush_latency: float,
+        max_pending: int,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        if flush_latency < 0:
+            raise ValueError("flush_latency must be non-negative")
+        if max_pending < 1:
+            raise ValueError("max_pending must be positive")
+        self.max_batch = max_batch
+        self.flush_latency = flush_latency
+        self.max_pending = max_pending
+        # +1 slot reserved for the close sentinel, so closing can never
+        # deadlock behind a full queue of requests.
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=max_pending + 1)
+        self._slots = asyncio.Semaphore(max_pending)
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def depth(self) -> int:
+        """Requests currently queued (excludes the close sentinel)."""
+        size = self._queue.qsize()
+        return size - 1 if self._closed and size else size
+
+    async def put(self, item, *, wait: bool = True) -> None:
+        """Enqueue one request, honouring the queue bound.
+
+        ``wait=True`` suspends until a slot frees; ``wait=False``
+        raises :class:`ServiceOverloadedError` on a full queue.  Raises
+        :class:`ServiceClosed` once :meth:`close` ran.
+        """
+        if self._closed:
+            raise ServiceClosed("service is stopped")
+        if wait:
+            await self._slots.acquire()
+        elif not self._slots.locked():
+            await self._slots.acquire()
+        else:
+            raise ServiceOverloadedError(
+                f"request queue is full ({self.max_pending} pending) — "
+                "the decode service is overloaded; retry with wait=True "
+                "to block until capacity frees, or slow the stream"
+            )
+        if self._closed:
+            # close() won the race while we awaited a slot.
+            self._slots.release()
+            raise ServiceClosed("service is stopped")
+        # Stamp enqueue time: the flush deadline is measured from when
+        # the oldest request *entered the queue*, so time spent waiting
+        # behind busy workers already counts against it.
+        self._queue.put_nowait(
+            (asyncio.get_running_loop().time(), item)
+        )
+
+    async def next_batch(self) -> list | None:
+        """Pull the next coalesced batch; ``None`` after :meth:`close`.
+
+        Blocks for the first request, then greedily drains whatever is
+        already queued and keeps accepting stragglers until the flush
+        deadline or ``max_batch``.  The deadline is measured from the
+        moment the oldest request was *enqueued* — a request that
+        already waited out ``flush_latency`` behind busy workers
+        flushes immediately after the greedy drain instead of paying
+        the deadline a second time.
+        """
+        first = await self._queue.get()
+        if first is _CLOSE:
+            return None
+        enqueued_at, item = first
+        batch = [item]
+        loop = asyncio.get_running_loop()
+        deadline = enqueued_at + self.flush_latency
+        while len(batch) < self.max_batch:
+            # Greedy pass first: a burst already sitting in the queue
+            # coalesces without paying any deadline sleeps.
+            try:
+                entry = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    entry = await asyncio.wait_for(
+                        self._queue.get(), remaining
+                    )
+                except asyncio.TimeoutError:
+                    break
+            if entry is _CLOSE:
+                # Hand the current batch out first; the next call
+                # observes the sentinel again and returns None.
+                self._queue.put_nowait(_CLOSE)
+                break
+            batch.append(entry[1])
+        return batch
+
+    def release(self, n: int = 1) -> None:
+        """Give back ``n`` admission slots (responses were delivered).
+
+        The server calls this once per answered (or failed) request;
+        it is what lets a blocked ``put`` proceed, so forgetting it
+        would deadlock clients — the batch executor owns that pairing.
+        """
+        for _ in range(n):
+            self._slots.release()
+
+    def close(self) -> None:
+        """Refuse new requests and wake the consumer.
+
+        Requests already queued are still delivered by subsequent
+        :meth:`next_batch` calls before it returns ``None``.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put_nowait(_CLOSE)

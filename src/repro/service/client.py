@@ -1,0 +1,177 @@
+"""In-process client and the Sec. VI stream-replay harness.
+
+:class:`ServiceClient` is the thin per-client handle over a running
+:class:`~repro.service.server.DecodeService`; any number of them can
+submit concurrently and their requests coalesce into shared batches.
+
+:func:`run_service_stream` replays the paper's streaming experiment
+against the *actual* server: ``shots`` syndromes are sampled offline,
+``n_clients`` concurrent clients inject them at the arrival period
+(request ``i`` at ``t0 + i * period``, striped over clients), and the
+harness returns the reassembled batch result, the live telemetry and
+the offline D/G/1 replay of the recorded service times — so the
+backlog argument can be checked on a real queue, not only the model.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.decoders.base import BatchDecodeResult, DecodeResult
+from repro.problem import DecodingProblem
+from repro.service.server import DecodeService, ServiceConfig
+from repro.service.telemetry import ServiceSnapshot, ServiceTelemetry
+from repro.sim.streaming import StreamingReport
+
+__all__ = ["ServiceClient", "ServiceStreamResult", "run_service_stream"]
+
+
+class ServiceClient:
+    """One client of a running decode service.
+
+    A client is just an addressing convenience — the service batches
+    across all of them — but it is the natural unit for pacing and
+    bookkeeping in multi-client experiments.
+    """
+
+    def __init__(self, service: DecodeService, name: str = "client"):
+        self.service = service
+        self.name = name
+        self.decoded = 0
+
+    async def decode(self, syndrome, *, wait: bool = True) -> DecodeResult:
+        """Submit one syndrome and await its decoded result."""
+        result = await self.service.submit(syndrome, wait=wait)
+        self.decoded += 1
+        return result
+
+    async def decode_paced(
+        self, syndromes, slots, period: float, t0: float
+    ) -> list[tuple[int, DecodeResult]]:
+        """Submit ``syndromes[k]`` at time ``t0 + slots[k] * period``.
+
+        ``slots`` are *global* arrival indices (the stripe this client
+        owns), so several clients together realise one deterministic
+        arrival process.  Submission is **open-loop** — the device
+        emits syndromes whether or not earlier ones are answered — so
+        each slot ``await``\\ s only *admission* (``service.enqueue``)
+        and responses are collected at the end.  A full service blocks
+        admission, which stalls this arrival loop: under overload the
+        client holds at most ``max_pending``'s worth of admitted
+        requests plus one blocked slot, the bounded-memory behaviour
+        the backlog argument needs.  Returns ``(slot, result)`` pairs.
+        """
+        loop = asyncio.get_running_loop()
+        admitted = []
+        for syndrome, slot in zip(syndromes, slots):
+            delay = t0 + slot * period - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            admitted.append((slot, await self.service.enqueue(syndrome)))
+        out = []
+        for slot, future in admitted:
+            out.append((slot, await future))
+            self.decoded += 1
+        return out
+
+
+@dataclass
+class ServiceStreamResult:
+    """Outcome of one :func:`run_service_stream` replay.
+
+    ``batch`` holds the per-request decode columns in arrival order —
+    directly comparable (bit-for-bit, deterministic decoders) with an
+    offline ``decoder.decode_many(syndromes)``.  ``model`` replays the
+    telemetry's recorded service times through
+    :func:`~repro.sim.streaming.simulate_stream` at the same period, so
+    its utilisation equals the live gauge exactly.
+    """
+
+    errors: np.ndarray
+    batch: BatchDecodeResult
+    telemetry: ServiceTelemetry
+    snapshot: ServiceSnapshot
+    model: StreamingReport
+    period: float
+    n_clients: int
+
+    @property
+    def n_decoded(self) -> int:
+        return len(self.batch)
+
+
+def run_service_stream(
+    problem: DecodingProblem,
+    decoder,
+    shots: int,
+    seed,
+    *,
+    period: float,
+    n_clients: int = 1,
+    config: ServiceConfig | None = None,
+    on_progress=None,
+) -> ServiceStreamResult:
+    """Replay a paced syndrome stream against a live decode service.
+
+    Samples ``shots`` errors from ``problem`` (seeded by ``seed``),
+    starts a :class:`~repro.service.server.DecodeService` for
+    ``decoder`` (spec semantics as in the engine: registry name,
+    factory, or instance), and drives the syndromes through
+    ``n_clients`` concurrent clients at one request per ``period``
+    seconds.  Blocking backpressure applies: an overloaded service
+    slows the clients rather than dropping requests, so every syndrome
+    is decoded.
+
+    This is a synchronous wrapper (``asyncio.run``) — call it from
+    ordinary scripts and tests, not from inside a running event loop.
+    """
+    if shots < 1:
+        raise ValueError("shots must be positive")
+    if n_clients < 1:
+        raise ValueError("n_clients must be positive")
+    if period <= 0:
+        raise ValueError("period must be positive")
+    config = config or ServiceConfig()
+    if config.period is None:
+        config = dataclasses.replace(config, period=period)
+    rng = np.random.default_rng(seed)
+    errors = problem.sample_errors(shots, rng)
+    syndromes = problem.syndromes(errors)
+
+    async def _replay():
+        service = DecodeService(
+            problem, decoder, config, on_progress=on_progress
+        )
+        async with service:
+            t0 = asyncio.get_running_loop().time()
+            stripes = [
+                (syndromes[c::n_clients], range(c, shots, n_clients))
+                for c in range(n_clients)
+            ]
+            clients = [
+                ServiceClient(service, name=f"client-{c}")
+                for c in range(n_clients)
+            ]
+            answered = await asyncio.gather(*(
+                client.decode_paced(chunk, slots, period, t0)
+                for client, (chunk, slots) in zip(clients, stripes)
+            ))
+            await service.drain()
+        return service, answered
+
+    service, answered = asyncio.run(_replay())
+    by_slot = dict(pair for stripe in answered for pair in stripe)
+    ordered = [by_slot[i] for i in range(shots)]
+    return ServiceStreamResult(
+        errors=errors,
+        batch=BatchDecodeResult.from_results(ordered),
+        telemetry=service.telemetry,
+        snapshot=service.telemetry.snapshot(),
+        model=service.telemetry.queue_model(period),
+        period=period,
+        n_clients=n_clients,
+    )

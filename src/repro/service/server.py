@@ -1,0 +1,352 @@
+"""Asyncio decode server: cross-client batching over a worker pool.
+
+The missing half of the paper's backlog argument (Sec. VI): syndromes
+arrive as a *stream* from many concurrent clients, and the decoder has
+to answer inside the syndrome-extraction budget or the queue diverges.
+:class:`DecodeService` is that front door:
+
+* clients ``await service.submit(syndrome)`` — any number concurrently;
+* a :class:`~repro.service.batcher.RequestBatcher` coalesces requests
+  across clients into ``decode_many`` batches (flush on ``max_batch``
+  or a deadline derived from the syndrome budget), with bounded-slot
+  backpressure;
+* batches execute on a worker pool — in-process by default, or the
+  same picklable decoder-factory machinery the sharded experiment
+  engine uses (:func:`repro.sim.engine.resolve_decoder`) for
+  ``n_workers`` decode processes;
+* :class:`~repro.service.telemetry.ServiceTelemetry` records per-request
+  service times, the backlog gauge and response percentiles, and can
+  replay itself through the offline D/G/1 model for cross-checking.
+
+Batching and bit-reproducibility: deterministic decoders (everything in
+the registry except the ``sampled``/seeded families) produce per-shot
+results independent of batch composition, so a service response is
+bit-identical to an offline ``decode_many`` over the same syndromes.
+Sampling decoders consume their RNG in batch order and therefore
+depend on how requests happened to coalesce — the same caveat as any
+shared-stream decoder, documented rather than hidden.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.decoders.base import BatchDecodeResult, DecodeResult, \
+    distribute_batch_time
+from repro.problem import DecodingProblem
+from repro.service.batcher import RequestBatcher, ServiceClosed
+from repro.service.telemetry import ServiceTelemetry
+from repro.sim.engine import _mp_context, resolve_decoder
+
+__all__ = ["DecodeService", "ServiceConfig"]
+
+# Fallback flush deadline when no arrival period anchors one (seconds).
+DEFAULT_FLUSH_LATENCY = 0.002
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of one :class:`DecodeService`.
+
+    Attributes
+    ----------
+    max_batch:
+        Largest cross-client batch handed to one ``decode_many`` call.
+    flush_latency:
+        Seconds the batcher may hold the oldest queued request while
+        coalescing.  ``None`` derives it from ``period`` (half the
+        arrival budget — answering within the budget needs the other
+        half for the decode itself) or falls back to 2 ms.
+    max_pending:
+        Bound on admitted-but-unanswered requests (queued + in flight);
+        the backpressure limit.
+    n_workers:
+        ``0`` (default) decodes in-process on a single executor thread
+        — no pickling, any decoder instance works.  ``>= 1`` spins up
+        that many decode *processes*; the decoder spec must then be
+        picklable (registry name, factory, or picklable instance), as
+        in the experiment engine.
+    mp_context:
+        Multiprocessing start method for process workers (engine
+        semantics: default fork where available).
+    period:
+        Arrival budget in seconds between syndromes (the paper's
+        ``rounds x round_time``); anchors telemetry utilisation and the
+        default flush deadline.  ``None`` leaves utilisation undefined.
+    """
+
+    max_batch: int = 32
+    flush_latency: float | None = None
+    max_pending: int = 1024
+    n_workers: int = 0
+    mp_context: str | None = None
+    period: float | None = None
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        if self.flush_latency is not None and self.flush_latency < 0:
+            raise ValueError("flush_latency must be non-negative")
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be positive")
+        if self.n_workers < 0:
+            raise ValueError("n_workers must be non-negative")
+        if self.period is not None and self.period <= 0:
+            raise ValueError("period must be positive")
+
+    @property
+    def effective_flush_latency(self) -> float:
+        if self.flush_latency is not None:
+            return self.flush_latency
+        if self.period is not None:
+            return self.period / 2
+        return DEFAULT_FLUSH_LATENCY
+
+
+@dataclass
+class _Request:
+    syndrome: np.ndarray
+    arrival: float
+    future: asyncio.Future
+
+
+# -- process-worker plumbing (engine-style module-level state) ------------
+
+_SERVICE_PROBLEM: DecodingProblem | None = None
+_SERVICE_DECODER = None
+
+
+def _init_service_worker(problem: DecodingProblem, spec) -> None:
+    """Process-pool initializer: materialise the decoder once."""
+    global _SERVICE_PROBLEM, _SERVICE_DECODER
+    _SERVICE_PROBLEM = problem
+    _SERVICE_DECODER = resolve_decoder(spec, problem)
+
+
+def _service_worker_decode(syndromes: np.ndarray) -> BatchDecodeResult:
+    """Decode one batch in a worker process; times the decode locally."""
+    start = time.perf_counter()
+    result = _SERVICE_DECODER.decode_many(syndromes)
+    distribute_batch_time(result, time.perf_counter() - start)
+    return result
+
+
+class DecodeService:
+    """Async decode server over one ``(problem, decoder)`` pair.
+
+    Lifecycle::
+
+        async with DecodeService(problem, "bpsf", config) as service:
+            result = await service.submit(syndrome)
+
+    or explicit ``await service.start()`` / ``await service.stop()``.
+    ``submit`` returns the request's
+    :class:`~repro.decoders.base.DecodeResult`; a full service raises
+    :class:`~repro.service.batcher.ServiceOverloadedError` when called
+    with ``wait=False`` and otherwise suspends the caller (bounded
+    backpressure either way).
+
+    ``on_progress(done, total)`` — the engine's shard-progress
+    signature — is invoked after every executed batch with
+    ``(completed, submitted)`` request counts.
+    """
+
+    def __init__(
+        self,
+        problem: DecodingProblem,
+        decoder,
+        config: ServiceConfig | None = None,
+        *,
+        on_progress=None,
+    ):
+        self.problem = problem
+        self.config = config or ServiceConfig()
+        self.telemetry = ServiceTelemetry(self.config.period)
+        self._decoder_spec = decoder
+        self._on_progress = on_progress
+        self._batcher: RequestBatcher | None = None
+        self._executor = None
+        self._decoder = None
+        self._serve_task: asyncio.Task | None = None
+        self._executions: set[asyncio.Task] = set()
+        self._worker_slots: asyncio.Semaphore | None = None
+        self._idle = asyncio.Event()
+        self._idle.set()
+        if self.config.n_workers >= 1:
+            # Fail before any pool spins up, with the engine's guidance.
+            try:
+                pickle.dumps((problem, decoder))
+            except Exception as exc:
+                raise TypeError(
+                    "decoder spec or problem is not picklable for "
+                    "worker processes — pass a registry name or a "
+                    "module-level factory instead (lambdas do not "
+                    f"pickle), or use n_workers=0: {exc}"
+                ) from exc
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return self._serve_task is not None
+
+    async def start(self) -> "DecodeService":
+        """Spin up the executor and the batch-serving loop."""
+        if self.started:
+            raise RuntimeError("service already started")
+        config = self.config
+        if config.n_workers >= 1:
+            self._executor = ProcessPoolExecutor(
+                max_workers=config.n_workers,
+                mp_context=_mp_context(config.mp_context),
+                initializer=_init_service_worker,
+                initargs=(self.problem, self._decoder_spec),
+            )
+            self._decode_fn = _service_worker_decode
+            worker_slots = config.n_workers
+        else:
+            # In-process: one executor thread keeps the event loop free
+            # while the (single, not-thread-safe) decoder runs.
+            self._decoder = resolve_decoder(self._decoder_spec, self.problem)
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-decode"
+            )
+            self._decode_fn = self._decode_inproc
+            worker_slots = 1
+        self._worker_slots = asyncio.Semaphore(worker_slots)
+        self._batcher = RequestBatcher(
+            max_batch=config.max_batch,
+            flush_latency=config.effective_flush_latency,
+            max_pending=config.max_pending,
+        )
+        self._serve_task = asyncio.create_task(self._serve())
+        return self
+
+    async def stop(self) -> None:
+        """Drain queued work, then shut the loop and executor down."""
+        if not self.started:
+            return
+        self._batcher.close()
+        await self._serve_task
+        if self._executions:
+            await asyncio.gather(*self._executions, return_exceptions=True)
+        self._serve_task = None
+        self._executor.shutdown(wait=True)
+        self._executor = None
+
+    async def __aenter__(self) -> "DecodeService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- request path ----------------------------------------------------
+
+    async def enqueue(self, syndrome, *, wait: bool = True):
+        """Admit one syndrome; returns a future of its decode result.
+
+        Suspends on a full service (``wait=True``) or raises
+        :class:`~repro.service.batcher.ServiceOverloadedError`
+        (``wait=False``) — either way, *admission itself* is where
+        backpressure bites, so a submission loop that awaits
+        ``enqueue`` is throttled to the server's pace while the
+        response is still collected asynchronously.  This is the
+        primitive behind the stream harness's open-loop clients.
+        """
+        if not self.started:
+            raise ServiceClosed("service is not started")
+        syndrome = np.asarray(syndrome, dtype=np.uint8).reshape(-1)
+        if syndrome.shape[0] != self.problem.n_checks:
+            raise ValueError(
+                f"syndrome has {syndrome.shape[0]} bits, problem "
+                f"{self.problem.name!r} has {self.problem.n_checks} checks"
+            )
+        request = _Request(
+            syndrome=syndrome,
+            arrival=0.0,
+            future=asyncio.get_running_loop().create_future(),
+        )
+        try:
+            await self._batcher.put(request, wait=wait)
+        except ServiceClosed:
+            raise
+        except Exception:
+            self.telemetry.request_rejected()
+            raise
+        request.arrival = self.telemetry.request_admitted()
+        self._idle.clear()
+        return request.future
+
+    async def submit(self, syndrome, *, wait: bool = True) -> DecodeResult:
+        """Decode one syndrome through the batched pipeline.
+
+        ``await``-until-answered convenience over :meth:`enqueue` —
+        admission backpressure semantics are identical.
+        """
+        return await (await self.enqueue(syndrome, wait=wait))
+
+    async def drain(self) -> None:
+        """Wait until every admitted request has been answered."""
+        await self._idle.wait()
+
+    # -- batch execution -------------------------------------------------
+
+    async def _serve(self) -> None:
+        while True:
+            # Hold a worker slot *before* pulling the next batch: while
+            # every worker is busy, requests keep accumulating in the
+            # batcher and the next batch comes out bigger — batch sizes
+            # grow exactly when the service is saturated.
+            await self._worker_slots.acquire()
+            batch = await self._batcher.next_batch()
+            if batch is None:
+                self._worker_slots.release()
+                break
+            task = asyncio.create_task(self._execute(batch))
+            self._executions.add(task)
+            task.add_done_callback(self._executions.discard)
+
+    async def _execute(self, requests: list[_Request]) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            syndromes = np.stack([r.syndrome for r in requests])
+            result = await loop.run_in_executor(
+                self._executor, self._decode_fn, syndromes
+            )
+            finish = self.telemetry.clock()
+            self.telemetry.batch_done(
+                [r.arrival for r in requests],
+                result.time_seconds,
+                finish,
+            )
+            for i, request in enumerate(requests):
+                if not request.future.done():
+                    request.future.set_result(result[i])
+        except Exception as exc:
+            # One failed batch fails its own requests, not the service
+            # (and not the latency statistics: no fake service samples).
+            self.telemetry.batch_failed(len(requests))
+            for request in requests:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+        finally:
+            self._batcher.release(len(requests))
+            self._worker_slots.release()
+            if self.telemetry.pending == 0:
+                self._idle.set()
+            if self._on_progress is not None:
+                self._on_progress(
+                    self.telemetry.completed, self.telemetry.submitted
+                )
+
+    def _decode_inproc(self, syndromes: np.ndarray) -> BatchDecodeResult:
+        start = time.perf_counter()
+        result = self._decoder.decode_many(syndromes)
+        distribute_batch_time(result, time.perf_counter() - start)
+        return result

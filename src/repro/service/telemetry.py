@@ -1,0 +1,219 @@
+"""Live queueing telemetry for the decode service.
+
+The service exists to demonstrate the paper's backlog argument on a
+*real* server, so its telemetry speaks the same language as the
+offline queue model (:mod:`repro.sim.streaming`): per-request service
+times, utilisation ``rho = mean service / arrival period``, the
+backlog gauge (requests admitted but not yet answered), and response
+percentiles.
+
+:class:`ServiceTelemetry` is the mutable recorder the server feeds;
+:meth:`ServiceTelemetry.snapshot` freezes it into a printable
+:class:`ServiceSnapshot`, and :meth:`ServiceTelemetry.queue_model`
+replays the recorded service times through
+:func:`~repro.sim.streaming.simulate_stream` — so the live gauges and
+the D/G/1 model can be cross-checked on identical data (the
+acceptance test of the service layer).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.streaming import StreamingReport, simulate_stream
+
+__all__ = ["ServiceSnapshot", "ServiceTelemetry"]
+
+
+@dataclass(frozen=True)
+class ServiceSnapshot:
+    """Frozen view of a service's counters and latency statistics.
+
+    Times are seconds.  ``utilisation`` is ``nan`` until the telemetry
+    knows an arrival period and has completed at least one request.
+    """
+
+    submitted: int
+    completed: int
+    failed: int
+    rejected: int
+    pending: int
+    peak_pending: int
+    batches: int
+    mean_batch: float
+    utilisation: float
+    mean_service: float
+    p50_response: float
+    p99_response: float
+
+    @property
+    def stable(self) -> bool:
+        """Terhal's criterion on the live gauge: ``rho < 1``."""
+        return bool(self.utilisation < 1.0)
+
+    def __str__(self) -> str:
+        rho = (
+            f"rho={self.utilisation:.2f} "
+            f"({'stable' if self.stable else 'diverging'}), "
+            if np.isfinite(self.utilisation) else ""
+        )
+        failed = f", {self.failed} failed" if self.failed else ""
+        return (
+            f"service: {rho}{self.completed}/{self.submitted} answered "
+            f"({self.rejected} rejected{failed}), backlog {self.pending} "
+            f"(peak {self.peak_pending}), {self.batches} batches "
+            f"(mean {self.mean_batch:.1f} shots), "
+            f"p99 response {self.p99_response * 1e3:.2f} ms"
+        )
+
+
+class ServiceTelemetry:
+    """Mutable recorder of the service's queueing behaviour.
+
+    The server stamps every request at admission
+    (:meth:`request_admitted`), counts rejections
+    (:meth:`request_rejected`), and reports each executed batch once
+    (:meth:`batch_done`) with the requests' arrival stamps, the
+    per-request service-time shares and the batch's completion stamp.
+
+    ``period`` is the arrival budget (seconds between syndromes, the
+    paper's ``rounds x round_time``); it anchors ``utilisation`` so the
+    live gauge and :func:`~repro.sim.streaming.simulate_stream` agree
+    by construction on the same service times.  ``clock`` is injectable
+    for deterministic tests.
+    """
+
+    def __init__(self, period: float | None = None, *,
+                 clock=time.perf_counter):
+        if period is not None and period <= 0:
+            raise ValueError("period must be positive")
+        self.period = period
+        self.clock = clock
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected = 0
+        self.batches = 0
+        self.peak_pending = 0
+        self._arrivals: list[float] = []
+        self._finishes: list[float] = []
+        self._service: list[float] = []
+        self._batch_sizes: list[int] = []
+
+    # -- recording hooks (called by the server) -------------------------
+
+    def request_admitted(self) -> float:
+        """Stamp one admitted request; returns its arrival time."""
+        self.submitted += 1
+        self.peak_pending = max(self.peak_pending, self.pending)
+        return self.clock()
+
+    def request_rejected(self) -> None:
+        """Count one request refused by backpressure."""
+        self.rejected += 1
+
+    def batch_done(
+        self, arrivals, service, finish: float
+    ) -> None:
+        """Record one executed batch.
+
+        ``arrivals`` are the admission stamps of the batch's requests,
+        ``service`` their per-request service-time shares (the batch's
+        decode wall time attributed per shot), ``finish`` the stamp at
+        which their responses became available.
+        """
+        arrivals = list(arrivals)
+        service = list(service)
+        if len(arrivals) != len(service):
+            raise ValueError("arrivals and service lengths differ")
+        self.batches += 1
+        self.completed += len(arrivals)
+        self._batch_sizes.append(len(arrivals))
+        self._arrivals.extend(arrivals)
+        self._service.extend(service)
+        self._finishes.extend([finish] * len(arrivals))
+
+    def batch_failed(self, n_requests: int) -> None:
+        """Record one batch whose decode raised.
+
+        Its requests leave the backlog as *failed*, without fabricating
+        zero-length service samples — the latency statistics and the
+        :meth:`queue_model` replay describe decoded work only.
+        """
+        self.failed += n_requests
+
+    # -- gauges and statistics ------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Backlog gauge: admitted requests not yet answered."""
+        return self.submitted - self.completed - self.failed
+
+    @property
+    def service_times(self) -> np.ndarray:
+        """Per-request service-time shares, in completion order."""
+        return np.asarray(self._service, dtype=np.float64)
+
+    @property
+    def responses(self) -> np.ndarray:
+        """Per-request arrival-to-answer times, in completion order."""
+        return (
+            np.asarray(self._finishes, dtype=np.float64)
+            - np.asarray(self._arrivals, dtype=np.float64)
+        )
+
+    @property
+    def utilisation(self) -> float:
+        """``mean service / period`` — the same formula as the offline
+        queue model, so the two agree exactly on shared data."""
+        if self.period is None or not self._service:
+            return float("nan")
+        return float(self.service_times.mean() / self.period)
+
+    def snapshot(self) -> ServiceSnapshot:
+        """Freeze the current counters into a printable record."""
+        responses = self.responses
+        service = self.service_times
+        return ServiceSnapshot(
+            submitted=self.submitted,
+            completed=self.completed,
+            failed=self.failed,
+            rejected=self.rejected,
+            pending=self.pending,
+            peak_pending=self.peak_pending,
+            batches=self.batches,
+            mean_batch=(
+                float(np.mean(self._batch_sizes)) if self._batch_sizes
+                else 0.0
+            ),
+            utilisation=self.utilisation,
+            mean_service=float(service.mean()) if service.size else 0.0,
+            p50_response=(
+                float(np.percentile(responses, 50)) if responses.size
+                else 0.0
+            ),
+            p99_response=(
+                float(np.percentile(responses, 99)) if responses.size
+                else 0.0
+            ),
+        )
+
+    def queue_model(self, period: float | None = None) -> StreamingReport:
+        """Replay the recorded service times through the D/G/1 model.
+
+        Returns :func:`~repro.sim.streaming.simulate_stream` on exactly
+        the service times the live server measured, at ``period`` (or
+        the telemetry's own).  ``StreamingReport.utilisation`` equals
+        :attr:`utilisation` by construction — the acceptance check that
+        the server's gauges and the Sec. VI offline model agree.
+        """
+        period = self.period if period is None else period
+        if period is None:
+            raise ValueError(
+                "queue_model needs an arrival period — construct the "
+                "telemetry with one or pass it explicitly"
+            )
+        return simulate_stream(self.service_times, period)

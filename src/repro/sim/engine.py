@@ -71,6 +71,8 @@ from repro.sim.seeding import run_root, shard_streams
 from repro.sim.stats import wilson_interval
 
 __all__ = [
+    "DEFAULT_SHARD_RETRIES",
+    "DEFAULT_SHARD_TIMEOUT",
     "PointTask",
     "budget_satisfied",
     "resolve_decoder",
@@ -84,6 +86,12 @@ __all__ = [
 # the pool hung (a worker that died without reporting, a deadlocked
 # fork).  Generous enough for paper-scale shards; ``None`` disables.
 DEFAULT_SHARD_TIMEOUT = 600.0
+
+# How many times a presumed-hung shard is re-dispatched before the run
+# gives up.  A retry is handed to the pool's task queue, which only
+# idle workers drain — the hung worker is still occupied by the stale
+# attempt — so a retry lands on a different worker by construction.
+DEFAULT_SHARD_RETRIES = 2
 
 
 def resolve_decoder(spec, problem: DecodingProblem) -> Decoder:
@@ -281,9 +289,18 @@ class _PrefixController:
         self._frontier = start_shard
         self._failures = prior_failures
         self._shots = prior_shots
+        self._done = 0  # chunks counting toward progress (see add)
 
     def add(self, shard: int, chunk: MonteCarloResult) -> None:
+        if shard in self.chunks:
+            # A retried shard can complete twice (the stale attempt
+            # eventually wakes up).  Attempts are deterministic — shard
+            # streams depend only on the seed root and index — so the
+            # duplicate is bit-identical and safely dropped.
+            return
         self.chunks[shard] = chunk
+        if self.stop_at is None:
+            self._done += 1
         while self.stop_at is None and self._frontier in self.chunks:
             front = self.chunks[self._frontier]
             self._failures += front.failures
@@ -293,6 +310,10 @@ class _PrefixController:
                 self.max_failures, self.target_rse,
             ):
                 self.stop_at = self._frontier
+                # One-off correction: overshoot chunks beyond the stop
+                # no longer count toward progress (the prefix up to
+                # ``stop_at`` is complete by construction).
+                self._done = self.stop_at + 1 - self.start_shard
             self._frontier += 1
 
     @property
@@ -312,6 +333,23 @@ class _PrefixController:
         last = self.stop_at if self.stop_at is not None else self.n_shards - 1
         ordered = [self.chunks[i] for i in range(self.start_shard, last + 1)]
         return MonteCarloResult.merge(ordered)
+
+    def progress(self) -> tuple[int, int]:
+        """``(done, planned)`` newly computed shards for this task.
+
+        ``planned`` shrinks when the adaptive rule stops the task early
+        (shards past ``stop_at`` are cancelled, not computed), so a
+        progress bar driven by summed controller progress converges to
+        ``done == planned`` exactly when the run finishes.  O(1):
+        the counter is maintained incrementally by :meth:`add`, so a
+        per-shard progress callback costs constant work per shard even
+        on paper-scale runs.
+        """
+        if self.stop_at is not None:
+            planned = self.stop_at + 1 - self.start_shard
+        else:
+            planned = self.n_shards - self.start_shard
+        return min(self._done, planned), planned
 
 
 def _validate_knobs(shots, n_workers, batch_size, target_rse):
@@ -337,7 +375,7 @@ def _controller_for(task: PointTask, n_shards: int) -> _PrefixController:
 
 
 def _run_task_serial(
-    task: PointTask, sizes, root, batch_size
+    task: PointTask, sizes, root, batch_size, on_shard=None
 ) -> MonteCarloResult:
     decoder = resolve_decoder(task.decoder, task.problem)
     controller = _controller_for(task, len(sizes))
@@ -349,6 +387,8 @@ def _run_task_serial(
                 batch_size,
             ),
         )
+        if on_shard is not None:
+            on_shard(controller)
         if controller.done:
             break
     return controller.merged()
@@ -363,6 +403,8 @@ def _run_tasks_pooled(
     n_workers,
     shard_timeout,
     on_result=None,
+    on_progress=None,
+    shard_retries: int = DEFAULT_SHARD_RETRIES,
 ) -> dict:
     """Drive every task's shards through one interleaved dispatch loop.
 
@@ -372,6 +414,23 @@ def _run_tasks_pooled(
     idling at each point's tail.  Each point keeps its own
     :class:`_PrefixController`, so results are identical to running the
     points one at a time.
+
+    Hang recovery: when no shard completes within ``shard_timeout``,
+    every *running* in-flight attempt is presumed hung and its shard is
+    re-dispatched (up to ``shard_retries`` times per shard).  The pool
+    only hands queued work to idle workers — the hung workers are still
+    occupied by their stale attempts — so a retry runs on a different
+    worker.  Attempts are deterministic (shard streams depend only on
+    the seed root and the shard index), so whichever attempt finishes
+    first wins and late duplicates are dropped by the controller; the
+    merged result is bit-identical to an un-hung run.  Only when a
+    shard's retry budget is exhausted does the run fail.
+
+    Returns ``(merged, hung_attempts)``: the per-label results plus the
+    presumed-hung attempts still running at the end.  The caller must
+    **not** join the pool gracefully when ``hung_attempts`` is
+    non-empty — a genuinely wedged worker would block that join forever
+    (see :func:`_shutdown_pool`).
     """
     order = [task.label for task in tasks]
     controllers = {
@@ -392,7 +451,31 @@ def _run_tasks_pooled(
             reported.add(key)
             on_result(key, controller.merged())
 
-    in_flight = {}
+    def _report_progress() -> None:
+        if on_progress is None:
+            return
+        done = 0
+        planned = 0
+        for controller in controllers.values():
+            d, p = controller.progress()
+            done += d
+            planned += p
+        on_progress(done, planned)
+
+    in_flight: dict = {}  # Future -> (key, shard)
+    retries: dict = {}    # (key, shard) -> retry attempts used
+
+    def _submit(key, shard) -> None:
+        future = pool.submit(
+            _worker_shard,
+            key,
+            shard,
+            sizes_by_key[key][shard],
+            roots_by_key[key],
+            batch_by_key[key],
+        )
+        in_flight[future] = (key, shard)
+
     # Keep the queue deep enough that workers never starve while the
     # controllers digest results, but shallow enough that an adaptive
     # stop wastes at most ~two rounds of shards.
@@ -411,15 +494,7 @@ def _run_tasks_pooled(
             if item is None:
                 break
             key, shard = item
-            future = pool.submit(
-                _worker_shard,
-                key,
-                shard,
-                sizes_by_key[key][shard],
-                roots_by_key[key],
-                batch_by_key[key],
-            )
-            in_flight[future] = key
+            _submit(key, shard)
             dispatched[key] += 1
         if not in_flight:
             break
@@ -427,24 +502,71 @@ def _run_tasks_pooled(
             in_flight, timeout=shard_timeout, return_when=FIRST_COMPLETED
         )
         if not completed:
-            for future in in_flight:
-                future.cancel()
-            raise RuntimeError(
-                f"no shard completed within {shard_timeout:.0f}s — "
-                "worker pool looks hung; raise shard_timeout (CLI "
-                "--shard-timeout, bench REPRO_SHARD_TIMEOUT; 0 waits "
-                "forever) if shards are legitimately this slow"
-            )
+            # Watchdog fired: presume the *running* attempts hung
+            # (queued ones are merely waiting behind them) and retry
+            # each such shard once more on the pool.
+            running = {
+                pair for future, pair in in_flight.items()
+                if future.running()
+            } or set(in_flight.values())
+            exhausted = []
+            resubmitted = 0
+            for key, shard in sorted(running, key=lambda p: (order.index(p[0]), p[1])):
+                used = retries.get((key, shard), 0)
+                if used >= shard_retries:
+                    exhausted.append((key, shard))
+                    continue
+                retries[(key, shard)] = used + 1
+                _submit(key, shard)
+                resubmitted += 1
+            if resubmitted == 0:
+                for future in in_flight:
+                    future.cancel()
+                shards = ", ".join(
+                    f"{key}[shard {shard}]" for key, shard in exhausted
+                )
+                raise RuntimeError(
+                    f"no shard completed within {shard_timeout:.0f}s and "
+                    f"the retry budget ({shard_retries} per shard) is "
+                    f"exhausted for {shards} — worker pool looks hung; "
+                    "raise shard_timeout (CLI --shard-timeout, bench "
+                    "REPRO_SHARD_TIMEOUT; 0 waits forever) if shards "
+                    "are legitimately this slow"
+                )
+            continue
         for future in completed:
-            key = in_flight.pop(future)
+            key, _ = in_flight.pop(future)
             shard, chunk = future.result()
             controllers[key].add(shard, chunk)
             _maybe_report(key)
+        _report_progress()
     for future in in_flight:
         future.cancel()
     for key in order:
         _maybe_report(key)
-    return {key: controllers[key].merged() for key in order}
+    hung_attempts = [
+        pair for future, pair in in_flight.items()
+        if pair in retries and not future.done()
+    ]
+    return {key: controllers[key].merged() for key in order}, hung_attempts
+
+
+def _shutdown_pool(pool, *, hung: bool) -> None:
+    """Shut the worker pool down without joining wedged processes.
+
+    A graceful ``shutdown(wait=True)`` joins every worker — including
+    one stuck in a non-terminating shard attempt, which would block the
+    caller forever *after* the run already recovered (or failed) via
+    the retry path.  When any attempt is presumed hung, the worker
+    processes are killed first: their results are either already merged
+    (a retry won) or void (the run raised), so nothing of value is
+    lost.  ``_processes`` is ProcessPoolExecutor's worker table — there
+    is no public kill switch.
+    """
+    if hung:
+        for process in list(getattr(pool, "_processes", {}).values()):
+            process.kill()
+    pool.shutdown(wait=True, cancel_futures=True)
 
 
 def _mp_context(name: str | None):
@@ -476,7 +598,9 @@ def run_point_tasks(
     shard_shots: int | None = None,
     mp_context: str | None = None,
     shard_timeout: float | None = DEFAULT_SHARD_TIMEOUT,
+    shard_retries: int = DEFAULT_SHARD_RETRIES,
     on_result=None,
+    on_progress=None,
 ) -> dict:
     """Run a list of :class:`PointTask`\\ s through one worker pool.
 
@@ -498,6 +622,19 @@ def run_point_tasks(
     it to persist completed points immediately, so an interrupted
     multi-point run keeps everything that finished.  An exception from
     the callback aborts the run.
+
+    ``on_progress(done, total)`` — when given — is invoked in the
+    calling process after every completed shard with the cumulative
+    count of newly computed shards and the current planned total across
+    all tasks.  ``total`` can *shrink* as adaptive targets stop tasks
+    early; ``done == total`` exactly when the run finishes.  The CLI
+    ``--progress`` flag and the decode service's telemetry loop share
+    this signature.
+
+    ``shard_retries`` bounds how many times a shard whose attempt blew
+    through ``shard_timeout`` is re-dispatched to another worker before
+    the run raises (see :func:`_run_tasks_pooled`); it only applies to
+    the pooled path — the serial path has no hang watchdog.
     """
     if not tasks:
         raise ValueError("at least one point task is required")
@@ -535,12 +672,31 @@ def run_point_tasks(
         return out
 
     if n_workers == 1:
+        progress_state = {
+            task.label: (
+                0, len(sizes_by_key[task.label]) - task.start_shard
+            )
+            for task in active
+        }
+
+        def _serial_progress(label):
+            def on_shard(controller):
+                if on_progress is None:
+                    return
+                progress_state[label] = controller.progress()
+                on_progress(
+                    sum(d for d, _ in progress_state.values()),
+                    sum(p for _, p in progress_state.values()),
+                )
+            return on_shard
+
         for task in active:
             result = _run_task_serial(
                 task,
                 sizes_by_key[task.label],
                 roots_by_key[task.label],
                 batch_by_key[task.label],
+                on_shard=_serial_progress(task.label),
             )
             if on_result is not None:
                 on_result(task.label, result)
@@ -550,16 +706,22 @@ def run_point_tasks(
     payload = _pickled_points(
         {task.label: (task.problem, task.decoder) for task in active}
     )
-    with ProcessPoolExecutor(
+    pool = ProcessPoolExecutor(
         max_workers=n_workers,
         mp_context=_mp_context(mp_context),
         initializer=_init_worker,
         initargs=(payload,),
-    ) as pool:
-        merged = _run_tasks_pooled(
+    )
+    hung = True  # a raise below means workers are presumed wedged
+    try:
+        merged, hung_attempts = _run_tasks_pooled(
             pool, active, roots_by_key, sizes_by_key, batch_by_key,
             n_workers, shard_timeout, on_result=on_result,
+            on_progress=on_progress, shard_retries=shard_retries,
         )
+        hung = bool(hung_attempts)
+    finally:
+        _shutdown_pool(pool, hung=hung)
     out.update(merged)
     return out
 
@@ -577,6 +739,8 @@ def run_ler_parallel(
     target_rse: float | None = None,
     mp_context: str | None = None,
     shard_timeout: float | None = DEFAULT_SHARD_TIMEOUT,
+    shard_retries: int = DEFAULT_SHARD_RETRIES,
+    on_progress=None,
 ) -> MonteCarloResult:
     """Estimate a logical error rate with sharded (multi-process) shots.
 
@@ -605,8 +769,15 @@ def run_ler_parallel(
         relative half-width ``(hi - lo) / (2 * LER)`` of the completed
         prefix drops to this value.
     shard_timeout:
-        Seconds to wait for *any* shard to complete before declaring
-        the pool hung and raising (``None`` waits forever).
+        Seconds to wait for *any* shard to complete before presuming
+        the running attempts hung (``None`` waits forever).  A hung
+        shard is retried on another worker up to ``shard_retries``
+        times — results stay bit-identical because whichever attempt
+        completes first computes the same chunk — and the run raises
+        only once a shard's retry budget is exhausted.
+    on_progress:
+        Optional ``f(done, total)`` shard-progress callback (see
+        :func:`run_point_tasks`).
     """
     _validate_knobs(shots, n_workers, batch_size, target_rse)
     task = PointTask(
@@ -625,6 +796,8 @@ def run_ler_parallel(
         shard_shots=shard_shots,
         mp_context=mp_context,
         shard_timeout=shard_timeout,
+        shard_retries=shard_retries,
+        on_progress=on_progress,
     )[0]
 
 
@@ -640,6 +813,8 @@ def run_sweep(
     target_rse: float | None = None,
     mp_context: str | None = None,
     shard_timeout: float | None = DEFAULT_SHARD_TIMEOUT,
+    shard_retries: int = DEFAULT_SHARD_RETRIES,
+    on_progress=None,
 ) -> dict[str, MonteCarloResult]:
     """Run many LER points through one persistent worker pool.
 
@@ -682,4 +857,6 @@ def run_sweep(
         shard_shots=shard_shots,
         mp_context=mp_context,
         shard_timeout=shard_timeout,
+        shard_retries=shard_retries,
+        on_progress=on_progress,
     )

@@ -155,6 +155,7 @@ def run_streaming(
     *,
     hardware: HardwareLatencyModel | None = None,
     parallel: bool = True,
+    time_source: str = "decoder",
 ) -> StreamingReport:
     """Simulate a decoder consuming a live syndrome stream.
 
@@ -165,9 +166,26 @@ def run_streaming(
     ``rounds x round_time`` under the hardware model, or the mean
     service time at utilisation 0.9 as a neutral default for wall
     clock.
+
+    ``time_source`` selects the wall-clock path's timing source
+    explicitly (ignored under a ``hardware`` model):
+
+    * ``"decoder"`` (default) — each decode's self-reported
+      ``time_seconds``.  Raises :class:`ValueError` if any shot reports
+      a non-positive time: a decoder that does not measure itself must
+      not be silently backfilled from a different clock, because mixing
+      the two timing sources inside one service array skews every
+      queueing statistic derived from it.
+    * ``"wall"`` — this function's own ``perf_counter`` wall time
+      around every ``decode`` call, for decoders that do not report
+      timings.
     """
     if shots < 1:
         raise ValueError("shots must be positive")
+    if time_source not in ("decoder", "wall"):
+        raise ValueError(
+            f"time_source must be 'decoder' or 'wall', got {time_source!r}"
+        )
     errors = problem.sample_errors(shots, rng)
     syndromes = problem.syndromes(errors)
 
@@ -180,13 +198,23 @@ def run_streaming(
     else:
         # No hardware model: time each decode on the wall clock, one
         # shot at a time (the streaming arrival order of Sec. VI).
+        # The service array is fed by exactly ONE clock — either the
+        # decoder's own measurements or ours, never a mix.
         service = np.empty(shots)
         for i in range(shots):
             start = time.perf_counter()
             result = decoder.decode(syndromes[i])
             wall = time.perf_counter() - start
             service[i] = (
-                result.time_seconds if result.time_seconds > 0 else wall
+                result.time_seconds if time_source == "decoder" else wall
+            )
+        if time_source == "decoder" and np.any(service <= 0):
+            bad = int((service <= 0).sum())
+            raise ValueError(
+                f"decoder reported non-positive time_seconds for {bad} of "
+                f"{shots} shots; it does not measure itself — pass "
+                "time_source='wall' to time decodes externally instead "
+                "of mixing clocks"
             )
         period = float(service.mean()) / 0.9
     return simulate_stream(service, period)

@@ -136,13 +136,17 @@ def run_sweep_spec(
     mp_context: str | None = None,
     shard_timeout: float | None = DEFAULT_SHARD_TIMEOUT,
     progress=None,
+    on_progress=None,
 ) -> SweepRunReport:
     """Compute every missing/under-resolved point and persist the merge.
 
     ``progress`` is an optional ``f(message: str)`` callback (the CLI
-    passes ``print``).  Returns a :class:`SweepRunReport` whose
-    ``new_shots`` is 0 when the store already resolved everything —
-    the acceptance check for "re-running a sweep computes nothing".
+    passes ``print``); ``on_progress(done, total)`` is the engine's
+    per-shard counter hook (the CLI's ``--progress`` flag), invoked
+    after every completed shard across the whole pooled run.  Returns a
+    :class:`SweepRunReport` whose ``new_shots`` is 0 when the store
+    already resolved everything — the acceptance check for "re-running
+    a sweep computes nothing".
 
     Each point is persisted the moment its result becomes final (the
     engine's ``on_result`` hook), while other points are still
@@ -222,6 +226,7 @@ def run_sweep_spec(
         mp_context=mp_context,
         shard_timeout=shard_timeout,
         on_result=_persist,
+        on_progress=on_progress,
     )
     for plan in pending:
         if plan.result is None and plan.status != "resolved":

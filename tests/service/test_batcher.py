@@ -1,0 +1,181 @@
+"""Unit tests for the request batcher (coalescing + backpressure)."""
+
+import asyncio
+
+import pytest
+
+from repro.service import (
+    RequestBatcher,
+    ServiceClosed,
+    ServiceOverloadedError,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestFlushPolicy:
+    def test_flushes_at_max_batch(self):
+        async def scenario():
+            batcher = RequestBatcher(
+                max_batch=3, flush_latency=10.0, max_pending=16
+            )
+            for i in range(7):
+                await batcher.put(i)
+            first = await batcher.next_batch()
+            second = await batcher.next_batch()
+            return first, second
+
+        first, second = run(scenario())
+        # A queued burst flushes at max_batch without waiting out the
+        # (here: very long) deadline.
+        assert first == [0, 1, 2]
+        assert second == [3, 4, 5]
+
+    def test_flushes_on_deadline_with_partial_batch(self):
+        async def scenario():
+            batcher = RequestBatcher(
+                max_batch=64, flush_latency=0.01, max_pending=16
+            )
+            await batcher.put("only")
+            loop = asyncio.get_running_loop()
+            start = loop.time()
+            batch = await batcher.next_batch()
+            return batch, loop.time() - start
+
+        batch, elapsed = run(scenario())
+        assert batch == ["only"]
+        # Held for about the flush deadline, not forever.
+        assert 0.005 <= elapsed < 0.5
+
+    def test_zero_flush_latency_still_drains_ready_burst(self):
+        async def scenario():
+            batcher = RequestBatcher(
+                max_batch=8, flush_latency=0.0, max_pending=16
+            )
+            for i in range(5):
+                await batcher.put(i)
+            return await batcher.next_batch()
+
+        # Everything already queued coalesces even with a zero deadline.
+        assert run(scenario()) == [0, 1, 2, 3, 4]
+
+    def test_straggler_joins_before_deadline(self):
+        async def scenario():
+            batcher = RequestBatcher(
+                max_batch=4, flush_latency=0.05, max_pending=16
+            )
+            await batcher.put("early")
+
+            async def straggler():
+                await asyncio.sleep(0.01)
+                await batcher.put("late")
+
+            spawn = asyncio.ensure_future(straggler())
+            batch = await batcher.next_batch()
+            await spawn
+            return batch
+
+        assert run(scenario()) == ["early", "late"]
+
+
+class TestBackpressure:
+    def test_nowait_put_raises_when_full(self):
+        async def scenario():
+            batcher = RequestBatcher(
+                max_batch=4, flush_latency=0.0, max_pending=2
+            )
+            await batcher.put(0, wait=False)
+            await batcher.put(1, wait=False)
+            with pytest.raises(ServiceOverloadedError):
+                await batcher.put(2, wait=False)
+            return batcher.depth
+
+        assert run(scenario()) == 2
+
+    def test_blocking_put_waits_for_release(self):
+        async def scenario():
+            batcher = RequestBatcher(
+                max_batch=4, flush_latency=0.0, max_pending=1
+            )
+            await batcher.put(0)
+            blocked = asyncio.ensure_future(batcher.put(1))
+            await asyncio.sleep(0.01)
+            assert not blocked.done()  # held back by the slot bound
+            batch = await batcher.next_batch()
+            assert batch == [0]
+            batcher.release(len(batch))  # response delivered -> slot free
+            await asyncio.wait_for(blocked, timeout=1.0)
+            return await batcher.next_batch()
+
+        assert run(scenario()) == [1]
+
+    def test_slots_cover_in_flight_not_just_queued(self):
+        async def scenario():
+            batcher = RequestBatcher(
+                max_batch=4, flush_latency=0.0, max_pending=2
+            )
+            await batcher.put(0)
+            await batcher.put(1)
+            await batcher.next_batch()  # dequeued but NOT released
+            with pytest.raises(ServiceOverloadedError):
+                await batcher.put(2, wait=False)
+
+        run(scenario())
+
+
+class TestShutdown:
+    def test_put_after_close_raises(self):
+        async def scenario():
+            batcher = RequestBatcher(
+                max_batch=2, flush_latency=0.0, max_pending=4
+            )
+            batcher.close()
+            with pytest.raises(ServiceClosed):
+                await batcher.put(0)
+
+        run(scenario())
+
+    def test_queued_requests_drain_before_none(self):
+        async def scenario():
+            batcher = RequestBatcher(
+                max_batch=2, flush_latency=0.0, max_pending=8
+            )
+            for i in range(3):
+                await batcher.put(i)
+            batcher.close()
+            batches = []
+            while True:
+                batch = await batcher.next_batch()
+                if batch is None:
+                    break
+                batches.append(batch)
+            return batches
+
+        assert run(scenario()) == [[0, 1], [2]]
+
+    def test_close_is_idempotent(self):
+        async def scenario():
+            batcher = RequestBatcher(
+                max_batch=2, flush_latency=0.0, max_pending=4
+            )
+            batcher.close()
+            batcher.close()
+            return await batcher.next_batch()
+
+        assert run(scenario()) is None
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_batch": 0, "flush_latency": 0.0, "max_pending": 1},
+            {"max_batch": 1, "flush_latency": -1.0, "max_pending": 1},
+            {"max_batch": 1, "flush_latency": 0.0, "max_pending": 0},
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RequestBatcher(**kwargs)

@@ -1,0 +1,381 @@
+"""End-to-end tests for the asyncio decode service.
+
+The acceptance contract of the service layer:
+
+* N concurrent clients stream syndromes through one
+  :class:`~repro.service.DecodeService` and every response matches the
+  offline ``decode_many`` result **bit-for-bit** (deterministic
+  decoders are batch-composition invariant — the batch/serial parity
+  suite guarantees it — so cross-client coalescing must not change a
+  single bit);
+* backpressure engages under an overload burst: the pending set never
+  outgrows ``max_pending`` and ``wait=False`` submissions are refused,
+  not buffered without bound;
+* telemetry's utilisation/backlog agree with the offline
+  :func:`~repro.sim.streaming.simulate_stream` replay of the recorded
+  service times.
+"""
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.codes import get_code, surface_code
+from repro.decoders.base import DecodeResult, Decoder
+from repro.decoders.registry import get_decoder
+from repro.noise import code_capacity_problem
+from repro.service import (
+    DecodeService,
+    ServiceClient,
+    ServiceClosed,
+    ServiceConfig,
+    ServiceOverloadedError,
+    run_service_stream,
+)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return code_capacity_problem(surface_code(3), 0.1)
+
+
+@pytest.fixture(scope="module")
+def coprime_problem():
+    return code_capacity_problem(get_code("coprime_154_6_16"), 0.06)
+
+
+def _sample(problem, shots, seed):
+    rng = np.random.default_rng(seed)
+    errors = problem.sample_errors(shots, rng)
+    return errors, problem.syndromes(errors)
+
+
+class SlowDecoder(Decoder):
+    """Deterministic decoder with a fixed per-batch service delay."""
+
+    def __init__(self, problem, delay: float):
+        self.problem = problem
+        self.delay = delay
+
+    def decode(self, syndrome) -> DecodeResult:
+        time.sleep(self.delay)
+        return DecodeResult(
+            error=np.zeros(self.problem.n_mechanisms, dtype=np.uint8),
+            converged=True,
+            iterations=1,
+        )
+
+    def decode_many(self, syndromes):
+        time.sleep(self.delay)
+        return _zero_batch(self.problem, np.atleast_2d(syndromes).shape[0])
+
+
+def _zero_batch(problem, batch):
+    from repro.decoders.base import BatchDecodeResult
+
+    return BatchDecodeResult(
+        errors=np.zeros((batch, problem.n_mechanisms), dtype=np.uint8),
+        converged=np.ones(batch, dtype=bool),
+        iterations=np.ones(batch, dtype=np.int64),
+    )
+
+
+class ExplodingDecoder(Decoder):
+    """Raises on every decode — exercises failure propagation."""
+
+    def __init__(self, problem):
+        self.problem = problem
+
+    def decode(self, syndrome) -> DecodeResult:
+        raise RuntimeError("boom")
+
+
+class TestCrossClientParity:
+    """Service responses == offline decode_many, bit for bit."""
+
+    @pytest.mark.parametrize("decoder_name", ["min_sum_bp", "bpsf"])
+    def test_concurrent_clients_match_offline_batch(
+        self, coprime_problem, decoder_name
+    ):
+        shots, n_clients = 48, 4
+        errors, syndromes = _sample(coprime_problem, shots, 31)
+        offline = get_decoder(decoder_name, coprime_problem).decode_many(
+            syndromes
+        )
+
+        async def scenario():
+            config = ServiceConfig(max_batch=8, flush_latency=0.001)
+            service = DecodeService(
+                coprime_problem, decoder_name, config
+            )
+            async with service:
+                clients = [
+                    ServiceClient(service, name=f"c{c}")
+                    for c in range(n_clients)
+                ]
+
+                async def stream(client, indices):
+                    return [
+                        (i, await client.decode(syndromes[i]))
+                        for i in indices
+                    ]
+
+                answered = await asyncio.gather(*(
+                    stream(client, range(c, shots, n_clients))
+                    for c, client in enumerate(clients)
+                ))
+            return service, dict(
+                pair for stripe in answered for pair in stripe
+            )
+
+        service, by_index = asyncio.run(scenario())
+        assert len(by_index) == shots
+        for i in range(shots):
+            result = by_index[i]
+            assert np.array_equal(result.error, offline.errors[i])
+            assert result.converged == bool(offline.converged[i])
+            assert result.iterations == int(offline.iterations[i])
+            assert result.stage == str(offline.stage[i])
+        assert service.telemetry.completed == shots
+        assert service.telemetry.pending == 0
+
+    def test_process_pool_workers_match_offline_batch(self, problem):
+        shots = 32
+        errors, syndromes = _sample(problem, shots, 7)
+        offline = get_decoder("min_sum_bp", problem).decode_many(syndromes)
+
+        async def scenario():
+            config = ServiceConfig(
+                max_batch=8, flush_latency=0.002, n_workers=2
+            )
+            service = DecodeService(problem, "min_sum_bp", config)
+            async with service:
+                results = await asyncio.gather(*(
+                    service.submit(syndromes[i]) for i in range(shots)
+                ))
+            return results
+
+        results = asyncio.run(scenario())
+        for i, result in enumerate(results):
+            assert np.array_equal(result.error, offline.errors[i])
+            assert result.iterations == int(offline.iterations[i])
+
+    def test_requests_coalesce_into_shared_batches(self, problem):
+        shots = 24
+        _, syndromes = _sample(problem, shots, 3)
+
+        async def scenario():
+            config = ServiceConfig(max_batch=8, flush_latency=0.05)
+            service = DecodeService(problem, "min_sum_bp", config)
+            async with service:
+                await asyncio.gather(*(
+                    service.submit(syndromes[i]) for i in range(shots)
+                ))
+            return service.telemetry
+
+        telemetry = asyncio.run(scenario())
+        # A concurrent burst must not decode shot-by-shot.
+        assert telemetry.batches < shots
+        assert telemetry.snapshot().mean_batch > 1.0
+
+
+class TestBackpressure:
+    def test_overload_burst_is_load_shed_not_buffered(self, problem):
+        syndrome = np.zeros(problem.n_checks, dtype=np.uint8)
+
+        async def scenario():
+            config = ServiceConfig(
+                max_batch=2, flush_latency=0.0, max_pending=4
+            )
+            service = DecodeService(
+                problem, SlowDecoder(problem, 0.02), config
+            )
+            async with service:
+                tasks = [
+                    asyncio.ensure_future(
+                        service.submit(syndrome, wait=False)
+                    )
+                    for _ in range(24)
+                ]
+                outcomes = await asyncio.gather(
+                    *tasks, return_exceptions=True
+                )
+                await service.drain()
+            return service, outcomes
+
+        service, outcomes = asyncio.run(scenario())
+        rejected = [
+            o for o in outcomes
+            if isinstance(o, ServiceOverloadedError)
+        ]
+        decoded = [o for o in outcomes if isinstance(o, DecodeResult)]
+        assert rejected and decoded
+        assert len(rejected) + len(decoded) == 24
+        # The bounded queue held: pending never exceeded max_pending.
+        assert service.telemetry.peak_pending <= 4
+        assert service.telemetry.rejected == len(rejected)
+        assert service.telemetry.completed == len(decoded)
+
+    def test_blocking_backpressure_slows_clients_with_bounded_memory(
+        self, problem
+    ):
+        syndrome = np.zeros(problem.n_checks, dtype=np.uint8)
+
+        async def scenario():
+            config = ServiceConfig(
+                max_batch=4, flush_latency=0.0, max_pending=3
+            )
+            service = DecodeService(
+                problem, SlowDecoder(problem, 0.005), config
+            )
+            async with service:
+                results = await asyncio.gather(*(
+                    service.submit(syndrome) for _ in range(30)
+                ))
+            return service, results
+
+        service, results = asyncio.run(scenario())
+        assert len(results) == 30
+        assert service.telemetry.rejected == 0
+        assert service.telemetry.peak_pending <= 3
+
+
+class TestTelemetryAgreement:
+    def test_live_gauges_agree_with_queue_model(self, problem):
+        result = run_service_stream(
+            problem, "min_sum_bp", 40, 11,
+            period=3e-4, n_clients=4,
+            config=ServiceConfig(max_batch=8),
+        )
+        # Same service times, same period, same formula — exact match.
+        assert result.model.utilisation == result.telemetry.utilisation
+        assert result.model.n_tasks == result.snapshot.completed == 40
+        assert np.array_equal(
+            result.model.service, result.telemetry.service_times
+        )
+        # The live backlog gauge and the model bound each other: the
+        # model replays the *service* process with ideal arrivals, the
+        # gauge saw the real (jittered) ones; both stay within the
+        # stream length and the service drained by the end.
+        assert 1 <= result.model.max_backlog <= 40
+        assert result.snapshot.pending == 0
+        assert result.snapshot.peak_pending >= 1
+
+    def test_service_time_column_sums_to_batch_wall_time(self, problem):
+        _, syndromes = _sample(problem, 8, 2)
+
+        async def scenario():
+            service = DecodeService(
+                problem, "min_sum_bp",
+                ServiceConfig(max_batch=8, flush_latency=0.05),
+            )
+            async with service:
+                await asyncio.gather(*(
+                    service.submit(s) for s in syndromes
+                ))
+            return service.telemetry
+
+        telemetry = asyncio.run(scenario())
+        assert telemetry.service_times.shape == (8,)
+        assert np.all(telemetry.service_times > 0)
+
+
+class TestLifecycleAndFailure:
+    def test_submit_before_start_and_after_stop_raises(self, problem):
+        syndrome = np.zeros(problem.n_checks, dtype=np.uint8)
+
+        async def scenario():
+            service = DecodeService(problem, "min_sum_bp")
+            with pytest.raises(ServiceClosed):
+                await service.submit(syndrome)
+            await service.start()
+            await service.submit(syndrome)
+            await service.stop()
+            with pytest.raises(ServiceClosed):
+                await service.submit(syndrome)
+
+        asyncio.run(scenario())
+
+    def test_wrong_syndrome_length_rejected_immediately(self, problem):
+        async def scenario():
+            async with DecodeService(problem, "min_sum_bp") as service:
+                with pytest.raises(ValueError, match="bits"):
+                    await service.submit(np.zeros(3, dtype=np.uint8))
+
+        asyncio.run(scenario())
+
+    def test_decoder_failure_fails_requests_not_service(self, problem):
+        syndrome = np.zeros(problem.n_checks, dtype=np.uint8)
+
+        async def scenario():
+            service = DecodeService(
+                problem, ExplodingDecoder(problem),
+                ServiceConfig(max_batch=4, flush_latency=0.0),
+            )
+            async with service:
+                with pytest.raises(RuntimeError, match="boom"):
+                    await service.submit(syndrome)
+                # The loop survives the failed batch and keeps serving.
+                with pytest.raises(RuntimeError, match="boom"):
+                    await service.submit(syndrome)
+            return service.telemetry
+
+        telemetry = asyncio.run(scenario())
+        assert telemetry.pending == 0
+        assert telemetry.completed == 0
+        assert telemetry.failed == 2
+        # No fabricated samples: the latency statistics and the queue
+        # model describe decoded work only.
+        assert telemetry.service_times.size == 0
+        assert "2 failed" in str(telemetry.snapshot())
+
+    def test_unpicklable_decoder_rejected_for_process_pool(self, problem):
+        decoder = ExplodingDecoder(problem)
+        decoder.trap = lambda: None  # lambdas do not pickle
+        with pytest.raises(TypeError, match="pickl"):
+            DecodeService(
+                problem, decoder, ServiceConfig(n_workers=1)
+            )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(max_batch=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(max_pending=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(n_workers=-1)
+        with pytest.raises(ValueError):
+            ServiceConfig(period=0.0)
+        with pytest.raises(ValueError):
+            ServiceConfig(flush_latency=-0.1)
+
+
+class TestRunServiceStream:
+    def test_replay_matches_offline_decode_bitwise(self, coprime_problem):
+        shots = 36
+        result = run_service_stream(
+            coprime_problem, "bpsf", shots, 123,
+            period=2e-4, n_clients=3,
+            config=ServiceConfig(max_batch=8),
+        )
+        errors, syndromes = _sample(coprime_problem, shots, 123)
+        offline = get_decoder("bpsf", coprime_problem).decode_many(
+            syndromes
+        )
+        assert np.array_equal(result.errors, errors)
+        assert np.array_equal(result.batch.errors, offline.errors)
+        assert np.array_equal(result.batch.iterations, offline.iterations)
+        assert np.array_equal(result.batch.stage, offline.stage)
+        assert result.n_decoded == shots
+
+    def test_validation(self, problem):
+        with pytest.raises(ValueError):
+            run_service_stream(problem, "bpsf", 0, 1, period=1e-3)
+        with pytest.raises(ValueError):
+            run_service_stream(
+                problem, "bpsf", 4, 1, period=1e-3, n_clients=0
+            )
+        with pytest.raises(ValueError):
+            run_service_stream(problem, "bpsf", 4, 1, period=0.0)

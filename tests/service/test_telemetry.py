@@ -1,0 +1,114 @@
+"""Unit tests for service telemetry and its queue-model cross-check."""
+
+import numpy as np
+import pytest
+
+from repro.service import ServiceTelemetry
+
+
+class FakeClock:
+    """Deterministic clock: each call returns the next scripted time."""
+
+    def __init__(self, start=0.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+        return self.now
+
+
+class TestGauges:
+    def test_pending_tracks_admissions_and_completions(self):
+        clock = FakeClock()
+        telemetry = ServiceTelemetry(period=1.0, clock=clock)
+        arrivals = [telemetry.request_admitted() for _ in range(3)]
+        assert telemetry.pending == 3
+        assert telemetry.peak_pending == 3
+        telemetry.batch_done(arrivals[:2], [0.5, 0.5], clock.advance(1.0))
+        assert telemetry.pending == 1
+        assert telemetry.completed == 2
+        assert telemetry.batches == 1
+        telemetry.batch_done(arrivals[2:], [0.25], clock.advance(1.0))
+        assert telemetry.pending == 0
+        assert telemetry.peak_pending == 3
+
+    def test_rejections_counted_separately(self):
+        telemetry = ServiceTelemetry(period=1.0, clock=FakeClock())
+        telemetry.request_admitted()
+        telemetry.request_rejected()
+        assert telemetry.submitted == 1
+        assert telemetry.rejected == 1
+        assert telemetry.pending == 1
+
+    def test_mismatched_batch_columns_rejected(self):
+        telemetry = ServiceTelemetry(period=1.0, clock=FakeClock())
+        with pytest.raises(ValueError):
+            telemetry.batch_done([0.0, 1.0], [0.5], 2.0)
+
+    def test_period_validated(self):
+        with pytest.raises(ValueError):
+            ServiceTelemetry(period=0.0)
+
+
+class TestStatistics:
+    def _filled(self):
+        clock = FakeClock()
+        telemetry = ServiceTelemetry(period=2.0, clock=clock)
+        arrivals = []
+        for _ in range(4):
+            arrivals.append(telemetry.request_admitted())
+            clock.advance(1.0)
+        telemetry.batch_done(arrivals, [1.0, 2.0, 3.0, 2.0], clock.now)
+        return telemetry
+
+    def test_utilisation_is_mean_service_over_period(self):
+        telemetry = self._filled()
+        assert telemetry.utilisation == pytest.approx(2.0 / 2.0)
+
+    def test_responses_are_finish_minus_arrival(self):
+        telemetry = self._filled()
+        # Arrivals at 0,1,2,3; the whole batch finished at t=4.
+        assert np.array_equal(telemetry.responses, [4.0, 3.0, 2.0, 1.0])
+
+    def test_snapshot_renders(self):
+        snapshot = self._filled().snapshot()
+        assert snapshot.completed == 4
+        assert snapshot.mean_batch == 4.0
+        assert snapshot.p99_response <= 4.0
+        assert "rho=" in str(snapshot)
+
+    def test_utilisation_nan_without_period_or_data(self):
+        assert np.isnan(ServiceTelemetry().utilisation)
+        empty = ServiceTelemetry(period=1.0, clock=FakeClock())
+        assert np.isnan(empty.utilisation)
+
+
+class TestQueueModelAgreement:
+    """The acceptance invariant: live gauges and the offline D/G/1
+    model agree on the recorded service times."""
+
+    def test_model_utilisation_equals_live_gauge_exactly(self):
+        clock = FakeClock()
+        telemetry = ServiceTelemetry(period=0.75, clock=clock)
+        rng = np.random.default_rng(5)
+        for _ in range(6):
+            arrivals = [telemetry.request_admitted() for _ in range(3)]
+            service = rng.uniform(0.1, 1.0, size=3)
+            telemetry.batch_done(arrivals, service, clock.advance(1.0))
+        report = telemetry.queue_model()
+        assert report.utilisation == telemetry.utilisation
+        assert report.n_tasks == telemetry.completed
+        assert np.array_equal(report.service, telemetry.service_times)
+
+    def test_queue_model_requires_a_period(self):
+        telemetry = ServiceTelemetry(clock=FakeClock())
+        arrival = telemetry.request_admitted()
+        telemetry.batch_done([arrival], [0.5], 1.0)
+        with pytest.raises(ValueError):
+            telemetry.queue_model()
+        assert telemetry.queue_model(2.0).utilisation == pytest.approx(
+            0.25
+        )

@@ -7,11 +7,15 @@ because shard seeding and the adaptive stopping rule depend only on
 the shard index, never on scheduling.
 """
 
+import os
+import time
+
 import numpy as np
 import pytest
 
 from repro.codes import get_code, surface_code
 from repro.decoders import BPSFDecoder
+from repro.decoders.base import Decoder
 from repro.decoders.registry import get_decoder
 from repro.noise import code_capacity_problem
 from repro.sim import (
@@ -22,7 +26,7 @@ from repro.sim import (
     run_sweep,
     shard_sequence,
 )
-from repro.sim.engine import shard_sizes
+from repro.sim.engine import _PrefixController, shard_sizes
 
 
 @pytest.fixture(scope="module")
@@ -262,6 +266,169 @@ class TestMerge:
     def test_merge_single_chunk_is_identity(self, surface_problem):
         a = run_ler_parallel(surface_problem, "min_sum_bp", 50, 1)
         assert MonteCarloResult.merge([a]) is a
+
+
+class _HangOnceDecoder(Decoder):
+    """min_sum_bp wrapper whose globally-first decode call hangs.
+
+    The claim file makes "first" atomic across worker processes
+    (``O_CREAT | O_EXCL``), so exactly one shard attempt — in whichever
+    worker grabs it — sleeps ``hang_seconds`` while every other shard
+    decodes normally.  Pre-creating the file yields the identical
+    decoder with the hang disarmed: the bit-parity baseline.
+    """
+
+    def __init__(self, problem, flag_path: str, hang_seconds: float):
+        self.inner = get_decoder("min_sum_bp", problem)
+        self.flag_path = flag_path
+        self.hang_seconds = hang_seconds
+
+    def reseed(self, rng):
+        self.inner.reseed(rng)
+
+    def decode(self, syndrome):
+        return self.inner.decode(syndrome)
+
+    def decode_many(self, syndromes):
+        try:
+            fd = os.open(
+                self.flag_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+            )
+        except FileExistsError:
+            pass
+        else:
+            os.close(fd)
+            time.sleep(self.hang_seconds)
+        return self.inner.decode_many(syndromes)
+
+
+class _AlwaysHangDecoder(Decoder):
+    """Every decode sleeps — the pool can never make progress."""
+
+    def __init__(self, problem, hang_seconds: float):
+        self.inner = get_decoder("min_sum_bp", problem)
+        self.hang_seconds = hang_seconds
+
+    def decode(self, syndrome):
+        return self.inner.decode(syndrome)
+
+    def decode_many(self, syndromes):
+        time.sleep(self.hang_seconds)
+        return self.inner.decode_many(syndromes)
+
+
+class TestHungShardRetry:
+    """A hung shard is retried on another worker, not fatal."""
+
+    def test_hung_shard_is_retried_bit_identically(
+        self, surface_problem, tmp_path
+    ):
+        flag = str(tmp_path / "hang-claimed")
+        # Baseline: same decoder, hang disarmed (flag pre-created).
+        open(flag, "w").close()
+        baseline = run_ler_parallel(
+            surface_problem,
+            _HangOnceDecoder(surface_problem, flag, 600.0),
+            600, 17, n_workers=2, shard_shots=100,
+        )
+        os.unlink(flag)
+        # Armed: exactly one shard attempt wedges effectively forever
+        # (a 600 s sleep).  The retry must land on the other worker,
+        # the run must finish with bit-identical results, and the
+        # wedged worker must be reclaimed (killed) rather than joined —
+        # i.e. the call returns promptly despite the hang.
+        start = time.perf_counter()
+        result = run_ler_parallel(
+            surface_problem,
+            _HangOnceDecoder(surface_problem, flag, 600.0),
+            600, 17, n_workers=2, shard_shots=100,
+            shard_timeout=0.5,
+        )
+        elapsed = time.perf_counter() - start
+        assert os.path.exists(flag)  # the hang really happened
+        assert elapsed < 60.0  # never waited out the wedged sleep
+        assert _columns(result) == _columns(baseline)
+        assert np.array_equal(result.iterations, baseline.iterations)
+        assert np.array_equal(
+            result.parallel_iterations, baseline.parallel_iterations
+        )
+
+    def test_exhausted_retry_budget_raises(self, surface_problem):
+        start = time.perf_counter()
+        with pytest.raises(RuntimeError, match="retry budget"):
+            run_ler_parallel(
+                surface_problem,
+                _AlwaysHangDecoder(surface_problem, 600.0),
+                200, 3, n_workers=2, shard_shots=100,
+                shard_timeout=0.2, shard_retries=2,
+            )
+        # The failure must surface promptly: wedged workers are killed,
+        # not joined.
+        assert time.perf_counter() - start < 60.0
+
+    def test_zero_retries_keeps_fail_fast_behaviour(
+        self, surface_problem
+    ):
+        with pytest.raises(RuntimeError, match="no shard completed"):
+            run_ler_parallel(
+                surface_problem,
+                _AlwaysHangDecoder(surface_problem, 600.0),
+                200, 3, n_workers=2, shard_shots=100,
+                shard_timeout=0.2, shard_retries=0,
+            )
+
+    def test_duplicate_shard_results_are_dropped(self, surface_problem):
+        # The controller guard behind first-attempt-wins: adding the
+        # same shard twice must not double-count its statistics.
+        chunk = run_ler_parallel(surface_problem, "min_sum_bp", 100, 1)
+        controller = _PrefixController(2, None, None)
+        controller.add(0, chunk)
+        controller.add(0, chunk)
+        controller.add(1, chunk)
+        merged = controller.merged()
+        assert merged.shots == 2 * chunk.shots
+
+
+class TestProgressCallback:
+    def _recording(self):
+        calls = []
+        return calls, lambda done, total: calls.append((done, total))
+
+    @pytest.mark.parametrize("n_workers", [1, 2])
+    def test_progress_reaches_total(self, surface_problem, n_workers):
+        calls, on_progress = self._recording()
+        run_ler_parallel(
+            surface_problem, "min_sum_bp", 500, 3,
+            n_workers=n_workers, shard_shots=100,
+            on_progress=on_progress,
+        )
+        assert calls, "progress callback never fired"
+        dones = [done for done, _ in calls]
+        assert dones == sorted(dones)
+        assert calls[-1] == (5, 5)
+
+    def test_adaptive_stop_shrinks_total(self, surface_problem):
+        calls, on_progress = self._recording()
+        result = run_ler_parallel(
+            surface_problem, "min_sum_bp", 100_000, 31,
+            n_workers=2, shard_shots=100, max_failures=20,
+            on_progress=on_progress,
+        )
+        done, total = calls[-1]
+        assert done == total == result.shots // 100
+        assert total < 1000  # the plan shrank when the target was met
+
+    def test_sweep_progress_spans_points(self, surface_problem):
+        calls, on_progress = self._recording()
+        run_sweep(
+            {
+                "bp": (surface_problem, "min_sum_bp"),
+                "bpsf": (surface_problem, "bpsf"),
+            },
+            200, 21, n_workers=1, shard_shots=100,
+            on_progress=on_progress,
+        )
+        assert calls[-1] == (4, 4)  # 2 points x 2 shards each
 
 
 class TestRunSweep:

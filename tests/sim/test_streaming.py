@@ -130,6 +130,58 @@ class TestSimulateStream:
         assert np.all(report.waits >= 0)
 
 
+class TestSimulateStreamBoundaries:
+    """Boundary semantics the service's backlog gauge relies on.
+
+    The backlog at arrival ``i`` counts arrived-but-unfinished tasks
+    with a ``side="right"`` searchsorted over finish times: a task
+    finishing *exactly* at an arrival instant is already drained.
+    These invariants are what make the live server's gauge and the
+    offline model comparable, so they are locked in explicitly.
+    """
+
+    def test_finish_exactly_at_arrival_counts_as_drained(self):
+        # Task 0 finishes at t=1.0, the very instant task 1 arrives:
+        # the backlog at that arrival must be task 1 alone.
+        report = simulate_stream([1.0, 1.0], period=1.0)
+        assert report.backlog.tolist() == [1, 1]
+        # Contrast: finishing an instant later leaves both queued.
+        late = simulate_stream([1.0 + 1e-9, 1.0], period=1.0)
+        assert late.backlog.tolist() == [1, 2]
+
+    def test_critically_loaded_queue_never_accumulates(self):
+        # service == period everywhere: every task finishes exactly as
+        # the next arrives, so the backlog gauge stays at 1 forever.
+        report = simulate_stream([2.0] * 50, period=2.0)
+        assert report.backlog.tolist() == [1] * 50
+        assert report.utilisation == 1.0
+        assert not report.stable  # rho < 1 is strict
+
+    def test_zero_service_task_is_drained_at_its_own_arrival(self):
+        # An instantaneous decode is finished by its own arrival
+        # instant — the gauge reads an empty queue.
+        report = simulate_stream([0.0], period=1.0)
+        assert report.backlog.tolist() == [0]
+        assert report.max_backlog == 0
+
+    def test_idle_gaps_between_arrivals_empty_the_queue(self):
+        # Fast decodes + slow arrivals: the server idles between
+        # tasks, each arrival sees only itself queued, no waits.
+        report = simulate_stream([0.25] * 10, period=1.0)
+        assert report.backlog.tolist() == [1] * 10
+        assert report.mean_wait == 0.0
+        assert np.all(report.waits == 0.0)
+
+    def test_burst_then_idle_drains_to_empty_queue_state(self):
+        # One 3.5-period decode queues three followers; the cheap tail
+        # drains them again.  The exact trajectory, recovery included.
+        report = simulate_stream([3.5] + [0.25] * 8, period=1.0)
+        assert report.backlog.tolist() == [1, 2, 3, 4, 2, 1, 1, 1, 1]
+        assert report.waits.tolist() == [
+            0.0, 2.5, 1.75, 1.0, 0.25, 0.0, 0.0, 0.0, 0.0
+        ]
+
+
 def _reference_stream(service, period):
     """The pre-vectorisation per-task loop (O(n^2) backlog scan)."""
     service = np.asarray(service, dtype=np.float64).reshape(-1)
@@ -233,3 +285,76 @@ class TestRunStreaming:
             run_streaming(
                 problem, decoder, shots=0, rng=np.random.default_rng(3)
             )
+
+
+class _FixedTimeDecoder:
+    """Decoder stub reporting a constant (possibly zero) decode time."""
+
+    def __init__(self, problem, time_seconds: float):
+        self.problem = problem
+        self.time_seconds = time_seconds
+
+    def decode(self, syndrome) -> DecodeResult:
+        return DecodeResult(
+            error=np.zeros(self.problem.n_mechanisms, dtype=np.uint8),
+            converged=True,
+            iterations=1,
+            time_seconds=self.time_seconds,
+        )
+
+
+class TestTimeSourceIsExplicit:
+    """The wall-clock path must never mix two clocks in one array."""
+
+    @pytest.fixture(scope="class")
+    def problem(self):
+        return code_capacity_problem(get_code("bb_72_12_6"), 0.05)
+
+    def test_decoder_source_uses_reported_times_verbatim(self, problem):
+        decoder = _FixedTimeDecoder(problem, 0.125)
+        report = run_streaming(
+            problem, decoder, shots=12, rng=np.random.default_rng(4),
+            time_source="decoder",
+        )
+        # Every service time is exactly the decoder's own figure — no
+        # wall-clock samples smuggled in.
+        assert np.all(report.service == 0.125)
+
+    def test_zero_reporting_decoder_raises_instead_of_mixing(
+        self, problem
+    ):
+        decoder = _FixedTimeDecoder(problem, 0.0)
+        with pytest.raises(ValueError, match="time_source='wall'"):
+            run_streaming(
+                problem, decoder, shots=8, rng=np.random.default_rng(5)
+            )
+
+    def test_wall_source_ignores_reported_times(self, problem):
+        # The stub reports an absurd 100 s per decode; the wall clock
+        # must be used instead, and it cannot reach that figure.
+        decoder = _FixedTimeDecoder(problem, 100.0)
+        report = run_streaming(
+            problem, decoder, shots=8, rng=np.random.default_rng(6),
+            time_source="wall",
+        )
+        assert np.all(report.service > 0)
+        assert np.all(report.service < 10.0)
+
+    def test_unknown_time_source_rejected(self, problem):
+        decoder = _FixedTimeDecoder(problem, 0.125)
+        with pytest.raises(ValueError, match="time_source"):
+            run_streaming(
+                problem, decoder, shots=4,
+                rng=np.random.default_rng(7), time_source="gpu",
+            )
+
+    def test_hardware_model_path_unaffected(self, problem):
+        # Modelled latencies ignore time_source entirely.
+        decoder = BPSFDecoder(
+            problem, max_iter=20, phi=4, w_max=1, strategy="exhaustive"
+        )
+        report = run_streaming(
+            problem, decoder, shots=8, rng=np.random.default_rng(8),
+            hardware=HardwareLatencyModel(), time_source="wall",
+        )
+        assert report.n_tasks == 8

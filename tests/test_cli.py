@@ -107,6 +107,61 @@ class TestCommands:
         assert "arrival period 4.0 us" in out
         assert "streaming queue" in out
 
+    def test_serve_replays_stream_with_stable_queue(self, capsys):
+        assert main(["serve", "surface_3", "--p", "0.08",
+                     "--decoder", "min_sum_bp", "--shots", "40",
+                     "--clients", "4", "--max-batch", "8",
+                     "--rho", "0.3", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "responses decoded: 40/40" in out
+        assert "service: rho=" in out
+        assert "queue model on recorded service times" in out
+
+    def test_serve_accepts_fixed_period(self, capsys):
+        assert main(["serve", "surface_3", "--p", "0.08",
+                     "--decoder", "min_sum_bp", "--shots", "20",
+                     "--clients", "2", "--period-us", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "arrival period 500.0 us (fixed by --period-us)" in out
+        assert "responses decoded: 20/20" in out
+
+    def test_serve_rejects_unknown_decoder(self, capsys):
+        assert main(["serve", "surface_3", "--decoder", "nope"]) == 2
+        assert "unknown decoder" in capsys.readouterr().err
+
+    def test_serve_rejects_unknown_code(self, capsys):
+        assert main(["serve", "no_such_code"]) == 2
+        assert "unknown code" in capsys.readouterr().err
+
+    def test_serve_rejects_unknown_backend(self, capsys):
+        assert main(["serve", "surface_3", "--backend", "warp"]) == 2
+        assert "unknown backend" in capsys.readouterr().err
+
+    def test_serve_rejects_negative_workers(self, capsys):
+        assert main(["serve", "surface_3", "--workers", "-1"]) == 2
+        assert "--workers must be >= 0" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_knobs(self, capsys):
+        assert main(["serve", "surface_3", "--max-batch", "0"]) == 2
+        assert "must be positive" in capsys.readouterr().err
+        assert main(["serve", "surface_3", "--rho", "0"]) == 2
+        assert "--rho must be positive" in capsys.readouterr().err
+        assert main(["serve", "surface_3", "--period-us", "-5"]) == 2
+        assert "--period-us must be positive" in capsys.readouterr().err
+
+    def test_serve_explains_missing_rounds(self, capsys):
+        assert main(["serve", "gb_254_28", "--circuit"]) == 2
+        assert "cannot build problem" in capsys.readouterr().err
+
+    def test_ler_progress_prints_shard_counter(self, capsys):
+        assert main(["ler", "surface_3", "--p", "0.08", "--shots",
+                     "400", "--decoder", "min_sum_bp",
+                     "--shard-shots", "100", "--progress",
+                     "--seed", "4"]) == 0
+        captured = capsys.readouterr()
+        assert "shards: 4/4" in captured.err
+        assert "LER=" in captured.out
+
     def test_hardware_reproduces_discussion(self, capsys):
         assert main(["hardware"]) == 0
         out = capsys.readouterr().out
