@@ -1,17 +1,26 @@
-"""Kernel-backend throughput: reference vs fused, per workload.
+"""Kernel-backend throughput: every registered backend, per workload.
 
 Runs :func:`repro.bench.kernel_backends.kernel_backend_report` at
 benchmark scale, prints the comparison table, asserts cross-backend
-bit-parity, and records everything in ``BENCH_kernels.json`` at the
-repository root so later PRs (and the eventual GPU kernel) can track
-the throughput trajectory.
+parity on integer outputs, and records everything in
+``BENCH_kernels.json`` at the repository root so later PRs (and the
+eventual GPU kernel) can track the throughput trajectory.  The backend
+list is dynamic: ``reference`` and ``fused`` always, ``numba`` when
+its dependency is installed (JIT warm-up is excluded from timing by
+the harness's untimed warm-up decode).
 
-The perf-optimisation acceptance gate lives here: the fused kernel
-must reach **>= 1.5x BP-iteration throughput** over the reference on
-the BP-dominated ``coprime_154_code_capacity`` workload.  As with the
-other wall-clock gates, it is enforced only where the hardware can
-express it (>= 2 cores and ``REPRO_BENCH_STRICT`` unset/1); the
-measured ratio is always recorded in the artifact.
+Two perf-optimisation acceptance gates live here, both on the
+BP-dominated ``coprime_154_code_capacity`` workload:
+
+* the fused kernel must reach **>= 1.5x BP-iteration throughput** over
+  the reference;
+* the numba kernel, when installed, must reach **>= 1.5x** over the
+  fused kernel (its multi-iteration fusion + ``prange`` parallelism is
+  exactly what the extra dependency buys).
+
+As with the other wall-clock gates, they are enforced only where the
+hardware can express them (>= 2 cores and ``REPRO_BENCH_STRICT``
+unset/1); the measured ratios are always recorded in the artifact.
 """
 
 import json
@@ -39,18 +48,19 @@ def report():
 def test_backend_table(report):
     table = ExperimentTable(
         experiment_id="kernel_backends",
-        title="BP kernel backends: reference vs fused",
+        title="BP kernel backends: throughput vs reference",
         columns=["workload", "decoder", "backend", "shots/s",
                  "BP-iters/s", "speedup"],
     )
     for workload, data in report["workloads"].items():
         for decoder in ("bp", "bpsf"):
+            ref_seconds = data[decoder]["reference"]["seconds"]
             for backend in BACKENDS:
                 entry = data[decoder][backend]
                 table.add_row(
                     workload, decoder, backend,
                     entry["shots_per_second"], entry["iters_per_second"],
-                    data[decoder]["speedup"] if backend == "fused" else 1.0,
+                    round(ref_seconds / entry["seconds"], 3),
                 )
     table.notes.append(
         f"{report['cores']} cores visible; artifact saved to "
@@ -63,13 +73,27 @@ def test_backend_table(report):
 
 
 def test_backends_bit_identical(report):
-    """The correctness half of the gate — enforced on every machine."""
+    """The correctness half of the gate — enforced on every machine.
+
+    Deterministic-sums backends must match the reference bit-for-bit;
+    the numba backend (non-deterministic float reductions) must agree
+    on the large majority of shots — only float32 shots with long
+    pre-convergence trajectories (never- or late-converging, where
+    reduction-order ulps amplify chaotically) may drift, and they
+    land on a different but equally valid solution.
+    """
     for workload, data in report["workloads"].items():
         for decoder in ("bp", "bpsf"):
             assert data[decoder]["bit_identical"], (
-                f"{workload}/{decoder}: fused kernel diverged from "
-                "reference"
+                f"{workload}/{decoder}: a deterministic backend's "
+                "integer outputs diverged from reference"
             )
+            if "numba" in report["backends"]:
+                match = data[decoder]["numba"]["integer_match"]
+                assert match >= 0.6, (
+                    f"{workload}/{decoder}: numba agreed with "
+                    f"reference on only {match:.0%} of shots"
+                )
 
 
 def test_fused_meets_throughput_bar(report):
@@ -98,12 +122,41 @@ def test_fused_meets_throughput_bar(report):
     )
 
 
+def test_numba_meets_throughput_bar(report):
+    """Numba >= 1.5x over fused on the BP-dominated workload.
+
+    Recorded always when numba is installed (warm-up compilation is
+    excluded from timing); the hard gate additionally needs >= 2 cores
+    (``prange`` parallelism is the point) and strict mode.
+    """
+    if "numba" not in report["backends"]:
+        pytest.skip("numba backend not installed; nothing to gate")
+    speedup = report["workloads"]["coprime_154_code_capacity"]["bp"][
+        "numba_vs_fused_speedup"
+    ]
+    if report["cores"] < 2:
+        pytest.skip(
+            f"only {report['cores']} core(s) visible; measured "
+            f"{speedup}x (recorded in artifact)"
+        )
+    if not report["strict"]:
+        pytest.skip(
+            f"non-strict mode: measured {speedup}x (recorded in artifact)"
+        )
+    assert speedup >= 1.5, (
+        f"numba kernel only {speedup}x over fused on the "
+        "BP-dominated workload"
+    )
+
+
 def test_artifact_written(report):
     with open(_ARTIFACT) as handle:
         data = json.load(handle)
     assert set(data["workloads"]) == {
         "coprime_154_code_capacity", "bb_144_circuit"
     }
+    assert {"reference", "fused"} <= set(data["backends"])
     for workload in data["workloads"].values():
         for decoder in ("bp", "bpsf"):
-            assert workload[decoder]["fused"]["shots_per_second"] > 0
+            for backend in data["backends"]:
+                assert workload[decoder][backend]["shots_per_second"] > 0

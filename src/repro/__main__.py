@@ -25,7 +25,10 @@ Subcommands:
   asyncio decode service: concurrent clients stream syndromes through
   the cross-client batcher + worker pool, with backpressure and
   queueing telemetry (the backlog argument on a *real* server);
-* ``hardware`` — the Discussion's real-time latency budget table.
+* ``hardware`` — the Discussion's real-time latency budget table;
+* ``backends`` — registered BP kernel backends with availability,
+  runtime version and the import error keeping an optional backend
+  (``numba``) out of the registry.
 """
 
 from __future__ import annotations
@@ -51,6 +54,7 @@ subcommand overview:
   serve CODE            live decode service: concurrent clients,
                         cross-client batching, backpressure, telemetry
   hardware              real-time latency budget table
+  backends              BP kernel backends: availability + runtime
 
 docs: docs/reproducing-figures.md maps every paper figure to its sweep
 spec and command; docs/architecture.md describes the layer stack.
@@ -178,7 +182,7 @@ def _decode_workload(args):
     """
     from repro.circuits import circuit_level_problem
     from repro.codes import get_code, list_codes
-    from repro.decoders.kernels import KERNEL_BACKENDS, resolve_backend
+    from repro.decoders.kernels import resolve_backend
     from repro.decoders.registry import DECODER_REGISTRY, \
         make_decoder_factory
     from repro.noise import code_capacity_problem
@@ -199,12 +203,10 @@ def _decode_workload(args):
         return None, None, 2
     try:
         backend = resolve_backend(args.backend)
-    except ValueError:
-        print(
-            f"unknown backend {args.backend!r}; "
-            f"one of auto, {', '.join(sorted(KERNEL_BACKENDS))}",
-            file=sys.stderr,
-        )
+    except ValueError as exc:
+        # resolve_backend's message lists the known backends and any
+        # registered-but-uninstalled optional ones (e.g. numba).
+        print(f"unknown backend {args.backend!r}: {exc}", file=sys.stderr)
         return None, None, 2
     try:
         if args.circuit:
@@ -593,6 +595,27 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_backends(_args) -> int:
+    """List BP kernel backends with availability and runtime version."""
+    from repro.decoders.kernels import backend_availability
+
+    report = backend_availability()
+    width = max(len(name) for name in report)
+    for name, info in report.items():
+        flags = []
+        if info["default"]:
+            flags.append("default")
+        if info["optional"]:
+            flags.append("optional")
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        if info["available"]:
+            status = f"available ({info['runtime']})"
+        else:
+            status = f"unavailable: {info['error']}"
+        print(f"{name:{width}s}  {status}{suffix}")
+    return 0
+
+
 def _cmd_hardware(args) -> int:
     from repro.analysis.hardware import HardwareLatencyModel
 
@@ -640,10 +663,11 @@ def build_parser() -> argparse.ArgumentParser:
     ler.add_argument("--decoder", default="bpsf",
                      help="decoder registry name (default bpsf)")
     ler.add_argument("--backend", default="auto",
-                     help="BP kernel backend: auto, reference or fused "
-                          "(default auto; all backends are "
-                          "bit-identical — see README 'Kernel "
-                          "backends')")
+                     help="BP kernel backend: auto, reference, fused "
+                          "or numba (default auto; integer outputs "
+                          "are bit-identical across backends — see "
+                          "README 'Kernel backends' and 'python -m "
+                          "repro backends')")
     ler.add_argument("--p", type=float, default=0.05,
                      help="physical error rate (default 0.05)")
     ler.add_argument("--circuit", action="store_true",
@@ -771,7 +795,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--decoder", default="bpsf",
                        help="decoder registry name (default bpsf)")
     serve.add_argument("--backend", default="auto",
-                       help="BP kernel backend: auto, reference or fused")
+                       help="BP kernel backend: auto, reference, fused "
+                            "or numba")
     serve.add_argument("--p", type=float, default=0.05,
                        help="physical error rate (default 0.05)")
     serve.add_argument("--circuit", action="store_true",
@@ -803,6 +828,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print a live responses counter to stderr")
     serve.add_argument("--seed", type=int, default=0)
 
+    sub.add_parser(
+        "backends",
+        help="list BP kernel backends (availability, runtime version)",
+        description="Registered BP kernel backends.  Optional backends "
+                    "(numba) are probed on the spot: an uninstalled "
+                    "dependency is reported with its import error "
+                    "instead of silently hiding the backend.",
+    )
+
     hardware = sub.add_parser(
         "hardware", help="real-time latency budget (Sec. VI discussion)"
     )
@@ -825,6 +859,7 @@ def main(argv=None) -> int:
         "stream": _cmd_stream,
         "serve": _cmd_serve,
         "hardware": _cmd_hardware,
+        "backends": _cmd_backends,
     }
     try:
         return handlers[args.command](args)

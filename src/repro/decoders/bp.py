@@ -40,6 +40,13 @@ BPBatchResult = BatchDecodeResult
 # iteration count) of an uncapped run — results are bit-identical.
 _STRAGGLER_CAP = 16
 
+# Cap on the multi-iteration fusion depth: how many BP iterations an
+# iteration-fusing kernel may run inside one backend call.  Purely a
+# latency/throughput trade (convergence is still checked in-kernel every
+# iteration, so results never depend on the depth): a huge span would
+# only delay Python-side retirement bookkeeping, never change it.
+_FUSION_MAX_SPAN = 32
+
 
 class DampingSchedule:
     """Damping factor per iteration.
@@ -129,6 +136,18 @@ class MinSumBP(Decoder):
             clamp=self.clamp, dtype=dtype,
         )
         self._prior_llr = problem.llr_priors().astype(dtype)
+        # Multi-iteration fusion runs K iterations per kernel call, so
+        # it is only sound when no subclass hook intercepts the
+        # per-iteration protocol (Mem-BP's prior blend, sum-product's
+        # check rule).  Such subclasses fall back to the generic loop,
+        # which every backend — fusing or not — implements.
+        cls = type(self)
+        self._uses_fusion = (
+            self._kernel.supports_iteration_fusion
+            and cls._iteration_prior is MinSumBP._iteration_prior
+            and cls._check_update is MinSumBP._check_update
+            and cls._variable_update is MinSumBP._variable_update
+        )
 
     # -- public API -----------------------------------------------------
 
@@ -326,6 +345,8 @@ class MinSumBP(Decoder):
         if prior is None:
             prior = self._prior_llr[None, :]
         prior = prior.astype(self.dtype, copy=False)
+        if self._uses_fusion:
+            return self._decode_chunk_fused(syndromes, prior, groups, max_iter)
 
         errors = np.zeros((batch, n), dtype=np.uint8)
         marginals = np.broadcast_to(prior, (batch, n)).copy()
@@ -404,6 +425,83 @@ class MinSumBP(Decoder):
         marginals[index] = marg
         if flips is not None:
             flips_out[index] = flips
+        return BPBatchResult(errors, converged, iterations, marginals, flips_out)
+
+    def _decode_chunk_fused(
+        self, syndromes, prior, groups, max_iter
+    ) -> BPBatchResult:
+        """Decode one chunk through an iteration-fusing kernel.
+
+        The kernel runs spans of up to ``_FUSION_MAX_SPAN`` iterations
+        per call, checking convergence in-kernel every iteration and
+        freezing each row (or its whole ``stop_groups`` group — first
+        success wins) at the exact iteration it converged, so outputs
+        match the generic one-call-per-iteration loop; only the
+        Python-side bookkeeping cadence changes.  The span is adaptive:
+        1 until the first convergence activity (early iterations rarely
+        converge but cheap spans keep retirement prompt on easy
+        batches), then doubling — converged rows are compacted away
+        between calls, so long spans run only on the shrinking hard
+        tail.
+        """
+        kernel = self._kernel
+        batch = syndromes.shape[0]
+        n = self.edges.n_vars
+
+        errors = np.zeros((batch, n), dtype=np.uint8)
+        marginals = np.broadcast_to(prior, (batch, n)).copy()
+        iterations = np.full(batch, max_iter, dtype=np.int64)
+        converged = np.zeros(batch, dtype=bool)
+        flips_out = (
+            np.zeros((batch, n), dtype=np.int32)
+            if self.track_oscillations else None
+        )
+
+        index = np.arange(batch)
+        kernel.fused_start(syndromes, prior, self.track_oscillations)
+
+        it = 0
+        span = 1
+        active = False
+        while it < max_iter:
+            width = min(span, max_iter - it)
+            alphas = np.array(
+                [self.damping.alpha(it + j + 1) for j in range(width)],
+                dtype=self.dtype,
+            )
+            conv, frozen, stop_rel = kernel.fused_run(
+                alphas, it, prior, groups
+            )
+            if frozen.any():
+                active = True
+                gone = np.nonzero(frozen)[0]
+                done_idx = index[gone]
+                errors[done_idx] = kernel.fused_hard[gone]
+                marginals[done_idx] = kernel.fused_marg[gone]
+                iterations[done_idx] = it + stop_rel[gone]
+                converged[done_idx] = conv[gone]
+                if flips_out is not None:
+                    flips_out[done_idx] = kernel.fused_flips[gone]
+                keep = ~frozen
+                if not keep.any():
+                    return BPBatchResult(
+                        errors, converged, iterations, marginals, flips_out
+                    )
+                index = index[keep]
+                kernel.fused_compact(keep)
+                if prior.shape[0] != 1:
+                    prior = prior[keep]
+                if groups is not None:
+                    groups = groups[keep]
+            it += width
+            if active:
+                span = min(span * 2, _FUSION_MAX_SPAN)
+
+        # Leftovers did not converge within the budget.
+        errors[index] = kernel.fused_hard
+        marginals[index] = kernel.fused_marg
+        if flips_out is not None:
+            flips_out[index] = kernel.fused_flips
         return BPBatchResult(errors, converged, iterations, marginals, flips_out)
 
     def _iteration_prior(self, prior, marg_prev, iteration: int) -> np.ndarray:

@@ -8,13 +8,21 @@ delegate their inner loop to a :class:`BPKernel`:
 * ``"fused"`` — :class:`FusedKernel`, one preallocated per-chunk
   workspace reused across iterations plus an edge-domain
   ``bitwise_xor.reduceat`` parity check;
+* ``"numba"`` — :class:`~repro.decoders.kernels.numba_kernel
+  .NumbaKernel`, JIT-compiled ``prange``-parallel kernels over a
+  CSR-flattened Tanner graph with multi-iteration fusion.  *Optional*:
+  registered lazily, appears in ``KERNEL_BACKENDS`` only when the
+  ``numba`` dependency imports (``python -m repro backends`` reports
+  availability either way);
 * ``"auto"`` (default) — defer to :func:`use_backend` /
   ``REPRO_BP_BACKEND`` / the built-in default (``fused``).
 
-Backends are bit-identical (enforced by
-``tests/decoders/test_kernel_parity.py``); the knob exists for
-debugging, benchmarking (``benchmarks/test_kernel_backends.py``) and as
-the seam a GPU/SIMD kernel plugs into.
+Integer/sign outputs are bit-identical across backends (enforced by
+``tests/decoders/test_kernel_parity.py``); backends that reorder float
+reductions declare ``deterministic_sums = False`` and their LLR columns
+are tolerance-compared instead.  The knob exists for debugging,
+benchmarking (``benchmarks/test_kernel_backends.py``) and as the seam
+further GPU/SIMD kernels plug into.
 """
 
 from __future__ import annotations
@@ -22,9 +30,13 @@ from __future__ import annotations
 from repro.decoders.kernels.base import (
     BACKEND_ENV_VAR,
     KERNEL_BACKENDS,
+    OPTIONAL_BACKENDS,
     BPKernel,
+    available_backends,
+    backend_availability,
     default_backend,
     make_kernel,
+    register_optional_backend,
     resolve_backend,
     use_backend,
 )
@@ -36,12 +48,33 @@ __all__ = [
     "BPKernel",
     "FusedKernel",
     "KERNEL_BACKENDS",
+    "OPTIONAL_BACKENDS",
     "ReferenceKernel",
+    "available_backends",
+    "backend_availability",
     "default_backend",
     "make_kernel",
+    "register_optional_backend",
     "resolve_backend",
     "use_backend",
 ]
 
 KERNEL_BACKENDS["reference"] = ReferenceKernel
 KERNEL_BACKENDS["fused"] = FusedKernel
+
+
+def _load_numba_backend() -> type:
+    """Loader for the optional numba backend (see base.py registry).
+
+    The module itself always imports (it carries a pure-Python
+    fallback so its algorithm stays testable without the JIT); the
+    *backend registration* is what stays gated on the real dependency.
+    """
+    from repro.decoders.kernels import numba_kernel
+
+    if not numba_kernel.NUMBA_AVAILABLE:
+        raise ImportError(numba_kernel.NUMBA_IMPORT_ERROR)
+    return numba_kernel.NumbaKernel
+
+
+register_optional_backend("numba", _load_numba_backend)

@@ -25,7 +25,17 @@ Backend selection
 :func:`use_backend` override (how the registry threads an explicit
 choice into decoders it builds), the ``REPRO_BP_BACKEND`` environment
 variable, and finally the default (``fused``).  Explicit names
-(``"reference"``/``"fused"``) always win.
+(``"reference"``/``"fused"``/``"numba"``) always win.
+
+Optional backends
+-----------------
+Backends with third-party dependencies (the ``numba`` JIT backend)
+register a *loader* via :func:`register_optional_backend` instead of a
+class: ``KERNEL_BACKENDS`` gains the entry only once the dependency
+actually imports, which :func:`resolve_backend`, :func:`available_backends`
+and :func:`backend_availability` all trigger lazily.  A failed import is
+remembered and surfaces in ``resolve_backend``'s error ("known but not
+installed"), never as a silent omission.
 """
 
 from __future__ import annotations
@@ -33,6 +43,7 @@ from __future__ import annotations
 import os
 from abc import ABC, abstractmethod
 from contextlib import contextmanager
+from typing import Callable
 
 import numpy as np
 
@@ -41,8 +52,12 @@ from repro.decoders.tanner import TannerEdges
 __all__ = [
     "BPKernel",
     "KERNEL_BACKENDS",
+    "OPTIONAL_BACKENDS",
+    "available_backends",
+    "backend_availability",
     "default_backend",
     "make_kernel",
+    "register_optional_backend",
     "resolve_backend",
     "use_backend",
 ]
@@ -63,13 +78,35 @@ class BPKernel(ABC):
 
         check_update -> variable_update -> hard_decision -> converged
 
-    with :meth:`compact` between iterations whenever rows retire.  All
-    methods must be *bit-identical* across backends: same floating
-    point reduction order, same dtypes at every step.
+    with :meth:`compact` between iterations whenever rows retire.
+
+    Determinism contract: integer/sign outputs (``hard_decision``,
+    ``converged``, the syndrome context) must be *bit-identical* across
+    backends.  Backends whose float sums follow the reference's
+    reduction order exactly additionally keep :attr:`deterministic_sums`
+    ``True`` and are bit-identical on LLR columns too; a backend that
+    reorders float reductions (SIMD/GPU/JIT) declares
+    ``deterministic_sums = False`` and the parity suite compares its
+    LLR outputs with dtype-tiered tolerances instead.
     """
 
     #: Registry name of the backend ("reference", "fused", ...).
     name: str = ""
+
+    #: Whether order-sensitive float sums reproduce the reference's
+    #: reduction order bit for bit (see the determinism contract above).
+    deterministic_sums: bool = True
+
+    #: Whether the backend implements the multi-iteration fusion API
+    #: (``fused_start``/``fused_run``/``fused_compact`` + the
+    #: ``fused_marg``/``fused_hard``/``fused_flips`` views) that lets
+    #: :class:`~repro.decoders.bp.MinSumBP` run K iterations per
+    #: backend call instead of one protocol round-trip per iteration.
+    supports_iteration_fusion: bool = False
+
+    #: Human-readable runtime the backend executes on (shown by
+    #: ``python -m repro backends``).
+    runtime_version: str = f"numpy {np.__version__}"
 
     def __init__(self, edges: TannerEdges, check_matrix, *, clamp, dtype):
         self.edges = edges
@@ -131,7 +168,9 @@ def resolve_backend(backend: str | None = None) -> str:
     override, then ``REPRO_BP_BACKEND``, then :func:`default_backend`.
     Raises ``ValueError`` for unknown names (including an unknown env
     value) so misconfiguration fails at decoder construction, not
-    mid-decode.
+    mid-decode.  Naming a registered optional backend loads it on the
+    spot; if its dependency is missing the error says so (with the
+    import error) instead of pretending the name is unknown.
     """
     if backend is None:
         backend = "auto"
@@ -143,10 +182,27 @@ def resolve_backend(backend: str | None = None) -> str:
         if backend == "auto":
             backend = default_backend()
     if backend not in KERNEL_BACKENDS:
-        raise ValueError(
-            f"unknown BP kernel backend {backend!r}; one of "
-            f"{'auto, ' + ', '.join(sorted(KERNEL_BACKENDS))}"
-        )
+        if backend in OPTIONAL_BACKENDS:
+            if not _load_optional(backend):
+                raise ValueError(
+                    f"unknown BP kernel backend {backend!r}: the "
+                    f"optional backend is registered but its dependency "
+                    f"is not installed ({_OPTIONAL_ERRORS[backend]})"
+                )
+        else:
+            known = "auto, " + ", ".join(sorted(KERNEL_BACKENDS))
+            missing = sorted(
+                name for name in OPTIONAL_BACKENDS
+                if name not in KERNEL_BACKENDS
+            )
+            extra = (
+                f" (optional, not installed: {', '.join(missing)})"
+                if missing else ""
+            )
+            raise ValueError(
+                f"unknown BP kernel backend {backend!r}; one of "
+                f"{known}{extra}"
+            )
     return backend
 
 
@@ -181,5 +237,73 @@ def make_kernel(
 
 
 # Populated at the bottom of the package __init__ to avoid circular
-# imports; maps backend name -> kernel class.
+# imports; maps backend name -> kernel class.  Optional backends appear
+# here only once their dependency has actually imported.
 KERNEL_BACKENDS: dict[str, type] = {}
+
+# Optional backends: name -> zero-arg loader returning the kernel class
+# (raising ImportError when the dependency is missing).  Failed loads
+# are remembered in _OPTIONAL_ERRORS so availability can be reported
+# without re-importing on every probe.
+OPTIONAL_BACKENDS: dict[str, Callable[[], type]] = {}
+_OPTIONAL_ERRORS: dict[str, str] = {}
+
+
+def register_optional_backend(
+    name: str, loader: Callable[[], type]
+) -> None:
+    """Register a dependency-gated backend by loader, not class.
+
+    The loader runs at most once per failure mode: on success the class
+    lands in ``KERNEL_BACKENDS`` (and the loader is never called
+    again); on ``ImportError`` the message is cached and re-raised as a
+    friendly ``resolve_backend`` error on every later request.
+    """
+    OPTIONAL_BACKENDS[name] = loader
+
+
+def _load_optional(name: str) -> bool:
+    """Try to load optional backend ``name``; True when usable."""
+    if name in KERNEL_BACKENDS:
+        return True
+    if name in _OPTIONAL_ERRORS:
+        return False
+    try:
+        KERNEL_BACKENDS[name] = OPTIONAL_BACKENDS[name]()
+        return True
+    except ImportError as exc:
+        _OPTIONAL_ERRORS[name] = str(exc)
+        return False
+
+
+def available_backends() -> tuple[str, ...]:
+    """Sorted names of every backend that is actually usable now.
+
+    Probes (and thereby lazily loads) each registered optional backend,
+    so "usable" means *imported*, not merely registered.
+    """
+    for name in OPTIONAL_BACKENDS:
+        _load_optional(name)
+    return tuple(sorted(KERNEL_BACKENDS))
+
+
+def backend_availability() -> dict[str, dict]:
+    """Availability report for ``python -m repro backends``.
+
+    Maps every registered backend name (built-in and optional) to
+    ``{"available", "optional", "default", "runtime", "error"}`` —
+    ``error`` carries the cached import error for an optional backend
+    whose dependency is missing.
+    """
+    available_backends()  # force optional probes
+    report: dict[str, dict] = {}
+    for name in sorted(set(KERNEL_BACKENDS) | set(OPTIONAL_BACKENDS)):
+        cls = KERNEL_BACKENDS.get(name)
+        report[name] = {
+            "available": cls is not None,
+            "optional": name in OPTIONAL_BACKENDS,
+            "default": name == default_backend(),
+            "runtime": getattr(cls, "runtime_version", None),
+            "error": _OPTIONAL_ERRORS.get(name),
+        }
+    return report

@@ -467,7 +467,7 @@ def spec_from_mapping(data: dict, *, source: str | None = None) -> SweepSpec:
     decoder, model or malformed axis — before any shot is sampled.
     """
     from repro.codes import list_codes
-    from repro.decoders.kernels import KERNEL_BACKENDS
+    from repro.decoders.kernels import resolve_backend
 
     if not isinstance(data, dict):
         raise ValueError("sweep spec must be a mapping (TOML/JSON table)")
@@ -497,11 +497,14 @@ def spec_from_mapping(data: dict, *, source: str | None = None) -> SweepSpec:
         backend = _grid_value(grid, defaults, "backend", "auto")
         if backend in (None, "auto"):
             backend = None  # ambient default; identical results anyway
-        elif backend not in KERNEL_BACKENDS:
-            raise ValueError(
-                f"[[grid]] {figure}: unknown backend {backend!r}; "
-                f"one of auto, {', '.join(sorted(KERNEL_BACKENDS))}"
-            )
+        else:
+            try:
+                # Loads optional backends (numba) on the spot; an
+                # uninstalled dependency fails here with its import
+                # error rather than mid-sweep.
+                resolve_backend(backend)
+            except ValueError as exc:
+                raise ValueError(f"[[grid]] {figure}: {exc}") from None
         raw_codes = grid.get("codes", grid.get("code"))
         if raw_codes is None:
             raise ValueError(f"[[grid]] {figure}: needs a 'codes' list")

@@ -108,7 +108,7 @@ class TestValidation:
         ({"codes": ["surface_3"], "p": [0.1], "decoders": ["bpsf"],
           "target_rse": -1}, "target_rse"),
         ({"codes": ["surface_3"], "p": [0.1], "decoders": ["bpsf"],
-          "backend": "warp"}, "unknown backend"),
+          "backend": "warp"}, "unknown BP kernel backend"),
     ])
     def test_bad_grids_fail_loudly(self, grid, message):
         with pytest.raises(ValueError, match=message):

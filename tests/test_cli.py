@@ -33,6 +33,22 @@ class TestCommands:
         assert main(["run", "fig99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
 
+    def test_backends_reports_every_registered_backend(self, capsys):
+        from repro.decoders.kernels import available_backends
+
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "fused" in out and "[default]" in out
+        assert "reference" in out
+        # The optional numba backend is always listed: "available" when
+        # installed, otherwise "unavailable" with the import error.
+        assert "numba" in out
+        if "numba" in available_backends():
+            assert "unavailable" not in out
+        else:
+            assert "unavailable" in out
+            assert "[optional]" in out
+
     def test_decode_small_demo(self, capsys):
         assert main(["decode", "surface_3", "--p", "0.02",
                      "--shots", "3"]) == 0
