@@ -1,4 +1,4 @@
-"""Root pytest configuration: engine fan-out and suite tiering.
+"""Root pytest configuration: engine fan-out, suite tiering, sanitizer.
 
 ``--repro-workers N`` routes every LER experiment in the benchmark
 suite through the sharded multi-process engine with ``N`` workers (it
@@ -9,9 +9,25 @@ The ``slow`` marker (declared in ``pytest.ini``) tiers the suite:
 ``-m "not slow"`` is the fast gate CI runs on every push, the full
 suite runs as a separate job.  Everything under ``benchmarks/`` is
 marked slow automatically by ``benchmarks/conftest.py``.
+
+The runtime leak sanitizer (:mod:`repro.devtools.sanitizer`) is loaded
+here so ``pytest --leak-check`` fails any test that leaks live
+threads, child processes or unclosed executors — the engine and
+service suites are the hot risk, and CI's fast gate runs with it on.
+The plugin is inert without the flag.
 """
 
 import os
+import sys
+
+# Make ``pytest`` work from a clean checkout without PYTHONPATH=src
+# (the documented invocation still sets it; duplicates are harmless).
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))
+
+# pytester powers the sanitizer-plugin tests in tests/devtools/ and
+# must be declared here: pytest rejects pytest_plugins in non-root
+# conftests.
+pytest_plugins = ("repro.devtools.sanitizer", "pytester")
 
 
 def pytest_addoption(parser):

@@ -28,7 +28,12 @@ Subcommands:
 * ``hardware`` — the Discussion's real-time latency budget table;
 * ``backends`` — registered BP kernel backends with availability,
   runtime version and the import error keeping an optional backend
-  (``numba``) out of the registry.
+  (``numba``) out of the registry;
+* ``lint`` — the repo-contract static-analysis pass (seed discipline,
+  wall-clock bans, optional-import guarding, hygiene) and, with
+  ``--contracts``, the import-time registry contract checker
+  (protocol conformance, determinism declarations, picklability).
+  Exit 0 when clean, 2 on violations; see ``docs/invariants.md``.
 """
 
 from __future__ import annotations
@@ -55,9 +60,14 @@ subcommand overview:
                         cross-client batching, backpressure, telemetry
   hardware              real-time latency budget table
   backends              BP kernel backends: availability + runtime
+  lint                  repo-contract static analysis (exit 2 on
+                        violations); --contracts checks the decoder/
+                        kernel registries instead
 
 docs: docs/reproducing-figures.md maps every paper figure to its sweep
-spec and command; docs/architecture.md describes the layer stack.
+spec and command; docs/architecture.md describes the layer stack;
+docs/invariants.md catalogues the lint rule codes and the contracts
+they enforce.
 """
 
 
@@ -616,6 +626,55 @@ def _cmd_backends(_args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    """Repo-contract static analysis; exit 0 clean, 2 on violations."""
+    from repro.devtools.lint import LintConfig, RULE_REGISTRY, run_lint
+
+    if args.list_rules:
+        for code in sorted(RULE_REGISTRY):
+            rule = RULE_REGISTRY[code]
+            scope = (
+                ", ".join(rule.default_include)
+                if rule.default_include is not None
+                else "all files"
+            )
+            print(f"{code} {rule.name}: {rule.description} [{scope}]")
+        return 0
+
+    config = LintConfig()
+    config_path = args.config
+    if config_path is None:
+        # Auto-discover the repository config when run from the root.
+        from pathlib import Path
+
+        default = Path("lint.toml")
+        if default.is_file():
+            config_path = str(default)
+    if config_path is not None:
+        try:
+            config = LintConfig.from_toml(config_path)
+        except FileNotFoundError:
+            print(f"lint config not found: {config_path}", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"invalid lint config {config_path}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    if args.contracts:
+        from repro.devtools.contracts import contract_report
+
+        report = contract_report()
+    else:
+        try:
+            report = run_lint(paths=args.paths or None, config=config)
+        except FileNotFoundError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    print(report.render(args.format))
+    return 0 if report.clean else 2
+
+
 def _cmd_hardware(args) -> int:
     from repro.analysis.hardware import HardwareLatencyModel
 
@@ -837,6 +896,36 @@ def build_parser() -> argparse.ArgumentParser:
                     "instead of silently hiding the backend.",
     )
 
+    lint = sub.add_parser(
+        "lint",
+        help="repo-contract static analysis (exit 2 on violations)",
+        description="Static-analysis pass over the repository's "
+                    "reproducibility contracts: seed discipline "
+                    "(REP001), wall-clock bans in stream-determining "
+                    "modules (REP002), optional-import guarding "
+                    "(REP003), mutable-default/bare-except hygiene "
+                    "(REP004).  --contracts instead loads the decoder "
+                    "and kernel registries and verifies protocol "
+                    "conformance, determinism declarations and pickle "
+                    "round-trips (REP101-REP105).  Rule codes are "
+                    "catalogued in docs/invariants.md.",
+    )
+    lint.add_argument("paths", nargs="*",
+                      help="files/directories to lint (default: the "
+                           "configured roots: src/repro, examples, "
+                           "benchmarks)")
+    lint.add_argument("--format", choices=("text", "json"),
+                      default="text",
+                      help="output format (default text)")
+    lint.add_argument("--config", default=None,
+                      help="lint config TOML (default: ./lint.toml "
+                           "when present, else built-in defaults)")
+    lint.add_argument("--contracts", action="store_true",
+                      help="check the decoder/kernel registry "
+                           "contracts instead of linting files")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list registered rules and exit")
+
     hardware = sub.add_parser(
         "hardware", help="real-time latency budget (Sec. VI discussion)"
     )
@@ -860,6 +949,7 @@ def main(argv=None) -> int:
         "serve": _cmd_serve,
         "hardware": _cmd_hardware,
         "backends": _cmd_backends,
+        "lint": _cmd_lint,
     }
     try:
         return handlers[args.command](args)

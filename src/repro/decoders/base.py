@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -91,7 +92,7 @@ class DecodeResult:
     flip_counts: np.ndarray | None = field(default=None, repr=False)
     time_seconds: float = 0.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.parallel_iterations is None:
             self.parallel_iterations = self.iterations
         if self.initial_iterations is None:
@@ -134,7 +135,7 @@ class BatchDecodeResult:
     winning_trial: np.ndarray | None = None         # (batch,) int64, -1 = none
     time_seconds: np.ndarray | None = None          # (batch,) float64
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         batch = self.errors.shape[0]
         self.converged = np.asarray(self.converged, dtype=bool)
         self.iterations = np.asarray(self.iterations, dtype=np.int64)
@@ -280,7 +281,7 @@ class BatchDecodeResult:
         if len(chunks) == 1:
             return chunks[0]
 
-        def _cat(column):
+        def _cat(column: str) -> Any:
             parts = [getattr(c, column) for c in chunks]
             if any(p is None for p in parts):
                 return None
@@ -338,10 +339,10 @@ class Decoder(ABC):
     """
 
     @abstractmethod
-    def decode(self, syndrome) -> DecodeResult:
+    def decode(self, syndrome: np.ndarray) -> DecodeResult:
         """Decode a single syndrome vector."""
 
-    def decode_many(self, syndromes) -> BatchDecodeResult:
+    def decode_many(self, syndromes: np.ndarray) -> BatchDecodeResult:
         """Decode a ``(batch, n_checks)`` array of syndromes."""
         return BatchDecodeResult.from_results(
             [self.decode(s) for s in np.atleast_2d(syndromes)]
@@ -359,7 +360,7 @@ class Decoder(ABC):
         no-op.
         """
 
-    def decode_batch(self, syndromes) -> list[DecodeResult]:
+    def decode_batch(self, syndromes: np.ndarray) -> list[DecodeResult]:
         """Decode a batch of syndromes (compat shim over decode_many).
 
         An empty batch returns ``[]``, as the historical per-shot loop

@@ -43,7 +43,7 @@ from __future__ import annotations
 import os
 from abc import ABC, abstractmethod
 from contextlib import contextmanager
-from typing import Callable
+from typing import Any, Callable, Iterator
 
 import numpy as np
 
@@ -108,7 +108,14 @@ class BPKernel(ABC):
     #: ``python -m repro backends``).
     runtime_version: str = f"numpy {np.__version__}"
 
-    def __init__(self, edges: TannerEdges, check_matrix, *, clamp, dtype):
+    def __init__(
+        self,
+        edges: TannerEdges,
+        check_matrix: Any,
+        *,
+        clamp: float,
+        dtype: Any,
+    ) -> None:
         self.edges = edges
         self.check_matrix = check_matrix
         self.clamp = float(clamp)
@@ -134,25 +141,29 @@ class BPKernel(ABC):
     # -- per-iteration steps --------------------------------------------
 
     @abstractmethod
-    def check_update(self, v2c, sign_syn, alpha) -> np.ndarray:
+    def check_update(
+        self, v2c: np.ndarray, sign_syn: np.ndarray, alpha: float
+    ) -> np.ndarray:
         """Normalised min-sum check-node update (paper Eq. 6)."""
 
     @abstractmethod
-    def variable_update(self, c2v, prior) -> tuple[np.ndarray, np.ndarray]:
+    def variable_update(
+        self, c2v: np.ndarray, prior: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Marginals (Eq. 7) and next v2c messages (Eq. 5)."""
 
     @abstractmethod
-    def hard_decision(self, marg) -> np.ndarray:
+    def hard_decision(self, marg: np.ndarray) -> np.ndarray:
         """Hard decisions ``marg <= 0`` as uint8 ``(batch, n)``."""
 
     @abstractmethod
-    def converged(self, hard) -> np.ndarray:
+    def converged(self, hard: np.ndarray) -> np.ndarray:
         """Per-row syndrome match ``H @ hard == s (mod 2)`` as bool."""
 
     # -- retirement -----------------------------------------------------
 
     @abstractmethod
-    def compact(self, v2c, keep) -> np.ndarray:
+    def compact(self, v2c: np.ndarray, keep: np.ndarray) -> np.ndarray:
         """Drop retired rows from kernel state; return compacted v2c."""
 
 
@@ -207,7 +218,7 @@ def resolve_backend(backend: str | None = None) -> str:
 
 
 @contextmanager
-def use_backend(backend: str):
+def use_backend(backend: str) -> Iterator[str]:
     """Scope a default backend for decoders built inside the block.
 
     Used by the decoder registry (and ultimately the CLI / sharded
@@ -226,10 +237,10 @@ def use_backend(backend: str):
 def make_kernel(
     backend: str | None,
     edges: TannerEdges,
-    check_matrix,
+    check_matrix: Any,
     *,
     clamp: float,
-    dtype,
+    dtype: Any,
 ) -> BPKernel:
     """Build the kernel for ``backend`` (resolving ``None``/"auto")."""
     name = resolve_backend(backend)
@@ -239,18 +250,18 @@ def make_kernel(
 # Populated at the bottom of the package __init__ to avoid circular
 # imports; maps backend name -> kernel class.  Optional backends appear
 # here only once their dependency has actually imported.
-KERNEL_BACKENDS: dict[str, type] = {}
+KERNEL_BACKENDS: dict[str, type[BPKernel]] = {}
 
 # Optional backends: name -> zero-arg loader returning the kernel class
 # (raising ImportError when the dependency is missing).  Failed loads
 # are remembered in _OPTIONAL_ERRORS so availability can be reported
 # without re-importing on every probe.
-OPTIONAL_BACKENDS: dict[str, Callable[[], type]] = {}
+OPTIONAL_BACKENDS: dict[str, Callable[[], type[BPKernel]]] = {}
 _OPTIONAL_ERRORS: dict[str, str] = {}
 
 
 def register_optional_backend(
-    name: str, loader: Callable[[], type]
+    name: str, loader: Callable[[], type[BPKernel]]
 ) -> None:
     """Register a dependency-gated backend by loader, not class.
 
@@ -287,7 +298,7 @@ def available_backends() -> tuple[str, ...]:
     return tuple(sorted(KERNEL_BACKENDS))
 
 
-def backend_availability() -> dict[str, dict]:
+def backend_availability() -> dict[str, dict[str, Any]]:
     """Availability report for ``python -m repro backends``.
 
     Maps every registered backend name (built-in and optional) to
@@ -296,7 +307,7 @@ def backend_availability() -> dict[str, dict]:
     whose dependency is missing.
     """
     available_backends()  # force optional probes
-    report: dict[str, dict] = {}
+    report: dict[str, dict[str, Any]] = {}
     for name in sorted(set(KERNEL_BACKENDS) | set(OPTIONAL_BACKENDS)):
         cls = KERNEL_BACKENDS.get(name)
         report[name] = {

@@ -23,6 +23,8 @@ class ReferenceKernel(BPKernel):
     """Allocating reduceat kernel + sparse-matmul parity check."""
 
     name = "reference"
+    # The reference *defines* the reduction order others reproduce.
+    deterministic_sums = True
 
     def __init__(self, edges, check_matrix, *, clamp, dtype):
         super().__init__(edges, check_matrix, clamp=clamp, dtype=dtype)

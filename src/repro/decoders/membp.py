@@ -94,8 +94,15 @@ class MemoryMinSumBP(MinSumBP):
         rng: np.random.Generator | None = None,
         **kwargs,
     ) -> "MemoryMinSumBP":
-        """A DMem-BP leg with per-bit strengths from ``[low, high)``."""
-        rng = np.random.default_rng() if rng is None else rng
+        """A DMem-BP leg with per-bit strengths from ``[low, high)``.
+
+        Without an explicit ``rng`` the strengths are drawn from a
+        fixed-seed generator: two default-constructed instances are
+        identical (the repo's seed discipline bans OS-entropy draws —
+        lint rule REP001).  Pass a shard-derived generator to vary the
+        disorder across ensemble legs.
+        """
+        rng = np.random.default_rng(0) if rng is None else rng
         gamma = disordered_gammas(problem.n_mechanisms, low, high, rng)
         return cls(problem, gamma=gamma, **kwargs)
 

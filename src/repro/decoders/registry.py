@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.decoders.base import Decoder
 from repro.decoders.bp import MinSumBP
 from repro.decoders.bposd import BPOSDDecoder
 from repro.decoders.bpsf import BPSFDecoder
@@ -33,7 +34,7 @@ from repro.problem import DecodingProblem
 
 __all__ = ["DECODER_REGISTRY", "get_decoder", "make_decoder_factory"]
 
-DecoderFactory = Callable[[DecodingProblem], object]
+DecoderFactory = Callable[[DecodingProblem], Decoder]
 
 DECODER_REGISTRY: dict[str, DecoderFactory] = {
     "min_sum_bp": lambda p: MinSumBP(p, max_iter=12),
@@ -68,7 +69,7 @@ DECODER_REGISTRY: dict[str, DecoderFactory] = {
 
 def get_decoder(
     name: str, problem: DecodingProblem, *, backend: str | None = None
-):
+) -> Decoder:
     """Build the registry decoder ``name`` for ``problem``.
 
     ``backend`` optionally pins the BP kernel backend
@@ -99,18 +100,20 @@ class _RegistryFactory:
     backend.
     """
 
-    def __init__(self, name: str, backend: str | None = None):
+    def __init__(self, name: str, backend: str | None = None) -> None:
         self.name = name
         self.backend = backend
 
-    def __call__(self, problem: DecodingProblem):
+    def __call__(self, problem: DecodingProblem) -> Decoder:
         return get_decoder(self.name, problem, backend=self.backend)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"_RegistryFactory({self.name!r}, backend={self.backend!r})"
 
 
-def make_decoder_factory(name: str, backend: str | None = None):
+def make_decoder_factory(
+    name: str, backend: str | None = None
+) -> _RegistryFactory:
     """A picklable factory for registry decoder ``name``.
 
     Validates the name eagerly (same ``KeyError`` as

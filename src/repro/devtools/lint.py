@@ -1,0 +1,325 @@
+"""AST lint framework behind ``python -m repro lint``.
+
+Structure
+---------
+* :class:`Rule` — one named, coded check over a parsed module.  Rules
+  self-register into :data:`RULE_REGISTRY` via :func:`register_rule`
+  (the repo's rules live in :mod:`repro.devtools.rules`).
+* :class:`LintConfig` — which paths to scan and, per rule, which files
+  the rule *includes* (its scope) and which it *allows* (exemptions).
+  Loadable from the ``[lint]`` table of a TOML file (``lint.toml`` at
+  the repository root is auto-discovered by the CLI).
+* :func:`run_lint` — walk the configured trees, parse every ``*.py``
+  once, apply each in-scope rule, return a :class:`LintReport`.
+
+Path patterns are :mod:`fnmatch`-style and matched against
+``/``-separated paths relative to the lint root; ``*`` crosses
+directory boundaries, and a pattern naming a directory matches
+everything beneath it (``src/repro`` matches ``src/repro/sim/x.py``).
+
+Violation codes are stable and documented in ``docs/invariants.md``;
+``REP000`` is reserved by the framework for files that fail to parse.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import json
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping
+
+__all__ = [
+    "JSON_SCHEMA_VERSION",
+    "LintConfig",
+    "LintReport",
+    "LintViolation",
+    "RULE_REGISTRY",
+    "Rule",
+    "RuleConfig",
+    "iter_python_files",
+    "lint_file",
+    "path_matches",
+    "register_rule",
+    "run_lint",
+]
+
+#: Version stamp of the ``--format json`` payload.
+JSON_SCHEMA_VERSION = 1
+
+#: Framework-reserved code for unparsable files.
+SYNTAX_ERROR_CODE = "REP000"
+
+
+@dataclass(frozen=True, order=True)
+class LintViolation:
+    """One finding: ``path:line:col: CODE message``."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_json(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+class Rule(ABC):
+    """One lint rule: a coded AST check with a default file scope.
+
+    Subclasses set :attr:`code` (stable ``REPnnn`` identifier),
+    :attr:`name` (short slug), :attr:`description` (one line for
+    ``--list-rules`` and the docs) and optionally
+    :attr:`default_include` — patterns limiting which files the rule
+    examines (``None`` scans every file).  Config can override the
+    scope per rule (``include``) and exempt files (``allow``).
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+    default_include: tuple[str, ...] | None = None
+
+    @abstractmethod
+    def check(self, tree: ast.Module, path: str) -> Iterator[LintViolation]:
+        """Yield violations for one parsed module.
+
+        ``path`` is the root-relative display path — rules embed it in
+        the violations they build.
+        """
+
+
+#: code -> rule instance; populated by :func:`register_rule`.
+RULE_REGISTRY: dict[str, Rule] = {}
+
+
+def register_rule(cls: type) -> type:
+    """Class decorator: instantiate and register a :class:`Rule`.
+
+    Codes are the registry key and must be unique; re-registering an
+    existing code is almost certainly two rules colliding, so it fails
+    loudly rather than silently shadowing.
+    """
+    rule = cls()
+    if not rule.code or not rule.name:
+        raise ValueError(f"rule {cls.__name__} must declare code and name")
+    if rule.code in RULE_REGISTRY:
+        raise ValueError(f"duplicate lint rule code {rule.code!r}")
+    RULE_REGISTRY[rule.code] = rule
+    return cls
+
+
+@dataclass(frozen=True)
+class RuleConfig:
+    """Per-rule configuration: scope override + exemptions.
+
+    ``include=None`` defers to the rule's ``default_include``; an
+    explicit tuple (possibly empty) replaces it.  ``allow`` lists
+    files exempt from the rule regardless of scope.
+    """
+
+    include: tuple[str, ...] | None = None
+    allow: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Lint run configuration (scan roots + per-rule settings)."""
+
+    paths: tuple[str, ...] = ("src/repro", "examples", "benchmarks")
+    rules: Mapping[str, RuleConfig] = field(default_factory=dict)
+
+    def rule_config(self, code: str) -> RuleConfig:
+        return self.rules.get(code, _DEFAULT_RULE_CONFIG)
+
+    @classmethod
+    def from_toml(cls, path: str | Path) -> "LintConfig":
+        """Load the ``[lint]`` table of a TOML config file.
+
+        Recognised keys: ``paths`` (list of scan roots) and one
+        sub-table per rule code with ``include`` and/or ``allow``
+        pattern lists.  Unknown keys and unknown rule codes are
+        rejected loudly — a typoed ``alow`` must not silently disable
+        an exemption.
+        """
+        import tomllib
+
+        raw = Path(path).read_text(encoding="utf-8")
+        data = tomllib.loads(raw)
+        table = data.get("lint", {})
+        if not isinstance(table, dict):
+            raise ValueError("[lint] must be a table")
+        paths = tuple(table.get("paths", cls.paths))
+        if not all(isinstance(p, str) for p in paths):
+            raise ValueError("lint.paths must be a list of strings")
+        rules: dict[str, RuleConfig] = {}
+        for key, sub in table.items():
+            if key == "paths":
+                continue
+            if not isinstance(sub, dict):
+                raise ValueError(f"lint.{key} must be a rule table")
+            if key not in RULE_REGISTRY:
+                raise ValueError(
+                    f"unknown lint rule {key!r} in config; known rules: "
+                    f"{', '.join(sorted(RULE_REGISTRY))}"
+                )
+            unknown = set(sub) - {"include", "allow"}
+            if unknown:
+                raise ValueError(
+                    f"unknown key(s) {sorted(unknown)} in lint.{key}; "
+                    f"expected 'include' and/or 'allow'"
+                )
+            include = sub.get("include")
+            rules[key] = RuleConfig(
+                include=None if include is None else tuple(include),
+                allow=tuple(sub.get("allow", ())),
+            )
+        return cls(paths=paths, rules=rules)
+
+
+_DEFAULT_RULE_CONFIG = RuleConfig()
+
+
+def path_matches(path: str, patterns: Iterable[str]) -> bool:
+    """Whether a root-relative path matches any pattern.
+
+    ``fnmatch`` semantics with ``*`` crossing ``/`` boundaries, plus
+    directory-prefix matching: the pattern ``src/repro`` matches every
+    file under that tree.
+    """
+    for pattern in patterns:
+        if fnmatch.fnmatch(path, pattern):
+            return True
+        if path.startswith(pattern.rstrip("/") + "/"):
+            return True
+    return False
+
+
+def iter_python_files(roots: Iterable[Path]) -> Iterator[Path]:
+    """Every ``*.py`` under the given files/directories, sorted."""
+    for root in roots:
+        if root.is_file():
+            if root.suffix == ".py":
+                yield root
+        elif root.is_dir():
+            yield from sorted(root.rglob("*.py"))
+        else:
+            raise FileNotFoundError(f"lint path does not exist: {root}")
+
+
+def lint_file(
+    path: Path, rel: str, config: LintConfig
+) -> list[LintViolation]:
+    """Apply every in-scope rule to one file."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            LintViolation(
+                path=rel,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                code=SYNTAX_ERROR_CODE,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    violations: list[LintViolation] = []
+    for rule in RULE_REGISTRY.values():
+        rule_config = config.rule_config(rule.code)
+        include = (
+            rule_config.include
+            if rule_config.include is not None
+            else rule.default_include
+        )
+        if include is not None and not path_matches(rel, include):
+            continue
+        if path_matches(rel, rule_config.allow):
+            continue
+        violations.extend(rule.check(tree, rel))
+    return sorted(violations)
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Outcome of one lint run."""
+
+    violations: tuple[LintViolation, ...]
+    files_checked: int
+    mode: str = "static"
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def to_json(self) -> dict:
+        return {
+            "schema_version": JSON_SCHEMA_VERSION,
+            "mode": self.mode,
+            "files_checked": self.files_checked,
+            "violation_count": len(self.violations),
+            "violations": [v.to_json() for v in self.violations],
+        }
+
+    def render_text(self) -> str:
+        lines = [v.render() for v in self.violations]
+        noun = "file" if self.files_checked == 1 else "files"
+        if self.clean:
+            lines.append(f"{self.files_checked} {noun} checked, clean")
+        else:
+            lines.append(
+                f"{self.files_checked} {noun} checked, "
+                f"{len(self.violations)} violation(s)"
+            )
+        return "\n".join(lines)
+
+    def render(self, format: str = "text") -> str:
+        if format == "json":
+            return json.dumps(self.to_json(), indent=2)
+        return self.render_text()
+
+
+def run_lint(
+    paths: Iterable[str] | None = None,
+    config: LintConfig | None = None,
+    root: str | Path | None = None,
+) -> LintReport:
+    """Lint the configured trees and return a report.
+
+    ``paths`` overrides the config's scan roots; both are resolved
+    relative to ``root`` (default: the current directory), and display
+    paths in violations are root-relative so allowlist patterns match
+    the same strings everywhere.
+    """
+    config = config if config is not None else LintConfig()
+    base = Path(root) if root is not None else Path.cwd()
+    roots = [base / p for p in (tuple(paths) if paths else config.paths)]
+    violations: list[LintViolation] = []
+    n_files = 0
+    for file_path in iter_python_files(roots):
+        try:
+            rel = file_path.resolve().relative_to(base.resolve()).as_posix()
+        except ValueError:
+            rel = file_path.as_posix()
+        n_files += 1
+        violations.extend(lint_file(file_path, rel, config))
+    return LintReport(
+        violations=tuple(sorted(violations)), files_checked=n_files
+    )
+
+
+# Register the repository rules on import so every entry point (CLI,
+# tests, config validation) sees one fully-populated registry.
+from repro.devtools import rules as _rules  # noqa: E402,F401  (registration side effect)

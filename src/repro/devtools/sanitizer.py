@@ -1,0 +1,209 @@
+"""Runtime leak sanitizer: pytest plugin + numeric/async strictness.
+
+Three pieces of runtime-contract wiring (the dynamic complement of the
+static ``repro lint`` pass):
+
+* **Leak check** (``--leak-check``).  Every test is bracketed by a
+  snapshot of live threads and multiprocessing children; a test that
+  ends with *new* live non-daemon threads or child processes — a
+  ``ThreadPoolExecutor``/``ProcessPoolExecutor`` that was never shut
+  down, a wedged engine worker, a service loop still running — fails
+  with a description of what leaked.  Leftovers get a grace period
+  (``--leak-grace``, default 5 s) to finish joining first, so a pool
+  mid-``shutdown(wait=True)`` is not a false positive.  The engine and
+  service suites are the hot risk; CI's fast gate runs with the check
+  enabled.  ``@pytest.mark.leak_ok`` exempts a test that deliberately
+  holds workers across test boundaries (module-scoped pools) — prefer
+  function-scoped fixtures so every teardown is actually verified.
+* **Strict errstate** (:func:`strict_errstate`).  The kernel suites run
+  under ``np.errstate(over="raise", divide="raise", invalid="raise")``
+  (see ``tests/decoders/conftest.py``): a silent ``inf``/``nan`` in a
+  message update would otherwise surface as a mysteriously different
+  hard decision three backends later.  Underflow keeps numpy's default
+  (flush to zero is normal and value-correct for LLR products).
+* **Asyncio debug mode** (:func:`enable_asyncio_debug`).  The service
+  suites set ``PYTHONASYNCIODEBUG=1`` (see
+  ``tests/service/conftest.py``), so event loops created by the tests
+  surface non-threadsafe callback scheduling and never-retrieved task
+  exceptions instead of hiding them.
+
+The plugin is loaded by the root ``conftest.py`` (it is inert without
+``--leak-check``), so ``pytest --leak-check`` works from a clean
+checkout with no extra ``-p`` flags.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+import pytest
+
+__all__ = [
+    "LeakSanitizer",
+    "enable_asyncio_debug",
+    "strict_errstate",
+]
+
+
+@contextmanager
+def strict_errstate() -> Iterator[None]:
+    """Raise on overflow/divide/invalid; keep numpy's underflow default.
+
+    The context the kernel suites decode under: any ``inf``/``nan``
+    produced by a message update raises at the operation that made it
+    rather than corrupting hard decisions downstream.
+    """
+    with np.errstate(over="raise", divide="raise", invalid="raise"):
+        yield
+
+
+def enable_asyncio_debug(monkeypatch: pytest.MonkeyPatch) -> None:
+    """Turn on asyncio debug mode for loops created after this call.
+
+    ``BaseEventLoop`` reads ``PYTHONASYNCIODEBUG`` at loop-creation
+    time, so setting it per-test (via ``monkeypatch``) flips every loop
+    the test builds — including the ones ``asyncio.run`` makes — into
+    debug mode: slow-callback logging, non-threadsafe
+    ``call_soon``-from-wrong-thread errors, unretrieved task
+    exceptions.
+    """
+    monkeypatch.setenv("PYTHONASYNCIODEBUG", "1")
+
+
+def _live_threads() -> dict[int | None, threading.Thread]:
+    return {t.ident: t for t in threading.enumerate() if t.is_alive()}
+
+
+def _live_processes() -> dict[int | None, multiprocessing.process.BaseProcess]:
+    # active_children() also reaps finished children, so a test that
+    # joined its workers correctly leaves nothing behind here.
+    return {p.pid: p for p in multiprocessing.active_children()
+            if p.is_alive()}
+
+
+def _describe_thread(t: threading.Thread) -> str:
+    return f"thread {t.name!r} (daemon={t.daemon})"
+
+
+def _describe_process(p: multiprocessing.process.BaseProcess) -> str:
+    return f"process {p.name!r} (pid={p.pid})"
+
+
+class LeakSanitizer:
+    """Per-test thread/process leak detection (``--leak-check``)."""
+
+    def __init__(self, grace: float):
+        self.grace = float(grace)
+        self._before_threads: dict = {}
+        self._before_processes: dict = {}
+
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_setup(self, item):
+        self._before_threads = _live_threads()
+        self._before_processes = _live_processes()
+        yield
+
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_teardown(self, item, nextitem):
+        # Post-yield runs after every other teardown impl — fixture
+        # finalizers included — so executors closed by fixtures are
+        # gone before the leak verdict.
+        yield
+        self._check(item)
+
+    def _leaked(self) -> list:
+        leaks: list = []
+        current = threading.current_thread()
+        for ident, t in _live_threads().items():
+            if ident in self._before_threads or t is current:
+                continue
+            if t.daemon:
+                # Daemon threads cannot block interpreter exit; timer
+                # and watchdog daemons also come and go legitimately.
+                continue
+            leaks.append(t)
+        for pid, p in _live_processes().items():
+            if pid not in self._before_processes:
+                leaks.append(p)
+        return leaks
+
+    def _check(self, item) -> None:
+        if item.get_closest_marker("leak_ok") is not None:
+            # Escape hatch for tests that intentionally hold workers
+            # across test boundaries (e.g. a module-scoped pool fixture
+            # shared for speed).  The marker is a debt marker: prefer
+            # function-scoped fixtures so close() is verified per test.
+            return
+        leaks = self._leaked()
+        if not leaks:
+            return
+        # Grace period: a pool mid-shutdown deserves time to join.
+        deadline = time.monotonic() + self.grace
+        for leak in leaks:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            leak.join(remaining)
+        leaks = self._leaked()
+        if not leaks:
+            return
+        details = ", ".join(
+            _describe_thread(leak)
+            if isinstance(leak, threading.Thread)
+            else _describe_process(leak)
+            for leak in leaks
+        )
+        pytest.fail(
+            f"{item.nodeid} leaked {len(leaks)} live worker(s) after "
+            f"teardown (+{self.grace:.1f}s grace): {details}.  Shut "
+            f"down executors/pools in the test or its fixtures.",
+            pytrace=False,
+        )
+
+
+# -- pytest plugin hooks ------------------------------------------------
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("repro-sanitizer")
+    group.addoption(
+        "--leak-check",
+        action="store_true",
+        default=False,
+        help="fail tests that leak live threads/processes/executors",
+    )
+    group.addoption(
+        "--leak-grace",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="grace period for leftover workers to finish joining "
+             "before --leak-check fails the test (default 5.0)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "leak_ok: exempt this test from --leak-check (it deliberately "
+        "holds live workers across test boundaries)",
+    )
+    if config.getoption("--leak-check"):
+        config.pluginmanager.register(
+            LeakSanitizer(config.getoption("--leak-grace")),
+            "repro-leak-sanitizer",
+        )
+
+
+def pytest_report_header(config):
+    if config.getoption("--leak-check"):
+        return (
+            "repro sanitizer: leak-check enabled "
+            f"(grace {config.getoption('--leak-grace'):.1f}s)"
+        )
+    return None

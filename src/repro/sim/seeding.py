@@ -25,7 +25,9 @@ import numpy as np
 __all__ = ["run_root", "shard_sequence", "shard_streams"]
 
 
-def run_root(seed) -> np.random.SeedSequence:
+def run_root(
+    seed: int | np.random.SeedSequence | np.random.Generator,
+) -> np.random.SeedSequence:
     """The root :class:`~numpy.random.SeedSequence` of one run.
 
     * ``int`` — ``SeedSequence(seed)``: two runs with the same integer

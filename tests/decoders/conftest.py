@@ -1,0 +1,21 @@
+"""Decoder-suite strictness: decode under a raising ``np.errstate``.
+
+Every decoder/kernel test in this tree runs with overflow, division
+and invalid-operation errors *raised* instead of numpy's default warn:
+a silent ``inf``/``nan`` born in a message update would otherwise
+surface three backends later as a mysteriously different hard
+decision.  Underflow keeps the default (flush-to-zero is normal and
+value-correct for LLR products).  See
+:func:`repro.devtools.sanitizer.strict_errstate` and
+``docs/invariants.md``.
+"""
+
+import pytest
+
+from repro.devtools.sanitizer import strict_errstate
+
+
+@pytest.fixture(autouse=True)
+def kernel_strict_errstate():
+    with strict_errstate():
+        yield

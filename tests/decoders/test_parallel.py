@@ -13,7 +13,10 @@ def problem():
     return code_capacity_problem(get_code("coprime_154_6_16"), 0.06)
 
 
-@pytest.fixture(scope="module")
+# Function-scoped on purpose: the leak sanitizer (--leak-check)
+# verifies close() reclaims both workers after *every* test, and fork
+# startup of two daemon workers is cheap enough not to care.
+@pytest.fixture
 def pool(problem):
     dec = ParallelBPSFDecoder(
         problem, processes=2, batch_trials=3,

@@ -1,0 +1,136 @@
+"""End-to-end tests for ``python -m repro lint`` (exit codes, formats)."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_lint_cli(*args, cwd=REPO_ROOT):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *args],
+        cwd=cwd, env=env, capture_output=True, text=True, timeout=120,
+    )
+
+
+@pytest.fixture
+def violation_tree(tmp_path):
+    """A scan root with one clean and one violating module."""
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "ok.py").write_text("x = 1\n")
+    (pkg / "bad.py").write_text("import random\nrandom.random()\n")
+    return tmp_path
+
+
+# -- acceptance: the repository itself is clean --------------------------
+
+
+def test_repo_is_lint_clean():
+    result = run_lint_cli()
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "clean" in result.stdout
+
+
+def test_repo_satisfies_registry_contracts():
+    result = run_lint_cli("--contracts")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "clean" in result.stdout
+
+
+# -- exit codes and formats ---------------------------------------------
+
+
+def test_violations_exit_2_text(violation_tree):
+    result = run_lint_cli("pkg", cwd=violation_tree)
+    assert result.returncode == 2
+    assert "pkg/bad.py:2:0: REP001" in result.stdout
+    assert "1 violation(s)" in result.stdout
+
+
+def test_violations_exit_2_json(violation_tree):
+    result = run_lint_cli("pkg", "--format", "json", cwd=violation_tree)
+    assert result.returncode == 2
+    payload = json.loads(result.stdout)
+    assert payload["schema_version"] == 1
+    assert payload["violation_count"] == 1
+    assert payload["violations"][0]["code"] == "REP001"
+
+
+def test_clean_tree_exit_0_json(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "ok.py").write_text("x = 1\n")
+    result = run_lint_cli("pkg", "--format", "json", cwd=tmp_path)
+    assert result.returncode == 0
+    payload = json.loads(result.stdout)
+    assert payload["violation_count"] == 0
+    assert payload["mode"] == "static"
+
+
+@pytest.mark.slow
+def test_contracts_json_mode_field():
+    result = run_lint_cli("--contracts", "--format", "json")
+    assert result.returncode == 0, result.stdout + result.stderr
+    payload = json.loads(result.stdout)
+    assert payload["mode"] == "contracts"
+    assert payload["files_checked"] > 0
+
+
+def test_missing_path_is_a_friendly_exit_2(tmp_path):
+    result = run_lint_cli("no_such_dir", cwd=tmp_path)
+    assert result.returncode == 2
+    assert "does not exist" in (result.stdout + result.stderr)
+
+
+# -- config handling -----------------------------------------------------
+
+
+def test_config_allowlist_silences_violation(violation_tree):
+    (violation_tree / "lint.toml").write_text(
+        "[lint]\npaths = ['pkg']\n"
+        "[lint.REP001]\nallow = ['pkg/bad.py']\n"
+    )
+    # Auto-discovered lint.toml in the cwd.
+    result = run_lint_cli(cwd=violation_tree)
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_explicit_config_flag(violation_tree):
+    cfg = violation_tree / "custom.toml"
+    cfg.write_text("[lint]\npaths = ['pkg']\n")
+    result = run_lint_cli("--config", str(cfg), cwd=violation_tree)
+    assert result.returncode == 2
+    assert "REP001" in result.stdout
+
+
+def test_invalid_config_is_a_friendly_exit_2(violation_tree):
+    (violation_tree / "lint.toml").write_text(
+        "[lint]\npaths = ['pkg']\n[lint.REP999]\nallow = []\n"
+    )
+    result = run_lint_cli(cwd=violation_tree)
+    assert result.returncode == 2
+    assert "REP999" in (result.stdout + result.stderr)
+
+
+@pytest.mark.slow
+def test_missing_explicit_config_is_exit_2(tmp_path):
+    result = run_lint_cli("--config", "nope.toml", cwd=tmp_path)
+    assert result.returncode == 2
+
+
+# -- --list-rules --------------------------------------------------------
+
+
+def test_list_rules_names_every_code():
+    result = run_lint_cli("--list-rules")
+    assert result.returncode == 0
+    for code in ("REP001", "REP002", "REP003", "REP004"):
+        assert code in result.stdout

@@ -1,0 +1,311 @@
+"""Per-rule lint framework tests: good/bad fixtures for REP000–REP004."""
+
+import textwrap
+
+import pytest
+
+from repro.devtools.lint import (
+    LintConfig,
+    RULE_REGISTRY,
+    RuleConfig,
+    lint_file,
+    path_matches,
+    run_lint,
+)
+
+
+def check(tmp_path, source, rel="src/repro/module.py", config=None):
+    """Lint one source snippet as if it lived at ``rel``; return codes."""
+    f = tmp_path / "snippet.py"
+    f.write_text(textwrap.dedent(source))
+    violations = lint_file(f, rel, config or LintConfig())
+    return [v.code for v in violations], violations
+
+
+# -- framework ----------------------------------------------------------
+
+
+def test_registry_has_the_documented_rules():
+    assert set(RULE_REGISTRY) == {"REP001", "REP002", "REP003", "REP004"}
+    for code, rule in RULE_REGISTRY.items():
+        assert rule.code == code
+        assert rule.name and rule.description
+
+
+def test_syntax_error_reports_rep000(tmp_path):
+    codes, violations = check(tmp_path, "def broken(:\n")
+    assert codes == ["REP000"]
+    assert "does not parse" in violations[0].message
+
+
+def test_violation_render_is_path_line_col_code(tmp_path):
+    _, violations = check(
+        tmp_path, "import random\nrandom.random()\n"
+    )
+    assert violations, "expected a REP001 violation"
+    rendered = violations[0].render()
+    assert rendered.startswith("src/repro/module.py:2:0: REP001 ")
+
+
+def test_path_matches_star_crosses_directories():
+    assert path_matches("src/repro/sim/seeding.py", ("src/repro/*",))
+    assert path_matches("src/repro/sim/seeding.py", ("src/repro",))
+    assert not path_matches("examples/demo.py", ("src/repro",))
+    assert not path_matches("src/repro_extras/x.py", ("src/repro",))
+
+
+# -- REP001: global-state randomness ------------------------------------
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "import numpy as np\nnp.random.rand(3)\n",
+        "import numpy as np\nnp.random.seed(0)\n",
+        "import numpy.random as npr\nnpr.shuffle([1, 2])\n",
+        "from numpy import random\nrandom.standard_normal(4)\n",
+        "import random\nrandom.random()\n",
+        "from random import shuffle\nshuffle([1, 2])\n",
+        "from random import shuffle as mix\nmix([1, 2])\n",
+        "from numpy.random import default_rng\ndefault_rng()\n",
+        "import numpy as np\nnp.random.default_rng()\n",
+    ],
+)
+def test_rep001_flags_global_randomness(tmp_path, source):
+    codes, _ = check(tmp_path, source)
+    assert codes == ["REP001"], source
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "import numpy as np\nnp.random.default_rng(42)\n",
+        "import numpy as np\nnp.random.default_rng(seed)\n",
+        "from numpy.random import default_rng\ndefault_rng(seed=7)\n",
+        "import numpy as np\nnp.random.SeedSequence(5)\n",
+        "import numpy as np\nnp.random.PCG64(3)\n",
+        "import random\nrandom.Random(0)\n",
+        "import random\nrandom.SystemRandom()\n",
+        # Unrelated attribute chains must not trip the alias resolver.
+        "import numpy as np\nnp.linalg.norm([1.0])\n",
+    ],
+)
+def test_rep001_allows_seeded_construction(tmp_path, source):
+    codes, _ = check(tmp_path, source)
+    assert "REP001" not in codes, source
+
+
+# -- REP002: wall clocks in stream-determining modules -------------------
+
+_SEEDING = "src/repro/sim/seeding.py"
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "import time\ntime.time()\n",
+        "import time\ntime.perf_counter()\n",
+        "from time import perf_counter\nperf_counter()\n",
+        "from time import perf_counter as clock\nclock()\n",
+        "import datetime\ndatetime.datetime.now()\n",
+        "from datetime import datetime\ndatetime.utcnow()\n",
+    ],
+)
+def test_rep002_flags_clocks_in_scope(tmp_path, source):
+    codes, _ = check(tmp_path, source, rel=_SEEDING)
+    assert codes == ["REP002"], source
+
+
+def test_rep002_scope_is_stream_determining_modules_only(tmp_path):
+    source = "import time\ntime.perf_counter()\n"
+    codes, _ = check(tmp_path, source, rel="src/repro/analysis/timing.py")
+    assert codes == []
+    codes, _ = check(
+        tmp_path, source, rel="src/repro/decoders/kernels/fancy.py"
+    )
+    assert codes == ["REP002"]
+
+
+def test_rep002_allows_non_clock_time_functions(tmp_path):
+    codes, _ = check(tmp_path, "import time\ntime.sleep(0.1)\n", rel=_SEEDING)
+    assert codes == []
+
+
+# -- REP003: unguarded optional imports ----------------------------------
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "import numba\n",
+        "import cupy\n",
+        "from numba import njit\n",
+        "import numba.cuda\n",
+        "def load():\n    import numba\n",
+    ],
+)
+def test_rep003_flags_unguarded_optional_imports(tmp_path, source):
+    codes, _ = check(tmp_path, source)
+    assert codes == ["REP003"], source
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "try:\n    import numba\nexcept ImportError:\n    numba = None\n",
+        "try:\n    from numba import njit\nexcept ModuleNotFoundError:\n"
+        "    njit = None\n",
+        # Guard established by an enclosing try, import nested deeper.
+        "try:\n    def load():\n        import numba\n"
+        "except ImportError:\n    pass\n",
+        # Non-optional imports are never REP003's business.
+        "import numpy\nimport os\n",
+    ],
+)
+def test_rep003_allows_guarded_imports(tmp_path, source):
+    codes, _ = check(tmp_path, source)
+    assert "REP003" not in codes, source
+
+
+def test_rep003_handler_body_is_not_guarded(tmp_path):
+    # An import in the *except* body is outside the guarded region.
+    source = (
+        "try:\n    import numba\nexcept ImportError:\n    import cupy\n"
+    )
+    codes, _ = check(tmp_path, source)
+    assert codes == ["REP003"]
+
+
+# -- REP004: mutable defaults + bare except ------------------------------
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "def f(x=[]):\n    pass\n",
+        "def f(x={}):\n    pass\n",
+        "def f(*, y=set()):\n    pass\n",
+        "def f(x=list()):\n    pass\n",
+        "async def f(x=[]):\n    pass\n",
+        "g = lambda x=[]: x\n",
+        "try:\n    pass\nexcept:\n    pass\n",
+    ],
+)
+def test_rep004_flags_hygiene_violations(tmp_path, source):
+    codes, _ = check(tmp_path, source)
+    assert codes == ["REP004"], source
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "def f(x=None, y=(), z=0):\n    pass\n",
+        "def f(x=frozenset()):\n    pass\n",
+        "try:\n    pass\nexcept Exception:\n    pass\n",
+    ],
+)
+def test_rep004_allows_immutable_defaults(tmp_path, source):
+    codes, _ = check(tmp_path, source)
+    assert "REP004" not in codes, source
+
+
+def test_rep004_scope_defaults_to_the_package(tmp_path):
+    source = "def f(x=[]):\n    pass\n"
+    codes, _ = check(tmp_path, source, rel="examples/demo.py")
+    assert codes == []
+
+
+# -- config: include overrides and allowlists ---------------------------
+
+
+def test_allowlist_exempts_a_file(tmp_path):
+    config = LintConfig(
+        rules={"REP001": RuleConfig(allow=("src/repro/legacy.py",))}
+    )
+    source = "import random\nrandom.random()\n"
+    codes, _ = check(tmp_path, source, rel="src/repro/legacy.py",
+                     config=config)
+    assert codes == []
+    codes, _ = check(tmp_path, source, rel="src/repro/other.py",
+                     config=config)
+    assert codes == ["REP001"]
+
+
+def test_include_override_replaces_default_scope(tmp_path):
+    # Empty include disables the rule everywhere.
+    config = LintConfig(rules={"REP001": RuleConfig(include=())})
+    codes, _ = check(tmp_path, "import random\nrandom.random()\n",
+                     config=config)
+    assert codes == []
+    # Widening REP002 brings new modules into scope.
+    config = LintConfig(
+        rules={"REP002": RuleConfig(include=("src/repro/analysis/*",))}
+    )
+    codes, _ = check(tmp_path, "import time\ntime.time()\n",
+                     rel="src/repro/analysis/timing.py", config=config)
+    assert codes == ["REP002"]
+
+
+def test_config_from_toml_rejects_unknown_rule_and_key(tmp_path):
+    bad_rule = tmp_path / "bad_rule.toml"
+    bad_rule.write_text("[lint.REP999]\nallow = ['x.py']\n")
+    with pytest.raises(ValueError, match="unknown lint rule 'REP999'"):
+        LintConfig.from_toml(bad_rule)
+    bad_key = tmp_path / "bad_key.toml"
+    bad_key.write_text("[lint.REP001]\nalow = ['x.py']\n")
+    with pytest.raises(ValueError, match="unknown key"):
+        LintConfig.from_toml(bad_key)
+
+
+def test_config_from_toml_roundtrip(tmp_path):
+    cfg = tmp_path / "lint.toml"
+    cfg.write_text(
+        "[lint]\npaths = ['pkg']\n"
+        "[lint.REP001]\nallow = ['pkg/legacy.py']\n"
+        "[lint.REP002]\ninclude = ['pkg/seeding.py']\n"
+    )
+    config = LintConfig.from_toml(cfg)
+    assert config.paths == ("pkg",)
+    assert config.rule_config("REP001").allow == ("pkg/legacy.py",)
+    assert config.rule_config("REP002").include == ("pkg/seeding.py",)
+    assert config.rule_config("REP003") == RuleConfig()
+
+
+# -- run_lint + JSON shape ----------------------------------------------
+
+
+def test_run_lint_reports_relative_paths_and_json_schema(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "ok.py").write_text("x = 1\n")
+    (pkg / "bad.py").write_text("import random\nrandom.random()\n")
+    config = LintConfig(paths=("pkg",))
+    report = run_lint(config=config, root=tmp_path)
+    assert report.files_checked == 2
+    assert not report.clean
+    assert [v.code for v in report.violations] == ["REP001"]
+    assert report.violations[0].path == "pkg/bad.py"
+
+    payload = report.to_json()
+    assert payload["schema_version"] == 1
+    assert payload["mode"] == "static"
+    assert payload["files_checked"] == 2
+    assert payload["violation_count"] == 1
+    v = payload["violations"][0]
+    assert set(v) == {"path", "line", "col", "code", "message"}
+
+
+def test_run_lint_clean_tree(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "ok.py").write_text("import numpy as np\n\n"
+                               "def f(seed):\n"
+                               "    return np.random.default_rng(seed)\n")
+    report = run_lint(config=LintConfig(paths=("pkg",)), root=tmp_path)
+    assert report.clean
+    assert "1 file checked, clean" in report.render_text()
+
+
+def test_run_lint_missing_path_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        run_lint(config=LintConfig(paths=("nope",)), root=tmp_path)

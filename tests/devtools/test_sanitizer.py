@@ -1,0 +1,229 @@
+"""Runtime sanitizer tests: leak plugin (via pytester), errstate, asyncio.
+
+The leak-plugin tests run pytest in a subprocess (``runpytest_subprocess``)
+so leaked threads/processes die with the child interpreter instead of
+polluting this session — exactly the isolation the plugin polices.
+"""
+
+import asyncio
+import os
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.devtools.sanitizer import enable_asyncio_debug, strict_errstate
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture
+def leak_pytester(pytester, monkeypatch):
+    """Pytester wired so the subprocess run can import the plugin."""
+    monkeypatch.setenv(
+        "PYTHONPATH",
+        SRC + os.pathsep + os.environ.get("PYTHONPATH", ""),
+    )
+    return pytester
+
+
+def run_leak_check(pytester, *extra):
+    return pytester.runpytest_subprocess(
+        "-p", "repro.devtools.sanitizer",
+        "--leak-check", "--leak-grace", "0.3", *extra,
+    )
+
+
+# -- leak detection ------------------------------------------------------
+
+
+def test_leaked_thread_fails(leak_pytester):
+    leak_pytester.makepyfile(
+        """
+        import threading, time
+
+        def test_leaks_a_thread():
+            t = threading.Thread(target=time.sleep, args=(2.0,))
+            t.start()
+        """
+    )
+    result = run_leak_check(leak_pytester)
+    result.assert_outcomes(passed=1, errors=1)
+    result.stdout.fnmatch_lines(["*leaked 1 live worker(s)*"])
+
+
+@pytest.mark.slow
+def test_leaked_process_fails(leak_pytester):
+    leak_pytester.makepyfile(
+        """
+        import multiprocessing, time
+
+        def test_leaks_a_process():
+            p = multiprocessing.Process(target=time.sleep, args=(2.0,))
+            p.start()
+        """
+    )
+    result = run_leak_check(leak_pytester)
+    result.assert_outcomes(passed=1, errors=1)
+    result.stdout.fnmatch_lines(["*leaked 1 live worker(s)*"])
+
+
+def test_unclosed_executor_fails(leak_pytester):
+    leak_pytester.makepyfile(
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        # Held by a module global, as a real leak would be: a collected
+        # executor self-cleans via its worker's weakref, so a dropped
+        # local is not a leak.
+        POOL = ThreadPoolExecutor(max_workers=1)
+
+        def test_never_shuts_down():
+            POOL.submit(sum, [1, 2, 3]).result()
+        """
+    )
+    result = run_leak_check(leak_pytester)
+    result.assert_outcomes(passed=1, errors=1)
+
+
+def test_joined_workers_pass(leak_pytester):
+    leak_pytester.makepyfile(
+        """
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
+
+        def test_cleans_up():
+            t = threading.Thread(target=sum, args=([1, 2],))
+            t.start()
+            t.join()
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                pool.submit(sum, [1, 2, 3]).result()
+        """
+    )
+    result = run_leak_check(leak_pytester)
+    result.assert_outcomes(passed=1)
+
+
+@pytest.mark.slow
+def test_grace_period_absorbs_slow_joins(leak_pytester):
+    # A worker that finishes within the grace window is not a leak.
+    leak_pytester.makepyfile(
+        """
+        import threading, time
+
+        def test_worker_still_winding_down():
+            t = threading.Thread(target=time.sleep, args=(0.4,))
+            t.start()
+        """
+    )
+    result = leak_pytester.runpytest_subprocess(
+        "-p", "repro.devtools.sanitizer",
+        "--leak-check", "--leak-grace", "3.0",
+    )
+    result.assert_outcomes(passed=1)
+
+
+@pytest.mark.slow
+def test_daemon_threads_exempt(leak_pytester):
+    leak_pytester.makepyfile(
+        """
+        import threading, time
+
+        def test_daemon_watchdog():
+            t = threading.Thread(
+                target=time.sleep, args=(1.0,), daemon=True
+            )
+            t.start()
+        """
+    )
+    result = run_leak_check(leak_pytester)
+    result.assert_outcomes(passed=1)
+
+
+def test_leak_ok_marker_exempts(leak_pytester):
+    leak_pytester.makepyfile(
+        """
+        import threading, time, pytest
+
+        @pytest.mark.leak_ok
+        def test_deliberately_persistent():
+            t = threading.Thread(target=time.sleep, args=(1.5,))
+            t.start()
+        """
+    )
+    result = run_leak_check(leak_pytester)
+    result.assert_outcomes(passed=1)
+
+
+@pytest.mark.slow
+def test_plugin_inert_without_flag(leak_pytester):
+    leak_pytester.makepyfile(
+        """
+        import threading, time
+
+        def test_leaks_without_consequence():
+            t = threading.Thread(target=time.sleep, args=(1.0,))
+            t.start()
+        """
+    )
+    result = leak_pytester.runpytest_subprocess(
+        "-p", "repro.devtools.sanitizer"
+    )
+    result.assert_outcomes(passed=1)
+
+
+@pytest.mark.slow
+def test_report_header_announces_the_check(leak_pytester):
+    leak_pytester.makepyfile("def test_ok():\n    pass\n")
+    result = run_leak_check(leak_pytester)
+    result.stdout.fnmatch_lines(["*repro sanitizer: leak-check enabled*"])
+
+
+# -- numeric strictness --------------------------------------------------
+
+
+def test_strict_errstate_raises_on_overflow():
+    with pytest.raises(FloatingPointError):
+        with strict_errstate():
+            np.float32(1e38) * np.float32(1e38)
+
+
+def test_strict_errstate_raises_on_invalid():
+    with pytest.raises(FloatingPointError):
+        with strict_errstate():
+            np.float64(np.inf) - np.float64(np.inf)
+
+
+def test_strict_errstate_leaves_underflow_alone():
+    with strict_errstate():
+        assert np.float32(1e-38) * np.float32(1e-38) == 0.0
+
+
+def test_decoder_suite_fixture_is_active():
+    # tests/decoders/conftest.py applies strict_errstate autouse; this
+    # suite is outside that tree, so the default (warn) must hold here.
+    with np.errstate(all="warn"):
+        pass  # establishing we can even nest; the real check follows
+    assert np.geterr()["over"] != "raise"
+
+
+# -- asyncio debug mode --------------------------------------------------
+
+
+def test_enable_asyncio_debug_flips_new_loops(monkeypatch):
+    monkeypatch.delenv("PYTHONASYNCIODEBUG", raising=False)
+    loop = asyncio.new_event_loop()
+    try:
+        baseline = loop.get_debug()
+    finally:
+        loop.close()
+    if baseline:
+        pytest.skip("interpreter already in asyncio debug mode")
+
+    enable_asyncio_debug(monkeypatch)
+    loop = asyncio.new_event_loop()
+    try:
+        assert loop.get_debug()
+    finally:
+        loop.close()

@@ -1,0 +1,26 @@
+"""Static typing gate: mypy over the typed core (skips without mypy).
+
+The container used for local development need not have mypy; CI's
+static-analysis job installs it and runs this gate (plus ``mypy`` on
+the command line).  ``mypy.ini`` names the checked files.
+"""
+
+from pathlib import Path
+
+import pytest
+
+mypy_api = pytest.importorskip("mypy.api", reason="mypy not installed")
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.mark.slow
+def test_typed_core_is_mypy_clean():
+    stdout, stderr, status = mypy_api.run(
+        ["--config-file", str(REPO_ROOT / "mypy.ini")]
+    )
+    assert status == 0, f"mypy failed:\n{stdout}\n{stderr}"
+
+
+def test_package_ships_py_typed():
+    assert (REPO_ROOT / "src" / "repro" / "py.typed").exists()

@@ -1,0 +1,20 @@
+"""Service-suite strictness: every event loop runs in asyncio debug mode.
+
+``PYTHONASYNCIODEBUG`` is read at loop-creation time, so setting it
+per-test flips every loop the test builds (including ``asyncio.run``'s)
+into debug mode: non-threadsafe ``call_soon`` scheduling from worker
+threads raises, never-retrieved task exceptions are logged, and slow
+callbacks are reported.  The decode service coordinates an asyncio
+serve loop with executor threads/processes — exactly the bug class
+debug mode exists to catch.  See
+:func:`repro.devtools.sanitizer.enable_asyncio_debug`.
+"""
+
+import pytest
+
+from repro.devtools.sanitizer import enable_asyncio_debug
+
+
+@pytest.fixture(autouse=True)
+def asyncio_debug_mode(monkeypatch):
+    enable_asyncio_debug(monkeypatch)
