@@ -244,6 +244,12 @@ def _cmd_ler(args) -> int:
     if timeout_error:
         print(timeout_error, file=sys.stderr)
         return 2
+    if args.max_worker_restarts is not None and args.max_worker_restarts < 0:
+        print("--max-worker-restarts must be non-negative", file=sys.stderr)
+        return 2
+    restarts = {}
+    if args.max_worker_restarts is not None:
+        restarts["max_worker_restarts"] = args.max_worker_restarts
     problem, factory, code = _decode_workload(args)
     if problem is None:
         return code
@@ -260,6 +266,7 @@ def _cmd_ler(args) -> int:
             shard_shots=args.shard_shots,
             shard_timeout=shard_timeout,
             on_progress=on_progress,
+            **restarts,
         )
     finally:
         close_progress()
@@ -353,6 +360,15 @@ def _cmd_sweep_run(args) -> int:
     if timeout_error:
         print(timeout_error, file=sys.stderr)
         return 2
+    if args.checkpoint_every is not None and args.checkpoint_every < 1:
+        print("--checkpoint-every must be positive", file=sys.stderr)
+        return 2
+    if args.max_worker_restarts is not None and args.max_worker_restarts < 0:
+        print("--max-worker-restarts must be non-negative", file=sys.stderr)
+        return 2
+    restarts = {}
+    if args.max_worker_restarts is not None:
+        restarts["max_worker_restarts"] = args.max_worker_restarts
     store = _sweep_store(args)
     on_progress, close_progress = _progress_arg(args, "shards")
     try:
@@ -360,8 +376,10 @@ def _cmd_sweep_run(args) -> int:
             spec, store,
             n_workers=args.workers,
             shard_timeout=shard_timeout,
+            checkpoint_every=args.checkpoint_every,
             progress=print,
             on_progress=on_progress,
+            **restarts,
         )
     except StoreCorruptionError as exc:
         print(f"results store is corrupted: {exc}", file=sys.stderr)
@@ -749,6 +767,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "presuming its worker hung and retrying the "
                           "shard elsewhere (default 600; 0 waits "
                           "forever — does not affect results)")
+    ler.add_argument("--max-worker-restarts", type=int, default=None,
+                     help="dead/wedged workers the elastic pool may "
+                          "respawn before the run fails (default 8; "
+                          "recovered shards are recomputed "
+                          "bit-identically)")
     ler.add_argument("--progress", action="store_true",
                      help="print a live shards-done counter to stderr")
     ler.add_argument("--seed", type=int, default=0)
@@ -793,6 +816,17 @@ def build_parser() -> argparse.ArgumentParser:
                                 "presuming its worker hung and "
                                 "retrying elsewhere (default 600; 0 "
                                 "waits forever)")
+    sweep_run.add_argument("--checkpoint-every", type=int, default=None,
+                           help="persist each point's partial shard "
+                                "prefix to the store every N shards, "
+                                "so a killed run loses at most the "
+                                "in-flight shards (default: only "
+                                "completed points are persisted)")
+    sweep_run.add_argument("--max-worker-restarts", type=int,
+                           default=None,
+                           help="dead/wedged workers the elastic pool "
+                                "may respawn before the run fails "
+                                "(default 8)")
     sweep_run.add_argument("--progress", action="store_true",
                            help="print a live shards-done counter to "
                                 "stderr")

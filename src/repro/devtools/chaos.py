@@ -1,0 +1,258 @@
+"""Deterministic fault injection for the sharded engine's workers.
+
+The fault-tolerance machinery (elastic pool respawn, hang watchdog,
+mid-point checkpointing — see :mod:`repro.sim.engine`) recovers from
+worker deaths and wedges that are, by nature, hard to produce on
+demand.  This module produces them on demand, deterministically, so
+the chaos test suite can assert the recovery invariants:
+
+* merged results are **bit-identical** to an uninjected run,
+* persisted shard prefixes are **never recomputed** after a resume,
+* recovery time is bounded by the watchdog timeout, not by the fault.
+
+How it arms
+-----------
+The engine's worker initializer reads the ``REPRO_CHAOS`` environment
+variable; when it names a JSON schedule file, every worker builds a
+:class:`ChaosInjector` from it and :func:`repro.sim.engine._worker_shard`
+calls :meth:`ChaosInjector.fire` before decoding.  Without the variable
+the hook is ``None`` and nothing here is even imported — chaos is a
+test harness, not a production feature.
+
+Why faults key on shards, not workers
+-------------------------------------
+A schedule entry targets ``(label, shard)`` — the deterministic
+identity of a unit of work — not a worker PID, which varies run to run.
+Combined with **claim-once** semantics (the first worker to reach a
+fault claims it through an ``O_CREAT | O_EXCL`` file in the scratch
+directory; retried attempts of the same shard find the claim taken and
+run clean), this makes an injected run reproducible: the same schedule
+kills/hangs/delays the same logical work every time, the engine retries
+that work on a fresh worker, and the retry computes the canonical
+chunk.  Claim files are the only cross-process state, so the injector
+needs no locks and survives the engine's kill-based reclamation.
+
+Fault kinds
+-----------
+``kill``
+    ``os._exit(KILL_EXIT_CODE)`` — an abrupt worker death, the
+    moral equivalent of a segfault or OOM kill.  Exercises
+    :class:`repro.sim.pool.PoolController` death detection + respawn.
+``hang``
+    Sleep far past any reasonable ``shard_timeout`` — a wedged worker.
+    Exercises the watchdog + :meth:`PoolController.kill_task` path.
+``delay``
+    Sleep briefly, then decode normally — a straggler.  Exercises
+    out-of-order completion without any recovery machinery.
+
+Schedules come from :func:`write_schedule` (explicit fault lists) or
+:func:`seeded_schedule` (a seeded draw over the shard range, for
+property-style sweeps over fault placements).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ChaosInjector",
+    "FAULT_KINDS",
+    "Fault",
+    "KILL_EXIT_CODE",
+    "injector_from_env",
+    "load_schedule",
+    "seeded_schedule",
+    "write_schedule",
+]
+
+FAULT_KINDS = ("kill", "hang", "delay")
+
+# Distinctive exit status for injected kills, so a test that sees a
+# worker die with this code knows chaos did it (vs. a genuine crash).
+KILL_EXIT_CODE = 87
+
+# A "hang" must outlive any shard_timeout a test would use, but the
+# process still dies with the run (the pool kills wedged workers at
+# shutdown), so an absurdly long sleep is safe.
+_HANG_SECONDS = 3600.0
+
+_DELAY_SECONDS = 0.05
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault, keyed by the work it targets.
+
+    ``label=None`` matches any point's shard of that index (the common
+    single-point case); a non-``None`` label restricts the fault to one
+    sweep point.  ``seconds`` overrides the kind's default sleep and is
+    ignored for ``kill``.
+    """
+
+    shard: int
+    kind: str
+    label: str | None = None
+    seconds: float | None = None
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{FAULT_KINDS}"
+            )
+        if self.shard < 0:
+            raise ValueError("fault shard must be non-negative")
+
+
+class ChaosInjector:
+    """Fires scheduled faults from worker processes, each at most once.
+
+    The scratch directory holds one claim file per fault index; claims
+    are taken with ``O_CREAT | O_EXCL``, which is atomic on every
+    platform the engine supports, so exactly one attempt of one shard
+    experiences each fault even when retries race the original.
+    """
+
+    def __init__(self, faults, scratch_dir: str):
+        self.faults = [
+            f if isinstance(f, Fault) else Fault(**f) for f in faults
+        ]
+        self.scratch_dir = scratch_dir
+        os.makedirs(scratch_dir, exist_ok=True)
+
+    def _claim(self, index: int) -> bool:
+        path = os.path.join(self.scratch_dir, f"claim-{index}")
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        os.write(fd, str(os.getpid()).encode())
+        os.close(fd)
+        return True
+
+    def fire(self, label, shard: int) -> None:
+        """Inject the first unclaimed fault scheduled for this work.
+
+        Called by the engine's worker task body before decoding.  At
+        most one fault fires per call: a ``kill`` never returns, and a
+        ``hang``'s sleep outlives the run, so stacking faults on one
+        attempt would be unreachable anyway.
+        """
+        for index, fault in enumerate(self.faults):
+            if fault.shard != shard:
+                continue
+            if fault.label is not None and str(fault.label) != str(label):
+                continue
+            if not self._claim(index):
+                continue
+            if fault.kind == "kill":
+                # Abrupt death: no atexit, no executor farewell message
+                # — exactly what a segfault looks like to the parent.
+                os._exit(KILL_EXIT_CODE)
+            elif fault.kind == "hang":
+                time.sleep(
+                    fault.seconds if fault.seconds is not None
+                    else _HANG_SECONDS
+                )
+            else:  # delay
+                time.sleep(
+                    fault.seconds if fault.seconds is not None
+                    else _DELAY_SECONDS
+                )
+            return
+
+
+def write_schedule(path, faults, scratch_dir: str | None = None) -> str:
+    """Serialise a fault schedule to ``path`` (JSON); returns ``path``.
+
+    ``scratch_dir`` defaults to ``<path>.claims`` next to the schedule,
+    so a fresh schedule file implies a fresh claim state.  Point
+    ``REPRO_CHAOS`` at the returned path to arm the engine.
+    """
+    path = os.fspath(path)
+    if scratch_dir is None:
+        scratch_dir = path + ".claims"
+    payload = {
+        "scratch_dir": os.fspath(scratch_dir),
+        "faults": [
+            {
+                "shard": f.shard,
+                "kind": f.kind,
+                "label": f.label,
+                "seconds": f.seconds,
+            }
+            for f in (
+                f if isinstance(f, Fault) else Fault(**f) for f in faults
+            )
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+    return path
+
+
+def load_schedule(path) -> ChaosInjector:
+    """Build an injector from a schedule file written by
+    :func:`write_schedule`."""
+    with open(os.fspath(path), encoding="utf-8") as fh:
+        payload = json.load(fh)
+    return ChaosInjector(payload["faults"], payload["scratch_dir"])
+
+
+def injector_from_env(env_var: str = "REPRO_CHAOS") -> ChaosInjector | None:
+    """Injector from the schedule named by ``env_var``, else ``None``.
+
+    The engine's worker initializer calls this; a missing/empty
+    variable disarms chaos entirely.  A *set but unreadable* schedule
+    raises — a chaos test with a bad path should fail loudly, not run
+    clean and silently assert nothing.
+    """
+    path = os.environ.get(env_var, "")
+    if not path:
+        return None
+    return load_schedule(path)
+
+
+def seeded_schedule(
+    seed,
+    n_shards: int,
+    *,
+    n_kill: int = 0,
+    n_hang: int = 0,
+    n_delay: int = 0,
+    label: str | None = None,
+    hang_seconds: float | None = None,
+    delay_seconds: float | None = None,
+) -> list[Fault]:
+    """Draw a deterministic fault placement over ``n_shards`` shards.
+
+    Picks ``n_kill + n_hang + n_delay`` distinct shard indices with a
+    seeded generator and assigns kinds in draw order — same seed, same
+    schedule, every time.  Property-style chaos tests iterate seeds to
+    sweep fault placements without hand-writing schedules.
+    """
+    total = n_kill + n_hang + n_delay
+    if total > n_shards:
+        raise ValueError(
+            f"cannot place {total} faults on {n_shards} shards"
+        )
+    rng = np.random.default_rng(seed)
+    shards = rng.choice(n_shards, size=total, replace=False)
+    kinds = ["kill"] * n_kill + ["hang"] * n_hang + ["delay"] * n_delay
+    seconds = {
+        "kill": None, "hang": hang_seconds, "delay": delay_seconds,
+    }
+    return [
+        Fault(
+            shard=int(shard),
+            kind=kind,
+            label=label,
+            seconds=seconds[kind],
+        )
+        for shard, kind in zip(shards, kinds)
+    ]

@@ -18,6 +18,11 @@ from repro.sim.engine import (
     run_sweep,
 )
 from repro.sim.monte_carlo import MonteCarloResult, run_ler
+from repro.sim.pool import (
+    DEFAULT_MAX_WORKER_RESTARTS,
+    PoolController,
+    WorkerDiedError,
+)
 from repro.sim.seeding import run_root, shard_sequence, shard_streams
 from repro.sim.stats import (
     TimingSummary,
@@ -35,8 +40,11 @@ from repro.sim.timing import (
 )
 
 __all__ = [
+    "DEFAULT_MAX_WORKER_RESTARTS",
     "MonteCarloResult",
     "PointTask",
+    "PoolController",
+    "WorkerDiedError",
     "budget_satisfied",
     "run_ler",
     "run_ler_parallel",

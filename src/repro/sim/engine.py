@@ -38,6 +38,34 @@ persistent sweep store (:mod:`repro.sweeps`) uses to merge incremental
 shots into stored results bit-identically.  :func:`run_ler_parallel`
 and :func:`run_sweep` are uniform-task wrappers.
 
+Fault tolerance
+---------------
+Three cooperating mechanisms keep a run alive — and its results
+bit-identical — under worker failure (see ``docs/architecture.md``,
+"Surviving failures"):
+
+* **Mid-point checkpointing** — ``on_checkpoint`` +
+  ``checkpoint_every`` stream each task's contiguous shard prefix out
+  of the run as it solidifies, so a killed *run* loses at most the
+  in-flight shards (the sweep layer persists every checkpoint
+  atomically and resumes from the cursor).
+* **Elastic worker pool** — workers live in a
+  :class:`repro.sim.pool.PoolController`: a worker process that dies
+  or wedges is killed and respawned (up to ``max_worker_restarts`` per
+  run) and its shard recomputed on a healthy worker; the pool can also
+  be resized between shard dispatches (``on_pool`` exposes the
+  controller).
+* **Hang watchdog** — a shard attempt that blows ``shard_timeout`` is
+  presumed wedged: its worker is reclaimed on the spot and the shard
+  retried on a fresh worker, up to ``shard_retries`` times per shard.
+
+Attempts are deterministic (shard streams depend only on the seed root
+and index), so whichever attempt of a shard completes first yields the
+canonical chunk; late duplicates are counter-checked and dropped.  The
+fault-injection harness (:mod:`repro.devtools.chaos`, armed via the
+``REPRO_CHAOS`` environment variable) drives exactly these paths with
+seeded kill/hang/delay schedules.
+
 Decoder specifications
 ----------------------
 Workers need to build the decoder, so ``decoder`` may be
@@ -58,8 +86,9 @@ this engine and shares every code path but the pool.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import pickle
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass
 
 import numpy as np
@@ -67,13 +96,20 @@ import numpy as np
 from repro.decoders.base import Decoder
 from repro.problem import DecodingProblem
 from repro.sim.monte_carlo import MonteCarloResult
+from repro.sim.pool import (
+    DEFAULT_MAX_WORKER_RESTARTS,
+    PoolController,
+    WorkerDiedError,
+)
 from repro.sim.seeding import run_root, shard_streams
 from repro.sim.stats import wilson_interval
 
 __all__ = [
+    "DEFAULT_MAX_WORKER_RESTARTS",
     "DEFAULT_SHARD_RETRIES",
     "DEFAULT_SHARD_TIMEOUT",
     "PointTask",
+    "PoolController",
     "budget_satisfied",
     "resolve_decoder",
     "run_ler_parallel",
@@ -171,17 +207,31 @@ def _decode_shard(
 
 _WORKER_POINTS: dict = {}
 _WORKER_CACHE: dict = {}
+_WORKER_CHAOS = None
 
 
 def _init_worker(points: dict) -> None:
-    """Executor initializer: stash every point's (problem, spec) pair."""
-    global _WORKER_POINTS, _WORKER_CACHE
+    """Executor initializer: stash every point's (problem, spec) pair.
+
+    Also arms the fault-injection hook when ``REPRO_CHAOS`` names a
+    schedule file (see :mod:`repro.devtools.chaos`) — the import is
+    lazy and the hook is ``None`` in production runs, so the chaos
+    machinery costs nothing unless explicitly requested.
+    """
+    global _WORKER_POINTS, _WORKER_CACHE, _WORKER_CHAOS
     _WORKER_POINTS = points
     _WORKER_CACHE = {}
+    _WORKER_CHAOS = None
+    if os.environ.get("REPRO_CHAOS"):
+        from repro.devtools.chaos import injector_from_env
+
+        _WORKER_CHAOS = injector_from_env()
 
 
 def _worker_shard(key, shard: int, shots: int, root, batch_size: int):
     """Task body: decode one shard of one sweep point."""
+    if _WORKER_CHAOS is not None:
+        _WORKER_CHAOS.fire(key, shard)
     pair = _WORKER_CACHE.get(key)
     if pair is None:
         problem, spec = _WORKER_POINTS[key]
@@ -290,13 +340,32 @@ class _PrefixController:
         self._failures = prior_failures
         self._shots = prior_shots
         self._done = 0  # chunks counting toward progress (see add)
+        self._ckpt_cursor = start_shard  # checkpoint drain position
 
     def add(self, shard: int, chunk: MonteCarloResult) -> None:
-        if shard in self.chunks:
+        prior = self.chunks.get(shard)
+        if prior is not None:
             # A retried shard can complete twice (the stale attempt
             # eventually wakes up).  Attempts are deterministic — shard
             # streams depend only on the seed root and index — so the
-            # duplicate is bit-identical and safely dropped.
+            # duplicate must be bit-identical; check the cheap counters
+            # before dropping it.  A mismatch means the determinism
+            # contract is broken (a decoder sampling outside its
+            # reseeded stream, torn worker state) and neither copy can
+            # be trusted — keeping the first silently would corrupt the
+            # merged result.
+            if (chunk.failures, chunk.shots) != (
+                prior.failures, prior.shots
+            ):
+                raise RuntimeError(
+                    f"shard {shard} completed twice with diverging "
+                    f"counters: kept failures={prior.failures} "
+                    f"shots={prior.shots}, duplicate "
+                    f"failures={chunk.failures} shots={chunk.shots} — "
+                    "retried attempts must be bit-identical (decoder "
+                    "sampling outside its reseeded stream?); results "
+                    "cannot be trusted"
+                )
             return
         self.chunks[shard] = chunk
         if self.stop_at is None:
@@ -333,6 +402,39 @@ class _PrefixController:
         last = self.stop_at if self.stop_at is not None else self.n_shards - 1
         ordered = [self.chunks[i] for i in range(self.start_shard, last + 1)]
         return MonteCarloResult.merge(ordered)
+
+    def _counted_end(self) -> int:
+        """One past the last shard whose counters are committed.
+
+        With the stopping rule triggered this is the stop shard (prefix
+        complete by construction); otherwise it is the contiguous
+        frontier — shards beyond it may exist in :attr:`chunks` but are
+        not yet part of any durable prefix.
+        """
+        if self.stop_at is not None:
+            return self.stop_at + 1
+        return self._frontier
+
+    def checkpoint_pending(self) -> int:
+        """Contiguous counted shards not yet drained by a checkpoint."""
+        return self._counted_end() - self._ckpt_cursor
+
+    def drain_checkpoint(self):
+        """``(shards_done, failures, shots, chunks)`` for persistence.
+
+        ``chunks`` is the new contiguous slice since the last drain, in
+        shard order; ``shards_done`` is the absolute cursor (one past
+        the last drained shard) and ``failures`` / ``shots`` are the
+        **cumulative** prefix counters including resumed priors — the
+        exact triple the sweep store records, so a crash after the
+        persist resumes as if the run had started there.  Draining only
+        advances the checkpoint cursor: :meth:`merged` still returns
+        every newly computed chunk.
+        """
+        end = self._counted_end()
+        chunks = [self.chunks[i] for i in range(self._ckpt_cursor, end)]
+        self._ckpt_cursor = end
+        return end, self._failures, self._shots, chunks
 
     def progress(self) -> tuple[int, int]:
         """``(done, planned)`` newly computed shards for this task.
@@ -375,7 +477,13 @@ def _controller_for(task: PointTask, n_shards: int) -> _PrefixController:
 
 
 def _run_task_serial(
-    task: PointTask, sizes, root, batch_size, on_shard=None
+    task: PointTask,
+    sizes,
+    root,
+    batch_size,
+    on_shard=None,
+    on_checkpoint=None,
+    checkpoint_every: int | None = None,
 ) -> MonteCarloResult:
     decoder = resolve_decoder(task.decoder, task.problem)
     controller = _controller_for(task, len(sizes))
@@ -391,20 +499,30 @@ def _run_task_serial(
             on_shard(controller)
         if controller.done:
             break
+        if (
+            on_checkpoint is not None
+            and checkpoint_every is not None
+            and controller.checkpoint_pending() >= checkpoint_every
+        ):
+            shards_done, failures, shots, chunks = (
+                controller.drain_checkpoint()
+            )
+            on_checkpoint(task.label, shards_done, failures, shots, chunks)
     return controller.merged()
 
 
 def _run_tasks_pooled(
-    pool,
+    pool: PoolController,
     tasks: list[PointTask],
     roots_by_key,
     sizes_by_key,
     batch_by_key,
-    n_workers,
     shard_timeout,
     on_result=None,
     on_progress=None,
     shard_retries: int = DEFAULT_SHARD_RETRIES,
+    on_checkpoint=None,
+    checkpoint_every: int | None = None,
 ) -> dict:
     """Drive every task's shards through one interleaved dispatch loop.
 
@@ -415,22 +533,30 @@ def _run_tasks_pooled(
     :class:`_PrefixController`, so results are identical to running the
     points one at a time.
 
-    Hang recovery: when no shard completes within ``shard_timeout``,
-    every *running* in-flight attempt is presumed hung and its shard is
-    re-dispatched (up to ``shard_retries`` times per shard).  The pool
-    only hands queued work to idle workers — the hung workers are still
-    occupied by their stale attempts — so a retry runs on a different
-    worker.  Attempts are deterministic (shard streams depend only on
-    the seed root and the shard index), so whichever attempt finishes
-    first wins and late duplicates are dropped by the controller; the
-    merged result is bit-identical to an un-hung run.  Only when a
-    shard's retry budget is exhausted does the run fail.
+    Worker-death recovery: a shard whose worker process died surfaces
+    as :class:`WorkerDiedError` on exactly that future; the pool has
+    already respawned a replacement (within ``pool.max_restarts``), and
+    the shard is simply re-submitted — deterministic shard streams make
+    the recomputed chunk bit-identical.  The run fails loudly only when
+    deaths outpace the restart budget and no live worker remains.
 
-    Returns ``(merged, hung_attempts)``: the per-label results plus the
-    presumed-hung attempts still running at the end.  The caller must
-    **not** join the pool gracefully when ``hung_attempts`` is
-    non-empty — a genuinely wedged worker would block that join forever
-    (see :func:`_shutdown_pool`).
+    Hang recovery: when no shard completes within ``shard_timeout``,
+    every *running* in-flight attempt is presumed hung; its worker is
+    killed and replaced via :meth:`PoolController.kill_task` and the
+    shard is re-dispatched (up to ``shard_retries`` times per shard),
+    landing on a fresh worker immediately instead of queueing behind
+    the wedged one.  Whichever attempt of a shard finishes first wins;
+    late duplicates are counter-checked and dropped by the controller,
+    so the merged result is bit-identical to an un-hung run.
+
+    Checkpointing: with ``on_checkpoint`` and ``checkpoint_every`` set,
+    each task's contiguous counted prefix is drained every
+    ``checkpoint_every`` shards and handed to the callback as
+    ``(label, shards_done, failures, shots, chunks)`` — cumulative
+    counters, new chunks only (see
+    :meth:`_PrefixController.drain_checkpoint`).  A task's final merged
+    result still contains **all** of its new chunks; checkpoints are a
+    crash-durability side channel, not a hand-off.
     """
     order = [task.label for task in tasks]
     controllers = {
@@ -450,6 +576,22 @@ def _run_tasks_pooled(
         if controller.done:
             reported.add(key)
             on_result(key, controller.merged())
+
+    def _maybe_checkpoint(key) -> None:
+        # Stream the solidified prefix out mid-task.  Completed tasks
+        # are excluded: their full result goes through _maybe_report,
+        # and persisting both would do the same write twice.
+        if on_checkpoint is None or checkpoint_every is None:
+            return
+        controller = controllers[key]
+        if controller.done:
+            return
+        if controller.checkpoint_pending() < checkpoint_every:
+            return
+        shards_done, failures, shots, chunks = (
+            controller.drain_checkpoint()
+        )
+        on_checkpoint(key, shards_done, failures, shots, chunks)
 
     def _report_progress() -> None:
         if on_progress is None:
@@ -476,10 +618,14 @@ def _run_tasks_pooled(
         )
         in_flight[future] = (key, shard)
 
-    # Keep the queue deep enough that workers never starve while the
-    # controllers digest results, but shallow enough that an adaptive
-    # stop wastes at most ~two rounds of shards.
-    max_in_flight = 2 * n_workers
+    def _no_workers_left(key, shard, cause) -> RuntimeError:
+        return RuntimeError(
+            f"worker running {key}[shard {shard}] was lost and the "
+            f"restart budget ({pool.max_restarts} respawns, "
+            f"{pool.restarts_used} used) is exhausted with no live "
+            "worker left — raise --max-worker-restarts if the host is "
+            f"flaky, or investigate the crashes: {cause}"
+        )
 
     def next_task():
         for key in order:
@@ -489,6 +635,9 @@ def _run_tasks_pooled(
         return None
 
     while any(not c.done for c in controllers.values()):
+        # The window tracks the live worker count, so a resize (or an
+        # un-respawned death) is reflected at the next refill.
+        max_in_flight = 2 * max(1, pool.n_alive)
         while len(in_flight) < max_in_flight:
             item = next_task()
             if item is None:
@@ -503,70 +652,79 @@ def _run_tasks_pooled(
         )
         if not completed:
             # Watchdog fired: presume the *running* attempts hung
-            # (queued ones are merely waiting behind them) and retry
-            # each such shard once more on the pool.
-            running = {
-                pair for future, pair in in_flight.items()
+            # (queued ones are merely waiting behind them), reclaim
+            # their workers, and retry each such shard on the fresh
+            # capacity — within the per-shard retry budget.
+            hung = [
+                (future, pair) for future, pair in in_flight.items()
                 if future.running()
-            } or set(in_flight.values())
+            ] or list(in_flight.items())
             exhausted = []
             resubmitted = 0
-            for key, shard in sorted(running, key=lambda p: (order.index(p[0]), p[1])):
+            for future, (key, shard) in sorted(
+                hung, key=lambda it: (order.index(it[1][0]), it[1][1])
+            ):
                 used = retries.get((key, shard), 0)
                 if used >= shard_retries:
-                    exhausted.append((key, shard))
+                    exhausted.append((key, shard, used + 1))
                     continue
                 retries[(key, shard)] = used + 1
+                # Kill the wedged worker now so the retry starts
+                # immediately on its replacement instead of queueing
+                # behind a permanently-occupied slot.
+                pool.kill_task(future)
+                del in_flight[future]
                 _submit(key, shard)
                 resubmitted += 1
+            if resubmitted and pool.n_alive == 0:
+                key, shard, _ = (
+                    exhausted[0] if exhausted
+                    else (*next(iter(in_flight.values())), 0)
+                )
+                raise _no_workers_left(
+                    key, shard, "every replacement worker wedged too"
+                )
             if resubmitted == 0:
                 for future in in_flight:
                     future.cancel()
-                shards = ", ".join(
-                    f"{key}[shard {shard}]" for key, shard in exhausted
+                shards = "; ".join(
+                    f"{key}[shard {shard}] after {attempts} attempt(s) "
+                    f"of {shard_timeout:.0f}s each"
+                    for key, shard, attempts in exhausted
                 )
                 raise RuntimeError(
-                    f"no shard completed within {shard_timeout:.0f}s and "
-                    f"the retry budget ({shard_retries} per shard) is "
-                    f"exhausted for {shards} — worker pool looks hung; "
-                    "raise shard_timeout (CLI --shard-timeout, bench "
-                    "REPRO_SHARD_TIMEOUT; 0 waits forever) if shards "
-                    "are legitimately this slow"
+                    f"no shard completed within {shard_timeout:.0f}s "
+                    f"and the retry budget ({shard_retries} per shard) "
+                    f"is exhausted — {shards} — worker pool looks "
+                    "hung; raise shard_timeout (CLI --shard-timeout, "
+                    "bench REPRO_SHARD_TIMEOUT; 0 waits forever) if "
+                    "shards are legitimately this slow"
                 )
             continue
         for future in completed:
-            key, _ = in_flight.pop(future)
-            shard, chunk = future.result()
+            key, submitted_shard = in_flight.pop(future)
+            try:
+                shard, chunk = future.result()
+            except WorkerDiedError as exc:
+                # The worker died mid-shard (crash, OOM kill, injected
+                # fault).  The pool respawned a replacement within its
+                # budget; recompute the shard there — deterministic
+                # streams make the redo bit-identical.
+                if pool.n_alive == 0:
+                    raise _no_workers_left(
+                        key, submitted_shard, exc
+                    ) from exc
+                _submit(key, submitted_shard)
+                continue
             controllers[key].add(shard, chunk)
             _maybe_report(key)
+            _maybe_checkpoint(key)
         _report_progress()
     for future in in_flight:
         future.cancel()
     for key in order:
         _maybe_report(key)
-    hung_attempts = [
-        pair for future, pair in in_flight.items()
-        if pair in retries and not future.done()
-    ]
-    return {key: controllers[key].merged() for key in order}, hung_attempts
-
-
-def _shutdown_pool(pool, *, hung: bool) -> None:
-    """Shut the worker pool down without joining wedged processes.
-
-    A graceful ``shutdown(wait=True)`` joins every worker — including
-    one stuck in a non-terminating shard attempt, which would block the
-    caller forever *after* the run already recovered (or failed) via
-    the retry path.  When any attempt is presumed hung, the worker
-    processes are killed first: their results are either already merged
-    (a retry won) or void (the run raised), so nothing of value is
-    lost.  ``_processes`` is ProcessPoolExecutor's worker table — there
-    is no public kill switch.
-    """
-    if hung:
-        for process in list(getattr(pool, "_processes", {}).values()):
-            process.kill()
-    pool.shutdown(wait=True, cancel_futures=True)
+    return {key: controllers[key].merged() for key in order}
 
 
 def _mp_context(name: str | None):
@@ -599,8 +757,12 @@ def run_point_tasks(
     mp_context: str | None = None,
     shard_timeout: float | None = DEFAULT_SHARD_TIMEOUT,
     shard_retries: int = DEFAULT_SHARD_RETRIES,
+    max_worker_restarts: int = DEFAULT_MAX_WORKER_RESTARTS,
     on_result=None,
     on_progress=None,
+    on_checkpoint=None,
+    checkpoint_every: int | None = None,
+    on_pool=None,
 ) -> dict:
     """Run a list of :class:`PointTask`\\ s through one worker pool.
 
@@ -635,7 +797,28 @@ def run_point_tasks(
     through ``shard_timeout`` is re-dispatched to another worker before
     the run raises (see :func:`_run_tasks_pooled`); it only applies to
     the pooled path — the serial path has no hang watchdog.
+    ``max_worker_restarts`` is the elastic pool's respawn budget for
+    dead or wedged worker processes (also pooled-path only).
+
+    ``on_checkpoint(label, shards_done, failures, shots, chunks)`` —
+    when given together with ``checkpoint_every`` — fires in the
+    calling process whenever a task's contiguous shard prefix has
+    advanced ``checkpoint_every`` shards past the last checkpoint:
+    ``chunks`` are the newly solidified chunks in shard order,
+    ``shards_done`` the absolute prefix cursor and ``failures`` /
+    ``shots`` the cumulative prefix counters (priors included).  The
+    sweep layer persists these mid-task so a crashed run loses at most
+    the in-flight shards.  Works on both the serial and pooled paths.
+
+    ``on_pool(pool)`` — when given — receives the
+    :class:`PoolController` right after construction (pooled path
+    only), giving callers a handle for runtime ``resize()`` and
+    restart-budget introspection while the run is in flight.
     """
+    if checkpoint_every is not None and checkpoint_every < 1:
+        raise ValueError("checkpoint_every must be positive")
+    if max_worker_restarts < 0:
+        raise ValueError("max_worker_restarts must be non-negative")
     if not tasks:
         raise ValueError("at least one point task is required")
     labels = [task.label for task in tasks]
@@ -697,6 +880,8 @@ def run_point_tasks(
                 roots_by_key[task.label],
                 batch_by_key[task.label],
                 on_shard=_serial_progress(task.label),
+                on_checkpoint=on_checkpoint,
+                checkpoint_every=checkpoint_every,
             )
             if on_result is not None:
                 on_result(task.label, result)
@@ -706,22 +891,28 @@ def run_point_tasks(
     payload = _pickled_points(
         {task.label: (task.problem, task.decoder) for task in active}
     )
-    pool = ProcessPoolExecutor(
-        max_workers=n_workers,
+    pool = PoolController(
+        n_workers,
         mp_context=_mp_context(mp_context),
         initializer=_init_worker,
         initargs=(payload,),
+        max_restarts=max_worker_restarts,
     )
-    hung = True  # a raise below means workers are presumed wedged
+    if on_pool is not None:
+        on_pool(pool)
     try:
-        merged, hung_attempts = _run_tasks_pooled(
+        merged = _run_tasks_pooled(
             pool, active, roots_by_key, sizes_by_key, batch_by_key,
-            n_workers, shard_timeout, on_result=on_result,
+            shard_timeout, on_result=on_result,
             on_progress=on_progress, shard_retries=shard_retries,
+            on_checkpoint=on_checkpoint,
+            checkpoint_every=checkpoint_every,
         )
-        hung = bool(hung_attempts)
     finally:
-        _shutdown_pool(pool, hung=hung)
+        # PoolController.shutdown kills still-busy workers (their
+        # results are void by now) and joins everything — safe whether
+        # the run finished, raised, or left wedged attempts behind.
+        pool.shutdown()
     out.update(merged)
     return out
 
@@ -740,6 +931,7 @@ def run_ler_parallel(
     mp_context: str | None = None,
     shard_timeout: float | None = DEFAULT_SHARD_TIMEOUT,
     shard_retries: int = DEFAULT_SHARD_RETRIES,
+    max_worker_restarts: int = DEFAULT_MAX_WORKER_RESTARTS,
     on_progress=None,
 ) -> MonteCarloResult:
     """Estimate a logical error rate with sharded (multi-process) shots.
@@ -775,6 +967,10 @@ def run_ler_parallel(
         times — results stay bit-identical because whichever attempt
         completes first computes the same chunk — and the run raises
         only once a shard's retry budget is exhausted.
+    max_worker_restarts:
+        How many dead or wedged worker processes the elastic pool may
+        respawn over the whole run before giving up (see
+        :mod:`repro.sim.pool`).
     on_progress:
         Optional ``f(done, total)`` shard-progress callback (see
         :func:`run_point_tasks`).
@@ -797,6 +993,7 @@ def run_ler_parallel(
         mp_context=mp_context,
         shard_timeout=shard_timeout,
         shard_retries=shard_retries,
+        max_worker_restarts=max_worker_restarts,
         on_progress=on_progress,
     )[0]
 
@@ -814,6 +1011,7 @@ def run_sweep(
     mp_context: str | None = None,
     shard_timeout: float | None = DEFAULT_SHARD_TIMEOUT,
     shard_retries: int = DEFAULT_SHARD_RETRIES,
+    max_worker_restarts: int = DEFAULT_MAX_WORKER_RESTARTS,
     on_progress=None,
 ) -> dict[str, MonteCarloResult]:
     """Run many LER points through one persistent worker pool.
@@ -858,5 +1056,6 @@ def run_sweep(
         mp_context=mp_context,
         shard_timeout=shard_timeout,
         shard_retries=shard_retries,
+        max_worker_restarts=max_worker_restarts,
         on_progress=on_progress,
     )

@@ -1,0 +1,397 @@
+"""Elastic, self-healing worker pool for the sharded engine.
+
+:class:`PoolController` replaces the engine's former fixed
+``ProcessPoolExecutor``.  Each worker lives in its own **slot** — a
+single-process executor the controller schedules onto directly — which
+is what makes three things possible that a shared executor cannot do:
+
+* **Dead-worker detection and respawn.**  A worker process that dies
+  mid-task (a segfault, an OOM kill, a fault-injected ``os._exit``)
+  surfaces as :class:`WorkerDiedError` on exactly the future it was
+  running — never on unrelated queued work, because a slot runs at most
+  one task at a time.  The controller respawns a replacement slot on
+  the spot, charged against a per-run **restart budget**
+  (``max_restarts``); the caller re-submits the lost task to the
+  healthy remainder of the pool.
+* **Wedge reclamation.**  The engine's hang watchdog names the exact
+  future it presumes wedged; :meth:`kill_task` kills that slot's
+  process, respawns a replacement (budget permitting), and the retry
+  lands on a **fresh** worker instead of queueing behind the wedged
+  one.  Combined with deterministic shard streams, recovery is
+  bit-identical and bounded by ``shard_timeout``, not by the wedge.
+* **Runtime resize.**  :meth:`resize` grows the pool immediately and
+  shrinks it gracefully — surplus idle slots retire at once, surplus
+  busy slots finish their current task first — so a long sweep can
+  give back (or claim) cores between shard dispatches without
+  disturbing in-flight work.
+
+Scheduling: :meth:`submit` hands the task to an idle slot or queues it;
+completion callbacks drain the queue.  The controller never assigns a
+second task to a busy slot, and futures returned by :meth:`submit` are
+ordinary :class:`concurrent.futures.Future` objects (``wait()`` works
+on them unchanged).
+
+Shutdown discipline: :meth:`shutdown` *kills* slots still running a
+task — by then every result of value has been merged (a still-busy slot
+is an overshoot or stale retry attempt whose chunk is void by
+construction), and joining a possibly-wedged process would block
+forever — then joins every worker so ``--leak-check`` sees nothing
+left behind.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections import deque
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+__all__ = [
+    "DEFAULT_MAX_WORKER_RESTARTS",
+    "PoolController",
+    "WorkerDiedError",
+]
+
+# Worker respawns allowed per run before the pool stops replacing dead
+# or wedged processes and lets the run fail loudly.  Generous enough to
+# ride out a flaky host; small enough that a crash-looping workload
+# (a shard that segfaults every worker it lands on) terminates.
+DEFAULT_MAX_WORKER_RESTARTS = 8
+
+
+class WorkerDiedError(RuntimeError):
+    """The worker process running a task died before completing it.
+
+    Raised on the task's future (never on unrelated work).  The pool
+    has already respawned a replacement worker if the restart budget
+    allowed; check :attr:`PoolController.n_alive` before re-submitting.
+    """
+
+
+class _Slot:
+    """One worker process wrapped in a single-process executor."""
+
+    __slots__ = ("executor", "busy", "retiring", "dead")
+
+    def __init__(self, executor: ProcessPoolExecutor):
+        self.executor = executor
+        self.busy: Future | None = None  # the proxy future being run
+        self.retiring = False
+        self.dead = False
+
+
+class PoolController:
+    """Elastic pool of single-task worker slots (see module docstring).
+
+    ``initializer``/``initargs`` run in every worker the controller
+    ever spawns — replacements included — so respawned workers carry
+    the same per-process state (the engine's point payload) as the
+    originals.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        *,
+        mp_context=None,
+        initializer=None,
+        initargs=(),
+        max_restarts: int = DEFAULT_MAX_WORKER_RESTARTS,
+    ):
+        if n_workers < 1:
+            raise ValueError("n_workers must be positive")
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be non-negative")
+        self._mp_context = mp_context
+        self._initializer = initializer
+        self._initargs = initargs
+        self.max_restarts = max_restarts
+        self._lock = threading.Lock()
+        self._slots: list[_Slot] = []
+        self._pending: deque = deque()  # (proxy, fn, args)
+        self._restarts_used = 0
+        self._closed = False
+        # Completions are processed on a dedicated reaper thread, never
+        # on an executor's internal management thread.  A worker death
+        # makes the management thread invoke done-callbacks while it
+        # holds the executor's shutdown lock; running pool logic there
+        # (which takes the pool lock and may touch that same executor)
+        # deadlocks against a concurrent submit that holds the pool
+        # lock and wants the executor lock.  The inner callbacks only
+        # enqueue — lock-free — and the reaper does the real work.
+        self._events: queue.SimpleQueue = queue.SimpleQueue()
+        self._reaper = threading.Thread(
+            target=self._drain_events,
+            name="repro-pool-reaper",
+            daemon=True,
+        )
+        self._reaper.start()
+        with self._lock:
+            for _ in range(n_workers):
+                self._slots.append(self._spawn_slot())
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def n_alive(self) -> int:
+        """Live (non-retiring) worker slots."""
+        with self._lock:
+            return sum(
+                1 for s in self._slots if not s.dead and not s.retiring
+            )
+
+    @property
+    def restarts_used(self) -> int:
+        """Worker respawns consumed from the restart budget so far."""
+        return self._restarts_used
+
+    @property
+    def restarts_remaining(self) -> int:
+        return max(0, self.max_restarts - self._restarts_used)
+
+    def running_futures(self) -> set:
+        """Futures currently executing on a worker (not merely queued)."""
+        with self._lock:
+            return {
+                s.busy for s in self._slots
+                if s.busy is not None and not s.dead
+            }
+
+    # -- task submission ----------------------------------------------
+
+    def submit(self, fn, /, *args) -> Future:
+        """Run ``fn(*args)`` on the next idle worker; returns a future.
+
+        The future resolves with the task's result, with the task's own
+        exception, or with :class:`WorkerDiedError` if the worker
+        process died underneath it (in which case a replacement worker
+        was respawned, budget permitting, and the caller decides
+        whether to re-submit).
+        """
+        proxy: Future = Future()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("pool is shut down")
+            slot = self._idle_slot()
+            if slot is None:
+                self._pending.append((proxy, fn, args))
+                return proxy
+            self._dispatch(slot, proxy, fn, args)
+        return proxy
+
+    def _idle_slot(self) -> _Slot | None:
+        for slot in self._slots:
+            if not slot.dead and not slot.retiring and slot.busy is None:
+                return slot
+        return None
+
+    def _dispatch(self, slot: _Slot, proxy: Future, fn, args) -> None:
+        # Caller holds the lock.  One task per slot at a time: the
+        # whole failure-isolation story rests on this invariant.
+        assert slot.busy is None
+        slot.busy = proxy
+        proxy.set_running_or_notify_cancel()
+        try:
+            inner = slot.executor.submit(fn, *args)
+        except BrokenProcessPool as exc:
+            # The slot died between tasks (rare: a worker crash the
+            # previous completion didn't surface).  Treat like a death.
+            self._retire_slot_locked(slot, respawn=True)
+            proxy.set_exception(WorkerDiedError(str(exc)))
+            return
+        inner.add_done_callback(
+            lambda f, slot=slot, proxy=proxy: self._events.put(
+                (slot, proxy, f)
+            )
+        )
+
+    def _pump_locked(self) -> None:
+        """Hand queued tasks to idle slots (caller holds the lock)."""
+        while self._pending:
+            slot = self._idle_slot()
+            if slot is None:
+                return
+            proxy, fn, args = self._pending.popleft()
+            if proxy.cancelled():
+                continue
+            self._dispatch(slot, proxy, fn, args)
+
+    def _drain_events(self) -> None:
+        """Reaper loop: process completions until the shutdown sentinel.
+
+        A crashed handler must not kill the loop — a dead reaper means
+        every later future waits forever, which is strictly worse than
+        a swallowed bookkeeping error — so failures are contained per
+        event.
+        """
+        while True:
+            item = self._events.get()
+            if item is None:
+                return
+            try:
+                self._on_done(*item)
+            except Exception:  # noqa: BLE001 — keep the reaper alive
+                pass
+
+    def _on_done(self, slot: _Slot, proxy: Future, inner: Future) -> None:
+        """Completion handler (reaper thread): free slot, resolve proxy."""
+        death: Exception | None = None
+        exc = None if inner.cancelled() else inner.exception()
+        with self._lock:
+            if slot.busy is proxy:
+                slot.busy = None
+            if isinstance(exc, BrokenProcessPool):
+                # The worker process died mid-task: this slot's
+                # executor is unusable.  Replace it within budget.
+                death = exc
+                if not slot.dead:
+                    self._retire_slot_locked(slot, respawn=True)
+            elif slot.retiring and not slot.dead:
+                self._retire_slot_locked(slot, respawn=False)
+            self._pump_locked()
+        # Resolve outside the pool lock: waiters wake immediately and
+        # done-callbacks on the proxy may call back into the pool.
+        if inner.cancelled():
+            # Only possible at shutdown; the proxy is RUNNING (not
+            # cancellable), so resolve it with a death marker instead.
+            proxy.set_exception(
+                WorkerDiedError("worker task cancelled at pool shutdown")
+            )
+        elif death is not None:
+            proxy.set_exception(
+                WorkerDiedError(
+                    f"worker process died mid-task: {death}"
+                )
+            )
+        elif exc is not None:
+            proxy.set_exception(exc)
+        else:
+            proxy.set_result(inner.result())
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _spawn_slot(self) -> _Slot:
+        return _Slot(
+            ProcessPoolExecutor(
+                max_workers=1,
+                mp_context=self._mp_context,
+                initializer=self._initializer,
+                initargs=self._initargs,
+            )
+        )
+
+    def _retire_slot_locked(self, slot: _Slot, *, respawn: bool) -> None:
+        """Take a slot out of service; optionally respawn (in budget).
+
+        Caller holds the lock.  The executor is shut down without
+        waiting (its process is dead or idle); killing a live process
+        is :meth:`kill_task`'s job, which runs before this.
+        """
+        slot.dead = True
+        if slot.busy is not None:
+            # A task is (presumed) running: kill the process — its
+            # result is void and a wedged worker would never join.
+            # Idle/dead slots shut down gracefully via the executor.
+            for process in list(
+                getattr(slot.executor, "_processes", {}).values()
+            ):
+                process.kill()
+        slot.executor.shutdown(wait=False, cancel_futures=True)
+        if (
+            respawn
+            and not self._closed
+            and self._restarts_used < self.max_restarts
+        ):
+            self._restarts_used += 1
+            self._slots.append(self._spawn_slot())
+
+    def kill_task(self, future: Future) -> bool:
+        """Kill the worker currently running ``future``; respawn it.
+
+        The engine's hang watchdog calls this with a presumed-wedged
+        attempt: the slot's process is killed (its result is void — the
+        shard is being retried elsewhere), a replacement slot spawns if
+        the restart budget allows, and queued work drains onto it.
+        Returns ``False`` when ``future`` is not running on any slot
+        (already finished, or still queued).
+        """
+        with self._lock:
+            for slot in self._slots:
+                if slot.busy is future and not slot.dead:
+                    self._retire_slot_locked(slot, respawn=True)
+                    self._pump_locked()
+                    return True
+        return False
+
+    def resize(self, n_workers: int) -> None:
+        """Grow or shrink the pool between dispatches.
+
+        Growth is immediate (queued work drains onto the new slots).
+        Shrinking retires surplus idle slots now and marks surplus busy
+        slots *retiring*: they finish their current task, then retire —
+        in-flight work is never abandoned by a resize.
+        """
+        if n_workers < 1:
+            raise ValueError("n_workers must be positive")
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("pool is shut down")
+            live = [
+                s for s in self._slots if not s.dead and not s.retiring
+            ]
+            if n_workers > len(live):
+                for _ in range(n_workers - len(live)):
+                    self._slots.append(self._spawn_slot())
+                self._pump_locked()
+                return
+            surplus = len(live) - n_workers
+            # Retire idle slots first — immediate and free; only then
+            # mark busy ones, which retire on completion.
+            for slot in sorted(live, key=lambda s: s.busy is not None):
+                if surplus == 0:
+                    break
+                if slot.busy is None:
+                    self._retire_slot_locked(slot, respawn=False)
+                else:
+                    slot.retiring = True
+                surplus -= 1
+
+    def shutdown(self) -> None:
+        """Kill busy workers, join everything, reject further submits.
+
+        Safe to call twice.  Any task still running holds no value by
+        the time the engine shuts the pool down (its shard was either
+        merged from another attempt or the run failed), so busy workers
+        are killed rather than joined — a wedged process would block a
+        graceful join forever.  Every process is then joined via its
+        executor, so no worker outlives this call.
+        """
+        with self._lock:
+            self._closed = True
+            slots = list(self._slots)
+            self._slots.clear()
+            for proxy, _fn, _args in self._pending:
+                proxy.cancel()
+            self._pending.clear()
+        for slot in slots:
+            if slot.dead:
+                continue
+            for process in list(
+                getattr(slot.executor, "_processes", {}).values()
+            ):
+                if slot.busy is not None:
+                    process.kill()
+        for slot in slots:
+            slot.executor.shutdown(wait=True, cancel_futures=True)
+        # Joining the executors flushed their completion callbacks, so
+        # every event is already queued; the sentinel lands behind them
+        # and the reaper drains the lot before exiting.
+        self._events.put(None)
+        self._reaper.join()
+
+    def __enter__(self) -> "PoolController":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

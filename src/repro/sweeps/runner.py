@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.sim.engine import (
+    DEFAULT_MAX_WORKER_RESTARTS,
     DEFAULT_SHARD_TIMEOUT,
     PointTask,
     budget_satisfied,
@@ -135,6 +136,8 @@ def run_sweep_spec(
     n_workers: int = 1,
     mp_context: str | None = None,
     shard_timeout: float | None = DEFAULT_SHARD_TIMEOUT,
+    checkpoint_every: int | None = None,
+    max_worker_restarts: int = DEFAULT_MAX_WORKER_RESTARTS,
     progress=None,
     on_progress=None,
 ) -> SweepRunReport:
@@ -152,6 +155,16 @@ def run_sweep_spec(
     engine's ``on_result`` hook), while other points are still
     decoding: an interrupted run keeps every completed point, and the
     next run recomputes only the unfinished ones.
+
+    ``checkpoint_every=k`` additionally persists every point's
+    **partial** prefix each time it solidifies ``k`` more shards (the
+    engine's ``on_checkpoint`` hook), through the store's usual
+    atomic-replace discipline with the ``shards_done`` cursor advanced
+    mid-point.  A run killed outright then loses at most the shards
+    that were in flight — the next ``sweep run`` resumes each point
+    from its last durable prefix and merges bit-identically.
+    ``max_worker_restarts`` bounds how many dead/wedged workers the
+    engine's elastic pool may respawn across the run.
     """
     plans = plan_sweep(spec, store)
     pending = [plan for plan in plans if plan.status != "resolved"]
@@ -164,6 +177,19 @@ def run_sweep_spec(
         return SweepRunReport(spec=spec, plans=plans)
 
     plan_by_key = {plan.point.key: plan for plan in pending}
+    # Snapshot each pending point's stored prefix *before* the run:
+    # mid-point checkpoints advance plan.entry as they persist, but the
+    # engine's final result for a task always contains every newly
+    # computed chunk since the original start_shard — so the final
+    # persist must merge onto the original prior, not the latest
+    # checkpoint (merging onto the checkpoint would double-count).
+    prior_by_key = {
+        plan.point.key: (
+            plan.entry.result if plan.entry is not None else None,
+            plan.shards_done,
+        )
+        for plan in pending
+    }
     tasks = []
     for plan in pending:
         point = plan.point
@@ -185,10 +211,50 @@ def run_sweep_spec(
             )
         )
 
+    def _put(plan, merged, shards_done):
+        point = plan.point
+        entry = store.put(
+            point.key,
+            point.identity(),
+            merged,
+            shards_done=shards_done,
+            shard_shots=point.shard_shots,
+            label=point.label,
+            extra={"figure": point.figure},
+        )
+        plan.entry = entry
+        return entry
+
+    # Running prefix merge per point, fed by checkpoints: starts at the
+    # stored prior and grows by each drained chunk slice in shard
+    # order, so every checkpoint write is the full durable prefix.
+    ckpt_merged: dict[str, MonteCarloResult | None] = {}
+
+    def _checkpoint(key, shards_done, failures, shots, chunks) -> None:
+        if not chunks:
+            return
+        plan = plan_by_key[key]
+        base = ckpt_merged.get(key, prior_by_key[key][0])
+        parts = ([base] if base is not None else []) + list(chunks)
+        merged = MonteCarloResult.merge(parts)
+        if (merged.failures, merged.shots) != (failures, shots):
+            raise AssertionError(
+                f"checkpoint counters diverge for {plan.point.label}: "
+                f"merged prefix has failures={merged.failures} "
+                f"shots={merged.shots}, engine reports "
+                f"failures={failures} shots={shots}"
+            )
+        ckpt_merged[key] = merged
+        _put(plan, merged, shards_done)
+        say(
+            f"  {plan.point.label}: checkpoint at {shards_done} shards "
+            f"({merged.shots} shots, {merged.failures} failures)"
+        )
+
     def _persist(key, new: MonteCarloResult) -> None:
         plan = plan_by_key[key]
         point = plan.point
-        prior = plan.entry.result if plan.entry is not None else None
+        prior, prior_shards = prior_by_key[key]
         merged = (
             MonteCarloResult.merge([prior, new]) if prior is not None
             else new
@@ -200,17 +266,8 @@ def run_sweep_spec(
                 f"{new.shots} new shots at shard size "
                 f"{point.shard_shots} — whole-shard alignment broken"
             )
-        shards_done = plan.shards_done + new_shards
-        entry = store.put(
-            point.key,
-            point.identity(),
-            merged,
-            shards_done=shards_done,
-            shard_shots=point.shard_shots,
-            label=point.label,
-            extra={"figure": point.figure},
-        )
-        plan.entry = entry
+        shards_done = prior_shards + new_shards
+        entry = _put(plan, merged, shards_done)
         plan.new_shots = new.shots
         plan.result = merged
         plan.status = _classify(point, entry)
@@ -225,8 +282,11 @@ def run_sweep_spec(
         n_workers=n_workers,
         mp_context=mp_context,
         shard_timeout=shard_timeout,
+        max_worker_restarts=max_worker_restarts,
         on_result=_persist,
         on_progress=on_progress,
+        on_checkpoint=_checkpoint if checkpoint_every else None,
+        checkpoint_every=checkpoint_every,
     )
     for plan in pending:
         if plan.result is None and plan.status != "resolved":

@@ -1,0 +1,131 @@
+"""Chaos harness unit tests: schedules, claims, env arming.
+
+End-to-end fault injection through the engine lives in
+``tests/sim/test_chaos_engine.py``; this file covers the harness
+mechanics in-process (no workers are harmed).
+"""
+
+import os
+
+import pytest
+
+from repro.devtools.chaos import (
+    ChaosInjector,
+    Fault,
+    injector_from_env,
+    load_schedule,
+    seeded_schedule,
+    write_schedule,
+)
+
+
+class TestFault:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            Fault(shard=0, kind="explode")
+
+    def test_rejects_negative_shard(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Fault(shard=-1, kind="kill")
+
+
+class TestScheduleRoundtrip:
+    def test_write_then_load(self, tmp_path):
+        faults = [
+            Fault(shard=2, kind="kill"),
+            Fault(shard=5, kind="hang", label="p1", seconds=1.5),
+            Fault(shard=0, kind="delay", seconds=0.01),
+        ]
+        path = write_schedule(tmp_path / "chaos.json", faults)
+        injector = load_schedule(path)
+        assert injector.faults == faults
+        assert injector.scratch_dir == str(tmp_path / "chaos.json.claims")
+
+    def test_injector_from_env(self, tmp_path, monkeypatch):
+        path = write_schedule(
+            tmp_path / "chaos.json", [Fault(shard=1, kind="delay")]
+        )
+        monkeypatch.setenv("REPRO_CHAOS", path)
+        injector = injector_from_env()
+        assert injector is not None
+        assert injector.faults == [Fault(shard=1, kind="delay")]
+
+    def test_unset_env_disarms(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+        assert injector_from_env() is None
+        monkeypatch.setenv("REPRO_CHAOS", "")
+        assert injector_from_env() is None
+
+    def test_bad_schedule_path_raises(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_CHAOS", str(tmp_path / "no-such-schedule.json")
+        )
+        with pytest.raises(OSError):
+            injector_from_env()
+
+
+class TestClaimOnce:
+    def _injector(self, tmp_path, faults):
+        return ChaosInjector(faults, str(tmp_path / "claims"))
+
+    def test_fault_fires_at_most_once(self, tmp_path):
+        injector = self._injector(
+            tmp_path, [Fault(shard=3, kind="delay", seconds=0.0)]
+        )
+        injector.fire("p", 3)
+        assert os.listdir(injector.scratch_dir) == ["claim-0"]
+        # A retried attempt of the same shard finds the claim taken and
+        # runs clean — the retry path must be able to succeed.
+        injector.fire("p", 3)
+        assert os.listdir(injector.scratch_dir) == ["claim-0"]
+
+    def test_unmatched_shard_never_claims(self, tmp_path):
+        injector = self._injector(
+            tmp_path, [Fault(shard=3, kind="delay", seconds=0.0)]
+        )
+        injector.fire("p", 2)
+        assert os.listdir(injector.scratch_dir) == []
+
+    def test_label_filter(self, tmp_path):
+        injector = self._injector(
+            tmp_path,
+            [Fault(shard=1, kind="delay", label="only-this", seconds=0.0)],
+        )
+        injector.fire("other-point", 1)
+        assert os.listdir(injector.scratch_dir) == []
+        injector.fire("only-this", 1)
+        assert os.listdir(injector.scratch_dir) == ["claim-0"]
+
+    def test_claims_shared_across_injectors(self, tmp_path):
+        # Two injectors over one scratch dir model two worker processes
+        # reading the same schedule: the fault still fires exactly once.
+        faults = [Fault(shard=0, kind="delay", seconds=0.0)]
+        first = self._injector(tmp_path, faults)
+        second = ChaosInjector(faults, first.scratch_dir)
+        first.fire("p", 0)
+        second.fire("p", 0)
+        assert os.listdir(first.scratch_dir) == ["claim-0"]
+
+
+class TestSeededSchedule:
+    def test_same_seed_same_schedule(self):
+        a = seeded_schedule(7, 20, n_kill=2, n_hang=1, n_delay=3)
+        b = seeded_schedule(7, 20, n_kill=2, n_hang=1, n_delay=3)
+        assert a == b
+        kinds = [fault.kind for fault in a]
+        assert kinds.count("kill") == 2
+        assert kinds.count("hang") == 1
+        assert kinds.count("delay") == 3
+        # Distinct shards: no two faults stack on one attempt.
+        assert len({fault.shard for fault in a}) == 6
+
+    def test_different_seeds_differ(self):
+        schedules = {
+            tuple(f.shard for f in seeded_schedule(s, 50, n_kill=3))
+            for s in range(8)
+        }
+        assert len(schedules) > 1
+
+    def test_too_many_faults_rejected(self):
+        with pytest.raises(ValueError, match="cannot place"):
+            seeded_schedule(0, 3, n_kill=2, n_hang=2)

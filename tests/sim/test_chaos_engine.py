@@ -1,0 +1,163 @@
+"""Fault-injected engine runs: the chaos acceptance suite.
+
+The contract under test (ISSUE 8 / docs/invariants.md): under seeded
+kill/hang/delay injection, the merged :class:`MonteCarloResult` is
+**bit-identical** to an uninjected run for every worker count, recovery
+is bounded by the watchdog timeout rather than the fault, and a run
+whose worker deaths outpace the restart budget fails loudly.
+
+Schedules arm through the ``REPRO_CHAOS`` environment variable exactly
+as a user would arm them; workers are forked after ``monkeypatch``
+sets the variable, so the injection path is the production one.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.codes import surface_code
+from repro.devtools.chaos import Fault, seeded_schedule, write_schedule
+from repro.noise import code_capacity_problem
+from repro.sim import run_ler_parallel
+
+# Every test spins real worker pools (and kills some of them); CI runs
+# this file in the dedicated `fault-injection` job, not the fast gate.
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return code_capacity_problem(surface_code(3), 0.12)
+
+
+@pytest.fixture(scope="module")
+def baseline(problem):
+    # Clean reference run: REPRO_CHAOS is only ever set through
+    # monkeypatch inside test bodies, so fixtures always run unarmed.
+    return run_ler_parallel(
+        problem, "min_sum_bp", 600, 17, n_workers=2, shard_shots=100,
+    )
+
+
+def _columns(result):
+    return (
+        result.shots,
+        result.failures,
+        result.initial_successes,
+        result.post_processed,
+        result.unconverged,
+    )
+
+
+def _assert_bit_identical(result, baseline):
+    assert _columns(result) == _columns(baseline)
+    assert np.array_equal(result.iterations, baseline.iterations)
+    assert np.array_equal(
+        result.parallel_iterations, baseline.parallel_iterations
+    )
+
+
+def _arm(monkeypatch, tmp_path, faults):
+    path = write_schedule(tmp_path / "chaos.json", faults)
+    monkeypatch.setenv("REPRO_CHAOS", path)
+    return path
+
+
+class TestKill:
+    def test_killed_worker_recovers_bit_identically(
+        self, problem, baseline, tmp_path, monkeypatch
+    ):
+        path = _arm(monkeypatch, tmp_path, [Fault(shard=2, kind="kill")])
+        result = run_ler_parallel(
+            problem, "min_sum_bp", 600, 17, n_workers=2, shard_shots=100,
+        )
+        assert os.listdir(path + ".claims")  # the kill really happened
+        _assert_bit_identical(result, baseline)
+
+    def test_every_shard_killed_once_still_bit_identical(
+        self, problem, baseline, tmp_path, monkeypatch
+    ):
+        # Six shards, six kills: every single shard's first attempt
+        # dies and is recomputed on a respawned worker.  The default
+        # restart budget (8) absorbs all of it.
+        _arm(
+            monkeypatch, tmp_path,
+            [Fault(shard=s, kind="kill") for s in range(6)],
+        )
+        result = run_ler_parallel(
+            problem, "min_sum_bp", 600, 17, n_workers=2, shard_shots=100,
+        )
+        _assert_bit_identical(result, baseline)
+
+    def test_restart_budget_exhaustion_fails_loudly(
+        self, problem, tmp_path, monkeypatch
+    ):
+        _arm(
+            monkeypatch, tmp_path,
+            [Fault(shard=s, kind="kill") for s in range(6)],
+        )
+        start = time.perf_counter()
+        with pytest.raises(RuntimeError, match="restart budget"):
+            run_ler_parallel(
+                problem, "min_sum_bp", 600, 17,
+                n_workers=2, shard_shots=100, max_worker_restarts=0,
+            )
+        # Failing must not wait on anything: both workers died, no
+        # replacements were allowed, the run errors out immediately.
+        assert time.perf_counter() - start < 60.0
+
+
+class TestHang:
+    def test_hung_worker_is_reclaimed_within_the_timeout(
+        self, problem, baseline, tmp_path, monkeypatch
+    ):
+        _arm(monkeypatch, tmp_path, [Fault(shard=1, kind="hang")])
+        start = time.perf_counter()
+        result = run_ler_parallel(
+            problem, "min_sum_bp", 600, 17, n_workers=2, shard_shots=100,
+            shard_timeout=0.5,
+        )
+        elapsed = time.perf_counter() - start
+        # Recovery is bounded by the watchdog, not the (1 h) hang.
+        assert elapsed < 60.0
+        _assert_bit_identical(result, baseline)
+
+
+class TestDelay:
+    def test_stragglers_cannot_reorder_results(
+        self, problem, baseline, tmp_path, monkeypatch
+    ):
+        # Delays force out-of-order completion without tripping any
+        # recovery machinery: the prefix merge alone must keep results
+        # bit-identical.
+        _arm(
+            monkeypatch, tmp_path,
+            [
+                Fault(shard=0, kind="delay", seconds=0.3),
+                Fault(shard=3, kind="delay", seconds=0.15),
+            ],
+        )
+        result = run_ler_parallel(
+            problem, "min_sum_bp", 600, 17, n_workers=2, shard_shots=100,
+        )
+        _assert_bit_identical(result, baseline)
+
+
+class TestSeededSchedules:
+    @pytest.mark.parametrize("n_workers", [2, 3])
+    @pytest.mark.parametrize("chaos_seed", [1, 2])
+    def test_mixed_seeded_faults_bit_identical_per_worker_count(
+        self, problem, baseline, tmp_path, monkeypatch,
+        n_workers, chaos_seed,
+    ):
+        faults = seeded_schedule(
+            chaos_seed, 6, n_kill=1, n_delay=2, delay_seconds=0.1,
+        )
+        _arm(monkeypatch, tmp_path, faults)
+        result = run_ler_parallel(
+            problem, "min_sum_bp", 600, 17,
+            n_workers=n_workers, shard_shots=100,
+        )
+        _assert_bit_identical(result, baseline)

@@ -388,6 +388,34 @@ class TestHungShardRetry:
         merged = controller.merged()
         assert merged.shots == 2 * chunk.shots
 
+    def test_diverging_duplicate_raises_loudly(self, surface_problem):
+        # Retried attempts are deterministic, so a duplicate whose
+        # counters differ means the determinism contract is broken —
+        # silently keeping either copy would corrupt the merge.
+        chunk = run_ler_parallel(surface_problem, "min_sum_bp", 100, 1)
+        other = run_ler_parallel(surface_problem, "min_sum_bp", 50, 1)
+        controller = _PrefixController(2, None, None)
+        controller.add(0, chunk)
+        with pytest.raises(RuntimeError, match="diverging"):
+            controller.add(0, other)
+
+    def test_exhaustion_error_names_shard_attempts_and_timeout(
+        self, surface_problem
+    ):
+        # Operators need to tell a wedged worker from an undersized
+        # timeout: the error must name the shard, its attempt count and
+        # the timeout that each attempt blew through.
+        with pytest.raises(
+            RuntimeError,
+            match=r"\[shard 0\] after 3 attempt\(s\) of 0s each",
+        ):
+            run_ler_parallel(
+                surface_problem,
+                _AlwaysHangDecoder(surface_problem, 600.0),
+                200, 3, n_workers=2, shard_shots=100,
+                shard_timeout=0.2, shard_retries=2,
+            )
+
 
 class TestProgressCallback:
     def _recording(self):

@@ -1,0 +1,187 @@
+"""Elastic worker pool: death detection, respawn, resize, shutdown.
+
+These tests drive :class:`repro.sim.pool.PoolController` directly with
+trivial picklable tasks — the engine-level recovery behaviour (retries,
+bit-identical merges) lives in ``test_engine.py`` and
+``test_chaos_engine.py``.  Everything here must be clean under
+``--leak-check``: every pool is shut down, which joins every worker the
+controller ever spawned (killed ones included).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.sim.engine import _mp_context
+from repro.sim.pool import PoolController, WorkerDiedError
+
+
+def _echo(value):
+    return value
+
+
+def _sleep_echo(seconds, value):
+    time.sleep(seconds)
+    return value
+
+
+def _exit_now(code):
+    os._exit(code)
+
+
+def _fail(message):
+    raise ValueError(message)
+
+
+def _pool(n_workers, **kwargs):
+    kwargs.setdefault("mp_context", _mp_context(None))
+    return PoolController(n_workers, **kwargs)
+
+
+def _wait_until(predicate, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+class TestBasics:
+    def test_submit_roundtrip_and_queueing(self):
+        with _pool(2) as pool:
+            futures = [pool.submit(_echo, i) for i in range(8)]
+            # Only the worker count can run at once; the rest queue.
+            assert len(pool.running_futures()) <= 2
+            assert [f.result(timeout=30) for f in futures] == list(range(8))
+
+    def test_task_exception_propagates(self):
+        with _pool(1) as pool:
+            future = pool.submit(_fail, "boom")
+            with pytest.raises(ValueError, match="boom"):
+                future.result(timeout=30)
+            # An ordinary task exception is not a death: no respawn.
+            assert pool.restarts_used == 0
+            assert pool.n_alive == 1
+
+    def test_submit_after_shutdown_raises(self):
+        pool = _pool(1)
+        pool.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            pool.submit(_echo, 1)
+
+    def test_shutdown_twice_is_safe(self):
+        pool = _pool(1)
+        pool.shutdown()
+        pool.shutdown()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _pool(0)
+        with pytest.raises(ValueError):
+            _pool(1, max_restarts=-1)
+
+
+class TestWorkerDeath:
+    def test_death_surfaces_on_its_future_only(self):
+        with _pool(2) as pool:
+            doomed = pool.submit(_exit_now, 3)
+            healthy = [pool.submit(_echo, i) for i in range(6)]
+            with pytest.raises(WorkerDiedError):
+                doomed.result(timeout=30)
+            # Unrelated work is unaffected — the death was isolated to
+            # the slot that ran it, and a replacement was respawned.
+            assert [f.result(timeout=30) for f in healthy] == list(range(6))
+            assert pool.restarts_used == 1
+            assert _wait_until(lambda: pool.n_alive == 2)
+            assert pool.submit(_echo, "after").result(timeout=30) == "after"
+
+    def test_budget_zero_shrinks_the_pool(self):
+        with _pool(2, max_restarts=0) as pool:
+            doomed = pool.submit(_exit_now, 3)
+            with pytest.raises(WorkerDiedError):
+                doomed.result(timeout=30)
+            assert _wait_until(lambda: pool.n_alive == 1)
+            assert pool.restarts_used == 0
+            assert pool.submit(_echo, 7).result(timeout=30) == 7
+
+    def test_last_worker_death_leaves_empty_pool(self):
+        with _pool(1, max_restarts=0) as pool:
+            doomed = pool.submit(_exit_now, 3)
+            with pytest.raises(WorkerDiedError):
+                doomed.result(timeout=30)
+            assert pool.n_alive == 0
+
+
+class TestKillTask:
+    def test_kill_running_task_respawns(self):
+        with _pool(1) as pool:
+            wedged = pool.submit(_sleep_echo, 600.0, None)
+            assert _wait_until(wedged.running)
+            start = time.perf_counter()
+            assert pool.kill_task(wedged)
+            with pytest.raises(WorkerDiedError):
+                wedged.result(timeout=30)
+            # Reclamation is immediate — never waits out the sleep.
+            assert time.perf_counter() - start < 30.0
+            assert pool.restarts_used == 1
+            assert _wait_until(lambda: pool.n_alive == 1)
+            assert pool.submit(_echo, 5).result(timeout=30) == 5
+
+    def test_kill_finished_task_returns_false(self):
+        with _pool(1) as pool:
+            future = pool.submit(_echo, 1)
+            assert future.result(timeout=30) == 1
+            assert _wait_until(lambda: not pool.kill_task(future))
+
+
+class TestResize:
+    def test_grow_adds_capacity(self):
+        with _pool(1) as pool:
+            pool.resize(3)
+            assert pool.n_alive == 3
+            futures = [pool.submit(_sleep_echo, 0.3, i) for i in range(3)]
+            assert _wait_until(lambda: len(pool.running_futures()) == 3)
+            assert [f.result(timeout=30) for f in futures] == [0, 1, 2]
+
+    def test_shrink_idle_is_immediate(self):
+        with _pool(3) as pool:
+            pool.resize(1)
+            assert pool.n_alive == 1
+            assert pool.submit(_echo, 1).result(timeout=30) == 1
+
+    def test_shrink_busy_finishes_in_flight_work(self):
+        with _pool(2) as pool:
+            futures = [pool.submit(_sleep_echo, 0.3, i) for i in range(2)]
+            pool.resize(1)
+            # In-flight work is never abandoned by a shrink …
+            assert [f.result(timeout=30) for f in futures] == [0, 1]
+            # … and the surplus slot retires once its task completes.
+            assert _wait_until(lambda: pool.n_alive == 1)
+
+    def test_resize_validation(self):
+        with _pool(1) as pool:
+            with pytest.raises(ValueError):
+                pool.resize(0)
+
+
+class TestShutdown:
+    def test_shutdown_kills_busy_workers_promptly(self):
+        pool = _pool(2)
+        for _ in range(2):
+            pool.submit(_sleep_echo, 600.0, None)
+        assert _wait_until(lambda: len(pool.running_futures()) == 2)
+        start = time.perf_counter()
+        pool.shutdown()
+        # Both workers were mid-sleep; a graceful join would block for
+        # the full 600 s.  Kill-then-join must return promptly.
+        assert time.perf_counter() - start < 60.0
+
+    def test_shutdown_cancels_queued_tasks(self):
+        pool = _pool(1)
+        running = pool.submit(_sleep_echo, 600.0, None)
+        queued = pool.submit(_echo, 1)
+        assert _wait_until(running.running)
+        pool.shutdown()
+        assert queued.cancelled()
