@@ -25,6 +25,12 @@ Subcommands:
   asyncio decode service: concurrent clients stream syndromes through
   the cross-client batcher + worker pool, with backpressure and
   queueing telemetry (the backlog argument on a *real* server);
+* ``serve-net [--problem KEY ...] [--clients M] [--pools K]`` — the
+  networked multi-problem front end: a TCP server speaking the
+  length-prefixed binary protocol routes requests by problem key
+  through a consistent-hash ring to per-problem pools (priority
+  lanes, deadlines, adaptive batching), driven by real-socket
+  clients and verified bit-identical against offline ``decode_many``;
 * ``hardware`` — the Discussion's real-time latency budget table;
 * ``backends`` — registered BP kernel backends with availability,
   runtime version and the import error keeping an optional backend
@@ -58,6 +64,9 @@ subcommand overview:
   stream CODE           streaming-queue simulation (hardware model)
   serve CODE            live decode service: concurrent clients,
                         cross-client batching, backpressure, telemetry
+  serve-net             networked multi-problem service: TCP framing,
+                        consistent-hash routing, priority lanes,
+                        deadlines, per-pool telemetry + parity check
   hardware              real-time latency budget table
   backends              BP kernel backends: availability + runtime
   lint                  repo-contract static analysis (exit 2 on
@@ -623,6 +632,187 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+# Default catalog for `serve-net` demos/smokes: two problems sharing a
+# code but not a decoder, so the ring has something to spread.
+_SERVE_NET_DEFAULT_PROBLEMS = (
+    "surface_3:capacity:p=0.08:r=1:min_sum_bp:auto",
+    "surface_3:capacity:p=0.08:r=1:bpsf:auto",
+)
+
+
+def _cmd_serve_net(args) -> int:
+    import asyncio
+
+    from repro.service.net import (
+        NetClient,
+        NetDecodeServer,
+        NetServerConfig,
+        ProblemKey,
+        Status,
+    )
+
+    if args.shots < 1 or args.clients < 1:
+        print("--shots and --clients must be positive", file=sys.stderr)
+        return 2
+    if args.pools < 1 or args.vnodes < 1 or args.pool_threads < 1:
+        print("--pools, --vnodes and --pool-threads must be positive",
+              file=sys.stderr)
+        return 2
+    if args.max_batch < 1 or args.min_batch < 1 \
+            or args.min_batch > args.max_batch:
+        print("need 1 <= --min-batch <= --max-batch", file=sys.stderr)
+        return 2
+    if args.max_pending < 1 or args.max_lane_depth < 1:
+        print("--max-pending and --max-lane-depth must be positive",
+              file=sys.stderr)
+        return 2
+    if args.flush_ms is not None and args.flush_ms < 0:
+        print("--flush-ms must be non-negative", file=sys.stderr)
+        return 2
+    if args.period_us is not None and args.period_us <= 0:
+        print("--period-us must be positive", file=sys.stderr)
+        return 2
+    if args.deadline_us < 0:
+        print("--deadline-us must be non-negative (0 = no deadline)",
+              file=sys.stderr)
+        return 2
+
+    raw_keys = args.problem or list(_SERVE_NET_DEFAULT_PROBLEMS)
+    try:
+        keys = [str(ProblemKey.parse(k)) for k in raw_keys]
+        server = NetDecodeServer(keys, NetServerConfig(
+            port=args.port,
+            n_pools=args.pools,
+            vnodes=args.vnodes,
+            pool_threads=args.pool_threads,
+            max_batch=args.max_batch,
+            min_batch=args.min_batch,
+            flush_latency=(
+                args.flush_ms * 1e-3 if args.flush_ms is not None else None
+            ),
+            max_pending=args.max_pending,
+            max_lane_depth=args.max_lane_depth,
+            period=(
+                args.period_us * 1e-6 if args.period_us is not None
+                else None
+            ),
+        ))
+    except ValueError as exc:
+        print(f"cannot serve this problem set: {exc}", file=sys.stderr)
+        return 2
+
+    # One deterministic request schedule: request i targets problem
+    # i mod n_problems, with per-problem seeded sampling — so the
+    # offline parity reference is exactly reproducible.
+    per_key_problems = {
+        key: server.router.catalog[key][0] for key in keys
+    }
+    per_key_count = {
+        key: len(range(i, args.shots, len(keys)))
+        for i, key in enumerate(keys)
+    }
+    per_key_syndromes = {}
+    for i, key in enumerate(keys):
+        problem = per_key_problems[key]
+        rng = np.random.default_rng([args.seed, i])
+        errors = problem.sample_errors(per_key_count[key], rng)
+        per_key_syndromes[key] = problem.syndromes(errors)
+    schedule = []           # (request index, key, per-key syndrome index)
+    cursors = {key: 0 for key in keys}
+    for i in range(args.shots):
+        key = keys[i % len(keys)]
+        schedule.append((i, key, cursors[key]))
+        cursors[key] += 1
+
+    deadline = args.deadline_us * 1e-6
+    period = args.period_us * 1e-6 if args.period_us is not None else None
+    on_progress, close_progress = _progress_arg(args, "responses")
+    answered = 0
+
+    async def _client_stream(client, slots, t0):
+        nonlocal answered
+        loop = asyncio.get_running_loop()
+        admitted = []
+        for slot, key, index in slots:
+            if period is not None:
+                delay = t0 + slot * period - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+            admitted.append((slot, key, index, await client.enqueue(
+                key, per_key_syndromes[key][index],
+                priority=(0 if slot % 4 == 0 else 1),
+                deadline=deadline,
+            )))
+        out = []
+        for slot, key, index, future in admitted:
+            out.append((slot, key, index, await future))
+            answered += 1
+            if on_progress is not None:
+                on_progress(answered, args.shots)
+        return out
+
+    async def _run():
+        async with server:
+            clients = [
+                await NetClient.connect("127.0.0.1", server.port)
+                for _ in range(args.clients)
+            ]
+            try:
+                t0 = asyncio.get_running_loop().time()
+                stripes = [
+                    schedule[c::args.clients] for c in range(args.clients)
+                ]
+                results = await asyncio.gather(*(
+                    _client_stream(client, stripe, t0)
+                    for client, stripe in zip(clients, stripes)
+                ))
+                await server.drain()
+            finally:
+                for client in clients:
+                    await client.close()
+            return [r for stripe in results for r in stripe], \
+                server.snapshot()
+
+    try:
+        responses, snapshot = asyncio.run(_run())
+    finally:
+        close_progress()
+
+    by_status = {}
+    for _, _, _, response in responses:
+        name = Status(response.status).name
+        by_status[name] = by_status.get(name, 0) + 1
+    breakdown = ", ".join(
+        f"{v} {k}" for k, v in sorted(by_status.items())
+    )
+    print(f"responses decoded: {len(responses)}/{args.shots} ({breakdown})")
+
+    # Bit-parity audit: every OK response must match the per-problem
+    # offline decode_many on the identical syndromes.
+    from repro.sim.engine import resolve_decoder
+
+    mismatches = 0
+    for key in keys:
+        factory = server.router.catalog[key][1]
+        offline = resolve_decoder(factory, per_key_problems[key]) \
+            .decode_many(per_key_syndromes[key])
+        for _, k, index, response in responses:
+            if k != key or not response.ok:
+                continue
+            if not (
+                np.array_equal(response.error, offline.errors[index])
+                and response.converged == bool(offline.converged[index])
+                and response.iterations == int(offline.iterations[index])
+            ):
+                mismatches += 1
+    ok_count = by_status.get("OK", 0)
+    print(f"offline parity: {ok_count - mismatches}/{ok_count} OK "
+          f"responses bit-identical"
+          + (" — PARITY FAILURE" if mismatches else ""))
+    print(snapshot)
+    return 1 if mismatches else 0
+
+
 def _cmd_backends(_args) -> int:
     """List BP kernel backends with availability and runtime version."""
     from repro.decoders.kernels import backend_availability
@@ -921,6 +1111,66 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print a live responses counter to stderr")
     serve.add_argument("--seed", type=int, default=0)
 
+    serve_net = sub.add_parser(
+        "serve-net",
+        help="networked multi-problem decode service "
+             "(TCP framing, consistent-hash routing, priority lanes)",
+        description="Start the TCP decode front end for a set of "
+                    "problem keys (code:model:p=..:r=..:decoder:"
+                    "backend), drive a request stream through real-"
+                    "socket clients, and audit every OK response "
+                    "bit-for-bit against offline decode_many.  "
+                    "Requests route by problem key through a "
+                    "consistent-hash ring with virtual nodes to "
+                    "per-problem pools (two priority lanes, deadline "
+                    "drops before dispatch, backlog-adaptive "
+                    "max_batch).  Exit 1 on a parity failure.",
+    )
+    serve_net.add_argument("--problem", action="append", default=None,
+                           metavar="KEY",
+                           help="problem key to serve (repeatable); "
+                                "default: two surface_3 capacity "
+                                "problems (min_sum_bp + bpsf)")
+    serve_net.add_argument("--shots", type=int, default=40,
+                           help="total requests, striped round-robin "
+                                "over the problem keys (default 40)")
+    serve_net.add_argument("--clients", type=int, default=2,
+                           help="concurrent socket clients (default 2)")
+    serve_net.add_argument("--pools", type=int, default=2,
+                           help="pool nodes on the consistent-hash "
+                                "ring (default 2)")
+    serve_net.add_argument("--vnodes", type=int, default=64,
+                           help="virtual nodes per pool (default 64)")
+    serve_net.add_argument("--pool-threads", type=int, default=1,
+                           help="decode threads per pool node "
+                                "(default 1)")
+    serve_net.add_argument("--port", type=int, default=0,
+                           help="TCP port (default 0: ephemeral)")
+    serve_net.add_argument("--max-batch", type=int, default=32,
+                           help="adaptive batching cap (default 32)")
+    serve_net.add_argument("--min-batch", type=int, default=1,
+                           help="adaptive batching floor (default 1)")
+    serve_net.add_argument("--max-pending", type=int, default=1024,
+                           help="per-pool decode-service backpressure "
+                                "bound (default 1024)")
+    serve_net.add_argument("--max-lane-depth", type=int, default=1024,
+                           help="per-priority-lane load-shed bound "
+                                "(default 1024)")
+    serve_net.add_argument("--flush-ms", type=float, default=None,
+                           help="batch flush deadline in ms")
+    serve_net.add_argument("--period-us", type=float, default=None,
+                           help="paced arrivals: one request per "
+                                "period per global slot (default: "
+                                "fire as admitted)")
+    serve_net.add_argument("--deadline-us", type=float, default=0.0,
+                           help="per-request deadline in us (0 = "
+                                "none; expired requests are dropped "
+                                "before dispatch with EXPIRED status)")
+    serve_net.add_argument("--progress", action="store_true",
+                           help="print a live responses counter to "
+                                "stderr")
+    serve_net.add_argument("--seed", type=int, default=0)
+
     sub.add_parser(
         "backends",
         help="list BP kernel backends (availability, runtime version)",
@@ -981,6 +1231,7 @@ def main(argv=None) -> int:
         "analyze": _cmd_analyze,
         "stream": _cmd_stream,
         "serve": _cmd_serve,
+        "serve-net": _cmd_serve_net,
         "hardware": _cmd_hardware,
         "backends": _cmd_backends,
         "lint": _cmd_lint,

@@ -166,6 +166,31 @@ class ChaosInjector:
                 )
             return
 
+    def claim_delay(self, label, shard: int) -> float | None:
+        """Claim the first unclaimed *delay* fault for this work.
+
+        Returns the sleep duration in seconds, or ``None`` when no
+        delay fault matches.  Unlike :meth:`fire` this never sleeps —
+        asyncio hosts (the networked service's per-problem pools) must
+        not block their event loop, so they claim the fault here and
+        ``await asyncio.sleep(...)`` themselves.  Kill and hang faults
+        are deliberately ignored: they model *worker-process* failures
+        and firing them inside an in-process server would take down the
+        host, not a worker.
+        """
+        for index, fault in enumerate(self.faults):
+            if fault.kind != "delay" or fault.shard != shard:
+                continue
+            if fault.label is not None and str(fault.label) != str(label):
+                continue
+            if not self._claim(index):
+                continue
+            return (
+                fault.seconds if fault.seconds is not None
+                else _DELAY_SECONDS
+            )
+        return None
+
 
 def write_schedule(path, faults, scratch_dir: str | None = None) -> str:
     """Serialise a fault schedule to ``path`` (JSON); returns ``path``.

@@ -11,7 +11,9 @@ model (:mod:`repro.sim.streaming`).
 Entry points: :class:`DecodeService` (+ :class:`ServiceConfig`) for the
 server object, :class:`ServiceClient`/:func:`run_service_stream` for
 the stream-replay harness, and ``python -m repro serve`` on the command
-line.
+line.  The networked, multi-problem front end — TCP framing,
+consistent-hash routing, priority lanes, deadlines — lives in
+:mod:`repro.service.net` (``python -m repro serve-net``).
 """
 
 from repro.service.batcher import (

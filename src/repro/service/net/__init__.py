@@ -1,0 +1,72 @@
+"""Networked multi-problem decode service.
+
+The in-process :class:`~repro.service.server.DecodeService` (PR 5)
+batches across clients but owns exactly one ``(problem, decoder)``
+pair and its clients live inside the server's interpreter.  This
+subpackage is the production shape on top of it: a TCP front end
+speaking a small length-prefixed binary protocol
+(:mod:`~repro.service.net.protocol`), routing each request by
+*problem key* — ``code x model x p x rounds x decoder x backend`` —
+through a consistent-hash ring with virtual nodes
+(:mod:`~repro.service.net.ring`) to per-problem worker pools
+(:mod:`~repro.service.net.router`), each wrapping the existing
+``RequestBatcher``/``DecodeService``/``ServiceTelemetry`` stack.  One
+server therefore amortises a patchwork of codes, and pool nodes scale
+independently under skewed traffic.
+
+Request semantics beyond the in-process service:
+
+* **deadlines** — a request carries a relative deadline; syndromes
+  that expire while queued are dropped *before* dispatch and answered
+  with a distinct ``EXPIRED`` status;
+* **priority lanes** — logical-measurement syndromes (priority 0)
+  drain ahead of idle-round syndromes (priority 1);
+* **adaptive batching** — each pool's ``max_batch`` follows its live
+  backlog gauge between a floor and the configured cap.
+
+Entry points: :class:`NetDecodeServer` (+ :class:`NetServerConfig`),
+:class:`NetClient`, and ``python -m repro serve-net``.
+"""
+
+from repro.service.net.netclient import NetClient, NetConnectionError
+from repro.service.net.netserver import NetDecodeServer, NetServerConfig
+from repro.service.net.protocol import (
+    MAX_FRAME,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    Request,
+    Response,
+    Status,
+)
+from repro.service.net.ring import HashRing
+from repro.service.net.router import (
+    PoolConfig,
+    PoolOverloadedError,
+    ProblemKey,
+    ProblemPool,
+    Router,
+    UnknownProblemKeyError,
+)
+from repro.service.net.telemetry import NetServerSnapshot, PoolSnapshot
+
+__all__ = [
+    "HashRing",
+    "MAX_FRAME",
+    "NetClient",
+    "NetConnectionError",
+    "NetDecodeServer",
+    "NetServerConfig",
+    "NetServerSnapshot",
+    "PoolConfig",
+    "PoolOverloadedError",
+    "PoolSnapshot",
+    "ProblemKey",
+    "ProblemPool",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "Request",
+    "Response",
+    "Router",
+    "Status",
+    "UnknownProblemKeyError",
+]

@@ -1,0 +1,203 @@
+"""Asyncio client of the networked decode service.
+
+:class:`NetClient` multiplexes any number of concurrent requests over
+one TCP connection: ``enqueue`` assigns a connection-unique request
+id, writes the frame and returns a future; a background reader task
+matches responses back by id.  ``decode`` is the await-until-answered
+convenience.  A protocol ``ERROR`` frame from the server — or a torn
+connection — fails every outstanding future with
+:class:`NetConnectionError` and closes the client; a closed client
+raises on further use instead of hanging.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+
+import numpy as np
+
+from repro.service.net.protocol import (
+    ErrorFrame,
+    ProtocolError,
+    Request,
+    Response,
+    encode_request,
+    parse_payload,
+    read_frame,
+)
+
+__all__ = ["NetClient", "NetConnectionError"]
+
+
+class NetConnectionError(ConnectionError):
+    """The connection to the decode server failed or was refused."""
+
+
+class NetClient:
+    """One connection to a :class:`~repro.service.net.NetDecodeServer`.
+
+    Construct with :meth:`connect`; use as an async context manager or
+    call :meth:`close` explicitly.  All methods must run on the event
+    loop that created the client.
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ):
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count()
+        self._pending: dict[int, asyncio.Future] = {}
+        self._write_lock = asyncio.Lock()
+        self._closed = False
+        self._read_task = asyncio.create_task(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "NetClient":
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+        except OSError as exc:
+            raise NetConnectionError(
+                f"cannot connect to decode server at {host}:{port}: {exc}"
+            ) from exc
+        return cls(reader, writer)
+
+    async def __aenter__(self) -> "NetClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- request path ----------------------------------------------------
+
+    async def enqueue(
+        self,
+        problem_key: str,
+        syndrome,
+        *,
+        priority: int = 1,
+        deadline: float = 0.0,
+    ) -> asyncio.Future:
+        """Send one request; returns a future of its :class:`Response`.
+
+        ``priority`` 0 is the logical-measurement lane, 1 the idle
+        lane; ``deadline`` is a relative budget in seconds (0 = none)
+        judged on the *server's* clock from the moment of admission.
+        """
+        if self._closed:
+            raise NetConnectionError("client is closed")
+        request_id = next(self._ids)
+        frame = encode_request(Request(
+            request_id=request_id,
+            problem_key=problem_key,
+            syndrome=np.asarray(syndrome, dtype=np.uint8).reshape(-1),
+            priority=priority,
+            deadline=deadline,
+        ))
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            async with self._write_lock:
+                self._writer.write(frame)
+                await self._writer.drain()
+        except (ConnectionError, OSError) as exc:
+            self._pending.pop(request_id, None)
+            raise NetConnectionError(
+                f"connection lost while sending request: {exc}"
+            ) from exc
+        return future
+
+    async def decode(
+        self,
+        problem_key: str,
+        syndrome,
+        *,
+        priority: int = 1,
+        deadline: float = 0.0,
+    ) -> Response:
+        """Send one request and await its response."""
+        return await (await self.enqueue(
+            problem_key, syndrome, priority=priority, deadline=deadline
+        ))
+
+    async def decode_many(
+        self,
+        problem_key: str,
+        syndromes,
+        *,
+        priority: int = 1,
+        deadline: float = 0.0,
+    ) -> list[Response]:
+        """Fire one request per syndrome concurrently; await all.
+
+        Responses come back in syndrome order regardless of the order
+        the server answered in (the request-id multiplexing contract).
+        """
+        futures = [
+            await self.enqueue(
+                problem_key, syndrome, priority=priority, deadline=deadline
+            )
+            for syndrome in np.atleast_2d(np.asarray(syndromes))
+        ]
+        return list(await asyncio.gather(*futures))
+
+    # -- response plumbing -----------------------------------------------
+
+    async def _read_loop(self) -> None:
+        failure: Exception | None = None
+        try:
+            while True:
+                payload = await read_frame(self._reader)
+                if payload is None:
+                    failure = NetConnectionError(
+                        "server closed the connection"
+                    )
+                    return
+                message = parse_payload(payload)
+                if isinstance(message, ErrorFrame):
+                    failure = NetConnectionError(
+                        f"protocol error from server: {message.detail}"
+                    )
+                    return
+                if not isinstance(message, Response):
+                    raise ProtocolError(
+                        f"client expects RESPONSE frames, got "
+                        f"{type(message).__name__}"
+                    )
+                future = self._pending.pop(message.request_id, None)
+                if future is not None and not future.done():
+                    future.set_result(message)
+        except ProtocolError as exc:
+            failure = NetConnectionError(f"malformed server frame: {exc}")
+        except (ConnectionError, OSError) as exc:
+            failure = NetConnectionError(f"connection lost: {exc}")
+        except asyncio.CancelledError:
+            failure = NetConnectionError("client closed")
+            raise
+        finally:
+            self._fail_pending(
+                failure or NetConnectionError("connection closed")
+            )
+
+    def _fail_pending(self, exc: Exception) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(exc)
+
+    async def close(self) -> None:
+        """Close the connection; outstanding futures fail cleanly."""
+        if self._closed:
+            return
+        self._closed = True
+        self._read_task.cancel()
+        try:
+            await self._read_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

@@ -1,0 +1,360 @@
+"""Asyncio-streams TCP front end of the multi-problem decode service.
+
+One :class:`NetDecodeServer` listens on a socket, speaks the
+length-prefixed binary protocol (:mod:`~repro.service.net.protocol`),
+and routes every request by problem key through the consistent-hash
+:class:`~repro.service.net.router.Router` to a per-problem pool.  The
+per-connection loop is deliberately boring:
+
+* read a frame → parse → route → submit → answer, with responses
+  multiplexed back over the same connection in completion order (a
+  per-connection write lock keeps frames whole);
+* **any** protocol violation — torn frame, garbage, oversized length,
+  unknown version/type, duplicate outstanding request id — is answered
+  with a protocol ``ERROR`` frame naming the defect and the connection
+  is closed; the server itself keeps serving everyone else;
+* a disconnect marks the connection's undispatched entries cancelled
+  (the pools skip them) and abandons its in-flight decodes' responses
+  — no decode result is ever written to a dead socket, and no task
+  outlives the connection.
+
+Request-level outcomes that are *not* protocol errors travel as
+response statuses on a healthy connection: ``BAD_KEY`` (unserved
+problem key), ``BAD_REQUEST`` (syndrome length mismatch),
+``OVERLOADED`` (lane load-shed), ``EXPIRED`` (deadline drop) and
+``FAILED`` (the decode raised).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+
+from repro.service.net.protocol import (
+    MAX_FRAME,
+    ProtocolError,
+    Request,
+    Response,
+    Status,
+    encode_error,
+    encode_response,
+    parse_payload,
+    read_frame,
+)
+from repro.service.net.router import (
+    PoolConfig,
+    PoolOverloadedError,
+    ProblemKey,
+    Router,
+    UnknownProblemKeyError,
+    make_entry,
+)
+from repro.service.net.telemetry import NetServerSnapshot
+
+__all__ = ["NetDecodeServer", "NetServerConfig"]
+
+
+@dataclass(frozen=True)
+class NetServerConfig:
+    """Knobs of one networked decode server.
+
+    ``n_pools``/``vnodes`` shape the consistent-hash ring;
+    ``pool_threads`` sizes each node's shared decode executor; the
+    remaining fields parameterise every per-problem pool (see
+    :class:`~repro.service.net.router.PoolConfig`).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    n_pools: int = 2
+    vnodes: int = 64
+    pool_threads: int = 1
+    max_batch: int = 32
+    min_batch: int = 1
+    adaptive_batch: bool = True
+    flush_latency: float | None = None
+    max_pending: int = 1024
+    max_lane_depth: int = 1024
+    period: float | None = None
+    max_frame: int = MAX_FRAME
+
+    def __post_init__(self):
+        if self.n_pools < 1 or self.vnodes < 1 or self.pool_threads < 1:
+            raise ValueError(
+                "n_pools, vnodes and pool_threads must be positive"
+            )
+        if self.max_frame < 64:
+            raise ValueError("max_frame is too small to carry any frame")
+
+    def pool_config(self) -> PoolConfig:
+        return PoolConfig(
+            max_batch=self.max_batch,
+            min_batch=self.min_batch,
+            adaptive_batch=self.adaptive_batch,
+            flush_latency=self.flush_latency,
+            max_pending=self.max_pending,
+            max_lane_depth=self.max_lane_depth,
+            period=self.period,
+        )
+
+
+class _Connection:
+    """Per-connection write lock + live-entry bookkeeping."""
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self.writer = writer
+        self.lock = asyncio.Lock()
+        self.entries: dict[int, object] = {}
+        self.tasks: set[asyncio.Task] = set()
+
+    async def send(self, frame: bytes) -> None:
+        async with self.lock:
+            self.writer.write(frame)
+            await self.writer.drain()
+
+
+class NetDecodeServer:
+    """TCP front end amortising one server across many problems.
+
+    ``problems`` is the served catalog: an iterable of canonical
+    problem-key strings (or :class:`ProblemKey` instances), each built
+    and validated against the registries at construction.  ``clock``
+    is the injectable monotonic clock deadlines are judged on.
+
+    Lifecycle mirrors :class:`~repro.service.server.DecodeService`::
+
+        async with NetDecodeServer(keys, config) as server:
+            ...  # server.port is the bound port
+    """
+
+    def __init__(
+        self,
+        problems,
+        config: NetServerConfig | None = None,
+        *,
+        clock=time.monotonic,
+        chaos=None,
+    ):
+        self.config = config or NetServerConfig()
+        self.clock = clock
+        catalog = {}
+        for entry in problems:
+            key = (
+                entry if isinstance(entry, ProblemKey)
+                else ProblemKey.parse(str(entry))
+            )
+            canonical = str(key)
+            if canonical in catalog:
+                raise ValueError(f"duplicate problem key {canonical}")
+            catalog[canonical] = key.build()
+        if not catalog:
+            raise ValueError("the server needs at least one problem key")
+        if chaos is None:
+            from repro.devtools.chaos import injector_from_env
+
+            chaos = injector_from_env()
+        self.router = Router(
+            catalog,
+            n_pools=self.config.n_pools,
+            vnodes=self.config.vnodes,
+            pool_threads=self.config.pool_threads,
+            pool_config=self.config.pool_config(),
+            clock=clock,
+            chaos=chaos,
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[_Connection] = set()
+        self._handlers: set[asyncio.Task] = set()
+        self.connections_seen = 0
+        self.protocol_errors = 0
+        self.bad_key = 0
+        self.requests = 0
+        self.responses = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return self._server is not None
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def problem_keys(self) -> tuple[str, ...]:
+        return tuple(sorted(self.router.catalog))
+
+    async def start(self) -> "NetDecodeServer":
+        if self.started:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle, self.config.host, self.config.port
+        )
+        return self
+
+    async def stop(self) -> None:
+        if not self.started:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        # `wait_closed` does not await connection handlers on 3.11;
+        # cancel them explicitly so no task outlives the server (each
+        # handler's `finally` cancels its own response writers and
+        # closes its transport).
+        for task in list(self._handlers):
+            task.cancel()
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+        await self.router.stop()
+
+    async def drain(self) -> None:
+        """Wait until every admitted request has been answered."""
+        await self.router.drain()
+
+    async def __aenter__(self) -> "NetDecodeServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- per-connection protocol loop ------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(writer)
+        self._connections.add(conn)
+        self.connections_seen += 1
+        handler = asyncio.current_task()
+        if handler is not None:
+            self._handlers.add(handler)
+            handler.add_done_callback(self._handlers.discard)
+        try:
+            await self._serve_connection(conn, reader)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            # Cancellation contract: undispatched entries are marked so
+            # the pools skip them; response-writer tasks die with the
+            # connection; in-flight decode results are discarded.
+            for entry in conn.entries.values():
+                entry.cancelled = True
+            for task in list(conn.tasks):
+                task.cancel()
+            if conn.tasks:
+                await asyncio.gather(*conn.tasks, return_exceptions=True)
+            self._connections.discard(conn)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_connection(
+        self, conn: _Connection, reader: asyncio.StreamReader
+    ) -> None:
+        while True:
+            try:
+                payload = await read_frame(
+                    reader, max_frame=self.config.max_frame
+                )
+                if payload is None:
+                    return
+                message = parse_payload(payload)
+                if not isinstance(message, Request):
+                    raise ProtocolError(
+                        f"server expects REQUEST frames, got "
+                        f"{type(message).__name__}"
+                    )
+                if message.request_id in conn.entries:
+                    raise ProtocolError(
+                        f"request id {message.request_id} is already "
+                        f"outstanding on this connection"
+                    )
+            except ProtocolError as exc:
+                # Error loudly, then close: the stream is unframed now,
+                # resynchronisation would be guesswork.
+                self.protocol_errors += 1
+                try:
+                    await conn.send(encode_error(str(exc)))
+                except (ConnectionError, OSError):
+                    pass
+                return
+            await self._dispatch(conn, message)
+
+    async def _dispatch(self, conn: _Connection, request: Request) -> None:
+        self.requests += 1
+        try:
+            pool = await self.router.pool(request.problem_key)
+        except UnknownProblemKeyError:
+            self.bad_key += 1
+            await self._respond(conn, Response(
+                request_id=request.request_id,
+                status=Status.BAD_KEY,
+                detail=(
+                    f"problem key {request.problem_key!r} is not served; "
+                    f"one of {', '.join(self.problem_keys)}"
+                ),
+            ))
+            return
+        expected = pool.service.problem.n_checks
+        if request.syndrome.shape[0] != expected:
+            await self._respond(conn, Response(
+                request_id=request.request_id,
+                status=Status.BAD_REQUEST,
+                detail=(
+                    f"syndrome has {request.syndrome.shape[0]} bits, "
+                    f"problem {request.problem_key} has {expected} checks"
+                ),
+            ))
+            return
+        entry = make_entry(
+            request, clock=self.clock, loop=asyncio.get_running_loop()
+        )
+        try:
+            pool.submit(entry)
+        except PoolOverloadedError as exc:
+            await self._respond(conn, Response(
+                request_id=request.request_id,
+                status=Status.OVERLOADED,
+                detail=str(exc),
+            ))
+            return
+        conn.entries[request.request_id] = entry
+        task = asyncio.create_task(self._answer(conn, entry))
+        conn.tasks.add(task)
+        task.add_done_callback(conn.tasks.discard)
+
+    async def _answer(self, conn: _Connection, entry) -> None:
+        response = await entry.future
+        conn.entries.pop(entry.request_id, None)
+        try:
+            await self._respond(conn, response)
+        except (ConnectionError, OSError):
+            pass
+
+    async def _respond(self, conn: _Connection, response: Response) -> None:
+        self.responses += 1
+        await conn.send(encode_response(response))
+
+    # -- telemetry -------------------------------------------------------
+
+    def snapshot(self) -> NetServerSnapshot:
+        return NetServerSnapshot(
+            pools={
+                key: pool.snapshot()
+                for key, pool in self.router.pools.items()
+            },
+            ring_occupancy=self.router.assignment(),
+            connections=self.connections_seen,
+            protocol_errors=self.protocol_errors,
+            bad_key=self.bad_key,
+            requests=self.requests,
+            responses=self.responses,
+        )

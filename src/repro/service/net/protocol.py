@@ -1,0 +1,427 @@
+"""Length-prefixed binary wire protocol of the networked service.
+
+Every frame on the wire is::
+
+    u32  payload length (big-endian, excludes these 4 bytes)
+    u8   protocol version        (:data:`PROTOCOL_VERSION`)
+    u8   frame type              (REQUEST / RESPONSE / ERROR)
+    ...  type-specific body
+
+``REQUEST`` body (client → server)::
+
+    u64  request id              (unique per connection)
+    u8   priority                (0 = logical measurement, 1 = idle round)
+    f64  deadline                (seconds from receipt; 0 = none)
+    u16  problem-key length      | that many UTF-8 bytes
+    u32  syndrome length in bits | ceil(bits / 8) packed bytes
+
+``RESPONSE`` body (server → client)::
+
+    u64  request id
+    u8   status                  (:class:`Status`)
+    -- status OK --
+    u8   converged | u32 iterations | f64 decode seconds
+    u32  error length in bits    | ceil(bits / 8) packed bytes
+    -- any other status --
+    u16  detail length           | that many UTF-8 bytes
+
+``ERROR`` body (either direction, before closing the connection)::
+
+    u16  detail length           | that many UTF-8 bytes
+
+Design rules, enforced by the parser and asserted by the fuzz suite
+(``tests/service/test_protocol.py``):
+
+* **every** malformed input — truncated, oversized, trailing garbage,
+  unknown version/type/status, non-finite deadline — raises
+  :class:`ProtocolError` with a message naming the defect; the parser
+  never hangs, never silently truncates, and never returns a partially
+  decoded frame;
+* a length prefix above :data:`MAX_FRAME` is rejected *before* any
+  payload is read, so a hostile prefix cannot make the server buffer
+  gigabytes;
+* encoding is pure ``struct`` packing over explicit widths —
+  byte-for-byte deterministic across processes and platforms
+  (no ``hash()``, no dicts on the wire).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import struct
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+import numpy as np
+
+__all__ = [
+    "MAX_FRAME",
+    "PROTOCOL_VERSION",
+    "FrameType",
+    "ProtocolError",
+    "Request",
+    "Response",
+    "ErrorFrame",
+    "encode_request",
+    "encode_response",
+    "encode_error",
+    "parse_payload",
+    "read_frame",
+    "write_frame",
+]
+
+PROTOCOL_VERSION = 1
+
+# Upper bound on one frame's payload.  The largest legitimate frame is
+# a response carrying a packed error vector (~hundreds of KB for the
+# biggest registered codes); 1 MiB leaves headroom without letting a
+# hostile length prefix allocate unbounded memory.
+MAX_FRAME = 1 << 20
+
+_LEN = struct.Struct(">I")
+_HEAD = struct.Struct(">BB")            # version, frame type
+_REQ_FIXED = struct.Struct(">QBd")      # request id, priority, deadline
+_RESP_FIXED = struct.Struct(">QB")      # request id, status
+_RESP_OK = struct.Struct(">BId")        # converged, iterations, seconds
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+
+
+class FrameType(IntEnum):
+    REQUEST = 1
+    RESPONSE = 2
+    ERROR = 3
+
+
+class Status(IntEnum):
+    """Response status codes.
+
+    ``EXPIRED`` is the deadline-drop contract: the syndrome blew its
+    deadline while queued and was dropped *before* dispatch — distinct
+    from ``FAILED`` (the decode itself raised) and ``OVERLOADED``
+    (load-shed at admission).
+    """
+
+    OK = 0
+    EXPIRED = 1
+    OVERLOADED = 2
+    FAILED = 3
+    BAD_KEY = 4
+    BAD_REQUEST = 5
+
+
+class ProtocolError(ValueError):
+    """The byte stream violates the wire protocol."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """One decode request as it crosses the wire."""
+
+    request_id: int
+    problem_key: str
+    syndrome: np.ndarray = field(repr=False)
+    priority: int = 1
+    deadline: float = 0.0
+
+
+@dataclass(frozen=True)
+class Response:
+    """One decode response as it crosses the wire."""
+
+    request_id: int
+    status: Status
+    error: np.ndarray | None = field(default=None, repr=False)
+    converged: bool = False
+    iterations: int = 0
+    time_seconds: float = 0.0
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == Status.OK
+
+
+@dataclass(frozen=True)
+class ErrorFrame:
+    """A protocol-level error; the sender closes after sending it."""
+
+    detail: str
+
+
+# -- bit packing -----------------------------------------------------------
+
+
+def _pack_bits(bits: np.ndarray) -> bytes:
+    bits = np.asarray(bits, dtype=np.uint8).reshape(-1)
+    return np.packbits(bits).tobytes()
+
+
+def _unpack_bits(payload: bytes, n_bits: int) -> np.ndarray:
+    expected = (n_bits + 7) // 8
+    if len(payload) != expected:
+        raise ProtocolError(
+            f"bit payload is {len(payload)} bytes, {n_bits} bits "
+            f"need {expected}"
+        )
+    bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8))[:n_bits]
+    return np.ascontiguousarray(bits, dtype=np.uint8)
+
+
+# -- encoding --------------------------------------------------------------
+
+
+def _frame(frame_type: FrameType, body: bytes) -> bytes:
+    payload = _HEAD.pack(PROTOCOL_VERSION, frame_type) + body
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME}-byte protocol bound"
+        )
+    return _LEN.pack(len(payload)) + payload
+
+
+def _check_priority(priority: int) -> int:
+    if priority not in (0, 1):
+        raise ProtocolError(
+            f"priority must be 0 (logical) or 1 (idle), got {priority}"
+        )
+    return priority
+
+
+def _check_deadline(deadline: float) -> float:
+    deadline = float(deadline)
+    if not math.isfinite(deadline) or deadline < 0:
+        raise ProtocolError(
+            f"deadline must be a finite non-negative number of seconds "
+            f"(0 = none), got {deadline!r}"
+        )
+    return deadline
+
+
+def encode_request(request: Request) -> bytes:
+    """Serialise one request into a complete wire frame."""
+    key = request.problem_key.encode("utf-8")
+    if len(key) > 0xFFFF:
+        raise ProtocolError("problem key exceeds 65535 UTF-8 bytes")
+    if not key:
+        raise ProtocolError("problem key must be non-empty")
+    syndrome = np.asarray(request.syndrome, dtype=np.uint8).reshape(-1)
+    body = (
+        _REQ_FIXED.pack(
+            request.request_id,
+            _check_priority(request.priority),
+            _check_deadline(request.deadline),
+        )
+        + _U16.pack(len(key)) + key
+        + _U32.pack(syndrome.shape[0]) + _pack_bits(syndrome)
+    )
+    return _frame(FrameType.REQUEST, body)
+
+
+def encode_response(response: Response) -> bytes:
+    """Serialise one response into a complete wire frame."""
+    try:
+        status = Status(response.status)
+    except ValueError:
+        raise ProtocolError(
+            f"unknown response status {response.status!r}"
+        ) from None
+    body = _RESP_FIXED.pack(response.request_id, status)
+    if status == Status.OK:
+        if response.error is None:
+            raise ProtocolError("an OK response must carry an error vector")
+        error = np.asarray(response.error, dtype=np.uint8).reshape(-1)
+        body += (
+            _RESP_OK.pack(
+                bool(response.converged),
+                response.iterations,
+                float(response.time_seconds),
+            )
+            + _U32.pack(error.shape[0]) + _pack_bits(error)
+        )
+    else:
+        detail = response.detail.encode("utf-8")
+        if len(detail) > 0xFFFF:
+            detail = detail[:0xFFFF]
+        body += _U16.pack(len(detail)) + detail
+    return _frame(FrameType.RESPONSE, body)
+
+
+def encode_error(detail: str) -> bytes:
+    """Serialise a protocol-error frame."""
+    blob = detail.encode("utf-8")
+    if len(blob) > 0xFFFF:
+        blob = blob[:0xFFFF]
+    return _frame(FrameType.ERROR, _U16.pack(len(blob)) + blob)
+
+
+# -- decoding --------------------------------------------------------------
+
+
+class _Cursor:
+    """Strict reader over one payload: every under/overrun is loud."""
+
+    def __init__(self, payload: bytes):
+        self.payload = payload
+        self.offset = 0
+
+    def take(self, n: int, what: str) -> bytes:
+        end = self.offset + n
+        if end > len(self.payload):
+            raise ProtocolError(
+                f"frame truncated reading {what}: need {n} bytes at "
+                f"offset {self.offset}, payload has "
+                f"{len(self.payload) - self.offset} left"
+            )
+        blob = self.payload[self.offset:end]
+        self.offset = end
+        return blob
+
+    def unpack(self, spec: struct.Struct, what: str) -> tuple:
+        return spec.unpack(self.take(spec.size, what))
+
+    def finish(self, what: str) -> None:
+        if self.offset != len(self.payload):
+            raise ProtocolError(
+                f"{len(self.payload) - self.offset} trailing bytes "
+                f"after {what}"
+            )
+
+    def text(self, length_spec: struct.Struct, what: str) -> str:
+        (length,) = self.unpack(length_spec, f"{what} length")
+        blob = self.take(length, what)
+        try:
+            return blob.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"{what} is not valid UTF-8: {exc}") from None
+
+
+def _parse_request(cursor: _Cursor) -> Request:
+    request_id, priority, deadline = cursor.unpack(
+        _REQ_FIXED, "request header"
+    )
+    _check_priority(priority)
+    _check_deadline(deadline)
+    key = cursor.text(_U16, "problem key")
+    if not key:
+        raise ProtocolError("problem key must be non-empty")
+    (n_bits,) = cursor.unpack(_U32, "syndrome length")
+    packed = cursor.take((n_bits + 7) // 8, "syndrome bits")
+    cursor.finish("request")
+    return Request(
+        request_id=request_id,
+        problem_key=key,
+        syndrome=_unpack_bits(packed, n_bits),
+        priority=priority,
+        deadline=deadline,
+    )
+
+
+def _parse_response(cursor: _Cursor) -> Response:
+    request_id, status_code = cursor.unpack(_RESP_FIXED, "response header")
+    try:
+        status = Status(status_code)
+    except ValueError:
+        raise ProtocolError(
+            f"unknown response status code {status_code}"
+        ) from None
+    if status == Status.OK:
+        converged, iterations, seconds = cursor.unpack(
+            _RESP_OK, "response result"
+        )
+        if converged not in (0, 1):
+            raise ProtocolError(
+                f"converged flag must be 0 or 1, got {converged}"
+            )
+        if not math.isfinite(seconds) or seconds < 0:
+            raise ProtocolError(
+                f"decode seconds must be finite and non-negative, "
+                f"got {seconds!r}"
+            )
+        (n_bits,) = cursor.unpack(_U32, "error length")
+        packed = cursor.take((n_bits + 7) // 8, "error bits")
+        cursor.finish("response")
+        return Response(
+            request_id=request_id,
+            status=status,
+            error=_unpack_bits(packed, n_bits),
+            converged=bool(converged),
+            iterations=iterations,
+            time_seconds=seconds,
+        )
+    detail = cursor.text(_U16, "response detail")
+    cursor.finish("response")
+    return Response(request_id=request_id, status=status, detail=detail)
+
+
+def parse_payload(payload: bytes) -> Request | Response | ErrorFrame:
+    """Parse one frame payload (the bytes after the length prefix).
+
+    Raises :class:`ProtocolError` on any malformed input; never
+    returns a partially decoded message.
+    """
+    cursor = _Cursor(payload)
+    version, frame_type = cursor.unpack(_HEAD, "frame header")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version} "
+            f"(this build speaks {PROTOCOL_VERSION})"
+        )
+    if frame_type == FrameType.REQUEST:
+        return _parse_request(cursor)
+    if frame_type == FrameType.RESPONSE:
+        return _parse_response(cursor)
+    if frame_type == FrameType.ERROR:
+        detail = cursor.text(_U16, "error detail")
+        cursor.finish("error frame")
+        return ErrorFrame(detail)
+    raise ProtocolError(f"unknown frame type {frame_type}")
+
+
+# -- stream I/O ------------------------------------------------------------
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, *, max_frame: int = MAX_FRAME
+) -> bytes | None:
+    """Read one frame payload from the stream.
+
+    Returns ``None`` on a clean EOF at a frame boundary.  Raises
+    :class:`ProtocolError` on EOF mid-frame (a torn stream), a zero
+    length, or a length prefix above ``max_frame`` — the oversized
+    check runs *before* the payload is read, so a hostile prefix never
+    forces a large allocation.
+    """
+    prefix = await reader.read(_LEN.size)
+    if not prefix:
+        return None
+    while len(prefix) < _LEN.size:
+        more = await reader.read(_LEN.size - len(prefix))
+        if not more:
+            raise ProtocolError(
+                f"stream torn inside a length prefix "
+                f"({len(prefix)}/{_LEN.size} bytes)"
+            )
+        prefix += more
+    (length,) = _LEN.unpack(prefix)
+    if length == 0:
+        raise ProtocolError("zero-length frame")
+    if length > max_frame:
+        raise ProtocolError(
+            f"frame length {length} exceeds the {max_frame}-byte bound"
+        )
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"stream torn inside a frame: expected {length} payload "
+            f"bytes, got {len(exc.partial)}"
+        ) from None
+
+
+async def write_frame(writer: asyncio.StreamWriter, frame: bytes) -> None:
+    """Write one already-encoded frame and drain the transport."""
+    writer.write(frame)
+    await writer.drain()

@@ -1,0 +1,119 @@
+"""Consistent-hash ring with virtual nodes for problem-key routing.
+
+The networked server routes every request's *problem key* to one of a
+set of pool nodes.  A plain ``hash(key) % n`` would reshuffle almost
+every key whenever a node is added or removed; the classic
+consistent-hash construction bounds that movement: each node owns
+``vnodes`` pseudo-random points on a 64-bit circle, a key belongs to
+the first node point clockwise of the key's own point, and adding or
+removing a node only moves the keys in the arcs that node's points
+cover (~``1/n`` of the keyspace).
+
+Two repository contracts, asserted by ``tests/service/test_ring.py``:
+
+* **determinism** — placement must be identical across processes,
+  machines and ``PYTHONHASHSEED`` values, because routing decides
+  which pool decodes a syndrome and operators reason about placement
+  offline.  All hashing is therefore SHA-256 over explicit UTF-8
+  tokens, never Python's seeded ``hash()``;
+* **minimal movement** — after ``remove(node)``, every key that was
+  *not* on ``node`` stays where it was; after ``add(node)``, keys only
+  move *to* the new node.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+__all__ = ["HashRing"]
+
+DEFAULT_VNODES = 64
+
+
+def _point(token: str) -> int:
+    """Deterministic 64-bit ring coordinate of a token."""
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping string keys to named nodes.
+
+    ``vnodes`` virtual points per node smooth the arc lengths: with
+    tens of points per node the largest node's share concentrates
+    toward the mean instead of the factor-of-several spread single
+    points produce.
+    """
+
+    def __init__(self, nodes=(), *, vnodes: int = DEFAULT_VNODES):
+        if vnodes < 1:
+            raise ValueError("vnodes must be positive")
+        self.vnodes = vnodes
+        # Sorted, parallel arrays of (point, node); ties broken by node
+        # name so even a hash collision between two nodes' points is
+        # deterministic.
+        self._points: list[tuple[int, str]] = []
+        self._nodes: set[str] = set()
+        for node in nodes:
+            self.add(node)
+
+    # -- membership ------------------------------------------------------
+
+    def add(self, node: str) -> None:
+        """Add a node (and its virtual points) to the ring."""
+        if not node:
+            raise ValueError("node name must be non-empty")
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} is already on the ring")
+        self._nodes.add(node)
+        for i in range(self.vnodes):
+            entry = (_point(f"{node}#{i}"), node)
+            bisect.insort(self._points, entry)
+
+    def remove(self, node: str) -> None:
+        """Remove a node; its keys fall to their next-clockwise nodes."""
+        if node not in self._nodes:
+            raise KeyError(f"node {node!r} is not on the ring")
+        self._nodes.remove(node)
+        self._points = [p for p in self._points if p[1] != node]
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        """Member nodes, sorted by name."""
+        return tuple(sorted(self._nodes))
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    # -- routing ---------------------------------------------------------
+
+    def lookup(self, key: str) -> str:
+        """The node owning ``key``: first node point clockwise of it."""
+        if not self._points:
+            raise LookupError("cannot route on an empty ring")
+        point = _point(key)
+        # A key hashing exactly onto a node point belongs to the *next*
+        # point (strictly-greater search), so key placement can never
+        # depend on how a tie between a key token and a vnode token is
+        # ordered.
+        index = bisect.bisect_right(self._points, (point, "￿"))
+        if index == len(self._points):
+            index = 0
+        return self._points[index][1]
+
+    def occupancy(self, keys) -> dict[str, list[str]]:
+        """Map every node to the (sorted) keys it owns.
+
+        Nodes owning nothing still appear with an empty list — ring
+        telemetry wants to show idle pools, not hide them.
+        """
+        placement: dict[str, list[str]] = {n: [] for n in self.nodes}
+        for key in keys:
+            placement[self.lookup(key)].append(key)
+        for bucket in placement.values():
+            bucket.sort()
+        return placement

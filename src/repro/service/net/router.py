@@ -1,0 +1,589 @@
+"""Problem keys, per-problem worker pools, and ring-backed routing.
+
+A *problem key* names one decode workload completely::
+
+    <code>:<model>:p=<p>:r=<rounds>:<decoder>:<backend>
+    e.g.  surface_3:capacity:p=0.08:r=1:min_sum_bp:auto
+
+Parsing is strict and building validates every component against the
+code/decoder/backend registries, so a typo fails at server
+construction (or with a ``BAD_KEY`` response), never inside a pool.
+
+:class:`ProblemPool` wraps the existing single-problem stack — one
+:class:`~repro.service.server.DecodeService` (cross-request batcher,
+telemetry, backpressure) — and adds the network-layer semantics:
+
+* two **priority lanes** in front of the service; the pump drains the
+  logical-measurement lane (priority 0) completely before touching the
+  idle-round lane (priority 1), so under saturation logical syndromes
+  always dispatch first;
+* **deadline drops** — an entry whose deadline passed while it queued
+  is answered ``EXPIRED`` at pump time, *before* dispatch, and never
+  costs a decode;
+* **disconnect cancellation** — entries whose connection died are
+  skipped (and counted) instead of decoded into the void;
+* **adaptive batching** — before each dispatch the pump retargets the
+  inner batcher's ``max_batch`` to the live backlog gauge, clamped to
+  ``[min_batch, max_batch]``: an idle pool flushes small low-latency
+  batches, a saturated one amortises aggressively;
+* **chaos delays** — when ``REPRO_CHAOS`` schedules ``delay`` faults
+  keyed on this pool's problem key, the pump claims them and awaits
+  the sleep (kill/hang faults are worker-process territory and are
+  ignored in-process — see
+  :meth:`repro.devtools.chaos.ChaosInjector.claim_delay`).
+
+:class:`Router` owns the consistent-hash ring over pool *nodes* (each
+a shared decode executor) and lazily builds one :class:`ProblemPool`
+per requested key on the node the ring assigns.  Node membership can
+change at runtime (:meth:`Router.set_nodes`): only the pools whose
+ring assignment moved are drained and rebuilt, everything else keeps
+serving — the minimal-movement property, inherited from the ring.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.problem import DecodingProblem
+from repro.service.net.protocol import Response, Status
+from repro.service.net.ring import HashRing
+from repro.service.net.telemetry import NetPoolTelemetry, PoolSnapshot
+from repro.service.server import DecodeService, ServiceConfig
+
+__all__ = [
+    "PoolConfig",
+    "PoolOverloadedError",
+    "ProblemKey",
+    "ProblemPool",
+    "Router",
+    "UnknownProblemKeyError",
+]
+
+_MODELS = ("capacity", "circuit")
+
+
+class UnknownProblemKeyError(KeyError):
+    """The request names a problem key this server does not serve."""
+
+
+class PoolOverloadedError(RuntimeError):
+    """A pool's priority lane is full; the request was load-shed."""
+
+
+@dataclass(frozen=True)
+class ProblemKey:
+    """Parsed identity of one decode workload."""
+
+    code: str
+    model: str
+    p: float
+    rounds: int
+    decoder: str
+    backend: str = "auto"
+
+    def __post_init__(self):
+        if self.model not in _MODELS:
+            raise ValueError(
+                f"model must be one of {_MODELS}, got {self.model!r}"
+            )
+        if not (0.0 < self.p < 0.5):
+            raise ValueError(f"p must lie in (0, 0.5), got {self.p!r}")
+        if self.rounds < 1:
+            raise ValueError(f"rounds must be positive, got {self.rounds}")
+        for part, what in (
+            (self.code, "code"), (self.decoder, "decoder"),
+            (self.backend, "backend"),
+        ):
+            if not part or ":" in part:
+                raise ValueError(
+                    f"{what} name must be non-empty and colon-free, "
+                    f"got {part!r}"
+                )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.code}:{self.model}:p={self.p!r}:r={self.rounds}:"
+            f"{self.decoder}:{self.backend}"
+        )
+
+    @classmethod
+    def parse(cls, key: str) -> "ProblemKey":
+        """Parse the canonical colon-separated form (strict)."""
+        parts = key.split(":")
+        if len(parts) != 6:
+            raise ValueError(
+                f"problem key must have 6 colon-separated fields "
+                f"(code:model:p=..:r=..:decoder:backend), got {key!r}"
+            )
+        code, model, p_part, r_part, decoder, backend = parts
+        if not p_part.startswith("p="):
+            raise ValueError(f"third field must be 'p=<rate>', got {p_part!r}")
+        if not r_part.startswith("r="):
+            raise ValueError(
+                f"fourth field must be 'r=<rounds>', got {r_part!r}"
+            )
+        try:
+            p = float(p_part[2:])
+        except ValueError:
+            raise ValueError(f"unparsable error rate in {p_part!r}") from None
+        try:
+            rounds = int(r_part[2:])
+        except ValueError:
+            raise ValueError(f"unparsable rounds in {r_part!r}") from None
+        return cls(
+            code=code, model=model, p=p, rounds=rounds,
+            decoder=decoder, backend=backend,
+        )
+
+    def build(self):
+        """Validate against the registries and build the workload.
+
+        Returns ``(problem, decoder_factory)`` with the factory
+        picklable (registry-name + backend), mirroring the CLI's
+        ``_decode_workload`` semantics.  Raises :class:`ValueError`
+        with a friendly message on any unknown component.
+        """
+        from repro.circuits import circuit_level_problem
+        from repro.codes import get_code, list_codes
+        from repro.decoders.kernels import resolve_backend
+        from repro.decoders.registry import DECODER_REGISTRY, \
+            make_decoder_factory
+        from repro.noise import code_capacity_problem
+
+        if self.decoder not in DECODER_REGISTRY:
+            raise ValueError(
+                f"unknown decoder {self.decoder!r}; one of "
+                f"{', '.join(sorted(DECODER_REGISTRY))}"
+            )
+        if self.code not in list_codes():
+            raise ValueError(
+                f"unknown code {self.code!r}; one of "
+                f"{', '.join(list_codes())}"
+            )
+        try:
+            resolve_backend(self.backend)
+        except ValueError as exc:
+            raise ValueError(
+                f"unknown backend {self.backend!r}: {exc}"
+            ) from None
+        if self.model == "circuit":
+            problem = circuit_level_problem(
+                self.code, self.p, rounds=self.rounds
+            )
+        else:
+            problem = code_capacity_problem(get_code(self.code), self.p)
+        return problem, make_decoder_factory(self.decoder,
+                                             backend=self.backend)
+
+
+@dataclass
+class _LaneEntry:
+    """One admitted network request while it waits for dispatch."""
+
+    request_id: int
+    syndrome: np.ndarray
+    priority: int
+    expires_at: float | None
+    future: asyncio.Future
+    cancelled: bool = False
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Knobs of one per-problem pool (shared across pools in practice)."""
+
+    max_batch: int = 32
+    min_batch: int = 1
+    adaptive_batch: bool = True
+    flush_latency: float | None = None
+    max_pending: int = 1024
+    max_lane_depth: int = 1024
+    period: float | None = None
+
+    def __post_init__(self):
+        if self.min_batch < 1 or self.max_batch < self.min_batch:
+            raise ValueError(
+                "need 1 <= min_batch <= max_batch, got "
+                f"min_batch={self.min_batch}, max_batch={self.max_batch}"
+            )
+        if self.max_lane_depth < 1:
+            raise ValueError("max_lane_depth must be positive")
+
+    def service_config(self) -> ServiceConfig:
+        return ServiceConfig(
+            max_batch=self.max_batch,
+            flush_latency=self.flush_latency,
+            max_pending=self.max_pending,
+            n_workers=0,
+            period=self.period,
+        )
+
+
+class ProblemPool:
+    """Priority lanes + deadline gate in front of one decode service."""
+
+    def __init__(
+        self,
+        key: str,
+        problem: DecodingProblem,
+        decoder,
+        *,
+        node: str,
+        executor,
+        config: PoolConfig | None = None,
+        clock,
+        chaos=None,
+    ):
+        self.key = key
+        self.node = node
+        self.config = config or PoolConfig()
+        self.telemetry = NetPoolTelemetry()
+        self.service = DecodeService(
+            problem, decoder, self.config.service_config(),
+            executor=executor,
+        )
+        self._clock = clock
+        self._chaos = chaos
+        self._lanes: tuple[deque, deque] = (deque(), deque())
+        self._available = asyncio.Semaphore(0)
+        self._pump_task: asyncio.Task | None = None
+        self._outstanding = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> "ProblemPool":
+        await self.service.start()
+        self._pump_task = asyncio.create_task(self._pump())
+        return self
+
+    async def stop(self) -> None:
+        """Refuse new work, fail queued entries, stop the service."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pump_task is not None:
+            self._pump_task.cancel()
+            try:
+                await self._pump_task
+            except asyncio.CancelledError:
+                pass
+            self._pump_task = None
+        for lane in self._lanes:
+            while lane:
+                entry = lane.popleft()
+                self._settle(entry, Response(
+                    request_id=entry.request_id,
+                    status=Status.FAILED,
+                    detail=f"pool {self.key} stopped",
+                ))
+        await self.service.stop()
+
+    # -- admission -------------------------------------------------------
+
+    @property
+    def lane_depths(self) -> tuple[int, int]:
+        return (len(self._lanes[0]), len(self._lanes[1]))
+
+    @property
+    def backlog(self) -> int:
+        """Live backlog gauge: queued in lanes + inside the service."""
+        return sum(self.lane_depths) + self.service.telemetry.pending
+
+    def submit(self, entry: _LaneEntry) -> None:
+        """Admit one entry into its priority lane (synchronous).
+
+        Raises :class:`PoolOverloadedError` when the lane is at
+        ``max_lane_depth`` — the network layer's load-shed bound; the
+        inner service's own backpressure additionally throttles the
+        pump, so total pool memory is bounded by
+        ``2 * max_lane_depth + max_pending`` entries.
+        """
+        if self._closed:
+            raise PoolOverloadedError(f"pool {self.key} is stopped")
+        lane = self._lanes[entry.priority]
+        if len(lane) >= self.config.max_lane_depth:
+            self.telemetry.overloaded += 1
+            raise PoolOverloadedError(
+                f"pool {self.key} lane {entry.priority} is full "
+                f"({self.config.max_lane_depth} queued)"
+            )
+        lane.append(entry)
+        self._outstanding += 1
+        self._idle.clear()
+        self.telemetry.lane_admitted(entry.priority, sum(self.lane_depths))
+        self._available.release()
+
+    async def drain(self) -> None:
+        """Wait until every admitted entry has been answered."""
+        await self._idle.wait()
+
+    # -- dispatch --------------------------------------------------------
+
+    def _settle(self, entry: _LaneEntry, response: Response) -> None:
+        if not entry.future.done():
+            entry.future.set_result(response)
+        self._outstanding -= 1
+        if self._outstanding == 0:
+            self._idle.set()
+
+    def _adapt_batch(self) -> None:
+        if not self.config.adaptive_batch:
+            return
+        target = max(
+            self.config.min_batch, min(self.config.max_batch, self.backlog)
+        )
+        self.service.set_max_batch(target)
+        self.telemetry.batch_adapted(target)
+
+    async def _pump(self) -> None:
+        while True:
+            await self._available.acquire()
+            lane = self._lanes[0] if self._lanes[0] else self._lanes[1]
+            entry = lane.popleft()
+            if entry.cancelled:
+                self.telemetry.cancelled += 1
+                self._settle(entry, Response(
+                    request_id=entry.request_id,
+                    status=Status.FAILED,
+                    detail="request cancelled by client disconnect",
+                ))
+                continue
+            if (
+                entry.expires_at is not None
+                and self._clock() >= entry.expires_at
+            ):
+                # The deadline-drop contract: expired syndromes are
+                # answered EXPIRED *before* dispatch and never decode.
+                self.telemetry.expired += 1
+                self._settle(entry, Response(
+                    request_id=entry.request_id,
+                    status=Status.EXPIRED,
+                    detail=f"deadline expired before dispatch "
+                           f"(pool {self.key})",
+                ))
+                continue
+            if self._chaos is not None:
+                seconds = self._chaos.claim_delay(
+                    self.key, self.telemetry.dispatched
+                )
+                if seconds is not None:
+                    await asyncio.sleep(seconds)
+            self._adapt_batch()
+            self.telemetry.dispatched += 1
+            # Blocking backpressure: a saturated inner service suspends
+            # the pump here, which is exactly what lets the high lane
+            # overtake — everything still in lanes stays reorderable.
+            future = await self.service.enqueue(entry.syndrome)
+            future.add_done_callback(
+                lambda fut, entry=entry: self._deliver(entry, fut)
+            )
+
+    def _deliver(self, entry: _LaneEntry, fut: asyncio.Future) -> None:
+        if fut.cancelled():
+            response = Response(
+                request_id=entry.request_id,
+                status=Status.FAILED,
+                detail="decode cancelled",
+            )
+        elif fut.exception() is not None:
+            response = Response(
+                request_id=entry.request_id,
+                status=Status.FAILED,
+                detail=f"decode failed: {fut.exception()}",
+            )
+        else:
+            result = fut.result()
+            response = Response(
+                request_id=entry.request_id,
+                status=Status.OK,
+                error=np.asarray(result.error, dtype=np.uint8),
+                converged=bool(result.converged),
+                iterations=int(result.iterations),
+                time_seconds=float(result.time_seconds),
+            )
+        self._settle(entry, response)
+
+    # -- telemetry -------------------------------------------------------
+
+    def snapshot(self) -> PoolSnapshot:
+        t = self.telemetry
+        return PoolSnapshot(
+            problem_key=self.key,
+            node=self.node,
+            admitted_logical=t.admitted[0],
+            admitted_idle=t.admitted[1],
+            expired=t.expired,
+            cancelled=t.cancelled,
+            overloaded=t.overloaded,
+            dispatched=t.dispatched,
+            peak_lane_depth=t.peak_lane_depth,
+            current_max_batch=self.service.max_batch,
+            peak_max_batch=t.peak_max_batch,
+            service=self.service.telemetry.snapshot(),
+        )
+
+
+class Router:
+    """Consistent-hash routing of problem keys onto pool nodes.
+
+    ``catalog`` maps canonical problem-key strings to prebuilt
+    ``(problem, decoder_spec)`` pairs — the server validates and builds
+    them once at construction, so routing never imports registries on
+    the request path.  Each node owns one shared decode executor
+    (``pool_threads`` threads); the pools the ring assigns to a node
+    share it, making the node a real capacity unit rather than a
+    label.
+    """
+
+    def __init__(
+        self,
+        catalog: dict,
+        *,
+        n_pools: int = 2,
+        vnodes: int = 64,
+        pool_threads: int = 1,
+        pool_config: PoolConfig | None = None,
+        clock,
+        chaos=None,
+    ):
+        if n_pools < 1:
+            raise ValueError("n_pools must be positive")
+        if pool_threads < 1:
+            raise ValueError("pool_threads must be positive")
+        self.catalog = dict(catalog)
+        self.pool_config = pool_config or PoolConfig()
+        self.pool_threads = pool_threads
+        self._clock = clock
+        self._chaos = chaos
+        self.ring = HashRing(
+            (f"pool-{i}" for i in range(n_pools)), vnodes=vnodes
+        )
+        self._executors: dict[str, ThreadPoolExecutor] = {}
+        self._pools: dict[str, ProblemPool] = {}
+        self._lock = asyncio.Lock()
+        self._closed = False
+
+    # -- routing ---------------------------------------------------------
+
+    def assignment(self) -> dict[str, list[str]]:
+        """Ring occupancy over the full catalog (served or not yet)."""
+        return self.ring.occupancy(self.catalog)
+
+    def _node_executor(self, node: str) -> ThreadPoolExecutor:
+        if node not in self._executors:
+            self._executors[node] = ThreadPoolExecutor(
+                max_workers=self.pool_threads,
+                thread_name_prefix=f"repro-net-{node}",
+            )
+        return self._executors[node]
+
+    async def pool(self, key: str) -> ProblemPool:
+        """The (lazily started) pool serving ``key``.
+
+        Raises :class:`UnknownProblemKeyError` for keys outside the
+        catalog — the server answers those ``BAD_KEY`` instead of
+        building arbitrary workloads on request.
+        """
+        if key not in self.catalog:
+            raise UnknownProblemKeyError(key)
+        pool = self._pools.get(key)
+        if pool is not None:
+            return pool
+        async with self._lock:
+            pool = self._pools.get(key)
+            if pool is not None:
+                return pool
+            if self._closed:
+                raise RuntimeError("router is stopped")
+            node = self.ring.lookup(key)
+            problem, decoder = self.catalog[key]
+            pool = ProblemPool(
+                key, problem, decoder,
+                node=node,
+                executor=self._node_executor(node),
+                config=self.pool_config,
+                clock=self._clock,
+                chaos=self._chaos,
+            )
+            await pool.start()
+            self._pools[key] = pool
+            return pool
+
+    @property
+    def pools(self) -> dict[str, ProblemPool]:
+        """Live pools by problem key (read-only view)."""
+        return dict(self._pools)
+
+    # -- elastic membership ----------------------------------------------
+
+    async def set_nodes(self, nodes) -> list[str]:
+        """Reshape the ring to exactly ``nodes``; migrate moved pools.
+
+        Only pools whose ring assignment changed are drained, stopped
+        and dropped (to be rebuilt lazily on their new node at the next
+        request) — the consistent-hash minimal-movement property made
+        operational.  Returns the migrated problem keys, sorted.
+        """
+        nodes = list(nodes)
+        if not nodes:
+            raise ValueError("the ring needs at least one node")
+        async with self._lock:
+            new_ring = HashRing(nodes, vnodes=self.ring.vnodes)
+            moved = [
+                key for key, pool in self._pools.items()
+                if new_ring.lookup(key) != pool.node
+            ]
+            for key in moved:
+                pool = self._pools.pop(key)
+                await pool.drain()
+                await pool.stop()
+            retired = set(self.ring.nodes) - set(nodes)
+            self.ring = new_ring
+            for node in retired:
+                executor = self._executors.pop(node, None)
+                if executor is not None:
+                    executor.shutdown(wait=True)
+            return sorted(moved)
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def drain(self) -> None:
+        for pool in list(self._pools.values()):
+            await pool.drain()
+
+    async def stop(self) -> None:
+        async with self._lock:
+            self._closed = True
+            pools, self._pools = list(self._pools.values()), {}
+            for pool in pools:
+                await pool.stop()
+            for executor in self._executors.values():
+                executor.shutdown(wait=True)
+            self._executors.clear()
+
+
+def make_entry(
+    request, *, clock, loop: asyncio.AbstractEventLoop
+) -> _LaneEntry:
+    """Build a lane entry from a parsed wire request.
+
+    Converts the request's *relative* deadline into an absolute expiry
+    on the server's (injectable) clock at admission time.
+    """
+    return _LaneEntry(
+        request_id=request.request_id,
+        syndrome=request.syndrome,
+        priority=request.priority,
+        expires_at=(
+            clock() + request.deadline if request.deadline > 0 else None
+        ),
+        future=loop.create_future(),
+    )

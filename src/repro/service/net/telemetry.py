@@ -1,0 +1,103 @@
+"""Telemetry of the networked front end: per-pool + ring-level views.
+
+Each per-problem pool keeps the existing
+:class:`~repro.service.telemetry.ServiceTelemetry` for its inner
+decode service (service times, backlog, percentiles, queue-model
+replay) and adds the *network*-layer counters that have no in-process
+analogue: deadline drops, disconnect cancellations, lane load-sheds
+and the per-lane admission split.  The server aggregates those into a
+:class:`NetServerSnapshot` together with the consistent-hash ring's
+occupancy, so one snapshot answers both "how is each pool doing?" and
+"where did the keyspace land?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.service.telemetry import ServiceSnapshot
+
+__all__ = ["NetPoolTelemetry", "NetServerSnapshot", "PoolSnapshot"]
+
+
+class NetPoolTelemetry:
+    """Mutable network-layer counters of one per-problem pool."""
+
+    def __init__(self) -> None:
+        self.admitted = [0, 0]          # per priority lane
+        self.expired = 0
+        self.cancelled = 0
+        self.overloaded = 0
+        self.dispatched = 0
+        self.peak_lane_depth = 0
+        self.peak_max_batch = 0
+
+    def lane_admitted(self, priority: int, depth: int) -> None:
+        self.admitted[priority] += 1
+        self.peak_lane_depth = max(self.peak_lane_depth, depth)
+
+    def batch_adapted(self, max_batch: int) -> None:
+        self.peak_max_batch = max(self.peak_max_batch, max_batch)
+
+
+@dataclass(frozen=True)
+class PoolSnapshot:
+    """Frozen view of one pool: network counters + inner service."""
+
+    problem_key: str
+    node: str
+    admitted_logical: int
+    admitted_idle: int
+    expired: int
+    cancelled: int
+    overloaded: int
+    dispatched: int
+    peak_lane_depth: int
+    current_max_batch: int
+    peak_max_batch: int
+    service: ServiceSnapshot
+
+    def __str__(self) -> str:
+        return (
+            f"pool {self.problem_key} @ {self.node}: "
+            f"{self.admitted_logical}+{self.admitted_idle} admitted "
+            f"(logical+idle), {self.dispatched} dispatched, "
+            f"{self.expired} expired, {self.cancelled} cancelled, "
+            f"{self.overloaded} shed, "
+            f"max_batch {self.current_max_batch} "
+            f"(peak {self.peak_max_batch}) | {self.service}"
+        )
+
+
+@dataclass(frozen=True)
+class NetServerSnapshot:
+    """Frozen view of the whole front end.
+
+    ``ring_occupancy`` maps every pool node to the problem keys the
+    ring assigns it — including nodes that own no key, which is what
+    skewed-traffic dashboards need to see.
+    """
+
+    pools: dict[str, PoolSnapshot]
+    ring_occupancy: dict[str, list[str]]
+    connections: int
+    protocol_errors: int
+    bad_key: int = 0
+    requests: int = 0
+    responses: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        lines = [
+            f"net server: {self.requests} requests, "
+            f"{self.responses} responses, {self.connections} "
+            f"connections, {self.protocol_errors} protocol errors, "
+            f"{self.bad_key} unknown keys"
+        ]
+        for node in sorted(self.ring_occupancy):
+            keys = self.ring_occupancy[node]
+            shown = ", ".join(keys) if keys else "-"
+            lines.append(f"  ring {node}: {len(keys)} keys ({shown})")
+        for key in sorted(self.pools):
+            lines.append(f"  {self.pools[key]}")
+        return "\n".join(lines)

@@ -164,6 +164,7 @@ class DecodeService:
         config: ServiceConfig | None = None,
         *,
         on_progress=None,
+        executor=None,
     ):
         self.problem = problem
         self.config = config or ServiceConfig()
@@ -171,6 +172,16 @@ class DecodeService:
         self._decoder_spec = decoder
         self._on_progress = on_progress
         self._batcher: RequestBatcher | None = None
+        # An externally owned executor lets several services share one
+        # capacity unit (the networked front end's pool nodes); the
+        # service then never shuts it down.  Only meaningful for
+        # in-process decoding.
+        if executor is not None and self.config.n_workers >= 1:
+            raise ValueError(
+                "a shared executor requires n_workers=0 (in-process "
+                "decoding); process pools are owned per service"
+            )
+        self._external_executor = executor
         self._executor = None
         self._decoder = None
         self._serve_task: asyncio.Task | None = None
@@ -211,12 +222,18 @@ class DecodeService:
             self._decode_fn = _service_worker_decode
             worker_slots = config.n_workers
         else:
-            # In-process: one executor thread keeps the event loop free
-            # while the (single, not-thread-safe) decoder runs.
+            # In-process: an executor thread keeps the event loop free
+            # while the (single, not-thread-safe) decoder runs.  The
+            # worker-slot semaphore stays at 1 either way — this
+            # service's decoder instance must never run concurrently
+            # with itself, even on a shared multi-thread executor.
             self._decoder = resolve_decoder(self._decoder_spec, self.problem)
-            self._executor = ThreadPoolExecutor(
-                max_workers=1, thread_name_prefix="repro-decode"
-            )
+            if self._external_executor is not None:
+                self._executor = self._external_executor
+            else:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix="repro-decode"
+                )
             self._decode_fn = self._decode_inproc
             worker_slots = 1
         self._worker_slots = asyncio.Semaphore(worker_slots)
@@ -237,7 +254,8 @@ class DecodeService:
         if self._executions:
             await asyncio.gather(*self._executions, return_exceptions=True)
         self._serve_task = None
-        self._executor.shutdown(wait=True)
+        if self._executor is not self._external_executor:
+            self._executor.shutdown(wait=True)
         self._executor = None
 
     async def __aenter__(self) -> "DecodeService":
@@ -294,6 +312,28 @@ class DecodeService:
     async def drain(self) -> None:
         """Wait until every admitted request has been answered."""
         await self._idle.wait()
+
+    # -- live tuning -----------------------------------------------------
+
+    @property
+    def max_batch(self) -> int:
+        """The batcher's current flush size (live-tunable)."""
+        if self._batcher is not None:
+            return self._batcher.max_batch
+        return self.config.max_batch
+
+    def set_max_batch(self, max_batch: int) -> None:
+        """Retarget the batcher's flush size on a running service.
+
+        The batcher reads ``max_batch`` afresh for every coalescing
+        decision, so the change applies from the next batch on — this
+        is the knob behind the networked front end's backlog-adaptive
+        batching.
+        """
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        if self._batcher is not None:
+            self._batcher.max_batch = max_batch
 
     # -- batch execution -------------------------------------------------
 

@@ -13,6 +13,7 @@ case.  :func:`run_point_tasks` is the general, resumable entry point
 from repro.sim.engine import (
     PointTask,
     budget_satisfied,
+    resolve_decoder,
     run_ler_parallel,
     run_point_tasks,
     run_sweep,
@@ -46,6 +47,7 @@ __all__ = [
     "PoolController",
     "WorkerDiedError",
     "budget_satisfied",
+    "resolve_decoder",
     "run_ler",
     "run_ler_parallel",
     "run_point_tasks",

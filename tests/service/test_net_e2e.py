@@ -1,0 +1,177 @@
+"""End-to-end bit-parity of the networked decode service.
+
+The acceptance contract of ``repro.service.net``: N concurrent
+:class:`NetClient`\\ s over *real* TCP sockets, against one server
+hosting several problem keys, receive responses **bit-identical** to
+the offline ``decode_many`` answer for each problem — framing,
+consistent-hash routing, priority lanes and cross-request batching
+must not change a single bit.  The parity must also survive chaos
+``delay`` faults injected into the dispatch path (delays reorder
+batch composition; deterministic decoders are batch-composition
+invariant, so answers still match).
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.devtools.chaos import ChaosInjector, Fault
+from repro.service.net import NetClient, NetDecodeServer, NetServerConfig
+from repro.sim.engine import resolve_decoder
+
+FAST_KEY = "surface_3:capacity:p=0.08:r=1:min_sum_bp:auto"
+FULL_KEYS = (
+    "surface_3:capacity:p=0.08:r=1:min_sum_bp:auto",
+    "surface_3:capacity:p=0.08:r=1:bpsf:auto",
+    "coprime_154_6_16:capacity:p=0.06:r=1:min_sum_bp:auto",
+)
+
+
+def _syndromes(problem, shots, seed):
+    rng = np.random.default_rng(seed)
+    return problem.syndromes(problem.sample_errors(shots, rng))
+
+
+def _offline(server, key, syndromes):
+    problem, factory = server.router.catalog[key]
+    return resolve_decoder(factory, problem).decode_many(syndromes)
+
+
+def _assert_parity(responses, offline):
+    assert all(r.ok for r in responses)
+    net_errors = np.stack([r.error for r in responses])
+    assert np.array_equal(net_errors, offline.errors)
+    assert np.array_equal(
+        np.array([r.converged for r in responses]), offline.converged
+    )
+    assert np.array_equal(
+        np.array([r.iterations for r in responses]), offline.iterations
+    )
+
+
+async def _drive(server, keys, *, shots, n_clients, priority_mix=False):
+    """Fan ``shots`` requests per key over ``n_clients`` connections.
+
+    Returns ``{key: responses-in-syndrome-order}``.  Requests from all
+    keys interleave on every connection, so batches coalesce across
+    clients and the ring routes a mixed stream — the production shape.
+    """
+    per_key = {
+        key: _syndromes(server.router.catalog[key][0], shots, seed)
+        for seed, key in enumerate(keys)
+    }
+    clients = [
+        await NetClient.connect("127.0.0.1", server.port)
+        for _ in range(n_clients)
+    ]
+    try:
+        futures = {key: [None] * shots for key in keys}
+        for shot in range(shots):
+            for k, key in enumerate(keys):
+                client = clients[(shot + k) % n_clients]
+                futures[key][shot] = await client.enqueue(
+                    key, per_key[key][shot],
+                    priority=(
+                        0 if priority_mix and shot % 4 == 0 else 1
+                    ),
+                )
+        return per_key, {
+            key: list(await asyncio.gather(*futs))
+            for key, futs in futures.items()
+        }
+    finally:
+        for client in clients:
+            await client.close()
+
+
+class TestFastParity:
+    def test_one_problem_two_clients(self):
+        async def run():
+            async with NetDecodeServer([FAST_KEY]) as server:
+                per_key, responses = await _drive(
+                    server, [FAST_KEY], shots=24, n_clients=2
+                )
+                _assert_parity(
+                    responses[FAST_KEY],
+                    _offline(server, FAST_KEY, per_key[FAST_KEY]),
+                )
+                snapshot = server.snapshot()
+                assert snapshot.responses == 24
+                assert snapshot.protocol_errors == 0
+
+        asyncio.run(run())
+
+    def test_decode_many_returns_in_syndrome_order(self):
+        async def run():
+            async with NetDecodeServer([FAST_KEY]) as server:
+                problem = server.router.catalog[FAST_KEY][0]
+                syndromes = _syndromes(problem, 8, seed=3)
+                async with await NetClient.connect(
+                    "127.0.0.1", server.port
+                ) as client:
+                    responses = await client.decode_many(
+                        FAST_KEY, syndromes
+                    )
+                assert [r.request_id for r in responses] == list(range(8))
+                _assert_parity(
+                    responses, _offline(server, FAST_KEY, syndromes)
+                )
+
+        asyncio.run(run())
+
+
+@pytest.mark.slow
+class TestMultiProblemParity:
+    def test_three_problems_four_clients(self):
+        async def run():
+            config = NetServerConfig(n_pools=3, pool_threads=1)
+            async with NetDecodeServer(FULL_KEYS, config) as server:
+                per_key, responses = await _drive(
+                    server, FULL_KEYS, shots=20, n_clients=4,
+                    priority_mix=True,
+                )
+                for key in FULL_KEYS:
+                    _assert_parity(
+                        responses[key],
+                        _offline(server, key, per_key[key]),
+                    )
+                snapshot = server.snapshot()
+                assert snapshot.responses == 60
+                # Every key is placed on the ring, and placements cover
+                # the catalog exactly once.
+                placed = sorted(
+                    key for keys in snapshot.ring_occupancy.values()
+                    for key in keys
+                )
+                assert placed == sorted(FULL_KEYS)
+
+        asyncio.run(run())
+
+    def test_parity_survives_chaos_delay_faults(self, tmp_path):
+        """Injected dispatch delays reorder batches, never bits."""
+        faults = [
+            Fault(shard=shard, kind="delay", label=key, seconds=0.05)
+            for key in FULL_KEYS[:2]
+            for shard in (0, 3)
+        ]
+        chaos = ChaosInjector(faults, str(tmp_path / "claims"))
+
+        async def run():
+            config = NetServerConfig(n_pools=2)
+            async with NetDecodeServer(
+                FULL_KEYS, config, chaos=chaos
+            ) as server:
+                per_key, responses = await _drive(
+                    server, FULL_KEYS, shots=12, n_clients=3
+                )
+                for key in FULL_KEYS:
+                    _assert_parity(
+                        responses[key],
+                        _offline(server, key, per_key[key]),
+                    )
+
+        asyncio.run(run())
+        # Every scheduled fault actually fired (claim files exist).
+        claimed = list((tmp_path / "claims").glob("claim-*"))
+        assert len(claimed) == len(faults)

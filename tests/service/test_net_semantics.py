@@ -1,0 +1,399 @@
+"""Deadline, priority, cancellation and adaptation semantics.
+
+These tests pin the network-layer request semantics on an injectable
+clock — no wall-clock sleeps decide outcomes:
+
+* a request whose deadline passed while it queued is answered
+  ``EXPIRED`` at pump time, *before* dispatch, and never decodes;
+* under saturation the logical-measurement lane (priority 0) drains
+  completely before the idle lane (priority 1);
+* a client disconnect marks its undispatched entries cancelled — they
+  are skipped (and counted), never decoded into the void;
+* adaptive ``max_batch`` follows the live backlog between the floor
+  and the cap;
+* a full lane load-sheds with ``OVERLOADED``; unknown keys and wrong
+  syndrome lengths answer ``BAD_KEY``/``BAD_REQUEST`` on a healthy
+  connection.
+
+The pool-level tests exploit a deliberate property of
+:class:`~repro.service.net.router.ProblemPool`: entries may be
+submitted *before* ``start()``, so a test can stage lanes and advance
+the fake clock with the pump provably not yet running.
+"""
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.codes import surface_code
+from repro.decoders.base import BatchDecodeResult, Decoder
+from repro.noise import code_capacity_problem
+from repro.service.net import (
+    NetClient,
+    NetDecodeServer,
+    NetServerConfig,
+    PoolConfig,
+    PoolOverloadedError,
+    ProblemPool,
+    Status,
+)
+from repro.service.net.router import _LaneEntry
+
+KEY = "surface_3:capacity:p=0.08:r=1:min_sum_bp:auto"
+
+
+class FakeClock:
+    """Manually advanced monotonic clock."""
+
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class RecordingDecoder(Decoder):
+    """Zero decoder that records every batch's syndromes, in order."""
+
+    def __init__(self, problem, delay: float = 0.0):
+        self.problem = problem
+        self.delay = delay
+        self.batches: list[np.ndarray] = []
+
+    def decode_many(self, syndromes):
+        if self.delay:
+            time.sleep(self.delay)
+        syndromes = np.atleast_2d(np.asarray(syndromes))
+        self.batches.append(syndromes.copy())
+        return BatchDecodeResult(
+            errors=np.zeros(
+                (syndromes.shape[0], self.problem.n_mechanisms),
+                dtype=np.uint8,
+            ),
+            converged=np.ones(syndromes.shape[0], dtype=bool),
+            iterations=np.ones(syndromes.shape[0], dtype=np.int64),
+        )
+
+    def decode(self, syndrome):
+        raise NotImplementedError("batched only")
+
+
+@pytest.fixture()
+def problem():
+    return code_capacity_problem(surface_code(3), 0.08)
+
+
+def _entry(loop, request_id, problem, *, priority=1, expires_at=None):
+    syndrome = np.zeros(problem.n_checks, dtype=np.uint8)
+    # Tag the syndrome with its id so dispatch order is observable in
+    # the recorded batches (bit i of the first checks).
+    syndrome[request_id % problem.n_checks] = 1
+    return _LaneEntry(
+        request_id=request_id,
+        syndrome=syndrome,
+        priority=priority,
+        expires_at=expires_at,
+        future=loop.create_future(),
+    )
+
+
+def _run_pool(problem, decoder, config, stage):
+    """Build a pool, let ``stage`` queue entries pre-start, run it.
+
+    ``stage(pool, loop)`` returns the staged entries; the pool then
+    starts, drains and stops, and the entries (now all answered) are
+    returned together with the decoder.
+    """
+    clock = FakeClock()
+
+    async def run():
+        executor = ThreadPoolExecutor(max_workers=1)
+        pool = ProblemPool(
+            KEY, problem, decoder, node="pool-0", executor=executor,
+            config=config, clock=clock,
+        )
+        loop = asyncio.get_running_loop()
+        entries = stage(pool, loop, clock)
+        await pool.start()
+        await asyncio.wait_for(pool.drain(), timeout=30)
+        snapshot = pool.snapshot()
+        await pool.stop()
+        executor.shutdown(wait=True)
+        return entries, snapshot
+
+    return asyncio.run(run())
+
+
+class TestDeadlines:
+    def test_expired_entry_is_dropped_before_dispatch(self, problem):
+        decoder = RecordingDecoder(problem)
+        config = PoolConfig(max_batch=1, adaptive_batch=False)
+
+        def stage(pool, loop, clock):
+            fresh = _entry(loop, 0, problem)
+            dead = _entry(
+                loop, 1, problem, expires_at=clock() + 0.5
+            )
+            never = _entry(loop, 2, problem, expires_at=None)
+            for entry in (fresh, dead, never):
+                pool.submit(entry)
+            clock.advance(1.0)  # past `dead`'s expiry, pump not running
+            return fresh, dead, never
+
+        (fresh, dead, never), snapshot = _run_pool(
+            problem, decoder, config, stage
+        )
+        assert fresh.future.result().status == Status.OK
+        assert never.future.result().status == Status.OK
+        expired = dead.future.result()
+        assert expired.status == Status.EXPIRED
+        assert snapshot.expired == 1
+        assert snapshot.dispatched == 2
+        # The expired syndrome never reached the decoder.
+        dispatched = np.vstack([b for b in decoder.batches])
+        assert not any(
+            np.array_equal(row, dead.syndrome) for row in dispatched
+        )
+
+    def test_unexpired_deadline_decodes_normally(self, problem):
+        decoder = RecordingDecoder(problem)
+        config = PoolConfig(max_batch=1, adaptive_batch=False)
+
+        def stage(pool, loop, clock):
+            entry = _entry(
+                loop, 0, problem, expires_at=clock() + 100.0
+            )
+            pool.submit(entry)
+            return (entry,)
+
+        (entry,), snapshot = _run_pool(problem, decoder, config, stage)
+        assert entry.future.result().status == Status.OK
+        assert snapshot.expired == 0
+
+
+class TestPriority:
+    def test_logical_lane_drains_before_idle_lane(self, problem):
+        # Stage the idle lane FIRST; the pump must still dispatch every
+        # logical entry before any idle one.
+        decoder = RecordingDecoder(problem)
+        config = PoolConfig(max_batch=1, adaptive_batch=False)
+
+        def stage(pool, loop, clock):
+            # Ids stay below n_checks so every syndrome tag is unique.
+            idle = [
+                _entry(loop, i, problem, priority=1) for i in range(3)
+            ]
+            logical = [
+                _entry(loop, 3 + i, problem, priority=0)
+                for i in range(3)
+            ]
+            for entry in idle + logical:
+                pool.submit(entry)
+            return idle, logical
+
+        (idle, logical), snapshot = _run_pool(
+            problem, decoder, config, stage
+        )
+        assert snapshot.admitted_logical == 3
+        assert snapshot.admitted_idle == 3
+        order = [
+            int(np.flatnonzero(batch[0])[0])
+            for batch in decoder.batches
+        ]
+        assert order == [3, 4, 5, 0, 1, 2]
+
+
+class TestCancellation:
+    def test_cancelled_entries_are_skipped_not_decoded(self, problem):
+        decoder = RecordingDecoder(problem)
+        config = PoolConfig(max_batch=1, adaptive_batch=False)
+
+        def stage(pool, loop, clock):
+            keep = _entry(loop, 0, problem)
+            gone = _entry(loop, 1, problem)
+            pool.submit(keep)
+            pool.submit(gone)
+            gone.cancelled = True  # what a disconnect does
+            return keep, gone
+
+        (keep, gone), snapshot = _run_pool(
+            problem, decoder, config, stage
+        )
+        assert keep.future.result().status == Status.OK
+        assert gone.future.result().status == Status.FAILED
+        assert "cancel" in gone.future.result().detail
+        assert snapshot.cancelled == 1
+        assert snapshot.dispatched == 1
+
+    def test_client_disconnect_cancels_queued_requests(self, problem):
+        """Real sockets: a vanished client's backlog is skipped.
+
+        ``max_pending=1`` wedges the pump inside the inner service's
+        admission while the slow first decode runs, so the remaining
+        requests are provably still in lanes when the client dies.
+        """
+        decoder = RecordingDecoder(problem, delay=0.4)
+
+        async def run():
+            config = NetServerConfig(
+                max_batch=1, adaptive_batch=False, max_pending=1
+            )
+            server = NetDecodeServer([KEY], config)
+            # Swap in the instrumented decoder before any pool builds.
+            server.router.catalog[KEY] = (problem, lambda p: decoder)
+            async with server:
+                client = await NetClient.connect(
+                    "127.0.0.1", server.port
+                )
+                syndrome = np.zeros(problem.n_checks, np.uint8)
+                for _ in range(6):
+                    await client.enqueue(KEY, syndrome)
+                while server.requests < 6:
+                    await asyncio.sleep(0.01)
+                await client.close()
+                await asyncio.wait_for(server.drain(), timeout=30)
+                snapshot = server.snapshot().pools[KEY]
+                assert snapshot.cancelled >= 1
+                assert (
+                    snapshot.dispatched + snapshot.cancelled
+                    + snapshot.expired
+                ) == 6
+
+        asyncio.run(run())
+
+
+class TestAdaptiveBatch:
+    def test_max_batch_follows_backlog(self, problem):
+        decoder = RecordingDecoder(problem)
+        config = PoolConfig(max_batch=32, min_batch=1)
+
+        def stage(pool, loop, clock):
+            entries = [_entry(loop, i, problem) for i in range(9)]
+            for entry in entries:
+                pool.submit(entry)
+            return entries
+
+        entries, snapshot = _run_pool(problem, decoder, config, stage)
+        # First dispatch sees the full 9-deep backlog and retargets the
+        # batcher toward it; the cap never overshoots the config.
+        assert snapshot.peak_max_batch >= 5
+        assert snapshot.peak_max_batch <= 32
+
+    def test_adaptation_respects_the_cap(self, problem):
+        decoder = RecordingDecoder(problem)
+        config = PoolConfig(max_batch=4, min_batch=2)
+
+        def stage(pool, loop, clock):
+            entries = [_entry(loop, i, problem) for i in range(12)]
+            for entry in entries:
+                pool.submit(entry)
+            return entries
+
+        _, snapshot = _run_pool(problem, decoder, config, stage)
+        assert 2 <= snapshot.peak_max_batch <= 4
+        for batch in decoder.batches:
+            assert batch.shape[0] <= 4
+
+
+class TestLoadShed:
+    def test_full_lane_sheds_with_overloaded(self, problem):
+        clock = FakeClock()
+
+        async def run():
+            executor = ThreadPoolExecutor(max_workers=1)
+            pool = ProblemPool(
+                KEY, problem, RecordingDecoder(problem),
+                node="pool-0", executor=executor,
+                config=PoolConfig(max_lane_depth=2), clock=clock,
+            )
+            loop = asyncio.get_running_loop()
+            pool.submit(_entry(loop, 0, problem))
+            pool.submit(_entry(loop, 1, problem))
+            with pytest.raises(PoolOverloadedError, match="full"):
+                pool.submit(_entry(loop, 2, problem))
+            assert pool.telemetry.overloaded == 1
+            # The other lane still admits.
+            pool.submit(_entry(loop, 3, problem, priority=0))
+            await pool.start()
+            await asyncio.wait_for(pool.drain(), timeout=30)
+            await pool.stop()
+            executor.shutdown(wait=True)
+
+        asyncio.run(run())
+
+
+class TestRequestLevelStatuses:
+    def test_bad_key_and_bad_request(self):
+        async def run():
+            async with NetDecodeServer([KEY]) as server:
+                n_checks = server.router.catalog[KEY][0].n_checks
+                async with await NetClient.connect(
+                    "127.0.0.1", server.port
+                ) as client:
+                    bad_key = await asyncio.wait_for(client.decode(
+                        "surface_5:capacity:p=0.08:r=1:min_sum_bp:auto",
+                        np.zeros(8, np.uint8),
+                    ), timeout=30)
+                    bad_len = await asyncio.wait_for(client.decode(
+                        KEY, np.zeros(n_checks + 3, np.uint8)
+                    ), timeout=30)
+                    good = await asyncio.wait_for(client.decode(
+                        KEY, np.zeros(n_checks, np.uint8)
+                    ), timeout=30)
+                assert bad_key.status == Status.BAD_KEY
+                assert "not served" in bad_key.detail
+                assert bad_len.status == Status.BAD_REQUEST
+                assert str(n_checks) in bad_len.detail
+                assert good.status == Status.OK
+                assert server.bad_key == 1
+
+        asyncio.run(run())
+
+    def test_expired_status_travels_the_wire(self, problem):
+        """Server-level deadline drop with an injectable clock.
+
+        ``max_pending=1`` plus a slow decode parks the pump inside the
+        inner admission, so the deadlined third request is provably
+        still in a lane when the clock jumps past its expiry.
+        """
+        decoder = RecordingDecoder(problem, delay=0.3)
+        clock = FakeClock()
+
+        async def run():
+            config = NetServerConfig(
+                max_batch=1, adaptive_batch=False, max_pending=1
+            )
+            server = NetDecodeServer([KEY], config, clock=clock)
+            server.router.catalog[KEY] = (problem, lambda p: decoder)
+            async with server:
+                async with await NetClient.connect(
+                    "127.0.0.1", server.port
+                ) as client:
+                    syndrome = np.zeros(problem.n_checks, np.uint8)
+                    first = await client.enqueue(KEY, syndrome)
+                    second = await client.enqueue(KEY, syndrome)
+                    doomed = await client.enqueue(
+                        KEY, syndrome, deadline=0.05
+                    )
+                    pool = await server.router.pool(KEY)
+                    while sum(pool.lane_depths) < 1:
+                        await asyncio.sleep(0.01)
+                    clock.advance(60.0)
+                    responses = await asyncio.wait_for(
+                        asyncio.gather(first, second, doomed),
+                        timeout=30,
+                    )
+                assert responses[0].status == Status.OK
+                assert responses[1].status == Status.OK
+                assert responses[2].status == Status.EXPIRED
+                snapshot = server.snapshot().pools[KEY]
+                assert snapshot.expired == 1
+                assert snapshot.dispatched == 2
+
+        asyncio.run(run())

@@ -1,0 +1,393 @@
+"""Property-based/fuzz tests of the net-service wire protocol.
+
+The protocol contract (:mod:`repro.service.net.protocol`):
+
+* every well-formed frame round-trips bit-for-bit through
+  encode → parse — for arbitrary request ids, priorities, deadlines,
+  problem keys, syndrome bit patterns and every response status;
+* **every** malformed input errors loudly: truncated streams (torn at
+  every byte boundary), garbage payloads, oversized and zero length
+  prefixes, trailing bytes, unknown versions/types/statuses all raise
+  :class:`ProtocolError` — the parser never hangs, never silently
+  truncates, never returns a partial message;
+* the server answers a protocol violation with an ``ERROR`` frame and
+  a clean close, and keeps serving other clients afterwards.
+"""
+
+import asyncio
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.net import NetClient, NetDecodeServer, NetServerConfig
+from repro.service.net.protocol import (
+    MAX_FRAME,
+    PROTOCOL_VERSION,
+    ErrorFrame,
+    FrameType,
+    ProtocolError,
+    Request,
+    Response,
+    Status,
+    encode_error,
+    encode_request,
+    encode_response,
+    parse_payload,
+    read_frame,
+)
+
+# -- strategies ------------------------------------------------------------
+
+bit_arrays = st.lists(
+    st.integers(0, 1), min_size=0, max_size=200
+).map(lambda bits: np.array(bits, dtype=np.uint8))
+
+problem_keys = st.text(min_size=1, max_size=48).filter(
+    lambda s: len(s.encode("utf-8")) <= 0xFFFF
+)
+
+deadlines = st.floats(
+    min_value=0.0, allow_nan=False, allow_infinity=False
+)
+
+requests = st.builds(
+    Request,
+    request_id=st.integers(0, 2**64 - 1),
+    problem_key=problem_keys,
+    syndrome=bit_arrays,
+    priority=st.sampled_from([0, 1]),
+    deadline=deadlines,
+)
+
+ok_responses = st.builds(
+    Response,
+    request_id=st.integers(0, 2**64 - 1),
+    status=st.just(Status.OK),
+    error=bit_arrays,
+    converged=st.booleans(),
+    iterations=st.integers(0, 2**32 - 1),
+    time_seconds=st.floats(
+        min_value=0.0, allow_nan=False, allow_infinity=False
+    ),
+)
+
+failure_responses = st.builds(
+    Response,
+    request_id=st.integers(0, 2**64 - 1),
+    status=st.sampled_from([
+        Status.EXPIRED, Status.OVERLOADED, Status.FAILED,
+        Status.BAD_KEY, Status.BAD_REQUEST,
+    ]),
+    detail=st.text(max_size=200),
+)
+
+
+def _strip_prefix(frame: bytes) -> bytes:
+    (length,) = struct.unpack(">I", frame[:4])
+    assert len(frame) == 4 + length
+    return frame[4:]
+
+
+def _read_from_bytes(data: bytes):
+    """Feed ``data`` + EOF into a StreamReader and read one frame.
+
+    Wrapped in a timeout so a parser that blocks on a torn stream
+    fails the test instead of hanging it.
+    """
+
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await asyncio.wait_for(read_frame(reader), timeout=5)
+
+    return asyncio.run(run())
+
+
+# -- round trips -----------------------------------------------------------
+
+
+class TestRoundTrip:
+    @given(request=requests)
+    @settings(max_examples=200, deadline=None)
+    def test_request_round_trip(self, request):
+        parsed = parse_payload(_strip_prefix(encode_request(request)))
+        assert isinstance(parsed, Request)
+        assert parsed.request_id == request.request_id
+        assert parsed.problem_key == request.problem_key
+        assert parsed.priority == request.priority
+        assert parsed.deadline == request.deadline
+        assert np.array_equal(parsed.syndrome, request.syndrome)
+
+    @given(response=ok_responses)
+    @settings(max_examples=200, deadline=None)
+    def test_ok_response_round_trip(self, response):
+        parsed = parse_payload(_strip_prefix(encode_response(response)))
+        assert isinstance(parsed, Response)
+        assert parsed.ok
+        assert parsed.request_id == response.request_id
+        assert parsed.converged == response.converged
+        assert parsed.iterations == response.iterations
+        assert parsed.time_seconds == response.time_seconds
+        assert np.array_equal(parsed.error, response.error)
+
+    @given(response=failure_responses)
+    @settings(max_examples=200, deadline=None)
+    def test_failure_response_round_trip(self, response):
+        parsed = parse_payload(_strip_prefix(encode_response(response)))
+        assert isinstance(parsed, Response)
+        assert not parsed.ok
+        assert parsed.request_id == response.request_id
+        assert parsed.status == response.status
+        assert parsed.detail == response.detail
+        assert parsed.error is None
+
+    @given(detail=st.text(max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_error_frame_round_trip(self, detail):
+        parsed = parse_payload(_strip_prefix(encode_error(detail)))
+        assert isinstance(parsed, ErrorFrame)
+        assert parsed.detail == detail
+
+    def test_frame_stream_round_trip(self):
+        """Back-to-back frames on one stream parse independently."""
+        request = Request(
+            request_id=7, problem_key="k", syndrome=np.ones(9, np.uint8)
+        )
+        response = Response(
+            request_id=7, status=Status.OK,
+            error=np.zeros(4, np.uint8), converged=True, iterations=3,
+        )
+        data = encode_request(request) + encode_response(response)
+
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(data)
+            reader.feed_eof()
+            first = parse_payload(await read_frame(reader))
+            second = parse_payload(await read_frame(reader))
+            assert await read_frame(reader) is None  # clean EOF
+            return first, second
+
+        first, second = asyncio.run(run())
+        assert isinstance(first, Request)
+        assert isinstance(second, Response)
+        assert np.array_equal(first.syndrome, request.syndrome)
+
+
+# -- malformed inputs ------------------------------------------------------
+
+
+class TestMalformed:
+    @given(request=requests)
+    @settings(max_examples=25, deadline=None)
+    def test_torn_at_every_byte_boundary(self, request):
+        """A stream cut anywhere mid-frame errors; it never hangs."""
+        frame = encode_request(request)
+        for cut in range(1, len(frame)):
+            with pytest.raises(ProtocolError):
+                _read_from_bytes(frame[:cut])
+
+    def test_empty_stream_is_clean_eof(self):
+        assert _read_from_bytes(b"") is None
+
+    @given(garbage=st.binary(min_size=1, max_size=64))
+    @settings(max_examples=200, deadline=None)
+    def test_garbage_payload_never_parses_silently(self, garbage):
+        """Random bytes either parse as a full message or error loudly.
+
+        Almost every draw raises (the version byte alone rejects 255 of
+        256 prefixes); the assertion is that nothing hangs, nothing
+        crashes with a non-protocol error, and nothing half-parses.
+        """
+        try:
+            message = parse_payload(garbage)
+        except ProtocolError:
+            return
+        assert isinstance(message, (Request, Response, ErrorFrame))
+
+    @given(payload=st.binary(min_size=0, max_size=32))
+    @settings(max_examples=100, deadline=None)
+    def test_trailing_bytes_after_valid_frame(self, payload):
+        frame = encode_request(
+            Request(request_id=1, problem_key="k",
+                    syndrome=np.zeros(8, np.uint8))
+        )
+        body = _strip_prefix(frame)
+        if payload:
+            with pytest.raises(ProtocolError):
+                parse_payload(body + payload)
+
+    def test_zero_length_frame(self):
+        with pytest.raises(ProtocolError, match="zero-length"):
+            _read_from_bytes(struct.pack(">I", 0))
+
+    def test_oversized_length_rejected_before_payload(self):
+        """A hostile prefix errors without waiting for the payload.
+
+        Only the 4-byte prefix is fed — if the reader tried to buffer
+        the advertised payload first it would hang and trip the
+        timeout, so passing proves the bound is checked up front.
+        """
+        with pytest.raises(ProtocolError, match="exceeds"):
+            _read_from_bytes(struct.pack(">I", MAX_FRAME + 1))
+
+    def test_encode_refuses_oversized_frame(self):
+        syndrome = np.zeros((MAX_FRAME + 64) * 8, dtype=np.uint8)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_request(
+                Request(request_id=0, problem_key="k", syndrome=syndrome)
+            )
+
+    def test_unknown_version(self):
+        frame = bytearray(_strip_prefix(encode_error("x")))
+        frame[0] = PROTOCOL_VERSION + 1
+        with pytest.raises(ProtocolError, match="version"):
+            parse_payload(bytes(frame))
+
+    def test_unknown_frame_type(self):
+        frame = bytearray(_strip_prefix(encode_error("x")))
+        frame[1] = 99
+        with pytest.raises(ProtocolError, match="frame type"):
+            parse_payload(bytes(frame))
+
+    def test_unknown_status_code(self):
+        frame = bytearray(_strip_prefix(encode_response(
+            Response(request_id=0, status=Status.FAILED, detail="d")
+        )))
+        # status byte sits right after the 2-byte head + 8-byte id
+        frame[10] = 200
+        with pytest.raises(ProtocolError, match="status"):
+            parse_payload(bytes(frame))
+
+    @pytest.mark.parametrize("priority", [-1, 2, 255])
+    def test_encode_rejects_bad_priority(self, priority):
+        with pytest.raises(ProtocolError, match="priority"):
+            encode_request(Request(
+                request_id=0, problem_key="k",
+                syndrome=np.zeros(4, np.uint8), priority=priority,
+            ))
+
+    @pytest.mark.parametrize(
+        "deadline", [-1.0, float("nan"), float("inf")]
+    )
+    def test_encode_rejects_bad_deadline(self, deadline):
+        with pytest.raises(ProtocolError, match="deadline"):
+            encode_request(Request(
+                request_id=0, problem_key="k",
+                syndrome=np.zeros(4, np.uint8), deadline=deadline,
+            ))
+
+    def test_encode_rejects_empty_key(self):
+        with pytest.raises(ProtocolError, match="key"):
+            encode_request(Request(
+                request_id=0, problem_key="",
+                syndrome=np.zeros(4, np.uint8),
+            ))
+
+    def test_ok_response_requires_error_vector(self):
+        with pytest.raises(ProtocolError, match="error vector"):
+            encode_response(Response(request_id=0, status=Status.OK))
+
+    def test_parse_rejects_bad_priority_on_wire(self):
+        frame = bytearray(_strip_prefix(encode_request(Request(
+            request_id=0, problem_key="k",
+            syndrome=np.zeros(4, np.uint8), priority=1,
+        ))))
+        # priority byte: 2 head + 8 request id
+        frame[10] = 7
+        with pytest.raises(ProtocolError, match="priority"):
+            parse_payload(bytes(frame))
+
+
+# -- server robustness -----------------------------------------------------
+
+KEY = "surface_3:capacity:p=0.08:r=1:min_sum_bp:auto"
+
+
+def _server(**overrides):
+    config = NetServerConfig(**overrides)
+    return NetDecodeServer([KEY], config)
+
+
+class TestServerRobustness:
+    """Garbage on the socket gets an ERROR frame + close, not a wedge."""
+
+    def test_garbage_gets_error_frame_and_close(self):
+        async def run():
+            async with _server() as server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(struct.pack(">I", 8) + b"\xde\xad\xbe\xef" * 2)
+                await writer.drain()
+                payload = await asyncio.wait_for(
+                    read_frame(reader), timeout=10
+                )
+                message = parse_payload(payload)
+                assert isinstance(message, ErrorFrame)
+                # ...then a clean close, not a hang.
+                assert await asyncio.wait_for(
+                    read_frame(reader), timeout=10
+                ) is None
+                writer.close()
+                await writer.wait_closed()
+                return server.protocol_errors
+
+        assert asyncio.run(run()) == 1
+
+    def test_mid_stream_disconnect_leaves_server_serving(self):
+        """A client torn mid-frame doesn't poison the next client."""
+        async def run():
+            async with _server() as server:
+                # First client sends half a frame and vanishes.
+                _, torn = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                torn.write(struct.pack(">I", 100) + b"\x01\x01partial")
+                await torn.drain()
+                torn.close()
+                await torn.wait_closed()
+                # Second client gets a full, correct decode.
+                async with await NetClient.connect(
+                    "127.0.0.1", server.port
+                ) as client:
+                    problem = server.router.catalog[KEY][0]
+                    syndrome = np.zeros(problem.n_checks, np.uint8)
+                    response = await asyncio.wait_for(
+                        client.decode(KEY, syndrome), timeout=30
+                    )
+                assert response.ok
+                return server.protocol_errors
+
+        assert asyncio.run(run()) == 1
+
+    def test_duplicate_outstanding_request_id_is_protocol_error(self):
+        async def run():
+            async with _server(
+                # A flush deadline keeps the first request parked in the
+                # batcher long enough for the duplicate to land.
+                flush_latency=5.0, max_batch=64,
+            ) as server:
+                problem = server.router.catalog[KEY][0]
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                frame = encode_request(Request(
+                    request_id=3, problem_key=KEY,
+                    syndrome=np.zeros(problem.n_checks, np.uint8),
+                ))
+                writer.write(frame + frame)
+                await writer.drain()
+                message = parse_payload(await asyncio.wait_for(
+                    read_frame(reader), timeout=10
+                ))
+                assert isinstance(message, ErrorFrame)
+                assert "already outstanding" in message.detail
+                writer.close()
+                await writer.wait_closed()
+
+        asyncio.run(run())

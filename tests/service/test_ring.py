@@ -1,0 +1,148 @@
+"""Unit tests of the consistent-hash ring behind problem-key routing.
+
+The two repo contracts (see :mod:`repro.service.net.ring`):
+
+* **determinism** — placement is a pure function of (nodes, vnodes,
+  key): identical across processes and ``PYTHONHASHSEED`` values,
+  because routing decides which pool decodes a syndrome;
+* **minimal movement** — removing a node only moves that node's keys;
+  adding a node only steals keys (nothing shuffles between survivors).
+
+Plus the statistical property vnodes exist for: with enough virtual
+points per node, key shares concentrate toward ``1/n``.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.service.net.ring import HashRing
+
+KEYS = [f"code_{i}:capacity:p=0.08:r=1:bp:auto" for i in range(2000)]
+
+
+def _placement(ring, keys=KEYS):
+    return {key: ring.lookup(key) for key in keys}
+
+
+class TestMembership:
+    def test_add_remove_contains(self):
+        ring = HashRing(["a", "b"])
+        assert len(ring) == 2 and "a" in ring and "c" not in ring
+        ring.add("c")
+        assert ring.nodes == ("a", "b", "c")
+        ring.remove("b")
+        assert ring.nodes == ("a", "c")
+
+    def test_duplicate_add_raises(self):
+        ring = HashRing(["a"])
+        with pytest.raises(ValueError, match="already"):
+            ring.add("a")
+
+    def test_missing_remove_raises(self):
+        with pytest.raises(KeyError):
+            HashRing(["a"]).remove("b")
+
+    def test_empty_node_name_raises(self):
+        with pytest.raises(ValueError):
+            HashRing([""])
+
+    def test_empty_ring_lookup_raises(self):
+        with pytest.raises(LookupError):
+            HashRing().lookup("key")
+
+    def test_nonpositive_vnodes_raises(self):
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)
+
+
+class TestDeterminism:
+    def test_identical_rings_agree(self):
+        a = HashRing(["n0", "n1", "n2"])
+        b = HashRing(["n2", "n0", "n1"])  # insertion order irrelevant
+        assert _placement(a) == _placement(b)
+
+    def test_placement_is_stable_across_processes(self):
+        # Routing must not depend on PYTHONHASHSEED or any other
+        # per-process state: two server replicas built from the same
+        # config must agree on every key's pool, and an operator's
+        # offline placement calculation must match the live server.
+        parent = HashRing(["n0", "n1", "n2", "n3"])
+        expect = [parent.lookup(key) for key in KEYS[:200]]
+        script = (
+            "import sys; sys.path.insert(0, 'src')\n"
+            "from repro.service.net.ring import HashRing\n"
+            "ring = HashRing(['n0', 'n1', 'n2', 'n3'])\n"
+            "keys = [f'code_{i}:capacity:p=0.08:r=1:bp:auto'"
+            " for i in range(200)]\n"
+            "print(' '.join(ring.lookup(k) for k in keys))\n"
+        )
+        for hashseed in ("0", "424242"):
+            child = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, check=True,
+                env={"PYTHONHASHSEED": hashseed, "PATH": "/usr/bin:/bin"},
+                cwd=".",
+            )
+            assert child.stdout.split() == expect
+
+
+class TestBalance:
+    def test_vnodes_bound_the_spread(self):
+        # With 128 points per node over 2000 keys, every node's share
+        # must land within a factor ~2 of the 25% mean.  (The bound is
+        # deterministic — same hashes every run — but written as a
+        # range so vnode-count tweaks fail loudly, not flakily.)
+        ring = HashRing(["n0", "n1", "n2", "n3"], vnodes=128)
+        occupancy = ring.occupancy(KEYS)
+        shares = {node: len(keys) / len(KEYS)
+                  for node, keys in occupancy.items()}
+        assert set(shares) == {"n0", "n1", "n2", "n3"}
+        for node, share in shares.items():
+            assert 0.125 < share < 0.5, (node, share)
+
+    def test_single_vnode_spreads_worse_than_many(self):
+        def imbalance(vnodes):
+            ring = HashRing(["n0", "n1", "n2", "n3"], vnodes=vnodes)
+            sizes = [len(v) for v in ring.occupancy(KEYS).values()]
+            return max(sizes) - min(sizes)
+
+        assert imbalance(128) < imbalance(1)
+
+    def test_occupancy_lists_empty_nodes(self):
+        ring = HashRing(["n0", "n1"])
+        occupancy = ring.occupancy([])
+        assert occupancy == {"n0": [], "n1": []}
+
+
+class TestMinimalMovement:
+    def test_remove_moves_only_the_removed_nodes_keys(self):
+        ring = HashRing(["n0", "n1", "n2", "n3"])
+        before = _placement(ring)
+        ring.remove("n2")
+        after = _placement(ring)
+        for key in KEYS:
+            if before[key] != "n2":
+                assert after[key] == before[key]
+            else:
+                assert after[key] != "n2"
+
+    def test_add_only_steals_keys(self):
+        ring = HashRing(["n0", "n1", "n2"])
+        before = _placement(ring)
+        ring.add("n3")
+        after = _placement(ring)
+        for key in KEYS:
+            assert after[key] in (before[key], "n3")
+        stolen = sum(after[key] == "n3" for key in KEYS)
+        # The new node takes roughly its fair quarter, not nothing and
+        # not everything.
+        assert 0.1 * len(KEYS) < stolen < 0.45 * len(KEYS)
+
+    def test_add_then_remove_is_identity(self):
+        ring = HashRing(["n0", "n1", "n2"])
+        before = _placement(ring)
+        ring.add("tmp")
+        ring.remove("tmp")
+        assert _placement(ring) == before
