@@ -1,0 +1,146 @@
+"""Structural DEM cache: spec-expansion speedup on a BB-144 p-grid.
+
+Expanding a sweep grid used to recompile the full circuit-level
+detector error model for every point, even though only the priors
+depend on the physical error rate ``p``.  The problem plane now splits
+compilation into a p-independent :class:`~repro.circuits.structure.
+DemStructure` (built once per ``(code, rounds, basis, noise family)``
+and LRU-cached) plus a cheap per-p priors replay.
+
+This benchmark expands the paper's BB-144 circuit-level grid (fig. 7
+geometry: ``bb_144_12_12`` at 12 rounds, six error rates) through the
+canonical :class:`~repro.spec.ProblemSpec` builder twice — cold (the
+cache cleared before every point, i.e. the pre-split cost) and warm
+(one shared structural build) — and gates the ratio at **3x**.  The
+run emits ``BENCH_problem_cache.json`` at the repository root so later
+PRs can track the expansion-cost trajectory.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.bench.tables import ExperimentTable
+from repro.circuits import cache_stats, clear_caches
+from repro.spec import ProblemSpec
+
+_ARTIFACT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_problem_cache.json",
+)
+
+_CODE = "bb_144_12_12"
+_ROUNDS = 12
+_PS = (2e-3, 2.5e-3, 3e-3, 3.5e-3, 4e-3, 5e-3)
+
+
+def _spec(p):
+    return ProblemSpec(code=_CODE, model="circuit", p=p, rounds=_ROUNDS)
+
+
+def _expand(clear_between_points):
+    """Build every grid point; returns (seconds, structural builds)."""
+    clear_caches()
+    start = time.perf_counter()
+    for p in _PS:
+        if clear_between_points:
+            clear_caches()
+        problem = _spec(p).problem()
+        assert problem.check_matrix.shape[0] > 0
+    seconds = time.perf_counter() - start
+    builds = (
+        len(_PS) if clear_between_points
+        else cache_stats()["structure"]["misses"]
+    )
+    return seconds, builds
+
+
+@pytest.fixture(scope="module")
+def report():
+    # Warm imports/JIT-ish one-time costs outside the timed runs.
+    clear_caches()
+    _spec(_PS[0]).problem()
+
+    cold_seconds, cold_builds = _expand(clear_between_points=True)
+    warm_seconds, warm_builds = _expand(clear_between_points=False)
+    stats = cache_stats()
+
+    payload = {
+        "grid": {
+            "code": _CODE,
+            "rounds": _ROUNDS,
+            "points": len(_PS),
+            "p": list(_PS),
+        },
+        "cold": {
+            "seconds": round(cold_seconds, 3),
+            "structural_builds": cold_builds,
+        },
+        "warm": {
+            "seconds": round(warm_seconds, 3),
+            "structural_builds": warm_builds,
+            "structure_hits": stats["structure"]["hits"],
+            "dem_builds": stats["dem"]["misses"],
+        },
+        "speedup_warm_vs_cold": round(cold_seconds / warm_seconds, 2),
+    }
+    with open(_ARTIFACT, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    clear_caches()
+    return payload
+
+
+def test_problem_cache_table(report):
+    table = ExperimentTable(
+        experiment_id="problem_cache",
+        title="Spec expansion: cold per-point compiles vs shared structure",
+        columns=["mode", "seconds", "structural builds", "speedup"],
+    )
+    table.add_row("cold", report["cold"]["seconds"],
+                  report["cold"]["structural_builds"], 1.0)
+    table.add_row("warm", report["warm"]["seconds"],
+                  report["warm"]["structural_builds"],
+                  report["speedup_warm_vs_cold"])
+    table.notes.append(
+        f"{report['grid']['points']}-point {_CODE} r={_ROUNDS} grid; "
+        "warm = one structural build + per-p priors replay; artifact "
+        "saved to BENCH_problem_cache.json"
+    )
+    print()
+    print(table.render())
+    table.save()
+    assert table.rows
+
+
+def test_warm_expansion_shares_one_structural_build(report):
+    """The cache contract, independent of wall-clock noise."""
+    assert report["warm"]["structural_builds"] == 1
+    assert report["warm"]["structure_hits"] == len(_PS) - 1
+    assert report["warm"]["dem_builds"] == len(_PS)
+
+
+def test_spec_expansion_meets_acceptance_bar(report):
+    """The structural split's acceptance gate: >= 3x on the BB-144 grid.
+
+    The wall-clock ratio can be relaxed with ``REPRO_BENCH_STRICT=0``
+    (shared-runner CI, where scheduler jitter makes timing assertions
+    flaky); the measured ratio is still recorded in the artifact.
+    """
+    if os.environ.get("REPRO_BENCH_STRICT", "1") == "0":
+        pytest.skip(
+            f"non-strict mode: measured "
+            f"{report['speedup_warm_vs_cold']}x (recorded in artifact)"
+        )
+    assert report["speedup_warm_vs_cold"] >= 3.0, (
+        f"shared-structure expansion only {report['speedup_warm_vs_cold']}x "
+        f"faster than per-point compilation"
+    )
+
+
+def test_artifact_written(report):
+    with open(_ARTIFACT) as handle:
+        data = json.load(handle)
+    assert data["warm"]["structural_builds"] == 1
+    assert data["grid"]["code"] == _CODE

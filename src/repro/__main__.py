@@ -109,10 +109,13 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_decode(args) -> int:
-    from repro import BPSFDecoder, code_capacity_problem, get_code
+    from repro import BPSFDecoder, get_code
+    from repro.spec import ProblemSpec
 
     code = get_code(args.code)
-    problem = code_capacity_problem(code, args.p)
+    problem = ProblemSpec(
+        code=args.code, model="code_capacity", p=args.p
+    ).problem()
     decoder = BPSFDecoder(
         problem, max_iter=50, phi=max(4, code.k // 2), w_max=1,
         strategy="exhaustive",
@@ -191,55 +194,47 @@ def _shard_timeout_arg(value):
 def _decode_workload(args):
     """Validate the (code, decoder, backend) triple and build the task.
 
-    The shared front half of ``ler`` and ``serve``: registry checks
-    with friendly errors, then the problem (code capacity or circuit
-    level) and a **picklable** decoder factory carrying the selected
-    kernel backend — so worker processes build the decoder with that
-    backend and sharded/served runs stay bit-identical across backends
-    and worker counts.  Returns ``(problem, factory, None)`` or
-    ``(None, None, 2)`` after printing the error.
+    The shared front half of ``ler`` and ``serve``, expressed as a
+    :class:`~repro.spec.ProblemSpec` — the canonical problem plane:
+    registry checks with friendly errors, then the problem (code
+    capacity or circuit level) and a **picklable** decoder factory
+    carrying the *resolved* kernel backend — so worker processes build
+    the decoder with that backend and sharded/served runs stay
+    bit-identical across backends and worker counts.  Returns
+    ``(problem, factory, None)`` or ``(None, None, 2)`` after printing
+    the error.
     """
-    from repro.circuits import circuit_level_problem
-    from repro.codes import get_code, list_codes
     from repro.decoders.kernels import resolve_backend
-    from repro.decoders.registry import DECODER_REGISTRY, \
-        make_decoder_factory
-    from repro.noise import code_capacity_problem
+    from repro.spec import DecoderSpec, ProblemSpec
 
-    if args.decoder not in DECODER_REGISTRY:
-        print(
-            f"unknown decoder {args.decoder!r}; "
-            f"one of {', '.join(sorted(DECODER_REGISTRY))}",
-            file=sys.stderr,
-        )
-        return None, None, 2
-    if args.code not in list_codes():
-        print(
-            f"unknown code {args.code!r}; "
-            f"one of {', '.join(list_codes())}",
-            file=sys.stderr,
-        )
-        return None, None, 2
     try:
-        backend = resolve_backend(args.backend)
+        spec = ProblemSpec(
+            code=args.code,
+            model="circuit" if args.circuit else "code_capacity",
+            p=args.p,
+            rounds=args.rounds,
+            basis=getattr(args, "basis", None),
+            decoder=DecoderSpec(label=args.decoder, registry=args.decoder),
+            backend=args.backend,
+        ).validate()
     except ValueError as exc:
-        # resolve_backend's message lists the known backends and any
-        # registered-but-uninstalled optional ones (e.g. numba).
-        print(f"unknown backend {args.backend!r}: {exc}", file=sys.stderr)
+        # validate() reports unknown components in the historical
+        # decoder -> code -> backend order with the historical texts
+        # (resolve_backend's message lists the known backends and any
+        # registered-but-uninstalled optional ones, e.g. numba).
+        print(str(exc), file=sys.stderr)
         return None, None, 2
     try:
-        if args.circuit:
-            problem = circuit_level_problem(
-                args.code, args.p, rounds=args.rounds
-            )
-        else:
-            problem = code_capacity_problem(get_code(args.code), args.p)
+        problem = spec.problem()
     except ValueError as exc:
         # E.g. a distance-less code needs an explicit --rounds.
         print(f"cannot build problem for {args.code!r}: {exc}",
               file=sys.stderr)
         return None, None, 2
-    return problem, make_decoder_factory(args.decoder, backend=backend), \
+    # Pin the *resolved* backend (not "auto") into the factory: an
+    # active use_backend override or REPRO_BP_BACKEND in this process
+    # must reach spawned workers.
+    return problem, spec.decoder.factory(resolve_backend(args.backend)), \
         None
 
 
@@ -486,10 +481,12 @@ def _cmd_analyze(args) -> int:
     )
     from repro.codes import get_code
     from repro.decoders import MinSumBP
-    from repro.noise import code_capacity_problem
+    from repro.spec import ProblemSpec
 
     code = get_code(args.code)
-    problem = code_capacity_problem(code, args.p)
+    problem = ProblemSpec(
+        code=args.code, model="code_capacity", p=args.p
+    ).problem()
     print(f"{code.name}: girth={girth(code.hx)}, "
           f"4-cycles={count_four_cycles(code.hx)}, "
           f"degenerate column groups="
@@ -522,11 +519,14 @@ def _cmd_analyze(args) -> int:
 
 
 def _cmd_stream(args) -> int:
-    from repro import BPSFDecoder, circuit_level_problem
+    from repro import BPSFDecoder
     from repro.analysis.hardware import HardwareLatencyModel
     from repro.sim import run_streaming
+    from repro.spec import ProblemSpec
 
-    problem = circuit_level_problem(args.code, args.p, rounds=args.rounds)
+    problem = ProblemSpec(
+        code=args.code, model="circuit", p=args.p, rounds=args.rounds
+    ).problem()
     decoder = BPSFDecoder(
         problem, max_iter=100, phi=50, w_max=6, n_s=5,
         strategy="sampled", seed=args.seed,
@@ -941,6 +941,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="circuit-level noise instead of code capacity")
     ler.add_argument("--rounds", type=int, default=None,
                      help="syndrome-extraction rounds (circuit level)")
+    ler.add_argument("--basis", choices=("x", "z"), default=None,
+                     help="memory basis (default: x for code capacity, "
+                          "z for circuit level)")
     ler.add_argument("--shots", type=int, default=2000,
                      help="shot budget cap (default 2000)")
     ler.add_argument("--workers", type=int, default=1,
@@ -1086,6 +1089,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="circuit-level noise instead of code capacity")
     serve.add_argument("--rounds", type=int, default=None,
                        help="syndrome-extraction rounds (circuit level)")
+    serve.add_argument("--basis", choices=("x", "z"), default=None,
+                       help="memory basis (default: x for code capacity, "
+                            "z for circuit level)")
     serve.add_argument("--shots", type=int, default=200,
                        help="stream length in syndromes (default 200)")
     serve.add_argument("--clients", type=int, default=4,
@@ -1128,9 +1134,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_net.add_argument("--problem", action="append", default=None,
                            metavar="KEY",
-                           help="problem key to serve (repeatable); "
-                                "default: two surface_3 capacity "
-                                "problems (min_sum_bp + bpsf)")
+                           help="problem key to serve (repeatable): "
+                                "code:model:p=..:r=..[:b=x|z]:decoder:"
+                                "backend, basis defaulting to the "
+                                "model's convention; default: two "
+                                "surface_3 capacity problems "
+                                "(min_sum_bp + bpsf)")
     serve_net.add_argument("--shots", type=int, default=40,
                            help="total requests, striped round-robin "
                                 "over the problem keys (default 40)")

@@ -12,9 +12,16 @@ from repro.circuits.circuit import Circuit
 from repro.circuits.dem import DetectorErrorModel, dem_from_circuit
 from repro.circuits.gates import Instruction
 from repro.circuits.memory import MemoryExperiment, build_memory_experiment
-from repro.circuits.noise import NoiseModel
-from repro.circuits.pipeline import circuit_level_dem, circuit_level_problem
+from repro.circuits.noise import CHANNELS, NoiseModel
+from repro.circuits.pipeline import (
+    cache_stats,
+    circuit_level_dem,
+    circuit_level_problem,
+    clear_caches,
+    configure_caches,
+)
 from repro.circuits.propagation import Fault, analyze_faults
+from repro.circuits.structure import DemStructure, structure_from_tagged_circuit
 from repro.circuits.scheduling import cnot_layers, tanner_graph
 from repro.circuits.tableau import TableauSimulator, run_circuit, sample_circuit
 
@@ -25,9 +32,15 @@ __all__ = [
     "dem_from_circuit",
     "MemoryExperiment",
     "build_memory_experiment",
+    "CHANNELS",
     "NoiseModel",
+    "DemStructure",
+    "structure_from_tagged_circuit",
+    "cache_stats",
     "circuit_level_dem",
     "circuit_level_problem",
+    "clear_caches",
+    "configure_caches",
     "Fault",
     "analyze_faults",
     "cnot_layers",

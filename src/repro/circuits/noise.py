@@ -19,7 +19,11 @@ from dataclasses import dataclass
 
 from repro.circuits.circuit import Circuit
 
-__all__ = ["NoiseModel"]
+__all__ = ["CHANNELS", "NoiseModel"]
+
+#: Noise-channel parameter names, in declaration order.  A channel's
+#: index in this tuple is its stable code in structural DEMs.
+CHANNELS = ("p2", "p1", "p_meas", "p_reset", "p_idle")
 
 
 @dataclass(frozen=True)
@@ -51,28 +55,75 @@ class NoiseModel:
             p2=p, p1=p / 10, p_meas=5 * p, p_reset=2 * p, p_idle=p / 10
         )
 
+    def family(self) -> tuple[str, ...]:
+        """The active channels — every parameter that is nonzero.
+
+        Two models of the same family insert noise instructions at
+        *identical* circuit positions (only the channel arguments
+        differ), so the p-independent DEM structure can be shared
+        across an entire p-sweep (see
+        :mod:`repro.circuits.structure`).
+        """
+        return tuple(c for c in CHANNELS if getattr(self, c))
+
+    def component_probability(self, channel: str) -> float:
+        """Per-Pauli-component probability of one channel.
+
+        Exactly the share :func:`~repro.circuits.propagation.
+        analyze_faults` assigns each component: a DEPOLARIZE2 splits
+        over 15 two-qubit Paulis, a DEPOLARIZE1 over 3, and the
+        X-flip channels are single-component.  Computed with the same
+        float division so structural priors replay bit-identically.
+        """
+        value = getattr(self, channel)
+        if channel == "p2":
+            return value / 15.0
+        if channel in ("p1", "p_idle"):
+            return value / 3.0
+        return value
+
     def noisy(self, circuit: Circuit) -> Circuit:
         """Return a copy of ``circuit`` with noise channels inserted."""
+        return self.noisy_tagged(circuit)[0]
+
+    def noisy_tagged(self, circuit: Circuit) -> tuple[Circuit, dict[int, str]]:
+        """Noisy circuit plus a channel tag per inserted instruction.
+
+        The second element maps each inserted noise instruction's index
+        in the *output* circuit to its channel name (a :data:`CHANNELS`
+        entry) — the bookkeeping the structural DEM compiler needs to
+        replay per-p priors without re-running fault propagation.
+        """
         out = Circuit()
+        tags: dict[int, str] = {}
+        index = 0
+
+        def emit(name, targets, arg=None, channel=None):
+            nonlocal index
+            if channel is not None:
+                tags[index] = channel
+            out.append(name, targets, arg)
+            index += 1
+
         idle_tracker = _IdleTracker(circuit.num_qubits) if self.p_idle else None
         for inst in circuit:
             if inst.name == "M" and self.p_meas:
-                out.append("X_ERROR", inst.targets, self.p_meas)
+                emit("X_ERROR", inst.targets, self.p_meas, "p_meas")
             if inst.name == "TICK" and idle_tracker is not None:
                 for q in idle_tracker.flush():
-                    out.append("DEPOLARIZE1", (q,), self.p_idle)
-            out.append(inst.name, inst.targets, inst.arg)
+                    emit("DEPOLARIZE1", (q,), self.p_idle, "p_idle")
+            emit(inst.name, inst.targets, inst.arg)
             if idle_tracker is not None and inst.name not in (
                 "TICK", "DETECTOR", "OBSERVABLE_INCLUDE"
             ):
                 idle_tracker.touch(inst.targets)
             if inst.name == "CX" and self.p2:
-                out.append("DEPOLARIZE2", inst.targets, self.p2)
+                emit("DEPOLARIZE2", inst.targets, self.p2, "p2")
             elif inst.name == "H" and self.p1:
-                out.append("DEPOLARIZE1", inst.targets, self.p1)
+                emit("DEPOLARIZE1", inst.targets, self.p1, "p1")
             elif inst.name == "R" and self.p_reset:
-                out.append("X_ERROR", inst.targets, self.p_reset)
-        return out
+                emit("X_ERROR", inst.targets, self.p_reset, "p_reset")
+        return out, tags
 
 
 class _IdleTracker:

@@ -1,21 +1,169 @@
 """End-to-end convenience: code + noise -> decoding problem.
 
 Building a detector error model costs seconds for the larger codes, so
-results are cached per ``(code name, rounds, basis, noise)``.
+compilation is cached at two levels:
+
+* a **structural cache** keyed on ``(code, rounds, basis, noise
+  family)`` — the p-independent half (memory experiment, fault
+  propagation, detector sparsity; see
+  :mod:`repro.circuits.structure`), shared by every point of a
+  p-sweep over the same circuit;
+* a **DEM cache** keyed on ``(code, rounds, basis, model)`` — the
+  materialised per-strength model (structure + replayed priors), so
+  repeated builds of the *same* point stay free.
+
+Both caches are bounded LRU, thread-safe, and instrumented:
+:func:`cache_stats` reports hits/misses/evictions (surfaced in
+``sweep run`` progress output and the service telemetry snapshots),
+:func:`configure_caches` resizes them, :func:`clear_caches` empties
+them (tests and long-lived services).
 """
 
 from __future__ import annotations
 
-from repro.circuits.dem import DetectorErrorModel, dem_from_circuit
+import threading
+from collections import OrderedDict
+
+from repro.circuits.dem import DetectorErrorModel
 from repro.circuits.memory import build_memory_experiment
 from repro.circuits.noise import NoiseModel
+from repro.circuits.structure import DemStructure, structure_from_tagged_circuit
 from repro.codes.css import CSSCode
 from repro.codes.registry import get_code
 from repro.problem import DecodingProblem
 
-__all__ = ["circuit_level_dem", "circuit_level_problem"]
+__all__ = [
+    "cache_stats",
+    "circuit_level_dem",
+    "circuit_level_problem",
+    "clear_caches",
+    "configure_caches",
+]
 
-_DEM_CACHE: dict[tuple, DetectorErrorModel] = {}
+#: Default bounds.  Structures are the expensive, shareable artefact
+#: (one per circuit family in flight); DEMs are cheap to rebuild from
+#: a cached structure, so their cache mainly serves repeated
+#: same-point builds.
+DEFAULT_STRUCTURE_CACHE_SIZE = 8
+DEFAULT_DEM_CACHE_SIZE = 32
+
+_MISSING = object()
+
+
+class _InstrumentedLRU:
+    """Bounded, thread-safe, counted LRU cache.
+
+    The lock is held across a miss's ``build()`` — deliberately
+    coarse: a concurrent request for the same seconds-long DEM build
+    waits for the first one instead of duplicating it, and hit/miss
+    counts stay exact (the smoke tests assert "exactly one structural
+    build per p-sweep" on them).
+    """
+
+    def __init__(self, maxsize: int):
+        if maxsize < 1:
+            raise ValueError(f"cache size must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._data: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get_or_build(self, key, build):
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is not _MISSING:
+                self.hits += 1
+                self._data.move_to_end(key)
+                return value
+            self.misses += 1
+            value = build()
+            self._data[key] = value
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+            return value
+
+    def resize(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError(f"cache size must be positive, got {maxsize}")
+        with self._lock:
+            self.maxsize = maxsize
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Empty the cache and zero the counters."""
+        with self._lock:
+            self._data.clear()
+            self.hits = self.misses = self.evictions = 0
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "size": len(self._data),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+
+_STRUCTURE_CACHE = _InstrumentedLRU(DEFAULT_STRUCTURE_CACHE_SIZE)
+_DEM_CACHE = _InstrumentedLRU(DEFAULT_DEM_CACHE_SIZE)
+
+
+def cache_stats() -> dict:
+    """Hits/misses/evictions/occupancy of both compilation caches."""
+    return {
+        "structure": _STRUCTURE_CACHE.stats(),
+        "dem": _DEM_CACHE.stats(),
+    }
+
+
+def configure_caches(
+    *, structure_size: int | None = None, dem_size: int | None = None
+) -> None:
+    """Resize the bounded caches (evicting LRU entries if shrinking)."""
+    if structure_size is not None:
+        _STRUCTURE_CACHE.resize(structure_size)
+    if dem_size is not None:
+        _DEM_CACHE.resize(dem_size)
+
+
+def clear_caches() -> None:
+    """Empty both caches and zero their counters."""
+    _STRUCTURE_CACHE.clear()
+    _DEM_CACHE.clear()
+
+
+def _resolve(code, rounds):
+    if isinstance(code, str):
+        code = get_code(code)
+    if rounds is None:
+        if code.distance is None:
+            raise ValueError(
+                f"code {code.name} has no recorded distance; pass rounds="
+            )
+        rounds = code.distance
+    return code, rounds
+
+
+def _structure_for(
+    code: CSSCode, rounds: int, basis: str, model: NoiseModel
+) -> DemStructure:
+    family = model.family()
+
+    def build() -> DemStructure:
+        experiment = build_memory_experiment(code, rounds, basis)
+        noisy, tags = model.noisy_tagged(experiment.circuit)
+        return structure_from_tagged_circuit(noisy, tags, family)
+
+    return _STRUCTURE_CACHE.get_or_build(
+        (code.name, rounds, basis, family), build
+    )
 
 
 def circuit_level_dem(
@@ -30,22 +178,16 @@ def circuit_level_dem(
 
     ``rounds`` defaults to the code distance (the paper's convention).
     ``noise`` defaults to uniform depolarizing noise at strength ``p``.
+    Structure is built once per ``(code, rounds, basis, noise family)``
+    and only the priors vector is recomputed per strength —
+    bit-identical to compiling the noisy circuit from scratch.
     """
-    if isinstance(code, str):
-        code = get_code(code)
-    if rounds is None:
-        if code.distance is None:
-            raise ValueError(
-                f"code {code.name} has no recorded distance; pass rounds="
-            )
-        rounds = code.distance
+    code, rounds = _resolve(code, rounds)
     model = noise or NoiseModel.uniform_depolarizing(p)
-    key = (code.name, rounds, basis, model)
-    if key not in _DEM_CACHE:
-        experiment = build_memory_experiment(code, rounds, basis)
-        noisy = model.noisy(experiment.circuit)
-        _DEM_CACHE[key] = dem_from_circuit(noisy)
-    return _DEM_CACHE[key]
+    return _DEM_CACHE.get_or_build(
+        (code.name, rounds, basis, model),
+        lambda: _structure_for(code, rounds, basis, model).dem(model),
+    )
 
 
 def circuit_level_problem(
@@ -57,14 +199,7 @@ def circuit_level_problem(
     noise: NoiseModel | None = None,
 ) -> DecodingProblem:
     """Decoding problem for a circuit-level memory experiment."""
-    if isinstance(code, str):
-        code = get_code(code)
-    if rounds is None:
-        if code.distance is None:
-            raise ValueError(
-                f"code {code.name} has no recorded distance; pass rounds="
-            )
-        rounds = code.distance
+    code, rounds = _resolve(code, rounds)
     dem = circuit_level_dem(code, p, rounds=rounds, basis=basis, noise=noise)
     return dem.to_problem(
         name=f"{code.name}_circuit_{basis}_p{p:g}_r{rounds}", rounds=rounds

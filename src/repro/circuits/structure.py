@@ -1,0 +1,158 @@
+"""The p-independent half of DEM compilation.
+
+Compiling a detector error model has two very differently priced
+halves:
+
+* the **structure** — building the memory experiment, propagating
+  every fault backward to its (detectors, observables) signature,
+  merging mechanisms and assembling the sparse matrices — costs
+  seconds for the larger codes and depends only on
+  ``(code, rounds, basis, noise family)``: *which* channels are
+  active, never their strengths;
+* the **priors** — one float per merged mechanism — are the only part
+  that depends on the channel strengths, and recomputing them from a
+  prebuilt structure is a handful of vectorised array ops.
+
+:class:`DemStructure` captures the first half.  For each merged
+mechanism it records the *ordered* list of contributing channel codes,
+so :meth:`priors` can replay the exact iterative odd-parity
+combination the full compiler performs::
+
+    p <- p_old * (1 - q) + q * (1 - p_old)
+
+step by step (vectorised over mechanisms at each depth), starting
+from ``p = 0``.  Because the per-step arithmetic is the identical
+IEEE-754 expression in the identical order, the replayed priors are
+**bit-identical** to :func:`~repro.circuits.dem.dem_from_circuit` on
+the corresponding noisy circuit — pinned by the structural-parity
+tests.  A p-sweep therefore performs one structural build per circuit
+and one cheap replay per point (see
+:func:`repro.circuits.pipeline.circuit_level_dem`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.dem import DetectorErrorModel, _lowest_bit, _masks_to_csr
+from repro.circuits.noise import CHANNELS, NoiseModel
+from repro.circuits.propagation import analyze_faults
+
+__all__ = ["DemStructure", "structure_from_tagged_circuit"]
+
+
+@dataclass
+class DemStructure:
+    """p-independent structure of a noisy circuit's DEM.
+
+    ``steps`` holds, per merge depth ``k``, the mechanism indices that
+    receive a ``k``-th contribution and the channel code (an index
+    into :data:`~repro.circuits.noise.CHANNELS`) of that contribution
+    — the flattened, replayable form of each mechanism's ordered
+    contributor list.
+    """
+
+    check_matrix: sp.csr_matrix
+    logical_matrix: sp.csr_matrix
+    signatures: list[tuple[int, int]]
+    steps: tuple[tuple[np.ndarray, np.ndarray], ...]
+    family: tuple[str, ...]
+
+    @property
+    def n_mechanisms(self) -> int:
+        return self.check_matrix.shape[1]
+
+    def priors(self, model: NoiseModel) -> np.ndarray:
+        """Replay the merge for ``model``'s channel strengths.
+
+        ``model`` must belong to this structure's noise family —
+        the same channels active — otherwise the recorded insertion
+        positions would not describe its noisy circuit.
+        """
+        if model.family() != self.family:
+            raise ValueError(
+                f"noise model family {model.family()} does not match "
+                f"structure family {self.family}"
+            )
+        values = np.array(
+            [model.component_probability(c) for c in CHANNELS],
+            dtype=np.float64,
+        )
+        priors = np.zeros(self.n_mechanisms, dtype=np.float64)
+        for idx, chan in self.steps:
+            q = values[chan]
+            prev = priors[idx]
+            priors[idx] = prev * (1.0 - q) + q * (1.0 - prev)
+        return priors
+
+    def dem(self, model: NoiseModel) -> DetectorErrorModel:
+        """Materialise the full DEM for one noise strength."""
+        return DetectorErrorModel(
+            check_matrix=self.check_matrix,
+            logical_matrix=self.logical_matrix,
+            priors=self.priors(model),
+            signatures=list(self.signatures),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<DemStructure {self.check_matrix.shape[0]} detectors x "
+            f"{self.n_mechanisms} mechanisms, family={self.family}>"
+        )
+
+
+def structure_from_tagged_circuit(
+    circuit: Circuit, tags: dict[int, str], family: tuple[str, ...]
+) -> DemStructure:
+    """Compile a channel-tagged noisy circuit into its DEM structure.
+
+    ``circuit``/``tags`` come from :meth:`NoiseModel.noisy_tagged`;
+    every fault the propagation emits must originate at a tagged
+    instruction (a noise instruction already present in the *base*
+    circuit would carry a fixed probability the replay cannot express,
+    so it is rejected loudly).
+    """
+    faults = analyze_faults(circuit)
+    chan_code = {name: i for i, name in enumerate(CHANNELS)}
+    contributions: dict[tuple[int, int], list[int]] = {}
+    for fault in faults:
+        channel = tags.get(fault.instruction_index)
+        if channel is None:
+            raise ValueError(
+                f"fault at instruction #{fault.instruction_index} has no "
+                "channel tag; structural DEMs require every noise "
+                "instruction to come from NoiseModel.noisy_tagged"
+            )
+        key = (fault.det_mask, fault.obs_mask)
+        contributions.setdefault(key, []).append(chan_code[channel])
+    # Same deterministic mechanism order as dem_from_circuit.
+    keys = sorted(
+        contributions, key=lambda sig: (_lowest_bit(sig[0]), sig[0], sig[1])
+    )
+    n_mech = len(keys)
+    check = _masks_to_csr([k[0] for k in keys], circuit.num_detectors, n_mech)
+    logical = _masks_to_csr(
+        [k[1] for k in keys], circuit.num_observables, n_mech
+    )
+    max_depth = max((len(contributions[k]) for k in keys), default=0)
+    steps = []
+    for depth in range(max_depth):
+        idx = [
+            i for i, k in enumerate(keys) if len(contributions[k]) > depth
+        ]
+        chan = [contributions[keys[i]][depth] for i in idx]
+        steps.append((
+            np.asarray(idx, dtype=np.intp),
+            np.asarray(chan, dtype=np.intp),
+        ))
+    return DemStructure(
+        check_matrix=check,
+        logical_matrix=logical,
+        signatures=keys,
+        steps=tuple(steps),
+        family=family,
+    )

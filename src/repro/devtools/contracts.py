@@ -72,10 +72,11 @@ _TINY_P = 0.05
 
 
 def _tiny_problem():
-    from repro.codes import get_code
-    from repro.noise import code_capacity_problem
+    from repro.spec import ProblemSpec
 
-    return code_capacity_problem(get_code(_TINY_CODE), _TINY_P)
+    return ProblemSpec(
+        code=_TINY_CODE, model="code_capacity", p=_TINY_P
+    ).problem()
 
 
 def _anchor(obj: Any) -> tuple[str, int]:

@@ -1,4 +1,4 @@
-"""The repository's lint rules (``REP001``–``REP004``).
+"""The repository's lint rules (``REP001``–``REP005``).
 
 Each rule encodes one of the repo contracts described in
 ``docs/invariants.md``:
@@ -21,6 +21,12 @@ Each rule encodes one of the repo contracts described in
   hazard, not just a style nit), the latter swallows
   ``KeyboardInterrupt``/``SystemExit`` and hides worker crashes the
   engine's retry logic must see.
+* ``REP005`` — direct ``code_capacity_problem`` /
+  ``circuit_level_problem`` calls outside the canonical problem plane
+  (:mod:`repro.spec`): a bypassed :class:`~repro.spec.ProblemSpec`
+  means a workload whose identity, validation and caching diverge from
+  every other layer's.  Bench drivers and examples are explicitly
+  allowlisted in ``lint.toml`` — visible debt, not silent exemption.
 
 All rules resolve *aliases* (``import numpy as np``, ``from numpy
 import random as npr``, ``from time import perf_counter as clock``)
@@ -38,6 +44,7 @@ from repro.devtools.lint import LintViolation, Rule, register_rule
 __all__ = [
     "GlobalRandomnessRule",
     "MutableStateHygieneRule",
+    "ProblemBuilderBypassRule",
     "UnguardedOptionalImportRule",
     "WallClockRule",
 ]
@@ -250,6 +257,7 @@ class WallClockRule(Rule):
     default_include = (
         "src/repro/sim/seeding.py",
         "src/repro/decoders/kernels/*",
+        "src/repro/spec.py",
         "src/repro/sweeps/spec.py",
     )
 
@@ -435,3 +443,78 @@ class MutableStateHygieneRule(Rule):
             and isinstance(default.func, ast.Name)
             and default.func.id in _MUTABLE_BUILTIN_CALLS
         )
+
+
+#: The physics builders only :mod:`repro.spec` may call directly.
+_PROBLEM_BUILDERS = frozenset({
+    "code_capacity_problem",
+    "circuit_level_problem",
+})
+
+
+@register_rule
+class ProblemBuilderBypassRule(Rule):
+    """REP005: problems are built through the canonical problem plane."""
+
+    code = "REP005"
+    name = "problem-builder-bypass"
+    description = (
+        "ban direct code_capacity_problem/circuit_level_problem calls "
+        "outside repro.spec: a bypassed ProblemSpec means a workload "
+        "whose identity, validation and caching diverge from the "
+        "canonical problem plane (bench drivers and examples are "
+        "allowlisted in lint.toml)"
+    )
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[LintViolation]:
+        if path.replace("\\", "/").endswith("repro/spec.py"):
+            return  # the canonical plane itself
+        bound: dict[str, str] = {}
+        repro_aliases: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module == "repro" or module.startswith("repro."):
+                    for alias in node.names:
+                        if alias.name in _PROBLEM_BUILDERS:
+                            bound[alias.asname or alias.name] = alias.name
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.partition(".")[0] != "repro":
+                        continue
+                    # ``import repro.circuits`` binds the top package;
+                    # an asname binds the full module path.
+                    repro_aliases.add(alias.asname or "repro")
+        if not bound and not repro_aliases:
+            return
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            builder = self._builder_call(node.func, bound, repro_aliases)
+            if builder is not None:
+                yield LintViolation(
+                    path=path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    code=self.code,
+                    message=(
+                        f"direct {builder}() call bypasses the canonical "
+                        f"problem plane; build the workload through "
+                        f"repro.spec.ProblemSpec (one grammar, one "
+                        f"builder, one content hash)"
+                    ),
+                )
+
+    @staticmethod
+    def _builder_call(
+        func: ast.expr, bound: dict[str, str], repro_aliases: set[str]
+    ) -> str | None:
+        if isinstance(func, ast.Name):
+            return bound.get(func.id)
+        if isinstance(func, ast.Attribute) and func.attr in _PROBLEM_BUILDERS:
+            base = func.value
+            while isinstance(base, ast.Attribute):
+                base = base.value
+            if isinstance(base, ast.Name) and base.id in repro_aliases:
+                return func.attr
+        return None

@@ -346,6 +346,8 @@ class NetDecodeServer:
     # -- telemetry -------------------------------------------------------
 
     def snapshot(self) -> NetServerSnapshot:
+        from repro.circuits import cache_stats
+
         return NetServerSnapshot(
             pools={
                 key: pool.snapshot()
@@ -357,4 +359,5 @@ class NetDecodeServer:
             bad_key=self.bad_key,
             requests=self.requests,
             responses=self.responses,
+            extra={"dem_cache": cache_stats()},
         )

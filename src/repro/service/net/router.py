@@ -2,9 +2,17 @@
 
 A *problem key* names one decode workload completely::
 
-    <code>:<model>:p=<p>:r=<rounds>:<decoder>:<backend>
+    <code>:<model>:p=<p>:r=<rounds>[:b=<basis>]:<decoder>:<backend>
     e.g.  surface_3:capacity:p=0.08:r=1:min_sum_bp:auto
+          bb_144_12_12:circuit:p=0.003:r=12:b=x:bpsf:auto
 
+The grammar, registry validation and build path are owned by the
+canonical problem plane (:class:`repro.spec.ProblemSpec`);
+:class:`ProblemKey` is its thin wire adapter — it keeps the wire-level
+conventions (``p`` capped at the 0.5 useful-decoding bound, an
+explicit ``r=`` field even under code capacity, ``b=`` omitted when it
+equals the model default so pre-basis key strings hash to the same
+pool) and delegates everything semantic via :meth:`ProblemKey.spec`.
 Parsing is strict and building validates every component against the
 code/decoder/backend registries, so a typo fails at server
 construction (or with a ``BAD_KEY`` response), never inside a pool.
@@ -51,6 +59,7 @@ import numpy as np
 
 from repro.problem import DecodingProblem
 from repro.service.net.protocol import Response, Status
+from repro.spec import DecoderSpec, ProblemSpec, default_basis, split_wire_key
 from repro.service.net.ring import HashRing
 from repro.service.net.telemetry import NetPoolTelemetry, PoolSnapshot
 from repro.service.server import DecodeService, ServiceConfig
@@ -77,7 +86,12 @@ class PoolOverloadedError(RuntimeError):
 
 @dataclass(frozen=True)
 class ProblemKey:
-    """Parsed identity of one decode workload."""
+    """Parsed identity of one decode workload (thin wire adapter).
+
+    An explicit ``basis`` equal to the model default is normalised to
+    ``None`` at construction, so ``surface_3:capacity:…`` and the
+    spelled-out ``…:b=x:…`` form compare, hash and route identically.
+    """
 
     code: str
     model: str
@@ -85,6 +99,7 @@ class ProblemKey:
     rounds: int
     decoder: str
     backend: str = "auto"
+    basis: str | None = None
 
     def __post_init__(self):
         if self.model not in _MODELS:
@@ -104,40 +119,51 @@ class ProblemKey:
                     f"{what} name must be non-empty and colon-free, "
                     f"got {part!r}"
                 )
+        if self.basis is not None:
+            if self.basis not in ("x", "z"):
+                raise ValueError(
+                    f"basis must be one of ('x', 'z'), got {self.basis!r}"
+                )
+            if self.basis == default_basis(self.model):
+                object.__setattr__(self, "basis", None)
 
     def __str__(self) -> str:
+        b = f"b={self.basis}:" if self.basis is not None else ""
         return (
-            f"{self.code}:{self.model}:p={self.p!r}:r={self.rounds}:"
+            f"{self.code}:{self.model}:p={self.p!r}:r={self.rounds}:{b}"
             f"{self.decoder}:{self.backend}"
         )
 
     @classmethod
     def parse(cls, key: str) -> "ProblemKey":
-        """Parse the canonical colon-separated form (strict)."""
-        parts = key.split(":")
-        if len(parts) != 6:
-            raise ValueError(
-                f"problem key must have 6 colon-separated fields "
-                f"(code:model:p=..:r=..:decoder:backend), got {key!r}"
-            )
-        code, model, p_part, r_part, decoder, backend = parts
-        if not p_part.startswith("p="):
-            raise ValueError(f"third field must be 'p=<rate>', got {p_part!r}")
-        if not r_part.startswith("r="):
-            raise ValueError(
-                f"fourth field must be 'r=<rounds>', got {r_part!r}"
-            )
-        try:
-            p = float(p_part[2:])
-        except ValueError:
-            raise ValueError(f"unparsable error rate in {p_part!r}") from None
-        try:
-            rounds = int(r_part[2:])
-        except ValueError:
-            raise ValueError(f"unparsable rounds in {r_part!r}") from None
+        """Parse the canonical colon-separated form (strict).
+
+        Shares the problem plane's grammar (see
+        :func:`repro.spec.split_wire_key`); the optional ``b=<basis>``
+        field sits between ``r=`` and the decoder.
+        """
+        fields = split_wire_key(key)
         return cls(
-            code=code, model=model, p=p, rounds=rounds,
-            decoder=decoder, backend=backend,
+            code=fields["code"], model=fields["model"], p=fields["p"],
+            rounds=fields["rounds"], decoder=fields["decoder"],
+            backend=fields["backend"], basis=fields["basis"],
+        )
+
+    def spec(self) -> ProblemSpec:
+        """The canonical :class:`~repro.spec.ProblemSpec` this key names.
+
+        The decoder is wrapped without eager registry validation so
+        :meth:`build` reports unknown components in the historical
+        decoder → code → backend order.
+        """
+        return ProblemSpec(
+            code=self.code,
+            model=self.model,
+            p=self.p,
+            rounds=self.rounds,
+            basis=self.basis,
+            decoder=DecoderSpec(label=self.decoder, registry=self.decoder),
+            backend=self.backend,
         )
 
     def build(self):
@@ -148,37 +174,7 @@ class ProblemKey:
         ``_decode_workload`` semantics.  Raises :class:`ValueError`
         with a friendly message on any unknown component.
         """
-        from repro.circuits import circuit_level_problem
-        from repro.codes import get_code, list_codes
-        from repro.decoders.kernels import resolve_backend
-        from repro.decoders.registry import DECODER_REGISTRY, \
-            make_decoder_factory
-        from repro.noise import code_capacity_problem
-
-        if self.decoder not in DECODER_REGISTRY:
-            raise ValueError(
-                f"unknown decoder {self.decoder!r}; one of "
-                f"{', '.join(sorted(DECODER_REGISTRY))}"
-            )
-        if self.code not in list_codes():
-            raise ValueError(
-                f"unknown code {self.code!r}; one of "
-                f"{', '.join(list_codes())}"
-            )
-        try:
-            resolve_backend(self.backend)
-        except ValueError as exc:
-            raise ValueError(
-                f"unknown backend {self.backend!r}: {exc}"
-            ) from None
-        if self.model == "circuit":
-            problem = circuit_level_problem(
-                self.code, self.p, rounds=self.rounds
-            )
-        else:
-            problem = code_capacity_problem(get_code(self.code), self.p)
-        return problem, make_decoder_factory(self.decoder,
-                                             backend=self.backend)
+        return self.spec().build()
 
 
 @dataclass

@@ -201,6 +201,18 @@ class ServiceTelemetry:
             ),
         )
 
+    def dem_cache_stats(self) -> dict:
+        """Hits/misses/evictions of the shared DEM compilation caches.
+
+        Long-lived services rebuild problems as pools churn; this
+        surfaces :func:`repro.circuits.cache_stats` next to the
+        queueing gauges so operators can see whether those rebuilds
+        hit the structural cache.
+        """
+        from repro.circuits import cache_stats
+
+        return cache_stats()
+
     def queue_model(self, period: float | None = None) -> StreamingReport:
         """Replay the recorded service times through the D/G/1 model.
 

@@ -131,7 +131,16 @@ DEFAULT_SHARD_RETRIES = 2
 
 
 def resolve_decoder(spec, problem: DecodingProblem) -> Decoder:
-    """Materialise a decoder from a spec (name / factory / instance)."""
+    """Materialise a decoder from a spec (name / factory / instance).
+
+    A :class:`~repro.spec.ProblemSpec` also resolves — to its own
+    configured decoder factory applied to ``problem`` — so engine call
+    sites can hand the canonical problem plane straight through.
+    """
+    from repro.spec import ProblemSpec
+
+    if isinstance(spec, ProblemSpec):
+        return spec.decoder_factory()(problem)
     if isinstance(spec, str):
         from repro.decoders.registry import get_decoder
 

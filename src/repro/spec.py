@@ -1,0 +1,535 @@
+"""The canonical problem plane: one grammar, one builder, one hash.
+
+Every layer that names a decode workload — the CLI verbs, declarative
+sweeps, the networked service's wire keys, the registry contract
+checker — funnels through :class:`ProblemSpec`:
+
+* **one string grammar** — the colon-separated key form the net layer
+  introduced, extended with an optional basis field::
+
+      <code>:<model>:p=<p>:r=<rounds>[:b=<basis>]:<decoder>:<backend>
+      e.g.  surface_3:capacity:p=0.08:r=1:min_sum_bp:auto
+            bb_144_12_12:circuit:p=0.003:r=12:b=x:bpsf:fused
+
+  ``b=`` defaults to the model's conventional basis (``x`` for code
+  capacity, ``z`` for circuit level) and is *omitted* from the
+  canonical rendering when it equals that default, so every
+  pre-existing key string round-trips byte-identically (and hashes to
+  the same service pool);
+* **one builder** — :meth:`ProblemSpec.build` validates every
+  component against the code/decoder/backend registries with friendly
+  errors and returns ``(DecodingProblem, decoder_factory)`` with the
+  factory picklable (the engine-worker contract);
+* **one content identity** — :meth:`ProblemSpec.payload` is the
+  problem-plane portion of the sha256 identity; sweeps compose their
+  stored-entry hash from exactly this payload plus the stream
+  parameters, which is what keeps pre-refactor store entries valid
+  (see ``docs/invariants.md``, "Hash stability").
+
+The inline-decoder machinery (:class:`DecoderSpec`,
+:class:`ConfiguredDecoderFactory`) lives here too — it is part of the
+problem plane, not of sweeps specifically — and is re-exported from
+:mod:`repro.sweeps.spec` for compatibility.
+
+This module is in the lint rule REP005's *canonical* set: it is the
+only place allowed to call ``code_capacity_problem`` /
+``circuit_level_problem`` directly (plus the explicitly allowlisted
+bench drivers); everything else goes through :class:`ProblemSpec`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "DECODER_TYPES",
+    "MODELS",
+    "SPEC_HASH_VERSION",
+    "ConfiguredDecoderFactory",
+    "DecoderSpec",
+    "ProblemSpec",
+    "default_basis",
+    "split_wire_key",
+]
+
+#: Hash-layout version; bump when the identity payload changes shape.
+SPEC_HASH_VERSION = 1
+
+#: Canonical model names.  The wire grammar spells ``code_capacity``
+#: as ``capacity`` (shorter keys); both parse.
+MODELS = ("code_capacity", "circuit")
+
+_MODEL_TOKENS = {
+    "capacity": "code_capacity",
+    "code_capacity": "code_capacity",
+    "circuit": "circuit",
+}
+
+_BASES = ("x", "z")
+
+
+def default_basis(model: str) -> str:
+    """The conventional basis of a model: ``x`` memory for code
+    capacity (the paper's convention and the historical builder
+    default), ``z`` memory for circuit level.  Accepts either the
+    canonical model name or the wire token."""
+    return "x" if _MODEL_TOKENS.get(model, model) == "code_capacity" else "z"
+
+
+def split_wire_key(key: str) -> dict:
+    """Split a wire key into its raw fields (the single grammar).
+
+    The purely syntactic half of parsing — field count, the
+    ``p=``/``r=``/``b=`` markers, numeric conversion, the basis
+    vocabulary — returning the raw tokens.  Semantic normalisation
+    (model canonicalisation, default basis, capacity rounds) is
+    :meth:`ProblemSpec.parse`'s job; the net layer's ``ProblemKey``
+    shares this splitter while keeping its own wire conventions.
+    """
+    parts = key.split(":")
+    if len(parts) not in (6, 7):
+        raise ValueError(
+            f"problem key must have 6 colon-separated fields "
+            f"(code:model:p=..:r=..:decoder:backend, with an "
+            f"optional b=<basis> field after r=), got {key!r}"
+        )
+    code, model, p_part, r_part = parts[:4]
+    if len(parts) == 7:
+        b_part, decoder, backend = parts[4:]
+        if not b_part.startswith("b="):
+            raise ValueError(
+                f"fifth field of a 7-field key must be 'b=<basis>', "
+                f"got {b_part!r}"
+            )
+        basis = b_part[2:]
+        if basis not in _BASES:
+            raise ValueError(
+                f"basis must be one of {_BASES}, got {basis!r}"
+            )
+    else:
+        basis = None
+        decoder, backend = parts[4:]
+    if model not in _MODEL_TOKENS:
+        raise ValueError(
+            f"model must be one of ('capacity', 'circuit'), "
+            f"got {model!r}"
+        )
+    if not p_part.startswith("p="):
+        raise ValueError(f"third field must be 'p=<rate>', got {p_part!r}")
+    if not r_part.startswith("r="):
+        raise ValueError(
+            f"fourth field must be 'r=<rounds>', got {r_part!r}"
+        )
+    try:
+        p = float(p_part[2:])
+    except ValueError:
+        raise ValueError(f"unparsable error rate in {p_part!r}") from None
+    try:
+        rounds = int(r_part[2:])
+    except ValueError:
+        raise ValueError(f"unparsable rounds in {r_part!r}") from None
+    if rounds < 1:
+        raise ValueError(f"rounds must be positive, got {rounds}")
+    return {
+        "code": code,
+        "model": model,
+        "p": p,
+        "rounds": rounds,
+        "basis": basis,
+        "decoder": decoder,
+        "backend": backend,
+    }
+
+
+def _decoder_types() -> dict:
+    """Name → class map for inline-configured decoders (lazy imports)."""
+    from repro.decoders import (
+        BPOSDDecoder,
+        BPSFDecoder,
+        GDGDecoder,
+        LayeredMinSumBP,
+        MemoryMinSumBP,
+        MinSumBP,
+        PerturbedEnsembleBP,
+        PosteriorFlipDecoder,
+        RelayBP,
+    )
+    from repro.decoders.sum_product import SumProductBP
+
+    return {
+        "min_sum_bp": MinSumBP,
+        "sum_product_bp": SumProductBP,
+        "layered_bp": LayeredMinSumBP,
+        "memory_bp": MemoryMinSumBP,
+        "bpsf": BPSFDecoder,
+        "bposd": BPOSDDecoder,
+        "relay_bp": RelayBP,
+        "gdg": GDGDecoder,
+        "posterior_flip": PosteriorFlipDecoder,
+        "perturbed_bp": PerturbedEnsembleBP,
+    }
+
+
+#: Inline decoder-type names accepted in specs (keys of the lazy
+#: class map above; kept literal to avoid decoder imports at load time).
+DECODER_TYPES = (
+    "bposd",
+    "bpsf",
+    "gdg",
+    "layered_bp",
+    "memory_bp",
+    "min_sum_bp",
+    "perturbed_bp",
+    "posterior_flip",
+    "relay_bp",
+    "sum_product_bp",
+)
+
+
+class ConfiguredDecoderFactory:
+    """Picklable ``f(problem) -> Decoder`` for an inline decoder config.
+
+    Module-level and attribute-only, so the sharded engine can ship it
+    to worker processes.  ``backend`` (when not ``None``) pins the BP
+    kernel backend via a scoped :func:`repro.decoders.kernels.
+    use_backend` — exactly like the registry factory — so the knob
+    reaches composites whose constructors predate it.
+    """
+
+    def __init__(self, type_name: str, params: dict, backend=None):
+        types = _decoder_types()
+        if type_name not in types:
+            raise ValueError(
+                f"unknown decoder type {type_name!r}; "
+                f"one of {sorted(types)}"
+            )
+        self.type_name = type_name
+        self.params = dict(params)
+        self.backend = backend
+
+    def __call__(self, problem):
+        from repro.decoders.kernels import use_backend
+
+        cls = _decoder_types()[self.type_name]
+        if self.backend is None:
+            return cls(problem, **self.params)
+        with use_backend(self.backend):
+            return cls(problem, **self.params)
+
+    def __repr__(self):
+        return (
+            f"ConfiguredDecoderFactory({self.type_name!r}, "
+            f"{self.params!r}, backend={self.backend!r})"
+        )
+
+
+@dataclass(frozen=True)
+class DecoderSpec:
+    """One decoder axis entry: a registry name or an inline config."""
+
+    label: str
+    registry: str | None = None
+    type: str | None = None
+    params: tuple = ()  # sorted (key, value) pairs — hashable, canonical
+
+    @classmethod
+    def from_entry(cls, entry) -> "DecoderSpec":
+        """Parse a spec-file decoder entry (string or table)."""
+        if isinstance(entry, str):
+            from repro.decoders.registry import DECODER_REGISTRY
+
+            if entry not in DECODER_REGISTRY:
+                raise ValueError(
+                    f"unknown decoder registry name {entry!r}; "
+                    f"one of {sorted(DECODER_REGISTRY)}"
+                )
+            return cls(label=entry, registry=entry)
+        if isinstance(entry, dict):
+            entry = dict(entry)
+            type_name = entry.pop("type", None)
+            if type_name is None:
+                raise ValueError(
+                    "inline decoder table needs a 'type' key "
+                    f"(one of {sorted(_decoder_types())}): {entry}"
+                )
+            if type_name not in _decoder_types():
+                raise ValueError(
+                    f"unknown decoder type {type_name!r}; "
+                    f"one of {sorted(_decoder_types())}"
+                )
+            label = entry.pop("label", None) or _default_label(
+                type_name, entry
+            )
+            return cls(
+                label=label,
+                type=type_name,
+                params=tuple(sorted(entry.items())),
+            )
+        raise ValueError(
+            f"decoder entry must be a registry-name string or an inline "
+            f"table, got {entry!r}"
+        )
+
+    def identity(self) -> dict:
+        """Hash payload — everything that changes decoding behaviour."""
+        if self.registry is not None:
+            return {"registry": self.registry}
+        return {"type": self.type, "params": list(map(list, self.params))}
+
+    def factory(self, backend: str | None):
+        """A picklable engine decoder spec honouring ``backend``."""
+        if self.registry is not None:
+            from repro.decoders.registry import make_decoder_factory
+
+            return make_decoder_factory(self.registry, backend=backend)
+        return ConfiguredDecoderFactory(
+            self.type, dict(self.params), backend=backend
+        )
+
+
+def _default_label(type_name: str, params: dict) -> str:
+    inner = ",".join(f"{k}={v}" for k, v in sorted(params.items()))
+    return f"{type_name}({inner})" if inner else type_name
+
+
+def _canonical(value):
+    """Normalise scalars so the identity JSON is platform-stable."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    return value
+
+
+@dataclass(frozen=True)
+class ProblemSpec:
+    """Frozen, picklable identity of one decode workload.
+
+    ``model`` accepts the canonical names (``code_capacity`` /
+    ``circuit``) and the wire token ``capacity``; ``basis`` ``None``
+    resolves to the model default; ``rounds`` is normalised to ``None``
+    under code capacity (the model has no rounds axis — a wire key's
+    ``r=`` field is routing decoration there); ``decoder`` accepts a
+    :class:`DecoderSpec` or a registry-name string; ``backend``
+    ``"auto"`` normalises to ``None`` (the ambient default — backends
+    are bit-identical, so this is presentation, not identity).
+    """
+
+    code: str
+    model: str
+    p: float
+    rounds: int | None = None
+    basis: str | None = None
+    decoder: DecoderSpec = field(
+        default_factory=lambda: DecoderSpec(label="bpsf", registry="bpsf")
+    )
+    backend: str | None = None
+
+    def __post_init__(self):
+        model = _MODEL_TOKENS.get(self.model)
+        if model is None:
+            raise ValueError(
+                f"unknown model {self.model!r}; one of "
+                f"{MODELS} (or the wire token 'capacity')"
+            )
+        object.__setattr__(self, "model", model)
+        if not self.code or ":" in self.code:
+            raise ValueError(
+                f"code name must be non-empty and colon-free, "
+                f"got {self.code!r}"
+            )
+        p = float(self.p)
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"p must lie in (0, 1), got {p!r}")
+        object.__setattr__(self, "p", p)
+        basis = self.basis if self.basis is not None else default_basis(model)
+        if basis not in _BASES:
+            raise ValueError(f"basis must be one of {_BASES}, got {basis!r}")
+        object.__setattr__(self, "basis", basis)
+        rounds = self.rounds
+        if model == "code_capacity":
+            rounds = None
+        elif rounds is not None:
+            rounds = int(rounds)
+            if rounds < 1:
+                raise ValueError(f"rounds must be positive, got {rounds}")
+        object.__setattr__(self, "rounds", rounds)
+        decoder = self.decoder
+        if isinstance(decoder, str):
+            decoder = DecoderSpec.from_entry(decoder)
+        if not isinstance(decoder, DecoderSpec):
+            raise ValueError(
+                f"decoder must be a DecoderSpec or a registry name, "
+                f"got {decoder!r}"
+            )
+        object.__setattr__(self, "decoder", decoder)
+        backend = self.backend
+        if backend in (None, "auto"):
+            backend = None
+        elif ":" in backend:
+            raise ValueError(
+                f"backend name must be colon-free, got {backend!r}"
+            )
+        object.__setattr__(self, "backend", backend)
+
+    # -- grammar -------------------------------------------------------
+
+    @classmethod
+    def parse(cls, key: str, *, decoder=None) -> "ProblemSpec":
+        """Parse the canonical colon-separated key form (strict).
+
+        Six fields, or seven with the optional ``b=<basis>`` field
+        between ``r=`` and the decoder.  ``decoder`` (when given)
+        overrides the key's decoder field with a prebuilt
+        :class:`DecoderSpec` — the sweeps layer uses this to express
+        inline-configured decoders, which have no wire spelling.
+        """
+        fields = split_wire_key(key)
+        if decoder is None:
+            name = fields["decoder"]
+            if not name:
+                raise ValueError("decoder name must be non-empty")
+            decoder = DecoderSpec(label=name, registry=name)
+        return cls(
+            code=fields["code"], model=fields["model"], p=fields["p"],
+            rounds=fields["rounds"], basis=fields["basis"],
+            decoder=decoder, backend=fields["backend"],
+        )
+
+    def canonical_key(self) -> str:
+        """The canonical string form (the wire grammar).
+
+        The basis field is omitted when it equals the model default, so
+        pre-basis key strings stay byte-identical; code-capacity specs
+        render ``r=1`` (the model has no rounds axis).  Only
+        registry-named decoders have a wire spelling — inline configs
+        raise.
+        """
+        if self.decoder.registry is None:
+            raise ValueError(
+                f"inline-configured decoder {self.decoder.label!r} has no "
+                "wire key spelling; use the content hash instead"
+            )
+        model = "capacity" if self.model == "code_capacity" else "circuit"
+        rounds = 1 if self.rounds is None else self.rounds
+        b = "" if self.basis == default_basis(self.model) \
+            else f"b={self.basis}:"
+        return (
+            f"{self.code}:{model}:p={self.p!r}:r={rounds}:{b}"
+            f"{self.decoder.registry}:{self.backend or 'auto'}"
+        )
+
+    # -- identity ------------------------------------------------------
+
+    def payload(self) -> dict:
+        """The problem-plane hash payload.
+
+        Exactly the workload-determining fields: code, model, basis,
+        ``p``, rounds and the decoder identity.  The kernel backend is
+        excluded (backends are bit-identical).  Sweep points compose
+        their stored-entry hash from this payload plus the stream
+        parameters — byte-compatible with every pre-refactor store
+        (pinned by the golden-hash test).
+        """
+        return {
+            "code": self.code,
+            "model": self.model,
+            "basis": self.basis,
+            "p": _canonical(self.p),
+            "rounds": self.rounds,
+            "decoder": self.decoder.identity(),
+        }
+
+    def identity(self) -> dict:
+        """Versioned identity payload of the spec itself."""
+        return {"version": SPEC_HASH_VERSION, **self.payload()}
+
+    @property
+    def content_hash(self) -> str:
+        """Stable sha256 content identity (hex digest)."""
+        blob = json.dumps(
+            self.identity(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    # -- validation + materialisation ---------------------------------
+
+    def validate(self) -> "ProblemSpec":
+        """Check every component against the live registries.
+
+        Raises :class:`ValueError` with a friendly message on any
+        unknown decoder, code or backend (in that order — the order
+        the service and CLI have always reported).  Returns ``self``
+        for chaining.
+        """
+        from repro.codes import list_codes
+        from repro.decoders.kernels import resolve_backend
+        from repro.decoders.registry import DECODER_REGISTRY
+
+        if self.decoder.registry is not None:
+            if self.decoder.registry not in DECODER_REGISTRY:
+                raise ValueError(
+                    f"unknown decoder {self.decoder.registry!r}; one of "
+                    f"{', '.join(sorted(DECODER_REGISTRY))}"
+                )
+        elif self.decoder.type not in _decoder_types():
+            raise ValueError(
+                f"unknown decoder type {self.decoder.type!r}; "
+                f"one of {sorted(_decoder_types())}"
+            )
+        if self.code not in list_codes():
+            raise ValueError(
+                f"unknown code {self.code!r}; one of "
+                f"{', '.join(list_codes())}"
+            )
+        try:
+            resolve_backend(self.backend or "auto")
+        except ValueError as exc:
+            raise ValueError(
+                f"unknown backend {self.backend!r}: {exc}"
+            ) from None
+        return self
+
+    def problem(self):
+        """Build the :class:`~repro.problem.DecodingProblem`.
+
+        The single canonical entry into the physics builders — every
+        other call site is a REP005 violation.
+        """
+        if self.model == "code_capacity":
+            from repro.codes import get_code
+            from repro.noise import code_capacity_problem
+
+            return code_capacity_problem(
+                get_code(self.code), self.p, basis=self.basis
+            )
+        from repro.circuits import circuit_level_problem
+
+        return circuit_level_problem(
+            self.code, self.p, rounds=self.rounds, basis=self.basis
+        )
+
+    def decoder_factory(self):
+        """A picklable decoder factory honouring the spec's backend."""
+        return self.decoder.factory(self.backend)
+
+    def build(self):
+        """Registry-validate, then build ``(problem, decoder_factory)``."""
+        self.validate()
+        return self.problem(), self.decoder_factory()
+
+    def __str__(self) -> str:
+        if self.decoder.registry is not None:
+            return self.canonical_key()
+        return (
+            f"{self.code}:{self.model}:p={self.p!r}:"
+            f"r={1 if self.rounds is None else self.rounds}:"
+            f"b={self.basis}:<{self.decoder.label}>:"
+            f"{self.backend or 'auto'}"
+        )

@@ -190,6 +190,9 @@ def run_sweep_spec(
         )
         for plan in pending
     }
+    from repro.circuits import cache_stats
+
+    cache_before = cache_stats()
     tasks = []
     for plan in pending:
         point = plan.point
@@ -210,6 +213,23 @@ def run_sweep_spec(
                 batch_size=point.batch_size,
             )
         )
+    cache_after = cache_stats()
+    deltas = {
+        name: {
+            counter: cache_after[name][counter] - cache_before[name][counter]
+            for counter in ("hits", "misses", "evictions")
+        }
+        for name in ("structure", "dem")
+    }
+    say(
+        f"  problem cache: {len(tasks)} points -> "
+        f"{deltas['structure']['misses']} structural builds "
+        f"({deltas['structure']['hits']} shared, "
+        f"{deltas['structure']['evictions']} evicted), "
+        f"dem {deltas['dem']['misses']} built / "
+        f"{deltas['dem']['hits']} hit / "
+        f"{deltas['dem']['evictions']} evicted"
+    )
 
     def _put(plan, merged, shards_done):
         point = plan.point

@@ -78,172 +78,17 @@ __all__ = [
     "spec_from_mapping",
 ]
 
-#: Hash-layout version; bump when the identity payload changes shape.
-SPEC_HASH_VERSION = 1
-
-_MODELS = ("code_capacity", "circuit")
-
-
-def _decoder_types() -> dict:
-    """Name → class map for inline-configured decoders (lazy imports)."""
-    from repro.decoders import (
-        BPOSDDecoder,
-        BPSFDecoder,
-        GDGDecoder,
-        LayeredMinSumBP,
-        MemoryMinSumBP,
-        MinSumBP,
-        PerturbedEnsembleBP,
-        PosteriorFlipDecoder,
-        RelayBP,
-    )
-    from repro.decoders.sum_product import SumProductBP
-
-    return {
-        "min_sum_bp": MinSumBP,
-        "sum_product_bp": SumProductBP,
-        "layered_bp": LayeredMinSumBP,
-        "memory_bp": MemoryMinSumBP,
-        "bpsf": BPSFDecoder,
-        "bposd": BPOSDDecoder,
-        "relay_bp": RelayBP,
-        "gdg": GDGDecoder,
-        "posterior_flip": PosteriorFlipDecoder,
-        "perturbed_bp": PerturbedEnsembleBP,
-    }
-
-
-#: Inline decoder-type names accepted in specs (keys of the lazy
-#: class map above; kept literal to avoid decoder imports at load time).
-DECODER_TYPES = (
-    "bposd",
-    "bpsf",
-    "gdg",
-    "layered_bp",
-    "memory_bp",
-    "min_sum_bp",
-    "perturbed_bp",
-    "posterior_flip",
-    "relay_bp",
-    "sum_product_bp",
+from repro.spec import (  # noqa: F401  (re-exports: the decoder
+    DECODER_TYPES,        # machinery moved to the canonical problem
+    SPEC_HASH_VERSION,    # plane in repro.spec; sweeps re-export it
+    ConfiguredDecoderFactory,  # for compatibility)
+    DecoderSpec,
+    ProblemSpec,
+    _canonical,
+    _decoder_types,
 )
 
-
-class ConfiguredDecoderFactory:
-    """Picklable ``f(problem) -> Decoder`` for an inline decoder config.
-
-    Module-level and attribute-only, so the sharded engine can ship it
-    to worker processes.  ``backend`` (when not ``None``) pins the BP
-    kernel backend via a scoped :func:`repro.decoders.kernels.
-    use_backend` — exactly like the registry factory — so the knob
-    reaches composites whose constructors predate it.
-    """
-
-    def __init__(self, type_name: str, params: dict, backend=None):
-        types = _decoder_types()
-        if type_name not in types:
-            raise ValueError(
-                f"unknown decoder type {type_name!r}; "
-                f"one of {sorted(types)}"
-            )
-        self.type_name = type_name
-        self.params = dict(params)
-        self.backend = backend
-
-    def __call__(self, problem):
-        from repro.decoders.kernels import use_backend
-
-        cls = _decoder_types()[self.type_name]
-        if self.backend is None:
-            return cls(problem, **self.params)
-        with use_backend(self.backend):
-            return cls(problem, **self.params)
-
-    def __repr__(self):
-        return (
-            f"ConfiguredDecoderFactory({self.type_name!r}, "
-            f"{self.params!r}, backend={self.backend!r})"
-        )
-
-
-@dataclass(frozen=True)
-class DecoderSpec:
-    """One decoder axis entry: a registry name or an inline config."""
-
-    label: str
-    registry: str | None = None
-    type: str | None = None
-    params: tuple = ()  # sorted (key, value) pairs — hashable, canonical
-
-    @classmethod
-    def from_entry(cls, entry) -> "DecoderSpec":
-        """Parse a spec-file decoder entry (string or table)."""
-        if isinstance(entry, str):
-            from repro.decoders.registry import DECODER_REGISTRY
-
-            if entry not in DECODER_REGISTRY:
-                raise ValueError(
-                    f"unknown decoder registry name {entry!r}; "
-                    f"one of {sorted(DECODER_REGISTRY)}"
-                )
-            return cls(label=entry, registry=entry)
-        if isinstance(entry, dict):
-            entry = dict(entry)
-            type_name = entry.pop("type", None)
-            if type_name is None:
-                raise ValueError(
-                    "inline decoder table needs a 'type' key "
-                    f"(one of {sorted(_decoder_types())}): {entry}"
-                )
-            if type_name not in _decoder_types():
-                raise ValueError(
-                    f"unknown decoder type {type_name!r}; "
-                    f"one of {sorted(_decoder_types())}"
-                )
-            label = entry.pop("label", None) or _default_label(
-                type_name, entry
-            )
-            return cls(
-                label=label,
-                type=type_name,
-                params=tuple(sorted(entry.items())),
-            )
-        raise ValueError(
-            f"decoder entry must be a registry-name string or an inline "
-            f"table, got {entry!r}"
-        )
-
-    def identity(self) -> dict:
-        """Hash payload — everything that changes decoding behaviour."""
-        if self.registry is not None:
-            return {"registry": self.registry}
-        return {"type": self.type, "params": list(map(list, self.params))}
-
-    def factory(self, backend: str | None):
-        """A picklable engine decoder spec honouring ``backend``."""
-        if self.registry is not None:
-            from repro.decoders.registry import make_decoder_factory
-
-            return make_decoder_factory(self.registry, backend=backend)
-        return ConfiguredDecoderFactory(
-            self.type, dict(self.params), backend=backend
-        )
-
-
-def _default_label(type_name: str, params: dict) -> str:
-    inner = ",".join(f"{k}={v}" for k, v in sorted(params.items()))
-    return f"{type_name}({inner})" if inner else type_name
-
-
-def _canonical(value):
-    """Normalise scalars so the identity JSON is platform-stable."""
-    if isinstance(value, bool):
-        return value
-    if isinstance(value, (int, np.integer)):
-        return int(value)
-    if isinstance(value, (float, np.floating)):
-        return float(value)
-    return value
+_MODELS = ("code_capacity", "circuit")
 
 
 @dataclass(frozen=True)
@@ -267,18 +112,34 @@ class SweepPoint:
 
     # -- identity ------------------------------------------------------
 
+    def spec(self) -> ProblemSpec:
+        """The point's canonical problem-plane spec.
+
+        Identity, problem construction and the decoder factory all
+        delegate here — one grammar, one builder, one hash.
+        """
+        return ProblemSpec(
+            code=self.code,
+            model=self.model,
+            p=self.p,
+            rounds=self.rounds,
+            basis=self.basis,
+            decoder=self.decoder,
+            backend=self.backend,
+        )
+
     def identity(self) -> dict:
         """The content-hash payload: stream- and behaviour-determining
         parameters only (budgets and the bit-identical kernel backend
-        are deliberately excluded — see the module docstring)."""
+        are deliberately excluded — see the module docstring).
+
+        Composed from :meth:`ProblemSpec.payload` plus the stream
+        parameters; the layout is **byte-frozen** (golden-hash test) —
+        existing stores must resolve unchanged.
+        """
         return {
             "version": SPEC_HASH_VERSION,
-            "code": self.code,
-            "model": self.model,
-            "basis": self.basis,
-            "p": _canonical(self.p),
-            "rounds": self.rounds,
-            "decoder": self.decoder.identity(),
+            **self.spec().payload(),
             "seed": _canonical(self.seed),
             "shard_shots": _canonical(self.shard_shots),
             "batch_size": _canonical(self.batch_size),
@@ -309,23 +170,12 @@ class SweepPoint:
     # -- materialisation ----------------------------------------------
 
     def problem(self):
-        """Build the decoding problem for this point."""
-        if self.model == "code_capacity":
-            from repro.codes import get_code
-            from repro.noise import code_capacity_problem
-
-            return code_capacity_problem(
-                get_code(self.code), self.p, basis=self.basis
-            )
-        from repro.circuits import circuit_level_problem
-
-        return circuit_level_problem(
-            self.code, self.p, rounds=self.rounds, basis=self.basis
-        )
+        """Build the decoding problem for this point (via the spec)."""
+        return self.spec().problem()
 
     def decoder_factory(self):
         """A picklable decoder factory honouring the point's backend."""
-        return self.decoder.factory(self.backend)
+        return self.spec().decoder_factory()
 
     def seed_root(self) -> np.random.SeedSequence:
         """The point's master seed root.

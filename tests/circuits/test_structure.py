@@ -1,0 +1,205 @@
+"""The structural DEM split: bit-identity, caching, instrumentation.
+
+The refactor's load-bearing claim is that splitting compilation into a
+p-independent :class:`~repro.circuits.structure.DemStructure` plus a
+per-strength priors replay is **bit-identical** to compiling the noisy
+circuit from scratch — same sparsity, same signature order, same
+IEEE-754 priors bytes.  These tests pin that claim and the cache
+contract built on it: one structural build per ``(code, rounds, basis,
+noise family)``, bounded LRU occupancy, exact hit/miss accounting.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    NoiseModel,
+    build_memory_experiment,
+    cache_stats,
+    circuit_level_dem,
+    clear_caches,
+    configure_caches,
+    dem_from_circuit,
+    structure_from_tagged_circuit,
+)
+from repro.circuits.pipeline import (
+    DEFAULT_DEM_CACHE_SIZE,
+    DEFAULT_STRUCTURE_CACHE_SIZE,
+)
+from repro.codes import get_code
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    """Each test starts cold and leaves the default cache geometry."""
+    clear_caches()
+    yield
+    configure_caches(
+        structure_size=DEFAULT_STRUCTURE_CACHE_SIZE,
+        dem_size=DEFAULT_DEM_CACHE_SIZE,
+    )
+    clear_caches()
+
+
+def _direct_dem(code_name, p, rounds, basis="z", noise=None):
+    """The pre-split compilation path: noisy circuit -> dem, no cache."""
+    model = noise or NoiseModel.uniform_depolarizing(p)
+    experiment = build_memory_experiment(get_code(code_name), rounds, basis)
+    return dem_from_circuit(model.noisy(experiment.circuit))
+
+
+def _assert_bit_identical(a, b):
+    assert np.array_equal(a.check_matrix.indptr, b.check_matrix.indptr)
+    assert np.array_equal(a.check_matrix.indices, b.check_matrix.indices)
+    assert np.array_equal(a.logical_matrix.indptr, b.logical_matrix.indptr)
+    assert np.array_equal(
+        a.logical_matrix.indices, b.logical_matrix.indices
+    )
+    assert a.priors.tobytes() == b.priors.tobytes()
+    assert a.signatures == b.signatures
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("p", [1e-2, 4e-3, 3e-4])
+    def test_replay_matches_direct_compilation(self, p):
+        cached = circuit_level_dem("surface_3", p, rounds=3)
+        _assert_bit_identical(cached, _direct_dem("surface_3", p, 3))
+
+    def test_replay_matches_for_si1000(self):
+        noise = NoiseModel.si1000(1e-2)
+        cached = circuit_level_dem("surface_3", 1e-2, rounds=3, noise=noise)
+        _assert_bit_identical(
+            cached, _direct_dem("surface_3", 1e-2, 3, noise=noise)
+        )
+
+    def test_replay_matches_on_a_bb_code(self):
+        cached = circuit_level_dem("bb_72_12_6", 3e-3, rounds=2)
+        _assert_bit_identical(cached, _direct_dem("bb_72_12_6", 3e-3, 2))
+
+    def test_x_basis_structure_is_distinct_and_bit_identical(self):
+        cached = circuit_level_dem("surface_3", 1e-2, rounds=2, basis="x")
+        _assert_bit_identical(
+            cached, _direct_dem("surface_3", 1e-2, 2, basis="x")
+        )
+        circuit_level_dem("surface_3", 1e-2, rounds=2, basis="z")
+        assert cache_stats()["structure"]["misses"] == 2
+
+
+class TestStructuralSharing:
+    def test_p_sweep_performs_exactly_one_structural_build(self):
+        for p in (1e-3, 2e-3, 3e-3):
+            circuit_level_dem("surface_3", p, rounds=3)
+        stats = cache_stats()
+        assert stats["structure"]["misses"] == 1
+        assert stats["structure"]["hits"] == 2
+        assert stats["dem"]["misses"] == 3
+
+    def test_same_point_rebuild_hits_the_dem_cache(self):
+        first = circuit_level_dem("surface_3", 1e-3, rounds=2)
+        second = circuit_level_dem("surface_3", 1e-3, rounds=2)
+        assert first is second
+        stats = cache_stats()
+        assert stats["dem"]["hits"] == 1
+        assert stats["structure"]["misses"] == 1
+
+    def test_noise_family_gets_its_own_structure(self):
+        # si1000 enables p_idle, so its noisy circuit has different
+        # instruction positions — a distinct structural entry.
+        circuit_level_dem("surface_3", 1e-2, rounds=2)
+        circuit_level_dem(
+            "surface_3", 1e-2, rounds=2, noise=NoiseModel.si1000(1e-2)
+        )
+        assert cache_stats()["structure"]["misses"] == 2
+
+    def test_concurrent_same_key_builds_once(self):
+        barrier = threading.Barrier(4)
+        results = []
+
+        def build():
+            barrier.wait()
+            results.append(circuit_level_dem("surface_3", 1e-3, rounds=2))
+
+        threads = [threading.Thread(target=build) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == 4
+        assert all(r is results[0] for r in results)
+        stats = cache_stats()
+        assert stats["dem"]["misses"] == 1
+        assert stats["dem"]["hits"] == 3
+
+
+class TestBoundedCache:
+    def test_lru_eviction_is_counted_and_bounded(self):
+        configure_caches(structure_size=1)
+        circuit_level_dem("surface_3", 1e-3, rounds=2)
+        circuit_level_dem("surface_3", 1e-3, rounds=3)  # evicts rounds=2
+        stats = cache_stats()["structure"]
+        assert stats["size"] == 1
+        assert stats["evictions"] == 1
+        # Rebuilding the evicted entry is a miss again.
+        circuit_level_dem("surface_5", 1e-3, rounds=2)
+        assert cache_stats()["structure"]["misses"] == 3
+
+    def test_shrinking_evicts_down_to_the_new_bound(self):
+        circuit_level_dem("surface_3", 1e-3, rounds=2)
+        circuit_level_dem("surface_3", 1e-3, rounds=3)
+        configure_caches(structure_size=1)
+        stats = cache_stats()["structure"]
+        assert stats["size"] == 1
+        assert stats["maxsize"] == 1
+
+    @pytest.mark.parametrize("size", [0, -3])
+    def test_cache_sizes_must_be_positive(self, size):
+        with pytest.raises(ValueError, match="cache size must be positive"):
+            configure_caches(structure_size=size)
+        with pytest.raises(ValueError, match="cache size must be positive"):
+            configure_caches(dem_size=size)
+
+    def test_clear_zeroes_counters_and_occupancy(self):
+        circuit_level_dem("surface_3", 1e-3, rounds=2)
+        clear_caches()
+        for name in ("structure", "dem"):
+            stats = cache_stats()[name]
+            assert stats["size"] == 0
+            assert stats["hits"] == stats["misses"] == 0
+            assert stats["evictions"] == 0
+
+
+class TestStructureContract:
+    def test_priors_reject_a_mismatched_family(self):
+        model = NoiseModel.uniform_depolarizing(1e-3)
+        experiment = build_memory_experiment(get_code("surface_3"), 2, "z")
+        noisy, tags = model.noisy_tagged(experiment.circuit)
+        structure = structure_from_tagged_circuit(
+            noisy, tags, model.family()
+        )
+        with pytest.raises(ValueError, match="does not match"):
+            structure.priors(NoiseModel.si1000(1e-3))
+
+    def test_untagged_noise_instruction_is_rejected(self):
+        model = NoiseModel.uniform_depolarizing(1e-3)
+        experiment = build_memory_experiment(get_code("surface_3"), 2, "z")
+        noisy, tags = model.noisy_tagged(experiment.circuit)
+        tags = dict(tags)
+        tags.pop(next(iter(tags)))
+        with pytest.raises(ValueError, match="no channel tag"):
+            structure_from_tagged_circuit(noisy, tags, model.family())
+
+    def test_materialised_dems_do_not_share_signature_lists(self):
+        # dem(model) hands out a fresh signatures list each time, so a
+        # caller mutating one DEM cannot corrupt the cached structure.
+        model = NoiseModel.uniform_depolarizing(1e-3)
+        experiment = build_memory_experiment(get_code("surface_3"), 2, "z")
+        noisy, tags = model.noisy_tagged(experiment.circuit)
+        structure = structure_from_tagged_circuit(
+            noisy, tags, model.family()
+        )
+        a = structure.dem(model)
+        b = structure.dem(model)
+        assert a.signatures == b.signatures
+        assert a.signatures is not b.signatures

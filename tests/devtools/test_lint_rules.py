@@ -1,4 +1,4 @@
-"""Per-rule lint framework tests: good/bad fixtures for REP000–REP004."""
+"""Per-rule lint framework tests: good/bad fixtures for REP000–REP005."""
 
 import textwrap
 
@@ -26,7 +26,9 @@ def check(tmp_path, source, rel="src/repro/module.py", config=None):
 
 
 def test_registry_has_the_documented_rules():
-    assert set(RULE_REGISTRY) == {"REP001", "REP002", "REP003", "REP004"}
+    assert set(RULE_REGISTRY) == {
+        "REP001", "REP002", "REP003", "REP004", "REP005",
+    }
     for code, rule in RULE_REGISTRY.items():
         assert rule.code == code
         assert rule.name and rule.description
@@ -213,6 +215,73 @@ def test_rep004_scope_defaults_to_the_package(tmp_path):
     source = "def f(x=[]):\n    pass\n"
     codes, _ = check(tmp_path, source, rel="examples/demo.py")
     assert codes == []
+
+
+# -- REP005: problem-builder bypass --------------------------------------
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "from repro.noise import code_capacity_problem\n"
+        "code_capacity_problem(code, 0.05)\n",
+        "from repro.circuits import circuit_level_problem\n"
+        "circuit_level_problem('bb_72_12_6', 0.003)\n",
+        "from repro import circuit_level_problem as clp\n"
+        "clp('bb_72_12_6', 0.003)\n",
+        "import repro.circuits\n"
+        "repro.circuits.circuit_level_problem('bb_72_12_6', 0.003)\n",
+        "import repro.circuits as rc\n"
+        "rc.circuit_level_problem('bb_72_12_6', 0.003)\n",
+        "import repro\n"
+        "repro.noise.code_capacity.code_capacity_problem(code, 0.05)\n",
+    ],
+)
+def test_rep005_flags_direct_builder_calls(tmp_path, source):
+    codes, _ = check(tmp_path, source)
+    assert codes == ["REP005"], source
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        # The canonical path.
+        "from repro.spec import ProblemSpec\n"
+        "ProblemSpec(code='surface_3', model='code_capacity', p=0.05)"
+        ".problem()\n",
+        # A same-named local function is not the watched builder.
+        "def code_capacity_problem(code, p):\n    return None\n"
+        "code_capacity_problem(c, 0.05)\n",
+        # Mentioning the name without calling it (re-export) is fine.
+        "from repro.noise import code_capacity_problem\n"
+        "__all__ = ['code_capacity_problem']\n",
+    ],
+)
+def test_rep005_allows_the_canonical_plane(tmp_path, source):
+    codes, _ = check(tmp_path, source)
+    assert "REP005" not in codes, source
+
+
+def test_rep005_skips_the_spec_module_itself(tmp_path):
+    source = (
+        "from repro.noise import code_capacity_problem\n"
+        "code_capacity_problem(code, 0.05)\n"
+    )
+    codes, _ = check(tmp_path, source, rel="src/repro/spec.py")
+    assert codes == []
+
+
+def test_rep005_repo_allowlist_covers_bench_and_examples():
+    from pathlib import Path
+
+    config = LintConfig.from_toml(
+        Path(__file__).resolve().parents[2] / "lint.toml"
+    )
+    allow = config.rules["REP005"].allow
+    for rel in ("src/repro/bench/extensions.py", "examples/quickstart.py",
+                "benchmarks/test_batch_throughput.py"):
+        assert path_matches(rel, allow), rel
+    assert not path_matches("src/repro/service/net/router.py", allow)
 
 
 # -- config: include overrides and allowlists ---------------------------

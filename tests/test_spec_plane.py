@@ -1,0 +1,371 @@
+"""The canonical problem plane: one grammar, one builder, one hash.
+
+Three layers name decode workloads — CLI flags, TOML sweep points and
+wire problem keys — and before the refactor each had its own parser
+and its own path into the physics builders.  They now all delegate to
+:class:`repro.spec.ProblemSpec`.  This suite pins the three contracts
+that make the consolidation safe:
+
+* **grammar** — one strict colon-separated key form (with the optional
+  ``b=<basis>`` field) parsed by one splitter, round-tripping
+  byte-identically through :meth:`ProblemSpec.canonical_key` and
+  :class:`~repro.service.net.router.ProblemKey`;
+* **golden hashes** — SweepPoint stored-entry keys are byte-frozen:
+  the digests below were computed *before* the refactor and must never
+  change, or existing result stores silently orphan;
+* **cross-layer equivalence** — the same workload spelled as CLI args,
+  as a sweep mapping and as a wire key builds bit-identical
+  ``(H, priors, L)`` and equivalent decoder factories.
+"""
+
+import pickle
+from argparse import Namespace
+
+import numpy as np
+import pytest
+
+from repro.__main__ import _decode_workload
+from repro.decoders.kernels import resolve_backend
+from repro.service.net.router import ProblemKey
+from repro.spec import (
+    DecoderSpec,
+    ProblemSpec,
+    default_basis,
+    split_wire_key,
+)
+from repro.sweeps.spec import SweepPoint, spec_from_mapping
+
+
+# ---------------------------------------------------------------------------
+# grammar
+
+
+class TestGrammar:
+    def test_six_field_capacity_key_round_trips(self):
+        key = "surface_3:capacity:p=0.08:r=1:min_sum_bp:auto"
+        spec = ProblemSpec.parse(key)
+        assert spec.code == "surface_3"
+        assert spec.model == "code_capacity"
+        assert spec.p == 0.08
+        assert spec.rounds is None  # capacity has no rounds axis
+        assert spec.basis == "x"  # the capacity default
+        assert spec.decoder.registry == "min_sum_bp"
+        assert spec.backend is None  # "auto" is the ambient default
+        assert spec.canonical_key() == key
+        assert str(spec) == key
+
+    def test_seven_field_key_keeps_a_non_default_basis(self):
+        key = "bb_144_12_12:circuit:p=0.003:r=12:b=x:bpsf:auto"
+        spec = ProblemSpec.parse(key)
+        assert spec.basis == "x"
+        assert spec.canonical_key() == key
+
+    def test_default_basis_is_omitted_from_the_canonical_form(self):
+        spelled = ProblemSpec.parse(
+            "surface_3:capacity:p=0.08:r=1:b=x:min_sum_bp:auto"
+        )
+        bare = ProblemSpec.parse(
+            "surface_3:capacity:p=0.08:r=1:min_sum_bp:auto"
+        )
+        assert spelled == bare
+        assert spelled.canonical_key() == bare.canonical_key()
+        assert spelled.content_hash == bare.content_hash
+        assert "b=" not in spelled.canonical_key()
+
+    def test_long_model_token_is_accepted_and_canonicalised(self):
+        # The spec grammar is a superset of the wire grammar: the
+        # canonical model name parses too, and renders back short.
+        spec = ProblemSpec.parse(
+            "surface_3:code_capacity:p=0.05:r=1:bpsf:auto"
+        )
+        assert spec.model == "code_capacity"
+        assert spec.canonical_key() == \
+            "surface_3:capacity:p=0.05:r=1:bpsf:auto"
+
+    def test_default_basis_is_model_dependent(self):
+        assert default_basis("code_capacity") == "x"
+        assert default_basis("capacity") == "x"
+        assert default_basis("circuit") == "z"
+
+    @pytest.mark.parametrize(
+        "key, fragment",
+        [
+            ("surface_3:capacity:p=0.08:r=1:auto",
+             "6 colon-separated fields"),
+            ("a:b:c:d:e:f:g:h", "6 colon-separated fields"),
+            ("surface_3:capacity:p=0.08:r=1:x=z:bpsf:auto",
+             "fifth field of a 7-field key"),
+            ("surface_3:capacity:p=0.08:r=1:b=y:bpsf:auto",
+             "basis must be one of"),
+            ("surface_3:phenom:p=0.08:r=1:bpsf:auto",
+             "model must be one of"),
+            ("surface_3:capacity:0.08:r=1:bpsf:auto",
+             "third field must be 'p="),
+            ("surface_3:capacity:p=0.08:3:bpsf:auto",
+             "fourth field must be 'r="),
+            ("surface_3:capacity:p=oops:r=1:bpsf:auto",
+             "unparsable error rate"),
+            ("surface_3:capacity:p=0.08:r=oops:bpsf:auto",
+             "unparsable rounds"),
+            ("surface_3:capacity:p=0.08:r=0:bpsf:auto",
+             "rounds must be positive"),
+        ],
+    )
+    def test_malformed_keys_are_rejected_with_field_errors(
+        self, key, fragment
+    ):
+        with pytest.raises(ValueError, match=fragment):
+            split_wire_key(key)
+        with pytest.raises(ValueError, match=fragment):
+            ProblemSpec.parse(key)
+
+    def test_inline_decoder_has_no_wire_spelling(self):
+        spec = ProblemSpec(
+            code="surface_3", model="code_capacity", p=0.05,
+            decoder=DecoderSpec(
+                label="tuned", type="bpsf", params=(("max_iter", 50),)
+            ),
+        )
+        with pytest.raises(ValueError, match="no wire key spelling"):
+            spec.canonical_key()
+        # ... but it still has a content hash and a printable form.
+        assert len(spec.content_hash) == 64
+        assert "<tuned>" in str(spec)
+
+    def test_specs_pickle_round_trip(self):
+        spec = ProblemSpec.parse(
+            "bb_144_12_12:circuit:p=0.003:r=12:b=x:bpsf:fused"
+        )
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.content_hash == spec.content_hash
+        assert clone.canonical_key() == spec.canonical_key()
+
+    def test_validate_reports_components_in_the_historical_order(self):
+        with pytest.raises(ValueError, match="unknown decoder 'nope'"):
+            ProblemSpec.parse(
+                "nope_code:capacity:p=0.05:r=1:nope:nope"
+            ).validate()
+        with pytest.raises(ValueError, match="unknown code 'nope_code'"):
+            ProblemSpec.parse(
+                "nope_code:capacity:p=0.05:r=1:min_sum_bp:nope"
+            ).validate()
+        with pytest.raises(ValueError, match="unknown backend 'nope'"):
+            ProblemSpec.parse(
+                "surface_3:capacity:p=0.05:r=1:min_sum_bp:nope"
+            ).validate()
+
+
+# ---------------------------------------------------------------------------
+# golden hashes — byte-frozen; computed before the ProblemSpec refactor
+
+
+GOLDEN_POINTS = [
+    (
+        "b1cb592ae5e0beae902717e67a487c06b4336978a1663ceeb5b88eaa34677ee8",
+        dict(figure="fig5", code="coprime_154_6_16", model="code_capacity",
+             basis="x", p=0.08, rounds=None,
+             decoder=DecoderSpec(label="bpsf", registry="bpsf"),
+             backend=None, seed=7, shots=4096, shard_shots=256,
+             batch_size=128),
+    ),
+    (
+        "58e376fdcc4c7d4bae1f319df43ab48c63dbcb80d38031c85e8a0adac9923c83",
+        dict(figure="fig7", code="bb_144_12_12", model="circuit",
+             basis="z", p=0.003, rounds=12,
+             decoder=DecoderSpec(label="bposd", registry="bposd"),
+             backend=None, seed=7, shots=2048, shard_shots=256,
+             batch_size=128, max_failures=100),
+    ),
+    (
+        "fc65fbf62409922b14637d22425538acea8bdb6286619ba506ed7bc60ef694d1",
+        dict(figure="fig9", code="coprime_154_6_16", model="circuit",
+             basis="z", p=0.002, rounds=8,
+             decoder=DecoderSpec(
+                 label="BP-SF(BP50,w1,phi8)", type="bpsf",
+                 params=(("max_iter", 50), ("phi", 8),
+                         ("strategy", "exhaustive"), ("w_max", 1))),
+             backend="fused", seed=3, shots=1024, shard_shots=128,
+             batch_size=64, target_rse=0.1),
+    ),
+    (
+        "2d64c5487f9487e2e29cfc1bd1414dfae7422fc3b85fdce0e4868c76f5ebb5ed",
+        dict(figure="g", code="surface_3", model="code_capacity",
+             basis="z", p=0.05, rounds=None,
+             decoder=DecoderSpec(label="min_sum_bp",
+                                 registry="min_sum_bp"),
+             backend=None, seed=0, shots=256, shard_shots=256,
+             batch_size=128),
+    ),
+]
+
+
+class TestGoldenHashes:
+    """Stored-entry keys must never drift.
+
+    These digests were recorded from the pre-refactor SweepPoint
+    identity code.  If one of these assertions fails, the hash layout
+    changed and **every existing result store is orphaned** — that is
+    a breaking change requiring a SPEC_HASH_VERSION bump and a store
+    migration, not a test update.
+    """
+
+    @pytest.mark.parametrize(
+        "digest, kwargs",
+        GOLDEN_POINTS,
+        ids=[kw["figure"] for _, kw in GOLDEN_POINTS],
+    )
+    def test_stored_entry_hash_is_byte_frozen(self, digest, kwargs):
+        assert SweepPoint(**kwargs).key == digest
+
+    def test_backend_is_excluded_from_identity(self):
+        _, kwargs = GOLDEN_POINTS[0]
+        pinned = dict(kwargs, backend="fused")
+        assert SweepPoint(**pinned).key == SweepPoint(**kwargs).key
+
+
+# ---------------------------------------------------------------------------
+# cross-layer equivalence
+
+
+def _cli_workload(**overrides):
+    args = dict(
+        code="surface_3", circuit=False, p=0.08, rounds=1, basis=None,
+        decoder="min_sum_bp", backend="auto",
+    )
+    args.update(overrides)
+    problem, factory, err = _decode_workload(Namespace(**args))
+    assert err is None
+    return problem, factory
+
+
+def _sweep_workload(grid):
+    base = {"figure": "equiv", "codes": ["surface_3"],
+            "decoders": ["min_sum_bp"]}
+    base.update(grid)
+    spec = spec_from_mapping({"sweep": {"name": "equiv"}, "grid": [base]})
+    (point,) = spec.points
+    return point.problem(), point.decoder_factory()
+
+
+def _wire_workload(key):
+    return ProblemKey.parse(key).build()
+
+
+def _assert_same_problem(a, b):
+    assert np.array_equal(a.check_matrix.indptr, b.check_matrix.indptr)
+    assert np.array_equal(a.check_matrix.indices, b.check_matrix.indices)
+    assert np.array_equal(a.logical_matrix.indptr, b.logical_matrix.indptr)
+    assert np.array_equal(
+        a.logical_matrix.indices, b.logical_matrix.indices
+    )
+    assert a.priors.tobytes() == b.priors.tobytes()
+    assert a.name == b.name
+    assert a.rounds == b.rounds
+
+
+def _assert_same_factory(a, b):
+    # The CLI pins the *resolved* backend so spawned workers inherit
+    # overrides; the sweep/wire layers carry None for "auto".  Both
+    # must resolve to the same kernel.
+    assert type(a) is type(b)
+    assert a.name == b.name
+    assert resolve_backend(a.backend or "auto") == \
+        resolve_backend(b.backend or "auto")
+
+
+class TestCrossLayerEquivalence:
+    def test_capacity_workload_is_identical_across_layers(self):
+        cli = _cli_workload()
+        swp = _sweep_workload({"p": [0.08]})
+        net = _wire_workload("surface_3:capacity:p=0.08:r=1:min_sum_bp:auto")
+        for other_problem, other_factory in (swp, net):
+            _assert_same_problem(cli[0], other_problem)
+            _assert_same_factory(cli[1], other_factory)
+
+    def test_circuit_workload_is_identical_across_layers(self):
+        cli = _cli_workload(circuit=True, p=0.01, rounds=3)
+        swp = _sweep_workload(
+            {"model": "circuit", "p": [0.01], "rounds": [3]}
+        )
+        net = _wire_workload("surface_3:circuit:p=0.01:r=3:min_sum_bp:auto")
+        for other_problem, other_factory in (swp, net):
+            _assert_same_problem(cli[0], other_problem)
+            _assert_same_factory(cli[1], other_factory)
+
+    def test_basis_override_threads_through_every_layer(self):
+        cli = _cli_workload(circuit=True, p=0.01, rounds=3, basis="x")
+        swp = _sweep_workload(
+            {"model": "circuit", "p": [0.01], "rounds": [3], "basis": "x"}
+        )
+        net = _wire_workload(
+            "surface_3:circuit:p=0.01:r=3:b=x:min_sum_bp:auto"
+        )
+        for other_problem, other_factory in (swp, net):
+            _assert_same_problem(cli[0], other_problem)
+            _assert_same_factory(cli[1], other_factory)
+        # ... and it is a genuinely different workload from the default.
+        z_problem, _ = _wire_workload(
+            "surface_3:circuit:p=0.01:r=3:min_sum_bp:auto"
+        )
+        assert cli[0].name != z_problem.name
+
+    def test_content_hash_agrees_between_spec_and_wire_layers(self):
+        key = "surface_3:circuit:p=0.01:r=3:b=x:min_sum_bp:auto"
+        assert ProblemKey.parse(key).spec().content_hash == \
+            ProblemSpec.parse(key).content_hash
+
+
+# ---------------------------------------------------------------------------
+# the wire adapter's basis conventions
+
+
+class TestWireBasis:
+    def test_explicit_default_basis_joins_the_bare_pool(self):
+        spelled = ProblemKey.parse(
+            "surface_3:capacity:p=0.08:r=1:b=x:min_sum_bp:auto"
+        )
+        bare = ProblemKey.parse(
+            "surface_3:capacity:p=0.08:r=1:min_sum_bp:auto"
+        )
+        assert spelled == bare
+        assert hash(spelled) == hash(bare)
+        assert str(spelled) == str(bare)
+        assert spelled.basis is None
+
+    def test_non_default_basis_survives_the_round_trip(self):
+        key = "bb_144_12_12:circuit:p=0.003:r=12:b=x:bpsf:auto"
+        parsed = ProblemKey.parse(key)
+        assert parsed.basis == "x"
+        assert str(parsed) == key
+        assert ProblemKey.parse(str(parsed)) == parsed
+
+    def test_pre_basis_key_strings_round_trip_byte_identically(self):
+        # Capacity keys keep their literal r= field (no normalisation
+        # through the spec layer) so every existing served key string
+        # still round-trips unchanged and routes to the same pool.
+        for key in (
+            "surface_3:capacity:p=0.08:r=1:min_sum_bp:auto",
+            "surface_3:capacity:p=0.08:r=5:min_sum_bp:auto",
+            "bb_144_12_12:circuit:p=0.003:r=12:bpsf:fused",
+        ):
+            assert str(ProblemKey.parse(key)) == key
+
+    def test_wire_grammar_rejects_the_long_model_token(self):
+        # ProblemKey is stricter than the spec grammar: only the wire
+        # tokens are valid on the wire.
+        with pytest.raises(ValueError, match="model must be one of"):
+            ProblemKey.parse(
+                "surface_3:code_capacity:p=0.08:r=1:min_sum_bp:auto"
+            )
+
+    def test_wire_grammar_keeps_the_half_probability_cap(self):
+        with pytest.raises(ValueError, match=r"p must lie in \(0, 0.5\)"):
+            ProblemKey.parse("surface_3:capacity:p=0.6:r=1:min_sum_bp:auto")
+
+    def test_build_parity_with_the_spec_plane(self):
+        key = "surface_3:capacity:p=0.08:r=1:min_sum_bp:auto"
+        wire_problem, wire_factory = ProblemKey.parse(key).build()
+        spec_problem, spec_factory = ProblemSpec.parse(key).build()
+        _assert_same_problem(wire_problem, spec_problem)
+        _assert_same_factory(wire_factory, spec_factory)
